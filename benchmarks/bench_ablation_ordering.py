@@ -1,0 +1,56 @@
+"""Ablation — attribute-ordering heuristic (DESIGN.md section 6).
+
+Benchmarks GORDIAN under each attribute-to-tree-level assignment.  The
+paper recommends descending cardinality (section 3.2.1) to maximize
+pruning at lower tree levels; all orders must return identical keys.  The
+anti-heuristic (ascending cardinality) is orders of magnitude slower, so
+it runs on a narrower projection with a single round.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_result
+from repro.core import AttributeOrder, GordianConfig, find_keys
+from repro.datagen import OpicSpec, generate_opic_main
+from repro.experiments.ablation import run_ablation_ordering
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return generate_opic_main(
+        OpicSpec(num_rows=400, num_attributes=16, seed=11)
+    ).rows
+
+
+def test_order_schema(benchmark, rows):
+    config = GordianConfig(attribute_order=AttributeOrder.SCHEMA)
+    result = benchmark(lambda: find_keys(rows, config=config))
+    assert not result.no_keys_exist
+
+
+def test_order_cardinality_desc(benchmark, rows):
+    config = GordianConfig(attribute_order=AttributeOrder.CARDINALITY_DESC)
+    result = benchmark(lambda: find_keys(rows, config=config))
+    assert not result.no_keys_exist
+
+
+def test_order_cardinality_asc(benchmark, rows):
+    # The anti-heuristic: single round, it is the slow curve on purpose.
+    config = GordianConfig(attribute_order=AttributeOrder.CARDINALITY_ASC)
+    result = benchmark.pedantic(
+        lambda: find_keys(rows, config=config), rounds=1, iterations=1
+    )
+    assert not result.no_keys_exist
+
+
+def test_ablation_ordering_rows(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_ablation_ordering(num_rows=400, num_attributes=16),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["rows"] = result.rows
+    print_result(result)
+    assert {row["order"] for row in result.rows} == {
+        "schema", "cardinality_desc", "cardinality_asc",
+    }

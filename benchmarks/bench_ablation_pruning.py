@@ -1,0 +1,46 @@
+"""Ablation — each pruning rule in isolation (extends Figure 13).
+
+Benchmarks GORDIAN with exactly one pruning rule active at a time; all
+variants must return identical keys while doing different amounts of work.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_result
+from repro.core import GordianConfig, PruningConfig, find_keys
+from repro.datagen import OpicSpec, generate_opic_main
+from repro.experiments.ablation import run_ablation_pruning
+
+VARIANTS = {
+    "only_singleton": PruningConfig(singleton=True, single_entity=False, futility=False),
+    "only_single_entity": PruningConfig(singleton=False, single_entity=True, futility=False),
+    "only_futility": PruningConfig(singleton=False, single_entity=False, futility=True),
+}
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return generate_opic_main(
+        OpicSpec(num_rows=250, num_attributes=12, seed=11)
+    ).rows
+
+
+@pytest.mark.parametrize("name", sorted(VARIANTS))
+def test_single_rule(benchmark, rows, name):
+    config = GordianConfig(pruning=VARIANTS[name])
+    result = benchmark.pedantic(
+        lambda: find_keys(rows, config=config), rounds=1, iterations=1
+    )
+    assert not result.no_keys_exist
+
+
+def test_ablation_pruning_rows(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_ablation_pruning(num_rows=250, num_attributes=12),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["rows"] = result.rows
+    print_result(result)
+    by_variant = {row["variant"]: row for row in result.rows}
+    assert by_variant["all"]["nodes_visited"] <= by_variant["none"]["nodes_visited"]

@@ -1,0 +1,62 @@
+"""Ablation — sampling schemes and the T(K) strength bound quality.
+
+Benchmarks Bernoulli vs reservoir sampling feeding the discovery pipeline,
+and the T(K) bound evaluation, recording how often the bound holds against
+the exact strengths (the paper claims it holds "with fairly high
+probability").
+"""
+
+import pytest
+
+from benchmarks.conftest import print_result
+from repro.core import find_keys
+from repro.core.strength import StrengthEvaluator, bayesian_strength_bound
+from repro.dataset.sampling import bernoulli_sample, reservoir_sample
+from repro.experiments.ablation import run_ablation_bound
+
+
+@pytest.fixture(scope="module")
+def rows(opic_table):
+    return opic_table.rows
+
+
+def test_bernoulli_pipeline(benchmark, rows):
+    def pipeline():
+        sample = bernoulli_sample(rows, 0.1, seed=17)
+        return find_keys(sample, num_attributes=len(rows[0]))
+
+    assert not benchmark(pipeline).no_keys_exist
+
+
+def test_reservoir_pipeline(benchmark, rows):
+    size = max(1, len(rows) // 10)
+
+    def pipeline():
+        sample = reservoir_sample(rows, size, seed=17)
+        return find_keys(sample, num_attributes=len(rows[0]))
+
+    assert not benchmark(pipeline).no_keys_exist
+
+
+def test_bound_evaluation(benchmark, rows):
+    width = len(rows[0])
+    sample = bernoulli_sample(rows, 0.1, seed=17)
+    keys = find_keys(sample, num_attributes=width).keys
+    distinct = [
+        [len({row[a] for row in sample}) for a in key] for key in keys
+    ]
+    bounds = benchmark(
+        lambda: [bayesian_strength_bound(len(sample), d) for d in distinct]
+    )
+    assert all(0.0 <= b <= 1.0 for b in bounds)
+
+
+def test_ablation_bound_rows(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_ablation_bound(num_rows=800, num_attributes=10, fraction=0.1),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["rows"] = result.rows
+    print_result(result)
+    assert result.rows  # at least one key to evaluate

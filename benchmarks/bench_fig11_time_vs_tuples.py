@@ -1,0 +1,61 @@
+"""Figure 11 — processing time vs number of tuples.
+
+Benchmarks GORDIAN against the brute-force baselines at two row counts of
+the OPIC-like relation, and regenerates the figure's series.  Expected
+shape: GORDIAN close to the single-attribute brute force; unrestricted
+brute force orders of magnitude slower.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_result
+from repro.baselines import brute_force_keys
+from repro.core import find_keys
+from repro.datagen import OpicSpec, generate_opic_main
+from repro.experiments.fig11 import run_fig11
+
+
+@pytest.fixture(scope="module", params=[400, 1600])
+def rows(request):
+    table = generate_opic_main(
+        OpicSpec(num_rows=request.param, num_attributes=15, seed=11)
+    )
+    return table.rows
+
+
+def test_gordian(benchmark, rows):
+    result = benchmark(lambda: find_keys(rows))
+    assert result.keys
+
+
+def test_brute_force_single_attribute(benchmark, rows):
+    benchmark(lambda: brute_force_keys(rows, max_arity=1))
+
+
+def test_brute_force_up_to_4(benchmark, rows):
+    benchmark.pedantic(
+        lambda: brute_force_keys(rows, max_arity=4), rounds=1, iterations=1
+    )
+
+
+def test_brute_force_all_attributes_narrow(benchmark, rows):
+    # Exponential configuration, run on a 10-attribute projection so it
+    # terminates (the curve the paper truncates).
+    narrow = [row[:10] for row in rows]
+    benchmark.pedantic(
+        lambda: brute_force_keys(narrow, num_attributes=10), rounds=1, iterations=1
+    )
+
+
+def test_fig11_series(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig11(row_counts=(200, 400, 800), num_attributes=12,
+                          brute_all_max_attrs=9),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["rows"] = result.rows
+    print_result(result)
+    times = [row["gordian_s"] for row in result.rows]
+    # Near-linear scaling: 4x the rows should stay well under 16x the time.
+    assert times[2] < times[0] * 16

@@ -1,0 +1,41 @@
+"""Figure 12 — processing time vs number of attributes.
+
+Benchmarks GORDIAN at increasing projection widths of the 50-attribute
+OPIC-like relation and regenerates the figure's series.  Expected shape:
+GORDIAN near-linear in width; the up-to-4 brute force polynomial (d^4).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_result
+from repro.core import find_keys
+from repro.datagen import OpicSpec, generate_opic_main
+from repro.experiments.fig12 import run_fig12
+
+
+@pytest.fixture(scope="module")
+def wide_rows():
+    return generate_opic_main(
+        OpicSpec(num_rows=400, num_attributes=50, seed=11)
+    ).rows
+
+
+@pytest.mark.parametrize("width", [10, 30, 50])
+def test_gordian_at_width(benchmark, wide_rows, width):
+    projected = [row[:width] for row in wide_rows]
+    result = benchmark(lambda: find_keys(projected, num_attributes=width))
+    assert not result.no_keys_exist
+
+
+def test_fig12_series(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig12(attribute_counts=(5, 10, 20, 30, 40, 50),
+                          num_rows=300, brute4_max_attrs=16),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["rows"] = result.rows
+    print_result(result)
+    times = [row["gordian_s"] for row in result.rows]
+    # 10x the attributes should cost far less than the d^4 blowup (10^4).
+    assert times[-1] < max(times[0], 1e-4) * 1000

@@ -1,0 +1,47 @@
+"""Figure 13 — pruning effect.
+
+Benchmarks GORDIAN with and without its pruning rules at a fixed width and
+regenerates the figure's series.  Expected shape: identical keys, with
+pruning winning by a growing factor as the attribute count rises.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_result
+from repro.core import GordianConfig, PruningConfig, find_keys
+from repro.datagen import OpicSpec, generate_opic_main
+from repro.experiments.fig13 import run_fig13
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return generate_opic_main(
+        OpicSpec(num_rows=300, num_attributes=12, seed=11)
+    ).rows
+
+
+def test_with_pruning(benchmark, rows):
+    config = GordianConfig(pruning=PruningConfig.all())
+    result = benchmark(lambda: find_keys(rows, config=config))
+    assert result.stats.search.total_prunings > 0
+
+
+def test_without_pruning(benchmark, rows):
+    config = GordianConfig(pruning=PruningConfig.none())
+    benchmark.pedantic(
+        lambda: find_keys(rows, config=config), rounds=1, iterations=1
+    )
+
+
+def test_fig13_series(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig13(attribute_counts=(6, 8, 10, 12), num_rows=300),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["rows"] = result.rows
+    print_result(result)
+    last = result.rows[-1]
+    # Orders-of-magnitude shape: at 12 attributes pruning visits a tiny
+    # fraction of the no-pruning node count.
+    assert last["pruning_nodes_visited"] * 10 < last["no_pruning_nodes_visited"]

@@ -1,0 +1,54 @@
+"""Figure 14 — minimum key strength vs sample size.
+
+Benchmarks the sample-discover-evaluate pipeline and regenerates the
+figure's series.  Expected shape: minimum strength rises quickly with the
+sample fraction and reaches 100% at a full scan.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import print_result
+from repro.core import find_keys
+from repro.core.strength import StrengthEvaluator
+from repro.dataset.sampling import bernoulli_sample
+from repro.experiments.fig14 import run_fig14
+
+
+@pytest.fixture(scope="module")
+def opic_rows(opic_table):
+    return opic_table.rows
+
+
+def test_sample_and_discover(benchmark, opic_rows):
+    def pipeline():
+        sample = bernoulli_sample(opic_rows, 0.1, seed=17)
+        return find_keys(sample, num_attributes=len(opic_rows[0]))
+
+    result = benchmark(pipeline)
+    assert not result.no_keys_exist
+
+
+def test_strength_evaluation(benchmark, opic_rows):
+    width = len(opic_rows[0])
+    sample = bernoulli_sample(opic_rows, 0.1, seed=17)
+    keys = find_keys(sample, num_attributes=width).keys
+    evaluator = StrengthEvaluator(opic_rows, width)
+    strengths = benchmark(lambda: [evaluator.strength(k) for k in keys])
+    assert all(0 < s <= 1 for s in strengths)
+
+
+def test_fig14_series(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig14(fractions=(0.01, 0.1, 0.5, 1.0), scale=0.5),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["rows"] = result.rows
+    print_result(result)
+    # Full scan: every dataset's minimum strength is exactly 100%.
+    last = result.rows[-1]
+    for column, value in last.items():
+        if column.endswith("_min_strength_pct") and not math.isnan(value):
+            assert value == 100.0

@@ -1,0 +1,46 @@
+"""Figure 15 — false-key ratio vs sample size.
+
+Benchmarks the false-key classification pipeline and regenerates the
+figure's series.  Expected shape: the ratio falls rapidly with the sample
+fraction and is exactly 0 at 100% sampling.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_result
+from repro.experiments.fig15 import false_key_ratio_at_fraction, run_fig15
+
+
+@pytest.fixture(scope="module")
+def opic_rows(opic_table):
+    return opic_table.rows
+
+
+def test_false_key_classification(benchmark, opic_rows):
+    stats = benchmark(
+        lambda: false_key_ratio_at_fraction(opic_rows, 0.1, seed=17)
+    )
+    assert stats["true_keys"] >= 0
+
+
+def test_full_sample_has_no_false_keys(benchmark, opic_rows):
+    stats = benchmark.pedantic(
+        lambda: false_key_ratio_at_fraction(opic_rows, 1.0, seed=17),
+        rounds=1,
+        iterations=1,
+    )
+    assert stats["false_keys"] == 0
+    assert stats["ratio"] == 0
+
+
+def test_fig15_series(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig15(fractions=(0.01, 0.1, 0.5, 1.0), scale=0.5),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["rows"] = result.rows
+    print_result(result)
+    last = result.rows[-1]
+    ratios = [v for k, v in last.items() if k.endswith("_false_key_ratio")]
+    assert all(r == 0 for r in ratios)

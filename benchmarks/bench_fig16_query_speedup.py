@@ -1,0 +1,64 @@
+"""Figure 16 — effect of GORDIAN-recommended indexes on query execution.
+
+Benchmarks key discovery, index building, and workload execution on the
+lineitem twin, and regenerates the per-query speedup series.  Expected
+shape: every query at least as fast as the scan, with the covered query
+("query 4") answered index-only and showing the dramatic speedup.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_result
+from repro.engine import (
+    StoredTable,
+    build_recommended,
+    recommend_indexes,
+    run_workload,
+    warehouse_workload,
+)
+from repro.experiments.fig16 import run_fig16
+
+
+@pytest.fixture(scope="module")
+def stored(tpch_small):
+    return StoredTable(tpch_small["lineitem"])
+
+
+@pytest.fixture(scope="module")
+def indexes(stored):
+    recommendations = [
+        r for r in recommend_indexes(stored) if len(r.attributes) <= 3
+    ]
+    return build_recommended(stored, recommendations)
+
+
+def test_key_discovery_for_advisor(benchmark, stored):
+    recommendations = benchmark.pedantic(
+        lambda: recommend_indexes(stored), rounds=1, iterations=1
+    )
+    assert any(len(r.attributes) > 1 for r in recommendations)
+
+
+def test_workload_without_indexes(benchmark, stored):
+    queries = warehouse_workload(stored, num_queries=10)
+    report = benchmark(lambda: run_workload(stored, queries, [], verify=False))
+    assert all(s == 1.0 for s in report.speedups())
+
+
+def test_workload_with_indexes(benchmark, stored, indexes):
+    queries = warehouse_workload(stored, num_queries=10)
+    report = benchmark(
+        lambda: run_workload(stored, queries, indexes, verify=False)
+    )
+    assert max(report.speedups()) > 1.0
+
+
+def test_fig16_series(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_fig16(scale=4.0, num_queries=20), rounds=1, iterations=1
+    )
+    benchmark.extra_info["rows"] = result.rows
+    print_result(result)
+    speedups = [row["speedup"] for row in result.rows]
+    assert all(s >= 1.0 for s in speedups)
+    assert "IndexOnly" in result.rows[3]["indexed_plan"]

@@ -1,0 +1,42 @@
+"""Table 1 — dataset characteristics.
+
+Benchmarks the three dataset generators and regenerates the Table 1 rows
+(tables / avg attrs / max attrs / tuples) as extra_info.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_result
+from repro.datagen import (
+    BaseballSpec,
+    OpicSpec,
+    TpchSpec,
+    generate_baseball,
+    generate_opic,
+    generate_tpch,
+)
+from repro.experiments.table1 import run_table1
+
+
+def test_generate_tpch(benchmark):
+    db = benchmark(lambda: generate_tpch(TpchSpec(scale=1.0)))
+    assert len(db) == 8
+
+
+def test_generate_opic(benchmark):
+    db = benchmark(lambda: generate_opic(OpicSpec(num_rows=800, num_attributes=50)))
+    assert db["opic_main"].num_attributes == 50
+
+
+def test_generate_baseball(benchmark):
+    db = benchmark(
+        lambda: generate_baseball(BaseballSpec(num_players=60, games_per_season=12))
+    )
+    assert len(db) == 12
+
+
+def test_table1_rows(benchmark):
+    result = benchmark.pedantic(lambda: run_table1(scale=0.5), rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = result.rows
+    print_result(result)
+    assert len(result.rows) == 3

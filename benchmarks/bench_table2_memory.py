@@ -1,0 +1,53 @@
+"""Table 2 — maximum memory usage.
+
+Benchmarks one GORDIAN run per dataset while recording structural peak
+memory (live prefix-tree cells) and compares against the brute-force
+baselines' peak hashed cells.  Expected shape: GORDIAN within a small
+factor of the single-attribute brute force and well below the up-to-4
+brute force.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_result
+from repro.baselines import BruteForceStats, brute_force_keys
+from repro.core import find_keys
+from repro.experiments.table2 import run_table2
+
+
+def test_gordian_peak_cells_tpch(benchmark, tpch_small):
+    rows = tpch_small["lineitem"].rows
+    result = benchmark.pedantic(lambda: find_keys(rows), rounds=1, iterations=1)
+    benchmark.extra_info["peak_live_cells"] = result.stats.tree.peak_live_cells
+    assert result.stats.tree.peak_live_cells > 0
+
+
+def test_brute4_peak_cells_tpch(benchmark, tpch_small):
+    rows = [row[:12] for row in tpch_small["lineitem"].rows]
+    stats = BruteForceStats()
+    benchmark.pedantic(
+        lambda: brute_force_keys(rows, max_arity=4, stats=stats),
+        rounds=1,
+        iterations=1,
+    )
+    benchmark.extra_info["peak_hashed_cells"] = stats.peak_hashed_cells
+    assert stats.peak_hashed_cells > 0
+
+
+def test_brute1_peak_cells_tpch(benchmark, tpch_small):
+    rows = tpch_small["lineitem"].rows
+    stats = BruteForceStats()
+    benchmark(lambda: brute_force_keys(rows, max_arity=1, stats=stats))
+    assert stats.peak_hashed_cells > 0
+
+
+def test_table2_rows(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_table2(scale=0.5, brute4_max_attrs=14), rounds=1, iterations=1
+    )
+    benchmark.extra_info["rows"] = result.rows
+    print_result(result)
+    for row in result.rows:
+        # The paper's Table 2 shape: up-to-4 brute force uses much more
+        # memory than the single-attribute variant on every dataset.
+        assert row["brute_up_to_4_bytes"] > row["brute_single_bytes"]

@@ -1,0 +1,36 @@
+"""Theorem 1 — empirical scaling on generalized-Zipfian data (section 3.8).
+
+Benchmarks GORDIAN on datasets matching the theorem's assumptions and
+checks that the measured log-log growth of structural work stays below the
+cost model's predicted exponent (the theorem is an upper bound under
+weakened pruning, so real runs with all pruning must scale no worse).
+"""
+
+import pytest
+
+from benchmarks.conftest import print_result
+from repro.core import find_keys
+from repro.datagen import ZipfianSpec, generate_zipfian_table
+from repro.experiments.theorem1 import run_theorem1
+
+
+@pytest.mark.parametrize("theta", [0.0, 1.0])
+def test_gordian_on_zipfian(benchmark, theta):
+    table = generate_zipfian_table(
+        ZipfianSpec(
+            num_entities=1000, num_attributes=10, cardinality=64, theta=theta,
+            seed=29,
+        )
+    )
+    result = benchmark(lambda: find_keys(table.rows))
+    assert not result.no_keys_exist
+
+
+def test_theorem1_series(benchmark):
+    result = benchmark.pedantic(lambda: run_theorem1(), rounds=1, iterations=1)
+    benchmark.extra_info["rows"] = result.rows
+    print_result(result)
+    for row in result.rows:
+        # Allow a generous slack factor for small-scale constant effects;
+        # the theorem is an asymptotic upper bound.
+        assert row["measured_slope"] <= row["predicted_exponent"] * 1.25

@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures and reporting.
+
+Every benchmark attaches the reproduced table/figure rows to
+``benchmark.extra_info`` (visible in ``--benchmark-json`` output) and prints
+the rendered table once per module so a ``pytest benchmarks/
+--benchmark-only -s`` run shows the paper-shaped series next to the
+timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_result(result) -> None:
+    """Render an ExperimentResult to stdout (shown with -s / on failures)."""
+    print()
+    print(result.render())
+
+
+@pytest.fixture(scope="session")
+def tpch_small():
+    from repro.datagen import TpchSpec, generate_tpch
+
+    return generate_tpch(TpchSpec(scale=2.0))
+
+
+@pytest.fixture(scope="session")
+def opic_table():
+    from repro.datagen import OpicSpec, generate_opic_main
+
+    return generate_opic_main(OpicSpec(num_rows=800, num_attributes=30))

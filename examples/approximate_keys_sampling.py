@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Approximate key discovery via sampling (paper, section 3.9).
+
+Samples the OPIC-like catalog at several fractions, runs GORDIAN on each
+sample, and classifies every discovered key against the full dataset:
+true keys (strength 1.0), useful approximate keys (strength >= 80%), and
+false keys.  Also prints the paper's Bayesian strength lower bound T(K)
+next to each exact strength, and the Kivinen-Mannila worst-case sample
+size for comparison with the sizes that work in practice.
+"""
+
+import argparse
+
+from repro.core import find_keys
+from repro.core.strength import (
+    StrengthEvaluator,
+    bayesian_strength_bound,
+    kivinen_mannila_sample_size,
+)
+from repro.datagen import OpicSpec, generate_opic_main
+from repro.dataset.sampling import bernoulli_sample
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=3000)
+    parser.add_argument("--attrs", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=17)
+    args = parser.parse_args()
+
+    table = generate_opic_main(
+        OpicSpec(num_rows=args.rows, num_attributes=args.attrs, seed=args.seed)
+    )
+    evaluator = StrengthEvaluator(table.rows, table.num_attributes)
+    km = kivinen_mannila_sample_size(
+        table.num_rows, table.num_attributes, epsilon=0.2, delta=0.05
+    )
+    print(
+        f"Dataset: {table.num_rows} rows x {table.num_attributes} attrs; "
+        f"Kivinen-Mannila bound for eps=0.2, delta=0.05: {km} rows"
+    )
+
+    for fraction in (0.02, 0.1, 0.3, 1.0):
+        sample = bernoulli_sample(table.rows, fraction, seed=args.seed)
+        if not sample:
+            continue
+        result = find_keys(sample, num_attributes=table.num_attributes)
+        print(f"\n--- sample {fraction:.0%} ({len(sample)} rows): "
+              f"{len(result.keys)} key(s) discovered ---")
+        shown = 0
+        for key in result.keys:
+            exact = evaluator.strength(key)
+            bound = bayesian_strength_bound(
+                len(sample), [len({row[a] for row in sample}) for a in key]
+            )
+            label = (
+                "TRUE" if exact >= 1.0
+                else "approx" if exact >= 0.8
+                else "FALSE"
+            )
+            names = ", ".join(table.schema.names[a] for a in key)
+            print(
+                f"  <{names}>  strength={exact:7.2%}  T(K)>= {bound:6.2%}  {label}"
+            )
+            shown += 1
+            if shown >= 8:
+                remaining = len(result.keys) - shown
+                if remaining:
+                    print(f"  ... and {remaining} more")
+                break
+
+
+if __name__ == "__main__":
+    main()

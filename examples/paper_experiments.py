@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Run the paper's experiments: every table and figure of the evaluation.
+
+Usage::
+
+    python examples/paper_experiments.py                # run everything
+    python examples/paper_experiments.py fig13 table2   # run a subset
+    python examples/paper_experiments.py --list
+    python examples/paper_experiments.py --save-dir out/  # JSON per result
+
+Each experiment runs at a CI-friendly default scale; see the module
+docstrings in ``repro.experiments`` for the paper-vs-reproduction mapping
+and EXPERIMENTS.md for recorded results.
+"""
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import ALL_EXPERIMENTS, get_experiment
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids (default: all)",
+    )
+    parser.add_argument("--list", action="store_true", help="list ids and exit")
+    parser.add_argument(
+        "--save-dir",
+        type=Path,
+        default=None,
+        help="write one JSON file per experiment into this directory",
+    )
+    args = parser.parse_args()
+
+    if args.list:
+        for experiment_id in sorted(ALL_EXPERIMENTS):
+            print(experiment_id)
+        return 0
+
+    chosen = args.experiments or sorted(ALL_EXPERIMENTS)
+    if args.save_dir:
+        args.save_dir.mkdir(parents=True, exist_ok=True)
+
+    for experiment_id in chosen:
+        driver = get_experiment(experiment_id)
+        start = time.perf_counter()
+        result = driver()
+        elapsed = time.perf_counter() - start
+        print(f"\n{'=' * 72}")
+        print(result.render())
+        print(f"({experiment_id} regenerated in {elapsed:.1f}s)")
+        if args.save_dir:
+            result.save_json(args.save_dir / f"{experiment_id}.json")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""repro — a reproduction of GORDIAN (VLDB 2006) composite-key discovery.
+
+Quickstart::
+
+    from repro import find_keys
+
+    rows = [
+        ("Michael", "Thompson", 3478, 10),
+        ("Sally", "Kwan", 3478, 20),
+        ("Michael", "Spencer", 5237, 90),
+        ("Michael", "Thompson", 6791, 50),
+    ]
+    names = ["First Name", "Last Name", "Phone", "Emp No"]
+    result = find_keys(rows, attribute_names=names)
+    print(result.named_keys())
+    # [('Emp No',), ('First Name', 'Phone'), ('Last Name', 'Phone')]
+
+Packages
+--------
+``repro.core``
+    The GORDIAN algorithm itself (paper, section 3).
+``repro.dataset``
+    Relational substrate: schema/table, CSV I/O, sampling, entity adapters.
+``repro.baselines``
+    Brute-force and level-wise key discovery used as comparison points.
+``repro.cube``
+    A reference CUBE-operator implementation used for validation (section 3.1).
+``repro.datagen``
+    Synthetic data generators standing in for the paper's datasets.
+``repro.engine``
+    Mini query engine + index advisor for the Figure 16 experiment.
+``repro.experiments``
+    Drivers regenerating every table and figure of the paper's evaluation.
+"""
+
+from repro.core import (
+    AttributeOrder,
+    GordianConfig,
+    GordianResult,
+    PruningConfig,
+    find_keys,
+)
+from repro.errors import (
+    ConfigError,
+    DataError,
+    EngineError,
+    NoKeysExistError,
+    ReproError,
+    SchemaError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributeOrder",
+    "GordianConfig",
+    "GordianResult",
+    "PruningConfig",
+    "find_keys",
+    "ReproError",
+    "SchemaError",
+    "DataError",
+    "NoKeysExistError",
+    "EngineError",
+    "ConfigError",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Comparison algorithms and independent validators for key discovery."""
+
+from repro.baselines.brute_force import (
+    BruteForceResult,
+    BruteForceStats,
+    brute_force_keys,
+)
+from repro.baselines.levelwise import LevelwiseResult, LevelwiseStats, levelwise_keys
+from repro.baselines.validation import (
+    KeySetReport,
+    is_key,
+    is_minimal_key,
+    verify_key_set,
+)
+
+__all__ = [
+    "BruteForceResult",
+    "BruteForceStats",
+    "brute_force_keys",
+    "LevelwiseResult",
+    "LevelwiseStats",
+    "levelwise_keys",
+    "KeySetReport",
+    "is_key",
+    "is_minimal_key",
+    "verify_key_set",
+]

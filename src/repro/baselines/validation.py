@@ -1,0 +1,90 @@
+"""Independent validation of key-discovery results.
+
+These checkers never reuse the algorithms under test: a candidate key is
+verified by hashing full projections, minimality by re-checking every
+maximal proper subset.  Tests and experiments use them as the ground-truth
+referee between GORDIAN, brute force, and the level-wise baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "is_key",
+    "is_minimal_key",
+    "verify_key_set",
+    "KeySetReport",
+]
+
+
+def is_key(rows: Sequence[Sequence[object]], attrs: Sequence[int]) -> bool:
+    """True iff no two rows agree on every attribute in ``attrs``."""
+    if not attrs:
+        return len(rows) <= 1
+    seen = set()
+    for row in rows:
+        projected = tuple(row[a] for a in attrs)
+        if projected in seen:
+            return False
+        seen.add(projected)
+    return True
+
+
+def is_minimal_key(rows: Sequence[Sequence[object]], attrs: Sequence[int]) -> bool:
+    """True iff ``attrs`` is a key and no proper subset is a key.
+
+    Checking the maximal proper subsets suffices: if any smaller subset were
+    a key, the maximal subset containing it would be one too (supersets of
+    keys are keys).
+    """
+    attrs = tuple(attrs)
+    if not is_key(rows, attrs):
+        return False
+    for drop in range(len(attrs)):
+        subset = attrs[:drop] + attrs[drop + 1 :]
+        if subset and is_key(rows, subset):
+            return False
+    return True
+
+
+class KeySetReport:
+    """Outcome of :func:`verify_key_set`."""
+
+    def __init__(self) -> None:
+        self.not_keys: List[Tuple[int, ...]] = []
+        self.not_minimal: List[Tuple[int, ...]] = []
+        self.missing: List[Tuple[int, ...]] = []
+
+    @property
+    def ok(self) -> bool:
+        return not (self.not_keys or self.not_minimal or self.missing)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"KeySetReport(ok={self.ok}, not_keys={self.not_keys}, "
+            f"not_minimal={self.not_minimal}, missing={self.missing})"
+        )
+
+
+def verify_key_set(
+    rows: Sequence[Sequence[object]],
+    claimed_keys: Iterable[Sequence[int]],
+    expected_keys: Iterable[Sequence[int]] = (),
+) -> KeySetReport:
+    """Check soundness (every claimed key is a minimal key) and, when
+    ``expected_keys`` is supplied, completeness (nothing expected missing).
+    """
+    report = KeySetReport()
+    claimed = [tuple(key) for key in claimed_keys]
+    claimed_set = set(claimed)
+    for key in claimed:
+        if not is_key(rows, key):
+            report.not_keys.append(key)
+        elif not is_minimal_key(rows, key):
+            report.not_minimal.append(key)
+    for key in expected_keys:
+        key = tuple(key)
+        if key not in claimed_set:
+            report.missing.append(key)
+    return report

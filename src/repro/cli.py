@@ -1,0 +1,166 @@
+"""Command-line interface: profile CSV files for keys.
+
+Subcommands
+-----------
+``keys``
+    Discover all minimal (composite) keys of one CSV file; optionally run
+    on a sample and grade the discovered keys against the full file.
+``profile``
+    Per-column statistics (cardinality, nulls, types, uniqueness).
+``fks``
+    Suggest foreign keys across several CSV files using discovered keys
+    and inclusion dependencies.
+``trace``
+    Narrate the NonKeyFinder traversal on a (small) CSV — the paper's
+    section 3.5 walkthrough on your data.
+
+Examples::
+
+    python -m repro keys employees.csv
+    python -m repro keys big.csv --sample-fraction 0.01 --seed 7
+    python -m repro profile employees.csv
+    python -m repro fks orders.csv customers.csv lineitem.csv
+    python -m repro trace employees.csv
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.core import GordianConfig, find_keys
+from repro.core.approximate import find_approximate_keys
+from repro.core.explain import render_trace, trace_nonkey_finder
+from repro.core.foreign_keys import suggest_foreign_keys
+from repro.dataset.csv_io import load_csv
+from repro.dataset.profile import profile_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="gordian",
+        description="GORDIAN composite-key discovery (VLDB 2006 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    keys = sub.add_parser("keys", help="discover minimal keys of a CSV file")
+    keys.add_argument("csv", type=Path)
+    keys.add_argument("--sample-fraction", type=float, default=None,
+                      help="run on a Bernoulli sample and grade strengths")
+    keys.add_argument("--sample-size", type=int, default=None,
+                      help="run on a reservoir sample of this many rows")
+    keys.add_argument("--seed", type=int, default=0)
+    keys.add_argument("--null-policy", default="equal",
+                      choices=["equal", "distinct", "forbid"])
+    keys.add_argument("--max-print", type=int, default=25)
+
+    profile = sub.add_parser("profile", help="per-column statistics")
+    profile.add_argument("csv", type=Path)
+
+    fks = sub.add_parser("fks", help="suggest foreign keys across CSV files")
+    fks.add_argument("csvs", type=Path, nargs="+")
+    fks.add_argument("--min-coverage", type=float, default=1.0)
+    fks.add_argument("--name-match", action="store_true",
+                     help="require column-name compatibility")
+
+    trace = sub.add_parser("trace", help="narrate the NonKeyFinder traversal")
+    trace.add_argument("csv", type=Path)
+    trace.add_argument("--max-rows", type=int, default=50,
+                       help="refuse to trace more rows than this")
+    return parser
+
+
+def _cmd_keys(args) -> int:
+    table = load_csv(args.csv)
+    config = GordianConfig(null_policy=args.null_policy)
+    if args.sample_fraction is not None or args.sample_size is not None:
+        result = find_approximate_keys(
+            table.rows,
+            fraction=args.sample_fraction,
+            size=args.sample_size,
+            seed=args.seed,
+            config=config,
+            num_attributes=table.num_attributes,
+        )
+        print(
+            f"{table.name}: {result.sample_size}/{result.total_rows} rows "
+            f"sampled, {len(result.keys)} key(s) discovered "
+            f"({len(result.true_keys)} true, "
+            f"{len(result.approximate_keys)} approximate, "
+            f"{len(result.false_keys)} false)"
+        )
+        for key in result.keys[: args.max_print]:
+            names = ", ".join(table.schema.names[a] for a in key.attrs)
+            print(f"  <{names}>  strength={key.strength:.2%}  T(K)>={key.bound:.2%}")
+        if len(result.keys) > args.max_print:
+            print(f"  ... and {len(result.keys) - args.max_print} more")
+        return 0
+    result = find_keys(
+        table.rows,
+        num_attributes=table.num_attributes,
+        attribute_names=table.schema.names,
+        config=config,
+    )
+    print(result.summary())
+    for key in result.named_keys()[: args.max_print]:
+        print(f"  <{', '.join(key)}>")
+    remaining = len(result.keys) - args.max_print
+    if remaining > 0:
+        print(f"  ... and {remaining} more")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    table = load_csv(args.csv)
+    print(profile_table(table).render())
+    return 0
+
+
+def _cmd_fks(args) -> int:
+    tables = {path.stem: load_csv(path) for path in args.csvs}
+    candidates = suggest_foreign_keys(
+        tables,
+        min_coverage=args.min_coverage,
+        require_name_match=args.name_match,
+    )
+    if not candidates:
+        print("no foreign-key candidates found")
+        return 0
+    for candidate in candidates:
+        print(candidate.render())
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    table = load_csv(args.csv)
+    if table.num_rows > args.max_rows:
+        print(
+            f"error: {table.num_rows} rows exceed --max-rows={args.max_rows}; "
+            "traces are for small teaching datasets",
+            file=sys.stderr,
+        )
+        return 2
+    trace = trace_nonkey_finder(table.rows, num_attributes=table.num_attributes)
+    print(render_trace(trace, attribute_names=table.schema.names))
+    return 0
+
+
+_COMMANDS = {
+    "keys": _cmd_keys,
+    "profile": _cmd_profile,
+    "fks": _cmd_fks,
+    "trace": _cmd_trace,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""GORDIAN core: prefix tree, NonKeyFinder, non-key container, key conversion.
+
+The public entry point is :func:`repro.core.find_keys`; the submodules expose
+the paper's individual algorithms for direct use and testing.
+"""
+
+from repro.core.approximate import (
+    ApproximateKey,
+    ApproximateKeyResult,
+    find_approximate_keys,
+)
+from repro.core.explain import Trace, TraceEvent, render_trace, trace_nonkey_finder
+from repro.core.foreign_keys import (
+    ForeignKeyCandidate,
+    inclusion_coverage,
+    suggest_foreign_keys,
+)
+from repro.core.gordian import (
+    AttributeOrder,
+    GordianConfig,
+    GordianResult,
+    find_keys,
+)
+from repro.core.incremental import IncrementalGordian, InsertReport
+from repro.core.key_conversion import keys_from_nonkey_masks, keys_from_nonkeys
+from repro.core.merge import merge_children, merge_nodes
+from repro.core.nonkey_finder import NonKeyFinder, PruningConfig, find_nonkeys
+from repro.core.nonkey_set import NonKeySet
+from repro.core.prefix_tree import Cell, Node, PrefixTree, build_prefix_tree
+from repro.core.strength import (
+    KeyStrength,
+    bayesian_strength_bound,
+    classify_keys,
+    distinct_count,
+    kivinen_mannila_sample_size,
+    strength,
+)
+
+__all__ = [
+    "ApproximateKey",
+    "ApproximateKeyResult",
+    "find_approximate_keys",
+    "Trace",
+    "TraceEvent",
+    "render_trace",
+    "trace_nonkey_finder",
+    "ForeignKeyCandidate",
+    "inclusion_coverage",
+    "suggest_foreign_keys",
+    "IncrementalGordian",
+    "InsertReport",
+    "AttributeOrder",
+    "GordianConfig",
+    "GordianResult",
+    "find_keys",
+    "keys_from_nonkey_masks",
+    "keys_from_nonkeys",
+    "merge_children",
+    "merge_nodes",
+    "NonKeyFinder",
+    "PruningConfig",
+    "find_nonkeys",
+    "NonKeySet",
+    "Cell",
+    "Node",
+    "PrefixTree",
+    "build_prefix_tree",
+    "KeyStrength",
+    "bayesian_strength_bound",
+    "classify_keys",
+    "distinct_count",
+    "kivinen_mannila_sample_size",
+    "strength",
+]

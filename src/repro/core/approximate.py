@@ -1,0 +1,143 @@
+"""Sampling-based approximate key discovery — the public face of section 3.9.
+
+``find_approximate_keys`` packages the full pipeline the paper evaluates in
+Figures 14-15: sample the data (Bernoulli fraction or fixed-size
+reservoir), run GORDIAN on the sample, evaluate every discovered key's
+exact strength on the full data, attach the ``T(K)`` Bayesian lower bound,
+and classify keys as true / approximate / false.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.gordian import GordianConfig, find_keys
+from repro.core.strength import StrengthEvaluator, bayesian_strength_bound
+from repro.dataset.sampling import sample_rows
+
+__all__ = ["ApproximateKey", "ApproximateKeyResult", "find_approximate_keys"]
+
+
+@dataclass(frozen=True)
+class ApproximateKey:
+    """One sample-discovered key with its quality measures."""
+
+    attrs: Tuple[int, ...]
+    #: Exact strength on the full dataset (1.0 = strict key).
+    strength: float
+    #: The paper's T(K) lower bound, computed from the sample.
+    bound: float
+
+    @property
+    def is_true_key(self) -> bool:
+        return self.strength >= 1.0
+
+
+@dataclass
+class ApproximateKeyResult:
+    """Outcome of one sample-discover-evaluate pipeline run."""
+
+    keys: List[ApproximateKey]
+    sample_size: int
+    total_rows: int
+    threshold: float
+
+    @property
+    def true_keys(self) -> List[ApproximateKey]:
+        return [key for key in self.keys if key.is_true_key]
+
+    @property
+    def approximate_keys(self) -> List[ApproximateKey]:
+        """Non-strict keys whose strength still clears the threshold."""
+        return [
+            key
+            for key in self.keys
+            if not key.is_true_key and key.strength >= self.threshold
+        ]
+
+    @property
+    def false_keys(self) -> List[ApproximateKey]:
+        """Sample keys whose full-data strength falls below the threshold."""
+        return [key for key in self.keys if key.strength < self.threshold]
+
+    @property
+    def false_key_ratio(self) -> float:
+        """The paper's Figure 15 statistic (inf when no true key was found)."""
+        if not self.true_keys:
+            return float("inf") if self.false_keys else float("nan")
+        return len(self.false_keys) / len(self.true_keys)
+
+    @property
+    def min_strength(self) -> float:
+        """The paper's Figure 14 statistic."""
+        if not self.keys:
+            return float("nan")
+        return min(key.strength for key in self.keys)
+
+
+def find_approximate_keys(
+    rows: Sequence[Sequence[object]],
+    fraction: Optional[float] = None,
+    size: Optional[int] = None,
+    seed: Optional[int] = None,
+    threshold: float = 0.8,
+    config: Optional[GordianConfig] = None,
+    num_attributes: Optional[int] = None,
+) -> ApproximateKeyResult:
+    """Discover keys on a sample and grade them against the full data.
+
+    Parameters
+    ----------
+    rows:
+        The full dataset.
+    fraction / size:
+        Exactly one of Bernoulli fraction or reservoir sample size.
+    seed:
+        Sampling seed (results are deterministic given the seed).
+    threshold:
+        Strength below which a discovered key counts as *false* (the paper
+        uses 0.8 in section 4.3).
+    config, num_attributes:
+        Forwarded to :func:`repro.core.find_keys`.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    if num_attributes is None:
+        if not rows:
+            raise ValueError("num_attributes is required for an empty dataset")
+        num_attributes = len(rows[0])
+    sample = sample_rows(rows, fraction=fraction, size=size, seed=seed)
+    if not sample:
+        return ApproximateKeyResult(
+            keys=[], sample_size=0, total_rows=len(rows), threshold=threshold
+        )
+    result = find_keys(sample, num_attributes=num_attributes, config=config)
+    if result.no_keys_exist:
+        return ApproximateKeyResult(
+            keys=[],
+            sample_size=len(sample),
+            total_rows=len(rows),
+            threshold=threshold,
+        )
+    evaluator = StrengthEvaluator(rows, num_attributes)
+    sample_distinct = [
+        len({row[attr] for row in sample}) for attr in range(num_attributes)
+    ]
+    graded = [
+        ApproximateKey(
+            attrs=tuple(key),
+            strength=evaluator.strength(key),
+            bound=bayesian_strength_bound(
+                len(sample), [sample_distinct[attr] for attr in key]
+            ),
+        )
+        for key in result.keys
+    ]
+    graded.sort(key=lambda k: (-k.strength, len(k.attrs), k.attrs))
+    return ApproximateKeyResult(
+        keys=graded,
+        sample_size=len(sample),
+        total_rows=len(rows),
+        threshold=threshold,
+    )

@@ -1,0 +1,201 @@
+"""Attribute-set algebra on top of Python integers used as bitmaps.
+
+GORDIAN represents non-keys (and keys) as bitmaps, "where each bit
+corresponds to an attribute of R -- both for compactness and for efficiency
+when performing the redundancy test and other operations" (paper, section
+3.6).  This module collects every bit-twiddling helper the rest of the core
+needs, so the algorithm modules read like the paper's pseudo-code.
+
+An *attribute set* over a schema of ``d`` attributes is an ``int`` whose bit
+``i`` is set iff attribute number ``i`` belongs to the set.  Attribute
+numbers are the prefix-tree levels (0 = first tree level).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+__all__ = [
+    "EMPTY",
+    "singleton",
+    "from_indices",
+    "to_indices",
+    "to_tuple",
+    "full_mask",
+    "suffix_mask",
+    "prefix_mask",
+    "covers",
+    "is_subset",
+    "popcount",
+    "iter_bits",
+    "complement",
+    "minimize",
+    "is_minimal_family",
+    "subsets_of_size",
+    "format_attrset",
+]
+
+#: The empty attribute set.
+EMPTY = 0
+
+
+def singleton(index: int) -> int:
+    """Return the attribute set containing only ``index``."""
+    if index < 0:
+        raise ValueError(f"attribute index must be >= 0, got {index}")
+    return 1 << index
+
+
+def from_indices(indices: Iterable[int]) -> int:
+    """Build an attribute set from an iterable of attribute numbers."""
+    mask = 0
+    for index in indices:
+        mask |= singleton(index)
+    return mask
+
+
+def to_indices(mask: int) -> List[int]:
+    """Return the sorted attribute numbers contained in ``mask``."""
+    return list(iter_bits(mask))
+
+
+def to_tuple(mask: int) -> Tuple[int, ...]:
+    """Return the sorted attribute numbers of ``mask`` as a tuple."""
+    return tuple(iter_bits(mask))
+
+
+def full_mask(width: int) -> int:
+    """Return the set of all attributes ``{0, ..., width - 1}``."""
+    if width < 0:
+        raise ValueError(f"width must be >= 0, got {width}")
+    return (1 << width) - 1
+
+
+def suffix_mask(start: int, width: int) -> int:
+    """Return the set ``{start, start + 1, ..., width - 1}``.
+
+    This is the "every attribute at a deeper tree level" mask used by
+    futility pruning: the non-keys discoverable below level ``start`` are
+    subsets of ``curNonKey | suffix_mask(start, d)``.
+    """
+    if start >= width:
+        return EMPTY
+    return full_mask(width) & ~full_mask(start)
+
+
+def prefix_mask(end: int) -> int:
+    """Return the set ``{0, 1, ..., end - 1}``."""
+    return full_mask(end)
+
+
+def covers(big: int, small: int) -> bool:
+    """True iff ``small`` is a subset of ``big`` (``big`` covers ``small``).
+
+    In the paper's vocabulary a non-key ``K`` covers ``K'`` when
+    ``K' ⊆ K``; ``K'`` is then redundant to ``K``.
+    """
+    return small & ~big == 0
+
+
+def is_subset(small: int, big: int) -> bool:
+    """True iff ``small ⊆ big``; mirror spelling of :func:`covers`."""
+    return small & ~big == 0
+
+
+def popcount(mask: int) -> int:
+    """Number of attributes in the set."""
+    return bin(mask).count("1")
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the attribute numbers of ``mask`` in increasing order."""
+    if mask < 0:
+        raise ValueError("attribute sets are non-negative integers")
+    index = 0
+    while mask:
+        if mask & 1:
+            yield index
+        mask >>= 1
+        index += 1
+
+
+def complement(mask: int, width: int) -> int:
+    """Return ``{0..width-1} \\ mask``.
+
+    The complement of a non-key is the starting point for converting
+    non-keys to keys (paper, section 2): ``C(K) = {⟨a⟩ : a ∈ R \\ K}``.
+    """
+    return full_mask(width) & ~mask
+
+
+def minimize(masks: Iterable[int]) -> List[int]:
+    """Drop every mask that is a superset of another mask in the family.
+
+    Returns the *minimal* antichain, sorted by (size, bits).  Used when
+    simplifying candidate key sets (Algorithm 6, line 13) and in tests.
+    Duplicates collapse to a single representative.
+    """
+    unique = sorted(set(masks), key=popcount)
+    kept: List[int] = []
+    for mask in unique:
+        if not any(covers(mask, smaller) for smaller in kept):
+            kept.append(mask)
+    kept.sort(key=lambda m: (popcount(m), m))
+    return kept
+
+
+def maximize(masks: Iterable[int]) -> List[int]:
+    """Drop every mask that is a subset of another mask in the family.
+
+    Returns the *maximal* antichain — the shape of a non-redundant non-key
+    collection (paper, section 2).
+    """
+    unique = sorted(set(masks), key=popcount, reverse=True)
+    kept: List[int] = []
+    for mask in unique:
+        if not any(covers(bigger, mask) for bigger in kept):
+            kept.append(mask)
+    kept.sort(key=lambda m: (popcount(m), m))
+    return kept
+
+
+def is_minimal_family(masks: Sequence[int]) -> bool:
+    """True iff no mask in the family is a subset of another (an antichain)."""
+    masks = list(masks)
+    for i, a in enumerate(masks):
+        for j, b in enumerate(masks):
+            if i != j and covers(b, a):
+                return False
+    return True
+
+
+def subsets_of_size(width: int, size: int) -> Iterator[int]:
+    """Yield every attribute set of exactly ``size`` attributes out of ``width``.
+
+    Uses Gosper's hack to enumerate same-popcount masks in increasing
+    numeric order; used by the brute-force baselines.
+    """
+    if size < 0 or width < 0:
+        raise ValueError("width and size must be >= 0")
+    if size > width:
+        return
+    if size == 0:
+        yield EMPTY
+        return
+    mask = full_mask(size)
+    limit = 1 << width
+    while mask < limit:
+        yield mask
+        # Gosper's hack: next integer with the same number of set bits.
+        lowest = mask & -mask
+        ripple = mask + lowest
+        mask = ripple | (((mask ^ ripple) >> 2) // lowest)
+
+
+def format_attrset(mask: int, names: Sequence[str]) -> str:
+    """Render a mask as the paper renders keys, e.g. ``⟨Last Name, Phone⟩``."""
+    inside = ", ".join(names[i] for i in iter_bits(mask))
+    return f"<{inside}>"
+
+
+__all__.append("maximize")

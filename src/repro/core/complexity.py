@@ -1,0 +1,69 @@
+"""Cost model from the paper's Theorem 1 (section 3.8).
+
+Under three assumptions — generalized Zipfian per-attribute frequencies with
+parameter ``theta``, only the single-entity sub-case of singleton pruning,
+and no inter-attribute correlation — the paper bounds GORDIAN's time by
+
+    O( s * d * T^(1 + (1 + theta) / log_d(C)) + s^2 )
+
+and its memory by ``O(d * T)``, where ``s`` is the number of mutually
+non-redundant non-keys, ``d`` the number of attributes, ``C`` the average
+attribute cardinality, and ``T`` the number of entities.  This module
+evaluates the model so experiments can plot predicted-versus-measured
+scaling and tests can check the headline claims (e.g. the paper's example:
+``theta = 0``, ``d = 30``, ``C = 5000`` gives an exponent of about 1.4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["GordianCostModel", "time_exponent"]
+
+
+def time_exponent(theta: float, num_attributes: int, avg_cardinality: float) -> float:
+    """The exponent ``1 + (1 + theta) / log_d(C)`` of the ``T`` term.
+
+    Requires ``d >= 2`` and ``C > 1`` so the logarithm is positive.
+    """
+    if num_attributes < 2:
+        raise ValueError("the model needs at least 2 attributes")
+    if avg_cardinality <= 1:
+        raise ValueError("average cardinality must exceed 1")
+    if theta < 0:
+        raise ValueError("theta must be >= 0")
+    log_d_c = math.log(avg_cardinality) / math.log(num_attributes)
+    return 1.0 + (1.0 + theta) / log_d_c
+
+
+@dataclass(frozen=True)
+class GordianCostModel:
+    """Evaluates Theorem 1's time and memory bounds (up to constants)."""
+
+    theta: float
+    num_attributes: int
+    avg_cardinality: float
+    num_nonkeys: int
+
+    def time_cost(self, num_entities: int) -> float:
+        """``s * d * T^exponent + s^2`` (the O-constant taken as 1)."""
+        if num_entities < 0:
+            raise ValueError("num_entities must be >= 0")
+        exponent = time_exponent(self.theta, self.num_attributes, self.avg_cardinality)
+        return (
+            self.num_nonkeys * self.num_attributes * num_entities**exponent
+            + self.num_nonkeys**2
+        )
+
+    def memory_cost(self, num_entities: int) -> float:
+        """``d * T`` — the prefix tree is at worst one cell per attribute value."""
+        if num_entities < 0:
+            raise ValueError("num_entities must be >= 0")
+        return self.num_attributes * num_entities
+
+    def scaling_ratio(self, entities_a: int, entities_b: int) -> float:
+        """Predicted time ratio between two dataset sizes (same schema)."""
+        if entities_a <= 0 or entities_b <= 0:
+            raise ValueError("entity counts must be positive")
+        return self.time_cost(entities_b) / self.time_cost(entities_a)

@@ -1,0 +1,188 @@
+"""Traced NonKeyFinder runs — the paper's section 3.5 walkthrough as data.
+
+``trace_nonkey_finder`` runs the exact Algorithm 4 traversal while recording
+every event: node visits (with the current slice and candidate non-key),
+merges, discovered non-keys, and each pruning decision.  The trace both
+powers an educational rendering (``render_trace`` narrates the run the way
+section 3.5 narrates the Figure 6 example) and gives tests a window into
+*why* the algorithm did what it did, not only its final answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core import bitset
+from repro.core.merge import merge_children
+from repro.core.nonkey_finder import PruningConfig
+from repro.core.nonkey_set import NonKeySet
+from repro.core.prefix_tree import Node, PrefixTree, build_prefix_tree
+from repro.core.stats import SearchStats
+
+__all__ = ["TraceEvent", "Trace", "trace_nonkey_finder", "render_trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded step of the traversal.
+
+    ``kind`` is one of ``visit``, ``leaf``, ``nonkey``, ``merge``,
+    ``prune-shared``, ``prune-one-cell``, ``prune-single-entity``,
+    ``prune-futile``, ``discard``.
+    """
+
+    kind: str
+    level: int
+    candidate: Tuple[int, ...]
+    detail: str = ""
+
+
+@dataclass
+class Trace:
+    """A full traced run."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+    nonkeys: List[Tuple[int, ...]] = field(default_factory=list)
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def counts(self) -> dict:
+        tally: dict = {}
+        for event in self.events:
+            tally[event.kind] = tally.get(event.kind, 0) + 1
+        return tally
+
+
+class _TracingFinder:
+    """Algorithm 4 with event recording (kept separate from the production
+    NonKeyFinder so the hot path stays unencumbered)."""
+
+    def __init__(self, tree: PrefixTree, pruning: PruningConfig, trace: Trace):
+        self.tree = tree
+        self.pruning = pruning
+        self.trace = trace
+        self.nonkeys = NonKeySet(tree.num_attributes)
+        self._cur = bitset.EMPTY
+        self._width = tree.num_attributes
+
+    def _emit(self, kind: str, level: int, detail: str = "") -> None:
+        self.trace.events.append(
+            TraceEvent(
+                kind=kind,
+                level=level,
+                candidate=bitset.to_tuple(self._cur),
+                detail=detail,
+            )
+        )
+
+    def _add(self, mask: int, level: int) -> None:
+        if mask == bitset.EMPTY:
+            return
+        if self.nonkeys.insert(mask):
+            self.trace.nonkeys.append(bitset.to_tuple(mask))
+            self._emit("nonkey", level, bitset.format_attrset(mask, self._names()))
+
+    def _names(self) -> List[str]:
+        return [f"a{i}" for i in range(self._width)]
+
+    def run(self) -> NonKeySet:
+        if self.tree.num_entities:
+            self._visit(self.tree.root, 0)
+        return self.nonkeys
+
+    def _visit(self, root: Node, level: int) -> None:
+        root.visited = True
+        self._cur |= bitset.singleton(level)
+        self._emit("visit", level, f"{len(root.cells)} cell(s)")
+
+        if root.is_leaf:
+            self._emit("leaf", level)
+            for cell in root.cells.values():
+                if cell.count != 1:
+                    self._add(self._cur, level)
+                    break
+            self._cur &= ~bitset.singleton(level)
+            only = next(iter(root.cells.values())).count if len(root.cells) == 1 else 0
+            if len(root.cells) > 1 or only > 1:
+                self._add(self._cur, level)
+            return
+
+        if self.pruning.single_entity and root.entity_count == 1:
+            self._cur &= ~bitset.singleton(level)
+            self._emit("prune-single-entity", level)
+            return
+
+        for cell in root.cells.values():
+            child = cell.child
+            if self.pruning.singleton and child.visited:
+                self._emit("prune-shared", level, f"value={cell.value!r}")
+                continue
+            self._visit(child, level + 1)
+
+        self._cur &= ~bitset.singleton(level)
+
+        if self.pruning.singleton and len(root.cells) == 1:
+            self._emit("prune-one-cell", level)
+            return
+        if self.pruning.futility:
+            reachable = self._cur | bitset.suffix_mask(level + 1, self._width)
+            if self.nonkeys.is_covered(reachable):
+                self._emit("prune-futile", level)
+                return
+        merged = merge_children(self.tree, root)
+        self._emit("merge", level, f"{len(root.cells)} children")
+        if merged.visited and self.pruning.singleton:
+            self._emit("prune-shared", level, "merged tree already traversed")
+            return
+        self.tree.acquire(merged)
+        try:
+            self._visit(merged, level + 1)
+        finally:
+            self.tree.discard(merged)
+            self._emit("discard", level)
+
+
+def trace_nonkey_finder(
+    rows: Sequence[Sequence[object]],
+    num_attributes: Optional[int] = None,
+    pruning: Optional[PruningConfig] = None,
+) -> Trace:
+    """Run a traced Algorithm 4 over ``rows`` and return the trace.
+
+    The discovered non-keys (``trace.nonkeys``, insertion order, possibly
+    later evicted from the container) match the production NonKeyFinder's
+    container contents — a test asserts this equivalence.
+    """
+    if num_attributes is None:
+        if not rows:
+            raise ValueError("num_attributes required for an empty dataset")
+        num_attributes = len(rows[0])
+    tree = build_prefix_tree(rows, num_attributes)
+    trace = Trace()
+    finder = _TracingFinder(tree, pruning or PruningConfig(), trace)
+    container = finder.run()
+    # Keep only the surviving (maximal) non-keys in the summary field.
+    trace.nonkeys = [bitset.to_tuple(mask) for mask in container.sorted_masks()]
+    return trace
+
+
+def render_trace(
+    trace: Trace, attribute_names: Optional[Sequence[str]] = None
+) -> str:
+    """Narrate a trace, one indented line per event (cf. section 3.5)."""
+    lines: List[str] = []
+    for event in trace.events:
+        indent = "  " * event.level
+        candidate = (
+            "{" + ", ".join(
+                attribute_names[i] if attribute_names else f"a{i}"
+                for i in event.candidate
+            ) + "}"
+        )
+        detail = f"  [{event.detail}]" if event.detail else ""
+        lines.append(f"{indent}{event.kind:<20} cand={candidate}{detail}")
+    found = ", ".join(str(nk) for nk in trace.nonkeys) or "(none)"
+    lines.append(f"non-keys found: {found}")
+    return "\n".join(lines)

@@ -1,0 +1,175 @@
+"""Foreign-key suggestion — the paper's stated future work (section 6).
+
+"We plan to extend our approach to permit identification of foreign-key
+relationships, thereby automating the discovery of full entity-relationship
+diagrams."  This module implements the natural first step on top of GORDIAN:
+for every discovered key of every table, test which column groups of the
+other tables are *inclusion dependencies* into that key (every referencing
+combination appears among the key's values), and score the candidates by
+coverage so near-miss relationships (dirty data) can still be surfaced.
+
+This is an extension beyond the paper's evaluated contribution; it reuses
+GORDIAN's keys as the referenced side, exactly as the paper sketches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import permutations
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.gordian import GordianConfig
+from repro.dataset.table import Table
+
+__all__ = ["ForeignKeyCandidate", "inclusion_coverage", "suggest_foreign_keys"]
+
+
+@dataclass(frozen=True)
+class ForeignKeyCandidate:
+    """A suggested foreign-key relationship between two tables."""
+
+    from_table: str
+    from_attributes: Tuple[str, ...]
+    to_table: str
+    to_attributes: Tuple[str, ...]
+    #: Fraction of referencing combinations found among the key's values.
+    coverage: float
+
+    @property
+    def is_exact(self) -> bool:
+        return self.coverage >= 1.0
+
+    def render(self) -> str:
+        src = ", ".join(self.from_attributes)
+        dst = ", ".join(self.to_attributes)
+        marker = "" if self.is_exact else f"  -- coverage {self.coverage:.1%}"
+        return (
+            f"{self.from_table}({src}) -> {self.to_table}({dst}){marker}"
+        )
+
+
+def inclusion_coverage(
+    referencing: Table,
+    from_attributes: Sequence[str],
+    referenced: Table,
+    to_attributes: Sequence[str],
+) -> float:
+    """Fraction of distinct referencing combinations present in the target.
+
+    1.0 is an exact inclusion dependency; values just below 1.0 usually
+    indicate a real relationship with dirty rows.
+    """
+    source = {
+        row
+        for row in referencing.project(from_attributes, distinct=True).rows
+    }
+    if not source:
+        return 1.0
+    target = set(referenced.project(to_attributes, distinct=True).rows)
+    hit = sum(1 for combo in source if combo in target)
+    return hit / len(source)
+
+
+def _name_compatible(from_name: str, to_name: str) -> bool:
+    """Cheap name heuristic: suffix match after stripping common prefixes.
+
+    TPC-H style schemas prefix columns with a table letter (``l_orderkey``
+    vs ``o_orderkey``); comparing the underscore-stripped tails links them.
+    """
+    def tail(name: str) -> str:
+        return name.split("_", 1)[-1].lower() if "_" in name else name.lower()
+
+    return tail(from_name) == tail(to_name)
+
+
+def suggest_foreign_keys(
+    tables: Dict[str, Table],
+    min_coverage: float = 1.0,
+    max_key_arity: int = 2,
+    require_name_match: bool = False,
+    keys_by_table: Optional[Dict[str, List[Tuple[int, ...]]]] = None,
+    config: Optional[GordianConfig] = None,
+) -> List[ForeignKeyCandidate]:
+    """Suggest foreign keys across a database.
+
+    Parameters
+    ----------
+    tables:
+        ``{name: Table}`` — the database.
+    min_coverage:
+        Report candidates whose inclusion coverage reaches this threshold
+        (1.0 = exact inclusion dependencies only).
+    max_key_arity:
+        Only keys with at most this many attributes are considered as
+        referenced sides (wide keys make meaningless FK targets).
+    require_name_match:
+        Additionally require each attribute pair to pass the name
+        heuristic; cuts coincidental inclusions on small data.
+    keys_by_table:
+        Precomputed GORDIAN keys per table (attribute-index tuples); when
+        omitted, GORDIAN runs on every table.
+    """
+    if not 0.0 < min_coverage <= 1.0:
+        raise ValueError("min_coverage must be in (0, 1]")
+    if keys_by_table is None:
+        keys_by_table = {}
+        for name, table in tables.items():
+            result = table.find_keys(config=config)
+            keys_by_table[name] = [] if result.no_keys_exist else result.keys
+
+    candidates: List[ForeignKeyCandidate] = []
+    for to_name, to_table in tables.items():
+        for key in keys_by_table.get(to_name, []):
+            if len(key) > max_key_arity:
+                continue
+            to_attrs = tuple(to_table.schema.names[i] for i in key)
+            for from_name, from_table in tables.items():
+                if from_name == to_name:
+                    continue
+                candidates.extend(
+                    _match_key(
+                        from_name,
+                        from_table,
+                        to_name,
+                        to_table,
+                        to_attrs,
+                        min_coverage,
+                        require_name_match,
+                    )
+                )
+    candidates.sort(
+        key=lambda c: (-c.coverage, c.from_table, c.from_attributes)
+    )
+    return candidates
+
+
+def _match_key(
+    from_name: str,
+    from_table: Table,
+    to_name: str,
+    to_table: Table,
+    to_attrs: Tuple[str, ...],
+    min_coverage: float,
+    require_name_match: bool,
+) -> Iterable[ForeignKeyCandidate]:
+    """All column groups of ``from_table`` referencing one key."""
+    arity = len(to_attrs)
+    names = from_table.schema.names
+    results: List[ForeignKeyCandidate] = []
+    for combo in permutations(names, arity):
+        if require_name_match and not all(
+            _name_compatible(f, t) for f, t in zip(combo, to_attrs)
+        ):
+            continue
+        coverage = inclusion_coverage(from_table, combo, to_table, to_attrs)
+        if coverage >= min_coverage:
+            results.append(
+                ForeignKeyCandidate(
+                    from_table=from_name,
+                    from_attributes=tuple(combo),
+                    to_table=to_name,
+                    to_attributes=to_attrs,
+                    coverage=coverage,
+                )
+            )
+    return results

@@ -1,0 +1,248 @@
+"""Top-level GORDIAN driver (Figure 2 of the paper).
+
+The pipeline is: (1) compress the dataset into a prefix tree in one pass,
+(2) run NonKeyFinder — the interleaved cube computation with non-key
+discovery and pruning, (3) convert the minimal non-keys into minimal keys.
+
+The driver also owns the attribute-ordering heuristic (section 3.2.1: "one
+heuristic is to process attributes in descending order of their cardinality
+in the dataset, in order to maximize the amount of pruning at lower levels
+of the prefix tree") and translates all reported attribute sets back to the
+caller's original attribute numbering.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core import bitset
+from repro.core.key_conversion import keys_from_nonkey_masks
+from repro.core.nonkey_finder import NonKeyFinder, PruningConfig
+from repro.core.prefix_tree import build_prefix_tree
+from repro.core.stats import RunStats
+from repro.errors import ConfigError, DataError, NoKeysExistError
+
+__all__ = ["AttributeOrder", "GordianConfig", "GordianResult", "find_keys"]
+
+
+class AttributeOrder(str, Enum):
+    """Attribute-to-tree-level assignment strategies."""
+
+    #: Keep the schema order (no reordering).
+    SCHEMA = "schema"
+    #: Descending cardinality — the paper's recommended heuristic.
+    CARDINALITY_DESC = "cardinality_desc"
+    #: Ascending cardinality — the anti-heuristic, kept for the ablation.
+    CARDINALITY_ASC = "cardinality_asc"
+
+
+@dataclass(frozen=True)
+class GordianConfig:
+    """Knobs for one GORDIAN run.
+
+    ``null_policy`` controls how ``None`` values behave (see
+    :mod:`repro.dataset.nulls`): ``"equal"`` (default — NULL is one more
+    domain value), ``"distinct"`` (SQL UNIQUE semantics), or ``"forbid"``.
+    """
+
+    pruning: PruningConfig = field(default_factory=PruningConfig)
+    attribute_order: AttributeOrder = AttributeOrder.CARDINALITY_DESC
+    null_policy: str = "equal"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.attribute_order, AttributeOrder):
+            try:
+                object.__setattr__(
+                    self, "attribute_order", AttributeOrder(self.attribute_order)
+                )
+            except ValueError as exc:
+                raise ConfigError(f"unknown attribute order: {self.attribute_order!r}") from exc
+        from repro.dataset.nulls import NullPolicy
+
+        if not isinstance(self.null_policy, NullPolicy):
+            try:
+                object.__setattr__(
+                    self, "null_policy", NullPolicy(self.null_policy)
+                )
+            except ValueError as exc:
+                raise ConfigError(f"unknown null policy: {self.null_policy!r}") from exc
+
+
+@dataclass
+class GordianResult:
+    """Everything a GORDIAN run produces.
+
+    ``keys`` and ``nonkeys`` are lists of attribute-index tuples in the
+    *original* schema numbering, sorted by (arity, indices).  When the
+    dataset contains duplicate entities, ``no_keys_exist`` is true and
+    ``keys`` is empty (the prefix-tree build aborted early, per Algorithm 2).
+    """
+
+    keys: List[Tuple[int, ...]]
+    nonkeys: List[Tuple[int, ...]]
+    num_attributes: int
+    num_entities: int
+    no_keys_exist: bool
+    attribute_order: List[int]
+    stats: RunStats
+    attribute_names: Optional[List[str]] = None
+
+    @property
+    def key_masks(self) -> List[int]:
+        return [bitset.from_indices(key) for key in self.keys]
+
+    @property
+    def nonkey_masks(self) -> List[int]:
+        return [bitset.from_indices(nk) for nk in self.nonkeys]
+
+    def named_keys(self) -> List[Tuple[str, ...]]:
+        """Keys as attribute-name tuples (requires ``attribute_names``)."""
+        if self.attribute_names is None:
+            raise DataError("no attribute names were supplied to find_keys")
+        return [tuple(self.attribute_names[i] for i in key) for key in self.keys]
+
+    def named_nonkeys(self) -> List[Tuple[str, ...]]:
+        """Minimal non-keys as attribute-name tuples."""
+        if self.attribute_names is None:
+            raise DataError("no attribute names were supplied to find_keys")
+        return [tuple(self.attribute_names[i] for i in nk) for nk in self.nonkeys]
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph report."""
+        if self.no_keys_exist:
+            return (
+                f"GORDIAN: dataset of {self.num_entities} entities has duplicate "
+                "entities — no keys exist."
+            )
+        names = self.attribute_names or [f"a{i}" for i in range(self.num_attributes)]
+        keys = ", ".join(
+            bitset.format_attrset(mask, names) for mask in self.key_masks
+        ) or "(none)"
+        return (
+            f"GORDIAN: {len(self.keys)} minimal key(s) over {self.num_entities} "
+            f"entities x {self.num_attributes} attributes in "
+            f"{self.stats.total_seconds:.4f}s: {keys}"
+        )
+
+
+def _order_attributes(
+    rows: Sequence[Sequence[object]],
+    num_attributes: int,
+    order: AttributeOrder,
+) -> List[int]:
+    """Return ``level_to_attr``: the original attribute at each tree level."""
+    if order is AttributeOrder.SCHEMA or not rows:
+        return list(range(num_attributes))
+    cardinalities = [len({row[a] for row in rows}) for a in range(num_attributes)]
+    reverse = order is AttributeOrder.CARDINALITY_DESC
+    # Stable sort keeps schema order among ties, so results are deterministic.
+    return sorted(
+        range(num_attributes), key=lambda a: cardinalities[a], reverse=reverse
+    )
+
+
+def find_keys(
+    rows: Sequence[Sequence[object]],
+    num_attributes: Optional[int] = None,
+    attribute_names: Optional[Sequence[str]] = None,
+    config: Optional[GordianConfig] = None,
+) -> GordianResult:
+    """Discover all minimal (composite) keys of a collection of entities.
+
+    Parameters
+    ----------
+    rows:
+        The entities; each row is an indexable sequence of hashable values.
+    num_attributes:
+        Schema width.  Defaults to ``len(attribute_names)`` or the width of
+        the first row.
+    attribute_names:
+        Optional names used in human-readable output.
+    config:
+        Pruning switches and the attribute-ordering heuristic.
+
+    Returns
+    -------
+    GordianResult
+        Minimal keys and minimal non-keys in original attribute numbering.
+    """
+    config = config or GordianConfig()
+    if num_attributes is None:
+        if attribute_names is not None:
+            num_attributes = len(attribute_names)
+        elif rows:
+            num_attributes = len(rows[0])
+        else:
+            raise DataError(
+                "num_attributes (or attribute_names) is required for an empty dataset"
+            )
+    if attribute_names is not None and len(attribute_names) != num_attributes:
+        raise DataError(
+            f"{len(attribute_names)} attribute names for {num_attributes} attributes"
+        )
+    if num_attributes < 1:
+        raise DataError("a dataset needs at least one attribute")
+    for i, row in enumerate(rows):
+        if len(row) != num_attributes:
+            raise DataError(
+                f"row {i} has {len(row)} attributes, expected {num_attributes}"
+            )
+
+    from repro.dataset.nulls import NullPolicy, apply_null_policy
+
+    if config.null_policy is not NullPolicy.EQUAL:
+        rows = apply_null_policy(rows, config.null_policy)
+
+    stats = RunStats()
+    level_to_attr = _order_attributes(rows, num_attributes, config.attribute_order)
+
+    build_start = time.perf_counter()
+    try:
+        tree = build_prefix_tree(
+            ([row[a] for a in level_to_attr] for row in rows),
+            num_attributes,
+            stats=stats.tree,
+        )
+    except NoKeysExistError:
+        stats.build_seconds = time.perf_counter() - build_start
+        return GordianResult(
+            keys=[],
+            nonkeys=[tuple(range(num_attributes))],
+            num_attributes=num_attributes,
+            num_entities=len(rows),
+            no_keys_exist=True,
+            attribute_order=level_to_attr,
+            stats=stats,
+            attribute_names=list(attribute_names) if attribute_names else None,
+        )
+    stats.build_seconds = time.perf_counter() - build_start
+
+    search_start = time.perf_counter()
+    finder = NonKeyFinder(tree, pruning=config.pruning, stats=stats.search)
+    nonkey_set = finder.run()
+    stats.search_seconds = time.perf_counter() - search_start
+
+    convert_start = time.perf_counter()
+    key_masks = keys_from_nonkey_masks(nonkey_set.masks(), num_attributes)
+    stats.convert_seconds = time.perf_counter() - convert_start
+
+    def translate(mask: int) -> Tuple[int, ...]:
+        return tuple(sorted(level_to_attr[level] for level in bitset.iter_bits(mask)))
+
+    keys = sorted((translate(mask) for mask in key_masks), key=lambda k: (len(k), k))
+    nonkeys = sorted(
+        (translate(mask) for mask in nonkey_set.masks()), key=lambda k: (len(k), k)
+    )
+    return GordianResult(
+        keys=keys,
+        nonkeys=nonkeys,
+        num_attributes=num_attributes,
+        num_entities=len(rows),
+        no_keys_exist=False,
+        attribute_order=level_to_attr,
+        stats=stats,
+        attribute_names=list(attribute_names) if attribute_names else None,
+    )

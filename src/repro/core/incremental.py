@@ -1,0 +1,208 @@
+"""Incremental key maintenance under inserts (paper, section 5).
+
+The paper notes that "GORDIAN also works well with updates, since usual
+referential constraints or triggers can be set to check for the continuing
+validity of a key."  This module implements the stronger version: keep the
+*exact* minimal-key set up to date as entities arrive, without re-running
+discovery from scratch.
+
+The insight is the agree-set view of non-keys: an attribute set ``K`` is a
+non-key iff some pair of entities agrees on every attribute of ``K``, i.e.
+iff ``K`` is a subset of that pair's *agreement set*.  The maximal non-keys
+are exactly the maximal pairwise agreement sets.  Inserting a new entity
+can only create agreements between the newcomer and existing entities, so
+one prefix-tree walk computing the maximal agreement masks of the newcomer
+updates the NonKeySet exactly; keys are re-derived (lazily) with
+Algorithm 6.
+
+The walk prunes with the same futility idea as the batch algorithm: a
+branch whose best-possible agreement is already covered by a known non-key
+cannot contribute a new maximal non-key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core import bitset
+from repro.core.key_conversion import keys_from_nonkey_masks
+from repro.core.nonkey_set import NonKeySet
+from repro.core.prefix_tree import Node, PrefixTree
+from repro.errors import DataError, NoKeysExistError
+
+__all__ = ["InsertReport", "IncrementalGordian"]
+
+
+@dataclass
+class InsertReport:
+    """What one insert changed."""
+
+    new_nonkeys: List[Tuple[int, ...]] = field(default_factory=list)
+    became_keyless: bool = False
+
+    @property
+    def changed(self) -> bool:
+        return self.became_keyless or bool(self.new_nonkeys)
+
+
+class IncrementalGordian:
+    """Maintains the minimal keys of a growing collection of entities."""
+
+    def __init__(
+        self,
+        num_attributes: int,
+        attribute_names: Optional[Sequence[str]] = None,
+    ):
+        if num_attributes < 1:
+            raise DataError("a dataset needs at least one attribute")
+        if attribute_names is not None and len(attribute_names) != num_attributes:
+            raise DataError(
+                f"{len(attribute_names)} names for {num_attributes} attributes"
+            )
+        self.num_attributes = num_attributes
+        self.attribute_names = list(attribute_names) if attribute_names else None
+        self.tree = PrefixTree(num_attributes)
+        self.nonkeys = NonKeySet(num_attributes)
+        self.num_entities = 0
+        self.no_keys_exist = False
+        self._keys_cache: Optional[List[int]] = None
+        # Stats: how much of the agreement walk the futility check saved.
+        self.branches_walked = 0
+        self.branches_pruned = 0
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls,
+        rows: Sequence[Sequence[object]],
+        num_attributes: Optional[int] = None,
+        attribute_names: Optional[Sequence[str]] = None,
+    ) -> "IncrementalGordian":
+        """Bootstrap by inserting every row (O(T * walk) — fine for tests
+        and moderate data; use the batch :func:`repro.core.find_keys` for a
+        one-shot discovery on large data)."""
+        if num_attributes is None:
+            if attribute_names is not None:
+                num_attributes = len(attribute_names)
+            elif rows:
+                num_attributes = len(rows[0])
+            else:
+                raise DataError("num_attributes required for an empty dataset")
+        instance = cls(num_attributes, attribute_names=attribute_names)
+        for row in rows:
+            instance.insert(row)
+        return instance
+
+    # ------------------------------------------------------------------
+
+    def _maximal_agreements(self, entity: Sequence[object]) -> List[int]:
+        """Maximal agreement masks between ``entity`` and stored entities.
+
+        Depth-first walk of the prefix tree carrying the agreement mask of
+        the path so far; a branch is pruned when even agreeing on *every*
+        remaining attribute could not escape coverage by a known non-key.
+        """
+        collected: List[int] = []
+        width = self.num_attributes
+
+        def walk(node: Node, agreement: int) -> None:
+            level = node.level
+            best_possible = agreement | bitset.suffix_mask(level, width)
+            self.branches_walked += 1
+            if self.nonkeys.is_covered(best_possible) or any(
+                bitset.covers(done, best_possible) for done in collected
+            ):
+                self.branches_pruned += 1
+                return
+            for value, cell in node.cells.items():
+                bit = bitset.singleton(level) if value == entity[level] else 0
+                if cell.child is None:
+                    mask = agreement | bit
+                    if mask and not any(
+                        bitset.covers(done, mask) for done in collected
+                    ):
+                        collected[:] = [
+                            done
+                            for done in collected
+                            if not bitset.covers(mask, done)
+                        ]
+                        collected.append(mask)
+                else:
+                    walk(cell.child, agreement | bit)
+
+        if self.num_entities:
+            walk(self.tree.root, bitset.EMPTY)
+        return collected
+
+    def insert(self, entity: Sequence[object]) -> InsertReport:
+        """Insert one entity, updating the maintained non-keys and keys."""
+        if len(entity) != self.num_attributes:
+            raise DataError(
+                f"entity has {len(entity)} attributes, expected {self.num_attributes}"
+            )
+        report = InsertReport()
+        if self.no_keys_exist:
+            # Already keyless; just keep counting.
+            try:
+                self.tree.insert(entity)
+            except NoKeysExistError:
+                pass
+            self.num_entities += 1
+            return report
+
+        agreements = self._maximal_agreements(entity)
+        try:
+            self.tree.insert(entity)
+        except NoKeysExistError:
+            self.no_keys_exist = True
+            report.became_keyless = True
+            self.num_entities += 1
+            self._keys_cache = None
+            return report
+        self.num_entities += 1
+
+        for mask in agreements:
+            if self.nonkeys.insert(mask):
+                report.new_nonkeys.append(bitset.to_tuple(mask))
+        if report.new_nonkeys:
+            self._keys_cache = None
+        return report
+
+    # ------------------------------------------------------------------
+
+    def key_masks(self) -> List[int]:
+        """Current minimal keys as bitmaps (cached between inserts)."""
+        if self.no_keys_exist:
+            return []
+        if self._keys_cache is None:
+            self._keys_cache = keys_from_nonkey_masks(
+                self.nonkeys.masks(), self.num_attributes
+            )
+        return list(self._keys_cache)
+
+    def keys(self) -> List[Tuple[int, ...]]:
+        """Current minimal keys as attribute-index tuples."""
+        return [bitset.to_tuple(mask) for mask in self.key_masks()]
+
+    def named_keys(self) -> List[Tuple[str, ...]]:
+        """Current minimal keys as attribute-name tuples."""
+        if self.attribute_names is None:
+            raise DataError("no attribute names were supplied")
+        return [
+            tuple(self.attribute_names[i] for i in key) for key in self.keys()
+        ]
+
+    def nonkey_tuples(self) -> List[Tuple[int, ...]]:
+        """Current maximal non-keys as attribute-index tuples."""
+        return [
+            bitset.to_tuple(mask) for mask in self.nonkeys.sorted_masks()
+        ]
+
+    def is_key(self, attrs: Sequence[int]) -> bool:
+        """Whether ``attrs`` is currently a key (superset of none needed)."""
+        if self.no_keys_exist:
+            return False
+        mask = bitset.from_indices(attrs)
+        return not self.nonkeys.is_covered(mask)

@@ -1,0 +1,97 @@
+"""Converting minimal non-keys into minimal keys (paper, section 3.7).
+
+The minimal keys are exactly the minimal attribute sets that intersect the
+complement of every non-key (equivalently: the minimal hitting sets /
+hypergraph transversals of the complemented non-key family).  Algorithm 6
+computes them incrementally: fold the complement set of each non-key into a
+running cartesian product, simplifying (dropping redundant supersets) after
+every step so the intermediate sets stay small.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.core import bitset
+
+__all__ = ["keys_from_nonkeys", "keys_from_nonkey_masks"]
+
+
+def keys_from_nonkey_masks(nonkeys: Iterable[int], num_attributes: int) -> List[int]:
+    """Algorithm 6: derive the minimal keys from a set of non-key bitmaps.
+
+    Parameters
+    ----------
+    nonkeys:
+        Non-key attribute sets.  They need not be minimal — redundant
+        entries only cost time, not correctness.
+    num_attributes:
+        Schema width ``d``; complements are taken within ``{0..d-1}``.
+
+    Returns
+    -------
+    list of int
+        Minimal keys sorted by (size, bits).  Special cases: with no
+        non-keys at all, every single attribute is a key; if some non-key
+        equals the full attribute set, no key exists and the result is
+        empty.
+    """
+    # Drop redundant (covered) non-keys first; order by decreasing size so
+    # the smallest complements are folded in first, keeping intermediate key
+    # sets small.
+    nonkey_list = sorted(
+        bitset.maximize(nonkeys), key=bitset.popcount, reverse=True
+    )
+    if not nonkey_list:
+        # No duplicates anywhere: every single attribute is already a key.
+        return [bitset.singleton(i) for i in range(num_attributes)]
+
+    first_complement = bitset.complement(nonkey_list[0], num_attributes)
+    key_set: List[int] = [
+        bitset.singleton(attr) for attr in bitset.iter_bits(first_complement)
+    ]
+    for nonkey in nonkey_list[1:]:
+        comp = bitset.complement(nonkey, num_attributes)
+        # Keys already intersecting the complement hit the new "hyperedge"
+        # and survive unchanged; the others must be extended by one
+        # complement attribute each (the cartesian-product step of
+        # Algorithm 6, restricted to where it can change anything).
+        unchanged = [key for key in key_set if key & comp]
+        to_extend = [key for key in key_set if not key & comp]
+        if not to_extend:
+            continue
+        # Simplification (Algorithm 6 line 13), sharpened: a candidate
+        # c = key ∪ {a} (with key ∩ comp = ∅, a ∈ comp) can only be covered
+        # by a kept set whose intersection with comp is exactly {a} — an
+        # unchanged key containing a, or an earlier candidate extended by
+        # the same a.  So each candidate checks one per-attribute bucket
+        # instead of the whole key set.
+        comp_attrs = list(bitset.iter_bits(comp))
+        buckets = {
+            attr: [key for key in unchanged if key >> attr & 1]
+            for attr in comp_attrs
+        }
+        key_set = list(unchanged)
+        # Candidates must be processed smallest-first so a subset is kept
+        # before any superset is examined; every extension adds exactly one
+        # attribute, so sorting the bases by size is enough.
+        to_extend.sort(key=bitset.popcount)
+        for base in to_extend:
+            for attr in comp_attrs:
+                candidate = base | 1 << attr
+                bucket = buckets[attr]
+                if not any(kept & ~candidate == 0 for kept in bucket):
+                    key_set.append(candidate)
+                    bucket.append(candidate)
+    return sorted(key_set, key=lambda m: (bitset.popcount(m), m))
+
+
+def keys_from_nonkeys(
+    nonkeys: Iterable[Sequence[int]], num_attributes: int
+) -> List[List[int]]:
+    """Index-tuple convenience wrapper around :func:`keys_from_nonkey_masks`."""
+    masks = [bitset.from_indices(nk) for nk in nonkeys]
+    return [
+        bitset.to_indices(mask)
+        for mask in keys_from_nonkey_masks(masks, num_attributes)
+    ]

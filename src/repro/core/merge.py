@@ -1,0 +1,98 @@
+"""Prefix-tree merging (paper, Algorithm 3).
+
+Merging the child nodes of a node projects out that node's attribute: the
+resulting tree describes the same entities with one fewer attribute.  Two
+properties matter for efficiency and both come straight from the paper:
+
+* **Degenerate merges are free.**  When only one node is to be merged the
+  node itself is returned, unchanged and shared.  On sparse data most merges
+  are degenerate.
+* **Subtrees are shared, never copied.**  A non-degenerate merge allocates
+  one new node whose cells either point at freshly merged children or at
+  already-existing (shared) subtrees.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.prefix_tree import Cell, Node, PrefixTree
+from repro.core.stats import SearchStats
+
+__all__ = ["merge_nodes", "merge_children"]
+
+
+def merge_nodes(
+    tree: PrefixTree,
+    to_merge: Sequence[Node],
+    stats: Optional[SearchStats] = None,
+) -> Node:
+    """Merge a set of same-level nodes into one node (Algorithm 3).
+
+    The returned node is *not* reference-acquired; callers that keep it
+    (the NonKeyFinder keeps merge roots while traversing them) must wrap it
+    with ``tree.acquire`` and release it with ``tree.discard``.
+
+    Parameters
+    ----------
+    tree:
+        The owning tree; supplies node allocation and statistics.
+    to_merge:
+        Non-empty sequence of nodes at the same level.
+    stats:
+        Optional search statistics; merge counters are bumped when given.
+    """
+    if not to_merge:
+        raise ValueError("merge_nodes requires at least one node")
+    if stats is not None:
+        stats.merges_performed += 1
+        stats.merge_nodes_input += len(to_merge)
+    if len(to_merge) == 1:
+        # Degenerate merge: return the (shared) node itself.
+        return to_merge[0]
+
+    level = to_merge[0].level
+    merged = tree.new_node(level)
+    is_leaf = to_merge[0].is_leaf
+
+    if is_leaf:
+        for node in to_merge:
+            for value, cell in node.cells.items():
+                existing = merged.cells.get(value)
+                if existing is None:
+                    merged.cells[value] = Cell(value, cell.count)
+                    tree.stats.on_cells_created()
+                else:
+                    existing.count += cell.count
+    else:
+        # Group the children of cells sharing a value, then merge each group
+        # recursively.  Iterating nodes in order keeps the result
+        # deterministic (dict preserves insertion order).
+        groups: dict = {}
+        for node in to_merge:
+            for value, cell in node.cells.items():
+                groups.setdefault(value, []).append(cell)
+        for value, cells in groups.items():
+            partial: List[Node] = [cell.child for cell in cells]
+            child = merge_nodes(tree, partial, stats=stats)
+            new_cell = Cell(value, sum(cell.count for cell in cells))
+            new_cell.child = tree.acquire(child)
+            merged.cells[value] = new_cell
+            tree.stats.on_cells_created()
+    return merged
+
+
+def merge_children(
+    tree: PrefixTree,
+    node: Node,
+    stats: Optional[SearchStats] = None,
+) -> Node:
+    """Merge all children of ``node``'s cells — i.e. project out ``node``'s level.
+
+    This is the "Merge all the children of the cells in root" step of
+    Algorithm 4 (line 27).  ``node`` must not be a leaf.
+    """
+    children = [cell.child for cell in node.cells.values()]
+    if any(child is None for child in children):
+        raise ValueError("cannot merge the children of a leaf node")
+    return merge_nodes(tree, children, stats=stats)

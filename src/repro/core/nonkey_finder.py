@@ -1,0 +1,185 @@
+"""NonKeyFinder — the doubly recursive traversal of Algorithm 4.
+
+One recursion walks the prefix tree depth-first, visiting every slice of the
+(virtual) cube; the other recursion merges the children of each visited node,
+producing the segments (projections) of the current slice.  Together they
+enumerate every projection of the dataset unless a pruning rule proves the
+projection redundant:
+
+* **shared-subtree singleton pruning** — a cell pointing at an
+  already-traversed node belongs to a subsumed slice (Lemma 1); skip it;
+* **one-cell singleton pruning** — merging the children of a single-cell
+  node returns a shared subtree, so skip the merge-and-traverse entirely;
+* **single-entity pruning** — a subtree holding one entity cannot contain a
+  duplicate, hence no non-key;
+* **futility pruning** — if a stored non-key covers every non-key that the
+  pending merge could possibly reveal, skip the merge.
+
+Each rule can be disabled independently through :class:`PruningConfig` to
+reproduce the paper's Figure 13 (pruning effect).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core import bitset
+from repro.core.merge import merge_children
+from repro.core.nonkey_set import NonKeySet
+from repro.core.prefix_tree import Node, PrefixTree
+from repro.core.stats import SearchStats
+
+__all__ = ["PruningConfig", "NonKeyFinder", "find_nonkeys"]
+
+
+@dataclass(frozen=True)
+class PruningConfig:
+    """Switches for GORDIAN's pruning rules.
+
+    All rules default to on; turning them all off yields the exhaustive
+    doubly recursive traversal the paper uses as its "no pruning" Figure 13
+    configuration.  Correctness does not depend on any switch — every
+    configuration discovers the same minimal non-keys (a property-based test
+    asserts this).
+    """
+
+    singleton: bool = True
+    single_entity: bool = True
+    futility: bool = True
+
+    @classmethod
+    def none(cls) -> "PruningConfig":
+        return cls(singleton=False, single_entity=False, futility=False)
+
+    @classmethod
+    def all(cls) -> "PruningConfig":
+        return cls()
+
+
+class NonKeyFinder:
+    """Runs Algorithm 4 over a prefix tree, filling a :class:`NonKeySet`."""
+
+    def __init__(
+        self,
+        tree: PrefixTree,
+        pruning: Optional[PruningConfig] = None,
+        stats: Optional[SearchStats] = None,
+    ):
+        self.tree = tree
+        self.pruning = pruning if pruning is not None else PruningConfig()
+        self.stats = stats if stats is not None else SearchStats()
+        self.nonkeys = NonKeySet(tree.num_attributes)
+        self._cur_nonkey = bitset.EMPTY
+        self._num_attributes = tree.num_attributes
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> NonKeySet:
+        """Traverse the whole tree and return the discovered non-keys."""
+        if self.tree.num_entities == 0:
+            return self.nonkeys
+        self._visit(self.tree.root, 0)
+        return self.nonkeys
+
+    # ------------------------------------------------------------------
+
+    def _add_nonkey(self, mask: int) -> None:
+        if mask == bitset.EMPTY:
+            # The empty projection duplicates whenever the dataset has two
+            # or more entities; recording it carries no information (its
+            # complement is all singletons, which is also what an empty
+            # NonKeySet yields) and any real non-key would evict it anyway.
+            return
+        self.stats.nonkeys_discovered += 1
+        if self.nonkeys.insert(mask):
+            self.stats.nonkeys_inserted += 1
+
+    def _visit(self, root: Node, attr_no: int) -> None:
+        """Algorithm 4 body.  ``attr_no`` is the tree level of ``root``."""
+        root.visited = True
+        self.stats.nodes_visited += 1
+        cur_with_attr = self._cur_nonkey | bitset.singleton(attr_no)
+        self._cur_nonkey = cur_with_attr
+
+        if root.is_leaf:
+            self.stats.leaf_nodes_visited += 1
+            # Lines 3-8: any duplicate on the full current segment?
+            for cell in root.cells.values():
+                if cell.count != 1:
+                    self._add_nonkey(cur_with_attr)
+                    break
+            # Lines 9-12: project out the leaf attribute.
+            self._cur_nonkey = cur_with_attr & ~bitset.singleton(attr_no)
+            only_cell_count = (
+                next(iter(root.cells.values())).count if len(root.cells) == 1 else 0
+            )
+            if len(root.cells) > 1 or only_cell_count > 1:
+                # More than one cell (or a multiplicity > 1) collapses to a
+                # duplicate once the leaf attribute is removed.
+                self._add_nonkey(self._cur_nonkey)
+            return
+
+        # Line 14: single-entity pruning.
+        if self.pruning.single_entity and root.entity_count == 1:
+            self._cur_nonkey = cur_with_attr & ~bitset.singleton(attr_no)
+            self.stats.single_entity_prunings += 1
+            return
+
+        # Lines 17-21: traverse children, skipping shared subtrees.
+        for cell in root.cells.values():
+            child = cell.child
+            if self.pruning.singleton and child.visited:
+                self.stats.singleton_prunings_shared += 1
+                continue
+            self._visit(child, attr_no + 1)
+
+        # Line 22: remove attr_no from the candidate.
+        self._cur_nonkey = cur_with_attr & ~bitset.singleton(attr_no)
+
+        # Lines 23-30: merge the children (project out attr_no) and recurse.
+        if self.pruning.singleton and len(root.cells) == 1:
+            # One-cell singleton pruning (Figure 10(b)): the merge would
+            # return a shared subtree and yield only redundant non-keys.
+            self.stats.singleton_prunings_one_cell += 1
+            return
+        if self.pruning.futility and self._is_futile(attr_no):
+            self.stats.futility_prunings += 1
+            return
+        merged = merge_children(self.tree, root, stats=self.stats)
+        if merged.visited:
+            # A degenerate merge (single child) returns a shared, already
+            # traversed subtree; traversing it again is redundant.
+            if self.pruning.singleton:
+                self.stats.singleton_prunings_shared += 1
+                return
+        self.tree.acquire(merged)
+        try:
+            self._visit(merged, attr_no + 1)
+        finally:
+            # Line 29: discard the merged tree (shared nodes survive thanks
+            # to reference counting).
+            self.tree.discard(merged)
+
+    def _is_futile(self, attr_no: int) -> bool:
+        """Futility test (line 24).
+
+        The merged tree spans levels ``attr_no + 1 .. d - 1``, so every
+        non-key it could reveal is a subset of the current candidate union
+        all deeper attributes.  If a stored non-key covers that union, the
+        merge cannot reveal anything non-redundant.
+        """
+        reachable = self._cur_nonkey | bitset.suffix_mask(
+            attr_no + 1, self._num_attributes
+        )
+        return self.nonkeys.is_covered(reachable)
+
+
+def find_nonkeys(
+    tree: PrefixTree,
+    pruning: Optional[PruningConfig] = None,
+    stats: Optional[SearchStats] = None,
+) -> NonKeySet:
+    """Convenience wrapper: run NonKeyFinder over ``tree``."""
+    finder = NonKeyFinder(tree, pruning=pruning, stats=stats)
+    return finder.run()

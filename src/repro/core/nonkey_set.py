@@ -1,0 +1,90 @@
+"""The NonKeySet container (paper, section 3.6 / Algorithm 5).
+
+Holds a *non-redundant* collection of non-keys: no stored non-key is a
+subset of another.  Non-keys are attribute-set bitmaps (see
+:mod:`repro.core.bitset`).  Insertion first checks whether an existing
+non-key covers the newcomer (then the newcomer is redundant and dropped),
+and otherwise evicts every stored non-key the newcomer covers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence
+
+from repro.core import bitset
+
+__all__ = ["NonKeySet"]
+
+
+class NonKeySet:
+    """Container of mutually non-redundant non-keys.
+
+    The container also answers the futility-pruning query: *is every subset
+    of a given attribute set already covered?* — which reduces to "is the
+    attribute set itself covered by some stored non-key".
+    """
+
+    def __init__(self, num_attributes: int, initial: Optional[Sequence[int]] = None):
+        if num_attributes < 1:
+            raise ValueError("num_attributes must be >= 1")
+        self.num_attributes = num_attributes
+        self._nonkeys: List[int] = []
+        self.insert_attempts = 0
+        self.insert_accepted = 0
+        if initial:
+            for mask in initial:
+                self.insert(mask)
+
+    def __len__(self) -> int:
+        return len(self._nonkeys)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._nonkeys)
+
+    def __contains__(self, mask: int) -> bool:
+        return mask in self._nonkeys
+
+    def masks(self) -> List[int]:
+        """Return the stored non-keys as a list of bitmaps (copy)."""
+        return list(self._nonkeys)
+
+    def insert(self, nonkey: int) -> bool:
+        """Insert a non-key, keeping the container non-redundant (Alg. 5).
+
+        Returns ``True`` when the non-key was stored, ``False`` when an
+        already-stored non-key covers it.
+        """
+        if nonkey < 0 or nonkey > bitset.full_mask(self.num_attributes):
+            raise ValueError(
+                f"non-key {nonkey:#x} is outside the {self.num_attributes}-attribute schema"
+            )
+        self.insert_attempts += 1
+        # First pass: is the newcomer covered by (redundant to) a stored one?
+        for stored in self._nonkeys:
+            if bitset.covers(stored, nonkey):
+                return False
+        # Second pass: evict stored non-keys the newcomer covers, then add.
+        self._nonkeys = [
+            stored for stored in self._nonkeys if not bitset.covers(nonkey, stored)
+        ]
+        self._nonkeys.append(nonkey)
+        self.insert_accepted += 1
+        return True
+
+    def is_covered(self, mask: int) -> bool:
+        """True iff some stored non-key covers ``mask``.
+
+        This is the futility test (Algorithm 4, line 24): a merge at tree
+        level ``l`` with current candidate ``c`` can only discover non-keys
+        that are subsets of ``c | suffix_mask(l)``; if that union is covered
+        here, the whole merge-and-traverse is futile.
+        """
+        return any(bitset.covers(stored, mask) for stored in self._nonkeys)
+
+    def is_non_redundant(self) -> bool:
+        """Invariant check used by tests: the container is an antichain."""
+        return bitset.is_minimal_family(self._nonkeys)
+
+    def sorted_masks(self) -> List[int]:
+        """Stored non-keys sorted by (size, bits) for deterministic output."""
+        return sorted(self._nonkeys, key=lambda m: (bitset.popcount(m), m))

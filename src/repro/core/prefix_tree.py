@@ -1,0 +1,258 @@
+"""Prefix-tree representation of a dataset (paper, section 3.2.1).
+
+The dataset is compressed into a prefix tree during a single pass: each tree
+level corresponds to one attribute, each node holds a set of *cells* (one
+per distinct value observed at that level under the node's prefix), and each
+cell points to a child node one level deeper.  A root-to-leaf path is a
+unique entity; leaf cells carry the multiplicity of that entity.  Every cell
+additionally records the number of entities below it ("the sum of the
+counters over all leaf nodes that are descended from the cell"), which
+powers the single-entity pruning rule.
+
+Nodes are shared between the original tree and merged trees (section 3.2.2),
+so discarding uses reference counting exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.stats import TreeStats
+from repro.errors import DataError, NoKeysExistError
+
+__all__ = ["Cell", "Node", "PrefixTree", "build_prefix_tree"]
+
+
+class Cell:
+    """One value slot inside a node.
+
+    ``count`` is the number of entities below this cell.  For a leaf cell it
+    is the multiplicity of the entity; for an interior cell it is the sum of
+    leaf counters underneath.  ``child`` is ``None`` exactly when the cell
+    lives in a leaf node.
+    """
+
+    __slots__ = ("value", "count", "child")
+
+    def __init__(self, value: object, count: int = 0, child: Optional["Node"] = None):
+        self.value = value
+        self.count = count
+        self.child = child
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kind = "leaf" if self.child is None else "node"
+        return f"Cell(value={self.value!r}, count={self.count}, {kind})"
+
+
+class Node:
+    """A prefix-tree node: an ordered mapping from value to :class:`Cell`.
+
+    ``refcount`` counts the cells (plus tree roots) that point at this node;
+    merged trees share subtrees instead of copying them, and
+    :meth:`PrefixTree.discard` releases a subtree only when the last
+    reference drops.  ``visited`` marks nodes already traversed by
+    NonKeyFinder — a cell pointing at a visited node is a *shared prefix
+    tree* in the sense of Algorithm 4 line 18, and singleton pruning skips
+    it.
+    """
+
+    __slots__ = ("cells", "level", "refcount", "visited")
+
+    def __init__(self, level: int):
+        self.cells: Dict[object, Cell] = {}
+        self.level = level
+        self.refcount = 0
+        self.visited = False
+
+    @property
+    def is_leaf(self) -> bool:
+        """True iff the node's cells carry no children."""
+        for cell in self.cells.values():
+            return cell.child is None
+        return True
+
+    @property
+    def entity_count(self) -> int:
+        """Number of entities (with multiplicity) represented below this node."""
+        return sum(cell.count for cell in self.cells.values())
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def values(self) -> Iterator[object]:
+        return iter(self.cells.keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Node(level={self.level}, cells={len(self.cells)}, "
+            f"leaf={self.is_leaf}, entities={self.entity_count})"
+        )
+
+
+class PrefixTree:
+    """A prefix tree plus the bookkeeping GORDIAN needs around it.
+
+    Attributes
+    ----------
+    root:
+        The level-0 node (may be empty for an empty dataset).
+    num_attributes:
+        Depth of the tree; level ``num_attributes - 1`` holds the leaves.
+    num_entities:
+        Total number of rows inserted (with multiplicity).
+    stats:
+        Structural counters (allocations, peak live nodes) shared with any
+        merged trees derived from this one.
+    """
+
+    def __init__(self, num_attributes: int, stats: Optional[TreeStats] = None):
+        if num_attributes < 1:
+            raise DataError(f"a dataset needs >= 1 attribute, got {num_attributes}")
+        self.num_attributes = num_attributes
+        self.stats = stats if stats is not None else TreeStats()
+        self.root = self._new_node(0)
+        self.root.refcount = 1
+        self.num_entities = 0
+
+    # ------------------------------------------------------------------
+    # construction
+
+    def _new_node(self, level: int) -> Node:
+        node = Node(level)
+        self.stats.on_node_created()
+        return node
+
+    def new_node(self, level: int) -> Node:
+        """Allocate a node at ``level`` (used by the merge operator)."""
+        return self._new_node(level)
+
+    def insert(self, entity: Sequence[object]) -> None:
+        """Insert one entity, following Algorithm 2 of the paper.
+
+        Raises
+        ------
+        NoKeysExistError
+            If the entity is a duplicate of a previously inserted one: a
+            leaf counter exceeding 1 proves that no attribute set is a key,
+            so GORDIAN aborts (Algorithm 2, lines 17-18).
+        """
+        if len(entity) != self.num_attributes:
+            raise DataError(
+                f"entity has {len(entity)} attributes, expected {self.num_attributes}"
+            )
+        node = self.root
+        last = self.num_attributes - 1
+        for attr_no, value in enumerate(entity):
+            cell = node.cells.get(value)
+            if cell is None:
+                cell = Cell(value)
+                node.cells[value] = cell
+                self.stats.on_cells_created()
+                if attr_no < last:
+                    cell.child = self._new_node(attr_no + 1)
+                    cell.child.refcount = 1
+            if attr_no == last:
+                cell.count += 1
+                self.num_entities += 1
+                if cell.count > 1:
+                    raise NoKeysExistError(
+                        "duplicate entity observed: the dataset has no keys"
+                    )
+            else:
+                cell.count += 1
+                node = cell.child
+        return None
+
+    # ------------------------------------------------------------------
+    # discard (reference counting)
+
+    def acquire(self, node: Node) -> Node:
+        """Take a reference on ``node`` (a merged tree now points at it)."""
+        node.refcount += 1
+        return node
+
+    def discard(self, node: Node) -> None:
+        """Drop a reference on ``node``; free the subtree when it hits zero.
+
+        Shared nodes (referenced from both the original tree and a merged
+        tree) survive until their last referencing cell is discarded —
+        "caution is required when discarding a merged prefix tree to ensure
+        that any shared nodes are retained" (section 3.3).
+        """
+        stack = [node]
+        while stack:
+            current = stack.pop()
+            current.refcount -= 1
+            if current.refcount > 0:
+                continue
+            if current.refcount < 0:
+                raise AssertionError("prefix-tree node over-released")
+            for cell in current.cells.values():
+                if cell.child is not None:
+                    stack.append(cell.child)
+            self.stats.on_node_discarded(len(current.cells))
+            current.cells = {}
+
+    # ------------------------------------------------------------------
+    # introspection helpers (used by tests and the cube reference)
+
+    def iter_entities(self) -> Iterator[Tuple[Tuple[object, ...], int]]:
+        """Yield ``(entity, multiplicity)`` for every root-to-leaf path."""
+        path: List[object] = []
+
+        def walk(node: Node) -> Iterator[Tuple[Tuple[object, ...], int]]:
+            for value, cell in node.cells.items():
+                path.append(value)
+                if cell.child is None:
+                    yield tuple(path), cell.count
+                else:
+                    yield from walk(cell.child)
+                path.pop()
+
+        yield from walk(self.root)
+
+    def node_count(self) -> int:
+        """Number of distinct reachable nodes (shared nodes counted once)."""
+        seen = set()
+
+        def walk(node: Node) -> None:
+            if id(node) in seen:
+                return
+            seen.add(id(node))
+            for cell in node.cells.values():
+                if cell.child is not None:
+                    walk(cell.child)
+
+        walk(self.root)
+        return len(seen)
+
+    def depth_first_nodes(self) -> Iterator[Node]:
+        """Yield reachable nodes in depth-first order (shared nodes once)."""
+        seen = set()
+
+        def walk(node: Node) -> Iterator[Node]:
+            if id(node) in seen:
+                return
+            seen.add(id(node))
+            yield node
+            for cell in node.cells.values():
+                if cell.child is not None:
+                    yield from walk(cell.child)
+
+        yield from walk(self.root)
+
+
+def build_prefix_tree(
+    rows: Iterable[Sequence[object]],
+    num_attributes: int,
+    stats: Optional[TreeStats] = None,
+) -> PrefixTree:
+    """Build a prefix tree from an iterable of rows (Algorithm 2).
+
+    A single pass over ``rows``; raises :class:`NoKeysExistError` on the
+    first duplicate entity.
+    """
+    tree = PrefixTree(num_attributes, stats=stats)
+    for row in rows:
+        tree.insert(row)
+    return tree

@@ -1,0 +1,132 @@
+"""Instrumentation counters shared by the prefix tree and NonKeyFinder.
+
+The paper's evaluation reports processing time, maximum memory usage
+(Table 2), and the effect of the pruning rules (Figure 13).  To reproduce
+those measurements deterministically we count structural events (node and
+cell allocations, merges, prunings) in addition to wall-clock time, so the
+benchmark shapes do not depend on allocator noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class TreeStats:
+    """Structural accounting for prefix-tree nodes and cells.
+
+    ``live_*`` counters follow the reference-counting discard scheme the
+    paper describes in section 3.3 ("a reference-counting scheme was used"),
+    so ``peak_live_nodes`` is a faithful stand-in for maximum memory.
+    """
+
+    nodes_created: int = 0
+    cells_created: int = 0
+    nodes_discarded: int = 0
+    live_nodes: int = 0
+    live_cells: int = 0
+    peak_live_nodes: int = 0
+    peak_live_cells: int = 0
+
+    def on_node_created(self, cell_count: int = 0) -> None:
+        self.nodes_created += 1
+        self.live_nodes += 1
+        if self.live_nodes > self.peak_live_nodes:
+            self.peak_live_nodes = self.live_nodes
+        if cell_count:
+            self.on_cells_created(cell_count)
+
+    def on_cells_created(self, count: int = 1) -> None:
+        self.cells_created += count
+        self.live_cells += count
+        if self.live_cells > self.peak_live_cells:
+            self.peak_live_cells = self.live_cells
+
+    def on_node_discarded(self, cell_count: int) -> None:
+        self.nodes_discarded += 1
+        self.live_nodes -= 1
+        self.live_cells -= cell_count
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "nodes_created": self.nodes_created,
+            "cells_created": self.cells_created,
+            "nodes_discarded": self.nodes_discarded,
+            "live_nodes": self.live_nodes,
+            "live_cells": self.live_cells,
+            "peak_live_nodes": self.peak_live_nodes,
+            "peak_live_cells": self.peak_live_cells,
+        }
+
+
+@dataclass
+class SearchStats:
+    """Event counters for one NonKeyFinder run.
+
+    These back Figure 13 (pruning effect): each pruning rule increments its
+    own counter, and ``nodes_visited``/``merges_performed`` measure the work
+    actually done.
+    """
+
+    nodes_visited: int = 0
+    leaf_nodes_visited: int = 0
+    merges_performed: int = 0
+    merge_nodes_input: int = 0
+    nonkeys_discovered: int = 0
+    nonkeys_inserted: int = 0
+    singleton_prunings_shared: int = 0
+    singleton_prunings_one_cell: int = 0
+    single_entity_prunings: int = 0
+    futility_prunings: int = 0
+
+    @property
+    def total_prunings(self) -> int:
+        return (
+            self.singleton_prunings_shared
+            + self.singleton_prunings_one_cell
+            + self.single_entity_prunings
+            + self.futility_prunings
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        data = {
+            "nodes_visited": self.nodes_visited,
+            "leaf_nodes_visited": self.leaf_nodes_visited,
+            "merges_performed": self.merges_performed,
+            "merge_nodes_input": self.merge_nodes_input,
+            "nonkeys_discovered": self.nonkeys_discovered,
+            "nonkeys_inserted": self.nonkeys_inserted,
+            "singleton_prunings_shared": self.singleton_prunings_shared,
+            "singleton_prunings_one_cell": self.singleton_prunings_one_cell,
+            "single_entity_prunings": self.single_entity_prunings,
+            "futility_prunings": self.futility_prunings,
+        }
+        data["total_prunings"] = self.total_prunings
+        return data
+
+
+@dataclass
+class RunStats:
+    """Aggregate statistics returned with every GORDIAN result."""
+
+    tree: TreeStats = field(default_factory=TreeStats)
+    search: SearchStats = field(default_factory=SearchStats)
+    build_seconds: float = 0.0
+    search_seconds: float = 0.0
+    convert_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.build_seconds + self.search_seconds + self.convert_seconds
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "tree": self.tree.as_dict(),
+            "search": self.search.as_dict(),
+            "build_seconds": self.build_seconds,
+            "search_seconds": self.search_seconds,
+            "convert_seconds": self.convert_seconds,
+            "total_seconds": self.total_seconds,
+        }

@@ -1,0 +1,18 @@
+"""Reference CUBE operator used to validate GORDIAN (paper, section 3.1)."""
+
+from repro.cube.count_cube import CountCube, ProjectionCounts, compute_count_cube
+from repro.cube.lattice import all_projections, children, lattice_levels, parents
+from repro.cube.slices import Slice, compute_slice, subsumes
+
+__all__ = [
+    "CountCube",
+    "ProjectionCounts",
+    "compute_count_cube",
+    "all_projections",
+    "children",
+    "lattice_levels",
+    "parents",
+    "Slice",
+    "compute_slice",
+    "subsumes",
+]

@@ -1,0 +1,110 @@
+"""Reference COUNT cube (paper, section 3.1.1).
+
+"The main idea behind GORDIAN is that the problem of discovering (composite)
+keys can be formulated in terms of the cube operator ... a projection
+corresponds to a key if and only if all the count aggregates for a
+projection are equal to 1."
+
+This module computes that cube exactly and naively (one hash aggregation per
+projection).  It is exponential in the number of attributes by construction
+— the point GORDIAN improves on — and serves three purposes: illustrating
+the formulation, validating GORDIAN's output on small data, and providing
+the slice/segment objects of section 3.1.2 for the documentation examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.core import bitset
+from repro.cube.lattice import all_projections
+
+__all__ = ["ProjectionCounts", "CountCube", "compute_count_cube"]
+
+
+@dataclass
+class ProjectionCounts:
+    """COUNT group-by for one projection (one cuboid)."""
+
+    mask: int
+    attrs: Tuple[int, ...]
+    counts: Dict[Tuple[object, ...], int]
+
+    @property
+    def is_key(self) -> bool:
+        """A projection is a key iff every aggregate count equals 1."""
+        return all(count == 1 for count in self.counts.values())
+
+    @property
+    def max_count(self) -> int:
+        return max(self.counts.values(), default=0)
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.counts)
+
+
+class CountCube:
+    """All projections of a dataset with their COUNT aggregates."""
+
+    def __init__(self, num_attributes: int, num_entities: int):
+        self.num_attributes = num_attributes
+        self.num_entities = num_entities
+        self._cuboids: Dict[int, ProjectionCounts] = {}
+
+    def add(self, cuboid: ProjectionCounts) -> None:
+        self._cuboids[cuboid.mask] = cuboid
+
+    def cuboid(self, attrs: Sequence[int]) -> ProjectionCounts:
+        return self._cuboids[bitset.from_indices(attrs)]
+
+    def __contains__(self, attrs: Sequence[int]) -> bool:
+        return bitset.from_indices(attrs) in self._cuboids
+
+    def __iter__(self) -> Iterator[ProjectionCounts]:
+        return iter(self._cuboids.values())
+
+    def __len__(self) -> int:
+        return len(self._cuboids)
+
+    def keys(self) -> List[Tuple[int, ...]]:
+        """All key projections (not only minimal ones)."""
+        return sorted(
+            (c.attrs for c in self._cuboids.values() if c.is_key),
+            key=lambda k: (len(k), k),
+        )
+
+    def minimal_keys(self) -> List[Tuple[int, ...]]:
+        """Key projections none of whose sub-projections is a key."""
+        key_masks = {c.mask for c in self._cuboids.values() if c.is_key}
+        minimal = bitset.minimize(key_masks)
+        return [bitset.to_tuple(mask) for mask in minimal]
+
+    def nonkeys(self) -> List[Tuple[int, ...]]:
+        """All non-key projections."""
+        return sorted(
+            (c.attrs for c in self._cuboids.values() if not c.is_key),
+            key=lambda k: (len(k), k),
+        )
+
+    def maximal_nonkeys(self) -> List[Tuple[int, ...]]:
+        """The non-redundant non-keys — what GORDIAN's NonKeySet holds."""
+        nonkey_masks = {c.mask for c in self._cuboids.values() if not c.is_key}
+        maximal = bitset.maximize(nonkey_masks)
+        return [bitset.to_tuple(mask) for mask in maximal]
+
+
+def compute_count_cube(
+    rows: Sequence[Sequence[object]], num_attributes: int
+) -> CountCube:
+    """Compute every cuboid of the COUNT cube by direct hash aggregation."""
+    cube = CountCube(num_attributes, len(rows))
+    for mask in all_projections(num_attributes):
+        attrs = bitset.to_tuple(mask)
+        counts: Dict[Tuple[object, ...], int] = {}
+        for row in rows:
+            group = tuple(row[a] for a in attrs)
+            counts[group] = counts.get(group, 0) + 1
+        cube.add(ProjectionCounts(mask=mask, attrs=attrs, counts=counts))
+    return cube

@@ -1,0 +1,48 @@
+"""Attribute-lattice utilities for the CUBE reference implementation.
+
+The cube of a ``d``-attribute dataset has one group-by per attribute subset;
+these helpers enumerate and relate those subsets.  They are deliberately
+simple — the reference cube only exists to validate GORDIAN and to
+illustrate section 3.1, not to be fast.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.core import bitset
+
+__all__ = [
+    "all_projections",
+    "children",
+    "parents",
+    "lattice_levels",
+]
+
+
+def all_projections(num_attributes: int, include_empty: bool = False) -> List[int]:
+    """Every attribute subset as a bitmap, ordered by (size, bits)."""
+    masks = range(0 if include_empty else 1, 1 << num_attributes)
+    return sorted(masks, key=lambda m: (bitset.popcount(m), m))
+
+
+def children(mask: int) -> Iterator[int]:
+    """Immediate sub-projections: drop exactly one attribute."""
+    for attr in bitset.iter_bits(mask):
+        yield mask & ~bitset.singleton(attr)
+
+
+def parents(mask: int, num_attributes: int) -> Iterator[int]:
+    """Immediate super-projections: add exactly one absent attribute."""
+    for attr in range(num_attributes):
+        bit = bitset.singleton(attr)
+        if not mask & bit:
+            yield mask | bit
+
+
+def lattice_levels(num_attributes: int) -> List[List[int]]:
+    """Projections grouped by size: ``levels[k]`` holds the ``k``-subsets."""
+    levels: List[List[int]] = [[] for _ in range(num_attributes + 1)]
+    for mask in all_projections(num_attributes, include_empty=True):
+        levels[bitset.popcount(mask)].append(mask)
+    return levels

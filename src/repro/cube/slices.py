@@ -1,0 +1,69 @@
+"""Slices and segments of the cube (paper, section 3.1.2).
+
+A *slice* is the cube restricted to the entities matching a selection (a
+value prefix in GORDIAN's traversal); a *segment* is one projection of that
+slice.  Singleton pruning is founded on slice subsumption: when every entity
+of slice ``L`` also lies in slice ``F`` (with the selection attributes of
+``F`` prepended), every non-key of ``L`` is redundant to one of ``F``
+(Lemma 1).  These objects exist to make that lemma testable and to render
+the paper's Figures 4-5-style examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.cube.count_cube import CountCube, compute_count_cube
+
+__all__ = ["Slice", "compute_slice", "subsumes"]
+
+
+@dataclass
+class Slice:
+    """A cube slice: selection + the cube of the selected entities."""
+
+    selection: Dict[int, object]
+    rows: List[Tuple[object, ...]]
+    cube: CountCube
+
+    @property
+    def num_entities(self) -> int:
+        return len(self.rows)
+
+    def segment(self, attrs: Sequence[int]):
+        """The projection (segment) of this slice on ``attrs``."""
+        return self.cube.cuboid(attrs)
+
+    def nonkeys(self) -> List[Tuple[int, ...]]:
+        """Non-key projections within the slice."""
+        return self.cube.nonkeys()
+
+
+def compute_slice(
+    rows: Sequence[Sequence[object]],
+    num_attributes: int,
+    selection: Mapping[int, object],
+) -> Slice:
+    """Select the entities matching ``selection`` and cube them."""
+    selected = [
+        tuple(row)
+        for row in rows
+        if all(row[attr] == value for attr, value in selection.items())
+    ]
+    return Slice(
+        selection=dict(selection),
+        rows=selected,
+        cube=compute_count_cube(selected, num_attributes),
+    )
+
+
+def subsumes(outer: Slice, inner: Slice) -> bool:
+    """True iff ``outer`` subsumes ``inner``: every inner entity is an outer one.
+
+    In the paper's example the slice ``Last Name = 'Thompson'`` is subsumed
+    by ``First Name = 'Michael'`` because 'Thompson' only ever occurs with
+    'Michael'.
+    """
+    outer_rows = set(outer.rows)
+    return all(row in outer_rows for row in inner.rows)

@@ -1,0 +1,38 @@
+"""Synthetic dataset generators standing in for the paper's datasets.
+
+See DESIGN.md section 5 for the substitution rationale: the paper's OPIC and
+BASEBALL datasets are proprietary/unavailable, so we generate structurally
+equivalent data (same key arities, attribute widths, correlation patterns);
+TPC-H is regenerated at laptop scale with its genuine key structure.
+"""
+
+from repro.datagen.baseball import BaseballSpec, generate_baseball
+from repro.datagen.distributions import (
+    ZipfianSampler,
+    make_words,
+    uniform_int,
+    weighted_choice,
+)
+from repro.datagen.keyplant import KeyPlantSpec, PlantedDataset, generate_planted
+from repro.datagen.opic import OpicSpec, generate_opic, generate_opic_main
+from repro.datagen.tpch import TpchSpec, generate_tpch
+from repro.datagen.zipfian import ZipfianSpec, generate_zipfian_table
+
+__all__ = [
+    "BaseballSpec",
+    "generate_baseball",
+    "ZipfianSampler",
+    "make_words",
+    "uniform_int",
+    "weighted_choice",
+    "KeyPlantSpec",
+    "PlantedDataset",
+    "generate_planted",
+    "OpicSpec",
+    "generate_opic",
+    "generate_opic_main",
+    "TpchSpec",
+    "generate_tpch",
+    "ZipfianSpec",
+    "generate_zipfian_table",
+]

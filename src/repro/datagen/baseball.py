@@ -1,0 +1,270 @@
+"""BASEBALL-like synthetic database.
+
+The paper's third dataset "contains real data about baseball players, teams,
+awards, hall-of-fame membership, and game/player statistics for the baseball
+championship in Australia" (12 tables, 262,432 tuples).  The real data is
+not distributed with the paper, so this module generates a structurally
+equivalent database: entity tables with natural single-attribute keys
+(players, teams, stadiums), relationship tables with composite keys
+(rosters keyed by (player, team, season), batting statistics keyed by
+(game, player), awards keyed by (award, season)), and denormalised stat
+tables with correlated numeric columns.  These are the key-arity and
+correlation patterns that drive GORDIAN's behaviour on the real dataset.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.datagen.distributions import make_words
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+
+__all__ = ["BaseballSpec", "generate_baseball"]
+
+
+@dataclass(frozen=True)
+class BaseballSpec:
+    """Scale and seed for the BASEBALL-like generator."""
+
+    num_players: int = 120
+    num_teams: int = 8
+    num_seasons: int = 5
+    games_per_season: int = 40
+    seed: int = 23
+
+    def __post_init__(self) -> None:
+        if min(self.num_players, self.num_teams, self.num_seasons) < 1:
+            raise ValueError("players, teams and seasons must be >= 1")
+        if self.games_per_season < 1:
+            raise ValueError("games_per_season must be >= 1")
+
+
+_POSITIONS = ["P", "C", "1B", "2B", "3B", "SS", "LF", "CF", "RF", "DH"]
+_AWARD_NAMES = ["MVP", "Golden Glove", "Best Pitcher", "Rookie of the Year"]
+_CITIES = ["Sydney", "Melbourne", "Brisbane", "Perth", "Adelaide", "Canberra",
+           "Hobart", "Darwin", "Geelong", "Newcastle"]
+
+
+def generate_baseball(spec: BaseballSpec = BaseballSpec()) -> Dict[str, Table]:
+    """Generate the twelve BASEBALL-like tables; returns ``{name: Table}``."""
+    rng = random.Random(spec.seed)
+    first_names = make_words(60, length=6, seed=spec.seed)
+    last_names = make_words(80, length=8, seed=spec.seed + 1)
+    seasons = [2000 + s for s in range(spec.num_seasons)]
+
+    # players: natural key player_id; (first,last,birth_year) mostly unique.
+    players = Table(
+        Schema(["player_id", "first_name", "last_name", "birth_year", "bats", "throws"]),
+        [
+            (
+                i,
+                first_names[rng.randrange(len(first_names))].title(),
+                last_names[rng.randrange(len(last_names))].title(),
+                rng.randint(1965, 1990),
+                rng.choice(["L", "R", "S"]),
+                rng.choice(["L", "R"]),
+            )
+            for i in range(spec.num_players)
+        ],
+        name="players",
+    )
+
+    # teams --------------------------------------------------------------
+    teams = Table(
+        Schema(["team_id", "team_name", "city", "founded"]),
+        [
+            (
+                t,
+                f"{_CITIES[t % len(_CITIES)]} {make_words(1, length=7, seed=spec.seed + 50 + t)[0].title()}s",
+                _CITIES[t % len(_CITIES)],
+                rng.randint(1950, 1995),
+            )
+            for t in range(spec.num_teams)
+        ],
+        name="teams",
+    )
+
+    # stadiums: one per team plus spares.
+    stadiums = Table(
+        Schema(["stadium_id", "stadium_name", "city", "capacity"]),
+        [
+            (
+                s,
+                f"{_CITIES[s % len(_CITIES)]} Park {s}",
+                _CITIES[s % len(_CITIES)],
+                rng.randint(4000, 45000) // 100 * 100,
+            )
+            for s in range(spec.num_teams + 2)
+        ],
+        name="stadiums",
+    )
+
+    # seasons ------------------------------------------------------------
+    season_table = Table(
+        Schema(["season_year", "champion_team", "num_games"]),
+        [
+            (year, rng.randrange(spec.num_teams), spec.games_per_season)
+            for year in seasons
+        ],
+        name="seasons",
+    )
+
+    # rosters: composite key (player_id, team_id, season_year).
+    roster_rows = []
+    for player in range(spec.num_players):
+        for year in seasons:
+            if rng.random() < 0.7:
+                roster_rows.append(
+                    (
+                        player,
+                        rng.randrange(spec.num_teams),
+                        year,
+                        rng.choice(_POSITIONS),
+                        rng.randint(1, 99),
+                    )
+                )
+    rosters = Table(
+        Schema(["player_id", "team_id", "season_year", "position", "jersey"]),
+        roster_rows,
+        name="rosters",
+    )
+
+    # games: composite key (season_year, game_no); correlated home/away.
+    game_rows = []
+    for year in seasons:
+        for game_no in range(spec.games_per_season):
+            home = rng.randrange(spec.num_teams)
+            away = (home + rng.randint(1, spec.num_teams - 1)) % spec.num_teams if spec.num_teams > 1 else home
+            game_rows.append(
+                (
+                    year,
+                    game_no,
+                    home,
+                    away,
+                    home % (spec.num_teams + 2),
+                    rng.randint(0, 15),
+                    rng.randint(0, 15),
+                )
+            )
+    games = Table(
+        Schema(
+            ["season_year", "game_no", "home_team", "away_team", "stadium_id",
+             "home_runs", "away_runs"]
+        ),
+        game_rows,
+        name="games",
+    )
+
+    # batting: composite key (season_year, game_no, player_id).
+    batting_rows = []
+    for year, game_no, home, away, *_ in game_rows:
+        participants = rng.sample(range(spec.num_players), k=min(9, spec.num_players))
+        for player in participants:
+            at_bats = rng.randint(0, 5)
+            hits = rng.randint(0, at_bats) if at_bats else 0
+            batting_rows.append(
+                (year, game_no, player, at_bats, hits, rng.randint(0, 2), rng.randint(0, 3))
+            )
+    batting = Table(
+        Schema(
+            ["season_year", "game_no", "player_id", "at_bats", "hits",
+             "home_runs", "rbi"]
+        ),
+        batting_rows,
+        name="batting",
+    )
+
+    # pitching: composite key (season_year, game_no, player_id).
+    pitching_rows = []
+    for year, game_no, *_ in game_rows:
+        for player in rng.sample(range(spec.num_players), k=min(2, spec.num_players)):
+            innings = rng.randint(1, 9)
+            pitching_rows.append(
+                (year, game_no, player, innings, rng.randint(0, innings * 2),
+                 rng.randint(0, 12), rng.randint(0, 7))
+            )
+    pitching = Table(
+        Schema(
+            ["season_year", "game_no", "player_id", "innings", "earned_runs",
+             "strikeouts", "walks"]
+        ),
+        pitching_rows,
+        name="pitching",
+    )
+
+    # awards: composite key (award_name, season_year).
+    award_rows = [
+        (award, year, rng.randrange(spec.num_players))
+        for award in _AWARD_NAMES
+        for year in seasons
+    ]
+    awards = Table(
+        Schema(["award_name", "season_year", "player_id"]),
+        award_rows,
+        name="awards",
+    )
+
+    # hall_of_fame: key player_id (inducted at most once).
+    hof_players = rng.sample(
+        range(spec.num_players), k=max(1, spec.num_players // 20)
+    )
+    hall_of_fame = Table(
+        Schema(["player_id", "induction_year", "votes_pct"]),
+        [
+            (player, rng.choice(seasons), round(rng.uniform(0.75, 1.0), 3))
+            for player in sorted(hof_players)
+        ],
+        name="hall_of_fame",
+    )
+
+    # season_batting: denormalised aggregate; key (player_id, season_year).
+    totals: Dict[tuple, List[int]] = {}
+    for year, game_no, player, at_bats, hits, hrs, rbi in batting_rows:
+        agg = totals.setdefault((player, year), [0, 0, 0, 0])
+        agg[0] += at_bats
+        agg[1] += hits
+        agg[2] += hrs
+        agg[3] += rbi
+    season_batting = Table(
+        Schema(["player_id", "season_year", "at_bats", "hits", "home_runs", "rbi"]),
+        [
+            (player, year, *aggs)
+            for (player, year), aggs in sorted(totals.items())
+        ],
+        name="season_batting",
+    )
+
+    # managers: key (team_id, season_year).
+    managers = Table(
+        Schema(["team_id", "season_year", "manager_name", "wins", "losses"]),
+        [
+            (
+                team,
+                year,
+                last_names[rng.randrange(len(last_names))].title(),
+                rng.randint(0, spec.games_per_season),
+                rng.randint(0, spec.games_per_season),
+            )
+            for team in range(spec.num_teams)
+            for year in seasons
+        ],
+        name="managers",
+    )
+
+    return {
+        "players": players,
+        "teams": teams,
+        "stadiums": stadiums,
+        "seasons": season_table,
+        "rosters": rosters,
+        "games": games,
+        "batting": batting,
+        "pitching": pitching,
+        "awards": awards,
+        "hall_of_fame": hall_of_fame,
+        "season_batting": season_batting,
+        "managers": managers,
+    }

@@ -1,0 +1,111 @@
+"""Random value distributions used by the synthetic dataset generators.
+
+All samplers take an explicit :class:`random.Random` so every generated
+dataset is reproducible from a seed.  The generalized Zipfian sampler
+implements the paper's Theorem 1 assumption: "the frequency of the i-th
+most frequent value is proportional to i^-theta".
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+import string
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "ZipfianSampler",
+    "uniform_int",
+    "make_words",
+    "weighted_choice",
+]
+
+
+class ZipfianSampler:
+    """Samples values ``0..cardinality-1`` with generalized Zipfian skew.
+
+    ``theta = 0`` degenerates to the uniform distribution; larger ``theta``
+    concentrates mass on the smallest ranks.  Sampling is O(log C) via a
+    precomputed cumulative table.
+    """
+
+    def __init__(self, cardinality: int, theta: float = 0.0):
+        if cardinality < 1:
+            raise ValueError(f"cardinality must be >= 1, got {cardinality}")
+        if theta < 0:
+            raise ValueError(f"theta must be >= 0, got {theta}")
+        self.cardinality = cardinality
+        self.theta = theta
+        weights = [1.0 / (rank**theta) for rank in range(1, cardinality + 1)]
+        total = 0.0
+        cumulative: List[float] = []
+        for weight in weights:
+            total += weight
+            cumulative.append(total)
+        self._cumulative = cumulative
+        self._total = total
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one value (the rank of the value, 0-based)."""
+        point = rng.random() * self._total
+        return bisect.bisect_left(self._cumulative, point)
+
+    def sample_many(self, rng: random.Random, count: int) -> List[int]:
+        """Draw ``count`` i.i.d. values."""
+        return [self.sample(rng) for _ in range(count)]
+
+    def probability(self, rank: int) -> float:
+        """Probability of the value with 0-based frequency rank ``rank``."""
+        if not 0 <= rank < self.cardinality:
+            raise ValueError(f"rank {rank} out of range")
+        return (1.0 / ((rank + 1) ** self.theta)) / self._total
+
+
+def uniform_int(rng: random.Random, low: int, high: int) -> int:
+    """Uniform integer in ``[low, high]`` (inclusive)."""
+    return rng.randint(low, high)
+
+
+def weighted_choice(
+    rng: random.Random, values: Sequence[object], weights: Sequence[float]
+) -> object:
+    """Pick one value with the given (unnormalized) weights."""
+    if len(values) != len(weights):
+        raise ValueError("values and weights must have the same length")
+    total = float(sum(weights))
+    point = rng.random() * total
+    cumulative = 0.0
+    for value, weight in zip(values, weights):
+        cumulative += weight
+        if point < cumulative:
+            return value
+    return values[-1]
+
+
+def make_words(count: int, length: int = 8, seed: Optional[int] = None) -> List[str]:
+    """Deterministically produce ``count`` distinct pseudo-words.
+
+    Words are pronounceable-ish consonant-vowel strings so generated tables
+    look like real catalogs rather than hex dumps.
+    """
+    rng = random.Random(seed)
+    consonants = "bcdfghjklmnprstvz"
+    vowels = "aeiou"
+    seen = set()
+    words: List[str] = []
+    while len(words) < count:
+        word = "".join(
+            rng.choice(consonants) + rng.choice(vowels)
+            for _ in range(max(1, length // 2))
+        )[:length]
+        if word not in seen:
+            seen.add(word)
+            words.append(word)
+        else:
+            # Disambiguate collisions deterministically.
+            suffixed = f"{word}{len(words)}"
+            if suffixed not in seen:
+                seen.add(suffixed)
+                words.append(suffixed)
+    return words

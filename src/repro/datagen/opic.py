@@ -1,0 +1,185 @@
+"""OPIC-like synthetic product catalog.
+
+The paper's primary dataset, OPIC, is a proprietary IBM product-information
+database (106 tables, up to 66 attributes, ~27.7M tuples).  It is not
+available, so this module generates a catalog with the *structural*
+properties the experiments depend on:
+
+* a wide main relation (default 50 attributes — the width used by the
+  Figure 12/13 projections) plus narrower side tables;
+* hierarchical correlated attributes (family -> line -> series -> model),
+  because "real data tends to have many complex correlation patterns" and
+  those correlations are what singleton pruning exploits;
+* planted keys of known shape (a serial number and a composite
+  assembly-position key) so every experiment has ground truth;
+* option/measurement filler attributes that are *functions of the model*
+  (as option codes are in a real catalog), so wide projections collapse
+  heavily — the realistic regime where GORDIAN shines and where the set of
+  minimal keys stays modest instead of exploding combinatorially.
+
+``attributes=`` controls the width: the first columns are the structured
+ones, then deterministic option/measurement columns are appended to reach
+the requested width, exactly like projecting the paper's 50-attribute
+relation onto 5, 10, ..., 50 attributes (section 4.2).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.datagen.distributions import make_words
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+
+__all__ = ["OpicSpec", "generate_opic_main", "generate_opic"]
+
+
+@dataclass(frozen=True)
+class OpicSpec:
+    """Parameters for the OPIC-like generator."""
+
+    num_rows: int = 2000
+    num_attributes: int = 50
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.num_rows < 1:
+            raise ValueError("num_rows must be >= 1")
+        if self.num_attributes < 5:
+            raise ValueError("the OPIC-like relation needs >= 5 attributes")
+
+
+def _latent(model: str) -> int:
+    """Deterministic per-model latent driving the correlated option columns."""
+    return zlib.crc32(model.encode("utf-8"))
+
+
+def generate_opic_main(spec: OpicSpec = OpicSpec()) -> Table:
+    """Generate the wide OPIC-like main relation."""
+    rng = random.Random(spec.seed)
+    n = spec.num_rows
+
+    families = make_words(8, length=6, seed=spec.seed)
+    lines_per_family = {
+        fam: make_words(5, length=7, seed=spec.seed + 1 + i)
+        for i, fam in enumerate(families)
+    }
+    series_per_line = 6
+    statuses = ["active", "obsolete", "planned", "recalled"]
+    descriptions = make_words(30, length=9, seed=spec.seed + 99)
+    units_per_batch = 40
+    batches_per_plant = 50
+
+    names = [
+        "serial_no", "family", "product_line", "series", "model",
+        "plant", "batch", "unit", "description", "status", "price", "weight",
+    ]
+    rows: List[List[object]] = []
+    for i in range(n):
+        family = families[rng.randrange(len(families))]
+        line = lines_per_family[family][rng.randrange(5)]
+        series = rng.randrange(series_per_line)
+        model = f"{line}-{series}"
+        latent = _latent(model)
+        # Composite assembly-position key: units are enumerated in order, so
+        # (plant, batch, unit) is unique by construction.
+        plant = i // (batches_per_plant * units_per_batch)
+        batch = (i // units_per_batch) % batches_per_plant
+        unit = i % units_per_batch
+        rows.append(
+            [
+                f"SN{i:08d}",
+                family,
+                line,
+                series,
+                model,
+                plant,
+                batch,
+                unit,
+                # Descriptions are catalog text attached to the model.
+                descriptions[latent % len(descriptions)],
+                statuses[rng.randrange(len(statuses))],
+                # Price and weight are catalog properties of the model.
+                round(5.0 + (latent % 500) * 19.99, 2),
+                latent % 40 + 1,
+            ]
+        )
+
+    if spec.num_attributes < len(names):
+        names = names[: spec.num_attributes]
+        rows = [row[: spec.num_attributes] for row in rows]
+    else:
+        # Option/measurement columns derived from the model latent: real
+        # catalogs configure options per model, so these columns are fully
+        # correlated with the hierarchy and collapse under projection.
+        filler_needed = spec.num_attributes - len(names)
+        for f in range(filler_needed):
+            if f % 3 == 0:
+                names.append(f"opt_flag_{f}")
+            elif f % 3 == 1:
+                names.append(f"opt_code_{f}")
+            else:
+                names.append(f"meas_{f}")
+        for row in rows:
+            latent = _latent(row[4])
+            for f in range(filler_needed):
+                if f % 3 == 0:
+                    row.append((latent >> (f % 16)) & 1)
+                elif f % 3 == 1:
+                    row.append((latent // (f + 3)) % 12)
+                else:
+                    row.append((latent * (f + 7)) % 25)
+
+    return Table(Schema(names), [tuple(r) for r in rows], name="opic_main")
+
+
+def generate_opic(spec: OpicSpec = OpicSpec()) -> Dict[str, Table]:
+    """Generate the OPIC-like database: main relation plus side tables."""
+    rng = random.Random(spec.seed + 1)
+    main = generate_opic_main(spec)
+
+    # Suppliers side table: single-attribute key, a couple of non-keys.
+    supplier_names = make_words(
+        max(4, spec.num_rows // 100), length=7, seed=spec.seed + 3
+    )
+    suppliers = Table(
+        Schema(["supplier_id", "supplier_name", "country", "tier"]),
+        [
+            (
+                i,
+                supplier_names[i],
+                ["US", "DE", "JP", "CN", "BR"][rng.randrange(5)],
+                rng.randrange(3),
+            )
+            for i in range(len(supplier_names))
+        ],
+        name="opic_suppliers",
+    )
+
+    # Price history: composite key (serial_no, valid_from).
+    history_rows = []
+    for i in range(0, spec.num_rows, 4):
+        serial = f"SN{i:08d}"
+        for rev in range(rng.randint(1, 3)):
+            history_rows.append(
+                (
+                    serial,
+                    2000 + rev,
+                    round(rng.uniform(5.0, 9999.0), 2),
+                    ["list", "promo"][rng.randrange(2)],
+                )
+            )
+    price_history = Table(
+        Schema(["serial_no", "valid_from", "price", "price_kind"]),
+        history_rows,
+        name="opic_price_history",
+    )
+
+    return {
+        "opic_main": main,
+        "opic_suppliers": suppliers,
+        "opic_price_history": price_history,
+    }

@@ -1,0 +1,279 @@
+"""A scaled-down TPC-H-like database generator.
+
+The paper's synthetic dataset is "the synthetic database described in
+[the TPC-H spec]" with 866,602 tuples across 8 tables.  We generate the same
+eight-table star schema — region, nation, supplier, customer, part,
+partsupp, orders, lineitem — at an adjustable scale factor, preserving the
+properties GORDIAN's experiments exercise:
+
+* the genuine key structure (e.g. ``partsupp`` keyed by (partkey, suppkey),
+  ``lineitem`` by (orderkey, linenumber));
+* referentially consistent foreign keys (used by the foreign-key extension);
+* realistic value correlations (extended price derived from quantity, a
+  shared comment vocabulary, skewed dates) so pruning behaves as on the
+  paper's data rather than on random noise.
+
+Row counts scale linearly with ``scale`` like real dbgen: at ``scale=1`` the
+generator emits approximately 1/1000 of official SF-1 (so laptops and CI can
+run every experiment); the official proportions between tables are kept.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.datagen.distributions import make_words
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+
+__all__ = ["TpchSpec", "generate_tpch"]
+
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"]
+_PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+_SHIPMODES = ["AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"]
+_ORDER_STATUS = ["F", "O", "P"]
+_REGION_NAMES = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+_NATION_NAMES = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+    "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+    "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+]
+
+
+@dataclass(frozen=True)
+class TpchSpec:
+    """Scale and seed for one generated database.
+
+    ``scale=1`` yields roughly 870 tuples overall (1/1000 of SF-1); the
+    paper's Table 1 row (866,602 tuples) corresponds to ``scale≈1000``.
+    """
+
+    scale: float = 1.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+
+def _date(rng: random.Random) -> str:
+    """A date string in the canonical TPC-H window (1992-1998)."""
+    year = rng.randint(1992, 1998)
+    month = rng.randint(1, 12)
+    day = rng.randint(1, 28)
+    return f"{year:04d}-{month:02d}-{day:02d}"
+
+
+def generate_tpch(spec: TpchSpec = TpchSpec()) -> Dict[str, Table]:
+    """Generate the eight TPC-H-like tables; returns ``{name: Table}``."""
+    rng = random.Random(spec.seed)
+    scale = spec.scale
+
+    n_supplier = max(2, round(10 * scale))
+    n_customer = max(3, round(150 * scale))
+    n_part = max(3, round(200 * scale))
+    n_orders = max(3, round(150 * scale))
+    comments = make_words(200, length=10, seed=spec.seed)
+
+    # region ----------------------------------------------------------
+    region_schema = Schema(["r_regionkey", "r_name", "r_comment"])
+    region_rows = [
+        (i, name, comments[i % len(comments)])
+        for i, name in enumerate(_REGION_NAMES)
+    ]
+    region = Table(region_schema, region_rows, name="region")
+
+    # nation ----------------------------------------------------------
+    nation_schema = Schema(["n_nationkey", "n_name", "n_regionkey", "n_comment"])
+    nation_rows = [
+        (i, name, i % len(_REGION_NAMES), comments[(i * 3) % len(comments)])
+        for i, name in enumerate(_NATION_NAMES)
+    ]
+    nation = Table(nation_schema, nation_rows, name="nation")
+
+    # supplier ---------------------------------------------------------
+    supplier_schema = Schema(
+        [
+            "s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone",
+            "s_acctbal", "s_comment",
+        ]
+    )
+    supplier_rows = []
+    for i in range(n_supplier):
+        nationkey = rng.randrange(len(_NATION_NAMES))
+        supplier_rows.append(
+            (
+                i,
+                f"Supplier#{i:09d}",
+                f"{rng.randint(1, 999)} {comments[rng.randrange(len(comments))]} st",
+                nationkey,
+                f"{10 + nationkey}-{rng.randint(100, 999)}-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}",
+                round(rng.uniform(-999.99, 9999.99), 2),
+                comments[rng.randrange(len(comments))],
+            )
+        )
+    supplier = Table(supplier_schema, supplier_rows, name="supplier")
+
+    # customer ---------------------------------------------------------
+    customer_schema = Schema(
+        [
+            "c_custkey", "c_name", "c_address", "c_nationkey", "c_phone",
+            "c_acctbal", "c_mktsegment", "c_comment",
+        ]
+    )
+    customer_rows = []
+    for i in range(n_customer):
+        nationkey = rng.randrange(len(_NATION_NAMES))
+        customer_rows.append(
+            (
+                i,
+                f"Customer#{i:09d}",
+                f"{rng.randint(1, 999)} {comments[rng.randrange(len(comments))]} ave",
+                nationkey,
+                f"{10 + nationkey}-{rng.randint(100, 999)}-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}",
+                round(rng.uniform(-999.99, 9999.99), 2),
+                rng.choice(_SEGMENTS),
+                comments[rng.randrange(len(comments))],
+            )
+        )
+    customer = Table(customer_schema, customer_rows, name="customer")
+
+    # part --------------------------------------------------------------
+    part_schema = Schema(
+        [
+            "p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_size",
+            "p_container", "p_retailprice", "p_comment",
+        ]
+    )
+    types = [
+        f"{a} {b} {c}"
+        for a in ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+        for b in ("ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED")
+        for c in ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+    ]
+    containers = [
+        f"{a} {b}"
+        for a in ("SM", "LG", "MED", "JUMBO", "WRAP")
+        for b in ("CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM")
+    ]
+    part_rows = []
+    for i in range(n_part):
+        mfgr = rng.randint(1, 5)
+        brand = mfgr * 10 + rng.randint(1, 5)
+        part_rows.append(
+            (
+                i,
+                f"{comments[rng.randrange(len(comments))]} {comments[rng.randrange(len(comments))]}",
+                f"Manufacturer#{mfgr}",
+                f"Brand#{brand}",
+                rng.choice(types),
+                rng.randint(1, 50),
+                rng.choice(containers),
+                # Coarse price grid: keeps l_extendedprice (= qty * price)
+                # non-unique at small scale, as it is at TPC-H scale.
+                float(900 + 10 * (i % 40)),
+                comments[rng.randrange(len(comments))],
+            )
+        )
+    part = Table(part_schema, part_rows, name="part")
+
+    # partsupp — composite key (ps_partkey, ps_suppkey) ------------------
+    partsupp_schema = Schema(
+        ["ps_partkey", "ps_suppkey", "ps_availqty", "ps_supplycost", "ps_comment"]
+    )
+    partsupp_rows = []
+    for partkey in range(n_part):
+        # Four suppliers per part, like real dbgen.
+        for j in range(min(4, n_supplier)):
+            suppkey = (partkey + j * (n_supplier // 4 + 1)) % n_supplier
+            partsupp_rows.append(
+                (
+                    partkey,
+                    suppkey,
+                    rng.randint(1, 9999),
+                    round(rng.uniform(1.0, 1000.0), 2),
+                    comments[rng.randrange(len(comments))],
+                )
+            )
+    # Deduplicate (partkey, suppkey) pairs possibly collided by the modulus.
+    partsupp_rows = list(
+        {(r[0], r[1]): r for r in partsupp_rows}.values()
+    )
+    partsupp = Table(partsupp_schema, partsupp_rows, name="partsupp")
+
+    # orders --------------------------------------------------------------
+    orders_schema = Schema(
+        [
+            "o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice",
+            "o_orderdate", "o_orderpriority", "o_clerk", "o_shippriority",
+            "o_comment",
+        ]
+    )
+    orders_rows = []
+    for i in range(n_orders):
+        orders_rows.append(
+            (
+                i,
+                rng.randrange(n_customer),
+                rng.choice(_ORDER_STATUS),
+                round(rng.uniform(850.0, 550000.0), 2),
+                _date(rng),
+                rng.choice(_PRIORITIES),
+                f"Clerk#{rng.randint(0, max(1, n_orders // 10)):09d}",
+                0,
+                comments[rng.randrange(len(comments))],
+            )
+        )
+    orders = Table(orders_schema, orders_rows, name="orders")
+
+    # lineitem — composite key (l_orderkey, l_linenumber) -------------------
+    lineitem_schema = Schema(
+        [
+            "l_orderkey", "l_partkey", "l_suppkey", "l_linenumber",
+            "l_quantity", "l_extendedprice", "l_discount", "l_tax",
+            "l_returnflag", "l_linestatus", "l_shipdate", "l_commitdate",
+            "l_receiptdate", "l_shipinstruct", "l_shipmode", "l_comment",
+        ]
+    )
+    instructions = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+    lineitem_rows = []
+    for orderkey in range(n_orders):
+        for linenumber in range(1, rng.randint(1, 7) + 1):
+            partkey = rng.randrange(n_part)
+            quantity = rng.randint(1, 50)
+            retail = part_rows[partkey][7]
+            lineitem_rows.append(
+                (
+                    orderkey,
+                    partkey,
+                    rng.randrange(n_supplier),
+                    linenumber,
+                    quantity,
+                    round(quantity * retail, 2),
+                    round(rng.randint(0, 10) / 100.0, 2),
+                    round(rng.randint(0, 8) / 100.0, 2),
+                    rng.choice(["A", "N", "R"]),
+                    rng.choice(["F", "O"]),
+                    _date(rng),
+                    _date(rng),
+                    _date(rng),
+                    rng.choice(instructions),
+                    rng.choice(_SHIPMODES),
+                    comments[rng.randrange(len(comments))],
+                )
+            )
+    lineitem = Table(lineitem_schema, lineitem_rows, name="lineitem")
+
+    return {
+        "region": region,
+        "nation": nation,
+        "supplier": supplier,
+        "customer": customer,
+        "part": part,
+        "partsupp": partsupp,
+        "orders": orders,
+        "lineitem": lineitem,
+    }

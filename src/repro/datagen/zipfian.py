@@ -1,0 +1,75 @@
+"""Generalized-Zipfian synthetic datasets (paper, section 3.8 / Theorem 1).
+
+Theorem 1 analyses GORDIAN under three assumptions: per-attribute frequencies
+follow a generalized Zipfian distribution with parameter ``theta``, only the
+single-entity sub-case of singleton pruning runs, and attributes are
+uncorrelated.  This generator produces datasets matching those assumptions
+exactly, so the scaling experiments can compare measured work against the
+theorem's predicted exponent.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.datagen.distributions import ZipfianSampler
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+
+__all__ = ["ZipfianSpec", "generate_zipfian_table"]
+
+
+@dataclass(frozen=True)
+class ZipfianSpec:
+    """Parameters of a Theorem-1-style dataset."""
+
+    num_entities: int
+    num_attributes: int
+    cardinality: int
+    theta: float = 0.0
+    seed: int = 0
+    #: Append a distinct row id so the dataset is guaranteed to have a key
+    #: (duplicate full rows would make GORDIAN abort, per Algorithm 2).
+    with_row_id: bool = False
+
+    def __post_init__(self) -> None:
+        if self.num_entities < 0:
+            raise ValueError("num_entities must be >= 0")
+        if self.num_attributes < 1:
+            raise ValueError("num_attributes must be >= 1")
+        if self.cardinality < 1:
+            raise ValueError("cardinality must be >= 1")
+
+
+def generate_zipfian_table(spec: ZipfianSpec) -> Table:
+    """Generate a table of i.i.d. Zipfian attributes per ``spec``.
+
+    Duplicate full rows are re-drawn (up to a bounded number of retries) so
+    the dataset always has at least one key; with ``with_row_id`` a final
+    ``row_id`` attribute makes uniqueness trivial instead.
+    """
+    rng = random.Random(spec.seed)
+    sampler = ZipfianSampler(spec.cardinality, spec.theta)
+    rows: List[Tuple[object, ...]] = []
+    seen = set()
+    for i in range(spec.num_entities):
+        for _attempt in range(1000):
+            row = tuple(sampler.sample(rng) for _ in range(spec.num_attributes))
+            if spec.with_row_id or row not in seen:
+                break
+        else:
+            raise ValueError(
+                "could not draw a fresh entity; cardinality**attributes too small "
+                f"for {spec.num_entities} distinct entities"
+            )
+        if not spec.with_row_id:
+            seen.add(row)
+        else:
+            row = row + (i,)
+        rows.append(row)
+    names = [f"a{i}" for i in range(spec.num_attributes)]
+    if spec.with_row_id:
+        names.append("row_id")
+    return Table(Schema(names), rows, name=f"zipf_t{spec.theta}_c{spec.cardinality}")

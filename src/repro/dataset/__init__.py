@@ -1,0 +1,41 @@
+"""Relational substrate: schemas, tables, encoding, CSV I/O, sampling."""
+
+from repro.dataset.csv_io import dumps_csv, load_csv, loads_csv, save_csv
+from repro.dataset.encoding import ColumnDictionary, encode_rows, encode_table
+from repro.dataset.entities import documents_to_table, flatten_document
+from repro.dataset.nulls import NullPolicy, apply_null_policy, has_nulls
+from repro.dataset.profile import ColumnProfile, TableProfile, profile_table
+from repro.dataset.sampling import (
+    bernoulli_sample,
+    reservoir_sample,
+    sample_rows,
+    sample_table,
+)
+from repro.dataset.schema import Attribute, AttrType, Schema
+from repro.dataset.table import Table
+
+__all__ = [
+    "dumps_csv",
+    "load_csv",
+    "loads_csv",
+    "save_csv",
+    "ColumnDictionary",
+    "encode_rows",
+    "encode_table",
+    "documents_to_table",
+    "flatten_document",
+    "NullPolicy",
+    "apply_null_policy",
+    "has_nulls",
+    "ColumnProfile",
+    "TableProfile",
+    "profile_table",
+    "bernoulli_sample",
+    "reservoir_sample",
+    "sample_rows",
+    "sample_table",
+    "Attribute",
+    "AttrType",
+    "Schema",
+    "Table",
+]

@@ -1,0 +1,108 @@
+"""CSV loading and saving for :class:`~repro.dataset.table.Table`.
+
+A thin, dependency-free layer over :mod:`csv` with optional type inference
+(int, then float, else string; empty fields become ``None``), enough to get
+real-world files into the key-discovery pipeline.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import List, Optional, Sequence, Union
+
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+from repro.errors import DataError
+
+__all__ = ["load_csv", "loads_csv", "save_csv", "dumps_csv", "infer_value"]
+
+
+def infer_value(text: str) -> object:
+    """Parse one CSV field: '' -> None, ints, floats, else the raw string."""
+    if text == "":
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def _read(
+    reader, name: str, header: bool, schema: Optional[Sequence[str]], infer: bool
+) -> Table:
+    rows_iter = iter(reader)
+    if header:
+        try:
+            header_row = next(rows_iter)
+        except StopIteration:
+            raise DataError(f"CSV {name!r} is empty but a header was expected")
+        names = [field.strip() for field in header_row]
+    elif schema is not None:
+        names = list(schema)
+    else:
+        raise DataError("either a header row or an explicit schema is required")
+    parsed = []
+    for raw in rows_iter:
+        if not raw:
+            continue
+        if len(raw) != len(names):
+            raise DataError(
+                f"CSV {name!r}: row has {len(raw)} fields, header has {len(names)}"
+            )
+        parsed.append(
+            tuple(infer_value(field) if infer else field for field in raw)
+        )
+    return Table(Schema(names), parsed, name=name)
+
+
+def load_csv(
+    path: Union[str, Path],
+    header: bool = True,
+    schema: Optional[Sequence[str]] = None,
+    infer: bool = True,
+    delimiter: str = ",",
+) -> Table:
+    """Load a CSV file into a table."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        return _read(reader, path.stem, header, schema, infer)
+
+
+def loads_csv(
+    text: str,
+    header: bool = True,
+    schema: Optional[Sequence[str]] = None,
+    infer: bool = True,
+    delimiter: str = ",",
+    name: str = "csv",
+) -> Table:
+    """Parse CSV text into a table."""
+    reader = csv.reader(io.StringIO(text), delimiter=delimiter)
+    return _read(reader, name, header, schema, infer)
+
+
+def save_csv(table: Table, path: Union[str, Path], delimiter: str = ",") -> None:
+    """Write a table to a CSV file with a header row (``None`` -> '')."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle, delimiter=delimiter)
+        writer.writerow(table.schema.names)
+        for row in table.rows:
+            writer.writerow(["" if v is None else v for v in row])
+
+
+def dumps_csv(table: Table, delimiter: str = ",") -> str:
+    """Render a table as CSV text with a header row."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, delimiter=delimiter)
+    writer.writerow(table.schema.names)
+    for row in table.rows:
+        writer.writerow(["" if v is None else v for v in row])
+    return buffer.getvalue()

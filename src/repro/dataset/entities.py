@@ -1,0 +1,82 @@
+"""Adapters turning non-relational entity collections into tables.
+
+The paper stresses that GORDIAN works on "any collection of entities, e.g.,
+key column-groups in relational data, or key leaf-node sets in a collection
+of XML documents with a common schema" (abstract).  This module provides the
+flattening that makes that true here: nested mappings/lists (the shape of a
+parsed XML or JSON document) are flattened to leaf paths, and a collection
+of such documents with a common set of leaf paths becomes a
+:class:`~repro.dataset.table.Table` whose attributes are the paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+from repro.errors import DataError
+
+__all__ = ["flatten_document", "documents_to_table"]
+
+
+def flatten_document(
+    document: Mapping, separator: str = "/", prefix: str = ""
+) -> Dict[str, object]:
+    """Flatten a nested mapping to ``{leaf_path: value}``.
+
+    Nested mappings extend the path with ``separator``; lists index their
+    elements (``items/0/price``).  Scalar leaves are kept as-is.
+    """
+    flat: Dict[str, object] = {}
+
+    def walk(value: object, path: str) -> None:
+        if isinstance(value, Mapping):
+            for key, sub in value.items():
+                walk(sub, f"{path}{separator}{key}" if path else str(key))
+        elif isinstance(value, (list, tuple)):
+            for i, sub in enumerate(value):
+                walk(sub, f"{path}{separator}{i}" if path else str(i))
+        else:
+            if path in flat:
+                raise DataError(f"duplicate leaf path {path!r} while flattening")
+            flat[path] = value
+
+    walk(document, prefix)
+    return flat
+
+
+def documents_to_table(
+    documents: Sequence[Mapping],
+    separator: str = "/",
+    missing: object = None,
+    paths: Optional[Sequence[str]] = None,
+    name: str = "documents",
+) -> Table:
+    """Turn a collection of documents with a common schema into a table.
+
+    Parameters
+    ----------
+    documents:
+        The entities (nested dicts/lists, e.g. parsed XML or JSON).
+    separator:
+        Path separator for nested fields.
+    missing:
+        Filler for leaf paths absent from some document.
+    paths:
+        Explicit attribute order; defaults to first-seen order across all
+        documents.
+    """
+    if not documents:
+        raise DataError("cannot build a table from zero documents")
+    flattened = [flatten_document(doc, separator=separator) for doc in documents]
+    if paths is None:
+        seen: Dict[str, None] = {}
+        for flat in flattened:
+            for path in flat:
+                seen.setdefault(path, None)
+        paths = list(seen)
+    rows: List[Tuple[object, ...]] = [
+        tuple(flat.get(path, missing) for path in paths) for flat in flattened
+    ]
+    return Table(Schema(list(paths)), rows, name=name)

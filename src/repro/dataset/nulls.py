@@ -1,0 +1,94 @@
+"""Null semantics for key discovery.
+
+The paper's entity model has no NULLs, but real tables do, and what a "key"
+means then is a policy decision:
+
+* ``NullPolicy.EQUAL`` — NULL equals NULL (one more domain value).  Two rows
+  that agree on a key's non-null attributes and are both NULL elsewhere are
+  duplicates.  This is the conservative reading for primary-key candidates,
+  and the default: nothing needs rewriting.
+* ``NullPolicy.DISTINCT`` — NULL never equals anything, including NULL (the
+  SQL ``UNIQUE`` constraint semantics).  Implemented by rewriting each NULL
+  to a fresh sentinel, so NULL-bearing rows can never collide on a
+  projection that includes the NULL.
+* ``NullPolicy.FORBID`` — refuse datasets containing NULLs; useful when a
+  pipeline should have cleaned them already.
+
+Rewriting happens before GORDIAN runs, so the core algorithm stays exactly
+the paper's.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import DataError
+
+__all__ = ["NullPolicy", "NullSentinel", "apply_null_policy", "has_nulls"]
+
+
+class NullPolicy(str, Enum):
+    """How NULL (``None``) values behave during key discovery."""
+
+    EQUAL = "equal"
+    DISTINCT = "distinct"
+    FORBID = "forbid"
+
+
+class NullSentinel:
+    """A unique stand-in for one NULL occurrence under DISTINCT semantics.
+
+    Each instance equals only itself (object identity), so two rewritten
+    NULLs never compare equal, and hashes by identity, so prefix-tree cells
+    treat every occurrence as a distinct value.
+    """
+
+    __slots__ = ("row", "attr")
+
+    def __init__(self, row: int, attr: int):
+        self.row = row
+        self.attr = attr
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"NullSentinel(row={self.row}, attr={self.attr})"
+
+
+def has_nulls(rows: Sequence[Sequence[object]]) -> bool:
+    """True iff any value in ``rows`` is ``None``."""
+    return any(value is None for row in rows for value in row)
+
+
+def apply_null_policy(
+    rows: Sequence[Sequence[object]],
+    policy: NullPolicy = NullPolicy.EQUAL,
+) -> Sequence[Sequence[object]]:
+    """Rewrite ``rows`` according to the null policy.
+
+    EQUAL returns the input unchanged (``None`` is just a value); DISTINCT
+    replaces every ``None`` with a fresh :class:`NullSentinel`; FORBID
+    raises :class:`DataError` on the first ``None``.
+    """
+    policy = NullPolicy(policy)
+    if policy is NullPolicy.EQUAL:
+        return rows
+    if policy is NullPolicy.FORBID:
+        for i, row in enumerate(rows):
+            for j, value in enumerate(row):
+                if value is None:
+                    raise DataError(
+                        f"NULL at row {i}, attribute {j} (policy=forbid)"
+                    )
+        return rows
+    rewritten: List[Tuple[object, ...]] = []
+    for i, row in enumerate(rows):
+        if any(value is None for value in row):
+            rewritten.append(
+                tuple(
+                    NullSentinel(i, j) if value is None else value
+                    for j, value in enumerate(row)
+                )
+            )
+        else:
+            rewritten.append(tuple(row))
+    return rewritten

@@ -1,0 +1,143 @@
+"""Column and table profiling.
+
+Key discovery is one piece of data profiling; this module supplies the
+surrounding statistics a profiling run wants anyway — per-column
+cardinality, null fraction, inferred type, most frequent value, uniqueness
+— plus the quantities GORDIAN itself consumes (the cardinality ordering of
+section 3.2.1 and the average cardinality ``C`` feeding the Theorem 1 cost
+model).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dataset.table import Table
+
+__all__ = ["ColumnProfile", "TableProfile", "profile_table"]
+
+
+@dataclass(frozen=True)
+class ColumnProfile:
+    """Statistics for one column."""
+
+    name: str
+    position: int
+    cardinality: int
+    null_count: int
+    total: int
+    inferred_type: str
+    most_frequent: object
+    most_frequent_count: int
+
+    @property
+    def null_fraction(self) -> float:
+        return self.null_count / self.total if self.total else 0.0
+
+    @property
+    def uniqueness(self) -> float:
+        """Cardinality over row count — the single-column strength."""
+        return self.cardinality / self.total if self.total else 1.0
+
+    @property
+    def is_unique(self) -> bool:
+        return self.total > 0 and self.cardinality == self.total
+
+
+@dataclass
+class TableProfile:
+    """Statistics for a whole table."""
+
+    table_name: str
+    num_rows: int
+    columns: List[ColumnProfile]
+
+    @property
+    def avg_cardinality(self) -> float:
+        """The ``C`` of the Theorem 1 cost model."""
+        if not self.columns:
+            return 0.0
+        return sum(col.cardinality for col in self.columns) / len(self.columns)
+
+    def unique_columns(self) -> List[str]:
+        """Single-attribute keys, straight from the per-column statistics."""
+        return [col.name for col in self.columns if col.is_unique]
+
+    def cardinality_order(self, descending: bool = True) -> List[int]:
+        """Attribute positions ordered by cardinality (section 3.2.1).
+
+        ``descending=True`` is the paper's recommended prefix-tree order.
+        Ties keep schema order (stable sort), matching the driver.
+        """
+        return sorted(
+            range(len(self.columns)),
+            key=lambda i: self.columns[i].cardinality,
+            reverse=descending,
+        )
+
+    def render(self) -> str:
+        """Fixed-width text report."""
+        header = (
+            f"{'column':<20} {'type':<8} {'card.':>8} {'nulls':>7} "
+            f"{'unique?':>8} {'top value':>14}"
+        )
+        lines = [f"table {self.table_name}: {self.num_rows} rows", header,
+                 "-" * len(header)]
+        for col in self.columns:
+            lines.append(
+                f"{col.name:<20} {col.inferred_type:<8} {col.cardinality:>8} "
+                f"{col.null_count:>7} {str(col.is_unique):>8} "
+                f"{str(col.most_frequent)[:14]:>14}"
+            )
+        return "\n".join(lines)
+
+
+def _infer_type(values: Sequence[object]) -> str:
+    """Name the dominant Python type among non-null values."""
+    kinds = Counter()
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            kinds["bool"] += 1
+        elif isinstance(value, int):
+            kinds["int"] += 1
+        elif isinstance(value, float):
+            kinds["float"] += 1
+        elif isinstance(value, str):
+            kinds["str"] += 1
+        else:
+            kinds[type(value).__name__] += 1
+    if not kinds:
+        return "null"
+    return kinds.most_common(1)[0][0]
+
+
+def profile_table(table: Table) -> TableProfile:
+    """Profile every column of ``table`` in one pass per column."""
+    columns: List[ColumnProfile] = []
+    for position, name in enumerate(table.schema.names):
+        values = [row[position] for row in table.rows]
+        counter = Counter(values)
+        null_count = counter.get(None, 0)
+        if counter:
+            most_frequent, most_count = counter.most_common(1)[0]
+        else:
+            most_frequent, most_count = None, 0
+        columns.append(
+            ColumnProfile(
+                name=name,
+                position=position,
+                cardinality=len(counter),
+                null_count=null_count,
+                total=len(values),
+                inferred_type=_infer_type(values),
+                most_frequent=most_frequent,
+                most_frequent_count=most_count,
+            )
+        )
+    return TableProfile(
+        table_name=table.name, num_rows=table.num_rows, columns=columns
+    )

@@ -1,0 +1,92 @@
+"""Row sampling for approximate key discovery (paper, section 3.9).
+
+GORDIAN becomes scalable to very large datasets by running on a sample: all
+true keys survive (a non-key of the sample is a non-key of the data), and
+false keys can still be useful approximate keys when their strength is high.
+Two classic schemes are provided:
+
+* **Bernoulli sampling** — each row kept independently with probability
+  ``fraction``; the natural model for "sample size as a percentage of the
+  data" sweeps (Figures 14-15).
+* **Reservoir sampling** — exactly ``k`` rows, single pass, suitable for
+  streams of unknown length.
+
+Both are deterministic under a seed so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple, TypeVar
+
+from repro.dataset.table import Table
+
+__all__ = [
+    "bernoulli_sample",
+    "reservoir_sample",
+    "sample_rows",
+    "sample_table",
+]
+
+RowT = TypeVar("RowT")
+
+
+def bernoulli_sample(
+    rows: Sequence[RowT], fraction: float, seed: Optional[int] = None
+) -> List[RowT]:
+    """Keep each row independently with probability ``fraction``."""
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    if fraction == 1.0:
+        return list(rows)
+    if fraction == 0.0:
+        return []
+    rng = random.Random(seed)
+    return [row for row in rows if rng.random() < fraction]
+
+
+def reservoir_sample(
+    rows: Sequence[RowT], k: int, seed: Optional[int] = None
+) -> List[RowT]:
+    """Uniformly sample exactly ``min(k, len(rows))`` rows in one pass.
+
+    Classic Algorithm R: fill the reservoir with the first ``k`` rows, then
+    replace a random slot with decreasing probability.
+    """
+    if k < 0:
+        raise ValueError(f"k must be >= 0, got {k}")
+    rng = random.Random(seed)
+    reservoir: List[RowT] = []
+    for i, row in enumerate(rows):
+        if i < k:
+            reservoir.append(row)
+        else:
+            j = rng.randint(0, i)
+            if j < k:
+                reservoir[j] = row
+    return reservoir
+
+
+def sample_rows(
+    rows: Sequence[RowT],
+    fraction: Optional[float] = None,
+    size: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> List[RowT]:
+    """Dispatch to Bernoulli (``fraction``) or reservoir (``size``) sampling."""
+    if (fraction is None) == (size is None):
+        raise ValueError("specify exactly one of fraction or size")
+    if fraction is not None:
+        return bernoulli_sample(rows, fraction, seed=seed)
+    return reservoir_sample(rows, size, seed=seed)
+
+
+def sample_table(
+    table: Table,
+    fraction: Optional[float] = None,
+    size: Optional[int] = None,
+    seed: Optional[int] = None,
+) -> Table:
+    """Sample a table's rows, keeping schema and name."""
+    rows = sample_rows(table.rows, fraction=fraction, size=size, seed=seed)
+    return Table(table.schema, rows, name=f"{table.name}_sample")

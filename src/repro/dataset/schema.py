@@ -1,0 +1,127 @@
+"""Schema objects for the relational substrate.
+
+GORDIAN operates on "any collection of entities" with a common schema; this
+module provides the minimal schema vocabulary the rest of the library needs:
+named, typed attributes with stable positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterator, List, Sequence, Tuple, Union
+
+from repro.errors import SchemaError
+
+__all__ = ["AttrType", "Attribute", "Schema"]
+
+
+class AttrType(str, Enum):
+    """Logical attribute types (informational; values stay Python objects)."""
+
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+    DATE = "date"
+    BOOL = "bool"
+    ANY = "any"
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed attribute."""
+
+    name: str
+    type: AttrType = AttrType.ANY
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute names must be non-empty")
+        if not isinstance(self.type, AttrType):
+            object.__setattr__(self, "type", AttrType(self.type))
+
+
+class Schema:
+    """An ordered collection of uniquely named attributes."""
+
+    def __init__(self, attributes: Sequence[Union[Attribute, str, Tuple[str, str]]]):
+        attrs: List[Attribute] = []
+        for spec in attributes:
+            if isinstance(spec, Attribute):
+                attrs.append(spec)
+            elif isinstance(spec, str):
+                attrs.append(Attribute(spec))
+            elif isinstance(spec, tuple) and len(spec) == 2:
+                attrs.append(Attribute(spec[0], AttrType(spec[1])))
+            else:
+                raise SchemaError(f"cannot interpret attribute spec: {spec!r}")
+        if not attrs:
+            raise SchemaError("a schema needs at least one attribute")
+        names = [attr.name for attr in attrs]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate attribute names: {duplicates}")
+        self._attributes: Tuple[Attribute, ...] = tuple(attrs)
+        self._index: Dict[str, int] = {a.name: i for i, a in enumerate(attrs)}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def names(self) -> List[str]:
+        return [attr.name for attr in self._attributes]
+
+    @property
+    def attributes(self) -> Tuple[Attribute, ...]:
+        return self._attributes
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __getitem__(self, key: Union[int, str]) -> Attribute:
+        if isinstance(key, int):
+            return self._attributes[key]
+        return self._attributes[self.index_of(key)]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Schema({self.names})"
+
+    # ------------------------------------------------------------------
+
+    def index_of(self, name: str) -> int:
+        """Position of attribute ``name``; raises :class:`SchemaError` if absent."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {name!r}; have {self.names}") from None
+
+    def indices_of(self, names: Sequence[str]) -> List[int]:
+        """Positions of several attributes, in the order given."""
+        return [self.index_of(name) for name in names]
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """A new schema containing only ``names``, in the order given."""
+        return Schema([self[self.index_of(name)] for name in names])
+
+    def rename(self, mapping: Dict[str, str]) -> "Schema":
+        """A new schema with attributes renamed per ``mapping``."""
+        for old in mapping:
+            if old not in self:
+                raise SchemaError(f"cannot rename unknown attribute {old!r}")
+        return Schema(
+            [
+                Attribute(mapping.get(attr.name, attr.name), attr.type)
+                for attr in self._attributes
+            ]
+        )

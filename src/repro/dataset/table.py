@@ -1,0 +1,183 @@
+"""A small in-memory table: the dataset substrate GORDIAN scans.
+
+The paper's prototype ran "on top of DB2", which only had to supply a single
+sequential scan per run.  :class:`Table` supplies exactly that — rows stored
+as tuples with a named schema — plus the relational odds and ends the
+experiments need: projections with duplicate elimination (to compute key
+strength exactly, section 4.3), distinct counts, and convenience bridges to
+:func:`repro.core.find_keys`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.dataset.schema import Schema
+from repro.errors import DataError
+
+__all__ = ["Table"]
+
+
+class Table:
+    """An immutable-by-convention collection of rows over a :class:`Schema`."""
+
+    def __init__(
+        self,
+        schema: Union[Schema, Sequence[str]],
+        rows: Iterable[Sequence[object]] = (),
+        name: str = "table",
+    ):
+        self.schema = schema if isinstance(schema, Schema) else Schema(list(schema))
+        self.name = name
+        width = len(self.schema)
+        materialized: List[Tuple[object, ...]] = []
+        for i, row in enumerate(rows):
+            row = tuple(row)
+            if len(row) != width:
+                raise DataError(
+                    f"row {i} of table {name!r} has {len(row)} values, "
+                    f"schema has {width}"
+                )
+            materialized.append(row)
+        self.rows: List[Tuple[object, ...]] = materialized
+
+    # ------------------------------------------------------------------
+    # basics
+
+    @property
+    def num_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def num_attributes(self) -> int:
+        return len(self.schema)
+
+    @property
+    def attribute_names(self) -> List[str]:
+        return self.schema.names
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Tuple[object, ...]]:
+        return iter(self.rows)
+
+    def __getitem__(self, index: int) -> Tuple[object, ...]:
+        return self.rows[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Table({self.name!r}, {self.num_rows} rows, {self.schema.names})"
+
+    # ------------------------------------------------------------------
+    # relational operations
+
+    def _resolve(self, attrs: Sequence[Union[int, str]]) -> List[int]:
+        indices: List[int] = []
+        for attr in attrs:
+            if isinstance(attr, str):
+                indices.append(self.schema.index_of(attr))
+            else:
+                if not 0 <= attr < self.num_attributes:
+                    raise DataError(
+                        f"attribute index {attr} out of range for {self.name!r}"
+                    )
+                indices.append(attr)
+        return indices
+
+    def column(self, attr: Union[int, str]) -> List[object]:
+        """Materialize one column."""
+        index = self._resolve([attr])[0]
+        return [row[index] for row in self.rows]
+
+    def project(
+        self, attrs: Sequence[Union[int, str]], distinct: bool = False
+    ) -> "Table":
+        """Project onto ``attrs``; optionally eliminate duplicates.
+
+        Projection with duplicate removal is the paper's key test: a key
+        projection has as many entities as the table (section 2).
+        """
+        indices = self._resolve(attrs)
+        projected = (tuple(row[i] for i in indices) for row in self.rows)
+        if distinct:
+            projected = iter(dict.fromkeys(projected))
+        schema = Schema([self.schema[i] for i in indices])
+        return Table(schema, projected, name=f"{self.name}_proj")
+
+    def distinct_count(self, attrs: Sequence[Union[int, str]]) -> int:
+        """Number of distinct value combinations on ``attrs``."""
+        indices = self._resolve(attrs)
+        return len({tuple(row[i] for i in indices) for row in self.rows})
+
+    def cardinalities(self) -> Dict[str, int]:
+        """Distinct-value count per attribute."""
+        return {
+            name: self.distinct_count([i])
+            for i, name in enumerate(self.schema.names)
+        }
+
+    def strength(self, attrs: Sequence[Union[int, str]]) -> float:
+        """Exact strength of an attribute set (section 3.9): distinct / total."""
+        if self.num_rows == 0:
+            return 1.0
+        return self.distinct_count(attrs) / self.num_rows
+
+    def is_key(self, attrs: Sequence[Union[int, str]]) -> bool:
+        """True iff ``attrs`` uniquely identifies every row."""
+        return self.distinct_count(attrs) == self.num_rows
+
+    def select(self, predicate) -> "Table":
+        """Rows satisfying ``predicate(row_dict)`` — the slice operation."""
+        names = self.schema.names
+        kept = [
+            row
+            for row in self.rows
+            if predicate(dict(zip(names, row)))
+        ]
+        return Table(self.schema, kept, name=f"{self.name}_sel")
+
+    def head(self, n: int) -> "Table":
+        """The first ``n`` rows."""
+        return Table(self.schema, self.rows[:n], name=self.name)
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        """Rows as dictionaries keyed by attribute name."""
+        names = self.schema.names
+        return [dict(zip(names, row)) for row in self.rows]
+
+    # ------------------------------------------------------------------
+    # bridges
+
+    def find_keys(self, config=None):
+        """Run GORDIAN on this table; see :func:`repro.core.find_keys`."""
+        from repro.core import find_keys as _find_keys
+
+        return _find_keys(
+            self.rows,
+            num_attributes=self.num_attributes,
+            attribute_names=self.schema.names,
+            config=config,
+        )
+
+    @classmethod
+    def from_dicts(
+        cls,
+        records: Sequence[Dict[str, object]],
+        schema: Optional[Union[Schema, Sequence[str]]] = None,
+        name: str = "table",
+        missing: object = None,
+    ) -> "Table":
+        """Build a table from dictionaries (missing fields filled with ``missing``)."""
+        if schema is None:
+            if not records:
+                raise DataError("cannot infer a schema from zero records")
+            seen: Dict[str, None] = {}
+            for record in records:
+                for field in record:
+                    seen.setdefault(field, None)
+            schema = Schema(list(seen))
+        elif not isinstance(schema, Schema):
+            schema = Schema(list(schema))
+        names = schema.names
+        rows = [tuple(record.get(name, missing) for name in names) for record in records]
+        return cls(schema, rows, name=name)

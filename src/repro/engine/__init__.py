@@ -1,0 +1,50 @@
+"""Mini query engine: the substrate of the Figure 16 index-advisor experiment."""
+
+from repro.engine.advisor import (
+    IndexRecommendation,
+    build_recommended,
+    recommend_indexes,
+)
+from repro.engine.costmodel import DEFAULT_COST_MODEL, CostModel
+from repro.engine.executor import (
+    QueryExecution,
+    WorkloadReport,
+    run_query,
+    run_workload,
+)
+from repro.engine.expressions import Comparison, Conjunction, between, eq, ge, le
+from repro.engine.indexes import BTreeIndex, build_index
+from repro.engine.optimizer import Query, choose_plan, enumerate_plans
+from repro.engine.plans import IndexLookupPlan, IndexOnlyPlan, Plan, SeqScanPlan
+from repro.engine.storage import IoTracker, StoredTable
+from repro.engine.workload import warehouse_workload
+
+__all__ = [
+    "IndexRecommendation",
+    "build_recommended",
+    "recommend_indexes",
+    "DEFAULT_COST_MODEL",
+    "CostModel",
+    "QueryExecution",
+    "WorkloadReport",
+    "run_query",
+    "run_workload",
+    "Comparison",
+    "Conjunction",
+    "between",
+    "eq",
+    "ge",
+    "le",
+    "BTreeIndex",
+    "build_index",
+    "Query",
+    "choose_plan",
+    "enumerate_plans",
+    "IndexLookupPlan",
+    "IndexOnlyPlan",
+    "Plan",
+    "SeqScanPlan",
+    "IoTracker",
+    "StoredTable",
+    "warehouse_workload",
+]

@@ -1,0 +1,71 @@
+"""Index advisor seeded by GORDIAN's discovered keys (paper, section 4.4).
+
+"GORDIAN proposes a set of indexes that correspond to the discovered keys.
+Such a set serves as the search space for an 'index wizard' ...".  The
+paper was "naive" and built every candidate; :func:`recommend_indexes`
+reproduces that, and :func:`build_recommended` materializes the indexes.
+A unique index per discovered key is exactly what a DBA would declare for a
+(candidate) primary key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.gordian import GordianConfig, GordianResult
+from repro.engine.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.engine.indexes import BTreeIndex, build_index
+from repro.engine.storage import StoredTable
+
+__all__ = ["IndexRecommendation", "recommend_indexes", "build_recommended"]
+
+
+@dataclass(frozen=True)
+class IndexRecommendation:
+    """One candidate index: the attribute list of a discovered key."""
+
+    table_name: str
+    attributes: Tuple[str, ...]
+    unique: bool = True
+    source: str = "gordian-key"
+
+    @property
+    def ddl(self) -> str:
+        """The CREATE INDEX statement a DBA would run."""
+        cols = ", ".join(self.attributes)
+        unique = "UNIQUE " if self.unique else ""
+        name = f"idx_{self.table_name}_{'_'.join(self.attributes)}"
+        return f"CREATE {unique}INDEX {name} ON {self.table_name} ({cols})"
+
+
+def recommend_indexes(
+    stored: StoredTable,
+    result: Optional[GordianResult] = None,
+    config: Optional[GordianConfig] = None,
+) -> List[IndexRecommendation]:
+    """Candidate indexes for a table: one per discovered minimal key.
+
+    Runs GORDIAN on the table when no precomputed ``result`` is given.
+    """
+    if result is None:
+        result = stored.table.find_keys(config=config)
+    recommendations: List[IndexRecommendation] = []
+    for key in result.keys:
+        attributes = tuple(stored.schema.names[i] for i in key)
+        recommendations.append(
+            IndexRecommendation(table_name=stored.name, attributes=attributes)
+        )
+    return recommendations
+
+
+def build_recommended(
+    stored: StoredTable,
+    recommendations: Sequence[IndexRecommendation],
+    cost_model: Optional[CostModel] = None,
+) -> List[BTreeIndex]:
+    """Materialize every recommended index (the paper's "naive" policy)."""
+    return [
+        build_index(stored, recommendation.attributes, cost_model=cost_model)
+        for recommendation in recommendations
+    ]

@@ -1,0 +1,132 @@
+"""Workload execution and speedup measurement for the Figure 16 experiment.
+
+Runs each query twice — without indexes (sequential scans only) and with the
+GORDIAN-recommended indexes — verifying both executions return identical
+result sets, and reports the per-query page-count speedup plus wall time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.engine.indexes import BTreeIndex
+from repro.engine.optimizer import Query, choose_plan
+from repro.engine.storage import IoTracker, StoredTable
+from repro.errors import EngineError
+
+__all__ = ["QueryExecution", "run_query", "run_workload", "WorkloadReport"]
+
+
+@dataclass
+class QueryExecution:
+    """Outcome of one query under one index configuration."""
+
+    query_name: str
+    plan: str
+    pages: int
+    seconds: float
+    num_results: int
+
+
+@dataclass
+class WorkloadReport:
+    """Per-query baseline/indexed executions and speedups."""
+
+    baseline: List[QueryExecution]
+    indexed: List[QueryExecution]
+
+    def speedups(self) -> List[float]:
+        """Page-count speedup per query (baseline pages / indexed pages)."""
+        return [
+            b.pages / max(1, i.pages)
+            for b, i in zip(self.baseline, self.indexed)
+        ]
+
+    def wall_speedups(self) -> List[float]:
+        """Wall-clock speedup per query (noisy at small scale)."""
+        return [
+            b.seconds / max(1e-9, i.seconds)
+            for b, i in zip(self.baseline, self.indexed)
+        ]
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Tabular form for reporting."""
+        out = []
+        for b, i, s in zip(self.baseline, self.indexed, self.speedups()):
+            out.append(
+                {
+                    "query": b.query_name,
+                    "baseline_plan": b.plan,
+                    "baseline_pages": b.pages,
+                    "indexed_plan": i.plan,
+                    "indexed_pages": i.pages,
+                    "speedup": s,
+                }
+            )
+        return out
+
+
+def run_query(
+    stored: StoredTable,
+    query: Query,
+    indexes: Sequence[BTreeIndex] = (),
+) -> QueryExecution:
+    """Optimize and execute one query, returning its cost accounting."""
+    plan = choose_plan(stored, query, indexes)
+    tracker = IoTracker()
+    start = time.perf_counter()
+    results = plan.execute(tracker)
+    elapsed = time.perf_counter() - start
+    return QueryExecution(
+        query_name=query.name,
+        plan=plan.description,
+        pages=tracker.total_pages,
+        seconds=elapsed,
+        num_results=len(results),
+    )
+
+
+def run_workload(
+    stored: StoredTable,
+    queries: Sequence[Query],
+    indexes: Sequence[BTreeIndex],
+    verify: bool = True,
+) -> WorkloadReport:
+    """Execute the workload without and with indexes; optionally verify.
+
+    Verification compares the multiset of result rows between the two
+    configurations and raises :class:`EngineError` on any divergence — the
+    indexes must accelerate queries, never change answers.
+    """
+    baseline: List[QueryExecution] = []
+    indexed: List[QueryExecution] = []
+    for query in queries:
+        scan_plan = choose_plan(stored, query, ())
+        idx_plan = choose_plan(stored, query, indexes)
+
+        tracker = IoTracker()
+        start = time.perf_counter()
+        scan_rows = scan_plan.execute(tracker)
+        scan_time = time.perf_counter() - start
+        baseline.append(
+            QueryExecution(query.name, scan_plan.description, tracker.total_pages,
+                           scan_time, len(scan_rows))
+        )
+
+        tracker = IoTracker()
+        start = time.perf_counter()
+        idx_rows = idx_plan.execute(tracker)
+        idx_time = time.perf_counter() - start
+        indexed.append(
+            QueryExecution(query.name, idx_plan.description, tracker.total_pages,
+                           idx_time, len(idx_rows))
+        )
+
+        if verify and sorted(map(repr, scan_rows)) != sorted(map(repr, idx_rows)):
+            raise EngineError(
+                f"query {query.name}: indexed plan returned different rows "
+                f"({len(idx_rows)}) than the scan ({len(scan_rows)})"
+            )
+    return WorkloadReport(baseline=baseline, indexed=indexed)

@@ -1,0 +1,121 @@
+"""Predicate expressions for the mini query engine.
+
+Queries in the Figure 16 workload are conjunctions of per-attribute
+comparisons — equality (index-matchable) and ranges (residual filters).
+Predicates evaluate against positional rows given a schema-resolved
+attribute index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import EngineError
+
+__all__ = ["Comparison", "Conjunction", "eq", "between", "ge", "le"]
+
+_OPS = {"=", "<", "<=", ">", ">=", "between"}
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One comparison: ``attribute <op> value`` (or BETWEEN low AND high)."""
+
+    attribute: str
+    op: str
+    value: object = None
+    high: object = None
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise EngineError(f"unsupported operator {self.op!r}")
+        if self.op == "between" and self.high is None:
+            raise EngineError("BETWEEN needs both bounds")
+
+    @property
+    def is_equality(self) -> bool:
+        return self.op == "="
+
+    def evaluate(self, value: object) -> bool:
+        if self.op == "=":
+            return value == self.value
+        if value is None:
+            return False
+        if self.op == "<":
+            return value < self.value
+        if self.op == "<=":
+            return value <= self.value
+        if self.op == ">":
+            return value > self.value
+        if self.op == ">=":
+            return value >= self.value
+        return self.value <= value <= self.high  # between
+
+
+class Conjunction:
+    """AND of comparisons, resolved against a schema once."""
+
+    def __init__(self, comparisons: Sequence[Comparison]):
+        self.comparisons: Tuple[Comparison, ...] = tuple(comparisons)
+
+    def __iter__(self):
+        return iter(self.comparisons)
+
+    def __len__(self) -> int:
+        return len(self.comparisons)
+
+    @property
+    def attributes(self) -> List[str]:
+        return [c.attribute for c in self.comparisons]
+
+    def equality_bindings(self) -> Dict[str, object]:
+        """``{attribute: value}`` for the equality comparisons."""
+        return {c.attribute: c.value for c in self.comparisons if c.is_equality}
+
+    def resolve(self, schema) -> "ResolvedConjunction":
+        indices = [schema.index_of(c.attribute) for c in self.comparisons]
+        return ResolvedConjunction(self, indices)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = []
+        for c in self.comparisons:
+            if c.op == "between":
+                parts.append(f"{c.attribute} BETWEEN {c.value!r} AND {c.high!r}")
+            else:
+                parts.append(f"{c.attribute} {c.op} {c.value!r}")
+        return " AND ".join(parts) or "TRUE"
+
+
+@dataclass
+class ResolvedConjunction:
+    """A conjunction bound to positional indices of a concrete schema."""
+
+    conjunction: Conjunction
+    indices: List[int]
+
+    def matches(self, row: Sequence[object]) -> bool:
+        for comparison, index in zip(self.conjunction.comparisons, self.indices):
+            if not comparison.evaluate(row[index]):
+                return False
+        return True
+
+
+def eq(attribute: str, value: object) -> Comparison:
+    """Shorthand: ``attribute = value``."""
+    return Comparison(attribute, "=", value)
+
+
+def between(attribute: str, low: object, high: object) -> Comparison:
+    """Shorthand: ``attribute BETWEEN low AND high``."""
+    return Comparison(attribute, "between", low, high)
+
+
+def ge(attribute: str, value: object) -> Comparison:
+    """Shorthand: ``attribute >= value``."""
+    return Comparison(attribute, ">=", value)
+
+
+def le(attribute: str, value: object) -> Comparison:
+    """Shorthand: ``attribute <= value``."""
+    return Comparison(attribute, "<=", value)

@@ -1,0 +1,176 @@
+"""Composite B-tree-style indexes for the mini query engine.
+
+An index over attributes ``(a, b, c)`` stores entries sorted by the key
+tuple, supports equality lookups on any *prefix* of the attributes, and can
+answer a query entirely from its leaves when it covers every referenced
+attribute — the "index-only" plan that produced the paper's ~6x speedup on
+query 4 of the Figure 16 workload.
+
+Lookups are costed in pages via the shared :class:`CostModel`: a descent
+charge plus the leaf pages spanned by the matching entry range.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.costmodel import CostModel, DEFAULT_COST_MODEL
+from repro.engine.storage import IoTracker, StoredTable
+from repro.errors import EngineError
+
+__all__ = ["BTreeIndex", "build_index"]
+
+
+class _PrefixMin:
+    """Sentinel ordering below every value, for prefix range probes."""
+
+    __slots__ = ()
+
+    def __lt__(self, other) -> bool:
+        return True
+
+    def __gt__(self, other) -> bool:
+        return False
+
+
+class _PrefixMax:
+    """Sentinel ordering above every value."""
+
+    __slots__ = ()
+
+    def __lt__(self, other) -> bool:
+        return False
+
+    def __gt__(self, other) -> bool:
+        return True
+
+
+_MIN = _PrefixMin()
+_MAX = _PrefixMax()
+
+
+def _orderable(value: object) -> Tuple[str, object]:
+    """Make heterogeneous values totally ordered by (type name, value)."""
+    if isinstance(value, bool):
+        return ("bool", value)
+    if isinstance(value, (int, float)):
+        return ("num", value)
+    return (type(value).__name__, value)
+
+
+class BTreeIndex:
+    """A sorted composite index over a :class:`StoredTable`."""
+
+    def __init__(
+        self,
+        stored: StoredTable,
+        attributes: Sequence[str],
+        cost_model: Optional[CostModel] = None,
+    ):
+        if not attributes:
+            raise EngineError("an index needs at least one attribute")
+        self.stored = stored
+        self.attributes: Tuple[str, ...] = tuple(attributes)
+        self.cost_model = cost_model if cost_model is not None else stored.cost_model
+        self._positions = [stored.schema.index_of(a) for a in self.attributes]
+        entries: List[Tuple[Tuple, Tuple[object, ...], int]] = []
+        for row_id, row in enumerate(stored.table.rows):
+            key = tuple(row[p] for p in self._positions)
+            sort_key = tuple(_orderable(v) for v in key)
+            entries.append((sort_key, key, row_id))
+        entries.sort(key=lambda e: e[0])
+        self._entries = entries
+        self._sort_keys = [e[0] for e in entries]
+        self.num_leaf_pages = self.cost_model.leaf_pages(
+            len(entries), len(self.attributes)
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return f"idx_{self.stored.name}_{'_'.join(self.attributes)}"
+
+    @property
+    def key_width(self) -> int:
+        return len(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def covers(self, attributes: Sequence[str]) -> bool:
+        """True iff every attribute in ``attributes`` is part of the key."""
+        return set(attributes) <= set(self.attributes)
+
+    def prefix_length(self, bound: Dict[str, object]) -> int:
+        """Longest index prefix fully bound by the equality bindings."""
+        length = 0
+        for attribute in self.attributes:
+            if attribute in bound:
+                length += 1
+            else:
+                break
+        return length
+
+    # ------------------------------------------------------------------
+
+    def _range_for_prefix(self, prefix: Tuple) -> Tuple[int, int]:
+        width = self.key_width
+        low = tuple(_orderable(v) for v in prefix) + tuple(
+            ("", _MIN) for _ in range(width - len(prefix))
+        )
+        high = tuple(_orderable(v) for v in prefix) + tuple(
+            ("￿", _MAX) for _ in range(width - len(prefix))
+        )
+        lo = bisect.bisect_left(self._sort_keys, low)
+        hi = bisect.bisect_right(self._sort_keys, high)
+        return lo, hi
+
+    def probe(
+        self, prefix: Tuple, tracker: Optional[IoTracker] = None
+    ) -> List[Tuple[Tuple[object, ...], int]]:
+        """All ``(key, row_id)`` entries whose key starts with ``prefix``.
+
+        Charges a descent plus the leaf pages spanned by the result.
+        """
+        if len(prefix) > self.key_width:
+            raise EngineError(
+                f"prefix of {len(prefix)} values for a {self.key_width}-attribute index"
+            )
+        lo, hi = self._range_for_prefix(prefix)
+        matched = [(entry[1], entry[2]) for entry in self._entries[lo:hi]]
+        if tracker is not None:
+            tracker.index_pages_read += self.cost_model.btree_descent_pages
+            tracker.index_pages_read += self.cost_model.leaf_pages(
+                len(matched), self.key_width
+            )
+        return matched
+
+    def probe_cost(self, prefix_length: int, estimated_matches: int) -> int:
+        """Estimated pages for a probe returning ``estimated_matches`` entries."""
+        return self.cost_model.btree_descent_pages + self.cost_model.leaf_pages(
+            estimated_matches, self.key_width
+        )
+
+    def estimate_matches(self, prefix_length: int) -> int:
+        """Uniform-distinct estimate of entries matching a bound prefix."""
+        if prefix_length == 0 or not self._entries:
+            return len(self._entries)
+        distinct = len(
+            {entry[0][:prefix_length] for entry in self._entries}
+        )
+        return max(1, round(len(self._entries) / max(1, distinct)))
+
+
+def build_index(
+    stored: StoredTable,
+    attributes: Sequence[str],
+    cost_model: Optional[CostModel] = None,
+) -> BTreeIndex:
+    """Construct a :class:`BTreeIndex` over ``stored``.
+
+    ``cost_model`` defaults to the stored table's model so data pages and
+    index pages are costed consistently.
+    """
+    return BTreeIndex(stored, attributes, cost_model=cost_model)

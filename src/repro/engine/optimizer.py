@@ -1,0 +1,73 @@
+"""Rule-and-cost plan selection for the mini query engine.
+
+Given a query and the available indexes, enumerate the legal access paths
+(sequential scan always; an index lookup per index whose leading attributes
+are bound by equality; an index-only lookup per covering index) and pick
+the cheapest by estimated pages.  This is deliberately a miniature of what
+the paper calls the "index wizard" consuming GORDIAN's candidate indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.engine.expressions import Conjunction
+from repro.engine.indexes import BTreeIndex
+from repro.engine.plans import IndexLookupPlan, IndexOnlyPlan, Plan, SeqScanPlan
+from repro.engine.storage import StoredTable
+
+__all__ = ["Query", "choose_plan", "enumerate_plans"]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A select-project query: WHERE conjunction, SELECT output attributes."""
+
+    predicate: Conjunction
+    output: Tuple[str, ...]
+    name: str = "q"
+
+    def referenced_attributes(self) -> List[str]:
+        return sorted(set(self.predicate.attributes) | set(self.output))
+
+
+def enumerate_plans(
+    stored: StoredTable, query: Query, indexes: Sequence[BTreeIndex]
+) -> List[Plan]:
+    """All legal plans for ``query`` over ``stored`` with ``indexes``."""
+    plans: List[Plan] = [
+        SeqScanPlan(stored=stored, predicate=query.predicate, output=query.output)
+    ]
+    bindings = query.predicate.equality_bindings()
+    referenced = query.referenced_attributes()
+    for index in indexes:
+        prefix = index.prefix_length(bindings)
+        covering = index.covers(referenced)
+        if covering:
+            plans.append(
+                IndexOnlyPlan(
+                    stored=stored,
+                    index=index,
+                    predicate=query.predicate,
+                    output=query.output,
+                )
+            )
+        if prefix > 0 and not covering:
+            plans.append(
+                IndexLookupPlan(
+                    stored=stored,
+                    index=index,
+                    predicate=query.predicate,
+                    output=query.output,
+                )
+            )
+    return plans
+
+
+def choose_plan(
+    stored: StoredTable, query: Query, indexes: Sequence[BTreeIndex]
+) -> Plan:
+    """The cheapest legal plan by estimated page count (scan breaks ties last)."""
+    plans = enumerate_plans(stored, query, indexes)
+    return min(plans, key=lambda plan: (plan.estimated_pages(), plan.description))

@@ -1,0 +1,150 @@
+"""Physical query plans: sequential scan, index lookup, index-only lookup.
+
+Each plan both *estimates* its cost in pages (for the optimizer) and
+*executes*, charging actual page reads to an :class:`IoTracker` so the
+Figure 16 experiment can report measured rather than estimated speedups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.expressions import Conjunction
+from repro.engine.indexes import BTreeIndex
+from repro.engine.storage import IoTracker, StoredTable
+from repro.errors import EngineError
+
+__all__ = ["Plan", "SeqScanPlan", "IndexLookupPlan", "IndexOnlyPlan"]
+
+
+class Plan:
+    """Base class: a costed, executable access path producing projected rows."""
+
+    description: str
+
+    def estimated_pages(self) -> int:
+        raise NotImplementedError
+
+    def execute(self, tracker: IoTracker) -> List[Tuple[object, ...]]:
+        raise NotImplementedError
+
+
+def _project(
+    rows: Sequence[Sequence[object]], positions: Sequence[int]
+) -> List[Tuple[object, ...]]:
+    return [tuple(row[p] for p in positions) for row in rows]
+
+
+@dataclass
+class SeqScanPlan(Plan):
+    """Filter every row of the heap file."""
+
+    stored: StoredTable
+    predicate: Conjunction
+    output: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        self._resolved = self.predicate.resolve(self.stored.schema)
+        self._positions = [self.stored.schema.index_of(a) for a in self.output]
+        self.description = f"SeqScan({self.stored.name})"
+
+    def estimated_pages(self) -> int:
+        return self.stored.num_pages
+
+    def execute(self, tracker: IoTracker) -> List[Tuple[object, ...]]:
+        matched = [
+            row for _, row in self.stored.scan(tracker) if self._resolved.matches(row)
+        ]
+        return _project(matched, self._positions)
+
+
+@dataclass
+class IndexLookupPlan(Plan):
+    """Probe an index with a bound equality prefix, fetch rows, re-filter."""
+
+    stored: StoredTable
+    index: BTreeIndex
+    predicate: Conjunction
+    output: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        bindings = self.predicate.equality_bindings()
+        self.prefix_length = self.index.prefix_length(bindings)
+        if self.prefix_length == 0:
+            raise EngineError(
+                f"index {self.index.name} matches no equality prefix of {self.predicate!r}"
+            )
+        self._prefix = tuple(
+            bindings[attr] for attr in self.index.attributes[: self.prefix_length]
+        )
+        self._resolved = self.predicate.resolve(self.stored.schema)
+        self._positions = [self.stored.schema.index_of(a) for a in self.output]
+        self.description = (
+            f"IndexLookup({self.index.name}, prefix={self.prefix_length})"
+        )
+
+    def estimated_pages(self) -> int:
+        matches = self.index.estimate_matches(self.prefix_length)
+        # Worst case every matching row sits on its own page, capped by the
+        # table size; this keeps the optimizer honest on low selectivity.
+        data_pages = min(matches, self.stored.num_pages)
+        return self.index.probe_cost(self.prefix_length, matches) + data_pages
+
+    def execute(self, tracker: IoTracker) -> List[Tuple[object, ...]]:
+        entries = self.index.probe(self._prefix, tracker)
+        row_ids = [row_id for _, row_id in entries]
+        rows = self.stored.fetch(row_ids, tracker)
+        matched = [row for row in rows if self._resolved.matches(row)]
+        return _project(matched, self._positions)
+
+
+@dataclass
+class IndexOnlyPlan(Plan):
+    """Answer the query from index leaves alone (covering index).
+
+    Requires the index to contain every attribute the query references —
+    predicate and output alike.  Residual predicates are evaluated on the
+    index key; the heap file is never touched.
+    """
+
+    stored: StoredTable
+    index: BTreeIndex
+    predicate: Conjunction
+    output: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        referenced = set(self.predicate.attributes) | set(self.output)
+        if not self.index.covers(referenced):
+            raise EngineError(
+                f"index {self.index.name} does not cover {sorted(referenced)}"
+            )
+        bindings = self.predicate.equality_bindings()
+        self.prefix_length = self.index.prefix_length(bindings)
+        self._prefix = tuple(
+            bindings[attr] for attr in self.index.attributes[: self.prefix_length]
+        )
+        key_pos = {attr: i for i, attr in enumerate(self.index.attributes)}
+        self._comparison_slots = [
+            (comparison, key_pos[comparison.attribute])
+            for comparison in self.predicate
+        ]
+        self._output_slots = [key_pos[attr] for attr in self.output]
+        self.description = (
+            f"IndexOnly({self.index.name}, prefix={self.prefix_length})"
+        )
+
+    def estimated_pages(self) -> int:
+        matches = self.index.estimate_matches(self.prefix_length)
+        return self.index.probe_cost(self.prefix_length, matches)
+
+    def execute(self, tracker: IoTracker) -> List[Tuple[object, ...]]:
+        entries = self.index.probe(self._prefix, tracker)
+        results: List[Tuple[object, ...]] = []
+        for key, _row_id in entries:
+            if all(
+                comparison.evaluate(key[slot])
+                for comparison, slot in self._comparison_slots
+            ):
+                results.append(tuple(key[slot] for slot in self._output_slots))
+        return results

@@ -1,0 +1,86 @@
+"""Row storage with page accounting for the mini query engine.
+
+A :class:`StoredTable` wraps a :class:`~repro.dataset.table.Table` with the
+page layout of the cost model: rows live on fixed-size heap pages in
+insertion order, and every access path reports the pages it touched through
+an :class:`IoTracker`.  This is the substrate the Figure 16 experiment runs
+on — the "DB2" of this reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from repro.dataset.table import Table
+from repro.engine.costmodel import CostModel, DEFAULT_COST_MODEL
+
+__all__ = ["IoTracker", "StoredTable"]
+
+
+@dataclass
+class IoTracker:
+    """Counts logical page reads during one query execution."""
+
+    data_pages_read: int = 0
+    index_pages_read: int = 0
+    rows_examined: int = 0
+
+    @property
+    def total_pages(self) -> int:
+        return self.data_pages_read + self.index_pages_read
+
+    def reset(self) -> None:
+        self.data_pages_read = 0
+        self.index_pages_read = 0
+        self.rows_examined = 0
+
+
+class StoredTable:
+    """A table laid out on heap pages.
+
+    Row ``i`` lives on page ``i // rows_per_page``; the mapping is the
+    classic heap-file layout, so index lookups that touch few rows touch few
+    pages, while low-selectivity lookups degrade gracefully toward a scan —
+    the behaviour the Figure 16 shapes depend on.
+    """
+
+    def __init__(self, table: Table, cost_model: CostModel = DEFAULT_COST_MODEL):
+        self.table = table
+        self.cost_model = cost_model
+        self.rows_per_page = cost_model.rows_per_page(table.num_attributes)
+        self.num_pages = cost_model.data_pages(table.num_rows, table.num_attributes)
+
+    @property
+    def schema(self):
+        return self.table.schema
+
+    @property
+    def name(self) -> str:
+        return self.table.name
+
+    @property
+    def num_rows(self) -> int:
+        return self.table.num_rows
+
+    def page_of(self, row_id: int) -> int:
+        """Heap page holding row ``row_id``."""
+        return row_id // self.rows_per_page
+
+    def scan(self, tracker: IoTracker) -> Iterator[Tuple[int, Tuple[object, ...]]]:
+        """Full sequential scan: charges every data page, yields (row_id, row)."""
+        tracker.data_pages_read += self.num_pages
+        for row_id, row in enumerate(self.table.rows):
+            tracker.rows_examined += 1
+            yield row_id, row
+
+    def fetch(self, row_ids: Sequence[int], tracker: IoTracker) -> List[Tuple[object, ...]]:
+        """Fetch specific rows, charging each distinct page once."""
+        pages: Set[int] = set()
+        rows: List[Tuple[object, ...]] = []
+        for row_id in row_ids:
+            pages.add(self.page_of(row_id))
+            tracker.rows_examined += 1
+            rows.append(self.table.rows[row_id])
+        tracker.data_pages_read += len(pages)
+        return rows

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the GORDIAN reproduction library.
+
+Every error raised by ``repro`` derives from :class:`ReproError`, so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish schema problems from algorithmic aborts.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed (duplicate names, unknown attributes, ...)."""
+
+
+class DataError(ReproError):
+    """A dataset violates a structural expectation (arity mismatch, ...)."""
+
+
+class NoKeysExistError(ReproError):
+    """Raised internally when prefix-tree creation observes a duplicate entity.
+
+    Per Algorithm 2 (lines 17-18) of the paper, a leaf counter exceeding one
+    means two entities agree on *every* attribute, hence no attribute set can
+    be a key and GORDIAN aborts immediately.  The public API catches this and
+    returns an empty key set with ``no_keys_exist=True`` instead of leaking
+    the exception.
+    """
+
+
+class EngineError(ReproError):
+    """The mini query engine was asked to do something unsupported."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied."""

@@ -1,0 +1,52 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Importing this package registers all drivers into
+:data:`repro.experiments.ALL_EXPERIMENTS`; each driver runs at a
+CI-friendly default scale and accepts keyword arguments for larger runs.
+"""
+
+from repro.experiments.harness import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    get_experiment,
+    register,
+)
+from repro.experiments.ablation import (
+    run_ablation_bound,
+    run_ablation_ordering,
+    run_ablation_pruning,
+)
+from repro.experiments.datasets import experiment_databases, main_relation
+from repro.experiments.fig11 import run_fig11
+from repro.experiments.fig12 import run_fig12
+from repro.experiments.fig13 import run_fig13
+from repro.experiments.fig14 import run_fig14
+from repro.experiments.fig15 import run_fig15
+from repro.experiments.fig16 import run_fig16
+from repro.experiments.reporting import format_series, format_table
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.theorem1 import run_theorem1
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "get_experiment",
+    "register",
+    "run_ablation_bound",
+    "run_ablation_ordering",
+    "run_ablation_pruning",
+    "experiment_databases",
+    "main_relation",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+    "run_fig14",
+    "run_fig15",
+    "run_fig16",
+    "format_series",
+    "format_table",
+    "run_table1",
+    "run_table2",
+    "run_theorem1",
+]

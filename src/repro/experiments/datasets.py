@@ -1,0 +1,46 @@
+"""Shared dataset construction for the experiment drivers.
+
+Every driver works over the same three databases the paper evaluates —
+TPC-H-like, OPIC-like, BASEBALL-like — generated at a CI-friendly default
+scale with fixed seeds.  A ``scale`` knob lets the CLI example rerun the
+experiments at larger sizes; the *shapes* of the results are scale-stable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.datagen import (
+    BaseballSpec,
+    OpicSpec,
+    TpchSpec,
+    generate_baseball,
+    generate_opic,
+    generate_tpch,
+)
+from repro.dataset.table import Table
+
+__all__ = ["experiment_databases", "main_relation"]
+
+
+def experiment_databases(scale: float = 1.0) -> Dict[str, Dict[str, Table]]:
+    """The three evaluation databases at a given scale factor."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return {
+        "TPC-H": generate_tpch(TpchSpec(scale=4.0 * scale)),
+        "OPIC": generate_opic(
+            OpicSpec(num_rows=max(50, round(1500 * scale)), num_attributes=50)
+        ),
+        "BASEBALL": generate_baseball(
+            BaseballSpec(
+                num_players=max(10, round(100 * scale)),
+                games_per_season=max(4, round(30 * scale)),
+            )
+        ),
+    }
+
+
+def main_relation(database: Dict[str, Table]) -> Table:
+    """The relation the per-table experiments run on: the largest table."""
+    return max(database.values(), key=lambda table: table.num_rows)

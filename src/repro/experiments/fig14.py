@@ -1,0 +1,77 @@
+"""Figure 14 — minimum key strength versus sample size.
+
+The paper samples each dataset at 0.1%-100%, runs GORDIAN on the sample,
+computes every discovered key's *exact* strength on the full dataset
+(projection with duplicate elimination divided by the total number of
+tuples — section 4.3), and plots the minimum strength found.  Expected
+shape: the minimum strength is already high at small sample fractions and
+climbs to 100% as the sample approaches the full dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core import find_keys
+from repro.core.strength import StrengthEvaluator
+from repro.dataset.sampling import bernoulli_sample
+from repro.experiments.harness import ExperimentResult, register
+from repro.experiments.sampling_sweep import sampling_sweep
+
+__all__ = ["run_fig14", "min_strength_at_fraction"]
+
+
+def min_strength_at_fraction(
+    full_rows, fraction: float, seed: int = 0
+) -> Dict[str, object]:
+    """Sample, discover keys, and report the minimum full-data strength.
+
+    Standalone helper (the figure driver itself uses the shared cached
+    sweep); useful for tests and ad-hoc exploration.
+    """
+    sample = bernoulli_sample(full_rows, fraction, seed=seed)
+    if not sample:
+        return {"keys": 0, "min_strength": float("nan"), "sample_rows": 0}
+    result = find_keys(sample, num_attributes=len(full_rows[0]))
+    if result.no_keys_exist or not result.keys:
+        return {
+            "keys": 0,
+            "min_strength": float("nan"),
+            "sample_rows": len(sample),
+        }
+    evaluator = StrengthEvaluator(full_rows, len(full_rows[0]))
+    strengths = [evaluator.strength(key) for key in result.keys]
+    return {
+        "keys": len(result.keys),
+        "min_strength": min(strengths),
+        "sample_rows": len(sample),
+    }
+
+
+@register("fig14")
+def run_fig14(
+    fractions: Sequence[float] = (0.001, 0.01, 0.05, 0.1, 0.25, 0.5, 1.0),
+    scale: float = 1.0,
+    seed: int = 17,
+) -> ExperimentResult:
+    """Regenerate Figure 14 (minimum strength vs sample size)."""
+    points = sampling_sweep(tuple(fractions), scale=scale, seed=seed)
+    by_fraction: Dict[float, Dict[str, object]] = {}
+    for point in points:
+        row = by_fraction.setdefault(
+            point.fraction, {"sample_pct": point.fraction * 100}
+        )
+        row[f"{point.dataset}_min_strength_pct"] = point.min_strength * 100
+    rows_out: List[Dict[str, object]] = [
+        by_fraction[fraction] for fraction in fractions
+    ]
+    return ExperimentResult(
+        experiment_id="Figure 14",
+        description="Minimum key strength vs sample size (exact strengths on full data)",
+        rows=rows_out,
+        notes=(
+            "Expected shape: minimum strength rises quickly with sample "
+            "size and is already high (>>0) at ~1% samples, reaching 100% "
+            "at a full scan."
+        ),
+    )

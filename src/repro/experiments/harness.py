@@ -1,0 +1,69 @@
+"""Common experiment plumbing.
+
+An :class:`ExperimentResult` couples an experiment id (the paper's table or
+figure number) with its data rows and a rendered text form, and can persist
+itself as JSON so EXPERIMENTS.md entries are regenerable.  ``ALL_EXPERIMENTS``
+is the registry the CLI example and the benchmark suite iterate over.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.experiments.reporting import format_table
+
+__all__ = ["ExperimentResult", "register", "ALL_EXPERIMENTS", "get_experiment"]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows + rendering for one reproduced table or figure."""
+
+    experiment_id: str
+    description: str
+    rows: List[Dict[str, object]]
+    notes: str = ""
+    columns: Optional[List[str]] = None
+
+    def render(self) -> str:
+        title = f"{self.experiment_id}: {self.description}"
+        body = format_table(self.rows, columns=self.columns, title=title)
+        if self.notes:
+            body += f"\n\n{self.notes}"
+        return body
+
+    def save_json(self, path) -> None:
+        payload = {
+            "experiment_id": self.experiment_id,
+            "description": self.description,
+            "rows": self.rows,
+            "notes": self.notes,
+        }
+        Path(path).write_text(json.dumps(payload, indent=2, default=str))
+
+
+#: Registry of experiment drivers: id -> zero-argument callable returning
+#: an :class:`ExperimentResult` at the default (CI-friendly) scale.
+ALL_EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {}
+
+
+def register(experiment_id: str):
+    """Decorator adding a driver to :data:`ALL_EXPERIMENTS`."""
+
+    def wrap(fn: Callable[..., ExperimentResult]):
+        ALL_EXPERIMENTS[experiment_id] = fn
+        return fn
+
+    return wrap
+
+
+def get_experiment(experiment_id: str) -> Callable[[], ExperimentResult]:
+    """Look up a driver by id (e.g. ``"table1"``, ``"fig13"``)."""
+    try:
+        return ALL_EXPERIMENTS[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(ALL_EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}") from None

@@ -1,0 +1,46 @@
+"""Memory measurement for the Table 2 reproduction.
+
+Two complementary measurements are reported:
+
+* **structural** — peak live prefix-tree cells for GORDIAN and peak hashed
+  projection cells for brute force, converted to bytes with a common
+  per-cell constant.  Deterministic, allocator-independent, and the measure
+  the shapes in the paper's Table 2 depend on.
+* **tracemalloc** — actual Python heap delta, for readers who want absolute
+  numbers (noisy and interpreter-specific; reported but not asserted on).
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from contextlib import contextmanager
+from typing import Callable, Iterator, Tuple, TypeVar
+
+__all__ = ["traced_peak", "BYTES_PER_CELL", "structural_bytes"]
+
+T = TypeVar("T")
+
+#: Nominal bytes per stored cell (value + pointer + counter), used to turn
+#: structural cell counts into comparable byte figures.
+BYTES_PER_CELL = 24
+
+
+def structural_bytes(cells: int) -> int:
+    """Convert a structural cell count into nominal bytes."""
+    return cells * BYTES_PER_CELL
+
+
+def traced_peak(fn: Callable[[], T]) -> Tuple[T, int]:
+    """Run ``fn`` under tracemalloc, returning (result, peak_bytes).
+
+    Peaks are measured relative to the snapshot at call time, so nested or
+    sequential measurements do not contaminate each other.
+    """
+    tracemalloc.start()
+    try:
+        tracemalloc.reset_peak()
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return result, peak

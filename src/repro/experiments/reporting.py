@@ -1,0 +1,74 @@
+"""Plain-text rendering of experiment tables and series.
+
+Every experiment driver returns rows of dictionaries; these helpers render
+them the way the paper presents its results — a fixed-width table per
+``Table N`` and an x/series listing per ``Figure N`` — so the benchmark
+output can be compared to the paper side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "format_value"]
+
+
+def format_value(value: object) -> str:
+    """Render one cell: floats get 4 significant-ish digits, rest via str."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.3f}".rstrip("0").rstrip(".")
+        return f"{value:.5f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows of dicts as an aligned fixed-width text table."""
+    if columns is None:
+        seen: Dict[str, None] = {}
+        for row in rows:
+            for column in row:
+                seen.setdefault(column, None)
+        columns = list(seen)
+    cells = [[format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells)) if cells else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for row in cells:
+        lines.append("  ".join(row[i].rjust(widths[i]) for i in range(len(columns))))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render figure data: one x column plus one column per series."""
+    rows = []
+    for i, x in enumerate(x_values):
+        row: Dict[str, object] = {x_label: x}
+        for name, values in series.items():
+            row[name] = values[i] if i < len(values) else ""
+        rows.append(row)
+    return format_table(rows, columns=[x_label, *series.keys()], title=title)

@@ -1,0 +1,89 @@
+"""Table 2 — maximum memory usage per dataset and algorithm.
+
+The paper reports peak memory for GORDIAN, brute force limited to 4
+attributes, and single-attribute brute force, over the main relation of
+each dataset.  We report the structural peaks (live prefix-tree cells for
+GORDIAN; simultaneously hashed projection cells for brute force) converted
+to nominal bytes — the deterministic analogue of the paper's MB figures —
+alongside tracemalloc heap peaks for reference.
+
+Expected shape (paper): GORDIAN's peak is of the same order as the
+single-attribute brute force and far below the up-to-4-attribute brute
+force (e.g. OPIC: 100MB vs 77MB vs 600MB).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.baselines import BruteForceStats, brute_force_keys
+from repro.core import find_keys
+from repro.experiments.datasets import experiment_databases, main_relation
+from repro.experiments.harness import ExperimentResult, register
+from repro.experiments.memory import structural_bytes, traced_peak
+
+__all__ = ["run_table2"]
+
+#: Paper's reported maximum memory, for side-by-side comparison.
+PAPER_TABLE2 = {
+    "TPC-H": {"gordian": "12MB", "brute_up_to_4": "240MB", "brute_single": "6MB"},
+    "OPIC": {"gordian": "100MB", "brute_up_to_4": "600MB", "brute_single": "77MB"},
+    "BASEBALL": {"gordian": "6MB", "brute_up_to_4": "30MB", "brute_single": "4MB"},
+}
+
+
+@register("table2")
+def run_table2(scale: float = 1.0, brute4_max_attrs: int = 18) -> ExperimentResult:
+    """Regenerate Table 2 (peak memory) at laptop scale."""
+    rows_out: List[Dict[str, object]] = []
+    for name, database in experiment_databases(scale).items():
+        table = main_relation(database)
+        data = table.rows
+
+        gordian_result, gordian_heap = traced_peak(lambda: find_keys(data))
+        gordian_cells = gordian_result.stats.tree.peak_live_cells
+
+        # The up-to-4 sweep is polynomial but wide; cap the width so the
+        # driver stays CI-friendly (documented truncation).
+        narrow = (
+            [row[:brute4_max_attrs] for row in data]
+            if table.num_attributes > brute4_max_attrs
+            else data
+        )
+        brute4_stats = BruteForceStats()
+        _, brute4_heap = traced_peak(
+            lambda: brute_force_keys(narrow, max_arity=4, stats=brute4_stats)
+        )
+        brute1_stats = BruteForceStats()
+        _, brute1_heap = traced_peak(
+            lambda: brute_force_keys(data, max_arity=1, stats=brute1_stats)
+        )
+        paper = PAPER_TABLE2[name]
+        rows_out.append(
+            {
+                "dataset": name,
+                "gordian_bytes": structural_bytes(gordian_cells),
+                "brute_up_to_4_bytes": structural_bytes(
+                    brute4_stats.peak_hashed_cells
+                ),
+                "brute_single_bytes": structural_bytes(
+                    brute1_stats.peak_hashed_cells
+                ),
+                "gordian_heap": gordian_heap,
+                "brute_up_to_4_heap": brute4_heap,
+                "brute_single_heap": brute1_heap,
+                "paper": (
+                    f"{paper['gordian']} / {paper['brute_up_to_4']} / "
+                    f"{paper['brute_single']}"
+                ),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="Table 2",
+        description="Maximum memory usage (structural bytes; heap bytes for reference)",
+        rows=rows_out,
+        notes=(
+            "Expected shape: GORDIAN within a small factor of the single- "
+            "attribute brute force and well below the up-to-4 brute force."
+        ),
+    )

@@ -1,0 +1,51 @@
+"""Wall-clock measurement helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, Tuple, TypeVar
+
+__all__ = ["Stopwatch", "stopwatch", "time_call"]
+
+T = TypeVar("T")
+
+
+class Stopwatch:
+    """Accumulates elapsed seconds across one or more timed sections."""
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._started = None
+
+    def start(self) -> None:
+        if self._started is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started is None:
+            raise RuntimeError("stopwatch not running")
+        elapsed = time.perf_counter() - self._started
+        self.seconds += elapsed
+        self._started = None
+        return elapsed
+
+
+@contextmanager
+def stopwatch() -> Iterator[Stopwatch]:
+    """Context manager measuring the enclosed block."""
+    watch = Stopwatch()
+    watch.start()
+    try:
+        yield watch
+    finally:
+        if watch._started is not None:
+            watch.stop()
+
+
+def time_call(fn: Callable[[], T]) -> Tuple[T, float]:
+    """Call ``fn`` once, returning (result, elapsed_seconds)."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start

@@ -1,0 +1,79 @@
+"""Unit tests for the brute-force baseline."""
+
+import pytest
+
+from repro.baselines.brute_force import BruteForceStats, brute_force_keys
+
+
+class TestPaperExample:
+    def test_finds_paper_keys(self, paper_rows, paper_keys):
+        assert brute_force_keys(paper_rows).keys == paper_keys
+
+    def test_single_attribute_variant(self, paper_rows):
+        result = brute_force_keys(paper_rows, max_arity=1)
+        assert result.keys == [(3,)]
+
+    def test_up_to_k_variant(self, paper_rows):
+        result = brute_force_keys(paper_rows, max_arity=2)
+        assert result.keys == [(3,), (0, 2), (1, 2)]
+
+
+class TestMinimality:
+    def test_superset_pruning_gives_minimal_keys(self):
+        rows = [(i, i % 2, "c") for i in range(6)]
+        result = brute_force_keys(rows)
+        assert result.keys == [(0,)]
+
+    def test_without_pruning_supersets_reported(self):
+        rows = [(i, i % 2) for i in range(4)]
+        result = brute_force_keys(rows, prune_supersets=False)
+        assert (0,) in result.keys
+        assert (0, 1) in result.keys  # redundant but reported
+
+    def test_pruning_counts_skips(self):
+        rows = [(i, i % 2, i % 3) for i in range(6)]
+        result = brute_force_keys(rows)
+        assert result.stats.candidates_skipped_superset > 0
+
+
+class TestEdgeCases:
+    def test_empty_needs_width(self):
+        with pytest.raises(ValueError):
+            brute_force_keys([])
+
+    def test_empty_with_width(self):
+        result = brute_force_keys([], num_attributes=2)
+        assert result.keys == [(0,), (1,)]
+
+    def test_duplicate_rows_no_keys(self):
+        result = brute_force_keys([(1, 2), (1, 2)])
+        assert result.keys == []
+
+    def test_invalid_arity(self):
+        with pytest.raises(ValueError):
+            brute_force_keys([(1,)], max_arity=0)
+
+    def test_max_arity_larger_than_width(self):
+        result = brute_force_keys([(1, 2), (3, 4)], max_arity=99)
+        assert result.max_arity == 99
+        assert result.keys == [(0,), (1,)]
+
+
+class TestStats:
+    def test_candidate_counts(self):
+        rows = [(1, "a"), (2, "b")]
+        stats = BruteForceStats()
+        brute_force_keys(rows, stats=stats)
+        # Both singletons are keys, so the pair is skipped.
+        assert stats.candidates_checked == 2
+        assert stats.candidates_skipped_superset == 1
+
+    def test_peak_memory_recorded(self, paper_rows):
+        stats = BruteForceStats()
+        brute_force_keys(paper_rows, max_arity=1, stats=stats)
+        assert stats.peak_hashed_tuples > 0
+        assert stats.peak_hashed_cells >= stats.peak_hashed_tuples
+
+    def test_key_masks(self, paper_rows):
+        result = brute_force_keys(paper_rows)
+        assert result.key_masks == [0b1000, 0b0101, 0b0110]

@@ -1,0 +1,59 @@
+"""Unit tests for the level-wise (Apriori-style) baseline."""
+
+import pytest
+
+from repro.baselines.brute_force import brute_force_keys
+from repro.baselines.levelwise import levelwise_keys
+
+
+class TestCorrectness:
+    def test_paper_example(self, paper_rows, paper_keys):
+        assert levelwise_keys(paper_rows).keys == paper_keys
+
+    def test_agrees_with_brute_force_on_random_data(self):
+        import random
+
+        rng = random.Random(77)
+        for _ in range(60):
+            width = rng.randint(1, 5)
+            rows = [
+                tuple(rng.randint(0, 3) for _ in range(width))
+                for _ in range(rng.randint(1, 25))
+            ]
+            rows = list(dict.fromkeys(rows))
+            assert (
+                levelwise_keys(rows, num_attributes=width).keys
+                == brute_force_keys(rows, num_attributes=width).keys
+            )
+
+    def test_max_arity_cap(self, paper_rows):
+        result = levelwise_keys(paper_rows, max_arity=1)
+        assert result.keys == [(3,)]
+
+
+class TestEdgeCases:
+    def test_empty_needs_width(self):
+        with pytest.raises(ValueError):
+            levelwise_keys([])
+
+    def test_empty_with_width(self):
+        assert levelwise_keys([], num_attributes=2).keys == [(0,), (1,)]
+
+    def test_duplicate_rows_no_keys(self):
+        assert levelwise_keys([(1, 2), (1, 2)]).keys == []
+
+    def test_single_row(self):
+        assert levelwise_keys([(1, 2)]).keys == [(0,), (1,)]
+
+
+class TestStats:
+    def test_levels_and_candidates(self, paper_rows):
+        result = levelwise_keys(paper_rows)
+        assert result.stats.levels_explored >= 2
+        # Far fewer candidates than the full 2^4 - 1 lattice.
+        assert result.stats.candidates_checked < 15
+
+    def test_stops_when_no_nonkeys_remain(self):
+        rows = [(i, i + 1) for i in range(5)]
+        result = levelwise_keys(rows)
+        assert result.stats.levels_explored == 1

@@ -1,0 +1,65 @@
+"""Unit tests for the independent key validators."""
+
+from repro.baselines.validation import is_key, is_minimal_key, verify_key_set
+
+
+ROWS = [
+    ("a", 1, "x"),
+    ("a", 2, "y"),
+    ("b", 1, "y"),
+]
+
+
+class TestIsKey:
+    def test_single_key(self):
+        assert not is_key(ROWS, [0])
+        assert not is_key(ROWS, [1])
+        assert is_key(ROWS, [0, 1])
+
+    def test_empty_attrs(self):
+        assert is_key([("a",)], [])
+        assert not is_key(ROWS, [])
+
+    def test_empty_rows(self):
+        assert is_key([], [0])
+
+
+class TestIsMinimalKey:
+    def test_minimal(self):
+        assert is_minimal_key(ROWS, [0, 1])
+
+    def test_not_a_key(self):
+        assert not is_minimal_key(ROWS, [0])
+
+    def test_redundant_key(self):
+        assert not is_minimal_key(ROWS, [0, 1, 2])
+
+    def test_singleton_key_is_minimal(self):
+        rows = [(i,) for i in range(4)]
+        assert is_minimal_key(rows, [0])
+
+
+class TestVerifyKeySet:
+    def test_clean_report(self):
+        report = verify_key_set(ROWS, [(0, 1)])
+        assert report.ok
+
+    def test_non_key_flagged(self):
+        report = verify_key_set(ROWS, [(0,)])
+        assert report.not_keys == [(0,)]
+        assert not report.ok
+
+    def test_non_minimal_flagged(self):
+        report = verify_key_set(ROWS, [(0, 1, 2)])
+        assert report.not_minimal == [(0, 1, 2)]
+
+    def test_missing_flagged(self):
+        report = verify_key_set(ROWS, [], expected_keys=[(0, 1)])
+        assert report.missing == [(0, 1)]
+
+    def test_gordian_output_verifies(self, paper_rows, paper_keys):
+        from repro.core import find_keys
+
+        result = find_keys(paper_rows)
+        report = verify_key_set(paper_rows, result.keys, expected_keys=paper_keys)
+        assert report.ok

@@ -1,0 +1,41 @@
+"""Shared fixtures: the paper's running example and small helper datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+
+
+@pytest.fixture
+def paper_rows():
+    """The four-employee dataset of the paper's Figure 1."""
+    return [
+        ("Michael", "Thompson", 3478, 10),
+        ("Sally", "Kwan", 3478, 20),
+        ("Michael", "Spencer", 5237, 90),
+        ("Michael", "Thompson", 6791, 50),
+    ]
+
+
+@pytest.fixture
+def paper_names():
+    return ["First Name", "Last Name", "Phone", "Emp No"]
+
+
+@pytest.fixture
+def paper_table(paper_rows, paper_names):
+    return Table(Schema(paper_names), paper_rows, name="employee")
+
+
+@pytest.fixture
+def paper_keys():
+    """Minimal keys of the Figure 1 dataset, as attribute-index tuples."""
+    return [(3,), (0, 2), (1, 2)]
+
+
+@pytest.fixture
+def paper_nonkeys():
+    """Minimal (non-redundant) non-keys of the Figure 1 dataset."""
+    return [(2,), (0, 1)]

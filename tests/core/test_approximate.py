@@ -1,0 +1,83 @@
+"""Unit tests for the approximate-key pipeline (section 3.9 public API)."""
+
+import math
+
+import pytest
+
+from repro.core.approximate import find_approximate_keys
+
+
+@pytest.fixture
+def skewed_rows():
+    """id is a true key; category looks unique only in small samples."""
+    return [(i, i % 7, f"name{i % 40}") for i in range(400)]
+
+
+class TestFullSample:
+    def test_everything_true_at_full_scan(self, skewed_rows):
+        result = find_approximate_keys(skewed_rows, fraction=1.0, seed=1)
+        assert result.sample_size == 400
+        assert result.false_keys == []
+        assert result.false_key_ratio == 0
+        assert result.min_strength == 1.0
+        assert all(key.is_true_key for key in result.keys)
+
+    def test_true_key_always_discovered(self, skewed_rows):
+        result = find_approximate_keys(skewed_rows, fraction=0.2, seed=3)
+        assert any(key.attrs == (0,) for key in result.true_keys)
+
+
+class TestSmallSample:
+    def test_small_samples_produce_false_keys(self, skewed_rows):
+        result = find_approximate_keys(skewed_rows, size=12, seed=5)
+        assert result.sample_size == 12
+        # category (attr 1, 7 values) is unique in tiny samples sometimes;
+        # at minimum, some discovered key must not be a strict key.
+        assert len(result.keys) >= 1
+        assert result.min_strength <= 1.0
+
+    def test_bounds_populated(self, skewed_rows):
+        result = find_approximate_keys(skewed_rows, fraction=0.1, seed=2)
+        for key in result.keys:
+            assert 0.0 <= key.bound <= 1.0
+
+    def test_classification_partitions(self, skewed_rows):
+        result = find_approximate_keys(skewed_rows, fraction=0.05, seed=9)
+        total = (
+            len(result.true_keys)
+            + len(result.approximate_keys)
+            + len(result.false_keys)
+        )
+        assert total == len(result.keys)
+
+
+class TestEdgeCases:
+    def test_empty_sample(self, skewed_rows):
+        result = find_approximate_keys(skewed_rows, fraction=0.0)
+        assert result.keys == []
+        assert math.isnan(result.min_strength)
+        assert math.isnan(result.false_key_ratio)
+
+    def test_requires_one_sampling_mode(self, skewed_rows):
+        with pytest.raises(ValueError):
+            find_approximate_keys(skewed_rows)
+        with pytest.raises(ValueError):
+            find_approximate_keys(skewed_rows, fraction=0.5, size=10)
+
+    def test_threshold_validated(self, skewed_rows):
+        with pytest.raises(ValueError):
+            find_approximate_keys(skewed_rows, fraction=0.5, threshold=0.0)
+
+    def test_empty_dataset_needs_width(self):
+        with pytest.raises(ValueError):
+            find_approximate_keys([], fraction=0.5)
+
+    def test_duplicate_rows_dataset(self):
+        rows = [(1, "a")] * 5
+        result = find_approximate_keys(rows, fraction=1.0)
+        assert result.keys == []
+
+    def test_sorted_by_strength_then_arity(self, skewed_rows):
+        result = find_approximate_keys(skewed_rows, fraction=0.1, seed=4)
+        strengths = [key.strength for key in result.keys]
+        assert strengths == sorted(strengths, reverse=True)

@@ -1,0 +1,140 @@
+"""Unit tests for the attribute-set bitmap algebra."""
+
+import pytest
+
+from repro.core import bitset
+
+
+class TestSingletonAndIndices:
+    def test_singleton_sets_one_bit(self):
+        assert bitset.singleton(0) == 0b1
+        assert bitset.singleton(3) == 0b1000
+
+    def test_singleton_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bitset.singleton(-1)
+
+    def test_from_indices_round_trip(self):
+        mask = bitset.from_indices([0, 2, 5])
+        assert bitset.to_indices(mask) == [0, 2, 5]
+
+    def test_from_indices_duplicates_collapse(self):
+        assert bitset.from_indices([1, 1, 1]) == bitset.singleton(1)
+
+    def test_to_tuple(self):
+        assert bitset.to_tuple(0b1011) == (0, 1, 3)
+
+    def test_empty(self):
+        assert bitset.to_indices(bitset.EMPTY) == []
+
+
+class TestMasks:
+    def test_full_mask(self):
+        assert bitset.full_mask(4) == 0b1111
+        assert bitset.full_mask(0) == 0
+
+    def test_full_mask_negative(self):
+        with pytest.raises(ValueError):
+            bitset.full_mask(-1)
+
+    def test_suffix_mask(self):
+        assert bitset.suffix_mask(2, 5) == 0b11100
+
+    def test_suffix_mask_empty_when_start_past_width(self):
+        assert bitset.suffix_mask(5, 5) == 0
+        assert bitset.suffix_mask(9, 5) == 0
+
+    def test_prefix_mask(self):
+        assert bitset.prefix_mask(3) == 0b111
+
+    def test_complement(self):
+        assert bitset.complement(0b0101, 4) == 0b1010
+
+    def test_complement_of_full_is_empty(self):
+        assert bitset.complement(bitset.full_mask(6), 6) == 0
+
+
+class TestCoverage:
+    def test_covers_subset(self):
+        assert bitset.covers(0b111, 0b101)
+
+    def test_covers_self(self):
+        assert bitset.covers(0b101, 0b101)
+
+    def test_not_covers_superset(self):
+        assert not bitset.covers(0b101, 0b111)
+
+    def test_covers_empty(self):
+        assert bitset.covers(0, 0)
+        assert bitset.covers(0b1, 0)
+
+    def test_is_subset_mirrors_covers(self):
+        assert bitset.is_subset(0b001, 0b011)
+        assert not bitset.is_subset(0b100, 0b011)
+
+
+class TestPopcountAndIteration:
+    def test_popcount(self):
+        assert bitset.popcount(0) == 0
+        assert bitset.popcount(0b1011) == 3
+
+    def test_iter_bits_order(self):
+        assert list(bitset.iter_bits(0b10110)) == [1, 2, 4]
+
+    def test_iter_bits_rejects_negative(self):
+        with pytest.raises(ValueError):
+            list(bitset.iter_bits(-1))
+
+
+class TestMinimizeMaximize:
+    def test_minimize_drops_supersets(self):
+        result = bitset.minimize([0b111, 0b011, 0b100])
+        assert result == [0b100, 0b011]
+
+    def test_minimize_keeps_incomparable(self):
+        result = bitset.minimize([0b011, 0b101])
+        assert set(result) == {0b011, 0b101}
+
+    def test_minimize_dedupes(self):
+        assert bitset.minimize([0b01, 0b01]) == [0b01]
+
+    def test_maximize_drops_subsets(self):
+        result = bitset.maximize([0b111, 0b011, 0b100])
+        assert result == [0b111]
+
+    def test_is_minimal_family(self):
+        assert bitset.is_minimal_family([0b011, 0b101])
+        assert not bitset.is_minimal_family([0b011, 0b111])
+
+    def test_empty_family_is_minimal(self):
+        assert bitset.is_minimal_family([])
+
+
+class TestSubsetsOfSize:
+    def test_enumerates_all_pairs(self):
+        pairs = list(bitset.subsets_of_size(4, 2))
+        assert len(pairs) == 6
+        assert all(bitset.popcount(m) == 2 for m in pairs)
+        assert len(set(pairs)) == 6
+
+    def test_size_zero(self):
+        assert list(bitset.subsets_of_size(3, 0)) == [0]
+
+    def test_size_exceeds_width(self):
+        assert list(bitset.subsets_of_size(3, 4)) == []
+
+    def test_size_equals_width(self):
+        assert list(bitset.subsets_of_size(3, 3)) == [0b111]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            list(bitset.subsets_of_size(-1, 1))
+
+
+class TestFormatting:
+    def test_format_attrset(self):
+        names = ["a", "b", "c"]
+        assert bitset.format_attrset(0b101, names) == "<a, c>"
+
+    def test_format_empty(self):
+        assert bitset.format_attrset(0, ["x"]) == "<>"

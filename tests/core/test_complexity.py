@@ -1,0 +1,66 @@
+"""Unit tests for the Theorem 1 cost model."""
+
+import pytest
+
+from repro.core.complexity import GordianCostModel, time_exponent
+
+
+class TestExponent:
+    def test_paper_headline_example(self):
+        # Paper: theta=0, d=30, C=5000 gives 1 + 1/log_d(C) ~ 1.4.
+        assert time_exponent(0.0, 30, 5000) == pytest.approx(1.4, abs=0.01)
+
+    def test_uniform_is_smallest(self):
+        uniform = time_exponent(0.0, 30, 5000)
+        skewed = time_exponent(1.0, 30, 5000)
+        assert skewed > uniform
+
+    def test_more_cardinality_lowers_exponent(self):
+        low = time_exponent(0.0, 30, 100)
+        high = time_exponent(0.0, 30, 100000)
+        assert high < low
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            time_exponent(0.0, 1, 100)
+        with pytest.raises(ValueError):
+            time_exponent(0.0, 10, 1.0)
+        with pytest.raises(ValueError):
+            time_exponent(-0.5, 10, 100)
+
+
+class TestCostModel:
+    def model(self, **overrides):
+        params = dict(theta=0.0, num_attributes=30, avg_cardinality=5000, num_nonkeys=10)
+        params.update(overrides)
+        return GordianCostModel(**params)
+
+    def test_time_cost_positive_and_monotone(self):
+        model = self.model()
+        assert model.time_cost(1000) > 0
+        assert model.time_cost(2000) > model.time_cost(1000)
+
+    def test_near_linear_scaling(self):
+        # Exponent ~1.4 means doubling T multiplies time by ~2^1.4 ~ 2.6.
+        model = self.model()
+        ratio = model.scaling_ratio(10_000, 20_000)
+        assert 2.0 < ratio < 3.0
+
+    def test_s_squared_term(self):
+        cheap = self.model(num_nonkeys=1).time_cost(0)
+        pricey = self.model(num_nonkeys=100).time_cost(0)
+        assert pricey == pytest.approx(cheap * 100**2, rel=0.01)
+
+    def test_memory_linear(self):
+        model = self.model()
+        assert model.memory_cost(1000) == 30 * 1000
+        assert model.memory_cost(0) == 0
+
+    def test_invalid_entities(self):
+        model = self.model()
+        with pytest.raises(ValueError):
+            model.time_cost(-1)
+        with pytest.raises(ValueError):
+            model.memory_cost(-5)
+        with pytest.raises(ValueError):
+            model.scaling_ratio(0, 10)

@@ -1,0 +1,98 @@
+"""Unit tests for the traced NonKeyFinder (section 3.5 walkthrough)."""
+
+import pytest
+
+from repro.core import find_keys
+from repro.core.explain import render_trace, trace_nonkey_finder
+from repro.core.nonkey_finder import PruningConfig
+
+
+class TestTraceOnPaperExample:
+    def test_nonkeys_match_production(self, paper_rows, paper_nonkeys):
+        trace = trace_nonkey_finder(paper_rows)
+        assert trace.nonkeys == paper_nonkeys
+
+    def test_prunings_recorded(self, paper_rows):
+        trace = trace_nonkey_finder(paper_rows)
+        counts = trace.counts()
+        # Section 3.5: singleton pruning fires on the shared children of
+        # the merged trees, and the single-entity rule stops node (6).
+        assert counts.get("prune-shared", 0) > 0
+        assert counts.get("prune-single-entity", 0) > 0
+        # The redundant <First Name> candidate is rejected by the NonKeySet
+        # (covered by <First Name, Last Name>), so only two non-keys emerge.
+        assert counts.get("nonkey", 0) == 2
+
+    def test_futility_pruning_fires(self):
+        # A dataset (found by search) where a merge's whole reachable set is
+        # covered by a previously stored non-key — Algorithm 4 line 24.
+        rows = [(2, 3, 0, 0), (1, 1, 0, 0), (3, 2, 1, 1), (3, 2, 3, 3)]
+        trace = trace_nonkey_finder(rows, num_attributes=4)
+        assert trace.counts().get("prune-futile", 0) >= 1
+
+    def test_first_nonkey_is_first_last_name(self, paper_rows):
+        # The walkthrough discovers <First Name, Last Name> (attrs 0, 1)
+        # before <Phone> when traversing in schema order.
+        trace = trace_nonkey_finder(paper_rows)
+        nonkey_events = trace.of_kind("nonkey")
+        assert nonkey_events, "expected discovery events"
+
+    def test_merges_and_discards_balance(self, paper_rows):
+        trace = trace_nonkey_finder(paper_rows)
+        counts = trace.counts()
+        # Every traversed merged tree is discarded afterwards (the shared
+        # ones pruned before traversal are never acquired).
+        assert counts.get("discard", 0) <= counts.get("merge", 0)
+
+    def test_no_pruning_trace_has_no_prune_events(self, paper_rows):
+        trace = trace_nonkey_finder(paper_rows, pruning=PruningConfig.none())
+        counts = trace.counts()
+        assert not any(kind.startswith("prune") for kind in counts)
+        assert trace.nonkeys == [(2,), (0, 1)]
+
+
+class TestTraceGenerally:
+    def test_matches_find_keys_on_random_data(self):
+        import random
+
+        rng = random.Random(14)
+        for _ in range(30):
+            width = rng.randint(1, 4)
+            rows = list(
+                dict.fromkeys(
+                    tuple(rng.randint(0, 2) for _ in range(width))
+                    for _ in range(rng.randint(1, 15))
+                )
+            )
+            trace = trace_nonkey_finder(rows, num_attributes=width)
+            # find_keys reorders attributes; compare via schema ordering.
+            from repro.core import GordianConfig
+
+            result = find_keys(
+                rows,
+                num_attributes=width,
+                config=GordianConfig(attribute_order="schema"),
+            )
+            assert sorted(trace.nonkeys) == sorted(result.nonkeys)
+
+    def test_empty_dataset(self):
+        trace = trace_nonkey_finder([], num_attributes=2)
+        assert trace.events == []
+        assert trace.nonkeys == []
+
+    def test_width_required_for_empty(self):
+        with pytest.raises(ValueError):
+            trace_nonkey_finder([])
+
+
+class TestRendering:
+    def test_render_contains_events_and_names(self, paper_rows, paper_names):
+        trace = trace_nonkey_finder(paper_rows)
+        text = render_trace(trace, attribute_names=paper_names)
+        assert "visit" in text
+        assert "First Name" in text
+        assert "non-keys found:" in text
+
+    def test_render_without_names_uses_positions(self, paper_rows):
+        text = render_trace(trace_nonkey_finder(paper_rows))
+        assert "a0" in text

@@ -1,0 +1,118 @@
+"""Unit tests for the foreign-key suggestion extension."""
+
+import pytest
+
+from repro.core.foreign_keys import (
+    ForeignKeyCandidate,
+    inclusion_coverage,
+    suggest_foreign_keys,
+)
+from repro.dataset.table import Table
+
+
+@pytest.fixture
+def mini_db():
+    departments = Table(
+        ["dept_id", "dept_name"],
+        [(1, "eng"), (2, "ops"), (3, "hr")],
+        name="departments",
+    )
+    employees = Table(
+        ["emp_id", "emp_dept", "emp_name"],
+        [
+            (10, 1, "ann"),
+            (11, 1, "bob"),
+            (12, 2, "cat"),
+            (13, 3, "dan"),
+        ],
+        name="employees",
+    )
+    return {"departments": departments, "employees": employees}
+
+
+class TestInclusionCoverage:
+    def test_exact_inclusion(self, mini_db):
+        coverage = inclusion_coverage(
+            mini_db["employees"], ["emp_dept"], mini_db["departments"], ["dept_id"]
+        )
+        assert coverage == 1.0
+
+    def test_partial_inclusion(self, mini_db):
+        dirty = Table(
+            ["emp_id", "emp_dept"],
+            [(1, 1), (2, 2), (3, 99)],  # 99 dangles
+            name="dirty",
+        )
+        coverage = inclusion_coverage(
+            dirty, ["emp_dept"], mini_db["departments"], ["dept_id"]
+        )
+        assert coverage == pytest.approx(2 / 3)
+
+    def test_empty_referencing_table(self, mini_db):
+        empty = Table(["x"], [], name="empty")
+        assert inclusion_coverage(
+            empty, ["x"], mini_db["departments"], ["dept_id"]
+        ) == 1.0
+
+
+class TestSuggest:
+    def test_finds_emp_to_dept(self, mini_db):
+        candidates = suggest_foreign_keys(mini_db)
+        rendered = [c.render() for c in candidates]
+        assert any(
+            c.from_table == "employees"
+            and c.from_attributes == ("emp_dept",)
+            and c.to_attributes == ("dept_id",)
+            for c in candidates
+        ), rendered
+
+    def test_name_heuristic_filters(self, mini_db):
+        strict = suggest_foreign_keys(mini_db, require_name_match=True)
+        # emp_dept vs dept_id do not share a suffix -> filtered out.
+        assert not any(c.from_attributes == ("emp_dept",) for c in strict)
+
+    def test_min_coverage_validated(self, mini_db):
+        with pytest.raises(ValueError):
+            suggest_foreign_keys(mini_db, min_coverage=0.0)
+
+    def test_partial_coverage_reported_when_allowed(self, mini_db):
+        mini_db = dict(mini_db)
+        mini_db["dirty"] = Table(
+            ["d_id", "d_dept"],
+            [(1, 1), (2, 99)],
+            name="dirty",
+        )
+        lax = suggest_foreign_keys(mini_db, min_coverage=0.5)
+        partial = [
+            c
+            for c in lax
+            if c.from_table == "dirty" and c.to_attributes == ("dept_id",)
+            and c.from_attributes == ("d_dept",)
+        ]
+        assert partial and partial[0].coverage == pytest.approx(0.5)
+        assert not partial[0].is_exact
+
+    def test_precomputed_keys_respected(self, mini_db):
+        keys = {"departments": [(0,)], "employees": []}
+        candidates = suggest_foreign_keys(mini_db, keys_by_table=keys)
+        assert all(c.to_table == "departments" for c in candidates)
+
+
+class TestOnTpch:
+    def test_lineitem_references_orders(self):
+        from repro.datagen import TpchSpec, generate_tpch
+
+        db = generate_tpch(TpchSpec(scale=0.5))
+        subset = {"orders": db["orders"], "lineitem": db["lineitem"]}
+        keys = {
+            "orders": [(0,)],  # o_orderkey
+            "lineitem": [],
+        }
+        candidates = suggest_foreign_keys(
+            subset, keys_by_table=keys, require_name_match=True
+        )
+        assert any(
+            c.from_attributes == ("l_orderkey",)
+            and c.to_attributes == ("o_orderkey",)
+            for c in candidates
+        )

@@ -1,0 +1,141 @@
+"""Unit tests for the top-level GORDIAN driver."""
+
+import pytest
+
+from repro.core import AttributeOrder, GordianConfig, PruningConfig, find_keys
+from repro.errors import ConfigError, DataError
+
+
+class TestPaperExample:
+    def test_keys_match_paper(self, paper_rows, paper_keys):
+        result = find_keys(paper_rows)
+        assert result.keys == paper_keys
+
+    def test_nonkeys_match_paper(self, paper_rows, paper_nonkeys):
+        result = find_keys(paper_rows)
+        assert result.nonkeys == paper_nonkeys
+
+    def test_named_output(self, paper_rows, paper_names):
+        result = find_keys(paper_rows, attribute_names=paper_names)
+        assert result.named_keys() == [
+            ("Emp No",),
+            ("First Name", "Phone"),
+            ("Last Name", "Phone"),
+        ]
+        assert result.named_nonkeys() == [
+            ("Phone",),
+            ("First Name", "Last Name"),
+        ]
+
+    def test_summary_mentions_keys(self, paper_rows, paper_names):
+        result = find_keys(paper_rows, attribute_names=paper_names)
+        summary = result.summary()
+        assert "3 minimal key(s)" in summary
+        assert "<Emp No>" in summary
+
+
+class TestConfigurations:
+    @pytest.mark.parametrize("order", list(AttributeOrder))
+    def test_all_orders_agree(self, paper_rows, paper_keys, order):
+        config = GordianConfig(attribute_order=order)
+        assert find_keys(paper_rows, config=config).keys == paper_keys
+
+    def test_order_accepts_string(self, paper_rows, paper_keys):
+        config = GordianConfig(attribute_order="schema")
+        assert find_keys(paper_rows, config=config).keys == paper_keys
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ConfigError):
+            GordianConfig(attribute_order="bogus")
+
+    def test_no_pruning_agrees(self, paper_rows, paper_keys):
+        config = GordianConfig(pruning=PruningConfig.none())
+        assert find_keys(paper_rows, config=config).keys == paper_keys
+
+    def test_attribute_order_is_permutation(self, paper_rows):
+        result = find_keys(paper_rows)
+        assert sorted(result.attribute_order) == [0, 1, 2, 3]
+
+
+class TestDuplicateEntities:
+    def test_duplicate_rows_mean_no_keys(self):
+        rows = [(1, "a"), (2, "b"), (1, "a")]
+        result = find_keys(rows)
+        assert result.no_keys_exist
+        assert result.keys == []
+        assert result.nonkeys == [(0, 1)]
+
+    def test_no_keys_summary(self):
+        result = find_keys([(1,), (1,)])
+        assert "no keys exist" in result.summary()
+
+
+class TestEdgeCases:
+    def test_empty_dataset_needs_width(self):
+        with pytest.raises(DataError):
+            find_keys([])
+
+    def test_empty_dataset_with_width(self):
+        result = find_keys([], num_attributes=3)
+        # Vacuously, every singleton is a key of the empty relation.
+        assert result.keys == [(0,), (1,), (2,)]
+        assert result.nonkeys == []
+
+    def test_single_row(self):
+        result = find_keys([("a", "b")])
+        assert result.keys == [(0,), (1,)]
+
+    def test_single_column_unique(self):
+        result = find_keys([(1,), (2,), (3,)])
+        assert result.keys == [(0,)]
+
+    def test_name_count_mismatch_rejected(self, paper_rows):
+        with pytest.raises(DataError):
+            find_keys(paper_rows, attribute_names=["just-one"])
+
+    def test_named_keys_requires_names(self, paper_rows):
+        result = find_keys(paper_rows)
+        with pytest.raises(DataError):
+            result.named_keys()
+        with pytest.raises(DataError):
+            result.named_nonkeys()
+
+    def test_zero_attributes_rejected(self):
+        with pytest.raises(DataError):
+            find_keys([], num_attributes=0)
+
+
+class TestResultMetadata:
+    def test_counts(self, paper_rows):
+        result = find_keys(paper_rows)
+        assert result.num_entities == 4
+        assert result.num_attributes == 4
+
+    def test_key_masks(self, paper_rows):
+        result = find_keys(paper_rows)
+        assert result.key_masks == [0b1000, 0b0101, 0b0110]
+
+    def test_stats_timing_populated(self, paper_rows):
+        result = find_keys(paper_rows)
+        assert result.stats.total_seconds >= 0
+        assert result.stats.search.nodes_visited > 0
+
+    def test_stats_dict_round_trip(self, paper_rows):
+        result = find_keys(paper_rows)
+        as_dict = result.stats.as_dict()
+        assert "tree" in as_dict and "search" in as_dict
+        assert as_dict["total_seconds"] == result.stats.total_seconds
+
+
+class TestSoundness:
+    def test_every_key_is_unique_projection(self, paper_rows):
+        result = find_keys(paper_rows)
+        for key in result.keys:
+            projected = [tuple(row[a] for a in key) for row in paper_rows]
+            assert len(set(projected)) == len(paper_rows)
+
+    def test_every_nonkey_has_duplicate_projection(self, paper_rows):
+        result = find_keys(paper_rows)
+        for nonkey in result.nonkeys:
+            projected = [tuple(row[a] for a in nonkey) for row in paper_rows]
+            assert len(set(projected)) < len(paper_rows)

@@ -1,0 +1,132 @@
+"""Unit and property tests for incremental key maintenance."""
+
+import random
+
+import pytest
+
+from repro.core import find_keys
+from repro.core.incremental import IncrementalGordian
+from repro.errors import DataError
+
+
+def batch_keys(rows, width):
+    result = find_keys(rows, num_attributes=width)
+    return [] if result.no_keys_exist else sorted(map(tuple, result.keys))
+
+
+class TestBasics:
+    def test_empty_state(self):
+        inc = IncrementalGordian(3)
+        assert inc.keys() == [(0,), (1,), (2,)]
+        assert inc.num_entities == 0
+
+    def test_single_insert(self):
+        inc = IncrementalGordian(2)
+        report = inc.insert(("a", 1))
+        assert not report.changed
+        assert inc.keys() == [(0,), (1,)]
+
+    def test_paper_example_incrementally(self, paper_rows, paper_keys):
+        inc = IncrementalGordian(4)
+        for row in paper_rows:
+            inc.insert(row)
+        assert inc.keys() == paper_keys
+        assert inc.nonkey_tuples() == [(2,), (0, 1)]
+
+    def test_insert_reports_new_nonkeys(self):
+        inc = IncrementalGordian(2)
+        inc.insert(("a", 1))
+        report = inc.insert(("a", 2))
+        assert report.new_nonkeys == [(0,)]
+
+    def test_duplicate_insert_kills_keys(self):
+        inc = IncrementalGordian(2)
+        inc.insert(("a", 1))
+        report = inc.insert(("a", 1))
+        assert report.became_keyless
+        assert inc.no_keys_exist
+        assert inc.keys() == []
+
+    def test_insert_after_keyless_is_noop_for_keys(self):
+        inc = IncrementalGordian(2)
+        inc.insert(("a", 1))
+        inc.insert(("a", 1))
+        report = inc.insert(("b", 2))
+        assert not report.changed
+        assert inc.keys() == []
+
+    def test_arity_checked(self):
+        inc = IncrementalGordian(2)
+        with pytest.raises(DataError):
+            inc.insert(("only",))
+
+    def test_named_keys(self, paper_rows, paper_names):
+        inc = IncrementalGordian(4, attribute_names=paper_names)
+        for row in paper_rows:
+            inc.insert(row)
+        assert ("Emp No",) in inc.named_keys()
+
+    def test_named_keys_without_names_raises(self):
+        inc = IncrementalGordian(2)
+        with pytest.raises(DataError):
+            inc.named_keys()
+
+    def test_is_key_query(self, paper_rows):
+        inc = IncrementalGordian.from_rows(paper_rows)
+        assert inc.is_key([3])
+        assert inc.is_key([0, 2])
+        assert not inc.is_key([0, 1])
+        assert not inc.is_key([2])
+
+
+class TestEquivalenceWithBatch:
+    def test_matches_batch_on_random_streams(self):
+        rng = random.Random(55)
+        for _ in range(60):
+            width = rng.randint(1, 5)
+            rows = []
+            inc = IncrementalGordian(width)
+            for _ in range(rng.randint(1, 25)):
+                row = tuple(rng.randint(0, 3) for _ in range(width))
+                rows.append(row)
+                inc.insert(row)
+                assert sorted(inc.keys()) == batch_keys(rows, width), rows
+
+    def test_from_rows_matches_batch(self, paper_rows):
+        inc = IncrementalGordian.from_rows(paper_rows)
+        assert sorted(inc.keys()) == batch_keys(paper_rows, 4)
+
+    def test_keys_cache_invalidation(self):
+        inc = IncrementalGordian(2)
+        inc.insert(("a", 1))
+        first = inc.keys()
+        inc.insert(("a", 2))  # new non-key invalidates the cache
+        second = inc.keys()
+        assert first != second
+        assert second == [(1,)]
+
+    def test_pruning_counters_move(self):
+        # Unique column first: once {1, 2} is a known non-key, every branch
+        # below level 1 has best_possible ⊆ {1, 2} and is pruned.
+        rows = [(i, i % 2, i % 3) for i in range(30)]
+        inc = IncrementalGordian.from_rows(rows)
+        assert inc.branches_walked > 0
+        assert inc.branches_pruned > 0
+
+
+class TestMonotonicity:
+    def test_keys_only_grow_or_merge_upward(self):
+        """Every key of the grown dataset covers some key of the prefix
+        stream — keys never shrink as entities arrive."""
+        rng = random.Random(8)
+        width = 4
+        inc = IncrementalGordian(width)
+        previous_keys = None
+        for _ in range(25):
+            row = tuple(rng.randint(0, 2) for _ in range(width))
+            inc.insert(row)
+            keys = inc.key_masks()
+            if previous_keys is not None and keys:
+                for mask in keys:
+                    assert any(mask & old == old for old in previous_keys)
+            previous_keys = keys

@@ -1,0 +1,109 @@
+"""Unit tests for non-key -> key conversion (Algorithm 6)."""
+
+import itertools
+
+import pytest
+
+from repro.core import bitset
+from repro.core.key_conversion import keys_from_nonkey_masks, keys_from_nonkeys
+
+
+def brute_minimal_keys(nonkeys, width):
+    """Oracle: minimal masks not covered by any non-key."""
+    if not nonkeys:
+        return [bitset.singleton(i) for i in range(width)]
+    keys = [
+        mask
+        for mask in range(1, 1 << width)
+        if not any(bitset.covers(nk, mask) for nk in nonkeys)
+    ]
+    return bitset.minimize(keys)
+
+
+class TestPaperExample:
+    def test_paper_running_example(self):
+        # Non-keys <First Name, Last Name> and <Phone> over 4 attributes
+        # yield keys <EmpNo>, <First Name, Phone>, <Last Name, Phone>.
+        nonkeys = [bitset.from_indices([0, 1]), bitset.from_indices([2])]
+        keys = keys_from_nonkey_masks(nonkeys, 4)
+        assert sorted(bitset.to_tuple(k) for k in keys) == [
+            (0, 2),
+            (1, 2),
+            (3,),
+        ]
+
+    def test_index_tuple_wrapper(self):
+        keys = keys_from_nonkeys([[0, 1], [2]], 4)
+        assert sorted(map(tuple, keys)) == [(0, 2), (1, 2), (3,)]
+
+
+class TestEdgeCases:
+    def test_no_nonkeys_means_all_singletons(self):
+        keys = keys_from_nonkey_masks([], 3)
+        assert keys == [0b001, 0b010, 0b100]
+
+    def test_full_nonkey_means_no_keys(self):
+        keys = keys_from_nonkey_masks([bitset.full_mask(3)], 3)
+        assert keys == []
+
+    def test_single_empty_nonkey(self):
+        # The empty set as a non-key constrains nothing beyond requiring a
+        # non-empty key; every singleton remains a key.
+        keys = keys_from_nonkey_masks([0], 2)
+        assert keys == [0b01, 0b10]
+
+    def test_one_singleton_nonkey(self):
+        keys = keys_from_nonkey_masks([0b001], 3)
+        assert keys == [0b010, 0b100]
+
+    def test_redundant_nonkeys_do_not_change_result(self):
+        minimal = [0b0110]
+        redundant = [0b0110, 0b0010, 0b0100]
+        assert keys_from_nonkey_masks(minimal, 4) == keys_from_nonkey_masks(
+            redundant, 4
+        )
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("width", [2, 3, 4, 5])
+    def test_all_single_nonkey_families(self, width):
+        for nonkey in range(1 << width):
+            got = keys_from_nonkey_masks([nonkey], width)
+            assert got == brute_minimal_keys([nonkey], width)
+
+    def test_exhaustive_pairs_width_4(self):
+        for a, b in itertools.combinations(range(1 << 4), 2):
+            got = keys_from_nonkey_masks([a, b], 4)
+            assert got == brute_minimal_keys([a, b], 4), (a, b)
+
+    def test_random_families(self):
+        import random
+
+        rng = random.Random(123)
+        for _ in range(200):
+            width = rng.randint(2, 9)
+            family = [rng.getrandbits(width) for _ in range(rng.randint(0, 7))]
+            got = keys_from_nonkey_masks(family, width)
+            assert got == brute_minimal_keys(family, width), (width, family)
+
+
+class TestOutputInvariants:
+    def test_keys_are_minimal_antichain(self):
+        nonkeys = [0b01110, 0b10011, 0b00111]
+        keys = keys_from_nonkey_masks(nonkeys, 5)
+        assert bitset.is_minimal_family(keys)
+
+    def test_keys_hit_every_complement(self):
+        nonkeys = [0b0110, 0b1010, 0b0011]
+        width = 4
+        keys = keys_from_nonkey_masks(nonkeys, width)
+        for key in keys:
+            for nonkey in nonkeys:
+                assert key & bitset.complement(nonkey, width), (
+                    "every key must intersect every non-key complement"
+                )
+
+    def test_sorted_by_size_then_bits(self):
+        nonkeys = [0b0110, 0b1001]
+        keys = keys_from_nonkey_masks(nonkeys, 4)
+        assert keys == sorted(keys, key=lambda m: (bitset.popcount(m), m))

@@ -1,0 +1,117 @@
+"""Unit tests for prefix-tree merging (Algorithm 3)."""
+
+import pytest
+
+from repro.core.merge import merge_children, merge_nodes
+from repro.core.prefix_tree import build_prefix_tree
+from repro.core.stats import SearchStats
+
+
+@pytest.fixture
+def paper_tree(paper_rows):
+    return build_prefix_tree(paper_rows, 4)
+
+
+class TestDegenerateMerge:
+    def test_single_node_returned_as_is(self, paper_tree):
+        sally = paper_tree.root.cells["Sally"].child
+        merged = merge_nodes(paper_tree, [sally])
+        assert merged is sally
+
+    def test_single_node_merge_allocates_nothing(self, paper_tree):
+        before = paper_tree.stats.nodes_created
+        sally = paper_tree.root.cells["Sally"].child
+        merge_nodes(paper_tree, [sally])
+        assert paper_tree.stats.nodes_created == before
+
+    def test_empty_input_rejected(self, paper_tree):
+        with pytest.raises(ValueError):
+            merge_nodes(paper_tree, [])
+
+
+class TestLeafMerge:
+    def test_leaf_counts_sum(self, paper_tree):
+        # Merge the two EmpNo leaves under Michael/Thompson: paper's (M1).
+        thompson = paper_tree.root.cells["Michael"].child.cells["Thompson"].child
+        leaves = [cell.child for cell in thompson.cells.values()]
+        merged = merge_nodes(paper_tree, leaves)
+        assert set(merged.values()) == {10, 50}
+        assert all(cell.count == 1 for cell in merged.cells.values())
+        assert merged.is_leaf
+
+    def test_leaf_merge_sums_duplicate_values(self, paper_tree):
+        # Merging phone nodes of Thompson(3478,6791), Spencer(5237) and
+        # Kwan(3478) collapses the two 3478 cells: counts add.
+        michael = paper_tree.root.cells["Michael"].child
+        sally = paper_tree.root.cells["Sally"].child
+        phone_nodes = [
+            michael.cells["Thompson"].child,
+            michael.cells["Spencer"].child,
+            sally.cells["Kwan"].child,
+        ]
+        merged = merge_nodes(paper_tree, phone_nodes)
+        assert merged.cells[3478].count == 2
+        assert merged.cells[5237].count == 1
+        assert merged.cells[6791].count == 1
+
+
+class TestInteriorMerge:
+    def test_merge_children_projects_out_level(self, paper_tree):
+        # Merging root's children projects out First Name: the paper's
+        # (M4) with cells Thompson, Spencer, Kwan.
+        merged = merge_children(paper_tree, paper_tree.root)
+        assert set(merged.values()) == {"Thompson", "Spencer", "Kwan"}
+        assert merged.level == 1
+
+    def test_merge_shares_untouched_subtrees(self, paper_tree):
+        michael = paper_tree.root.cells["Michael"].child
+        merged = merge_children(paper_tree, paper_tree.root)
+        # 'Spencer' appears under Michael only: the merged cell must point
+        # at the original (shared) subtree, not a copy.
+        assert merged.cells["Spencer"].child is michael.cells["Spencer"].child
+
+    def test_merge_bumps_refcount_of_shared_children(self, paper_tree):
+        michael = paper_tree.root.cells["Michael"].child
+        spencer = michael.cells["Spencer"].child
+        before = spencer.refcount
+        merge_children(paper_tree, paper_tree.root)
+        assert spencer.refcount == before + 1
+
+    def test_merge_entity_counts_sum(self, paper_tree):
+        merged = merge_children(paper_tree, paper_tree.root)
+        assert merged.entity_count == 4
+        assert merged.cells["Thompson"].count == 2
+
+    def test_merged_tree_entities_are_projection(self, paper_rows):
+        tree = build_prefix_tree(paper_rows, 4)
+        merged = merge_children(tree, tree.root)
+        # Collect entities below the merged node: must equal the projection
+        # of the dataset on attributes 1..3.
+        found = []
+
+        def walk(node, prefix):
+            for value, cell in node.cells.items():
+                if cell.child is None:
+                    found.append((prefix + (value,), cell.count))
+                else:
+                    walk(cell.child, prefix + (value,))
+
+        walk(merged, ())
+        expected = sorted(tuple(row[1:]) for row in paper_rows)
+        assert sorted(e for e, _c in found) == expected
+
+    def test_merge_leaf_children_rejected(self, paper_rows):
+        tree = build_prefix_tree(paper_rows, 4)
+        leaf = (
+            tree.root.cells["Michael"].child.cells["Thompson"].child.cells[3478].child
+        )
+        with pytest.raises(ValueError):
+            merge_children(tree, leaf)
+
+
+class TestMergeStats:
+    def test_merge_counter_incremented(self, paper_tree):
+        stats = SearchStats()
+        merge_children(paper_tree, paper_tree.root, stats=stats)
+        assert stats.merges_performed >= 1
+        assert stats.merge_nodes_input >= 2

@@ -1,0 +1,137 @@
+"""Unit tests for the NonKeyFinder traversal (Algorithm 4)."""
+
+import pytest
+
+from repro.core import bitset
+from repro.core.nonkey_finder import NonKeyFinder, PruningConfig, find_nonkeys
+from repro.core.prefix_tree import build_prefix_tree
+from repro.core.stats import SearchStats
+
+
+def nonkeys_of(rows, width, pruning=None):
+    tree = build_prefix_tree(rows, width)
+    return sorted(
+        bitset.to_tuple(mask) for mask in find_nonkeys(tree, pruning=pruning).masks()
+    )
+
+
+class TestPaperExample:
+    def test_discovers_papers_nonkeys(self, paper_rows):
+        # Section 3.5 walks NonKeyFinder to exactly these two non-keys.
+        assert nonkeys_of(paper_rows, 4) == [(0, 1), (2,)]
+
+    def test_no_pruning_same_nonkeys(self, paper_rows):
+        assert nonkeys_of(paper_rows, 4, PruningConfig.none()) == [(0, 1), (2,)]
+
+    def test_nonkey_count_statistics(self, paper_rows):
+        tree = build_prefix_tree(paper_rows, 4)
+        stats = SearchStats()
+        find_nonkeys(tree, stats=stats)
+        assert stats.nonkeys_inserted == 2
+        assert stats.nodes_visited >= 1
+
+
+class TestSmallCases:
+    def test_all_unique_single_column(self):
+        assert nonkeys_of([(1,), (2,), (3,)], 1) == []
+
+    def test_single_column_cannot_have_nonkeys_without_duplicates(self):
+        # A one-attribute dataset either aborts (duplicates) or has no
+        # non-keys at all.
+        assert nonkeys_of([("x",), ("y",)], 1) == []
+
+    def test_duplicate_in_one_column(self):
+        rows = [(1, "a"), (1, "b")]
+        assert nonkeys_of(rows, 2) == [(0,)]
+
+    def test_both_columns_nonkeys(self):
+        rows = [(1, "a"), (1, "b"), (2, "a")]
+        assert nonkeys_of(rows, 2) == [(0,), (1,)]
+
+    def test_empty_tree_has_no_nonkeys(self):
+        tree = build_prefix_tree([], 3)
+        assert find_nonkeys(tree).masks() == []
+
+    def test_single_entity_has_no_nonkeys(self):
+        assert nonkeys_of([("a", "b", "c")], 3) == []
+
+    def test_constant_column(self):
+        rows = [("k", 1), ("k", 2), ("k", 3)]
+        assert nonkeys_of(rows, 2) == [(0,)]
+
+    def test_three_attributes_composite_nonkey(self):
+        # (a, b) repeats jointly but c disambiguates.
+        rows = [(1, 1, "x"), (1, 1, "y"), (2, 2, "z")]
+        assert nonkeys_of(rows, 3) == [(0, 1)]
+
+
+class TestMaximality:
+    def test_container_holds_maximal_nonkeys_only(self):
+        rows = [
+            (1, 1, 1, "a"),
+            (1, 1, 2, "b"),
+            (1, 2, 1, "c"),
+            (2, 1, 1, "d"),
+        ]
+        result = nonkeys_of(rows, 4)
+        masks = [bitset.from_indices(nk) for nk in result]
+        assert bitset.is_minimal_family(masks)
+
+    @pytest.mark.parametrize(
+        "pruning",
+        [
+            PruningConfig.all(),
+            PruningConfig.none(),
+            PruningConfig(singleton=False),
+            PruningConfig(futility=False),
+            PruningConfig(single_entity=False),
+        ],
+    )
+    def test_pruning_independence(self, pruning):
+        rows = [
+            ("a", 1, "x", 0),
+            ("a", 2, "x", 1),
+            ("b", 1, "y", 0),
+            ("b", 2, "z", 1),
+            ("c", 3, "z", 0),
+        ]
+        assert nonkeys_of(rows, 4, pruning) == nonkeys_of(rows, 4)
+
+
+class TestPruningCounters:
+    def test_pruning_reduces_visits(self, paper_rows):
+        tree_a = build_prefix_tree(paper_rows, 4)
+        stats_a = SearchStats()
+        find_nonkeys(tree_a, pruning=PruningConfig.all(), stats=stats_a)
+
+        tree_b = build_prefix_tree(paper_rows, 4)
+        stats_b = SearchStats()
+        find_nonkeys(tree_b, pruning=PruningConfig.none(), stats=stats_b)
+
+        assert stats_a.nodes_visited <= stats_b.nodes_visited
+        assert stats_a.total_prunings > 0
+        assert stats_b.total_prunings == 0
+
+    def test_futility_pruning_fires_on_wide_duplicate_data(self):
+        # Many correlated columns: futility pruning should trigger.
+        rows = [(i % 2, i % 2, i % 2, i % 2, i) for i in range(8)]
+        tree = build_prefix_tree(rows, 5)
+        stats = SearchStats()
+        find_nonkeys(tree, stats=stats)
+        assert stats.futility_prunings + stats.singleton_prunings_shared > 0
+
+
+class TestMergedTreeCleanup:
+    def test_all_merged_nodes_discarded(self, paper_rows):
+        tree = build_prefix_tree(paper_rows, 4)
+        baseline_live = tree.stats.live_nodes
+        find_nonkeys(tree)
+        # After the search, every merge-created node must have been freed:
+        # only the original tree remains live.
+        assert tree.stats.live_nodes == baseline_live
+
+    def test_no_pruning_also_cleans_up(self, paper_rows):
+        tree = build_prefix_tree(paper_rows, 4)
+        baseline_live = tree.stats.live_nodes
+        find_nonkeys(tree, pruning=PruningConfig.none())
+        assert tree.stats.live_nodes == baseline_live

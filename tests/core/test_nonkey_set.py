@@ -1,0 +1,102 @@
+"""Unit tests for the NonKeySet container (Algorithm 5)."""
+
+import pytest
+
+from repro.core import bitset
+from repro.core.nonkey_set import NonKeySet
+
+
+class TestInsertion:
+    def test_insert_into_empty(self):
+        container = NonKeySet(4)
+        assert container.insert(0b0011)
+        assert container.masks() == [0b0011]
+
+    def test_redundant_insert_rejected(self):
+        container = NonKeySet(4, initial=[0b0111])
+        assert not container.insert(0b0011)
+        assert container.masks() == [0b0111]
+
+    def test_equal_insert_rejected(self):
+        container = NonKeySet(4, initial=[0b0011])
+        assert not container.insert(0b0011)
+        assert len(container) == 1
+
+    def test_covering_insert_evicts(self):
+        container = NonKeySet(4, initial=[0b0001, 0b0010])
+        assert container.insert(0b0011)
+        assert container.masks() == [0b0011]
+
+    def test_covering_insert_keeps_incomparable(self):
+        container = NonKeySet(4, initial=[0b0001, 0b1000])
+        container.insert(0b0011)
+        assert set(container.masks()) == {0b1000, 0b0011}
+
+    def test_out_of_range_mask_rejected(self):
+        container = NonKeySet(2)
+        with pytest.raises(ValueError):
+            container.insert(0b100)
+        with pytest.raises(ValueError):
+            container.insert(-1)
+
+    def test_paper_example_nonkeys(self):
+        # <Phone> = attr 2, <First Name, Last Name> = attrs {0,1}.
+        container = NonKeySet(4)
+        container.insert(bitset.from_indices([0, 1]))
+        container.insert(bitset.from_indices([2]))
+        assert sorted(container.masks()) == [0b0011, 0b0100]
+
+
+class TestInvariants:
+    def test_container_stays_non_redundant(self):
+        container = NonKeySet(6)
+        for mask in [0b000011, 0b000111, 0b110000, 0b010000, 0b001100]:
+            container.insert(mask)
+            assert container.is_non_redundant()
+
+    def test_insert_counters(self):
+        container = NonKeySet(4)
+        container.insert(0b0011)
+        container.insert(0b0001)  # redundant
+        container.insert(0b1100)
+        assert container.insert_attempts == 3
+        assert container.insert_accepted == 2
+
+    def test_iteration_and_contains(self):
+        container = NonKeySet(4, initial=[0b0011, 0b1100])
+        assert set(container) == {0b0011, 0b1100}
+        assert 0b0011 in container
+        assert 0b0110 not in container
+
+
+class TestCoverage:
+    def test_is_covered_subset(self):
+        container = NonKeySet(4, initial=[0b0111])
+        assert container.is_covered(0b0101)
+        assert container.is_covered(0b0111)
+
+    def test_is_covered_negative(self):
+        container = NonKeySet(4, initial=[0b0111])
+        assert not container.is_covered(0b1000)
+        assert not container.is_covered(0b1111)
+
+    def test_empty_container_covers_nothing(self):
+        container = NonKeySet(4)
+        assert not container.is_covered(0)
+        assert not container.is_covered(0b0001)
+
+    def test_nonempty_container_covers_empty_set(self):
+        container = NonKeySet(4, initial=[0b0001])
+        assert container.is_covered(0)
+
+
+class TestSortedOutput:
+    def test_sorted_masks_order(self):
+        container = NonKeySet(5, initial=[0b10011, 0b00100, 0b11000])
+        assert container.sorted_masks() == sorted(
+            container.masks(), key=lambda m: (bitset.popcount(m), m)
+        )
+
+    def test_zero_attribute_container_rejected(self):
+        with pytest.raises(ValueError):
+            NonKeySet(0)

@@ -1,0 +1,121 @@
+"""Unit tests for prefix-tree creation (Algorithm 2) and bookkeeping."""
+
+import pytest
+
+from repro.core.prefix_tree import PrefixTree, build_prefix_tree
+from repro.errors import DataError, NoKeysExistError
+
+
+class TestConstruction:
+    def test_empty_tree(self):
+        tree = PrefixTree(3)
+        assert tree.num_entities == 0
+        assert len(tree.root) == 0
+        assert tree.root.is_leaf  # vacuously: no cells
+
+    def test_rejects_zero_attributes(self):
+        with pytest.raises(DataError):
+            PrefixTree(0)
+
+    def test_single_entity(self):
+        tree = build_prefix_tree([("a", 1)], 2)
+        assert tree.num_entities == 1
+        assert list(tree.iter_entities()) == [(("a", 1), 1)]
+
+    def test_arity_mismatch_rejected(self):
+        tree = PrefixTree(2)
+        with pytest.raises(DataError):
+            tree.insert(("only-one",))
+
+    def test_paper_example_shape(self, paper_rows):
+        tree = build_prefix_tree(paper_rows, 4)
+        # Root has cells Michael and Sally.
+        assert set(tree.root.values()) == {"Michael", "Sally"}
+        # Michael's child holds Thompson and Spencer.
+        michael = tree.root.cells["Michael"].child
+        assert set(michael.values()) == {"Thompson", "Spencer"}
+        # Thompson's phones: 3478 and 6791.
+        thompson = michael.cells["Thompson"].child
+        assert set(thompson.values()) == {3478, 6791}
+
+    def test_entities_round_trip(self, paper_rows):
+        tree = build_prefix_tree(paper_rows, 4)
+        recovered = sorted(entity for entity, _count in tree.iter_entities())
+        assert recovered == sorted(tuple(row) for row in paper_rows)
+        assert all(count == 1 for _e, count in tree.iter_entities())
+
+    def test_prefix_sharing_reduces_nodes(self, paper_rows):
+        tree = build_prefix_tree(paper_rows, 4)
+        # 4 entities x 4 attributes would be 1 + 16 nodes without sharing;
+        # the paper's Figure 6 tree has 10 nodes.
+        assert tree.node_count() == 10
+
+
+class TestCounts:
+    def test_interior_cell_counts_are_entity_counts(self, paper_rows):
+        tree = build_prefix_tree(paper_rows, 4)
+        assert tree.root.cells["Michael"].count == 3
+        assert tree.root.cells["Sally"].count == 1
+        michael = tree.root.cells["Michael"].child
+        assert michael.cells["Thompson"].count == 2
+
+    def test_entity_count_property(self, paper_rows):
+        tree = build_prefix_tree(paper_rows, 4)
+        assert tree.root.entity_count == 4
+        assert tree.root.cells["Michael"].child.entity_count == 3
+
+
+class TestDuplicateAbort:
+    def test_duplicate_entity_aborts(self):
+        rows = [("x", 1), ("y", 2), ("x", 1)]
+        with pytest.raises(NoKeysExistError):
+            build_prefix_tree(rows, 2)
+
+    def test_duplicate_single_attribute(self):
+        with pytest.raises(NoKeysExistError):
+            build_prefix_tree([("a",), ("a",)], 1)
+
+    def test_distinct_rows_do_not_abort(self):
+        tree = build_prefix_tree([("a", 1), ("a", 2)], 2)
+        assert tree.num_entities == 2
+
+
+class TestStats:
+    def test_allocation_counters(self, paper_rows):
+        tree = build_prefix_tree(paper_rows, 4)
+        assert tree.stats.nodes_created == 10
+        assert tree.stats.live_nodes == 10
+        assert tree.stats.peak_live_nodes == 10
+        # Figure 6: cells = 2 (root) + 3 (names) + phones + emps.
+        assert tree.stats.cells_created == tree.stats.live_cells
+
+    def test_discard_releases_nodes(self):
+        tree = build_prefix_tree([("a", 1), ("b", 2)], 2)
+        before = tree.stats.live_nodes
+        child = tree.root.cells["a"].child
+        # Acquire + double discard drops it to zero references.
+        tree.acquire(child)
+        tree.discard(child)
+        assert tree.stats.live_nodes == before
+        tree.discard(child)
+        assert tree.stats.live_nodes == before - 1
+
+    def test_over_release_raises(self):
+        tree = build_prefix_tree([("a", 1)], 2)
+        child = tree.root.cells["a"].child
+        tree.discard(child)
+        with pytest.raises(AssertionError):
+            tree.discard(child)
+
+
+class TestTraversalHelpers:
+    def test_depth_first_nodes_yields_each_once(self, paper_rows):
+        tree = build_prefix_tree(paper_rows, 4)
+        nodes = list(tree.depth_first_nodes())
+        assert len(nodes) == len({id(n) for n in nodes}) == 10
+
+    def test_leaf_detection(self, paper_rows):
+        tree = build_prefix_tree(paper_rows, 4)
+        leaves = [n for n in tree.depth_first_nodes() if n.is_leaf]
+        assert all(n.level == 3 for n in leaves)
+        assert sum(len(n) for n in leaves) == 4  # one leaf cell per entity

@@ -1,0 +1,153 @@
+"""Property-based tests: GORDIAN against independent oracles on random data.
+
+These are the highest-value tests in the suite: for arbitrary small tables,
+GORDIAN's minimal keys must equal the brute-force and level-wise oracles'
+results, under every pruning configuration and attribute ordering; and the
+reported non-keys must form a maximal antichain of genuinely non-unique
+projections.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.baselines import brute_force_keys, is_minimal_key, levelwise_keys
+from repro.core import (
+    AttributeOrder,
+    GordianConfig,
+    PruningConfig,
+    bitset,
+    find_keys,
+)
+
+SETTINGS = settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def small_tables(draw, max_attrs=5, max_rows=24, max_domain=4):
+    width = draw(st.integers(min_value=1, max_value=max_attrs))
+    num_rows = draw(st.integers(min_value=1, max_value=max_rows))
+    domain = draw(st.integers(min_value=1, max_value=max_domain))
+    value = st.integers(min_value=0, max_value=domain)
+    rows = draw(
+        st.lists(
+            st.tuples(*([value] * width)),
+            min_size=num_rows,
+            max_size=num_rows,
+        )
+    )
+    return rows, width
+
+
+@st.composite
+def keyed_tables(draw, max_attrs=5, max_rows=24, max_domain=4):
+    """Tables with duplicates removed, so keys are guaranteed to exist."""
+    rows, width = draw(small_tables(max_attrs, max_rows, max_domain))
+    return list(dict.fromkeys(rows)), width
+
+
+@given(small_tables())
+@SETTINGS
+def test_gordian_equals_brute_force(table):
+    rows, width = table
+    result = find_keys(rows, num_attributes=width)
+    expected = brute_force_keys(rows, num_attributes=width).keys
+    got = [] if result.no_keys_exist else result.keys
+    assert got == expected
+
+
+@given(small_tables())
+@SETTINGS
+def test_gordian_equals_levelwise(table):
+    rows, width = table
+    result = find_keys(rows, num_attributes=width)
+    expected = levelwise_keys(rows, num_attributes=width).keys
+    got = [] if result.no_keys_exist else result.keys
+    assert got == expected
+
+
+@given(keyed_tables(), st.sampled_from(list(AttributeOrder)))
+@SETTINGS
+def test_attribute_order_never_changes_keys(table, order):
+    rows, width = table
+    base = find_keys(rows, num_attributes=width)
+    config = GordianConfig(attribute_order=order)
+    assert find_keys(rows, num_attributes=width, config=config).keys == base.keys
+
+
+@given(
+    keyed_tables(),
+    st.booleans(),
+    st.booleans(),
+    st.booleans(),
+)
+@SETTINGS
+def test_pruning_never_changes_keys(table, singleton, single_entity, futility):
+    rows, width = table
+    base = find_keys(rows, num_attributes=width)
+    config = GordianConfig(
+        pruning=PruningConfig(
+            singleton=singleton, single_entity=single_entity, futility=futility
+        )
+    )
+    assert find_keys(rows, num_attributes=width, config=config).keys == base.keys
+
+
+@given(keyed_tables())
+@SETTINGS
+def test_every_reported_key_is_minimal(table):
+    rows, width = table
+    result = find_keys(rows, num_attributes=width)
+    for key in result.keys:
+        assert is_minimal_key(rows, key)
+
+
+@given(keyed_tables())
+@SETTINGS
+def test_nonkeys_are_maximal_nonunique_antichain(table):
+    rows, width = table
+    result = find_keys(rows, num_attributes=width)
+    masks = [bitset.from_indices(nk) for nk in result.nonkeys]
+    assert bitset.is_minimal_family(masks)
+    for nonkey in result.nonkeys:
+        projected = [tuple(row[a] for a in nonkey) for row in rows]
+        assert len(set(projected)) < len(rows)
+    # Maximality: adding any attribute to a non-key breaks it out of every
+    # reported non-key, so the extended set must be unique or covered.
+    for mask in masks:
+        for attr in range(width):
+            extended = mask | bitset.singleton(attr)
+            if extended == mask:
+                continue
+            covered = any(bitset.covers(other, extended) for other in masks)
+            attrs = bitset.to_indices(extended)
+            projected = [tuple(row[a] for a in attrs) for row in rows]
+            unique = len(set(projected)) == len(rows)
+            assert covered or unique
+
+
+@given(small_tables())
+@SETTINGS
+def test_keys_and_nonkeys_are_complementary(table):
+    """Every attribute set is (a superset of) a key xor (a subset of) a non-key."""
+    rows, width = table
+    result = find_keys(rows, num_attributes=width)
+    key_masks = result.key_masks
+    nonkey_masks = result.nonkey_masks
+    for mask in range(1, 1 << width):
+        has_key = any(bitset.covers(mask, key) for key in key_masks)
+        covered = any(bitset.covers(nk, mask) for nk in nonkey_masks)
+        assert has_key != covered
+
+
+@given(keyed_tables())
+@SETTINGS
+def test_result_deterministic(table):
+    rows, width = table
+    first = find_keys(rows, num_attributes=width)
+    second = find_keys(rows, num_attributes=width)
+    assert first.keys == second.keys
+    assert first.nonkeys == second.nonkeys

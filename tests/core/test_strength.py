@@ -1,0 +1,145 @@
+"""Unit tests for strength computation and the T(K) bound (section 3.9)."""
+
+import math
+
+import pytest
+
+from repro.core.strength import (
+    StrengthEvaluator,
+    bayesian_strength_bound,
+    classify_keys,
+    distinct_count,
+    kivinen_mannila_sample_size,
+    strength,
+)
+
+
+ROWS = [
+    ("a", 1, "x"),
+    ("a", 2, "x"),
+    ("b", 1, "y"),
+    ("b", 2, "y"),
+]
+
+
+class TestDistinctAndStrength:
+    def test_distinct_single_attr(self):
+        assert distinct_count(ROWS, [0]) == 2
+        assert distinct_count(ROWS, [1]) == 2
+
+    def test_distinct_pair(self):
+        assert distinct_count(ROWS, [0, 1]) == 4
+
+    def test_distinct_empty_attrs(self):
+        assert distinct_count(ROWS, []) == 1
+        assert distinct_count([], []) == 0
+
+    def test_strength_values(self):
+        assert strength(ROWS, [0]) == 0.5
+        assert strength(ROWS, [0, 1]) == 1.0
+
+    def test_strength_of_empty_relation(self):
+        assert strength([], [0]) == 1.0
+
+
+class TestStrengthEvaluator:
+    def test_matches_direct_computation(self):
+        evaluator = StrengthEvaluator(ROWS, 3)
+        for attrs in ([0], [1], [2], [0, 1], [0, 2], [1, 2], [0, 1, 2]):
+            assert evaluator.distinct_count(attrs) == distinct_count(ROWS, attrs)
+            assert evaluator.strength(attrs) == strength(ROWS, attrs)
+
+    def test_is_key(self):
+        evaluator = StrengthEvaluator(ROWS, 3)
+        assert evaluator.is_key([0, 1])
+        assert not evaluator.is_key([0, 2])
+
+    def test_empty_attrs(self):
+        evaluator = StrengthEvaluator(ROWS, 3)
+        assert evaluator.distinct_count([]) == 1
+
+    def test_empty_table(self):
+        evaluator = StrengthEvaluator([], 2)
+        assert evaluator.strength([0]) == 1.0
+
+    def test_random_agreement_with_oracle(self):
+        import random
+
+        rng = random.Random(5)
+        rows = [
+            tuple(rng.randint(0, 3) for _ in range(4)) for _ in range(60)
+        ]
+        evaluator = StrengthEvaluator(rows, 4)
+        for _ in range(30):
+            attrs = rng.sample(range(4), rng.randint(1, 4))
+            assert evaluator.distinct_count(attrs) == distinct_count(rows, attrs)
+
+
+class TestBayesianBound:
+    def test_formula(self):
+        # N=10, D_v = 8: T = 1 - (10-8+1)/(10+2) = 1 - 3/12.
+        assert bayesian_strength_bound(10, [8]) == pytest.approx(1 - 3 / 12)
+
+    def test_two_attributes_multiply(self):
+        got = bayesian_strength_bound(10, [8, 5])
+        assert got == pytest.approx(1 - (3 / 12) * (6 / 12))
+
+    def test_all_distinct_gives_high_bound(self):
+        assert bayesian_strength_bound(100, [100]) == pytest.approx(1 - 1 / 102)
+
+    def test_bound_in_unit_interval(self):
+        for d in range(0, 11):
+            assert 0.0 <= bayesian_strength_bound(10, [d]) <= 1.0
+
+    def test_invalid_distinct_rejected(self):
+        with pytest.raises(ValueError):
+            bayesian_strength_bound(10, [11])
+        with pytest.raises(ValueError):
+            bayesian_strength_bound(-1, [0])
+
+
+class TestKivinenMannila:
+    def test_monotone_in_epsilon(self):
+        loose = kivinen_mannila_sample_size(10_000, 10, epsilon=0.5, delta=0.05)
+        tight = kivinen_mannila_sample_size(10_000, 10, epsilon=0.05, delta=0.05)
+        assert tight > loose
+
+    def test_capped_by_population(self):
+        assert kivinen_mannila_sample_size(100, 50, 0.01, 0.01) == 100
+
+    def test_scales_with_sqrt_population(self):
+        small = kivinen_mannila_sample_size(10_000, 5, 0.1, 0.1)
+        big = kivinen_mannila_sample_size(1_000_000, 5, 0.1, 0.1)
+        assert big == pytest.approx(small * 10, rel=0.01)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            kivinen_mannila_sample_size(100, 5, 0.0, 0.1)
+        with pytest.raises(ValueError):
+            kivinen_mannila_sample_size(100, 5, 0.1, 1.0)
+        with pytest.raises(ValueError):
+            kivinen_mannila_sample_size(100, 0, 0.1, 0.1)
+
+
+class TestClassifyKeys:
+    def test_true_key_detected(self):
+        full = [(i, i % 2) for i in range(10)]
+        sample = full[:5]
+        reports = classify_keys(full, sample, [(0,)])
+        assert reports[0].is_true_key
+        assert reports[0].strength == 1.0
+
+    def test_false_key_detected(self):
+        # Attribute 1 is unique in the sample but heavily duplicated overall.
+        full = [(i, i % 3) for i in range(9)]
+        sample = [(0, 0), (1, 1), (2, 2)]
+        reports = classify_keys(full, sample, [(1,)])
+        assert not reports[0].is_true_key
+        assert reports[0].strength == pytest.approx(3 / 9)
+        assert reports[0].is_false_key(threshold=0.8)
+
+    def test_bound_reported(self):
+        full = [(i,) for i in range(10)]
+        sample = full[:4]
+        reports = classify_keys(full, sample, [(0,)])
+        assert 0.0 <= reports[0].bound <= 1.0

@@ -1,0 +1,87 @@
+"""Unit tests for the reference COUNT cube (section 3.1 formulation)."""
+
+import pytest
+
+from repro.core import find_keys
+from repro.cube.count_cube import compute_count_cube
+from repro.cube.lattice import all_projections, children, lattice_levels, parents
+
+
+class TestLattice:
+    def test_all_projections_count(self):
+        assert len(all_projections(3)) == 7
+        assert len(all_projections(3, include_empty=True)) == 8
+
+    def test_projections_sorted_by_size(self):
+        masks = all_projections(3)
+        sizes = [bin(m).count("1") for m in masks]
+        assert sizes == sorted(sizes)
+
+    def test_children(self):
+        assert sorted(children(0b111)) == [0b011, 0b101, 0b110]
+        assert list(children(0b001)) == [0]
+
+    def test_parents(self):
+        assert sorted(parents(0b001, 3)) == [0b011, 0b101]
+        assert list(parents(0b111, 3)) == []
+
+    def test_lattice_levels(self):
+        levels = lattice_levels(3)
+        assert [len(level) for level in levels] == [1, 3, 3, 1]
+
+
+class TestCountCube:
+    def test_paper_cuboids(self, paper_rows):
+        cube = compute_count_cube(paper_rows, 4)
+        # <EmpNo> (attr 3) is a key: all counts 1.
+        assert cube.cuboid([3]).is_key
+        # <First Name> has Michael x3.
+        first_name = cube.cuboid([0])
+        assert not first_name.is_key
+        assert first_name.counts[("Michael",)] == 3
+        assert first_name.max_count == 3
+        # <First Name, Phone> is a (composite) key per Figure 3.
+        assert cube.cuboid([0, 2]).is_key
+        # <First Name, Last Name> has the duplicate Michael Thompson.
+        assert cube.cuboid([0, 1]).counts[("Michael", "Thompson")] == 2
+
+    def test_cuboid_count(self, paper_rows):
+        cube = compute_count_cube(paper_rows, 4)
+        assert len(cube) == 15  # 2^4 - 1
+
+    def test_group_counts_sum_to_entities(self, paper_rows):
+        cube = compute_count_cube(paper_rows, 4)
+        for cuboid in cube:
+            assert sum(cuboid.counts.values()) == 4
+
+    def test_minimal_keys_match_gordian(self, paper_rows, paper_keys):
+        cube = compute_count_cube(paper_rows, 4)
+        assert cube.minimal_keys() == paper_keys
+        assert find_keys(paper_rows).keys == cube.minimal_keys()
+
+    def test_maximal_nonkeys_match_gordian(self, paper_rows, paper_nonkeys):
+        cube = compute_count_cube(paper_rows, 4)
+        assert cube.maximal_nonkeys() == paper_nonkeys
+
+    def test_keys_and_nonkeys_partition_lattice(self, paper_rows):
+        cube = compute_count_cube(paper_rows, 4)
+        assert len(cube.keys()) + len(cube.nonkeys()) == len(cube)
+
+    def test_contains(self, paper_rows):
+        cube = compute_count_cube(paper_rows, 4)
+        assert [0, 2] in cube
+
+    def test_random_agreement_with_gordian(self):
+        import random
+
+        rng = random.Random(31)
+        for _ in range(40):
+            width = rng.randint(1, 4)
+            rows = list(
+                dict.fromkeys(
+                    tuple(rng.randint(0, 2) for _ in range(width))
+                    for _ in range(rng.randint(1, 20))
+                )
+            )
+            cube = compute_count_cube(rows, width)
+            assert cube.minimal_keys() == find_keys(rows, num_attributes=width).keys

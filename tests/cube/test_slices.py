@@ -1,0 +1,50 @@
+"""Unit tests for cube slices and subsumption (Lemma 1's setting)."""
+
+from repro.cube.slices import compute_slice, subsumes
+
+
+class TestSlices:
+    def test_slice_selection(self, paper_rows):
+        michael = compute_slice(paper_rows, 4, {0: "Michael"})
+        assert michael.num_entities == 3
+        assert all(row[0] == "Michael" for row in michael.rows)
+
+    def test_empty_slice(self, paper_rows):
+        ghost = compute_slice(paper_rows, 4, {0: "Nobody"})
+        assert ghost.num_entities == 0
+
+    def test_segment_counts(self, paper_rows):
+        michael = compute_slice(paper_rows, 4, {0: "Michael"})
+        segment = michael.segment([0, 1])
+        assert segment.counts[("Michael", "Thompson")] == 2
+        assert segment.counts[("Michael", "Spencer")] == 1
+
+    def test_multi_attribute_selection(self, paper_rows):
+        slice_ = compute_slice(paper_rows, 4, {0: "Michael", 1: "Thompson"})
+        assert slice_.num_entities == 2
+
+
+class TestSubsumption:
+    def test_paper_subsumption_example(self, paper_rows):
+        # 'Thompson' only ever occurs with 'Michael', so the Thompson slice
+        # is subsumed by the Michael slice (section 3.1.2).
+        michael = compute_slice(paper_rows, 4, {0: "Michael"})
+        thompson = compute_slice(paper_rows, 4, {1: "Thompson"})
+        assert subsumes(michael, thompson)
+        assert not subsumes(thompson, michael)
+
+    def test_lemma1_nonkey_redundancy(self, paper_rows):
+        """Lemma 1: every non-key of a subsumed slice is redundant to one of
+        the subsuming slice (with the selection attribute added)."""
+        michael = compute_slice(paper_rows, 4, {0: "Michael"})
+        thompson = compute_slice(paper_rows, 4, {1: "Thompson"})
+        assert subsumes(michael, thompson)
+        outer_nonkeys = {frozenset(nk) for nk in michael.nonkeys()}
+        for nonkey in thompson.nonkeys():
+            extended = frozenset(nonkey) | {0}  # prepend First Name
+            assert any(extended <= other or frozenset(nonkey) <= other
+                       for other in outer_nonkeys), nonkey
+
+    def test_every_slice_subsumes_itself(self, paper_rows):
+        michael = compute_slice(paper_rows, 4, {0: "Michael"})
+        assert subsumes(michael, michael)

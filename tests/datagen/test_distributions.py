@@ -1,0 +1,75 @@
+"""Unit tests for the random distributions backing the generators."""
+
+import random
+
+import pytest
+
+from repro.datagen.distributions import (
+    ZipfianSampler,
+    make_words,
+    uniform_int,
+    weighted_choice,
+)
+
+
+class TestZipfian:
+    def test_uniform_special_case(self):
+        sampler = ZipfianSampler(4, theta=0.0)
+        for rank in range(4):
+            assert sampler.probability(rank) == pytest.approx(0.25)
+
+    def test_skew_orders_probabilities(self):
+        sampler = ZipfianSampler(10, theta=1.0)
+        probs = [sampler.probability(r) for r in range(10)]
+        assert probs == sorted(probs, reverse=True)
+        assert probs[0] > probs[-1] * 5
+
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfianSampler(25, theta=0.7)
+        assert sum(sampler.probability(r) for r in range(25)) == pytest.approx(1.0)
+
+    def test_samples_in_range(self):
+        sampler = ZipfianSampler(6, theta=0.5)
+        rng = random.Random(1)
+        samples = sampler.sample_many(rng, 500)
+        assert all(0 <= s < 6 for s in samples)
+
+    def test_skewed_samples_favor_low_ranks(self):
+        sampler = ZipfianSampler(50, theta=1.5)
+        rng = random.Random(2)
+        samples = sampler.sample_many(rng, 2000)
+        low = sum(1 for s in samples if s < 5)
+        assert low > len(samples) * 0.5
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            ZipfianSampler(0)
+        with pytest.raises(ValueError):
+            ZipfianSampler(5, theta=-1)
+        with pytest.raises(ValueError):
+            ZipfianSampler(5).probability(5)
+
+
+class TestHelpers:
+    def test_uniform_int_inclusive(self):
+        rng = random.Random(3)
+        values = {uniform_int(rng, 1, 3) for _ in range(200)}
+        assert values == {1, 2, 3}
+
+    def test_weighted_choice_respects_weights(self):
+        rng = random.Random(4)
+        picks = [
+            weighted_choice(rng, ["a", "b"], [0.95, 0.05]) for _ in range(500)
+        ]
+        assert picks.count("a") > 400
+
+    def test_weighted_choice_validates(self):
+        rng = random.Random(5)
+        with pytest.raises(ValueError):
+            weighted_choice(rng, ["a"], [1.0, 2.0])
+
+    def test_make_words_distinct_and_deterministic(self):
+        words = make_words(100, length=6, seed=9)
+        assert len(words) == len(set(words)) == 100
+        assert words == make_words(100, length=6, seed=9)
+        assert words != make_words(100, length=6, seed=10)

@@ -1,0 +1,178 @@
+"""Unit tests for the TPC-H-like, OPIC-like, BASEBALL-like, Zipfian and
+planted-key dataset generators."""
+
+import pytest
+
+from repro.baselines import is_key
+from repro.datagen import (
+    BaseballSpec,
+    KeyPlantSpec,
+    OpicSpec,
+    TpchSpec,
+    ZipfianSpec,
+    generate_baseball,
+    generate_opic,
+    generate_opic_main,
+    generate_planted,
+    generate_tpch,
+    generate_zipfian_table,
+)
+
+
+class TestTpch:
+    def test_eight_tables(self):
+        db = generate_tpch(TpchSpec(scale=0.5))
+        assert set(db) == {
+            "region", "nation", "supplier", "customer", "part",
+            "partsupp", "orders", "lineitem",
+        }
+
+    def test_genuine_key_structure(self):
+        db = generate_tpch(TpchSpec(scale=1.0))
+        assert db["lineitem"].is_key(["l_orderkey", "l_linenumber"])
+        assert not db["lineitem"].is_key(["l_orderkey"])
+        assert db["partsupp"].is_key(["ps_partkey", "ps_suppkey"])
+        assert not db["partsupp"].is_key(["ps_partkey"])
+        assert db["orders"].is_key(["o_orderkey"])
+        assert db["customer"].is_key(["c_custkey"])
+
+    def test_referential_integrity(self):
+        db = generate_tpch(TpchSpec(scale=1.0))
+        nations = set(db["nation"].column("n_nationkey"))
+        assert set(db["supplier"].column("s_nationkey")) <= nations
+        assert set(db["customer"].column("c_nationkey")) <= nations
+        custkeys = set(db["customer"].column("c_custkey"))
+        assert set(db["orders"].column("o_custkey")) <= custkeys
+        orderkeys = set(db["orders"].column("o_orderkey"))
+        assert set(db["lineitem"].column("l_orderkey")) <= orderkeys
+
+    def test_scale_grows_rows(self):
+        small = generate_tpch(TpchSpec(scale=0.5))
+        big = generate_tpch(TpchSpec(scale=2.0))
+        assert big["lineitem"].num_rows > small["lineitem"].num_rows
+
+    def test_deterministic(self):
+        a = generate_tpch(TpchSpec(scale=0.5, seed=1))
+        b = generate_tpch(TpchSpec(scale=0.5, seed=1))
+        assert a["lineitem"].rows == b["lineitem"].rows
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            TpchSpec(scale=0)
+
+
+class TestOpic:
+    def test_width_control(self):
+        narrow = generate_opic_main(OpicSpec(num_rows=50, num_attributes=8))
+        wide = generate_opic_main(OpicSpec(num_rows=50, num_attributes=50))
+        assert narrow.num_attributes == 8
+        assert wide.num_attributes == 50
+
+    def test_planted_keys(self):
+        table = generate_opic_main(OpicSpec(num_rows=300, num_attributes=50))
+        assert table.is_key(["serial_no"])
+        assert table.is_key(["plant", "batch", "unit"])
+
+    def test_hierarchy_is_correlated(self):
+        table = generate_opic_main(OpicSpec(num_rows=300, num_attributes=50))
+        # product_line determines family (functional dependency).
+        mapping = {}
+        for row in table.to_dicts():
+            mapping.setdefault(row["product_line"], set()).add(row["family"])
+        assert all(len(families) == 1 for families in mapping.values())
+
+    def test_options_determined_by_model(self):
+        table = generate_opic_main(OpicSpec(num_rows=200, num_attributes=30))
+        by_model = {}
+        names = table.schema.names
+        option_positions = [
+            i for i, name in enumerate(names) if name.startswith(("opt_", "meas_"))
+        ]
+        assert option_positions, "expected filler columns at width 30"
+        for row in table.rows:
+            options = tuple(row[i] for i in option_positions)
+            by_model.setdefault(row[4], set()).add(options)
+        assert all(len(v) == 1 for v in by_model.values())
+
+    def test_database_side_tables(self):
+        db = generate_opic(OpicSpec(num_rows=200, num_attributes=20))
+        assert set(db) == {"opic_main", "opic_suppliers", "opic_price_history"}
+        assert db["opic_suppliers"].is_key(["supplier_id"])
+        assert db["opic_price_history"].is_key(["serial_no", "valid_from"])
+
+    def test_minimum_width_enforced(self):
+        with pytest.raises(ValueError):
+            OpicSpec(num_attributes=3)
+
+
+class TestBaseball:
+    def test_twelve_tables(self):
+        db = generate_baseball(BaseballSpec(num_players=20, games_per_season=4))
+        assert len(db) == 12
+
+    def test_composite_keys(self):
+        db = generate_baseball(BaseballSpec(num_players=30, games_per_season=6))
+        assert db["players"].is_key(["player_id"])
+        assert db["games"].is_key(["season_year", "game_no"])
+        assert db["batting"].is_key(["season_year", "game_no", "player_id"])
+        assert db["awards"].is_key(["award_name", "season_year"])
+        assert db["rosters"].is_key(["player_id", "team_id", "season_year"])
+
+    def test_aggregates_consistent(self):
+        db = generate_baseball(BaseballSpec(num_players=25, games_per_season=5))
+        total_hits = sum(row[4] for row in db["batting"].rows)
+        season_hits = sum(row[3] for row in db["season_batting"].rows)
+        assert total_hits == season_hits
+
+
+class TestZipfian:
+    def test_shape(self):
+        table = generate_zipfian_table(
+            ZipfianSpec(num_entities=100, num_attributes=5, cardinality=50)
+        )
+        assert table.num_rows == 100
+        assert table.num_attributes == 5
+
+    def test_rows_distinct_without_row_id(self):
+        table = generate_zipfian_table(
+            ZipfianSpec(num_entities=80, num_attributes=4, cardinality=30)
+        )
+        assert len(set(table.rows)) == 80
+
+    def test_row_id_mode(self):
+        table = generate_zipfian_table(
+            ZipfianSpec(num_entities=50, num_attributes=3, cardinality=4,
+                        with_row_id=True)
+        )
+        assert table.num_attributes == 4
+        assert table.is_key(["row_id"])
+
+    def test_too_small_domain_raises(self):
+        with pytest.raises(ValueError):
+            generate_zipfian_table(
+                ZipfianSpec(num_entities=100, num_attributes=2, cardinality=2)
+            )
+
+
+class TestPlanted:
+    def test_planted_key_is_key(self):
+        planted = generate_planted(KeyPlantSpec(num_rows=150))
+        assert is_key(planted.table.rows, planted.planted_key)
+
+    def test_planted_key_discovered_by_gordian(self):
+        planted = generate_planted(KeyPlantSpec(num_rows=150, seed=8))
+        result = planted.table.find_keys()
+        assert planted.planted_key in [tuple(k) for k in result.keys]
+
+    def test_key_names_match_indices(self):
+        planted = generate_planted()
+        names = planted.table.schema.names
+        assert tuple(names[i] for i in planted.planted_key) == planted.key_names
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            KeyPlantSpec(num_rows=1000, key_radices=(5, 5))
+
+    def test_no_shuffle_keeps_key_first(self):
+        planted = generate_planted(KeyPlantSpec(shuffle_columns=False))
+        assert planted.planted_key == (0, 1, 2)

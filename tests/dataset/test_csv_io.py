@@ -1,0 +1,80 @@
+"""Unit tests for CSV loading and saving."""
+
+import pytest
+
+from repro.dataset.csv_io import dumps_csv, infer_value, load_csv, loads_csv, save_csv
+from repro.dataset.table import Table
+from repro.errors import DataError
+
+
+class TestInferValue:
+    def test_int(self):
+        assert infer_value("42") == 42
+        assert isinstance(infer_value("42"), int)
+
+    def test_float(self):
+        assert infer_value("4.5") == 4.5
+
+    def test_string(self):
+        assert infer_value("x42z") == "x42z"
+
+    def test_empty_is_none(self):
+        assert infer_value("") is None
+
+
+class TestLoads:
+    def test_with_header(self):
+        table = loads_csv("a,b\n1,x\n2,y\n")
+        assert table.schema.names == ["a", "b"]
+        assert table.rows == [(1, "x"), (2, "y")]
+
+    def test_without_header_needs_schema(self):
+        table = loads_csv("1,x\n", header=False, schema=["a", "b"])
+        assert table.rows == [(1, "x")]
+        with pytest.raises(DataError):
+            loads_csv("1,x\n", header=False)
+
+    def test_no_inference(self):
+        table = loads_csv("a\n7\n", infer=False)
+        assert table.rows == [("7",)]
+
+    def test_ragged_row_rejected(self):
+        with pytest.raises(DataError):
+            loads_csv("a,b\n1\n")
+
+    def test_empty_text_with_header_rejected(self):
+        with pytest.raises(DataError):
+            loads_csv("")
+
+    def test_custom_delimiter(self):
+        table = loads_csv("a;b\n1;2\n", delimiter=";")
+        assert table.rows == [(1, 2)]
+
+    def test_header_whitespace_stripped(self):
+        table = loads_csv(" a , b \n1,2\n")
+        assert table.schema.names == ["a", "b"]
+
+
+class TestRoundTrip:
+    def test_dumps_loads(self, paper_table):
+        text = dumps_csv(paper_table)
+        reloaded = loads_csv(text)
+        assert reloaded.rows == paper_table.rows
+        assert reloaded.schema.names == paper_table.schema.names
+
+    def test_none_round_trips_as_none(self):
+        table = Table(["a", "b"], [(1, None)])
+        assert loads_csv(dumps_csv(table)).rows == [(1, None)]
+
+    def test_file_round_trip(self, tmp_path, paper_table):
+        path = tmp_path / "employees.csv"
+        save_csv(paper_table, path)
+        reloaded = load_csv(path)
+        assert reloaded.rows == paper_table.rows
+        assert reloaded.name == "employees"
+
+    def test_keys_survive_round_trip(self, tmp_path, paper_table):
+        path = tmp_path / "e.csv"
+        save_csv(paper_table, path)
+        result = load_csv(path).find_keys()
+        assert result.keys == [(3,), (0, 2), (1, 2)]

@@ -1,0 +1,57 @@
+"""Unit tests for dictionary encoding."""
+
+from repro.core import find_keys
+from repro.dataset.encoding import ColumnDictionary, encode_rows, encode_table
+from repro.dataset.table import Table
+
+
+class TestColumnDictionary:
+    def test_encode_assigns_sequential_codes(self):
+        d = ColumnDictionary()
+        assert d.encode("x") == 0
+        assert d.encode("y") == 1
+        assert d.encode("x") == 0
+
+    def test_decode_round_trip(self):
+        d = ColumnDictionary()
+        values = ["a", "b", "a", None, 3.5]
+        codes = [d.encode(v) for v in values]
+        assert [d.decode(c) for c in codes] == values
+
+    def test_cardinality(self):
+        d = ColumnDictionary()
+        for v in "aabbc":
+            d.encode(v)
+        assert d.cardinality == 3
+        assert len(d) == 3
+
+
+class TestEncodeRows:
+    def test_shapes(self):
+        rows = [("a", 1), ("b", 1), ("a", 2)]
+        encoded, dicts = encode_rows(rows, 2)
+        assert len(encoded) == 3
+        assert len(dicts) == 2
+        assert dicts[0].cardinality == 2
+        assert dicts[1].cardinality == 2
+
+    def test_equality_structure_preserved(self):
+        rows = [("a", 1), ("b", 1), ("a", 2)]
+        encoded, _ = encode_rows(rows, 2)
+        # Same-column equality must be preserved exactly.
+        assert (encoded[0][0] == encoded[2][0]) and (encoded[0][0] != encoded[1][0])
+        assert encoded[0][1] == encoded[1][1]
+
+
+class TestEncodeTable:
+    def test_keys_invariant_under_encoding(self, paper_table):
+        encoded, _ = encode_table(paper_table)
+        original = find_keys(paper_table.rows)
+        recoded = find_keys(encoded.rows)
+        assert original.keys == recoded.keys
+        assert original.nonkeys == recoded.nonkeys
+
+    def test_schema_preserved(self, paper_table):
+        encoded, _ = encode_table(paper_table)
+        assert encoded.schema == paper_table.schema
+        assert encoded.name == paper_table.name

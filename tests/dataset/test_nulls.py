@@ -1,0 +1,91 @@
+"""Unit tests for null semantics in key discovery."""
+
+import pytest
+
+from repro.core import GordianConfig, find_keys
+from repro.dataset.nulls import (
+    NullPolicy,
+    NullSentinel,
+    apply_null_policy,
+    has_nulls,
+)
+from repro.errors import ConfigError, DataError
+
+ROWS = [
+    (1, None, "x"),
+    (2, None, "y"),
+    (3, "b", None),
+]
+
+
+class TestHelpers:
+    def test_has_nulls(self):
+        assert has_nulls(ROWS)
+        assert not has_nulls([(1, 2)])
+
+    def test_sentinels_never_equal(self):
+        a = NullSentinel(0, 0)
+        b = NullSentinel(0, 0)
+        assert a != b
+        assert a == a
+        assert len({a, b}) == 2
+
+
+class TestApplyPolicy:
+    def test_equal_returns_input(self):
+        assert apply_null_policy(ROWS, NullPolicy.EQUAL) is ROWS
+
+    def test_distinct_rewrites_nones(self):
+        rewritten = apply_null_policy(ROWS, NullPolicy.DISTINCT)
+        assert isinstance(rewritten[0][1], NullSentinel)
+        assert rewritten[0][0] == 1  # non-nulls untouched
+
+    def test_forbid_raises(self):
+        with pytest.raises(DataError):
+            apply_null_policy(ROWS, NullPolicy.FORBID)
+
+    def test_forbid_passes_clean_data(self):
+        clean = [(1, 2)]
+        assert apply_null_policy(clean, NullPolicy.FORBID) is clean
+
+    def test_policy_from_string(self):
+        assert apply_null_policy(ROWS, "equal") is ROWS
+
+
+class TestKeyDiscoverySemantics:
+    def test_equal_semantics_nulls_collide(self):
+        # Under EQUAL, attribute 1 has two NULLs -> non-key.
+        result = find_keys(ROWS, config=GordianConfig(null_policy="equal"))
+        assert (1,) not in result.keys
+        assert any(1 in nk for nk in result.nonkeys)
+
+    def test_distinct_semantics_nulls_never_collide(self):
+        # Under DISTINCT (SQL UNIQUE), the NULL-laden attribute is a key.
+        result = find_keys(ROWS, config=GordianConfig(null_policy="distinct"))
+        assert (1,) in result.keys
+
+    def test_distinct_duplicate_nonnull_rows_still_keyless(self):
+        rows = [(1, "a"), (1, "a")]
+        result = find_keys(rows, config=GordianConfig(null_policy="distinct"))
+        assert result.no_keys_exist
+
+    def test_distinct_all_null_rows_are_distinct(self):
+        rows = [(None,), (None,)]
+        result = find_keys(rows, config=GordianConfig(null_policy="distinct"))
+        assert not result.no_keys_exist
+        assert result.keys == [(0,)]
+
+    def test_forbid_policy_raises_through_find_keys(self):
+        with pytest.raises(DataError):
+            find_keys(ROWS, config=GordianConfig(null_policy="forbid"))
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            GordianConfig(null_policy="bogus")
+
+    def test_clean_data_identical_under_all_policies(self, paper_rows):
+        for policy in NullPolicy:
+            result = find_keys(
+                paper_rows, config=GordianConfig(null_policy=policy)
+            )
+            assert result.keys == [(3,), (0, 2), (1, 2)]

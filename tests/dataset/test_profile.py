@@ -1,0 +1,92 @@
+"""Unit tests for table profiling."""
+
+import pytest
+
+from repro.dataset.profile import profile_table
+from repro.dataset.table import Table
+
+
+@pytest.fixture
+def table():
+    return Table(
+        ["id", "grade", "note"],
+        [
+            (1, "a", None),
+            (2, "a", "x"),
+            (3, "b", None),
+            (4, "a", 3.5),
+        ],
+        name="grades",
+    )
+
+
+class TestColumnProfiles:
+    def test_cardinalities(self, table):
+        profile = profile_table(table)
+        by_name = {col.name: col for col in profile.columns}
+        assert by_name["id"].cardinality == 4
+        assert by_name["grade"].cardinality == 2
+        assert by_name["note"].cardinality == 3  # None, "x", 3.5
+
+    def test_null_statistics(self, table):
+        profile = profile_table(table)
+        note = profile.columns[2]
+        assert note.null_count == 2
+        assert note.null_fraction == 0.5
+
+    def test_uniqueness(self, table):
+        profile = profile_table(table)
+        assert profile.columns[0].is_unique
+        assert profile.columns[0].uniqueness == 1.0
+        assert not profile.columns[1].is_unique
+        assert profile.columns[1].uniqueness == 0.5
+
+    def test_type_inference(self, table):
+        profile = profile_table(table)
+        assert profile.columns[0].inferred_type == "int"
+        assert profile.columns[1].inferred_type == "str"
+
+    def test_most_frequent(self, table):
+        profile = profile_table(table)
+        grade = profile.columns[1]
+        assert grade.most_frequent == "a"
+        assert grade.most_frequent_count == 3
+
+    def test_all_null_column(self):
+        profile = profile_table(Table(["x"], [(None,), (None,)]))
+        assert profile.columns[0].inferred_type == "null"
+
+    def test_bool_not_counted_as_int(self):
+        profile = profile_table(Table(["x"], [(True,), (False,)]))
+        assert profile.columns[0].inferred_type == "bool"
+
+
+class TestTableProfile:
+    def test_avg_cardinality(self, table):
+        profile = profile_table(table)
+        assert profile.avg_cardinality == pytest.approx((4 + 2 + 3) / 3)
+
+    def test_unique_columns(self, table):
+        assert profile_table(table).unique_columns() == ["id"]
+
+    def test_cardinality_order_matches_driver(self, table):
+        profile = profile_table(table)
+        order = profile.cardinality_order(descending=True)
+        assert order[0] == 0  # id has the highest cardinality
+        from repro.core.gordian import AttributeOrder, _order_attributes
+
+        driver_order = _order_attributes(
+            table.rows, 3, AttributeOrder.CARDINALITY_DESC
+        )
+        assert order == driver_order
+
+    def test_render(self, table):
+        text = profile_table(table).render()
+        assert "grades" in text
+        assert "id" in text and "grade" in text
+
+    def test_empty_table(self):
+        profile = profile_table(Table(["a"], []))
+        assert profile.num_rows == 0
+        assert profile.columns[0].uniqueness == 1.0
+        assert profile.columns[0].null_fraction == 0.0

@@ -1,0 +1,96 @@
+"""Unit tests for sampling (section 3.9 substrate)."""
+
+import pytest
+
+from repro.dataset.sampling import (
+    bernoulli_sample,
+    reservoir_sample,
+    sample_rows,
+    sample_table,
+)
+from repro.dataset.table import Table
+
+ROWS = [(i,) for i in range(1000)]
+
+
+class TestBernoulli:
+    def test_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            bernoulli_sample(ROWS, -0.1)
+        with pytest.raises(ValueError):
+            bernoulli_sample(ROWS, 1.1)
+
+    def test_extremes(self):
+        assert bernoulli_sample(ROWS, 0.0) == []
+        assert bernoulli_sample(ROWS, 1.0) == ROWS
+
+    def test_deterministic_under_seed(self):
+        a = bernoulli_sample(ROWS, 0.3, seed=42)
+        b = bernoulli_sample(ROWS, 0.3, seed=42)
+        assert a == b
+
+    def test_roughly_correct_size(self):
+        sample = bernoulli_sample(ROWS, 0.3, seed=1)
+        assert 200 < len(sample) < 400
+
+    def test_preserves_order_and_membership(self):
+        sample = bernoulli_sample(ROWS, 0.5, seed=7)
+        assert sample == sorted(sample)
+        assert set(sample) <= set(ROWS)
+
+
+class TestReservoir:
+    def test_exact_size(self):
+        assert len(reservoir_sample(ROWS, 10, seed=3)) == 10
+
+    def test_capped_by_population(self):
+        assert len(reservoir_sample(ROWS[:5], 10, seed=3)) == 5
+
+    def test_zero(self):
+        assert reservoir_sample(ROWS, 0) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            reservoir_sample(ROWS, -1)
+
+    def test_deterministic_under_seed(self):
+        assert reservoir_sample(ROWS, 20, seed=9) == reservoir_sample(
+            ROWS, 20, seed=9
+        )
+
+    def test_no_duplicates(self):
+        sample = reservoir_sample(ROWS, 100, seed=4)
+        assert len(set(sample)) == 100
+
+    def test_approximately_uniform(self):
+        # Each of 1000 rows should appear ~ k/n of the time across seeds.
+        hits = 0
+        trials = 200
+        for seed in range(trials):
+            sample = reservoir_sample(ROWS, 10, seed=seed)
+            if ROWS[0] in sample:
+                hits += 1
+        # Expected rate 1%; allow generous slack.
+        assert 0 <= hits <= trials * 0.06
+
+
+class TestDispatch:
+    def test_requires_exactly_one_mode(self):
+        with pytest.raises(ValueError):
+            sample_rows(ROWS)
+        with pytest.raises(ValueError):
+            sample_rows(ROWS, fraction=0.5, size=10)
+
+    def test_fraction_mode(self):
+        assert sample_rows(ROWS, fraction=1.0) == ROWS
+
+    def test_size_mode(self):
+        assert len(sample_rows(ROWS, size=7, seed=1)) == 7
+
+
+class TestSampleTable:
+    def test_schema_preserved(self, paper_table):
+        sampled = sample_table(paper_table, fraction=1.0)
+        assert sampled.schema == paper_table.schema
+        assert sampled.rows == paper_table.rows
+        assert sampled.name.endswith("_sample")

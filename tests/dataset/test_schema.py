@@ -1,0 +1,89 @@
+"""Unit tests for Schema and Attribute."""
+
+import pytest
+
+from repro.dataset.schema import Attribute, AttrType, Schema
+from repro.errors import SchemaError
+
+
+class TestAttribute:
+    def test_default_type(self):
+        assert Attribute("x").type is AttrType.ANY
+
+    def test_type_coercion_from_string(self):
+        assert Attribute("x", "int").type is AttrType.INT
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("")
+
+
+class TestSchemaConstruction:
+    def test_from_strings(self):
+        schema = Schema(["a", "b"])
+        assert schema.names == ["a", "b"]
+        assert len(schema) == 2
+
+    def test_from_mixed_specs(self):
+        schema = Schema([Attribute("a", AttrType.INT), "b", ("c", "str")])
+        assert schema[2].type is AttrType.STR
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError) as err:
+            Schema(["a", "b", "a"])
+        assert "a" in str(err.value)
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_bad_spec_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([42])
+
+
+class TestSchemaAccess:
+    def test_index_of(self):
+        schema = Schema(["a", "b", "c"])
+        assert schema.index_of("b") == 1
+
+    def test_index_of_unknown(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).index_of("zz")
+
+    def test_indices_of_preserves_order(self):
+        schema = Schema(["a", "b", "c"])
+        assert schema.indices_of(["c", "a"]) == [2, 0]
+
+    def test_getitem_by_position_and_name(self):
+        schema = Schema(["a", "b"])
+        assert schema[0].name == "a"
+        assert schema["b"].name == "b"
+
+    def test_contains(self):
+        schema = Schema(["a"])
+        assert "a" in schema
+        assert "b" not in schema
+
+    def test_iteration(self):
+        schema = Schema(["a", "b"])
+        assert [attr.name for attr in schema] == ["a", "b"]
+
+
+class TestSchemaOperations:
+    def test_project(self):
+        schema = Schema(["a", "b", "c"]).project(["c", "a"])
+        assert schema.names == ["c", "a"]
+
+    def test_rename(self):
+        schema = Schema(["a", "b"]).rename({"a": "x"})
+        assert schema.names == ["x", "b"]
+
+    def test_rename_unknown_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).rename({"zz": "y"})
+
+    def test_equality_and_hash(self):
+        assert Schema(["a", "b"]) == Schema(["a", "b"])
+        assert Schema(["a"]) != Schema(["b"])
+        assert hash(Schema(["a"])) == hash(Schema(["a"]))

@@ -1,0 +1,136 @@
+"""Unit tests for the Table substrate."""
+
+import pytest
+
+from repro.dataset.schema import Schema
+from repro.dataset.table import Table
+from repro.errors import DataError
+
+
+@pytest.fixture
+def table():
+    return Table(
+        Schema(["name", "dept", "salary"]),
+        [
+            ("ann", "eng", 100),
+            ("bob", "eng", 120),
+            ("cat", "ops", 100),
+            ("dan", "ops", 100),
+        ],
+        name="staff",
+    )
+
+
+class TestConstruction:
+    def test_basic(self, table):
+        assert table.num_rows == 4
+        assert table.num_attributes == 3
+        assert table.attribute_names == ["name", "dept", "salary"]
+
+    def test_schema_from_strings(self):
+        t = Table(["a", "b"], [(1, 2)])
+        assert t.schema.names == ["a", "b"]
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            Table(["a", "b"], [(1,)])
+
+    def test_rows_are_tuples(self):
+        t = Table(["a"], [[1], [2]])
+        assert all(isinstance(row, tuple) for row in t.rows)
+
+    def test_iteration_and_indexing(self, table):
+        assert table[0] == ("ann", "eng", 100)
+        assert len(list(table)) == 4
+        assert len(table) == 4
+
+
+class TestProjection:
+    def test_project_by_name(self, table):
+        projected = table.project(["dept"])
+        assert projected.rows == [("eng",), ("eng",), ("ops",), ("ops",)]
+
+    def test_project_by_index(self, table):
+        projected = table.project([2, 0])
+        assert projected.schema.names == ["salary", "name"]
+        assert projected.rows[0] == (100, "ann")
+
+    def test_project_distinct(self, table):
+        projected = table.project(["dept"], distinct=True)
+        assert projected.rows == [("eng",), ("ops",)]
+
+    def test_project_unknown_attr(self, table):
+        with pytest.raises(Exception):
+            table.project(["nope"])
+
+    def test_project_index_out_of_range(self, table):
+        with pytest.raises(DataError):
+            table.project([7])
+
+
+class TestStatistics:
+    def test_distinct_count(self, table):
+        assert table.distinct_count(["dept"]) == 2
+        assert table.distinct_count(["name"]) == 4
+        assert table.distinct_count(["dept", "salary"]) == 3
+
+    def test_cardinalities(self, table):
+        assert table.cardinalities() == {"name": 4, "dept": 2, "salary": 2}
+
+    def test_strength(self, table):
+        assert table.strength(["name"]) == 1.0
+        assert table.strength(["dept"]) == 0.5
+
+    def test_strength_empty_table(self):
+        t = Table(["a"], [])
+        assert t.strength(["a"]) == 1.0
+
+    def test_is_key(self, table):
+        assert table.is_key(["name"])
+        assert not table.is_key(["dept", "salary"])
+
+
+class TestSelectAndMisc:
+    def test_select(self, table):
+        engineers = table.select(lambda row: row["dept"] == "eng")
+        assert engineers.num_rows == 2
+
+    def test_head(self, table):
+        assert table.head(2).num_rows == 2
+        assert table.head(99).num_rows == 4
+
+    def test_to_dicts(self, table):
+        dicts = table.to_dicts()
+        assert dicts[0] == {"name": "ann", "dept": "eng", "salary": 100}
+
+    def test_column(self, table):
+        assert table.column("salary") == [100, 120, 100, 100]
+
+
+class TestFromDicts:
+    def test_infer_schema(self):
+        t = Table.from_dicts([{"a": 1, "b": 2}, {"b": 3, "c": 4}])
+        assert t.schema.names == ["a", "b", "c"]
+        assert t.rows[1] == (None, 3, 4)
+
+    def test_explicit_schema(self):
+        t = Table.from_dicts([{"a": 1}], schema=["a", "b"], missing=-1)
+        assert t.rows == [(1, -1)]
+
+    def test_empty_records_need_schema(self):
+        with pytest.raises(DataError):
+            Table.from_dicts([])
+
+
+class TestGordianBridge:
+    def test_find_keys_on_table(self, table):
+        result = table.find_keys()
+        assert result.named_keys() == [("name",)]
+
+    def test_find_keys_paper_table(self, paper_table):
+        result = paper_table.find_keys()
+        assert result.named_keys() == [
+            ("Emp No",),
+            ("First Name", "Phone"),
+            ("Last Name", "Phone"),
+        ]

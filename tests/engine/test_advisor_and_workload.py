@@ -1,0 +1,117 @@
+"""Unit tests for the index advisor, workload generator and executor."""
+
+import pytest
+
+from repro.datagen import TpchSpec, generate_tpch
+from repro.dataset.table import Table
+from repro.engine import (
+    StoredTable,
+    build_recommended,
+    recommend_indexes,
+    run_query,
+    run_workload,
+    warehouse_workload,
+)
+from repro.engine.expressions import Conjunction, eq
+from repro.engine.optimizer import Query
+
+
+@pytest.fixture(scope="module")
+def lineitem_stored():
+    db = generate_tpch(TpchSpec(scale=1.0))
+    return StoredTable(db["lineitem"])
+
+
+class TestAdvisor:
+    def test_recommends_discovered_keys(self, paper_table):
+        stored = StoredTable(paper_table)
+        recs = recommend_indexes(stored)
+        attr_sets = {rec.attributes for rec in recs}
+        assert ("Emp No",) in attr_sets
+        assert ("First Name", "Phone") in attr_sets
+        assert ("Last Name", "Phone") in attr_sets
+
+    def test_ddl_rendering(self, paper_table):
+        stored = StoredTable(paper_table)
+        recs = recommend_indexes(stored)
+        ddl = recs[0].ddl
+        assert ddl.startswith("CREATE UNIQUE INDEX")
+        assert "ON employee" in ddl
+
+    def test_build_recommended(self, paper_table):
+        stored = StoredTable(paper_table)
+        recs = recommend_indexes(stored)
+        indexes = build_recommended(stored, recs)
+        assert len(indexes) == len(recs)
+        assert all(len(idx) == paper_table.num_rows for idx in indexes)
+
+    def test_precomputed_result_reused(self, paper_table):
+        stored = StoredTable(paper_table)
+        result = paper_table.find_keys()
+        recs = recommend_indexes(stored, result=result)
+        assert len(recs) == len(result.keys)
+
+
+class TestWorkload:
+    def test_twenty_queries(self, lineitem_stored):
+        queries = warehouse_workload(lineitem_stored)
+        assert len(queries) == 20
+        assert len({q.name for q in queries}) == 20
+
+    def test_query4_is_key_only(self, lineitem_stored):
+        queries = warehouse_workload(lineitem_stored)
+        q4 = queries[3]
+        referenced = set(q4.referenced_attributes())
+        assert referenced <= {"l_orderkey", "l_linenumber"}
+
+    def test_queries_select_rows(self, lineitem_stored):
+        queries = warehouse_workload(lineitem_stored)
+        for query in queries:
+            execution = run_query(lineitem_stored, query)
+            assert execution.num_results >= 1, query.name
+
+    def test_deterministic_under_seed(self, lineitem_stored):
+        a = warehouse_workload(lineitem_stored, seed=5)
+        b = warehouse_workload(lineitem_stored, seed=5)
+        assert [q.predicate.equality_bindings() for q in a] == [
+            q.predicate.equality_bindings() for q in b
+        ]
+
+    def test_empty_table_rejected(self):
+        stored = StoredTable(Table(["l_orderkey", "l_linenumber"], []))
+        with pytest.raises(ValueError):
+            warehouse_workload(stored)
+
+
+class TestRunWorkload:
+    def test_indexes_never_change_answers(self, lineitem_stored):
+        recs = [
+            r
+            for r in recommend_indexes(lineitem_stored)
+            if len(r.attributes) <= 3
+        ]
+        indexes = build_recommended(lineitem_stored, recs)
+        queries = warehouse_workload(lineitem_stored, num_queries=10)
+        # run_workload raises EngineError on any result divergence.
+        report = run_workload(lineitem_stored, queries, indexes, verify=True)
+        assert len(report.baseline) == len(report.indexed) == 10
+
+    def test_speedups_at_least_one(self, lineitem_stored):
+        recs = [
+            r
+            for r in recommend_indexes(lineitem_stored)
+            if len(r.attributes) <= 3
+        ]
+        indexes = build_recommended(lineitem_stored, recs)
+        queries = warehouse_workload(lineitem_stored, num_queries=10)
+        report = run_workload(lineitem_stored, queries, indexes)
+        assert all(s >= 1.0 for s in report.speedups())
+
+    def test_report_rows_shape(self, lineitem_stored):
+        queries = warehouse_workload(lineitem_stored, num_queries=3)
+        report = run_workload(lineitem_stored, queries, [])
+        rows = report.rows()
+        assert len(rows) == 3
+        assert {"query", "baseline_pages", "indexed_pages", "speedup"} <= set(
+            rows[0]
+        )

@@ -1,0 +1,77 @@
+"""Unit tests for predicate expressions."""
+
+import pytest
+
+from repro.dataset.schema import Schema
+from repro.engine.expressions import Comparison, Conjunction, between, eq, ge, le
+from repro.errors import EngineError
+
+
+class TestComparison:
+    def test_equality(self):
+        assert eq("a", 5).evaluate(5)
+        assert not eq("a", 5).evaluate(6)
+
+    def test_ranges(self):
+        assert ge("a", 3).evaluate(3)
+        assert not ge("a", 3).evaluate(2)
+        assert le("a", 3).evaluate(3)
+        assert not le("a", 3).evaluate(4)
+
+    def test_between_inclusive(self):
+        comparison = between("a", 2, 4)
+        assert comparison.evaluate(2)
+        assert comparison.evaluate(4)
+        assert not comparison.evaluate(5)
+
+    def test_between_requires_high(self):
+        with pytest.raises(EngineError):
+            Comparison("a", "between", 1)
+
+    def test_unknown_operator(self):
+        with pytest.raises(EngineError):
+            Comparison("a", "!=", 1)
+
+    def test_none_fails_range_predicates(self):
+        assert not ge("a", 0).evaluate(None)
+        assert not between("a", 0, 9).evaluate(None)
+
+    def test_none_equality(self):
+        assert Comparison("a", "=", None).evaluate(None)
+
+    def test_strict_comparisons(self):
+        assert Comparison("a", "<", 5).evaluate(4)
+        assert not Comparison("a", "<", 5).evaluate(5)
+        assert Comparison("a", ">", 5).evaluate(6)
+
+    def test_is_equality_flag(self):
+        assert eq("a", 1).is_equality
+        assert not ge("a", 1).is_equality
+
+
+class TestConjunction:
+    SCHEMA = Schema(["a", "b", "c"])
+
+    def test_resolve_and_match(self):
+        conj = Conjunction([eq("a", 1), ge("c", 10)])
+        resolved = conj.resolve(self.SCHEMA)
+        assert resolved.matches((1, "x", 15))
+        assert not resolved.matches((1, "x", 5))
+        assert not resolved.matches((2, "x", 15))
+
+    def test_empty_conjunction_matches_all(self):
+        resolved = Conjunction([]).resolve(self.SCHEMA)
+        assert resolved.matches((0, 0, 0))
+
+    def test_equality_bindings(self):
+        conj = Conjunction([eq("a", 1), eq("b", 2), ge("c", 3)])
+        assert conj.equality_bindings() == {"a": 1, "b": 2}
+
+    def test_attributes(self):
+        conj = Conjunction([eq("a", 1), between("c", 0, 9)])
+        assert conj.attributes == ["a", "c"]
+
+    def test_repr_readable(self):
+        conj = Conjunction([eq("a", 1), between("c", 0, 9)])
+        text = repr(conj)
+        assert "a = 1" in text and "BETWEEN" in text

@@ -1,0 +1,91 @@
+"""Unit tests for the composite B-tree-style index."""
+
+import pytest
+
+from repro.dataset.table import Table
+from repro.engine.indexes import build_index
+from repro.engine.storage import IoTracker, StoredTable
+from repro.errors import EngineError
+
+
+@pytest.fixture
+def stored():
+    rows = [(i // 10, i % 10, f"v{i}") for i in range(100)]
+    return StoredTable(Table(["grp", "sub", "val"], rows))
+
+
+class TestBuild:
+    def test_entry_count(self, stored):
+        index = build_index(stored, ["grp", "sub"])
+        assert len(index) == 100
+        assert index.key_width == 2
+
+    def test_empty_attribute_list_rejected(self, stored):
+        with pytest.raises(EngineError):
+            build_index(stored, [])
+
+    def test_name_and_covering(self, stored):
+        index = build_index(stored, ["grp", "sub"])
+        assert "grp" in index.name
+        assert index.covers(["grp"])
+        assert index.covers(["grp", "sub"])
+        assert not index.covers(["grp", "val"])
+
+
+class TestProbe:
+    def test_full_key_probe(self, stored):
+        index = build_index(stored, ["grp", "sub"])
+        matches = index.probe((3, 7))
+        assert len(matches) == 1
+        key, row_id = matches[0]
+        assert key == (3, 7)
+        assert stored.table.rows[row_id] == (3, 7, "v37")
+
+    def test_prefix_probe(self, stored):
+        index = build_index(stored, ["grp", "sub"])
+        matches = index.probe((3,))
+        assert len(matches) == 10
+        assert all(key[0] == 3 for key, _ in matches)
+
+    def test_empty_prefix_returns_all(self, stored):
+        index = build_index(stored, ["grp", "sub"])
+        assert len(index.probe(())) == 100
+
+    def test_missing_value(self, stored):
+        index = build_index(stored, ["grp", "sub"])
+        assert index.probe((42,)) == []
+
+    def test_too_long_prefix_rejected(self, stored):
+        index = build_index(stored, ["grp"])
+        with pytest.raises(EngineError):
+            index.probe((1, 2))
+
+    def test_probe_charges_pages(self, stored):
+        index = build_index(stored, ["grp", "sub"])
+        tracker = IoTracker()
+        index.probe((3,), tracker)
+        assert tracker.index_pages_read >= index.cost_model.btree_descent_pages
+
+    def test_heterogeneous_values_ordered(self):
+        rows = [("b", 1), (None, 2), ("a", 3), (7, 4)]
+        stored = StoredTable(Table(["k", "v"], rows))
+        index = build_index(stored, ["k"])
+        assert len(index.probe(())) == 4
+        assert len(index.probe(("a",))) == 1
+        assert len(index.probe((7,))) == 1
+
+
+class TestPrefixLength:
+    def test_prefix_length(self, stored):
+        index = build_index(stored, ["grp", "sub"])
+        assert index.prefix_length({"grp": 1, "sub": 2}) == 2
+        assert index.prefix_length({"grp": 1}) == 1
+        assert index.prefix_length({"sub": 2}) == 0
+        assert index.prefix_length({}) == 0
+
+    def test_estimate_matches(self, stored):
+        index = build_index(stored, ["grp", "sub"])
+        # 10 groups x 10 subs: prefix of length 1 matches ~10 entries.
+        assert index.estimate_matches(1) == 10
+        assert index.estimate_matches(2) == 1
+        assert index.estimate_matches(0) == 100

@@ -1,0 +1,159 @@
+"""Unit tests for plan execution and plan selection."""
+
+import pytest
+
+from repro.dataset.table import Table
+from repro.engine.expressions import Conjunction, between, eq
+from repro.engine.indexes import build_index
+from repro.engine.optimizer import Query, choose_plan, enumerate_plans
+from repro.engine.plans import IndexLookupPlan, IndexOnlyPlan, SeqScanPlan
+from repro.engine.storage import IoTracker, StoredTable
+from repro.errors import EngineError
+
+
+from repro.engine.costmodel import CostModel
+
+
+@pytest.fixture
+def stored():
+    rows = [(i // 10, i % 10, i % 3, float(i)) for i in range(200)]
+    # Small pages so page-count differences between access paths show up
+    # at this row count.
+    return StoredTable(
+        Table(["grp", "sub", "cls", "score"], rows),
+        cost_model=CostModel(page_size=256),
+    )
+
+
+@pytest.fixture
+def composite_index(stored):
+    return build_index(stored, ["grp", "sub"])
+
+
+def q(comparisons, output, name="q"):
+    return Query(predicate=Conjunction(comparisons), output=tuple(output), name=name)
+
+
+class TestSeqScan:
+    def test_filters_and_projects(self, stored):
+        plan = SeqScanPlan(
+            stored=stored,
+            predicate=Conjunction([eq("grp", 3)]),
+            output=("sub", "score"),
+        )
+        tracker = IoTracker()
+        rows = plan.execute(tracker)
+        assert len(rows) == 10
+        assert rows[0] == (0, 30.0)
+        assert tracker.data_pages_read == stored.num_pages
+
+    def test_estimated_pages(self, stored):
+        plan = SeqScanPlan(stored=stored, predicate=Conjunction([]), output=("grp",))
+        assert plan.estimated_pages() == stored.num_pages
+
+
+class TestIndexLookup:
+    def test_matches_scan_results(self, stored, composite_index):
+        predicate = Conjunction([eq("grp", 5), eq("sub", 2)])
+        scan = SeqScanPlan(stored=stored, predicate=predicate, output=("score",))
+        lookup = IndexLookupPlan(
+            stored=stored, index=composite_index, predicate=predicate,
+            output=("score",),
+        )
+        assert sorted(lookup.execute(IoTracker())) == sorted(
+            scan.execute(IoTracker())
+        )
+
+    def test_residual_predicate_applied(self, stored, composite_index):
+        predicate = Conjunction([eq("grp", 5), between("score", 52.0, 55.0)])
+        lookup = IndexLookupPlan(
+            stored=stored, index=composite_index, predicate=predicate,
+            output=("sub",),
+        )
+        rows = lookup.execute(IoTracker())
+        assert sorted(rows) == [(2,), (3,), (4,), (5,)]
+
+    def test_reads_fewer_pages_than_scan(self, stored, composite_index):
+        predicate = Conjunction([eq("grp", 5), eq("sub", 2)])
+        lookup = IndexLookupPlan(
+            stored=stored, index=composite_index, predicate=predicate,
+            output=("score",),
+        )
+        tracker = IoTracker()
+        lookup.execute(tracker)
+        assert tracker.total_pages < stored.num_pages
+
+    def test_requires_equality_prefix(self, stored, composite_index):
+        predicate = Conjunction([eq("sub", 2)])  # not a leading attribute
+        with pytest.raises(EngineError):
+            IndexLookupPlan(
+                stored=stored, index=composite_index, predicate=predicate,
+                output=("score",),
+            )
+
+
+class TestIndexOnly:
+    def test_covering_query_reads_no_data_pages(self, stored, composite_index):
+        predicate = Conjunction([eq("grp", 5)])
+        plan = IndexOnlyPlan(
+            stored=stored, index=composite_index, predicate=predicate,
+            output=("grp", "sub"),
+        )
+        tracker = IoTracker()
+        rows = plan.execute(tracker)
+        assert len(rows) == 10
+        assert tracker.data_pages_read == 0
+        assert tracker.index_pages_read > 0
+
+    def test_non_covering_rejected(self, stored, composite_index):
+        predicate = Conjunction([eq("grp", 5)])
+        with pytest.raises(EngineError):
+            IndexOnlyPlan(
+                stored=stored, index=composite_index, predicate=predicate,
+                output=("score",),
+            )
+
+    def test_residual_on_key_attributes(self, stored, composite_index):
+        predicate = Conjunction([eq("grp", 5), between("sub", 3, 5)])
+        plan = IndexOnlyPlan(
+            stored=stored, index=composite_index, predicate=predicate,
+            output=("sub",),
+        )
+        assert sorted(plan.execute(IoTracker())) == [(3,), (4,), (5,)]
+
+
+class TestOptimizer:
+    def test_scan_always_available(self, stored):
+        plans = enumerate_plans(stored, q([eq("cls", 1)], ["score"]), [])
+        assert len(plans) == 1
+        assert isinstance(plans[0], SeqScanPlan)
+
+    def test_index_lookup_enumerated(self, stored, composite_index):
+        plans = enumerate_plans(
+            stored, q([eq("grp", 1)], ["score"]), [composite_index]
+        )
+        assert any(isinstance(p, IndexLookupPlan) for p in plans)
+
+    def test_covering_prefers_index_only(self, stored, composite_index):
+        plan = choose_plan(
+            stored, q([eq("grp", 1)], ["grp", "sub"]), [composite_index]
+        )
+        assert isinstance(plan, IndexOnlyPlan)
+
+    def test_selective_lookup_beats_scan(self, stored, composite_index):
+        plan = choose_plan(
+            stored, q([eq("grp", 1), eq("sub", 1)], ["score"]), [composite_index]
+        )
+        assert isinstance(plan, IndexLookupPlan)
+
+    def test_unusable_index_falls_back_to_scan(self, stored, composite_index):
+        plan = choose_plan(
+            stored, q([eq("cls", 1)], ["score"]), [composite_index]
+        )
+        assert isinstance(plan, SeqScanPlan)
+
+    def test_chosen_plan_is_cheapest(self, stored, composite_index):
+        query = q([eq("grp", 1)], ["score"])
+        plans = enumerate_plans(stored, query, [composite_index])
+        chosen = choose_plan(stored, query, [composite_index])
+        assert chosen.estimated_pages() == min(p.estimated_pages() for p in plans)

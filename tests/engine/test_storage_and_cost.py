@@ -1,0 +1,67 @@
+"""Unit tests for the cost model and page-accounted storage."""
+
+import pytest
+
+from repro.dataset.table import Table
+from repro.engine.costmodel import CostModel
+from repro.engine.storage import IoTracker, StoredTable
+
+
+class TestCostModel:
+    def test_rows_per_page(self):
+        model = CostModel(page_size=4096, bytes_per_value=16)
+        assert model.rows_per_page(16) == 16
+        assert model.rows_per_page(256) == 1  # wide rows: one per page
+
+    def test_data_pages_round_up(self):
+        model = CostModel()
+        per_page = model.rows_per_page(4)
+        assert model.data_pages(per_page + 1, 4) == 2
+        assert model.data_pages(0, 4) == 1  # a table owns at least one page
+
+    def test_entries_per_page(self):
+        model = CostModel(page_size=4096, bytes_per_value=16, bytes_per_pointer=8)
+        assert model.entries_per_page(2) == 4096 // 40
+
+    def test_leaf_pages(self):
+        model = CostModel()
+        assert model.leaf_pages(0, 2) == 0
+        assert model.leaf_pages(1, 2) == 1
+
+
+class TestStoredTable:
+    @pytest.fixture
+    def stored(self):
+        table = Table(["a", "b"], [(i, i % 3) for i in range(100)])
+        # Tiny pages so the 100-row table spans several of them.
+        return StoredTable(table, cost_model=CostModel(page_size=256))
+
+    def test_page_layout(self, stored):
+        assert stored.num_pages == -(-100 // stored.rows_per_page)
+        assert stored.page_of(0) == 0
+        assert stored.page_of(stored.rows_per_page) == 1
+
+    def test_scan_charges_all_pages(self, stored):
+        tracker = IoTracker()
+        rows = list(stored.scan(tracker))
+        assert len(rows) == 100
+        assert tracker.data_pages_read == stored.num_pages
+        assert tracker.rows_examined == 100
+
+    def test_fetch_deduplicates_pages(self, stored):
+        tracker = IoTracker()
+        # Two rows on the same page cost one page read.
+        same_page = [0, 1]
+        stored.fetch(same_page, tracker)
+        assert tracker.data_pages_read == 1
+
+    def test_fetch_different_pages(self, stored):
+        tracker = IoTracker()
+        stored.fetch([0, stored.rows_per_page], tracker)
+        assert tracker.data_pages_read == 2
+
+    def test_tracker_reset(self):
+        tracker = IoTracker(data_pages_read=5, index_pages_read=3, rows_examined=7)
+        assert tracker.total_pages == 8
+        tracker.reset()
+        assert tracker.total_pages == 0

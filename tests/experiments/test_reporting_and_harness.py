@@ -1,0 +1,108 @@
+"""Unit tests for the reporting helpers and the experiment registry."""
+
+import json
+
+import pytest
+
+from repro.experiments.harness import (
+    ALL_EXPERIMENTS,
+    ExperimentResult,
+    get_experiment,
+)
+from repro.experiments.reporting import format_series, format_table, format_value
+
+
+class TestFormatValue:
+    def test_ints_grouped(self):
+        assert format_value(1234567) == "1,234,567"
+
+    def test_small_floats(self):
+        assert format_value(0.123456) == "0.12346"
+
+    def test_large_floats(self):
+        assert format_value(1234.5) == "1,234"
+
+    def test_mid_floats_trimmed(self):
+        assert format_value(2.5) == "2.5"
+        assert format_value(3.0) == "3"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_bool_not_treated_as_int(self):
+        assert format_value(True) == "True"
+
+    def test_strings_pass_through(self):
+        assert format_value("abc") == "abc"
+
+
+class TestFormatTable:
+    ROWS = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+
+    def test_contains_header_and_rows(self):
+        text = format_table(self.ROWS)
+        lines = text.splitlines()
+        assert lines[0].split() == ["a", "b"]
+        assert "22" in text and "yy" in text
+
+    def test_title(self):
+        text = format_table(self.ROWS, title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_explicit_columns(self):
+        text = format_table(self.ROWS, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_missing_cells_blank(self):
+        text = format_table([{"a": 1}, {"b": 2}])
+        assert "a" in text and "b" in text
+
+    def test_alignment_consistent(self):
+        text = format_table(self.ROWS)
+        lines = text.splitlines()
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])
+
+
+class TestFormatSeries:
+    def test_series_rendering(self):
+        text = format_series(
+            "x", [1, 2], {"alpha": [10, 20], "beta": [30, 40]}, title="Fig"
+        )
+        assert "alpha" in text and "beta" in text
+        assert "40" in text
+
+
+class TestRegistry:
+    def test_all_paper_experiments_registered(self):
+        for experiment_id in [
+            "table1", "table2", "fig11", "fig12", "fig13", "fig14",
+            "fig15", "fig16",
+        ]:
+            assert experiment_id in ALL_EXPERIMENTS
+
+    def test_ablations_registered(self):
+        for experiment_id in [
+            "ablation_ordering", "ablation_pruning", "ablation_bound",
+        ]:
+            assert experiment_id in ALL_EXPERIMENTS
+
+    def test_get_experiment_unknown(self):
+        with pytest.raises(KeyError):
+            get_experiment("fig99")
+
+
+class TestExperimentResult:
+    def test_render_and_save(self, tmp_path):
+        result = ExperimentResult(
+            experiment_id="Fig X",
+            description="demo",
+            rows=[{"a": 1}],
+            notes="a note",
+        )
+        text = result.render()
+        assert "Fig X: demo" in text
+        assert "a note" in text
+        path = tmp_path / "result.json"
+        result.save_json(path)
+        payload = json.loads(path.read_text())
+        assert payload["rows"] == [{"a": 1}]

@@ -1,0 +1,37 @@
+"""Tests for the Theorem 1 empirical scaling experiment."""
+
+from repro.experiments.theorem1 import run_theorem1
+
+
+class TestTheorem1:
+    def test_rows_per_theta(self):
+        result = run_theorem1(
+            entity_counts=(100, 200, 400), num_attributes=8, cardinality=32,
+            thetas=(0.0, 0.5),
+        )
+        assert len(result.rows) == 2
+        assert [row["theta"] for row in result.rows] == [0.0, 0.5]
+
+    def test_work_grows_with_entities(self):
+        result = run_theorem1(
+            entity_counts=(100, 400), num_attributes=8, cardinality=32,
+            thetas=(0.0,),
+        )
+        row = result.rows[0]
+        assert row["work@400"] > row["work@100"]
+
+    def test_measured_slope_below_prediction(self):
+        result = run_theorem1(
+            entity_counts=(200, 800), num_attributes=10, cardinality=64,
+            thetas=(0.0, 1.0),
+        )
+        for row in result.rows:
+            assert row["measured_slope"] <= row["predicted_exponent"] * 1.25
+
+    def test_skew_raises_predicted_exponent(self):
+        result = run_theorem1(
+            entity_counts=(100, 200), num_attributes=8, cardinality=32,
+            thetas=(0.0, 1.5),
+        )
+        uniform, skewed = result.rows
+        assert skewed["predicted_exponent"] > uniform["predicted_exponent"]

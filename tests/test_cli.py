@@ -1,0 +1,109 @@
+"""End-to-end tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.dataset.csv_io import save_csv
+from repro.dataset.table import Table
+
+
+@pytest.fixture
+def employees_csv(tmp_path, paper_table):
+    path = tmp_path / "employees.csv"
+    save_csv(paper_table, path)
+    return path
+
+
+@pytest.fixture
+def mini_fk_csvs(tmp_path):
+    departments = Table(
+        ["dept_id", "dept_name"], [(1, "eng"), (2, "ops")], name="departments"
+    )
+    employees = Table(
+        ["emp_id", "dept_id", "emp_name"],
+        [(10, 1, "ann"), (11, 2, "bob"), (12, 1, "cat")],
+        name="employees",
+    )
+    dept_path = tmp_path / "departments.csv"
+    emp_path = tmp_path / "employees.csv"
+    save_csv(departments, dept_path)
+    save_csv(employees, emp_path)
+    return [dept_path, emp_path]
+
+
+class TestKeysCommand:
+    def test_exact_keys(self, employees_csv, capsys):
+        assert main(["keys", str(employees_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "3 minimal key(s)" in out
+        assert "<Emp No>" in out
+
+    def test_sampled_keys(self, employees_csv, capsys):
+        assert main(
+            ["keys", str(employees_csv), "--sample-fraction", "1.0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "3 true" in out
+        assert "strength=100.00%" in out
+
+    def test_reservoir_sampled_keys(self, employees_csv, capsys):
+        assert main(
+            ["keys", str(employees_csv), "--sample-size", "4", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "4/4 rows sampled" in out
+
+    def test_null_policy_flag(self, tmp_path, capsys):
+        table = Table(["a", "b"], [(1, None), (2, None)], name="t")
+        path = tmp_path / "t.csv"
+        save_csv(table, path)
+        assert main(["keys", str(path), "--null-policy", "distinct"]) == 0
+        out = capsys.readouterr().out
+        assert "<b>" in out  # NULLs distinct -> b is a key
+
+    def test_max_print_truncates(self, tmp_path, capsys):
+        rows = [(i, i, i) for i in range(5)]
+        path = tmp_path / "wide.csv"
+        save_csv(Table(["a", "b", "c"], rows), path)
+        assert main(["keys", str(path), "--max-print", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "... and" in out
+
+
+class TestProfileCommand:
+    def test_profile_renders(self, employees_csv, capsys):
+        assert main(["profile", str(employees_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "employees" in out
+        assert "Phone" in out
+
+
+class TestFksCommand:
+    def test_fk_suggestions(self, mini_fk_csvs, capsys):
+        paths = [str(p) for p in mini_fk_csvs]
+        assert main(["fks", *paths, "--name-match"]) == 0
+        out = capsys.readouterr().out
+        assert "employees(dept_id) -> departments(dept_id)" in out
+
+    def test_no_candidates_message(self, tmp_path, capsys):
+        a = tmp_path / "a.csv"
+        b = tmp_path / "b.csv"
+        save_csv(Table(["x"], [(1,), (2,)]), a)
+        save_csv(Table(["y"], [(9,), (8,)]), b)
+        assert main(["fks", str(a), str(b), "--name-match"]) == 0
+        assert "no foreign-key candidates" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_trace_narrates(self, employees_csv, capsys):
+        assert main(["trace", str(employees_csv)]) == 0
+        out = capsys.readouterr().out
+        assert "visit" in out
+        assert "non-keys found:" in out
+
+    def test_trace_refuses_large_files(self, tmp_path, capsys):
+        rows = [(i, i % 3) for i in range(100)]
+        path = tmp_path / "big.csv"
+        save_csv(Table(["a", "b"], rows), path)
+        assert main(["trace", str(path), "--max-rows", "10"]) == 2
+        assert "exceed" in capsys.readouterr().err
