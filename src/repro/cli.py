@@ -4,7 +4,9 @@ Subcommands
 -----------
 ``keys``
     Discover all minimal (composite) keys of one CSV file; optionally run
-    on a sample and grade the discovered keys against the full file.
+    on a sample and grade the discovered keys against the full file, or
+    under a resource budget (``--timeout``/``--max-memory-mb``/...) with
+    graceful degradation to sampling mode.
 ``profile``
     Per-column statistics (cardinality, nulls, types, uniqueness).
 ``fks``
@@ -14,10 +16,16 @@ Subcommands
     Narrate the NonKeyFinder traversal on a (small) CSV — the paper's
     section 3.5 walkthrough on your data.
 
+Errors never leak tracebacks: every :class:`~repro.errors.ReproError`
+subclass maps to a stable nonzero exit code (see ``repro.errors``) and
+prints a one-line message to stderr.
+
 Examples::
 
     python -m repro keys employees.csv
     python -m repro keys big.csv --sample-fraction 0.01 --seed 7
+    python -m repro keys big.csv --timeout 5 --max-memory-mb 512
+    python -m repro keys big.csv --timeout 5 --on-budget fail
     python -m repro profile employees.csv
     python -m repro fks orders.csv customers.csv lineitem.csv
     python -m repro trace employees.csv
@@ -26,6 +34,8 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import contextlib
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -34,8 +44,11 @@ from repro.core import GordianConfig, find_keys
 from repro.core.approximate import find_approximate_keys
 from repro.core.explain import render_trace, trace_nonkey_finder
 from repro.core.foreign_keys import suggest_foreign_keys
-from repro.dataset.csv_io import load_csv
+from repro.core.gordian import RobustKeyResult, find_keys_robust, run_with_budget
+from repro.dataset.csv_io import load_csv_with_retry
 from repro.dataset.profile import profile_table
+from repro.errors import EXIT_INTERRUPT, EXIT_USAGE, ReproError, exit_code_for
+from repro.robustness import RunBudget
 
 __all__ = ["main", "build_parser"]
 
@@ -57,6 +70,19 @@ def build_parser() -> argparse.ArgumentParser:
     keys.add_argument("--null-policy", default="equal",
                       choices=["equal", "distinct", "forbid"])
     keys.add_argument("--max-print", type=int, default=25)
+    budget = keys.add_argument_group("resource budget")
+    budget.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                        help="wall-clock deadline for the run")
+    budget.add_argument("--max-memory-mb", type=float, default=None, metavar="MB",
+                        help="cap on estimated prefix-tree memory")
+    budget.add_argument("--max-nodes", type=int, default=None,
+                        help="cap on prefix-tree nodes ever allocated")
+    budget.add_argument("--max-visits", type=int, default=None,
+                        help="cap on NonKeyFinder node visits")
+    budget.add_argument("--on-budget", choices=["fail", "degrade"],
+                        default="degrade",
+                        help="on a tripped budget: fail with exit code 7, or "
+                             "degrade to sampling mode (default)")
 
     profile = sub.add_parser("profile", help="per-column statistics")
     profile.add_argument("csv", type=Path)
@@ -74,8 +100,49 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _budget_from_args(args) -> Optional[RunBudget]:
+    flags = (args.timeout, args.max_memory_mb, args.max_nodes, args.max_visits)
+    if all(value is None for value in flags):
+        return None
+    return RunBudget.from_cli(
+        timeout=args.timeout,
+        max_memory_mb=args.max_memory_mb,
+        max_nodes=args.max_nodes,
+        max_visits=args.max_visits,
+    )
+
+
+def _print_approximate(table, result, max_print: int) -> None:
+    for key in result.keys[:max_print]:
+        names = ", ".join(table.schema.names[a] for a in key.attrs)
+        print(f"  <{names}>  strength={key.strength:.2%}  T(K)>={key.bound:.2%}")
+    if len(result.keys) > max_print:
+        print(f"  ... and {len(result.keys) - max_print} more")
+
+
+def _print_degraded(table, robust: RobustKeyResult, max_print: int) -> None:
+    print(
+        f"{table.name}: DEGRADED — {robust.reason} (tripped in "
+        f"{robust.phase}); fell back to sampling mode"
+    )
+    approx = robust.approximate
+    if approx is None:
+        print("  sampling fallback found no keys "
+              f"(sample sizes tried: {robust.sample_sizes_tried})")
+    else:
+        print(
+            f"  {len(approx.keys)} approximate key(s) from a "
+            f"{approx.sample_size}-row sample (strength lower bound T(K) "
+            "is computed from the sample):"
+        )
+        _print_approximate(table, approx, max_print)
+    if robust.partial_nonkeys:
+        print(f"  salvaged {len(robust.partial_nonkeys)} partial non-key(s) "
+              "from the aborted exact run")
+
+
 def _cmd_keys(args) -> int:
-    table = load_csv(args.csv)
+    table = load_csv_with_retry(args.csv)
     config = GordianConfig(null_policy=args.null_policy)
     if args.sample_fraction is not None or args.sample_size is not None:
         result = find_approximate_keys(
@@ -93,18 +160,39 @@ def _cmd_keys(args) -> int:
             f"{len(result.approximate_keys)} approximate, "
             f"{len(result.false_keys)} false)"
         )
-        for key in result.keys[: args.max_print]:
-            names = ", ".join(table.schema.names[a] for a in key.attrs)
-            print(f"  <{names}>  strength={key.strength:.2%}  T(K)>={key.bound:.2%}")
-        if len(result.keys) > args.max_print:
-            print(f"  ... and {len(result.keys) - args.max_print} more")
+        _print_approximate(table, result, args.max_print)
         return 0
-    result = find_keys(
-        table.rows,
-        num_attributes=table.num_attributes,
-        attribute_names=table.schema.names,
-        config=config,
-    )
+
+    budget = _budget_from_args(args)
+    if budget is not None:
+        if args.on_budget == "fail":
+            result = run_with_budget(
+                table.rows,
+                budget,
+                num_attributes=table.num_attributes,
+                attribute_names=table.schema.names,
+                config=config,
+            )
+        else:
+            robust = find_keys_robust(
+                table.rows,
+                num_attributes=table.num_attributes,
+                attribute_names=table.schema.names,
+                config=config,
+                budget=budget,
+                seed=args.seed,
+            )
+            if robust.degraded:
+                _print_degraded(table, robust, args.max_print)
+                return 0
+            result = robust.exact
+    else:
+        result = find_keys(
+            table.rows,
+            num_attributes=table.num_attributes,
+            attribute_names=table.schema.names,
+            config=config,
+        )
     print(result.summary())
     for key in result.named_keys()[: args.max_print]:
         print(f"  <{', '.join(key)}>")
@@ -115,13 +203,13 @@ def _cmd_keys(args) -> int:
 
 
 def _cmd_profile(args) -> int:
-    table = load_csv(args.csv)
+    table = load_csv_with_retry(args.csv)
     print(profile_table(table).render())
     return 0
 
 
 def _cmd_fks(args) -> int:
-    tables = {path.stem: load_csv(path) for path in args.csvs}
+    tables = {path.stem: load_csv_with_retry(path) for path in args.csvs}
     candidates = suggest_foreign_keys(
         tables,
         min_coverage=args.min_coverage,
@@ -136,14 +224,14 @@ def _cmd_fks(args) -> int:
 
 
 def _cmd_trace(args) -> int:
-    table = load_csv(args.csv)
+    table = load_csv_with_retry(args.csv)
     if table.num_rows > args.max_rows:
         print(
             f"error: {table.num_rows} rows exceed --max-rows={args.max_rows}; "
             "traces are for small teaching datasets",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
     trace = trace_nonkey_finder(table.rows, num_attributes=table.num_attributes)
     print(render_trace(trace, attribute_names=table.schema.names))
     return 0
@@ -159,7 +247,20 @@ _COMMANDS = {
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return EXIT_INTERRUPT
+    except BrokenPipeError:
+        # Reader closed early (e.g. `... | head`).  Point stdout at devnull
+        # so the interpreter's shutdown flush cannot raise a second time.
+        with contextlib.suppress(OSError):
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return EXIT_INTERRUPT
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exit_code_for(exc)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main

@@ -19,7 +19,10 @@ from repro.core.gordian import (
     AttributeOrder,
     GordianConfig,
     GordianResult,
+    RobustKeyResult,
     find_keys,
+    find_keys_robust,
+    run_with_budget,
 )
 from repro.core.incremental import IncrementalGordian, InsertReport
 from repro.core.key_conversion import keys_from_nonkey_masks, keys_from_nonkeys
@@ -52,7 +55,10 @@ __all__ = [
     "AttributeOrder",
     "GordianConfig",
     "GordianResult",
+    "RobustKeyResult",
     "find_keys",
+    "find_keys_robust",
+    "run_with_budget",
     "keys_from_nonkey_masks",
     "keys_from_nonkeys",
     "merge_children",

@@ -12,9 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
-from repro.core.gordian import GordianConfig, find_keys
+from repro.core.gordian import GordianConfig, find_keys, run_with_budget
 from repro.core.strength import StrengthEvaluator, bayesian_strength_bound
-from repro.dataset.sampling import sample_rows
+from repro.dataset.sampling import reservoir_sample, sample_rows
 
 __all__ = ["ApproximateKey", "ApproximateKeyResult", "find_approximate_keys"]
 
@@ -84,6 +84,8 @@ def find_approximate_keys(
     threshold: float = 0.8,
     config: Optional[GordianConfig] = None,
     num_attributes: Optional[int] = None,
+    budget: Optional[object] = None,
+    max_eval_rows: Optional[int] = None,
 ) -> ApproximateKeyResult:
     """Discover keys on a sample and grade them against the full data.
 
@@ -100,6 +102,14 @@ def find_approximate_keys(
         uses 0.8 in section 4.3).
     config, num_attributes:
         Forwarded to :func:`repro.core.find_keys`.
+    budget:
+        Optional :class:`~repro.robustness.RunBudget` (or armed meter) for
+        the sampled GORDIAN run; used by the degraded-mode fallback so even
+        the fallback cannot run away.
+    max_eval_rows:
+        Cap on the rows used to grade strengths.  Beyond the cap a fixed
+        reservoir sample of the full data stands in, making ``strength`` an
+        estimate — the price of grading inside a budget.
     """
     if not 0.0 < threshold <= 1.0:
         raise ValueError("threshold must be in (0, 1]")
@@ -112,7 +122,12 @@ def find_approximate_keys(
         return ApproximateKeyResult(
             keys=[], sample_size=0, total_rows=len(rows), threshold=threshold
         )
-    result = find_keys(sample, num_attributes=num_attributes, config=config)
+    if budget is not None:
+        result = run_with_budget(
+            sample, budget, num_attributes=num_attributes, config=config
+        )
+    else:
+        result = find_keys(sample, num_attributes=num_attributes, config=config)
     if result.no_keys_exist:
         return ApproximateKeyResult(
             keys=[],
@@ -120,7 +135,10 @@ def find_approximate_keys(
             total_rows=len(rows),
             threshold=threshold,
         )
-    evaluator = StrengthEvaluator(rows, num_attributes)
+    eval_rows = rows
+    if max_eval_rows is not None and len(rows) > max_eval_rows:
+        eval_rows = reservoir_sample(rows, max_eval_rows, seed=0)
+    evaluator = StrengthEvaluator(eval_rows, num_attributes)
     sample_distinct = [
         len({row[attr] for row in sample}) for attr in range(num_attributes)
     ]

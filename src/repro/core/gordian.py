@@ -9,6 +9,18 @@ heuristic is to process attributes in descending order of their cardinality
 in the dataset, in order to maximize the amount of pruning at lower levels
 of the prefix tree") and translates all reported attribute sets back to the
 caller's original attribute numbering.
+
+Three entry points share the pipeline:
+
+* :func:`find_keys` — the exact, unbudgeted run;
+* :func:`run_with_budget` — the exact run under a
+  :class:`~repro.robustness.RunBudget`, raising a salvage-carrying
+  :class:`~repro.errors.BudgetExceededError` when a limit trips;
+* :func:`find_keys_robust` — never raises on resource exhaustion: it
+  catches the budget trip (or a ``KeyboardInterrupt``), keeps the partial
+  NonKeySet, and degrades to the paper's sampling mode (section 3.9),
+  returning approximate keys annotated with the Bayesian strength lower
+  bound ``T(K)``.
 """
 
 from __future__ import annotations
@@ -16,16 +28,31 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core import bitset
 from repro.core.key_conversion import keys_from_nonkey_masks
 from repro.core.nonkey_finder import NonKeyFinder, PruningConfig
 from repro.core.prefix_tree import build_prefix_tree
 from repro.core.stats import RunStats
-from repro.errors import ConfigError, DataError, NoKeysExistError
+from repro.errors import (
+    BudgetExceededError,
+    ConfigError,
+    DataError,
+    NoKeysExistError,
+)
+from repro.robustness import BudgetMeter, RunBudget
 
-__all__ = ["AttributeOrder", "GordianConfig", "GordianResult", "find_keys"]
+__all__ = [
+    "AttributeOrder",
+    "GordianConfig",
+    "GordianResult",
+    "RobustKeyResult",
+    "find_keys",
+    "find_keys_robust",
+    "run_with_budget",
+    "DEFAULT_FALLBACK_SAMPLE_SIZES",
+]
 
 
 class AttributeOrder(str, Enum):
@@ -144,6 +171,187 @@ def _order_attributes(
     )
 
 
+def _resolve_num_attributes(
+    rows: Sequence[Sequence[object]],
+    num_attributes: Optional[int],
+    attribute_names: Optional[Sequence[str]],
+) -> int:
+    """Validate the schema width and every row against it."""
+    if num_attributes is None:
+        if attribute_names is not None:
+            num_attributes = len(attribute_names)
+        elif rows:
+            num_attributes = len(rows[0])
+        else:
+            raise DataError(
+                "num_attributes (or attribute_names) is required for an empty dataset"
+            )
+    if attribute_names is not None and len(attribute_names) != num_attributes:
+        raise DataError(
+            f"{len(attribute_names)} attribute names for {num_attributes} attributes"
+        )
+    if num_attributes < 1:
+        raise DataError("a dataset needs at least one attribute")
+    for i, row in enumerate(rows):
+        if len(row) != num_attributes:
+            raise DataError(
+                f"row {i} has {len(row)} attributes, expected {num_attributes}"
+            )
+    return num_attributes
+
+
+def _translate_mask(mask: int, level_to_attr: Sequence[int]) -> Tuple[int, ...]:
+    """Tree-level bitmask -> sorted attribute tuple in original numbering."""
+    return tuple(sorted(level_to_attr[level] for level in bitset.iter_bits(mask)))
+
+
+def _abort(
+    exc: BaseException,
+    *,
+    phase: str,
+    meter: Optional[BudgetMeter],
+    stats: RunStats,
+    partial_nonkeys: Sequence[Tuple[int, ...]] = (),
+) -> BudgetExceededError:
+    """Attach salvage information to an aborted run's exception.
+
+    A :class:`BudgetExceededError` from a meter checkpoint is enriched in
+    place; a ``KeyboardInterrupt`` is wrapped into one (budgeted runs only —
+    plain :func:`find_keys` lets Ctrl-C propagate untouched).
+    """
+    if meter is not None:
+        stats.budget = meter.snapshot()
+    if isinstance(exc, BudgetExceededError):
+        exc.phase = phase
+        exc.stats = stats
+        exc.partial_nonkeys = list(partial_nonkeys)
+        return exc
+    wrapped = BudgetExceededError(
+        f"interrupted during {phase}",
+        phase=phase,
+        budget=meter.budget if meter is not None else None,
+        partial_nonkeys=list(partial_nonkeys),
+        stats=stats,
+        interrupted=True,
+    )
+    wrapped.__cause__ = exc
+    return wrapped
+
+
+def _run_pipeline(
+    rows: Sequence[Sequence[object]],
+    num_attributes: Optional[int],
+    attribute_names: Optional[Sequence[str]],
+    config: Optional[GordianConfig],
+    meter: Optional[BudgetMeter],
+) -> GordianResult:
+    """The shared build -> search -> convert pipeline (Figure 2).
+
+    With ``meter`` set, every phase runs under cooperative budget
+    enforcement and ``KeyboardInterrupt`` is converted into a
+    :class:`BudgetExceededError` carrying the partial NonKeySet, so callers
+    can degrade instead of losing the run.
+    """
+    config = config or GordianConfig()
+    num_attributes = _resolve_num_attributes(rows, num_attributes, attribute_names)
+
+    from repro.dataset.nulls import NullPolicy, apply_null_policy
+
+    if config.null_policy is not NullPolicy.EQUAL:
+        rows = apply_null_policy(rows, config.null_policy)
+
+    stats = RunStats()
+    level_to_attr = _order_attributes(rows, num_attributes, config.attribute_order)
+    if meter is not None:
+        # The cardinality scan above is O(n*d); settle the clock before the
+        # build so a tiny deadline cannot be overshot unchecked.
+        meter.checkpoint(force=True)
+
+    names = list(attribute_names) if attribute_names else None
+    build_start = time.perf_counter()
+    try:
+        tree = build_prefix_tree(
+            ([row[a] for a in level_to_attr] for row in rows),
+            num_attributes,
+            stats=stats.tree,
+            budget=meter,
+        )
+    except NoKeysExistError:
+        stats.build_seconds = time.perf_counter() - build_start
+        stats.completed_phases.append("build")
+        if meter is not None:
+            stats.budget = meter.snapshot()
+        return GordianResult(
+            keys=[],
+            nonkeys=[tuple(range(num_attributes))],
+            num_attributes=num_attributes,
+            num_entities=len(rows),
+            no_keys_exist=True,
+            attribute_order=level_to_attr,
+            stats=stats,
+            attribute_names=names,
+        )
+    except BudgetExceededError as exc:
+        stats.build_seconds = time.perf_counter() - build_start
+        raise _abort(exc, phase="build", meter=meter, stats=stats)
+    except KeyboardInterrupt as exc:
+        if meter is None:
+            raise
+        stats.build_seconds = time.perf_counter() - build_start
+        raise _abort(exc, phase="build", meter=meter, stats=stats) from exc
+    stats.build_seconds = time.perf_counter() - build_start
+    stats.completed_phases.append("build")
+
+    search_start = time.perf_counter()
+    finder = NonKeyFinder(
+        tree, pruning=config.pruning, stats=stats.search, budget=meter
+    )
+    try:
+        nonkey_set = finder.run()
+    except (BudgetExceededError, KeyboardInterrupt) as exc:
+        if meter is None and isinstance(exc, KeyboardInterrupt):
+            raise
+        stats.search_seconds = time.perf_counter() - search_start
+        raise _abort(
+            exc,
+            phase="search",
+            meter=meter,
+            stats=stats,
+            partial_nonkeys=[
+                _translate_mask(mask, level_to_attr)
+                for mask in finder.nonkeys.masks()
+            ],
+        ) from (exc if isinstance(exc, KeyboardInterrupt) else None)
+    stats.search_seconds = time.perf_counter() - search_start
+    stats.completed_phases.append("search")
+
+    convert_start = time.perf_counter()
+    key_masks = keys_from_nonkey_masks(nonkey_set.masks(), num_attributes)
+    stats.convert_seconds = time.perf_counter() - convert_start
+    stats.completed_phases.append("convert")
+    if meter is not None:
+        stats.budget = meter.snapshot()
+
+    keys = sorted(
+        (_translate_mask(mask, level_to_attr) for mask in key_masks),
+        key=lambda k: (len(k), k),
+    )
+    nonkeys = sorted(
+        (_translate_mask(mask, level_to_attr) for mask in nonkey_set.masks()),
+        key=lambda k: (len(k), k),
+    )
+    return GordianResult(
+        keys=keys,
+        nonkeys=nonkeys,
+        num_attributes=num_attributes,
+        num_entities=len(rows),
+        no_keys_exist=False,
+        attribute_order=level_to_attr,
+        stats=stats,
+        attribute_names=names,
+    )
+
+
 def find_keys(
     rows: Sequence[Sequence[object]],
     num_attributes: Optional[int] = None,
@@ -169,80 +377,194 @@ def find_keys(
     GordianResult
         Minimal keys and minimal non-keys in original attribute numbering.
     """
-    config = config or GordianConfig()
-    if num_attributes is None:
-        if attribute_names is not None:
-            num_attributes = len(attribute_names)
-        elif rows:
-            num_attributes = len(rows[0])
+    return _run_pipeline(rows, num_attributes, attribute_names, config, meter=None)
+
+
+def run_with_budget(
+    rows: Sequence[Sequence[object]],
+    budget: Union[RunBudget, BudgetMeter, None],
+    num_attributes: Optional[int] = None,
+    attribute_names: Optional[Sequence[str]] = None,
+    config: Optional[GordianConfig] = None,
+) -> GordianResult:
+    """Exact :func:`find_keys` under a resource budget (fail-fast flavor).
+
+    Accepts a :class:`~repro.robustness.RunBudget` (armed here, so the
+    deadline starts now) or an already-armed
+    :class:`~repro.robustness.BudgetMeter` (for callers composing several
+    stages under one deadline).  On a tripped limit — or a
+    ``KeyboardInterrupt`` — raises :class:`~repro.errors.BudgetExceededError`
+    whose ``phase``, ``partial_nonkeys``, and ``stats`` attributes carry
+    everything the run had discovered; :func:`find_keys_robust` is the
+    catch-and-degrade wrapper around this.
+    """
+    if budget is None:
+        budget = RunBudget()
+    meter = budget.start() if isinstance(budget, RunBudget) else budget
+    return _run_pipeline(rows, num_attributes, attribute_names, config, meter=meter)
+
+
+#: Progressively smaller reservoir sizes tried by the sampling fallback.
+DEFAULT_FALLBACK_SAMPLE_SIZES: Tuple[int, ...] = (2048, 512, 128, 32)
+
+
+@dataclass
+class RobustKeyResult:
+    """Outcome of :func:`find_keys_robust` — exact when possible, degraded
+    but useful when not.
+
+    Exactly one of ``exact`` / ``approximate`` is populated on success paths;
+    both may be ``None`` only when even the smallest fallback sample tripped
+    its grace budget.  ``partial_nonkeys`` holds the minimal non-keys the
+    aborted exact run had discovered (original attribute numbering) — a
+    sound-but-incomplete NonKeySet: every one is a real non-key.
+    """
+
+    degraded: bool
+    reason: Optional[str]
+    phase: Optional[str]
+    interrupted: bool
+    exact: Optional[GordianResult]
+    approximate: Optional[object]  # ApproximateKeyResult (lazy import)
+    partial_nonkeys: List[Tuple[int, ...]]
+    sample_sizes_tried: List[int]
+    budget: Optional[RunBudget]
+    stats: Optional[RunStats]
+    attribute_names: Optional[List[str]] = None
+
+    @property
+    def keys(self) -> List[Tuple[int, ...]]:
+        """Unified key list: exact keys, or the sampled approximate keys."""
+        if self.exact is not None:
+            return list(self.exact.keys)
+        if self.approximate is not None:
+            return [tuple(key.attrs) for key in self.approximate.keys]
+        return []
+
+    @property
+    def no_keys_exist(self) -> bool:
+        return self.exact is not None and self.exact.no_keys_exist
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph report."""
+        if not self.degraded:
+            return self.exact.summary()
+        parts = [f"GORDIAN DEGRADED ({self.reason}; tripped in {self.phase})"]
+        if self.approximate is not None:
+            parts.append(
+                f"fell back to a {self.approximate.sample_size}-row sample: "
+                f"{len(self.approximate.keys)} approximate key(s)"
+            )
         else:
-            raise DataError(
-                "num_attributes (or attribute_names) is required for an empty dataset"
-            )
-    if attribute_names is not None and len(attribute_names) != num_attributes:
-        raise DataError(
-            f"{len(attribute_names)} attribute names for {num_attributes} attributes"
-        )
-    if num_attributes < 1:
-        raise DataError("a dataset needs at least one attribute")
-    for i, row in enumerate(rows):
-        if len(row) != num_attributes:
-            raise DataError(
-                f"row {i} has {len(row)} attributes, expected {num_attributes}"
-            )
+            parts.append("sampling fallback found no keys")
+        if self.partial_nonkeys:
+            parts.append(f"salvaged {len(self.partial_nonkeys)} partial non-key(s)")
+        return "; ".join(parts)
 
-    from repro.dataset.nulls import NullPolicy, apply_null_policy
 
-    if config.null_policy is not NullPolicy.EQUAL:
-        rows = apply_null_policy(rows, config.null_policy)
+def find_keys_robust(
+    rows: Sequence[Sequence[object]],
+    num_attributes: Optional[int] = None,
+    attribute_names: Optional[Sequence[str]] = None,
+    config: Optional[GordianConfig] = None,
+    budget: Optional[RunBudget] = None,
+    sample_sizes: Sequence[int] = DEFAULT_FALLBACK_SAMPLE_SIZES,
+    seed: int = 0,
+    threshold: float = 0.8,
+    fallback_grace_seconds: float = 1.0,
+    max_eval_rows: int = 100_000,
+) -> RobustKeyResult:
+    """Budgeted key discovery that degrades to sampling mode, never raises
+    on resource exhaustion.
 
-    stats = RunStats()
-    level_to_attr = _order_attributes(rows, num_attributes, config.attribute_order)
+    Runs the exact pipeline under ``budget``.  If a limit trips (or the user
+    hits Ctrl-C), the partial NonKeySet is salvaged and the paper's sampling
+    mode (section 3.9) takes over: GORDIAN reruns on progressively smaller
+    reservoir samples (``sample_sizes``, clamped to the dataset), each under
+    a fresh ``fallback_grace_seconds`` wall-clock grace budget, until one
+    completes.  The sampled keys are graded against (up to
+    ``max_eval_rows`` of) the full data and annotated with the Bayesian
+    strength lower bound ``T(K)``, and the result carries
+    ``degraded=True`` plus the reason, phase, and partial-run stats.
 
-    build_start = time.perf_counter()
+    Schema/validation errors still raise — only *resource* exhaustion
+    degrades.
+    """
+    from repro.core.approximate import find_approximate_keys
+
+    budget = budget or RunBudget()
+    names = list(attribute_names) if attribute_names else None
     try:
-        tree = build_prefix_tree(
-            ([row[a] for a in level_to_attr] for row in rows),
-            num_attributes,
-            stats=stats.tree,
-        )
-    except NoKeysExistError:
-        stats.build_seconds = time.perf_counter() - build_start
-        return GordianResult(
-            keys=[],
-            nonkeys=[tuple(range(num_attributes))],
+        exact = run_with_budget(
+            rows,
+            budget,
             num_attributes=num_attributes,
-            num_entities=len(rows),
-            no_keys_exist=True,
-            attribute_order=level_to_attr,
-            stats=stats,
-            attribute_names=list(attribute_names) if attribute_names else None,
+            attribute_names=attribute_names,
+            config=config,
         )
-    stats.build_seconds = time.perf_counter() - build_start
+        return RobustKeyResult(
+            degraded=False,
+            reason=None,
+            phase=None,
+            interrupted=False,
+            exact=exact,
+            approximate=None,
+            partial_nonkeys=[],
+            sample_sizes_tried=[],
+            budget=budget,
+            stats=exact.stats,
+            attribute_names=names,
+        )
+    except BudgetExceededError as exc:
+        reason = exc.reason
+        phase = exc.phase
+        interrupted = exc.interrupted
+        partial_nonkeys = list(exc.partial_nonkeys)
+        stats = exc.stats
 
-    search_start = time.perf_counter()
-    finder = NonKeyFinder(tree, pruning=config.pruning, stats=stats.search)
-    nonkey_set = finder.run()
-    stats.search_seconds = time.perf_counter() - search_start
+    if num_attributes is None and names is not None:
+        num_attributes = len(names)
 
-    convert_start = time.perf_counter()
-    key_masks = keys_from_nonkey_masks(nonkey_set.masks(), num_attributes)
-    stats.convert_seconds = time.perf_counter() - convert_start
+    # Sampling-mode fallback.  Each attempt gets its own small grace budget:
+    # the original deadline has typically already passed, and an expired
+    # meter would trip the fallback instantly, defeating the degradation.
+    approximate = None
+    tried: List[int] = []
+    total = len(rows)
+    for size in sample_sizes:
+        size = min(size, total)
+        if size <= 0 or (tried and size >= tried[-1]):
+            continue
+        tried.append(size)
+        grace = RunBudget(wall_clock_seconds=fallback_grace_seconds)
+        try:
+            approximate = find_approximate_keys(
+                rows,
+                size=size,
+                seed=seed,
+                threshold=threshold,
+                config=config,
+                num_attributes=num_attributes,
+                budget=grace,
+                max_eval_rows=max_eval_rows,
+            )
+            break
+        except (BudgetExceededError, KeyboardInterrupt):
+            # Too big even for the grace budget (or interrupted again):
+            # shrink the sample and try once more.
+            approximate = None
+            continue
 
-    def translate(mask: int) -> Tuple[int, ...]:
-        return tuple(sorted(level_to_attr[level] for level in bitset.iter_bits(mask)))
-
-    keys = sorted((translate(mask) for mask in key_masks), key=lambda k: (len(k), k))
-    nonkeys = sorted(
-        (translate(mask) for mask in nonkey_set.masks()), key=lambda k: (len(k), k)
-    )
-    return GordianResult(
-        keys=keys,
-        nonkeys=nonkeys,
-        num_attributes=num_attributes,
-        num_entities=len(rows),
-        no_keys_exist=False,
-        attribute_order=level_to_attr,
+    return RobustKeyResult(
+        degraded=True,
+        reason=reason,
+        phase=phase,
+        interrupted=interrupted,
+        exact=None,
+        approximate=approximate,
+        partial_nonkeys=partial_nonkeys,
+        sample_sizes_tried=tried,
+        budget=budget,
         stats=stats,
-        attribute_names=list(attribute_names) if attribute_names else None,
+        attribute_names=names,
     )

@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence
 
 from repro.core.prefix_tree import Cell, Node, PrefixTree
 from repro.core.stats import SearchStats
+from repro.robustness import faults
 
 __all__ = ["merge_nodes", "merge_children"]
 
@@ -44,6 +45,7 @@ def merge_nodes(
     """
     if not to_merge:
         raise ValueError("merge_nodes requires at least one node")
+    faults.check("merge.node")
     if stats is not None:
         stats.merges_performed += 1
         stats.merge_nodes_input += len(to_merge)

@@ -29,6 +29,7 @@ from repro.core.merge import merge_children
 from repro.core.nonkey_set import NonKeySet
 from repro.core.prefix_tree import Node, PrefixTree
 from repro.core.stats import SearchStats
+from repro.robustness import faults
 
 __all__ = ["PruningConfig", "NonKeyFinder", "find_nonkeys"]
 
@@ -65,6 +66,7 @@ class NonKeyFinder:
         tree: PrefixTree,
         pruning: Optional[PruningConfig] = None,
         stats: Optional[SearchStats] = None,
+        budget: Optional[object] = None,
     ):
         self.tree = tree
         self.pruning = pruning if pruning is not None else PruningConfig()
@@ -72,6 +74,10 @@ class NonKeyFinder:
         self.nonkeys = NonKeySet(tree.num_attributes)
         self._cur_nonkey = bitset.EMPTY
         self._num_attributes = tree.num_attributes
+        # An armed BudgetMeter, or None.  The finder stays usable after a
+        # budget trip: ``self.nonkeys`` holds everything discovered so far,
+        # which the robust driver salvages for the sampling fallback.
+        self._budget = budget
 
     # ------------------------------------------------------------------
 
@@ -97,6 +103,9 @@ class NonKeyFinder:
 
     def _visit(self, root: Node, attr_no: int) -> None:
         """Algorithm 4 body.  ``attr_no`` is the tree level of ``root``."""
+        if self._budget is not None:
+            self._budget.on_visit()
+        faults.check("nonkey.visit")
         root.visited = True
         self.stats.nodes_visited += 1
         cur_with_attr = self._cur_nonkey | bitset.singleton(attr_no)
@@ -179,7 +188,8 @@ def find_nonkeys(
     tree: PrefixTree,
     pruning: Optional[PruningConfig] = None,
     stats: Optional[SearchStats] = None,
+    budget: Optional[object] = None,
 ) -> NonKeySet:
     """Convenience wrapper: run NonKeyFinder over ``tree``."""
-    finder = NonKeyFinder(tree, pruning=pruning, stats=stats)
+    finder = NonKeyFinder(tree, pruning=pruning, stats=stats, budget=budget)
     return finder.run()

@@ -19,6 +19,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.stats import TreeStats
 from repro.errors import DataError, NoKeysExistError
+from repro.robustness import faults
 
 __all__ = ["Cell", "Node", "PrefixTree", "build_prefix_tree"]
 
@@ -103,13 +104,26 @@ class PrefixTree:
     stats:
         Structural counters (allocations, peak live nodes) shared with any
         merged trees derived from this one.
+    budget:
+        Optional armed :class:`~repro.robustness.BudgetMeter`; node
+        allocations and row inserts report to it, so a budgeted run can be
+        stopped cooperatively mid-build (and mid-merge, since merged trees
+        allocate through :meth:`new_node`).
     """
 
-    def __init__(self, num_attributes: int, stats: Optional[TreeStats] = None):
+    def __init__(
+        self,
+        num_attributes: int,
+        stats: Optional[TreeStats] = None,
+        budget: Optional[object] = None,
+    ):
         if num_attributes < 1:
             raise DataError(f"a dataset needs >= 1 attribute, got {num_attributes}")
         self.num_attributes = num_attributes
         self.stats = stats if stats is not None else TreeStats()
+        self.budget = budget
+        if budget is not None:
+            budget.attach_tree_stats(self.stats)
         self.root = self._new_node(0)
         self.root.refcount = 1
         self.num_entities = 0
@@ -120,6 +134,8 @@ class PrefixTree:
     def _new_node(self, level: int) -> Node:
         node = Node(level)
         self.stats.on_node_created()
+        if self.budget is not None:
+            self.budget.on_node()
         return node
 
     def new_node(self, level: int) -> Node:
@@ -140,6 +156,9 @@ class PrefixTree:
             raise DataError(
                 f"entity has {len(entity)} attributes, expected {self.num_attributes}"
             )
+        faults.check("tree.insert")
+        if self.budget is not None:
+            self.budget.on_row()
         node = self.root
         last = self.num_attributes - 1
         for attr_no, value in enumerate(entity):
@@ -246,13 +265,17 @@ def build_prefix_tree(
     rows: Iterable[Sequence[object]],
     num_attributes: int,
     stats: Optional[TreeStats] = None,
+    budget: Optional[object] = None,
 ) -> PrefixTree:
     """Build a prefix tree from an iterable of rows (Algorithm 2).
 
     A single pass over ``rows``; raises :class:`NoKeysExistError` on the
-    first duplicate entity.
+    first duplicate entity.  When ``budget`` (an armed
+    :class:`~repro.robustness.BudgetMeter`) is given, the build reports row
+    inserts and node allocations to it and may raise
+    :class:`~repro.errors.BudgetExceededError` mid-pass.
     """
-    tree = PrefixTree(num_attributes, stats=stats)
+    tree = PrefixTree(num_attributes, stats=stats, budget=budget)
     for row in rows:
         tree.insert(row)
     return tree

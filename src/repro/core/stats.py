@@ -10,7 +10,7 @@ benchmark shapes do not depend on allocator noise.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 
 @dataclass
@@ -109,13 +109,22 @@ class SearchStats:
 
 @dataclass
 class RunStats:
-    """Aggregate statistics returned with every GORDIAN result."""
+    """Aggregate statistics returned with every GORDIAN result.
+
+    ``budget`` holds a :meth:`~repro.robustness.BudgetMeter.snapshot` when
+    the run executed under a budget (checkpoints, visit counts, estimated
+    bytes, and — for aborted runs — the reason the budget tripped).
+    ``completed_phases`` records which pipeline phases finished, which is how
+    partial-run stats salvaged from an aborted run are interpreted.
+    """
 
     tree: TreeStats = field(default_factory=TreeStats)
     search: SearchStats = field(default_factory=SearchStats)
     build_seconds: float = 0.0
     search_seconds: float = 0.0
     convert_seconds: float = 0.0
+    budget: Optional[Dict[str, object]] = None
+    completed_phases: list = field(default_factory=list)
 
     @property
     def total_seconds(self) -> float:
@@ -129,4 +138,6 @@ class RunStats:
             "search_seconds": self.search_seconds,
             "convert_seconds": self.convert_seconds,
             "total_seconds": self.total_seconds,
+            "budget": self.budget,
+            "completed_phases": list(self.completed_phases),
         }

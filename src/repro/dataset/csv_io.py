@@ -3,20 +3,36 @@
 A thin, dependency-free layer over :mod:`csv` with optional type inference
 (int, then float, else string; empty fields become ``None``), enough to get
 real-world files into the key-discovery pipeline.
+
+Loading is hardened for hostile input: ragged rows, empty files, byte-order
+marks, and encoding errors all raise :class:`~repro.errors.DataError` with
+row/column context instead of leaking bare ``csv`` or ``UnicodeDecodeError``
+tracebacks.  :func:`load_csv_with_retry` additionally retries transient
+OS-level I/O failures with exponential backoff.
 """
 
 from __future__ import annotations
 
 import csv
 import io
+import time
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import Callable, List, Optional, Sequence, Union
 
 from repro.dataset.schema import Schema
 from repro.dataset.table import Table
 from repro.errors import DataError
+from repro.robustness import faults
+from repro.robustness.retry import retry_with_backoff
 
-__all__ = ["load_csv", "loads_csv", "save_csv", "dumps_csv", "infer_value"]
+__all__ = [
+    "load_csv",
+    "load_csv_with_retry",
+    "loads_csv",
+    "save_csv",
+    "dumps_csv",
+    "infer_value",
+]
 
 
 def infer_value(text: str) -> object:
@@ -37,9 +53,21 @@ def _read(
     reader, name: str, header: bool, schema: Optional[Sequence[str]], infer: bool
 ) -> Table:
     rows_iter = iter(reader)
+
+    def next_row(where: str):
+        """One row off the reader, translating low-level errors to DataError."""
+        try:
+            return next(rows_iter)
+        except StopIteration:
+            raise
+        except UnicodeDecodeError as exc:
+            raise DataError(f"CSV {name!r}: {where}: not decodable text: {exc}") from exc
+        except csv.Error as exc:
+            raise DataError(f"CSV {name!r}: {where}: malformed CSV: {exc}") from exc
+
     if header:
         try:
-            header_row = next(rows_iter)
+            header_row = next_row("header row")
         except StopIteration:
             raise DataError(f"CSV {name!r} is empty but a header was expected")
         names = [field.strip() for field in header_row]
@@ -48,12 +76,20 @@ def _read(
     else:
         raise DataError("either a header row or an explicit schema is required")
     parsed = []
-    for raw in rows_iter:
+    rowno = 1 if header else 0
+    while True:
+        try:
+            raw = next_row(f"row {rowno + 1}")
+        except StopIteration:
+            break
+        rowno += 1
+        faults.check("csv.read")
         if not raw:
             continue
         if len(raw) != len(names):
             raise DataError(
-                f"CSV {name!r}: row has {len(raw)} fields, header has {len(names)}"
+                f"CSV {name!r}: row {rowno} has {len(raw)} fields, "
+                f"expected {len(names)}"
             )
         parsed.append(
             tuple(infer_value(field) if infer else field for field in raw)
@@ -67,12 +103,45 @@ def load_csv(
     schema: Optional[Sequence[str]] = None,
     infer: bool = True,
     delimiter: str = ",",
+    encoding: str = "utf-8-sig",
 ) -> Table:
-    """Load a CSV file into a table."""
+    """Load a CSV file into a table.
+
+    The default ``utf-8-sig`` encoding transparently strips a UTF-8 BOM.
+    Open failures raise :class:`DataError` (chaining the ``OSError``), so
+    CLI users get a one-line message and a stable exit code.
+    """
     path = Path(path)
-    with path.open(newline="") as handle:
+    faults.check("csv.open")
+    try:
+        handle = path.open(newline="", encoding=encoding)
+    except OSError as exc:
+        raise DataError(f"cannot read CSV {str(path)!r}: {exc}") from exc
+    with handle:
         reader = csv.reader(handle, delimiter=delimiter)
         return _read(reader, path.stem, header, schema, infer)
+
+
+def load_csv_with_retry(
+    path: Union[str, Path],
+    attempts: int = 3,
+    base_delay: float = 0.05,
+    sleep: Callable[[float], None] = time.sleep,
+    **kwargs,
+) -> Table:
+    """:func:`load_csv` with retry-with-backoff on transient I/O errors.
+
+    Only OS-level failures (including ``DataError`` wrapping an ``OSError``)
+    are retried; a malformed file fails immediately.  Exhaustion raises
+    :class:`~repro.errors.RetryExhaustedError` chaining the last error.
+    """
+    return retry_with_backoff(
+        lambda: load_csv(path, **kwargs),
+        attempts=attempts,
+        base_delay=base_delay,
+        retry_on=(OSError, DataError),
+        sleep=sleep,
+    )
 
 
 def loads_csv(

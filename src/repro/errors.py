@@ -3,9 +3,16 @@
 Every error raised by ``repro`` derives from :class:`ReproError`, so callers
 can catch library failures with a single ``except`` clause while still being
 able to distinguish schema problems from algorithmic aborts.
+
+Each concrete error class also maps to a stable CLI exit code (see
+:data:`EXIT_CODES` and :func:`exit_code_for`); the command-line interface
+prints the message to stderr and exits with that code instead of leaking a
+traceback.
 """
 
 from __future__ import annotations
+
+from typing import List, Optional, Tuple
 
 
 class ReproError(Exception):
@@ -37,3 +44,94 @@ class EngineError(ReproError):
 
 class ConfigError(ReproError):
     """An invalid configuration value was supplied."""
+
+
+class BudgetExceededError(ReproError):
+    """A run hit its :class:`~repro.robustness.RunBudget` (or was interrupted).
+
+    Raised from the cooperative checkpoints inside the prefix-tree build and
+    the NonKeyFinder traversal.  The driver enriches the exception with the
+    phase it tripped in and whatever the run had discovered so far, so
+    callers (``find_keys_robust``) can salvage the partial NonKeySet and fall
+    back to sampling mode instead of losing the run.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        phase: Optional[str] = None,
+        budget: Optional[object] = None,
+        partial_nonkeys: Optional[List[Tuple[int, ...]]] = None,
+        stats: Optional[object] = None,
+        interrupted: bool = False,
+    ):
+        super().__init__(reason)
+        self.reason = reason
+        #: Pipeline phase the budget tripped in: "build", "search", "convert".
+        self.phase = phase
+        #: The :class:`~repro.robustness.RunBudget` that was exceeded, if any.
+        self.budget = budget
+        #: Minimal non-keys discovered before the trip (original numbering).
+        self.partial_nonkeys = list(partial_nonkeys or [])
+        #: Partial :class:`~repro.core.stats.RunStats` of the aborted run.
+        self.stats = stats
+        #: True when the trip was a ``KeyboardInterrupt``, not a budget limit.
+        self.interrupted = interrupted
+
+
+class RetryExhaustedError(ReproError):
+    """All attempts of a retry-with-backoff wrapped operation failed.
+
+    Chains the last underlying error (``__cause__``) and records how many
+    attempts were made.
+    """
+
+    def __init__(self, reason: str, *, attempts: int = 0,
+                 last_error: Optional[BaseException] = None):
+        super().__init__(reason)
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+# ---------------------------------------------------------------------------
+# CLI exit codes
+#
+# One stable nonzero code per error class; 1 is reserved (unexpected crash),
+# 2 is argparse's usage-error code, 130 is the conventional SIGINT code.
+
+EXIT_OK = 0
+EXIT_USAGE = 2
+EXIT_SCHEMA = 3
+EXIT_DATA = 4
+EXIT_CONFIG = 5
+EXIT_ENGINE = 6
+EXIT_BUDGET = 7
+EXIT_RETRY = 8
+EXIT_NO_KEYS = 9
+EXIT_ERROR = 10
+EXIT_INTERRUPT = 130
+
+#: Most-specific-first mapping used by :func:`exit_code_for`.
+EXIT_CODES = {
+    SchemaError: EXIT_SCHEMA,
+    DataError: EXIT_DATA,
+    ConfigError: EXIT_CONFIG,
+    EngineError: EXIT_ENGINE,
+    BudgetExceededError: EXIT_BUDGET,
+    RetryExhaustedError: EXIT_RETRY,
+    NoKeysExistError: EXIT_NO_KEYS,
+    ReproError: EXIT_ERROR,
+}
+
+
+def exit_code_for(exc: BaseException) -> int:
+    """Stable exit code for an exception (most specific class wins)."""
+    if isinstance(exc, KeyboardInterrupt):
+        return EXIT_INTERRUPT
+    if isinstance(exc, BudgetExceededError) and exc.interrupted:
+        return EXIT_INTERRUPT
+    for klass in type(exc).__mro__:
+        if klass in EXIT_CODES:
+            return EXIT_CODES[klass]
+    return 1

@@ -1,0 +1,36 @@
+"""Budgeted, interruptible execution with graceful degradation.
+
+This package makes every GORDIAN run boundable and survivable:
+
+* :class:`RunBudget` / :class:`BudgetMeter` — declarative limits (wall-clock
+  deadline, tree nodes, estimated bytes, traversal visits) enforced through
+  cheap cooperative checkpoints in the hot loops;
+* :mod:`repro.robustness.faults` — deterministic fault injection at named
+  points in the build, merge, traversal, and CSV I/O paths, so the
+  degradation machinery is exercised by tests rather than trusted;
+* :func:`retry_with_backoff` — transient-I/O retry for dataset loading.
+
+The drivers that *react* to a tripped budget — ``run_with_budget`` and
+``find_keys_robust`` with its sampling-mode fallback — live in
+:mod:`repro.core.gordian` next to the exact pipeline they wrap.
+"""
+
+from repro.errors import BudgetExceededError, RetryExhaustedError
+from repro.robustness.budget import CELL_BYTES, NODE_BYTES, BudgetMeter, RunBudget
+from repro.robustness.faults import FAULT_POINTS, FaultInjector, FaultSpec, inject
+from repro.robustness.retry import retry_with_backoff, transient_io_error
+
+__all__ = [
+    "BudgetExceededError",
+    "RetryExhaustedError",
+    "BudgetMeter",
+    "RunBudget",
+    "NODE_BYTES",
+    "CELL_BYTES",
+    "FAULT_POINTS",
+    "FaultInjector",
+    "FaultSpec",
+    "inject",
+    "retry_with_backoff",
+    "transient_io_error",
+]

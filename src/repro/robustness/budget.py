@@ -1,0 +1,236 @@
+"""Run budgets and their cooperative enforcement.
+
+GORDIAN's worst case is exponential in the number of attributes (paper,
+Theorem 1), so a production run must be boundable by wall-clock time and
+memory.  :class:`RunBudget` declares the limits; :class:`BudgetMeter` is the
+live enforcer threaded through ``build_prefix_tree`` and ``NonKeyFinder``.
+
+Enforcement is *cooperative*: the hot loops call cheap meter hooks
+(``on_row``, ``on_node``, ``on_visit``) that bump integer counters and, every
+``check_interval`` ticks, compare the clock and the estimated memory against
+the limits.  A violated limit raises
+:class:`~repro.errors.BudgetExceededError`, which the driver catches to
+salvage partial results and degrade to sampling mode.
+
+Memory is *estimated*, not measured: the meter prices live prefix-tree nodes
+and cells at fixed per-object byte costs (CPython dict-backed objects), which
+tracks real usage closely enough to act on and costs two multiplications per
+checkpoint instead of a tracemalloc sweep.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.errors import BudgetExceededError, ConfigError
+
+__all__ = ["RunBudget", "BudgetMeter", "NODE_BYTES", "CELL_BYTES"]
+
+#: Estimated CPython cost of one prefix-tree node (object + empty dict).
+NODE_BYTES = 160
+#: Estimated CPython cost of one cell (object + dict entry + value ref).
+CELL_BYTES = 140
+
+
+@dataclass(frozen=True)
+class RunBudget:
+    """Declarative resource limits for one GORDIAN run.
+
+    Every field is optional; ``None`` means unlimited.  A default-constructed
+    budget enforces nothing but still buys interruptibility: running under a
+    meter converts ``KeyboardInterrupt`` into a salvageable
+    :class:`~repro.errors.BudgetExceededError`.
+    """
+
+    #: Wall-clock deadline for the whole run, in seconds.
+    wall_clock_seconds: Optional[float] = None
+    #: Cap on prefix-tree nodes ever allocated (original tree + merges).
+    max_tree_nodes: Optional[int] = None
+    #: Cap on the estimated live bytes held by the prefix tree.
+    max_bytes: Optional[int] = None
+    #: Cap on NonKeyFinder node visits (bounds the traversal directly).
+    max_node_visits: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        for name in (
+            "wall_clock_seconds",
+            "max_tree_nodes",
+            "max_bytes",
+            "max_node_visits",
+        ):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ConfigError(f"{name} must be positive, got {value!r}")
+
+    @property
+    def unlimited(self) -> bool:
+        """True when no limit is set (the meter only buys interruptibility)."""
+        return (
+            self.wall_clock_seconds is None
+            and self.max_tree_nodes is None
+            and self.max_bytes is None
+            and self.max_node_visits is None
+        )
+
+    @classmethod
+    def from_cli(
+        cls,
+        timeout: Optional[float] = None,
+        max_memory_mb: Optional[float] = None,
+        max_nodes: Optional[int] = None,
+        max_visits: Optional[int] = None,
+    ) -> "RunBudget":
+        """Build a budget from CLI flag values (``None`` flags are skipped)."""
+        return cls(
+            wall_clock_seconds=timeout,
+            max_tree_nodes=max_nodes,
+            max_bytes=None if max_memory_mb is None else int(max_memory_mb * 2**20),
+            max_node_visits=max_visits,
+        )
+
+    def start(
+        self,
+        clock: Callable[[], float] = time.monotonic,
+        check_interval: int = 64,
+    ) -> "BudgetMeter":
+        """Arm the budget: fixes the deadline relative to ``clock()`` now."""
+        return BudgetMeter(self, clock=clock, check_interval=check_interval)
+
+
+class BudgetMeter:
+    """Live, armed counterpart of a :class:`RunBudget`.
+
+    One meter covers one run end to end (build + search + convert); the
+    deadline is fixed at construction.  Hook methods are safe to call from
+    any phase and deliberately do almost nothing on the fast path.
+    """
+
+    __slots__ = (
+        "budget",
+        "deadline",
+        "started_at",
+        "check_interval",
+        "nodes_allocated",
+        "node_visits",
+        "rows_inserted",
+        "checkpoints",
+        "tripped_reason",
+        "_clock",
+        "_ticks",
+        "_tree_stats",
+    )
+
+    def __init__(
+        self,
+        budget: RunBudget,
+        clock: Callable[[], float] = time.monotonic,
+        check_interval: int = 64,
+    ):
+        if check_interval < 1:
+            raise ConfigError(f"check_interval must be >= 1, got {check_interval}")
+        self.budget = budget
+        self._clock = clock
+        self.check_interval = check_interval
+        self.started_at = clock()
+        self.deadline = (
+            None
+            if budget.wall_clock_seconds is None
+            else self.started_at + budget.wall_clock_seconds
+        )
+        self.nodes_allocated = 0
+        self.node_visits = 0
+        self.rows_inserted = 0
+        self.checkpoints = 0
+        self.tripped_reason: Optional[str] = None
+        self._ticks = 0
+        self._tree_stats = None
+
+    # ------------------------------------------------------------------
+    # wiring
+
+    def attach_tree_stats(self, stats: object) -> None:
+        """Point the memory estimate at a ``TreeStats``-shaped object.
+
+        Only ``live_nodes`` and ``live_cells`` attributes are read, so any
+        duck-typed stats object works; duck typing keeps this module free of
+        ``repro.core`` imports (which would be circular).
+        """
+        self._tree_stats = stats
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    def elapsed_seconds(self) -> float:
+        return self._clock() - self.started_at
+
+    def remaining_seconds(self) -> Optional[float]:
+        """Seconds until the deadline (``None`` when no deadline is set)."""
+        if self.deadline is None:
+            return None
+        return self.deadline - self._clock()
+
+    def estimated_bytes(self) -> int:
+        """Priced estimate of live prefix-tree memory (see module docstring)."""
+        stats = self._tree_stats
+        if stats is None:
+            return 0
+        return stats.live_nodes * NODE_BYTES + stats.live_cells * CELL_BYTES
+
+    def snapshot(self) -> Dict[str, object]:
+        """Counters for attaching to run statistics and degraded results."""
+        return {
+            "nodes_allocated": self.nodes_allocated,
+            "node_visits": self.node_visits,
+            "rows_inserted": self.rows_inserted,
+            "checkpoints": self.checkpoints,
+            "estimated_bytes": self.estimated_bytes(),
+            "elapsed_seconds": self.elapsed_seconds(),
+            "tripped_reason": self.tripped_reason,
+        }
+
+    # ------------------------------------------------------------------
+    # enforcement
+
+    def _trip(self, reason: str) -> None:
+        self.tripped_reason = reason
+        raise BudgetExceededError(reason, budget=self.budget)
+
+    def checkpoint(self, force: bool = False) -> None:
+        """Periodic clock/memory check; forced checks skip the tick gate."""
+        self._ticks += 1
+        if not force and self._ticks % self.check_interval:
+            return
+        self.checkpoints += 1
+        if self.deadline is not None and self._clock() > self.deadline:
+            self._trip(
+                f"wall-clock deadline of {self.budget.wall_clock_seconds}s exceeded"
+            )
+        max_bytes = self.budget.max_bytes
+        if max_bytes is not None and self.estimated_bytes() > max_bytes:
+            self._trip(
+                f"estimated memory {self.estimated_bytes()}B exceeds "
+                f"budget of {max_bytes}B"
+            )
+
+    def on_row(self) -> None:
+        """One entity inserted into the prefix tree."""
+        self.rows_inserted += 1
+        self.checkpoint()
+
+    def on_node(self) -> None:
+        """One prefix-tree node allocated (build or merge)."""
+        self.nodes_allocated += 1
+        limit = self.budget.max_tree_nodes
+        if limit is not None and self.nodes_allocated > limit:
+            self._trip(f"prefix-tree node budget of {limit} nodes exceeded")
+        self.checkpoint()
+
+    def on_visit(self) -> None:
+        """One NonKeyFinder node visit."""
+        self.node_visits += 1
+        limit = self.budget.max_node_visits
+        if limit is not None and self.node_visits > limit:
+            self._trip(f"NonKeyFinder visit budget of {limit} visits exceeded")
+        self.checkpoint()

@@ -1,0 +1,124 @@
+"""Deterministic fault injection for exercising degradation paths.
+
+Production code is sprinkled with *named fault points* — ``faults.check(...)``
+calls at the spots where real-world failures strike: prefix-tree inserts,
+merges, NonKeyFinder visits, CSV opening and row reads.  With no injector
+armed a check is a single attribute load and ``None`` comparison, so the
+instrumentation is effectively free; tests arm an injector with
+:func:`inject` to make a chosen point raise a chosen error on a chosen hit.
+
+Because specs may raise *any* exception — including ``KeyboardInterrupt`` —
+the same machinery exercises budget trips, I/O flakiness, and Ctrl-C
+semantics without monkeypatching library internals.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import ConfigError
+
+__all__ = ["FAULT_POINTS", "FaultSpec", "FaultInjector", "inject", "check"]
+
+#: Every fault point compiled into the library.  Specs naming anything else
+#: are rejected up front, so a typo cannot silently disarm a test.
+FAULT_POINTS = frozenset(
+    {
+        "tree.insert",  # PrefixTree.insert, once per entity
+        "merge.node",  # merge_nodes, once per (possibly degenerate) merge
+        "nonkey.visit",  # NonKeyFinder._visit, once per node visit
+        "csv.open",  # load_csv, before opening the file
+        "csv.read",  # CSV row loop, once per data row
+    }
+)
+
+ErrorSpec = Union[BaseException, type, Callable[[], BaseException]]
+
+
+@dataclass
+class FaultSpec:
+    """One planned failure: at ``point``, after ``after`` clean hits, raise.
+
+    ``error`` may be an exception instance, an exception class (instantiated
+    with a descriptive message), or a zero-argument factory.  ``times`` caps
+    how many hits fire (``None`` = every hit once triggered).
+    """
+
+    point: str
+    error: ErrorSpec
+    after: int = 0
+    times: Optional[int] = 1
+    _fired: int = field(default=0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.point not in FAULT_POINTS:
+            raise ConfigError(
+                f"unknown fault point {self.point!r}; known: {sorted(FAULT_POINTS)}"
+            )
+        if self.after < 0:
+            raise ConfigError(f"after must be >= 0, got {self.after}")
+        if self.times is not None and self.times < 1:
+            raise ConfigError(f"times must be >= 1 or None, got {self.times}")
+
+    def _materialize(self) -> BaseException:
+        error = self.error
+        if isinstance(error, BaseException):
+            return error
+        if isinstance(error, type) and issubclass(error, BaseException):
+            return error(f"injected fault at {self.point!r}")
+        return error()
+
+
+class FaultInjector:
+    """Holds armed :class:`FaultSpec` instances and counts every hit."""
+
+    def __init__(self, *specs: FaultSpec):
+        self.specs: List[FaultSpec] = list(specs)
+        #: Total hits observed per point, fired or not — lets tests assert a
+        #: path actually reached its instrumentation.
+        self.hits: Dict[str, int] = {}
+        #: ``(point, hit_number)`` for every fault actually raised.
+        self.fired: List[Tuple[str, int]] = []
+
+    def hit(self, point: str) -> None:
+        count = self.hits.get(point, 0) + 1
+        self.hits[point] = count
+        for spec in self.specs:
+            if spec.point != point:
+                continue
+            if count <= spec.after:
+                continue
+            if spec.times is not None and spec._fired >= spec.times:
+                continue
+            spec._fired += 1
+            self.fired.append((point, count))
+            raise spec._materialize()
+
+
+_active: Optional[FaultInjector] = None
+
+
+def check(point: str) -> None:
+    """Fault point hook — called from production code, free when disarmed."""
+    injector = _active
+    if injector is not None:
+        injector.hit(point)
+
+
+@contextmanager
+def inject(*specs: FaultSpec) -> Iterator[FaultInjector]:
+    """Arm an injector for the duration of the ``with`` block.
+
+    Nesting replaces the outer injector and restores it on exit; outer specs
+    do not fire while an inner block is active (deterministic, no stacking).
+    """
+    global _active
+    injector = FaultInjector(*specs)
+    previous = _active
+    _active = injector
+    try:
+        yield injector
+    finally:
+        _active = previous

@@ -1,0 +1,83 @@
+"""Retry with exponential backoff for transient failures.
+
+Dataset loading is the pipeline stage most exposed to the outside world
+(network filesystems, files mid-rotation), so it gets a retry wrapper.  The
+sleep function is injectable to keep tests instant and deterministic, and a
+``should_retry`` predicate lets callers distinguish transient errors (an
+``OSError``, or a ``DataError`` wrapping one) from permanent ones (a
+genuinely malformed file), which are re-raised immediately.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional, Tuple, Type, TypeVar
+
+from repro.errors import RetryExhaustedError
+
+__all__ = ["retry_with_backoff", "transient_io_error"]
+
+T = TypeVar("T")
+
+
+#: OS errors that retrying cannot fix: the path itself is wrong.
+_PERMANENT_OS_ERRORS = (
+    FileNotFoundError,
+    IsADirectoryError,
+    NotADirectoryError,
+    PermissionError,
+)
+
+
+def transient_io_error(exc: BaseException) -> bool:
+    """Default predicate: retry OS-level I/O errors, even wrapped ones.
+
+    Path-shaped failures (missing file, wrong permissions) are permanent and
+    fail immediately; everything else OS-level (EIO, stale NFS handles,
+    timeouts) is worth another attempt.
+    """
+    cause = exc if isinstance(exc, OSError) else exc.__cause__
+    if not isinstance(cause, OSError):
+        return False
+    return not isinstance(cause, _PERMANENT_OS_ERRORS)
+
+
+def retry_with_backoff(
+    fn: Callable[[], T],
+    *,
+    attempts: int = 3,
+    base_delay: float = 0.05,
+    multiplier: float = 2.0,
+    max_delay: float = 2.0,
+    retry_on: Tuple[Type[BaseException], ...] = (Exception,),
+    should_retry: Optional[Callable[[BaseException], bool]] = transient_io_error,
+    sleep: Callable[[float], None] = time.sleep,
+    on_retry: Optional[Callable[[int, BaseException], None]] = None,
+) -> T:
+    """Call ``fn`` up to ``attempts`` times with exponential backoff.
+
+    Delays run ``base_delay * multiplier**i`` capped at ``max_delay``.  An
+    exception outside ``retry_on``, or rejected by ``should_retry``, is
+    re-raised untouched; exhaustion raises
+    :class:`~repro.errors.RetryExhaustedError` chaining the last error.
+    ``on_retry(attempt_index, error)`` is invoked before each sleep.
+    """
+    if attempts < 1:
+        raise ValueError(f"attempts must be >= 1, got {attempts}")
+    last: Optional[BaseException] = None
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except retry_on as exc:
+            if should_retry is not None and not should_retry(exc):
+                raise
+            last = exc
+            if attempt + 1 < attempts:
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                sleep(min(max_delay, base_delay * multiplier**attempt))
+    raise RetryExhaustedError(
+        f"all {attempts} attempts failed; last error: {last}",
+        attempts=attempts,
+        last_error=last,
+    ) from last

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.dataset.csv_io import dumps_csv, infer_value, load_csv, loads_csv, save_csv
+from repro.dataset.csv_io import (
+    dumps_csv,
+    infer_value,
+    load_csv,
+    load_csv_with_retry,
+    loads_csv,
+    save_csv,
+)
 from repro.dataset.table import Table
 from repro.errors import DataError
 
@@ -53,6 +60,64 @@ class TestLoads:
     def test_header_whitespace_stripped(self):
         table = loads_csv(" a , b \n1,2\n")
         assert table.schema.names == ["a", "b"]
+
+
+class TestMalformedInput:
+    def test_ragged_row_reports_row_number(self):
+        with pytest.raises(DataError, match="row 3"):
+            loads_csv("a,b\n1,2\n3\n")
+
+    def test_ragged_row_reports_field_counts(self):
+        with pytest.raises(DataError, match="has 1 fields, expected 2"):
+            loads_csv("a,b\n1\n")
+
+    def test_empty_file_rejected_with_context(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DataError, match="empty"):
+            load_csv(path)
+
+    def test_bom_is_stripped(self, tmp_path):
+        path = tmp_path / "bom.csv"
+        path.write_bytes(b"\xef\xbb\xbfa,b\n1,2\n")
+        table = load_csv(path)
+        assert table.schema.names == ["a", "b"]
+        assert table.rows == [(1, 2)]
+
+    def test_bom_only_file_rejected(self, tmp_path):
+        path = tmp_path / "bomonly.csv"
+        path.write_bytes(b"\xef\xbb\xbf")
+        with pytest.raises(DataError, match="empty"):
+            load_csv(path)
+
+    def test_invalid_encoding_raises_data_error(self, tmp_path):
+        path = tmp_path / "latin.csv"
+        path.write_bytes(b"a,b\n1,caf\xe9\n")  # latin-1 byte, invalid UTF-8
+        with pytest.raises(DataError, match="not decodable"):
+            load_csv(path)
+
+    def test_explicit_encoding_accepts_the_same_bytes(self, tmp_path):
+        path = tmp_path / "latin.csv"
+        path.write_bytes(b"a,b\n1,caf\xe9\n")
+        table = load_csv(path, encoding="latin-1")
+        assert table.rows == [(1, "café")]
+
+    def test_missing_file_raises_data_error(self, tmp_path):
+        with pytest.raises(DataError, match="cannot read CSV"):
+            load_csv(tmp_path / "nope.csv")
+
+    def test_oversized_field_raises_data_error(self):
+        import csv as _csv
+
+        huge = "x" * (_csv.field_size_limit() + 1)
+        with pytest.raises(DataError, match="malformed CSV"):
+            loads_csv(f"a,b\n1,{huge}\n")
+
+    def test_retry_wrapper_loads_clean_files(self, tmp_path, paper_table):
+        path = tmp_path / "ok.csv"
+        save_csv(paper_table, path)
+        table = load_csv_with_retry(path, sleep=lambda _: None)
+        assert table.rows == paper_table.rows
 
 
 class TestRoundTrip:

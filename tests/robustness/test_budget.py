@@ -1,0 +1,131 @@
+"""Unit tests for RunBudget / BudgetMeter cooperative enforcement."""
+
+import pytest
+
+from repro.core.prefix_tree import build_prefix_tree
+from repro.core.nonkey_finder import find_nonkeys
+from repro.errors import BudgetExceededError, ConfigError
+from repro.robustness import CELL_BYTES, NODE_BYTES, BudgetMeter, RunBudget
+
+
+class FakeClock:
+    def __init__(self, now=100.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestRunBudget:
+    def test_defaults_are_unlimited(self):
+        assert RunBudget().unlimited
+
+    def test_any_limit_is_not_unlimited(self):
+        assert not RunBudget(wall_clock_seconds=1.0).unlimited
+        assert not RunBudget(max_node_visits=5).unlimited
+
+    def test_rejects_nonpositive_limits(self):
+        with pytest.raises(ConfigError):
+            RunBudget(wall_clock_seconds=0)
+        with pytest.raises(ConfigError):
+            RunBudget(max_tree_nodes=-1)
+
+    def test_from_cli_converts_megabytes(self):
+        budget = RunBudget.from_cli(timeout=2.0, max_memory_mb=1.5)
+        assert budget.wall_clock_seconds == 2.0
+        assert budget.max_bytes == int(1.5 * 2**20)
+        assert budget.max_tree_nodes is None
+
+    def test_start_arms_a_meter(self):
+        meter = RunBudget(wall_clock_seconds=5.0).start()
+        assert isinstance(meter, BudgetMeter)
+        remaining = meter.remaining_seconds()
+        assert 0 < remaining <= 5.0
+
+
+class TestDeadline:
+    def test_trips_after_deadline(self):
+        clock = FakeClock()
+        meter = RunBudget(wall_clock_seconds=1.0).start(clock=clock, check_interval=1)
+        meter.checkpoint()  # inside the deadline: fine
+        clock.advance(1.5)
+        with pytest.raises(BudgetExceededError, match="wall-clock deadline"):
+            meter.checkpoint()
+        assert meter.tripped_reason is not None
+
+    def test_interval_gates_the_clock_check(self):
+        clock = FakeClock()
+        meter = RunBudget(wall_clock_seconds=1.0).start(clock=clock, check_interval=8)
+        clock.advance(10.0)
+        for _ in range(7):  # ticks 1..7 never reach the gate
+            meter.checkpoint()
+        with pytest.raises(BudgetExceededError):
+            meter.checkpoint()  # 8th tick checks the clock
+
+    def test_forced_checkpoint_skips_the_gate(self):
+        clock = FakeClock()
+        meter = RunBudget(wall_clock_seconds=1.0).start(clock=clock, check_interval=64)
+        clock.advance(2.0)
+        with pytest.raises(BudgetExceededError):
+            meter.checkpoint(force=True)
+
+
+class TestCounterLimits:
+    def test_node_limit(self):
+        meter = RunBudget(max_tree_nodes=3).start()
+        for _ in range(3):
+            meter.on_node()
+        with pytest.raises(BudgetExceededError, match="node budget"):
+            meter.on_node()
+
+    def test_visit_limit(self):
+        meter = RunBudget(max_node_visits=2).start()
+        meter.on_visit()
+        meter.on_visit()
+        with pytest.raises(BudgetExceededError, match="visit budget"):
+            meter.on_visit()
+
+    def test_memory_estimate_from_tree_stats(self):
+        class Stats:
+            live_nodes = 10
+            live_cells = 20
+
+        meter = RunBudget(max_bytes=1).start(check_interval=1)
+        meter.attach_tree_stats(Stats())
+        assert meter.estimated_bytes() == 10 * NODE_BYTES + 20 * CELL_BYTES
+        with pytest.raises(BudgetExceededError, match="estimated memory"):
+            meter.checkpoint()
+
+    def test_snapshot_reports_counters(self):
+        meter = RunBudget().start()
+        meter.on_row()
+        meter.on_visit()
+        snap = meter.snapshot()
+        assert snap["rows_inserted"] == 1
+        assert snap["node_visits"] == 1
+        assert snap["tripped_reason"] is None
+
+
+class TestThreadedThroughPipeline:
+    def test_build_prefix_tree_respects_node_budget(self, paper_rows):
+        meter = RunBudget(max_tree_nodes=2).start()
+        with pytest.raises(BudgetExceededError):
+            build_prefix_tree(paper_rows, 4, budget=meter)
+
+    def test_nonkey_finder_respects_visit_budget(self, paper_rows):
+        tree = build_prefix_tree(paper_rows, 4)
+        meter = RunBudget(max_node_visits=1).start()
+        with pytest.raises(BudgetExceededError):
+            find_nonkeys(tree, budget=meter)
+
+    def test_generous_budget_changes_nothing(self, paper_rows):
+        meter = RunBudget(
+            wall_clock_seconds=60, max_tree_nodes=10_000, max_node_visits=10_000
+        ).start()
+        tree = build_prefix_tree(paper_rows, 4, budget=meter)
+        nonkeys = find_nonkeys(tree, budget=meter)
+        reference = find_nonkeys(build_prefix_tree(paper_rows, 4))
+        assert sorted(nonkeys.masks()) == sorted(reference.masks())

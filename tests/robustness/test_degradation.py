@@ -1,0 +1,205 @@
+"""Fault-injection tests for every degradation path.
+
+Each test forces a specific failure — budget trip mid-tree-build, budget
+trip mid-traversal, I/O retry exhaustion, Ctrl-C mid-run — and asserts the
+robust driver returns a useful degraded result instead of losing the run.
+
+The core soundness property asserted throughout: keys discovered on a
+sample are *superset-consistent* with the exact keys — every exact key of
+the full data is still a key of any sample, so each exact key must contain
+some sample-discovered (minimal) key as a subset.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core import find_keys
+from repro.core.gordian import find_keys_robust, run_with_budget
+from repro.dataset.csv_io import load_csv_with_retry, save_csv
+from repro.dataset.table import Table
+from repro.errors import BudgetExceededError, DataError, RetryExhaustedError
+from repro.robustness import FaultSpec, RunBudget, inject
+
+pytestmark = pytest.mark.faults
+
+
+def planted_dataset(n=300, attrs=8, seed=7):
+    """Random low-cardinality columns plus one planted unique column."""
+    rng = random.Random(seed)
+    return [
+        tuple(rng.randrange(4) for _ in range(attrs - 1)) + (i,) for i in range(n)
+    ]
+
+
+def antikey_dataset(d=12, k=6):
+    """Adversarially hard rows: every ``k``-subset of ``d`` attributes is a
+    non-key (witnessed by its own pair of rows), so maximal non-keys number
+    ``C(d, k)`` and the exact search runs for seconds."""
+    rows = []
+    uid = itertools.count()
+    for subset in itertools.combinations(range(d), k):
+        base = next(uid)
+        a = [f"b{base}"] * d
+        b = [f"b{base}"] * d
+        for j in range(d):
+            if j not in subset:
+                a[j] = f"x{next(uid)}"
+                b[j] = f"y{next(uid)}"
+        rows.append(tuple(a))
+        rows.append(tuple(b))
+    return rows
+
+
+def assert_superset_consistent(exact_keys, degraded_keys):
+    """Every exact key must contain some degraded (sample-minimal) key."""
+    assert degraded_keys, "degradation produced no keys to check"
+    for exact in exact_keys:
+        assert any(
+            set(sample_key) <= set(exact) for sample_key in degraded_keys
+        ), f"exact key {exact} contains no sample key from {degraded_keys}"
+
+
+class TestBudgetTripMidBuild:
+    def test_degrades_to_sampling_mode(self):
+        rows = planted_dataset()
+        robust = find_keys_robust(rows, budget=RunBudget(max_tree_nodes=5))
+        assert robust.degraded
+        assert robust.phase == "build"
+        assert not robust.interrupted
+        assert "node budget" in robust.reason
+        assert robust.approximate is not None
+        assert len(robust.keys) >= 1
+        for key in robust.approximate.keys:
+            assert 0.0 <= key.bound <= 1.0
+        exact = find_keys(rows)
+        assert_superset_consistent(exact.keys, robust.keys)
+
+    def test_partial_stats_are_attached(self):
+        rows = planted_dataset()
+        robust = find_keys_robust(rows, budget=RunBudget(max_tree_nodes=5))
+        assert robust.stats is not None
+        assert "build" not in robust.stats.completed_phases
+        assert robust.stats.budget["tripped_reason"] is not None
+
+
+class TestBudgetTripMidTraversal:
+    def test_degrades_to_sampling_mode(self):
+        rows = planted_dataset()
+        robust = find_keys_robust(rows, budget=RunBudget(max_node_visits=10))
+        assert robust.degraded
+        assert robust.phase == "search"
+        assert robust.approximate is not None
+        assert len(robust.keys) >= 1
+        exact = find_keys(rows)
+        assert_superset_consistent(exact.keys, robust.keys)
+
+    def test_fail_fast_flavor_carries_salvage(self):
+        rows = planted_dataset()
+        with pytest.raises(BudgetExceededError) as info:
+            run_with_budget(rows, RunBudget(max_node_visits=10))
+        exc = info.value
+        assert exc.phase == "search"
+        assert isinstance(exc.partial_nonkeys, list)
+        assert exc.stats is not None
+        assert "build" in exc.stats.completed_phases
+
+    def test_salvaged_nonkeys_are_real_nonkeys(self):
+        # Schema order + an early duplicate-heavy column makes the very
+        # first leaf yield the non-key {0}, so a tiny visit budget still
+        # salvages a genuinely discovered non-key.
+        rows = [(0, 0), (0, 1), (1, 0)]
+        with pytest.raises(BudgetExceededError) as info:
+            run_with_budget(rows, RunBudget(max_node_visits=2))
+        salvaged = info.value.partial_nonkeys
+        assert (0,) in salvaged
+        exact = find_keys(rows)
+        assert set(salvaged) <= set(exact.nonkeys)
+
+
+class TestIORetryExhaustion:
+    def test_transient_failures_heal(self, tmp_path, paper_table):
+        path = tmp_path / "flaky.csv"
+        save_csv(paper_table, path)
+        with inject(FaultSpec("csv.open", OSError("EIO"), times=2)) as injector:
+            table = load_csv_with_retry(path, sleep=lambda _: None)
+        assert table.rows == paper_table.rows
+        assert injector.hits["csv.open"] == 3
+
+    def test_exhaustion_raises_retry_error(self, tmp_path, paper_table):
+        path = tmp_path / "dead.csv"
+        save_csv(paper_table, path)
+        with inject(FaultSpec("csv.open", OSError("EIO"), times=None)):
+            with pytest.raises(RetryExhaustedError) as info:
+                load_csv_with_retry(path, attempts=3, sleep=lambda _: None)
+        assert info.value.attempts == 3
+        assert isinstance(info.value.__cause__, OSError)
+
+    def test_malformed_file_is_not_retried(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1\n")
+        with pytest.raises(DataError, match="row 2"):
+            load_csv_with_retry(path, sleep=lambda _: None)
+
+
+class TestKeyboardInterrupt:
+    def test_interrupt_mid_traversal_returns_partial_results(self):
+        rows = planted_dataset()
+        with inject(FaultSpec("nonkey.visit", KeyboardInterrupt, after=8)):
+            robust = find_keys_robust(rows)
+        assert robust.degraded
+        assert robust.interrupted
+        assert robust.phase == "search"
+        assert robust.approximate is not None
+        assert len(robust.keys) >= 1
+        exact = find_keys(rows)
+        assert_superset_consistent(exact.keys, robust.keys)
+
+    def test_interrupt_preserves_discovered_nonkeys(self):
+        rows = [(0, 0), (0, 1), (1, 0)]
+        with inject(FaultSpec("nonkey.visit", KeyboardInterrupt, after=2)):
+            robust = find_keys_robust(rows)
+        assert robust.degraded and robust.interrupted
+        assert (0,) in robust.partial_nonkeys
+
+    def test_interrupt_mid_build_still_degrades(self):
+        rows = planted_dataset()
+        with inject(FaultSpec("tree.insert", KeyboardInterrupt, after=20)):
+            robust = find_keys_robust(rows)
+        assert robust.degraded
+        assert robust.interrupted
+        assert robust.phase == "build"
+        assert len(robust.keys) >= 1
+
+    def test_plain_find_keys_does_not_swallow_interrupt(self):
+        rows = planted_dataset()
+        with inject(FaultSpec("nonkey.visit", KeyboardInterrupt, after=8)):
+            with pytest.raises(KeyboardInterrupt):
+                find_keys(rows)
+
+
+class TestDeadlineDegradation:
+    def test_tiny_deadline_returns_approximate_keys(self):
+        # An adversarial dataset whose exact search takes seconds: for
+        # every 6-subset S of 12 attributes, a pair of rows agreeing
+        # exactly on S, so the traversal must discover C(12,6) maximal
+        # non-keys (the Theorem 1 exponential regime).
+        rows = antikey_dataset(d=12, k=6)
+        robust = find_keys_robust(
+            rows,
+            budget=RunBudget(wall_clock_seconds=0.05),
+            sample_sizes=(256, 64, 16),
+            fallback_grace_seconds=0.5,
+        )
+        assert robust.degraded
+        assert "deadline" in robust.reason
+        assert robust.approximate is not None
+        assert len(robust.keys) >= 1
+        for key in robust.approximate.keys:
+            assert 0.0 <= key.bound <= 1.0
+
+    def test_summary_mentions_degradation(self):
+        rows = planted_dataset()
+        robust = find_keys_robust(rows, budget=RunBudget(max_node_visits=10))
+        assert "DEGRADED" in robust.summary()

@@ -1,0 +1,65 @@
+"""Unit tests for the fault-injection machinery itself."""
+
+import pytest
+
+from repro.core.prefix_tree import build_prefix_tree
+from repro.errors import ConfigError
+from repro.robustness import FaultSpec, faults, inject
+
+
+class TestFaultSpec:
+    def test_unknown_point_rejected(self):
+        with pytest.raises(ConfigError, match="unknown fault point"):
+            FaultSpec("no.such.point", OSError)
+
+    def test_bad_counts_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultSpec("csv.open", OSError, after=-1)
+        with pytest.raises(ConfigError):
+            FaultSpec("csv.open", OSError, times=0)
+
+
+class TestInjection:
+    def test_disarmed_check_is_a_noop(self):
+        faults.check("tree.insert")  # no injector armed: must not raise
+
+    def test_fires_on_configured_hit(self):
+        with inject(FaultSpec("tree.insert", OSError, after=2)) as injector:
+            faults.check("tree.insert")
+            faults.check("tree.insert")
+            with pytest.raises(OSError):
+                faults.check("tree.insert")
+        assert injector.hits["tree.insert"] == 3
+        assert injector.fired == [("tree.insert", 3)]
+
+    def test_times_caps_the_firing(self):
+        with inject(FaultSpec("csv.read", ValueError, times=1)):
+            with pytest.raises(ValueError):
+                faults.check("csv.read")
+            faults.check("csv.read")  # spent: silent again
+
+    def test_times_none_fires_forever(self):
+        with inject(FaultSpec("csv.read", ValueError, times=None)):
+            for _ in range(3):
+                with pytest.raises(ValueError):
+                    faults.check("csv.read")
+
+    def test_error_instance_and_factory(self):
+        marker = OSError("exact instance")
+        with inject(FaultSpec("csv.open", marker)):
+            with pytest.raises(OSError) as info:
+                faults.check("csv.open")
+            assert info.value is marker
+        with inject(FaultSpec("csv.open", lambda: KeyError("made"))):
+            with pytest.raises(KeyError):
+                faults.check("csv.open")
+
+    def test_disarms_on_exit(self):
+        with inject(FaultSpec("tree.insert", OSError)):
+            pass
+        faults.check("tree.insert")  # must not raise
+
+    def test_production_code_reaches_the_point(self, paper_rows):
+        with inject(FaultSpec("tree.insert", RuntimeError, after=1)):
+            with pytest.raises(RuntimeError):
+                build_prefix_tree(paper_rows, 4)

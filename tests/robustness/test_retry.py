@@ -1,0 +1,82 @@
+"""Unit tests for retry-with-backoff."""
+
+import pytest
+
+from repro.errors import DataError, RetryExhaustedError
+from repro.robustness import retry_with_backoff, transient_io_error
+
+
+def flaky(fail_times, error=OSError):
+    state = {"calls": 0}
+
+    def fn():
+        state["calls"] += 1
+        if state["calls"] <= fail_times:
+            raise error(f"transient #{state['calls']}")
+        return "ok"
+
+    fn.state = state
+    return fn
+
+
+class TestRetry:
+    def test_succeeds_after_transient_failures(self):
+        delays = []
+        fn = flaky(2)
+        assert retry_with_backoff(fn, attempts=3, sleep=delays.append) == "ok"
+        assert fn.state["calls"] == 3
+        assert len(delays) == 2
+
+    def test_backoff_is_exponential_and_capped(self):
+        delays = []
+        with pytest.raises(RetryExhaustedError):
+            retry_with_backoff(
+                flaky(10),
+                attempts=4,
+                base_delay=0.1,
+                multiplier=2.0,
+                max_delay=0.3,
+                sleep=delays.append,
+            )
+        assert delays == [0.1, 0.2, 0.3]
+
+    def test_exhaustion_chains_last_error(self):
+        with pytest.raises(RetryExhaustedError) as info:
+            retry_with_backoff(flaky(99), attempts=2, sleep=lambda _: None)
+        assert info.value.attempts == 2
+        assert isinstance(info.value.last_error, OSError)
+        assert isinstance(info.value.__cause__, OSError)
+
+    def test_permanent_errors_are_not_retried(self):
+        fn = flaky(99, error=lambda msg: DataError(msg))
+        with pytest.raises(DataError):
+            retry_with_backoff(
+                fn, attempts=5, retry_on=(Exception,), sleep=lambda _: None
+            )
+        assert fn.state["calls"] == 1  # should_retry rejected it immediately
+
+    def test_wrapped_oserror_counts_as_transient(self):
+        wrapped = DataError("cannot read")
+        wrapped.__cause__ = OSError("disk")
+        assert transient_io_error(wrapped)
+        assert not transient_io_error(DataError("malformed"))
+
+    def test_missing_files_are_permanent(self):
+        assert not transient_io_error(FileNotFoundError("nope.csv"))
+        wrapped = DataError("cannot read")
+        wrapped.__cause__ = FileNotFoundError("nope.csv")
+        assert not transient_io_error(wrapped)
+
+    def test_on_retry_callback_sees_each_failure(self):
+        seen = []
+        retry_with_backoff(
+            flaky(1),
+            attempts=2,
+            sleep=lambda _: None,
+            on_retry=lambda i, exc: seen.append((i, type(exc))),
+        )
+        assert seen == [(0, OSError)]
+
+    def test_attempts_must_be_positive(self):
+        with pytest.raises(ValueError):
+            retry_with_backoff(lambda: 1, attempts=0)

@@ -1,10 +1,20 @@
 """End-to-end tests for the command-line interface."""
 
+import itertools
+
 import pytest
 
 from repro.cli import main
 from repro.dataset.csv_io import save_csv
 from repro.dataset.table import Table
+from repro.errors import (
+    EXIT_BUDGET,
+    EXIT_CONFIG,
+    EXIT_DATA,
+    EXIT_RETRY,
+    exit_code_for,
+)
+from repro.robustness import FaultSpec, inject
 
 
 @pytest.fixture
@@ -107,3 +117,96 @@ class TestTraceCommand:
         save_csv(Table(["a", "b"], rows), path)
         assert main(["trace", str(path), "--max-rows", "10"]) == 2
         assert "exceed" in capsys.readouterr().err
+
+
+@pytest.fixture
+def hard_csv(tmp_path):
+    """Adversarial dataset whose exact key search takes far over 50 ms."""
+    d, k = 12, 6
+    uid = itertools.count()
+    rows = []
+    for subset in itertools.combinations(range(d), k):
+        base = next(uid)
+        a = [f"b{base}"] * d
+        b = [f"b{base}"] * d
+        for j in range(d):
+            if j not in subset:
+                a[j] = f"x{next(uid)}"
+                b[j] = f"y{next(uid)}"
+        rows.append(tuple(a))
+        rows.append(tuple(b))
+    path = tmp_path / "hard.csv"
+    save_csv(Table([f"a{i}" for i in range(d)], rows), path)
+    return path
+
+
+class TestExitCodes:
+    def test_missing_file_maps_to_data_error(self, tmp_path, capsys):
+        code = main(["keys", str(tmp_path / "nope.csv")])
+        assert code == EXIT_DATA
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_malformed_csv_reports_row_context(self, tmp_path, capsys):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        assert main(["keys", str(path)]) == EXIT_DATA
+        assert "row 3" in capsys.readouterr().err
+
+    def test_config_error_has_its_own_code(self, employees_csv, capsys):
+        # --max-visits 0 is an invalid (non-positive) budget limit.
+        code = main(["keys", str(employees_csv), "--max-visits", "0"])
+        assert code == EXIT_CONFIG
+        assert "error:" in capsys.readouterr().err
+
+    def test_retry_exhaustion_code(self, employees_csv, capsys):
+        with inject(FaultSpec("csv.open", OSError("EIO"), times=None)):
+            code = main(["keys", str(employees_csv)])
+        assert code == EXIT_RETRY
+        assert "error:" in capsys.readouterr().err
+
+    def test_exit_code_mapping_is_most_specific_first(self):
+        from repro.errors import BudgetExceededError, DataError, ReproError
+
+        assert exit_code_for(DataError("x")) == EXIT_DATA
+        assert exit_code_for(ReproError("x")) == 10
+        assert exit_code_for(BudgetExceededError("x")) == EXIT_BUDGET
+        assert exit_code_for(BudgetExceededError("x", interrupted=True)) == 130
+        assert exit_code_for(KeyboardInterrupt()) == 130
+
+
+class TestBudgetFlags:
+    def test_degrade_mode_returns_zero_with_degraded_report(self, hard_csv, capsys):
+        assert main(["keys", str(hard_csv), "--timeout", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "DEGRADED" in out
+        assert "T(K)>=" in out
+
+    def test_fail_mode_exits_with_budget_code(self, hard_csv, capsys):
+        code = main(
+            ["keys", str(hard_csv), "--timeout", "0.05", "--on-budget", "fail"]
+        )
+        assert code == EXIT_BUDGET
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "deadline" in err
+
+    def test_generous_budget_stays_exact(self, employees_csv, capsys):
+        assert main(["keys", str(employees_csv), "--timeout", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "3 minimal key(s)" in out
+        assert "DEGRADED" not in out
+
+    def test_interrupt_during_run_exits_130(self, employees_csv, capsys):
+        # Without a budget the CLI maps a raw Ctrl-C to the SIGINT code.
+        with inject(FaultSpec("nonkey.visit", KeyboardInterrupt)):
+            code = main(["keys", str(employees_csv)])
+        assert code == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_node_cap_degrades(self, hard_csv, capsys):
+        assert main(["keys", str(hard_csv), "--max-nodes", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "DEGRADED" in out
+        assert "node budget" in out
