@@ -1,0 +1,96 @@
+"""Core perf-regression suite (pytest-benchmark face of the harness).
+
+Same fixed-seed suites as ``scripts/bench_regression.py`` — prefix-tree
+build, NonKeyFinder traversal, and the end-to-end pipeline on the keyplant
+and zipfian datasets — wrapped as benchmarks so ``pytest benchmarks/
+--benchmark-only`` tracks them alongside the paper-figure benchmarks.  Each
+end-to-end case also runs the frozen pre-optimization reference and asserts
+identical keys and non-keys, so a timing row here is always anchored to a
+correctness check.
+"""
+
+import pytest
+
+from repro.core import GordianConfig, find_keys
+from repro.core.gordian import _order_attributes
+from repro.core.nonkey_finder import NonKeyFinder
+from repro.core.prefix_tree import build_prefix_tree
+from repro.core.stats import RunStats
+from repro.datagen import KeyPlantSpec, ZipfianSpec, generate_planted
+from repro.datagen.zipfian import generate_zipfian_table
+from repro.perf.encode import encode_columns
+from repro.perf.merge_cache import MergeCache
+from repro.perf.reference import find_keys_reference
+
+OPTIMIZED = GordianConfig(encode=True, merge_cache=True)
+
+
+@pytest.fixture(scope="module")
+def keyplant_rows():
+    dataset = generate_planted(
+        KeyPlantSpec(
+            num_rows=2000,
+            key_radices=(8, 10, 25),
+            num_noise_attributes=11,
+            noise_cardinality=5,
+            seed=42,
+        )
+    )
+    return [[str(value) for value in row] for row in dataset.table.rows]
+
+
+@pytest.fixture(scope="module")
+def zipfian_rows():
+    table = generate_zipfian_table(
+        ZipfianSpec(
+            num_entities=1500, num_attributes=13, cardinality=9, theta=0.8, seed=3
+        )
+    )
+    return [list(row) for row in table.rows]
+
+
+def test_build_keyplant(benchmark, keyplant_rows):
+    num_attributes = len(keyplant_rows[0])
+    encoded, _ = encode_columns(keyplant_rows, num_attributes)
+    tree = benchmark(lambda: build_prefix_tree(encoded, num_attributes))
+    assert tree.num_entities == len(keyplant_rows)
+
+
+def test_find_nonkeys_keyplant(benchmark, keyplant_rows):
+    num_attributes = len(keyplant_rows[0])
+    encoded, _ = encode_columns(keyplant_rows, num_attributes)
+    order = _order_attributes(
+        keyplant_rows, num_attributes, GordianConfig().attribute_order
+    )
+    encoded = [tuple(row[a] for a in order) for row in encoded]
+
+    def run():
+        stats = RunStats()
+        tree = build_prefix_tree(encoded, num_attributes, stats=stats.tree)
+        cache = MergeCache(stats=stats.search)
+        return NonKeyFinder(tree, stats=stats.search, merge_cache=cache).run()
+
+    nonkeys = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert len(nonkeys) > 0
+
+
+def _end_to_end(benchmark, rows):
+    num_attributes = len(rows[0])
+    reference = find_keys_reference(rows, num_attributes=num_attributes)
+    result = benchmark.pedantic(
+        lambda: find_keys(rows, num_attributes=num_attributes, config=OPTIMIZED),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.keys == reference.keys
+    assert result.nonkeys == reference.nonkeys
+    benchmark.extra_info["num_keys"] = len(result.keys)
+    benchmark.extra_info["cache_hits"] = result.stats.search.merge_cache_hits
+
+
+def test_keyplant_end_to_end(benchmark, keyplant_rows):
+    _end_to_end(benchmark, keyplant_rows)
+
+
+def test_zipfian_end_to_end(benchmark, zipfian_rows):
+    _end_to_end(benchmark, zipfian_rows)

@@ -1,0 +1,296 @@
+#!/usr/bin/env python
+"""Fixed-seed performance regression harness for the GORDIAN core.
+
+Runs the core suite — prefix-tree build, NonKeyFinder traversal, and the
+end-to-end ``find_keys`` pipeline on the keyplant and zipfian generators —
+with pinned seeds, and writes the measurements to ``BENCH_core.json`` at
+the repository root.  Every end-to-end suite also runs the frozen
+pre-optimization implementation (:mod:`repro.perf.reference`) on the same
+rows and verifies the two pipelines discover identical keys and non-keys,
+so the reported speedup is anchored to a correctness check, not just a
+stopwatch.
+
+Modes
+-----
+default
+    Run the suite and (re)write ``BENCH_core.json``.
+``--check``
+    Run the suite and compare against the committed baseline.  The gate
+    fails (exit 1) when any *tracked metric* regresses by more than
+    ``--tolerance`` (default 25%), or when optimized and reference results
+    disagree.  Tracked metrics are the deterministic structural counters
+    (node visits, merges, allocations, cache hits) — wall-clock numbers are
+    recorded for humans but never gate CI, where timer noise would flake.
+``--check-timings``
+    Additionally gate on the end-to-end speedup ratio (local use).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_regression.py            # rebaseline
+    PYTHONPATH=src python scripts/bench_regression.py --check    # CI gate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.gordian import (  # noqa: E402
+    GordianConfig,
+    _order_attributes,
+    find_keys,
+)
+from repro.core.nonkey_finder import NonKeyFinder  # noqa: E402
+from repro.core.prefix_tree import build_prefix_tree  # noqa: E402
+from repro.core.stats import RunStats  # noqa: E402
+from repro.datagen.keyplant import KeyPlantSpec, generate_planted  # noqa: E402
+from repro.datagen.zipfian import ZipfianSpec, generate_zipfian_table  # noqa: E402
+from repro.perf.encode import encode_columns  # noqa: E402
+from repro.perf.merge_cache import MergeCache  # noqa: E402
+from repro.perf.reference import find_keys_reference  # noqa: E402
+
+BASELINE_PATH = REPO_ROOT / "BENCH_core.json"
+SCHEMA = 1
+
+#: Counters gated by ``--check``.  ``higher_is_better`` flips the direction:
+#: doing *more* work (visits, merges, allocations) is a regression, while
+#: fewer cache hits is.
+TRACKED = {
+    "nodes_visited": False,
+    "merges_performed": False,
+    "merge_nodes_input": False,
+    "tree_nodes_created": False,
+    "tree_cells_created": False,
+    "merge_cache_hits": True,
+}
+
+
+def _keyplant_rows():
+    """The headline fixed-seed keyplant dataset: a 3-attribute planted key
+    among noise columns, stringified like CSV input."""
+    spec = KeyPlantSpec(
+        num_rows=2000,
+        key_radices=(8, 10, 25),
+        num_noise_attributes=11,
+        noise_cardinality=5,
+        seed=42,
+    )
+    dataset = generate_planted(spec)
+    return [[str(value) for value in row] for row in dataset.table.rows]
+
+
+def _zipfian_rows():
+    spec = ZipfianSpec(
+        num_entities=1500, num_attributes=13, cardinality=9, theta=0.8, seed=3
+    )
+    return [list(row) for row in generate_zipfian_table(spec).rows]
+
+
+def _search_metrics(stats: RunStats) -> dict:
+    search = stats.search
+    return {
+        "nodes_visited": search.nodes_visited,
+        "merges_performed": search.merges_performed,
+        "merge_nodes_input": search.merge_nodes_input,
+        "tree_nodes_created": stats.tree.nodes_created,
+        "tree_cells_created": stats.tree.cells_created,
+        "merge_cache_hits": search.merge_cache_hits,
+        "merge_cache_misses": search.merge_cache_misses,
+        "nonkeys_discovered": search.nonkeys_discovered,
+        "futility_prunings": search.futility_prunings,
+    }
+
+
+def _bench_build(rows, reps: int) -> dict:
+    num_attributes = len(rows[0])
+    encoded, _ = encode_columns(rows, num_attributes)
+    best = float("inf")
+    stats = None
+    for _ in range(reps):
+        run_stats = RunStats()
+        start = time.perf_counter()
+        tree = build_prefix_tree(encoded, num_attributes, stats=run_stats.tree)
+        best = min(best, time.perf_counter() - start)
+        stats = run_stats
+        del tree
+    return {
+        "metrics": {
+            "tree_nodes_created": stats.tree.nodes_created,
+            "tree_cells_created": stats.tree.cells_created,
+        },
+        "timings": {"build_s": round(best, 4)},
+    }
+
+
+def _bench_find_nonkeys(rows, reps: int) -> dict:
+    num_attributes = len(rows[0])
+    # Mirror the pipeline: encode, then permute columns with the same
+    # attribute-ordering heuristic ``find_keys`` applies before building.
+    encoded, _ = encode_columns(rows, num_attributes)
+    order = _order_attributes(rows, num_attributes, GordianConfig().attribute_order)
+    encoded = [tuple(row[a] for a in order) for row in encoded]
+    best = float("inf")
+    stats = None
+    for _ in range(reps):
+        run_stats = RunStats()
+        tree = build_prefix_tree(encoded, num_attributes, stats=run_stats.tree)
+        cache = MergeCache(stats=run_stats.search)
+        finder = NonKeyFinder(tree, stats=run_stats.search, merge_cache=cache)
+        start = time.perf_counter()
+        finder.run()
+        best = min(best, time.perf_counter() - start)
+        stats = run_stats
+    return {
+        "metrics": _search_metrics(stats),
+        "timings": {"search_s": round(best, 4)},
+    }
+
+
+def _bench_end_to_end(rows, reps: int) -> dict:
+    num_attributes = len(rows[0])
+    config = GordianConfig(encode=True, merge_cache=True)
+    best_ref = best_opt = float("inf")
+    optimized = reference = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        reference = find_keys_reference(rows, num_attributes=num_attributes)
+        mid = time.perf_counter()
+        optimized = find_keys(rows, num_attributes=num_attributes, config=config)
+        best_ref = min(best_ref, mid - start)
+        best_opt = min(best_opt, time.perf_counter() - mid)
+    identical = (
+        optimized.keys == reference.keys
+        and optimized.nonkeys == reference.nonkeys
+    )
+    return {
+        "metrics": _search_metrics(optimized.stats),
+        "timings": {
+            "reference_s": round(best_ref, 4),
+            "optimized_s": round(best_opt, 4),
+            "speedup": round(best_ref / best_opt, 3),
+        },
+        "identical": identical,
+        "num_keys": len(optimized.keys),
+    }
+
+
+def run_suites(reps: int) -> dict:
+    keyplant = _keyplant_rows()
+    zipfian = _zipfian_rows()
+    suites = {
+        "build_keyplant": _bench_build(keyplant, reps),
+        "find_nonkeys_keyplant": _bench_find_nonkeys(keyplant, reps),
+        "keyplant_e2e": _bench_end_to_end(keyplant, reps),
+        "zipfian_e2e": _bench_end_to_end(zipfian, reps),
+    }
+    return {
+        "schema": SCHEMA,
+        "python": platform.python_version(),
+        "suites": suites,
+    }
+
+
+def render(report: dict) -> str:
+    lines = [f"bench_regression (python {report['python']})"]
+    for name, suite in report["suites"].items():
+        timings = "  ".join(
+            f"{key}={value}" for key, value in suite["timings"].items()
+        )
+        lines.append(f"  {name}: {timings}")
+        if "identical" in suite:
+            lines.append(
+                f"    identical keys/non-keys vs reference: {suite['identical']}"
+                f"  (keys={suite['num_keys']})"
+            )
+    return "\n".join(lines)
+
+
+def check(report: dict, baseline: dict, tolerance: float, timings: bool) -> int:
+    failures = []
+    for name, suite in report["suites"].items():
+        base_suite = baseline.get("suites", {}).get(name)
+        if base_suite is None:
+            failures.append(f"{name}: missing from baseline (rebaseline first)")
+            continue
+        if suite.get("identical") is False:
+            failures.append(f"{name}: optimized and reference results DIFFER")
+        for metric, higher_is_better in TRACKED.items():
+            current = suite["metrics"].get(metric)
+            base = base_suite.get("metrics", {}).get(metric)
+            if current is None or base is None:
+                continue
+            if base == 0:
+                continue
+            ratio = current / base
+            if higher_is_better:
+                regressed = ratio < 1.0 - tolerance
+            else:
+                regressed = ratio > 1.0 + tolerance
+            if regressed:
+                failures.append(
+                    f"{name}.{metric}: {base} -> {current} "
+                    f"({100 * (ratio - 1):+.1f}%, tolerance {tolerance:.0%})"
+                )
+        if timings and "speedup" in suite.get("timings", {}):
+            base_speedup = base_suite.get("timings", {}).get("speedup")
+            speedup = suite["timings"]["speedup"]
+            if base_speedup and speedup < base_speedup * (1.0 - tolerance):
+                failures.append(
+                    f"{name}.speedup: {base_speedup} -> {speedup} "
+                    f"(tolerance {tolerance:.0%})"
+                )
+    if failures:
+        print("REGRESSIONS DETECTED:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print(f"check passed: no tracked metric regressed beyond {tolerance:.0%}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the committed baseline instead "
+                             "of rewriting it")
+    parser.add_argument("--check-timings", action="store_true",
+                        help="with --check: also gate on the e2e speedup ratio")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative regression (default 0.25)")
+    parser.add_argument("--reps", type=int, default=2,
+                        help="timing repetitions, best-of (default 2)")
+    parser.add_argument("--output", type=Path, default=BASELINE_PATH,
+                        help="baseline path (default BENCH_core.json)")
+    args = parser.parse_args(argv)
+
+    report = run_suites(max(1, args.reps))
+    print(render(report))
+
+    for name, suite in report["suites"].items():
+        if suite.get("identical") is False:
+            print(f"FATAL: {name} results differ from the reference "
+                  "implementation", file=sys.stderr)
+            return 2
+
+    if args.check:
+        if not args.output.exists():
+            print(f"no baseline at {args.output}; run without --check first",
+                  file=sys.stderr)
+            return 1
+        baseline = json.loads(args.output.read_text())
+        return check(report, baseline, args.tolerance, args.check_timings)
+
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -70,6 +70,18 @@ def build_parser() -> argparse.ArgumentParser:
     keys.add_argument("--null-policy", default="equal",
                       choices=["equal", "distinct", "forbid"])
     keys.add_argument("--max-print", type=int, default=25)
+    perf = keys.add_argument_group("performance layer")
+    perf.add_argument("--encode", dest="encode",
+                      action=argparse.BooleanOptionalAction, default=True,
+                      help="dictionary-encode columns to dense integer codes "
+                           "before tree construction (default: on)")
+    perf.add_argument("--merge-cache", dest="merge_cache",
+                      action=argparse.BooleanOptionalAction, default=True,
+                      help="memoize repeated prefix-tree merges during the "
+                           "traversal (default: on)")
+    perf.add_argument("--profile", action="store_true",
+                      help="print per-phase wall time and work/cache counters "
+                           "after the run")
     budget = keys.add_argument_group("resource budget")
     budget.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                         help="wall-clock deadline for the run")
@@ -141,9 +153,22 @@ def _print_degraded(table, robust: RobustKeyResult, max_print: int) -> None:
               "from the aborted exact run")
 
 
+def _print_profile(stats) -> None:
+    if stats is None:
+        print("(no statistics were collected for this run)")
+        return
+    from repro.perf.profile import render_profile
+
+    print(render_profile(stats))
+
+
 def _cmd_keys(args) -> int:
     table = load_csv_with_retry(args.csv)
-    config = GordianConfig(null_policy=args.null_policy)
+    config = GordianConfig(
+        null_policy=args.null_policy,
+        encode=args.encode,
+        merge_cache=args.merge_cache,
+    )
     if args.sample_fraction is not None or args.sample_size is not None:
         result = find_approximate_keys(
             table.rows,
@@ -184,6 +209,8 @@ def _cmd_keys(args) -> int:
             )
             if robust.degraded:
                 _print_degraded(table, robust, args.max_print)
+                if args.profile:
+                    _print_profile(robust.stats)
                 return 0
             result = robust.exact
     else:
@@ -199,6 +226,8 @@ def _cmd_keys(args) -> int:
     remaining = len(result.keys) - args.max_print
     if remaining > 0:
         print(f"  ... and {remaining} more")
+    if args.profile:
+        _print_profile(result.stats)
     return 0
 
 

@@ -73,13 +73,28 @@ class GordianConfig:
     ``null_policy`` controls how ``None`` values behave (see
     :mod:`repro.dataset.nulls`): ``"equal"`` (default — NULL is one more
     domain value), ``"distinct"`` (SQL UNIQUE semantics), or ``"forbid"``.
+
+    The performance layer is on by default and changes no answer, only the
+    constants: ``encode`` dictionary-encodes every column to dense integer
+    codes before tree construction (decode tables ride along on the
+    result), and ``merge_cache`` memoizes repeated segment merges during
+    the traversal (bounded by ``merge_cache_entries`` and, under a
+    budgeted run, by the memory budget).  Both can be switched off to
+    reproduce the unoptimized baseline.
     """
 
     pruning: PruningConfig = field(default_factory=PruningConfig)
     attribute_order: AttributeOrder = AttributeOrder.CARDINALITY_DESC
     null_policy: str = "equal"
+    encode: bool = True
+    merge_cache: bool = True
+    merge_cache_entries: int = 4096
 
     def __post_init__(self) -> None:
+        if self.merge_cache and self.merge_cache_entries < 1:
+            raise ConfigError(
+                f"merge_cache_entries must be >= 1, got {self.merge_cache_entries}"
+            )
         if not isinstance(self.attribute_order, AttributeOrder):
             try:
                 object.__setattr__(
@@ -116,6 +131,20 @@ class GordianResult:
     attribute_order: List[int]
     stats: RunStats
     attribute_names: Optional[List[str]] = None
+    #: Per-column decode tables when the run dictionary-encoded its input
+    #: (``GordianConfig.encode``); ``dictionaries[a].decode(code)`` maps a
+    #: code back to the original value of column ``a``, so reported keys and
+    #: non-keys can always be related back to the caller's values.
+    dictionaries: Optional[List[object]] = None
+
+    def decode_value(self, attribute: int, code: object) -> object:
+        """Original value behind ``code`` in column ``attribute``.
+
+        The identity when the run did not encode (``dictionaries is None``).
+        """
+        if self.dictionaries is None:
+            return code
+        return self.dictionaries[attribute].decode(code)
 
     @property
     def key_masks(self) -> List[int]:
@@ -159,11 +188,18 @@ def _order_attributes(
     rows: Sequence[Sequence[object]],
     num_attributes: int,
     order: AttributeOrder,
+    cardinalities: Optional[Sequence[int]] = None,
 ) -> List[int]:
-    """Return ``level_to_attr``: the original attribute at each tree level."""
+    """Return ``level_to_attr``: the original attribute at each tree level.
+
+    ``cardinalities`` short-circuits the O(n*d) per-column scan when the
+    caller already knows the distinct counts (the dictionary encoder's
+    decode tables are exactly that).
+    """
     if order is AttributeOrder.SCHEMA or not rows:
         return list(range(num_attributes))
-    cardinalities = [len({row[a] for row in rows}) for a in range(num_attributes)]
+    if cardinalities is None:
+        cardinalities = [len({row[a] for row in rows}) for a in range(num_attributes)]
     reverse = order is AttributeOrder.CARDINALITY_DESC
     # Stable sort keeps schema order among ties, so results are deterministic.
     return sorted(
@@ -261,11 +297,44 @@ def _run_pipeline(
         rows = apply_null_policy(rows, config.null_policy)
 
     stats = RunStats()
-    level_to_attr = _order_attributes(rows, num_attributes, config.attribute_order)
+
+    # Performance layer: dictionary-encode the columns up front.  The codes
+    # are equality-preserving, so keys and non-keys are unchanged; the tree
+    # build then hashes dense ints, and the decode tables hand the ordering
+    # heuristic every column's cardinality for free.
+    dictionaries = None
+    cardinalities = None
+    if config.encode:
+        from repro.perf.encode import encode_columns
+
+        rows, dictionaries = encode_columns(rows, num_attributes)
+        cardinalities = [len(codec) for codec in dictionaries]
+
+    level_to_attr = _order_attributes(
+        rows, num_attributes, config.attribute_order, cardinalities=cardinalities
+    )
     if meter is not None:
-        # The cardinality scan above is O(n*d); settle the clock before the
-        # build so a tiny deadline cannot be overshot unchecked.
+        # The encode/cardinality scan above is O(n*d); settle the clock
+        # before the build so a tiny deadline cannot be overshot unchecked.
         meter.checkpoint(force=True)
+
+    merge_cache = None
+    if config.merge_cache:
+        from repro.perf.merge_cache import MergeCache
+
+        cache_bytes = None
+        if meter is not None and meter.budget.max_bytes is not None:
+            # Never let cache bookkeeping claim more than a quarter of the
+            # memory budget; the meter additionally drains the cache under
+            # pressure before tripping (see BudgetMeter.checkpoint).
+            cache_bytes = max(1, meter.budget.max_bytes // 4)
+        merge_cache = MergeCache(
+            max_entries=config.merge_cache_entries,
+            max_bytes=cache_bytes,
+            stats=stats.search,
+        )
+        if meter is not None:
+            meter.attach_memo_cache(merge_cache)
 
     names = list(attribute_names) if attribute_names else None
     build_start = time.perf_counter()
@@ -290,6 +359,7 @@ def _run_pipeline(
             attribute_order=level_to_attr,
             stats=stats,
             attribute_names=names,
+            dictionaries=dictionaries,
         )
     except BudgetExceededError as exc:
         stats.build_seconds = time.perf_counter() - build_start
@@ -304,7 +374,11 @@ def _run_pipeline(
 
     search_start = time.perf_counter()
     finder = NonKeyFinder(
-        tree, pruning=config.pruning, stats=stats.search, budget=meter
+        tree,
+        pruning=config.pruning,
+        stats=stats.search,
+        budget=meter,
+        merge_cache=merge_cache,
     )
     try:
         nonkey_set = finder.run()
@@ -349,6 +423,7 @@ def _run_pipeline(
         attribute_order=level_to_attr,
         stats=stats,
         attribute_names=names,
+        dictionaries=dictionaries,
     )
 
 

@@ -10,6 +10,19 @@ properties matter for efficiency and both come straight from the paper:
 * **Subtrees are shared, never copied.**  A non-degenerate merge allocates
   one new node whose cells either point at freshly merged children or at
   already-existing (shared) subtrees.
+
+Two performance-layer additions on top of the paper:
+
+* The merge runs on an **explicit work stack** instead of Python recursion,
+  so a tree hundreds of levels deep merges without touching the recursion
+  limit (and without per-level call overhead).  Work items are processed in
+  the exact depth-first order of the former recursion, so statistics and
+  fault-injection checkpoints fire in the same sequence.
+* An optional :class:`~repro.perf.merge_cache.MergeCache` memoizes
+  non-degenerate merges by the identity tuple of their inputs: the
+  traversal re-merges identical node groups across slices, and a cache hit
+  returns the shared, already-built (and typically already-traversed)
+  subtree instead of rebuilding it.
 """
 
 from __future__ import annotations
@@ -27,6 +40,7 @@ def merge_nodes(
     tree: PrefixTree,
     to_merge: Sequence[Node],
     stats: Optional[SearchStats] = None,
+    cache: Optional[object] = None,
 ) -> Node:
     """Merge a set of same-level nodes into one node (Algorithm 3).
 
@@ -42,52 +56,171 @@ def merge_nodes(
         Non-empty sequence of nodes at the same level.
     stats:
         Optional search statistics; merge counters are bumped when given.
+    cache:
+        Optional :class:`~repro.perf.merge_cache.MergeCache` (already bound
+        to ``tree``); non-degenerate merges are memoized by input identity.
     """
     if not to_merge:
         raise ValueError("merge_nodes requires at least one node")
-    faults.check("merge.node")
-    if stats is not None:
-        stats.merges_performed += 1
-        stats.merge_nodes_input += len(to_merge)
+    # The injector is hoisted out of the loop: it cannot change mid-call
+    # (``faults.inject`` wraps whole runs), and the ``check`` call per
+    # degenerate sub-merge was measurable on its own.
+    injector = faults._active
+    if injector is not None:
+        injector.hit("merge.node")
     if len(to_merge) == 1:
-        # Degenerate merge: return the (shared) node itself.
+        # Degenerate merge: the (shared) node itself is the result.
+        if stats is not None:
+            stats.merges_performed += 1
+            stats.merge_nodes_input += 1
         return to_merge[0]
 
-    level = to_merge[0].level
-    merged = tree.new_node(level)
-    is_leaf = to_merge[0].is_leaf
+    # Hot-loop locals: most merges on sparse data degenerate into shared
+    # subtrees, so the loop below inlines degenerate sub-merges at group
+    # creation time and only pushes genuinely multi-input work items.
+    tree_stats = tree.stats
+    acquire = tree.acquire
+    new_node = tree.new_node
+    # Without an armed budget there is no per-allocation cap to honor, so
+    # nodes are allocated directly and accounted in one batched stats call
+    # at the end; a budgeted run keeps the per-node ``new_node`` path.
+    direct_alloc = tree.budget is None
+    probe = cache.probe if cache is not None else None
+    last_level = tree.num_attributes - 1
+    merges = 0
+    inputs_total = 0
+    nodes_created = 0
 
-    if is_leaf:
-        for node in to_merge:
-            for value, cell in node.cells.items():
-                existing = merged.cells.get(value)
-                if existing is None:
-                    merged.cells[value] = Cell(value, cell.count)
-                    tree.stats.on_cells_created()
-                else:
-                    existing.count += cell.count
-    else:
-        # Group the children of cells sharing a value, then merge each group
-        # recursively.  Iterating nodes in order keeps the result
-        # deterministic (dict preserves insertion order).
-        groups: dict = {}
-        for node in to_merge:
-            for value, cell in node.cells.items():
-                groups.setdefault(value, []).append(cell)
-        for value, cells in groups.items():
-            partial: List[Node] = [cell.child for cell in cells]
-            child = merge_nodes(tree, partial, stats=stats)
-            new_cell = Cell(value, sum(cell.count for cell in cells))
-            new_cell.child = tree.acquire(child)
-            merged.cells[value] = new_cell
-            tree.stats.on_cells_created()
-    return merged
+    # ``result`` receives the root of the merge; every deeper work item
+    # attaches its output to a parent cell instead.  Work items are
+    # ``(inputs, target)``; a cache-store item ``(None, key, node)`` is
+    # pushed *under* a merge's sub-work so the entry is recorded only once
+    # the whole subtree is built.
+    result: List[Optional[Node]] = [None]
+    stack: List[tuple] = [(tuple(to_merge), None)]
+    try:
+        while stack:
+            task = stack.pop()
+            if len(task) == 3:
+                cache.store(task[1], task[2])
+                continue
+            inputs, target = task
+            if target is not None and injector is not None:
+                injector.hit("merge.node")
+            merges += 1
+            inputs_total += len(inputs)
+
+            if probe is not None:
+                key = tuple(map(id, inputs))
+                node, store_wanted = probe(key)
+                if node is not None:
+                    if target is None:
+                        result[0] = node
+                    else:
+                        target.child = acquire(node)
+                    continue
+            else:
+                store_wanted = False
+
+            first = inputs[0]
+            if direct_alloc:
+                merged = Node(first.level)
+                nodes_created += 1
+            else:
+                merged = new_node(first.level)
+            entity_total = first.entity_count
+            first_cells = first.cells
+            if first.level == last_level:
+                # Leaf merge.  The first input seeds the result wholesale (a
+                # dict comprehension runs well ahead of a get-or-create
+                # loop); later inputs accumulate into it.
+                merged_cells = {
+                    value: Cell(value, cell.count)
+                    for value, cell in first_cells.items()
+                }
+                mget = merged_cells.get
+                for node in inputs[1:]:
+                    entity_total += node.entity_count
+                    for value, cell in node.cells.items():
+                        existing = mget(value)
+                        if existing is None:
+                            merged_cells[value] = Cell(value, cell.count)
+                        else:
+                            existing.count += cell.count
+                merged.cells = merged_cells
+                merged.entity_count = entity_total
+                cells_created = len(merged_cells)
+                subtasks = None
+            else:
+                # Group the children of cells sharing a value, then merge
+                # each group one level deeper.  Iterating nodes in order
+                # keeps the result deterministic (dict preserves insertion
+                # order).  Single-cell groups are the degenerate sub-merges
+                # — resolve them here, sharing the subtree, instead of
+                # paying a work-item round trip each.
+                groups = {
+                    value: [cell] for value, cell in first_cells.items()
+                }
+                gget = groups.get
+                for node in inputs[1:]:
+                    entity_total += node.entity_count
+                    for value, cell in node.cells.items():
+                        group = gget(value)
+                        if group is None:
+                            groups[value] = [cell]
+                        else:
+                            group.append(cell)
+                merged_cells = merged.cells
+                merged.entity_count = entity_total
+                subtasks = None
+                for value, cells in groups.items():
+                    if len(cells) == 1:
+                        cell = cells[0]
+                        if injector is not None:
+                            injector.hit("merge.node")
+                        merges += 1
+                        inputs_total += 1
+                        new_cell = Cell(value, cell.count)
+                        new_cell.child = acquire(cell.child)
+                    else:
+                        count = 0
+                        for cell in cells:
+                            count += cell.count
+                        new_cell = Cell(value, count)
+                        if subtasks is None:
+                            subtasks = []
+                        subtasks.append(
+                            (tuple(cell.child for cell in cells), new_cell)
+                        )
+                    merged_cells[value] = new_cell
+                cells_created = len(merged_cells)
+            tree_stats.on_cells_created(cells_created)
+
+            if target is None:
+                result[0] = merged
+            else:
+                target.child = acquire(merged)
+            if store_wanted:
+                stack.append((None, key, merged))
+            if subtasks:
+                # Reverse push so sub-merges pop in group order — the same
+                # depth-first sequence the recursive formulation produced.
+                subtasks.reverse()
+                stack.extend(subtasks)
+    finally:
+        if nodes_created:
+            tree_stats.on_nodes_created(nodes_created)
+        if stats is not None:
+            stats.merges_performed += merges
+            stats.merge_nodes_input += inputs_total
+    return result[0]
 
 
 def merge_children(
     tree: PrefixTree,
     node: Node,
     stats: Optional[SearchStats] = None,
+    cache: Optional[object] = None,
 ) -> Node:
     """Merge all children of ``node``'s cells — i.e. project out ``node``'s level.
 
@@ -97,4 +230,4 @@ def merge_children(
     children = [cell.child for cell in node.cells.values()]
     if any(child is None for child in children):
         raise ValueError("cannot merge the children of a leaf node")
-    return merge_nodes(tree, children, stats=stats)
+    return merge_nodes(tree, children, stats=stats, cache=cache)

@@ -17,12 +17,26 @@ projection redundant:
 
 Each rule can be disabled independently through :class:`PruningConfig` to
 reproduce the paper's Figure 13 (pruning effect).
+
+Although the algorithm is *specified* recursively, this implementation runs
+both recursions on explicit stacks (here and in
+:func:`repro.core.merge.merge_nodes`): a dataset with hundreds of attributes
+produces trees deeper than Python's default recursion limit, and frame
+objects are far cheaper than interpreter calls on the hot path.  The
+traversal order, statistics, and fault-injection checkpoints are identical
+to the recursive formulation.
+
+An optional merge cache (:class:`~repro.perf.merge_cache.MergeCache`)
+memoizes the segment merges.  A cache hit can return an already-traversed
+subtree; the existing shared-subtree rule then applies verbatim — the
+repeat traversal is skipped exactly as for a degenerate merge, which is the
+memoization payoff.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional
 
 from repro.core import bitset
 from repro.core.merge import merge_children
@@ -58,6 +72,20 @@ class PruningConfig:
         return cls()
 
 
+class _Hold:
+    """Cell-shaped holder that injects one node into the children loop.
+
+    The traversal enters the tree root and every merge root through the
+    same inlined child-entry code path; a ``_Hold`` plays the part of the
+    parent cell those nodes do not have.
+    """
+
+    __slots__ = ("child",)
+
+    def __init__(self, child: Node):
+        self.child = child
+
+
 class NonKeyFinder:
     """Runs Algorithm 4 over a prefix tree, filling a :class:`NonKeySet`."""
 
@@ -67,6 +95,7 @@ class NonKeyFinder:
         pruning: Optional[PruningConfig] = None,
         stats: Optional[SearchStats] = None,
         budget: Optional[object] = None,
+        merge_cache: Optional[object] = None,
     ):
         self.tree = tree
         self.pruning = pruning if pruning is not None else PruningConfig()
@@ -78,6 +107,11 @@ class NonKeyFinder:
         # budget trip: ``self.nonkeys`` holds everything discovered so far,
         # which the robust driver salvages for the sampling fallback.
         self._budget = budget
+        self._merge_cache = merge_cache
+        if merge_cache is not None:
+            merge_cache.bind(tree)
+            if merge_cache.stats is None:
+                merge_cache.stats = self.stats
 
     # ------------------------------------------------------------------
 
@@ -102,73 +136,176 @@ class NonKeyFinder:
             self.stats.nonkeys_inserted += 1
 
     def _visit(self, root: Node, attr_no: int) -> None:
-        """Algorithm 4 body.  ``attr_no`` is the tree level of ``root``."""
-        if self._budget is not None:
-            self._budget.on_visit()
-        faults.check("nonkey.visit")
-        root.visited = True
-        self.stats.nodes_visited += 1
-        cur_with_attr = self._cur_nonkey | bitset.singleton(attr_no)
-        self._cur_nonkey = cur_with_attr
+        """Algorithm 4 body on an explicit stack.  ``attr_no`` is the tree
+        level of ``root``.
 
-        if root.is_leaf:
-            self.stats.leaf_nodes_visited += 1
-            # Lines 3-8: any duplicate on the full current segment?
-            for cell in root.cells.values():
-                if cell.count != 1:
-                    self._add_nonkey(cur_with_attr)
-                    break
-            # Lines 9-12: project out the leaf attribute.
-            self._cur_nonkey = cur_with_attr & ~bitset.singleton(attr_no)
-            only_cell_count = (
-                next(iter(root.cells.values())).count if len(root.cells) == 1 else 0
-            )
-            if len(root.cells) > 1 or only_cell_count > 1:
-                # More than one cell (or a multiplicity > 1) collapses to a
-                # duplicate once the leaf attribute is removed.
-                self._add_nonkey(self._cur_nonkey)
-            return
+        The loop keeps the *current* interior frame in plain locals —
+        ``(fnode, fattr, fiter, fcur_with, fmerged)`` — and only touches the
+        stack when descending into another interior node, so leaf children
+        (the overwhelming majority of entries) cost no stack traffic at
+        all.  Node entry (lines 1-16: visit accounting, leaves,
+        single-entity pruning) is inlined in the children loop; the tree
+        root and every merge root enter through the same code path via a
+        one-shot :class:`_Hold` virtual frame (``fnode is None``).
+        ``fmerged`` on a suspended frame is the reference-acquired merge
+        root whose subtree is being traversed, released when control pops
+        back.  Hot attributes are hoisted into locals; this loop was
+        measurably slower than the recursive formulation it replaced until
+        it stopped paying per-node frame-object and method-call overhead.
+        """
+        stack: List[tuple] = []
+        stats = self.stats
+        tree = self.tree
+        acquire = tree.acquire
+        discard = tree.discard
+        budget = self._budget
+        # Hoisted like in merge_nodes: the injector cannot change mid-run.
+        injector = faults._active
+        prune_singleton = self.pruning.singleton
+        prune_single_entity = self.pruning.single_entity
+        prune_futility = self.pruning.futility
+        merge_cache = self._merge_cache
+        add_nonkey = self._add_nonkey
+        is_covered = self.nonkeys.is_covered
+        num_attributes = self._num_attributes
+        last_level = num_attributes - 1
+        # suffix[l] = mask of attributes at levels >= l (futility reach).
+        suffix = [
+            bitset.suffix_mask(level, num_attributes)
+            for level in range(num_attributes + 1)
+        ]
+        cur = self._cur_nonkey
+        # Per-visit counters batched into locals and flushed in ``finally``
+        # — correct totals survive a budget trip or injected fault, without
+        # paying instance-attribute traffic on every node.
+        n_visited = n_leaves = n_shared = n_single = n_one_cell = n_futile = 0
 
-        # Line 14: single-entity pruning.
-        if self.pruning.single_entity and root.entity_count == 1:
-            self._cur_nonkey = cur_with_attr & ~bitset.singleton(attr_no)
-            self.stats.single_entity_prunings += 1
-            return
-
-        # Lines 17-21: traverse children, skipping shared subtrees.
-        for cell in root.cells.values():
-            child = cell.child
-            if self.pruning.singleton and child.visited:
-                self.stats.singleton_prunings_shared += 1
-                continue
-            self._visit(child, attr_no + 1)
-
-        # Line 22: remove attr_no from the candidate.
-        self._cur_nonkey = cur_with_attr & ~bitset.singleton(attr_no)
-
-        # Lines 23-30: merge the children (project out attr_no) and recurse.
-        if self.pruning.singleton and len(root.cells) == 1:
-            # One-cell singleton pruning (Figure 10(b)): the merge would
-            # return a shared subtree and yield only redundant non-keys.
-            self.stats.singleton_prunings_one_cell += 1
-            return
-        if self.pruning.futility and self._is_futile(attr_no):
-            self.stats.futility_prunings += 1
-            return
-        merged = merge_children(self.tree, root, stats=self.stats)
-        if merged.visited:
-            # A degenerate merge (single child) returns a shared, already
-            # traversed subtree; traversing it again is redundant.
-            if self.pruning.singleton:
-                self.stats.singleton_prunings_shared += 1
-                return
-        self.tree.acquire(merged)
+        # Virtual frame whose only "cell" is the root; children of the
+        # current frame live at level ``fattr + 1`` and carry bit ``fbit``.
+        fnode: Optional[Node] = None
+        fattr = attr_no - 1
+        fbit = 1 << attr_no
+        fiter = iter((_Hold(root),))
+        fcur_with = cur
+        fmerged: Optional[Node] = None
         try:
-            self._visit(merged, attr_no + 1)
+            while True:
+                # Lines 17-21: traverse children, skipping shared subtrees.
+                descended = False
+                for cell in fiter:
+                    child = cell.child
+                    if prune_singleton and child.visited:
+                        n_shared += 1
+                        continue
+                    # ---- node entry (lines 1-16) ----
+                    if budget is not None:
+                        budget.on_visit()
+                    if injector is not None:
+                        injector.hit("nonkey.visit")
+                    child.visited = True
+                    n_visited += 1
+                    if child.level == last_level:
+                        # Leaf (leaves live only on the deepest level, in
+                        # merged trees too).  Lines 3-8: a duplicate on the
+                        # full current segment exists iff some cell counts
+                        # more than one entity, i.e. the entity total
+                        # exceeds the cell count.  Lines 9-12: projecting
+                        # out the leaf attribute collapses to a duplicate
+                        # iff more than one entity remains.
+                        n_leaves += 1
+                        entities = child.entity_count
+                        if entities > len(child.cells):
+                            add_nonkey(cur | fbit)
+                        if entities > 1:
+                            add_nonkey(cur)
+                        continue
+                    if prune_single_entity and child.entity_count == 1:
+                        # Line 14: single-entity pruning.
+                        n_single += 1
+                        continue
+                    # Interior child: suspend this frame, make it current.
+                    cur |= fbit
+                    stack.append((fnode, fattr, fbit, fiter, fcur_with, fmerged))
+                    fnode = child
+                    fattr += 1
+                    fbit <<= 1
+                    fiter = iter(child.cells.values())
+                    fcur_with = cur
+                    fmerged = None
+                    descended = True
+                    break
+                if descended:
+                    continue
+
+                # Children exhausted.  Virtual frames (root/merge holders)
+                # have no merge step of their own — fall through to the pop.
+                if fnode is not None:
+                    # Line 22: remove attr_no from the candidate.
+                    cur = fcur_with ^ (fbit >> 1)
+
+                    # Lines 23-30: merge the children (project out attr_no)
+                    # and traverse the merged tree.
+                    if prune_singleton and len(fnode.cells) == 1:
+                        # One-cell singleton pruning (Figure 10(b)): the
+                        # merge would return a shared subtree and yield only
+                        # redundant non-keys.
+                        n_one_cell += 1
+                    elif prune_futility and is_covered(cur | suffix[fattr + 1]):
+                        n_futile += 1
+                    else:
+                        merged = merge_children(
+                            tree, fnode, stats=stats, cache=merge_cache
+                        )
+                        if merged.visited and prune_singleton:
+                            # A degenerate merge (single child) — or a
+                            # memoized one — returns a shared, already
+                            # traversed subtree; traversing it again is
+                            # redundant.
+                            n_shared += 1
+                        else:
+                            # Suspend this frame holding the acquired merge
+                            # root, and enter it through a virtual frame
+                            # (same child-entry code as everything else).
+                            acquire(merged)
+                            stack.append(
+                                (fnode, fattr, fbit, fiter, fcur_with, merged)
+                            )
+                            fnode = None
+                            # fattr/fbit unchanged: merged lives at fattr+1.
+                            fiter = iter((_Hold(merged),))
+                            fcur_with = cur
+                            fmerged = None
+                            continue
+
+                # Frame complete — pop, releasing finished merge roots
+                # (line 29; shared nodes survive via refcounting).
+                while True:
+                    if not stack:
+                        return
+                    fnode, fattr, fbit, fiter, fcur_with, fmerged = stack.pop()
+                    if fmerged is not None:
+                        discard(fmerged)
+                        fmerged = None
+                        continue  # that frame ended with its merge — cascade
+                    break
+        except BaseException:
+            # Mirror the recursive version's try/finally: release every
+            # suspended merge root (deepest first) before propagating, so a
+            # budget trip or interrupt leaves reference counts balanced.
+            if fmerged is not None:
+                discard(fmerged)
+            for frame in reversed(stack):
+                if frame[5] is not None:
+                    discard(frame[5])
+            raise
         finally:
-            # Line 29: discard the merged tree (shared nodes survive thanks
-            # to reference counting).
-            self.tree.discard(merged)
+            self._cur_nonkey = cur
+            stats.nodes_visited += n_visited
+            stats.leaf_nodes_visited += n_leaves
+            stats.singleton_prunings_shared += n_shared
+            stats.single_entity_prunings += n_single
+            stats.singleton_prunings_one_cell += n_one_cell
+            stats.futility_prunings += n_futile
 
     def _is_futile(self, attr_no: int) -> bool:
         """Futility test (line 24).
@@ -189,7 +326,10 @@ def find_nonkeys(
     pruning: Optional[PruningConfig] = None,
     stats: Optional[SearchStats] = None,
     budget: Optional[object] = None,
+    merge_cache: Optional[object] = None,
 ) -> NonKeySet:
     """Convenience wrapper: run NonKeyFinder over ``tree``."""
-    finder = NonKeyFinder(tree, pruning=pruning, stats=stats, budget=budget)
+    finder = NonKeyFinder(
+        tree, pruning=pruning, stats=stats, budget=budget, merge_cache=merge_cache
+    )
     return finder.run()

@@ -9,6 +9,7 @@ and otherwise evicts every stored non-key the newcomer covers.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Iterator, List, Optional, Sequence
 
 from repro.core import bitset
@@ -28,7 +29,27 @@ class NonKeySet:
         if num_attributes < 1:
             raise ValueError("num_attributes must be >= 1")
         self.num_attributes = num_attributes
+        self._full_mask = bitset.full_mask(num_attributes)
+        # Complement of each stored non-key, kept in lockstep with
+        # ``_nonkeys``: ``mask & complement == 0`` means "covered", and
+        # precomputing the complements keeps the covering scans below to one
+        # AND per stored mask.  The futility query runs once per interior
+        # node of the traversal, so this loop is among the hottest in the
+        # whole pipeline.  Both lists stay sorted by ascending complement
+        # popcount (``_comp_sizes``) — i.e. largest non-keys first — because
+        # the largest non-keys cover the most queries, so covered queries
+        # exit after probing only a short prefix of the antichain.
         self._nonkeys: List[int] = []
+        self._complements: List[int] = []
+        self._comp_sizes: List[int] = []
+        # Verdict memo for :meth:`is_covered`.  The futility query stream
+        # is massively repetitive (the same ``candidate | suffix`` masks
+        # recur across sibling subtrees), and coverage only ever *grows* —
+        # an insert adds coverage and evicts only subsets of the newcomer —
+        # so positive verdicts hold forever, while negative verdicts hold
+        # until the next accepted insert.
+        self._covered_memo: set = set()
+        self._uncovered_memo: set = set()
         self.insert_attempts = 0
         self.insert_accepted = 0
         if initial:
@@ -54,20 +75,37 @@ class NonKeySet:
         Returns ``True`` when the non-key was stored, ``False`` when an
         already-stored non-key covers it.
         """
-        if nonkey < 0 or nonkey > bitset.full_mask(self.num_attributes):
+        if nonkey < 0 or nonkey > self._full_mask:
             raise ValueError(
                 f"non-key {nonkey:#x} is outside the {self.num_attributes}-attribute schema"
             )
         self.insert_attempts += 1
         # First pass: is the newcomer covered by (redundant to) a stored one?
-        for stored in self._nonkeys:
-            if bitset.covers(stored, nonkey):
+        # Only strictly larger non-keys can cover it, and those occupy a
+        # prefix of the size-sorted lists.
+        inverse = self._full_mask & ~nonkey
+        size = inverse.bit_count()
+        cut = bisect_right(self._comp_sizes, size)
+        for complement in self._complements[:cut]:
+            if nonkey & complement == 0:
                 return False
-        # Second pass: evict stored non-keys the newcomer covers, then add.
-        self._nonkeys = [
-            stored for stored in self._nonkeys if not bitset.covers(nonkey, stored)
+        # Second pass: evict stored non-keys the newcomer covers (all of
+        # them strictly smaller, hence past ``cut``), then insert at the
+        # sorted position.
+        evict = [
+            index
+            for index in range(cut, len(self._nonkeys))
+            if not self._nonkeys[index] & inverse
         ]
-        self._nonkeys.append(nonkey)
+        for index in reversed(evict):
+            del self._nonkeys[index]
+            del self._complements[index]
+            del self._comp_sizes[index]
+        self._nonkeys.insert(cut, nonkey)
+        self._complements.insert(cut, inverse)
+        self._comp_sizes.insert(cut, size)
+        if self._uncovered_memo:
+            self._uncovered_memo = set()
         self.insert_accepted += 1
         return True
 
@@ -78,8 +116,24 @@ class NonKeySet:
         level ``l`` with current candidate ``c`` can only discover non-keys
         that are subsets of ``c | suffix_mask(l)``; if that union is covered
         here, the whole merge-and-traverse is futile.
+
+        A covering non-key must be at least as large as ``mask``, so only
+        the size-sorted prefix up to the query's own size needs scanning —
+        and repeat queries are answered from the verdict memo without
+        scanning at all.
         """
-        return any(bitset.covers(stored, mask) for stored in self._nonkeys)
+        if mask in self._covered_memo:
+            return True
+        if mask in self._uncovered_memo:
+            return False
+        size = (self._full_mask & ~mask).bit_count()
+        cut = bisect_right(self._comp_sizes, size)
+        for complement in self._complements[:cut]:
+            if mask & complement == 0:
+                self._covered_memo.add(mask)
+                return True
+        self._uncovered_memo.add(mask)
+        return False
 
     def is_non_redundant(self) -> bool:
         """Invariant check used by tests: the container is an antichain."""

@@ -55,15 +55,23 @@ class Node:
     NonKeyFinder — a cell pointing at a visited node is a *shared prefix
     tree* in the sense of Algorithm 4 line 18, and singleton pruning skips
     it.
+
+    ``entity_count`` is maintained incrementally (on insert and on merge)
+    instead of summing the cells on every read: the single-entity pruning
+    rule consults it once per visited interior node, which made the O(cells)
+    recomputation a measurable hot spot.  The invariant — ``entity_count ==
+    sum(cell.count for cell in cells.values())`` — is checked by
+    :meth:`recount_entities` in tests.
     """
 
-    __slots__ = ("cells", "level", "refcount", "visited")
+    __slots__ = ("cells", "level", "refcount", "visited", "entity_count")
 
     def __init__(self, level: int):
         self.cells: Dict[object, Cell] = {}
         self.level = level
         self.refcount = 0
         self.visited = False
+        self.entity_count = 0
 
     @property
     def is_leaf(self) -> bool:
@@ -72,9 +80,9 @@ class Node:
             return cell.child is None
         return True
 
-    @property
-    def entity_count(self) -> int:
-        """Number of entities (with multiplicity) represented below this node."""
+    def recount_entities(self) -> int:
+        """Recompute the entity count from the cells (test oracle for the
+        incrementally maintained ``entity_count``)."""
         return sum(cell.count for cell in self.cells.values())
 
     def __len__(self) -> int:
@@ -127,6 +135,10 @@ class PrefixTree:
         self.root = self._new_node(0)
         self.root.refcount = 1
         self.num_entities = 0
+        # Free listeners fire whenever reference counting frees a node; the
+        # merge-memoization cache uses this to invalidate id-keyed entries
+        # the instant a member node dies (before its id can be recycled).
+        self._free_listeners: List = []
 
     # ------------------------------------------------------------------
     # construction
@@ -170,6 +182,7 @@ class PrefixTree:
                 if attr_no < last:
                     cell.child = self._new_node(attr_no + 1)
                     cell.child.refcount = 1
+            node.entity_count += 1
             if attr_no == last:
                 cell.count += 1
                 self.num_entities += 1
@@ -190,6 +203,18 @@ class PrefixTree:
         node.refcount += 1
         return node
 
+    def add_free_listener(self, listener, watched=None) -> None:
+        """Register ``listener(node)`` to fire when a node's refcount hits 0.
+
+        ``watched``, when given, is a live container queried by node id:
+        the listener only fires for nodes whose ``id`` is in it at free
+        time.  Freeing is hot (every merged subtree ends here) and a
+        C-level membership probe is far cheaper than an always-taken Python
+        call, so listeners that care about few nodes (the merge cache
+        watches only memoized subtrees) should pass their index.
+        """
+        self._free_listeners.append((listener, watched))
+
     def discard(self, node: Node) -> None:
         """Drop a reference on ``node``; free the subtree when it hits zero.
 
@@ -198,6 +223,7 @@ class PrefixTree:
         "caution is required when discarding a merged prefix tree to ensure
         that any shared nodes are retained" (section 3.3).
         """
+        listeners = self._free_listeners
         stack = [node]
         while stack:
             current = stack.pop()
@@ -211,54 +237,69 @@ class PrefixTree:
                     stack.append(cell.child)
             self.stats.on_node_discarded(len(current.cells))
             current.cells = {}
+            if listeners:
+                for listener, watched in listeners:
+                    if watched is None or id(current) in watched:
+                        listener(current)
 
     # ------------------------------------------------------------------
     # introspection helpers (used by tests and the cube reference)
 
     def iter_entities(self) -> Iterator[Tuple[Tuple[object, ...], int]]:
-        """Yield ``(entity, multiplicity)`` for every root-to-leaf path."""
+        """Yield ``(entity, multiplicity)`` for every root-to-leaf path.
+
+        Runs on an explicit stack (one iterator per level), so trees as deep
+        as the attribute count never touch the Python recursion limit.
+        """
         path: List[object] = []
-
-        def walk(node: Node) -> Iterator[Tuple[Tuple[object, ...], int]]:
-            for value, cell in node.cells.items():
-                path.append(value)
+        stack = [iter(self.root.cells.items())]
+        while stack:
+            descended = False
+            for value, cell in stack[-1]:
                 if cell.child is None:
+                    path.append(value)
                     yield tuple(path), cell.count
+                    path.pop()
                 else:
-                    yield from walk(cell.child)
-                path.pop()
-
-        yield from walk(self.root)
+                    path.append(value)
+                    stack.append(iter(cell.child.cells.items()))
+                    descended = True
+                    break
+            if not descended:
+                stack.pop()
+                if path:
+                    path.pop()
 
     def node_count(self) -> int:
         """Number of distinct reachable nodes (shared nodes counted once)."""
-        seen = set()
-
-        def walk(node: Node) -> None:
-            if id(node) in seen:
-                return
-            seen.add(id(node))
-            for cell in node.cells.values():
-                if cell.child is not None:
-                    walk(cell.child)
-
-        walk(self.root)
-        return len(seen)
+        count = 0
+        for _node in self.depth_first_nodes():
+            count += 1
+        return count
 
     def depth_first_nodes(self) -> Iterator[Node]:
-        """Yield reachable nodes in depth-first order (shared nodes once)."""
-        seen = set()
+        """Yield reachable nodes in depth-first preorder (shared nodes once).
 
-        def walk(node: Node) -> Iterator[Node]:
+        Iterative: an explicit stack replaces recursion so arbitrarily deep
+        trees (hundreds of attributes) traverse in O(1) Python stack.
+        """
+        seen = set()
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
             if id(node) in seen:
-                return
+                continue
             seen.add(id(node))
             yield node
-            for cell in node.cells.values():
-                if cell.child is not None:
-                    yield from walk(cell.child)
-
-        yield from walk(self.root)
+            # Push children in reverse cell order so they pop in cell order,
+            # preserving the recursive version's preorder.
+            children = [
+                cell.child
+                for cell in node.cells.values()
+                if cell.child is not None
+            ]
+            for child in reversed(children):
+                stack.append(child)
 
 
 def build_prefix_tree(

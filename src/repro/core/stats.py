@@ -38,6 +38,14 @@ class TreeStats:
         if cell_count:
             self.on_cells_created(cell_count)
 
+    def on_nodes_created(self, count: int) -> None:
+        """Batched :meth:`on_node_created` (no cells) — the merge operator
+        accounts a whole merge's allocations at once instead of per node."""
+        self.nodes_created += count
+        self.live_nodes += count
+        if self.live_nodes > self.peak_live_nodes:
+            self.peak_live_nodes = self.live_nodes
+
     def on_cells_created(self, count: int = 1) -> None:
         self.cells_created += count
         self.live_cells += count
@@ -80,6 +88,10 @@ class SearchStats:
     singleton_prunings_one_cell: int = 0
     single_entity_prunings: int = 0
     futility_prunings: int = 0
+    # Merge-memoization counters (zero when no MergeCache is attached).
+    merge_cache_hits: int = 0
+    merge_cache_misses: int = 0
+    merge_cache_evictions: int = 0
 
     @property
     def total_prunings(self) -> int:
@@ -102,6 +114,9 @@ class SearchStats:
             "singleton_prunings_one_cell": self.singleton_prunings_one_cell,
             "single_entity_prunings": self.single_entity_prunings,
             "futility_prunings": self.futility_prunings,
+            "merge_cache_hits": self.merge_cache_hits,
+            "merge_cache_misses": self.merge_cache_misses,
+            "merge_cache_evictions": self.merge_cache_evictions,
         }
         data["total_prunings"] = self.total_prunings
         return data

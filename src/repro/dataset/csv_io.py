@@ -49,6 +49,21 @@ def infer_value(text: str) -> object:
         return text
 
 
+def _encoded(table: Table) -> Table:
+    """Dictionary-encode a freshly loaded table in place of its raw rows.
+
+    The decode tables are attached as ``table.dictionaries`` so callers can
+    map codes back to the file's original values; downstream GORDIAN runs
+    on such a table should use ``GordianConfig(encode=False)`` (re-encoding
+    dense codes is harmless but pointless).
+    """
+    from repro.dataset.encoding import encode_table
+
+    encoded, dictionaries = encode_table(table)
+    encoded.dictionaries = dictionaries
+    return encoded
+
+
 def _read(
     reader, name: str, header: bool, schema: Optional[Sequence[str]], infer: bool
 ) -> Table:
@@ -104,12 +119,16 @@ def load_csv(
     infer: bool = True,
     delimiter: str = ",",
     encoding: str = "utf-8-sig",
+    encode: bool = False,
 ) -> Table:
     """Load a CSV file into a table.
 
     The default ``utf-8-sig`` encoding transparently strips a UTF-8 BOM.
     Open failures raise :class:`DataError` (chaining the ``OSError``), so
-    CLI users get a one-line message and a stable exit code.
+    CLI users get a one-line message and a stable exit code.  With
+    ``encode=True`` the loaded columns are dictionary-encoded to dense
+    integer codes (decode tables on ``table.dictionaries``) — the cheapest
+    point to do it, while the parsed fields are still hot in cache.
     """
     path = Path(path)
     faults.check("csv.open")
@@ -119,7 +138,8 @@ def load_csv(
         raise DataError(f"cannot read CSV {str(path)!r}: {exc}") from exc
     with handle:
         reader = csv.reader(handle, delimiter=delimiter)
-        return _read(reader, path.stem, header, schema, infer)
+        table = _read(reader, path.stem, header, schema, infer)
+    return _encoded(table) if encode else table
 
 
 def load_csv_with_retry(
@@ -151,10 +171,12 @@ def loads_csv(
     infer: bool = True,
     delimiter: str = ",",
     name: str = "csv",
+    encode: bool = False,
 ) -> Table:
-    """Parse CSV text into a table."""
+    """Parse CSV text into a table (``encode`` as in :func:`load_csv`)."""
     reader = csv.reader(io.StringIO(text), delimiter=delimiter)
-    return _read(reader, name, header, schema, infer)
+    table = _read(reader, name, header, schema, infer)
+    return _encoded(table) if encode else table
 
 
 def save_csv(table: Table, path: Union[str, Path], delimiter: str = ",") -> None:

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from repro.dataset.table import Table
+from repro.perf.encode import encode_columns
 
 __all__ = ["ColumnDictionary", "encode_table", "encode_rows"]
 
@@ -23,6 +24,16 @@ class ColumnDictionary:
     def __init__(self) -> None:
         self._value_to_code: Dict[object, int] = {}
         self._code_to_value: List[object] = []
+
+    @classmethod
+    def _from_tables(
+        cls, value_to_code: Dict[object, int], code_to_value: List[object]
+    ) -> "ColumnDictionary":
+        """Adopt already-built tables (the columnar fast path's output)."""
+        dictionary = cls()
+        dictionary._value_to_code = value_to_code
+        dictionary._code_to_value = code_to_value
+        return dictionary
 
     def encode(self, value: object) -> int:
         code = self._value_to_code.get(value)
@@ -49,14 +60,15 @@ def encode_rows(
     """Dictionary-encode every column of ``rows``.
 
     Returns the encoded rows plus one :class:`ColumnDictionary` per column
-    (usable for decoding and as a cardinality oracle).
+    (usable for decoding and as a cardinality oracle).  Delegates to the
+    performance layer's columnar one-pass encoder
+    (:func:`repro.perf.encode.encode_columns`).
     """
-    dictionaries = [ColumnDictionary() for _ in range(num_attributes)]
-    encoded: List[Tuple[int, ...]] = []
-    for row in rows:
-        encoded.append(
-            tuple(dictionaries[i].encode(row[i]) for i in range(num_attributes))
-        )
+    encoded, codecs = encode_columns(rows, num_attributes)
+    dictionaries = [
+        ColumnDictionary._from_tables(codec.value_to_code, codec.code_to_value)
+        for codec in codecs
+    ]
     return encoded, dictionaries
 
 

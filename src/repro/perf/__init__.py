@@ -1,0 +1,35 @@
+"""Performance layer for the GORDIAN hot path.
+
+Three coordinated optimizations, each usable on its own:
+
+* :mod:`repro.perf.encode` — columnar dictionary encoding: one pass maps
+  every attribute's values to dense integer codes before tree construction,
+  so prefix-tree cells hash and compare small ints instead of arbitrary
+  values (and the decode tables double as a free cardinality oracle for the
+  attribute-ordering heuristic).
+* :mod:`repro.perf.merge_cache` — memoization of :func:`repro.core.merge.
+  merge_nodes`: the doubly recursive traversal re-merges identical node
+  groups across slices; the cache keys merges by the identity tuple of
+  their inputs, invalidates entries the moment a member node is freed
+  (reference counting makes ids unambiguous while entries live), and bounds
+  itself by entry and byte caps that cooperate with the run budget.
+* :mod:`repro.perf.profile` — a per-phase wall-time and counter report for
+  the CLI ``--profile`` flag and the benchmark regression harness.
+
+The traversal itself (``NonKeyFinder``, ``merge_nodes``, the prefix-tree
+walkers) runs on explicit stacks rather than Python recursion, so deep
+attribute counts neither exhaust the recursion limit nor pay per-call
+overhead; that rewrite lives in :mod:`repro.core`.
+"""
+
+from repro.perf.encode import ColumnCodec, decode_row, encode_columns
+from repro.perf.merge_cache import MergeCache
+from repro.perf.profile import render_profile
+
+__all__ = [
+    "ColumnCodec",
+    "MergeCache",
+    "decode_row",
+    "encode_columns",
+    "render_profile",
+]

@@ -1,0 +1,311 @@
+"""Memoization of prefix-tree merges.
+
+The NonKeyFinder traversal repeatedly merges *the same* groups of nodes:
+overlapping slices of the cube project overlapping subtree families, and on
+correlated data the identical id-tuple shows up over and over.  The cache
+maps ``tuple(id(node) for node in to_merge)`` to the merged result so a
+repeat costs one dict probe instead of rebuilding (and re-traversing) the
+whole merged subtree.
+
+Keying by object identity is only sound while every member is alive — ids
+are recycled the moment CPython frees an object.  The cache therefore
+registers a free listener on the owning :class:`~repro.core.prefix_tree.
+PrefixTree`: the instant reference counting frees any node, every entry
+whose key mentions that node (as an input *or* as the cached result) is
+dropped.  Cached results are themselves reference-acquired by the cache, so
+they cannot be freed while an entry points at them.
+
+Most merge id-tuples never repeat, and storing an entry is far more
+expensive than probing (a reference acquire plus inverted-index upkeep), so
+the cache is *two-request*: on the first request for a key,
+:meth:`~MergeCache.note_miss` only records it in a bounded ``_seen`` filter
+and tells the caller not to store; on the second request it asks for the
+:meth:`~MergeCache.store`.  Workloads with no merge reuse therefore pay one
+set-add per merge instead of a full store/evict cycle, while workloads with
+real reuse still converge to hits from the third request on.  (A stale
+``_seen`` key whose ids were recycled merely causes an early store, which
+is always sound.)
+
+Memory is bounded twice over:
+
+* a hard ``max_entries`` / ``max_bytes`` cap with LRU eviction on insert
+  (the ``_seen`` filter is clamped separately and clears wholesale when
+  full);
+* cooperative pressure shedding — :meth:`evict_one` lets an attached
+  :class:`~repro.robustness.BudgetMeter` drain the cache LRU-first before
+  declaring a ``max_bytes`` budget violation, so a tight ``--max-memory-mb``
+  degrades cache effectiveness instead of killing the run.
+
+Hit/miss/eviction counters are mirrored into the run's ``SearchStats`` so
+``--profile`` and the regression harness can report them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+__all__ = ["MergeCache", "ENTRY_BYTES", "MEMBER_BYTES"]
+
+#: Estimated bookkeeping cost of one cache entry (dict slots, LRU links).
+ENTRY_BYTES = 256
+#: Estimated per-member cost (key tuple slot + inverted-index entry).
+MEMBER_BYTES = 96
+#: Estimated cost of one key in the two-request ``_seen`` filter.
+SEEN_BYTES = 120
+#: Keys remembered by the ``_seen`` filter before it clears wholesale.
+SEEN_CAP = 1 << 16
+
+_Key = Tuple[int, ...]
+
+
+class MergeCache:
+    """Bounded, refcount-aware memo table for :func:`~repro.core.merge.merge_nodes`.
+
+    Parameters
+    ----------
+    max_entries:
+        Hard cap on stored merges; the least recently used entry is evicted
+        first.  ``None`` means unbounded (the byte cap may still apply).
+    max_bytes:
+        Cap on the cache's estimated bookkeeping bytes (the retained merged
+        subtrees are already priced by the tree's ``TreeStats``, which the
+        budget meter reads separately).
+    stats:
+        Optional ``SearchStats``; hit/miss/eviction counters are mirrored
+        into ``merge_cache_hits`` / ``merge_cache_misses`` /
+        ``merge_cache_evictions`` when given.
+    """
+
+    def __init__(
+        self,
+        max_entries: Optional[int] = 4096,
+        max_bytes: Optional[int] = None,
+        stats: Optional[object] = None,
+    ):
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(f"max_bytes must be >= 1, got {max_bytes}")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self.stats = stats
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self._tree = None
+        self._entries: Dict[_Key, object] = {}  # insertion order == LRU order
+        self._costs: Dict[_Key, int] = {}
+        self._by_member: Dict[int, Set[_Key]] = {}
+        self._seen: Set[_Key] = set()
+        self._total_bytes = 0
+        self._pending: list = []
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # wiring
+
+    def bind(self, tree) -> None:
+        """Attach to the owning tree (idempotent).
+
+        Registers the free listener that keeps identity keys sound and
+        remembers the tree so evicted results can be reference-released.
+        """
+        if self._tree is tree:
+            return
+        if self._tree is not None:
+            raise ValueError("a MergeCache serves exactly one PrefixTree")
+        self._tree = tree
+        # ``_by_member`` doubles as the watch set: it holds exactly the ids
+        # whose death invalidates an entry, so the tree skips the listener
+        # call for every other freed node.
+        tree.add_free_listener(self._on_node_freed, watched=self._by_member)
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def estimated_bytes(self) -> int:
+        """Estimated bookkeeping bytes currently held by the cache."""
+        return self._total_bytes + len(self._seen) * SEEN_BYTES
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "bytes": self._total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+    # ------------------------------------------------------------------
+    # the memo protocol (called from merge_nodes)
+
+    def probe(self, key: _Key):
+        """One-call combination of :meth:`lookup` and :meth:`note_miss`.
+
+        Returns ``(node, False)`` on a hit and ``(None, store_wanted)`` on
+        a miss — one method call per merge instead of two on the (dominant)
+        miss path.
+        """
+        entries = self._entries
+        node = entries.get(key)
+        if node is not None:
+            del entries[key]
+            entries[key] = node
+            self.hits += 1
+            if self.stats is not None:
+                self.stats.merge_cache_hits += 1
+            return node, False
+        self.misses += 1
+        if self.stats is not None:
+            self.stats.merge_cache_misses += 1
+        seen = self._seen
+        if key in seen:
+            seen.discard(key)
+            return None, True
+        if len(seen) >= SEEN_CAP:
+            seen.clear()
+        seen.add(key)
+        return None, False
+
+    def lookup(self, key: _Key):
+        """Cached merged node for ``key``, or ``None``; refreshes LRU order."""
+        entries = self._entries
+        node = entries.get(key)
+        if node is None:
+            self.misses += 1
+            if self.stats is not None:
+                self.stats.merge_cache_misses += 1
+            return None
+        # Move to the back of the insertion order (most recently used).
+        del entries[key]
+        entries[key] = node
+        self.hits += 1
+        if self.stats is not None:
+            self.stats.merge_cache_hits += 1
+        return node
+
+    def note_miss(self, key: _Key) -> bool:
+        """Record a missed key; ``True`` when the result should be stored.
+
+        Implements the two-request policy: the first request only marks the
+        key in the bounded ``_seen`` filter (a set-add, an order of
+        magnitude cheaper than a full store), the second request asks the
+        caller to :meth:`store` the merge it is about to build.
+        """
+        seen = self._seen
+        if key in seen:
+            seen.discard(key)
+            return True
+        if len(seen) >= SEEN_CAP:
+            seen.clear()
+        seen.add(key)
+        return False
+
+    def store(self, key: _Key, node) -> None:
+        """Memoize ``node`` as the merge of the ``key`` id-tuple.
+
+        The node is reference-acquired by the cache and released on
+        eviction/invalidation.  Inserting past a cap evicts LRU-first.
+        """
+        if self._tree is None:
+            raise ValueError("MergeCache.store before bind(tree)")
+        if key in self._entries:  # pragma: no cover - defensive; store once
+            return
+        cost = ENTRY_BYTES + MEMBER_BYTES * (len(key) + 1)
+        self._tree.acquire(node)
+        self._entries[key] = node
+        self._costs[key] = cost
+        self._total_bytes += cost
+        by_member = self._by_member
+        for member_id in key:
+            by_member.setdefault(member_id, set()).add(key)
+        # The result node is itself a member: if it is ever freed (it can
+        # only be freed after this entry is removed, but it may also key
+        # *other* entries as an input), its id must invalidate them.
+        by_member.setdefault(id(node), set()).add(key)
+        while (
+            (self.max_entries is not None and len(self._entries) > self.max_entries)
+            or (self.max_bytes is not None and self._total_bytes > self.max_bytes)
+        ):
+            if not self.evict_one():  # pragma: no cover - cannot stall: len >= 1
+                break
+
+    # ------------------------------------------------------------------
+    # eviction and invalidation
+
+    def evict_one(self) -> bool:
+        """Evict the least recently used entry; ``False`` when empty.
+
+        Also the pressure-shedding hook for the budget meter: releasing the
+        entry drops the cache's reference on the merged subtree, freeing
+        every node of it not shared elsewhere (which in turn invalidates any
+        entry keyed on those nodes).
+        """
+        try:
+            key = next(iter(self._entries))
+        except StopIteration:
+            if self._seen:
+                # Last pressure valve: the two-request filter is the only
+                # remaining footprint — drop it wholesale.
+                self._seen.clear()
+                return True
+            return False
+        self.evictions += 1
+        if self.stats is not None:
+            self.stats.merge_cache_evictions += 1
+        self._remove(key)
+        return True
+
+    def clear(self) -> None:
+        """Drop every entry (releasing the cached subtrees)."""
+        while self.evict_one():
+            pass
+
+    def _remove(self, key: _Key) -> None:
+        """Remove one entry and release its node; reentrancy-safe.
+
+        The entry is unlinked from every index *before* the node reference
+        is dropped, because the discard can recursively free member nodes
+        and re-enter :meth:`_on_node_freed`.
+        """
+        node = self._entries.pop(key, None)
+        if node is None:
+            return
+        self._total_bytes -= self._costs.pop(key)
+        by_member = self._by_member
+        for member_id in key + (id(node),):
+            keys = by_member.get(member_id)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del by_member[member_id]
+        self._tree.discard(node)
+
+    def _on_node_freed(self, node) -> None:
+        """Free listener: a node died, so its id no longer names it.
+
+        Invalidation can cascade (dropping an entry releases its subtree,
+        whose freed nodes key further entries), so stale keys are drained
+        from an explicit queue instead of recursing — a chain of dependent
+        entries costs stack depth O(1), not O(chain).
+        """
+        keys = self._by_member.pop(id(node), None)
+        if not keys:
+            return
+        self._pending.extend(keys)
+        if self._draining:
+            return
+        self._draining = True
+        try:
+            while self._pending:
+                key = self._pending.pop()
+                if key in self._entries:
+                    self.invalidations += 1
+                    self._remove(key)
+        finally:
+            self._draining = False

@@ -1,0 +1,69 @@
+"""Per-phase timing and counter report for GORDIAN runs.
+
+Backs the CLI ``--profile`` flag and the benchmark regression harness: one
+compact, deterministic text block with the three pipeline phases' wall
+times, the structural work counters (visits, merges, prunings), and the
+merge-cache hit/miss/eviction figures, plus the budget snapshot when the
+run was budgeted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+__all__ = ["render_profile"]
+
+
+def _fmt_seconds(seconds: float, total: float) -> str:
+    share = 0.0 if total <= 0 else 100.0 * seconds / total
+    return f"{seconds:10.4f}s  {share:5.1f}%"
+
+
+def render_profile(stats, attribute_order: Optional[List[int]] = None) -> str:
+    """Render a :class:`~repro.core.stats.RunStats` as a profile report."""
+    total = stats.total_seconds
+    tree = stats.tree
+    search = stats.search
+    lines = ["-- profile " + "-" * 45]
+    lines.append(f"  build    {_fmt_seconds(stats.build_seconds, total)}")
+    lines.append(f"  search   {_fmt_seconds(stats.search_seconds, total)}")
+    lines.append(f"  convert  {_fmt_seconds(stats.convert_seconds, total)}")
+    lines.append(f"  total    {stats.total_seconds:10.4f}s")
+    lines.append("-- tree")
+    lines.append(
+        f"  nodes created {tree.nodes_created}  cells created {tree.cells_created}"
+        f"  peak live nodes {tree.peak_live_nodes}  peak live cells "
+        f"{tree.peak_live_cells}"
+    )
+    lines.append("-- search")
+    lines.append(
+        f"  nodes visited {search.nodes_visited} "
+        f"(leaves {search.leaf_nodes_visited})  merges {search.merges_performed}"
+        f"  nonkeys found {search.nonkeys_discovered}"
+    )
+    lines.append(
+        f"  prunings: singleton-shared {search.singleton_prunings_shared}, "
+        f"one-cell {search.singleton_prunings_one_cell}, "
+        f"single-entity {search.single_entity_prunings}, "
+        f"futility {search.futility_prunings}"
+    )
+    lines.append("-- merge cache")
+    hits = search.merge_cache_hits
+    misses = search.merge_cache_misses
+    attempts = hits + misses
+    rate = 0.0 if attempts == 0 else 100.0 * hits / attempts
+    lines.append(
+        f"  hits {hits}  misses {misses}  evictions "
+        f"{search.merge_cache_evictions}  hit rate {rate:.1f}%"
+    )
+    if stats.budget is not None:
+        lines.append("-- budget")
+        snapshot = stats.budget
+        lines.append(
+            f"  checkpoints {snapshot.get('checkpoints', 0)}  estimated bytes "
+            f"{snapshot.get('estimated_bytes', 0)}  tripped: "
+            f"{snapshot.get('tripped_reason') or 'no'}"
+        )
+    if attribute_order is not None:
+        lines.append(f"-- attribute order (tree level -> column): {attribute_order}")
+    return "\n".join(lines)

@@ -1,0 +1,288 @@
+"""Frozen pre-optimization reference implementation of the GORDIAN hot path.
+
+This module preserves, verbatim in behavior, the recursive
+``merge_nodes``/``_visit`` pair and the O(cells) ``entity_count``
+recomputation that the performance layer replaced.  It exists for two
+reasons:
+
+* **Differential testing** — the property suite runs the optimized pipeline
+  and this reference on the same rows and asserts identical minimal keys
+  and non-key sets, so any soundness bug in encoding, memoization, or the
+  iterative rewrites shows up as a concrete counterexample.
+* **Honest speedup measurement** — ``scripts/bench_regression.py`` times the
+  optimized pipeline against this baseline.  Timing against a frozen
+  in-tree implementation (rather than a config flag of the new code) keeps
+  the reported speedup anchored to what the code actually did before the
+  performance layer landed.
+
+Nothing outside tests and benchmarks should import this module; it is
+deliberately recursive and deliberately recomputes entity counts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core import bitset
+from repro.core.gordian import (
+    GordianConfig,
+    GordianResult,
+    _order_attributes,
+    _translate_mask,
+)
+from repro.core.key_conversion import keys_from_nonkey_masks
+from repro.core.nonkey_finder import PruningConfig
+from repro.core.prefix_tree import Cell, Node, PrefixTree, build_prefix_tree
+from repro.core.stats import RunStats, SearchStats
+from repro.errors import NoKeysExistError
+
+__all__ = [
+    "merge_nodes_reference",
+    "merge_children_reference",
+    "ReferenceNonKeyFinder",
+    "find_keys_reference",
+]
+
+
+def _entity_count(node: Node) -> int:
+    """The pre-optimization O(cells) entity count (old ``Node.entity_count``)."""
+    return sum(cell.count for cell in node.cells.values())
+
+
+class _ReferenceNonKeySet:
+    """The pre-optimization NonKeySet: covering scans through
+    ``bitset.covers`` generator expressions, no precomputed complements."""
+
+    def __init__(self, num_attributes: int):
+        self.num_attributes = num_attributes
+        self._nonkeys: List[int] = []
+        self.insert_attempts = 0
+        self.insert_accepted = 0
+
+    def __len__(self) -> int:
+        return len(self._nonkeys)
+
+    def masks(self) -> List[int]:
+        return list(self._nonkeys)
+
+    def insert(self, nonkey: int) -> bool:
+        self.insert_attempts += 1
+        for stored in self._nonkeys:
+            if bitset.covers(stored, nonkey):
+                return False
+        self._nonkeys = [
+            stored for stored in self._nonkeys if not bitset.covers(nonkey, stored)
+        ]
+        self._nonkeys.append(nonkey)
+        self.insert_accepted += 1
+        return True
+
+    def is_covered(self, mask: int) -> bool:
+        return any(bitset.covers(stored, mask) for stored in self._nonkeys)
+
+
+def merge_nodes_reference(
+    tree: PrefixTree,
+    to_merge: Sequence[Node],
+    stats: Optional[SearchStats] = None,
+) -> Node:
+    """Recursive Algorithm 3, exactly as it stood before the iterative rewrite."""
+    if not to_merge:
+        raise ValueError("merge_nodes requires at least one node")
+    if stats is not None:
+        stats.merges_performed += 1
+        stats.merge_nodes_input += len(to_merge)
+    if len(to_merge) == 1:
+        return to_merge[0]
+
+    level = to_merge[0].level
+    merged = tree.new_node(level)
+    is_leaf = to_merge[0].is_leaf
+
+    if is_leaf:
+        for node in to_merge:
+            for value, cell in node.cells.items():
+                existing = merged.cells.get(value)
+                if existing is None:
+                    merged.cells[value] = Cell(value, cell.count)
+                    tree.stats.on_cells_created()
+                else:
+                    existing.count += cell.count
+        merged.entity_count = _entity_count(merged)
+    else:
+        groups: dict = {}
+        for node in to_merge:
+            for value, cell in node.cells.items():
+                groups.setdefault(value, []).append(cell)
+        total = 0
+        for value, cells in groups.items():
+            partial: List[Node] = [cell.child for cell in cells]
+            child = merge_nodes_reference(tree, partial, stats=stats)
+            count = sum(cell.count for cell in cells)
+            new_cell = Cell(value, count)
+            new_cell.child = tree.acquire(child)
+            merged.cells[value] = new_cell
+            total += count
+            tree.stats.on_cells_created()
+        merged.entity_count = total
+    return merged
+
+
+def merge_children_reference(
+    tree: PrefixTree,
+    node: Node,
+    stats: Optional[SearchStats] = None,
+) -> Node:
+    """Project out ``node``'s level by merging its cells' children."""
+    children = [cell.child for cell in node.cells.values()]
+    if any(child is None for child in children):
+        raise ValueError("cannot merge the children of a leaf node")
+    return merge_nodes_reference(tree, children, stats=stats)
+
+
+class ReferenceNonKeyFinder:
+    """The doubly recursive Algorithm 4, pre-optimization.
+
+    Single-entity pruning recomputes the entity count by summing cell
+    counts on every check, exactly like the old ``Node.entity_count``
+    property did.
+    """
+
+    def __init__(
+        self,
+        tree: PrefixTree,
+        pruning: Optional[PruningConfig] = None,
+        stats: Optional[SearchStats] = None,
+    ):
+        self.tree = tree
+        self.pruning = pruning if pruning is not None else PruningConfig()
+        self.stats = stats if stats is not None else SearchStats()
+        self.nonkeys = _ReferenceNonKeySet(tree.num_attributes)
+        self._cur_nonkey = bitset.EMPTY
+        self._num_attributes = tree.num_attributes
+
+    def run(self) -> NonKeySet:
+        if self.tree.num_entities == 0:
+            return self.nonkeys
+        self._visit(self.tree.root, 0)
+        return self.nonkeys
+
+    def _add_nonkey(self, mask: int) -> None:
+        if mask == bitset.EMPTY:
+            return
+        self.stats.nonkeys_discovered += 1
+        if self.nonkeys.insert(mask):
+            self.stats.nonkeys_inserted += 1
+
+    def _visit(self, root: Node, attr_no: int) -> None:
+        root.visited = True
+        self.stats.nodes_visited += 1
+        cur_with_attr = self._cur_nonkey | bitset.singleton(attr_no)
+        self._cur_nonkey = cur_with_attr
+
+        if root.is_leaf:
+            self.stats.leaf_nodes_visited += 1
+            for cell in root.cells.values():
+                if cell.count != 1:
+                    self._add_nonkey(cur_with_attr)
+                    break
+            self._cur_nonkey = cur_with_attr & ~bitset.singleton(attr_no)
+            only_cell_count = (
+                next(iter(root.cells.values())).count if len(root.cells) == 1 else 0
+            )
+            if len(root.cells) > 1 or only_cell_count > 1:
+                self._add_nonkey(self._cur_nonkey)
+            return
+
+        if self.pruning.single_entity and _entity_count(root) == 1:
+            self._cur_nonkey = cur_with_attr & ~bitset.singleton(attr_no)
+            self.stats.single_entity_prunings += 1
+            return
+
+        for cell in root.cells.values():
+            child = cell.child
+            if self.pruning.singleton and child.visited:
+                self.stats.singleton_prunings_shared += 1
+                continue
+            self._visit(child, attr_no + 1)
+
+        self._cur_nonkey = cur_with_attr & ~bitset.singleton(attr_no)
+
+        if self.pruning.singleton and len(root.cells) == 1:
+            self.stats.singleton_prunings_one_cell += 1
+            return
+        if self.pruning.futility and self._is_futile(attr_no):
+            self.stats.futility_prunings += 1
+            return
+        merged = merge_children_reference(self.tree, root, stats=self.stats)
+        if merged.visited:
+            if self.pruning.singleton:
+                self.stats.singleton_prunings_shared += 1
+                return
+        self.tree.acquire(merged)
+        try:
+            self._visit(merged, attr_no + 1)
+        finally:
+            self.tree.discard(merged)
+
+    def _is_futile(self, attr_no: int) -> bool:
+        reachable = self._cur_nonkey | bitset.suffix_mask(
+            attr_no + 1, self._num_attributes
+        )
+        return self.nonkeys.is_covered(reachable)
+
+
+def find_keys_reference(
+    rows: Sequence[Sequence[object]],
+    num_attributes: Optional[int] = None,
+    pruning: Optional[PruningConfig] = None,
+) -> GordianResult:
+    """End-to-end pre-optimization pipeline: no encoding, no memoization,
+    recursive traversal, O(cells) entity counts.
+
+    Mirrors ``find_keys`` closely enough that results (keys, non-keys,
+    attribute order) are directly comparable, while exercising only the
+    frozen reference hot path.
+    """
+    rows = list(rows)
+    if num_attributes is None:
+        num_attributes = len(rows[0]) if rows else 0
+    config = GordianConfig(encode=False, merge_cache=False)
+    stats = RunStats()
+    level_to_attr = _order_attributes(rows, num_attributes, config.attribute_order)
+    try:
+        tree = build_prefix_tree(
+            ([row[a] for a in level_to_attr] for row in rows),
+            num_attributes,
+            stats=stats.tree,
+        )
+    except NoKeysExistError:
+        return GordianResult(
+            keys=[],
+            nonkeys=[tuple(range(num_attributes))],
+            num_attributes=num_attributes,
+            num_entities=len(rows),
+            no_keys_exist=True,
+            attribute_order=level_to_attr,
+            stats=stats,
+        )
+    finder = ReferenceNonKeyFinder(tree, pruning=pruning, stats=stats.search)
+    nonkey_set = finder.run()
+    key_masks = keys_from_nonkey_masks(nonkey_set.masks(), num_attributes)
+    keys = sorted(
+        (_translate_mask(mask, level_to_attr) for mask in key_masks),
+        key=lambda k: (len(k), k),
+    )
+    nonkeys = sorted(
+        (_translate_mask(mask, level_to_attr) for mask in nonkey_set.masks()),
+        key=lambda k: (len(k), k),
+    )
+    return GordianResult(
+        keys=keys,
+        nonkeys=nonkeys,
+        num_attributes=num_attributes,
+        num_entities=len(rows),
+        no_keys_exist=False,
+        attribute_order=level_to_attr,
+        stats=stats,
+    )

@@ -120,6 +120,7 @@ class BudgetMeter:
         "_clock",
         "_ticks",
         "_tree_stats",
+        "_memo_cache",
     )
 
     def __init__(
@@ -146,6 +147,7 @@ class BudgetMeter:
         self.tripped_reason: Optional[str] = None
         self._ticks = 0
         self._tree_stats = None
+        self._memo_cache = None
 
     # ------------------------------------------------------------------
     # wiring
@@ -158,6 +160,20 @@ class BudgetMeter:
         ``repro.core`` imports (which would be circular).
         """
         self._tree_stats = stats
+
+    def attach_memo_cache(self, cache: object) -> None:
+        """Point the meter at a merge-memoization cache.
+
+        The cache contributes its bookkeeping bytes to the memory estimate
+        (its retained subtree nodes are already priced through the tree
+        stats), and — more importantly — gives the ``max_bytes`` check a
+        pressure valve: before declaring a memory violation the meter drains
+        cache entries LRU-first, so a tight budget degrades cache
+        effectiveness instead of killing the run.  Duck-typed (needs
+        ``estimated_bytes()`` and ``evict_one()``) to keep this module free
+        of ``repro.core``/``repro.perf`` imports.
+        """
+        self._memo_cache = cache
 
     # ------------------------------------------------------------------
     # introspection
@@ -172,11 +188,19 @@ class BudgetMeter:
         return self.deadline - self._clock()
 
     def estimated_bytes(self) -> int:
-        """Priced estimate of live prefix-tree memory (see module docstring)."""
+        """Priced estimate of live prefix-tree memory (see module docstring).
+
+        Includes the merge-memoization cache's bookkeeping overhead when one
+        is attached (the subtrees it retains are live tree nodes, so they
+        are already covered by the tree-stats term).
+        """
         stats = self._tree_stats
-        if stats is None:
-            return 0
-        return stats.live_nodes * NODE_BYTES + stats.live_cells * CELL_BYTES
+        total = 0
+        if stats is not None:
+            total = stats.live_nodes * NODE_BYTES + stats.live_cells * CELL_BYTES
+        if self._memo_cache is not None:
+            total += self._memo_cache.estimated_bytes()
+        return total
 
     def snapshot(self) -> Dict[str, object]:
         """Counters for attaching to run statistics and degraded results."""
@@ -209,10 +233,17 @@ class BudgetMeter:
             )
         max_bytes = self.budget.max_bytes
         if max_bytes is not None and self.estimated_bytes() > max_bytes:
-            self._trip(
-                f"estimated memory {self.estimated_bytes()}B exceeds "
-                f"budget of {max_bytes}B"
-            )
+            # Pressure shedding: the memo cache is expendable memory — drain
+            # it LRU-first and only trip if the run is over budget without it.
+            cache = self._memo_cache
+            if cache is not None:
+                while self.estimated_bytes() > max_bytes and cache.evict_one():
+                    pass
+            if self.estimated_bytes() > max_bytes:
+                self._trip(
+                    f"estimated memory {self.estimated_bytes()}B exceeds "
+                    f"budget of {max_bytes}B"
+                )
 
     def on_row(self) -> None:
         """One entity inserted into the prefix tree."""

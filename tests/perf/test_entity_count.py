@@ -1,0 +1,97 @@
+"""The incrementally maintained ``Node.entity_count`` must always equal the
+O(cells) recount it replaced — on built trees, after merges, and on the
+trees random tables produce."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.merge import merge_children, merge_nodes
+from repro.core.prefix_tree import PrefixTree, build_prefix_tree
+
+SETTINGS = settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _assert_invariant(tree: PrefixTree) -> None:
+    for node in tree.depth_first_nodes():
+        assert node.entity_count == node.recount_entities()
+
+
+def _assert_subtree_invariant(root) -> None:
+    stack = [root]
+    seen = set()
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen.add(id(node))
+        assert node.entity_count == node.recount_entities()
+        for cell in node.cells.values():
+            if cell.child is not None:
+                stack.append(cell.child)
+
+
+def test_entity_count_after_build():
+    rows = [(i // 4, i % 4, i, i % 2) for i in range(16)]
+    tree = build_prefix_tree(rows, 4)
+    assert tree.root.entity_count == 16
+    _assert_invariant(tree)
+
+
+def test_entity_count_after_merge_children():
+    rows = [(i % 3, i % 5, i) for i in range(15)]
+    tree = build_prefix_tree(rows, 3)
+    merged = merge_children(tree, tree.root)
+    tree.acquire(merged)
+    try:
+        # Projecting out an attribute preserves the entity total.
+        assert merged.entity_count == tree.root.entity_count
+        _assert_subtree_invariant(merged)
+    finally:
+        tree.discard(merged)
+
+
+def test_entity_count_after_leaf_merge():
+    rows = [(0, i % 2, i % 4) for i in range(4)] + [(1, i % 2, 4 + i) for i in range(4)]
+    tree = build_prefix_tree(rows, 3)
+    leaves = [
+        cell.child
+        for node in tree.depth_first_nodes()
+        if node.level == 1
+        for cell in node.cells.values()
+    ]
+    merged = merge_nodes(tree, leaves)
+    tree.acquire(merged)
+    try:
+        assert merged.entity_count == merged.recount_entities() == 8
+    finally:
+        tree.discard(merged)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=0, max_value=30),
+        ),
+        min_size=1,
+        max_size=24,
+        unique=True,
+    )
+)
+@SETTINGS
+def test_entity_count_property(rows):
+    tree = build_prefix_tree(rows, 4)
+    _assert_invariant(tree)
+    merged = merge_children(tree, tree.root)
+    tree.acquire(merged)
+    try:
+        assert merged.entity_count == len(rows)
+        _assert_subtree_invariant(merged)
+    finally:
+        tree.discard(merged)

@@ -1,0 +1,79 @@
+"""Differential property test for the performance layer.
+
+Every optimization toggle — dictionary encoding, merge memoization, and
+their combinations — must leave GORDIAN's answer bit-for-bit identical to
+the frozen pre-optimization reference pipeline, under every corner of
+:class:`PruningConfig`.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import GordianConfig, PruningConfig, find_keys
+from repro.perf.reference import find_keys_reference
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: encoded/unencoded x cached/uncached — the four optimization corners.
+TOGGLES = [
+    (False, False),
+    (False, True),
+    (True, False),
+    (True, True),
+]
+
+
+@st.composite
+def small_tables(draw, max_attrs=5, max_rows=20, max_domain=3):
+    width = draw(st.integers(min_value=1, max_value=max_attrs))
+    num_rows = draw(st.integers(min_value=1, max_value=max_rows))
+    domain = draw(st.integers(min_value=1, max_value=max_domain))
+    value = st.one_of(
+        st.integers(min_value=0, max_value=domain),
+        st.sampled_from(["x", "y", "z"]),
+    )
+    rows = draw(
+        st.lists(
+            st.tuples(*([value] * width)),
+            min_size=num_rows,
+            max_size=num_rows,
+        )
+    )
+    return rows, width
+
+
+@given(small_tables(), st.booleans(), st.booleans(), st.booleans())
+@SETTINGS
+def test_all_optimization_corners_match_reference(
+    table, singleton, single_entity, futility
+):
+    rows, width = table
+    pruning = PruningConfig(
+        singleton=singleton, single_entity=single_entity, futility=futility
+    )
+    reference = find_keys_reference(rows, num_attributes=width, pruning=pruning)
+    for encode, merge_cache in TOGGLES:
+        config = GordianConfig(
+            encode=encode, merge_cache=merge_cache, pruning=pruning
+        )
+        result = find_keys(rows, num_attributes=width, config=config)
+        assert result.no_keys_exist == reference.no_keys_exist
+        assert result.keys == reference.keys
+        assert result.nonkeys == reference.nonkeys
+
+
+@given(small_tables())
+@SETTINGS
+def test_tiny_cache_still_matches_reference(table):
+    """A pathologically small cache (constant eviction churn) must never
+    change the answer, only the hit rate."""
+    rows, width = table
+    reference = find_keys_reference(rows, num_attributes=width)
+    config = GordianConfig(encode=True, merge_cache=True, merge_cache_entries=1)
+    result = find_keys(rows, num_attributes=width, config=config)
+    assert result.keys == reference.keys
+    assert result.nonkeys == reference.nonkeys

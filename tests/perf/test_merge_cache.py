@@ -1,0 +1,222 @@
+"""MergeCache: two-request store policy, LRU bounds, refcount-aware
+invalidation, and cooperative pressure shedding."""
+
+import pytest
+
+from repro.core.merge import merge_children
+from repro.core.prefix_tree import build_prefix_tree
+from repro.core.stats import SearchStats
+from repro.perf.merge_cache import ENTRY_BYTES, MergeCache
+
+
+def _tree():
+    rows = [(i // 3, i % 3, i) for i in range(9)]
+    return build_prefix_tree(rows, 3)
+
+
+def _fresh_node(tree, level=1):
+    node = tree.new_node(level)
+    return node
+
+
+# ----------------------------------------------------------------------
+# two-request store policy
+
+
+def test_probe_implements_two_request_policy():
+    tree = _tree()
+    cache = MergeCache()
+    cache.bind(tree)
+    key = (1, 2, 3)
+
+    # First request: pure miss, no store wanted (key only enters _seen).
+    assert cache.probe(key) == (None, False)
+    # Second request: still a miss, but now the caller should store.
+    assert cache.probe(key) == (None, True)
+
+    node = _fresh_node(tree)
+    cache.store(key, node)
+    # Third request: a hit, never asks for a store.
+    assert cache.probe(key) == (node, False)
+    assert (cache.hits, cache.misses) == (1, 2)
+
+
+def test_note_miss_matches_probe_semantics():
+    tree = _tree()
+    cache = MergeCache()
+    cache.bind(tree)
+    assert cache.note_miss((7,)) is False
+    assert cache.note_miss((7,)) is True
+    # The key left _seen on the second request; a later miss starts over.
+    assert cache.note_miss((7,)) is False
+
+
+def test_store_acquires_and_lookup_refreshes_lru():
+    tree = _tree()
+    cache = MergeCache(max_entries=2)
+    cache.bind(tree)
+    a, b, c = (_fresh_node(tree) for _ in range(3))
+
+    cache.store((1,), a)
+    cache.store((2,), b)
+    assert a.refcount == 1 and b.refcount == 1
+
+    # Refresh (1,): it becomes most recently used, so (2,) is evicted.
+    assert cache.lookup((1,)) is a
+    cache.store((3,), c)
+    assert len(cache) == 2
+    assert cache.lookup((2,)) is None
+    assert cache.lookup((1,)) is a
+    assert cache.lookup((3,)) is c
+    assert cache.evictions == 1
+    # The evicted node's cache reference was released (and, at zero, freed).
+    assert b.refcount == 0
+
+
+def test_max_bytes_cap_evicts_lru_first():
+    tree = _tree()
+    # Room for roughly two single-member entries, not three.
+    cache = MergeCache(max_entries=None, max_bytes=2 * ENTRY_BYTES + 300)
+    cache.bind(tree)
+    for index in range(3):
+        cache.store((index,), _fresh_node(tree))
+    assert len(cache) < 3
+    assert cache.lookup((0,)) is None  # LRU went first
+    assert cache.estimated_bytes() <= cache.max_bytes + ENTRY_BYTES
+
+
+# ----------------------------------------------------------------------
+# refcount-aware invalidation
+
+
+def test_freeing_a_member_node_invalidates_its_entries():
+    tree = _tree()
+    cache = MergeCache()
+    cache.bind(tree)
+    member = tree.acquire(_fresh_node(tree))
+    result = _fresh_node(tree)
+    cache.store((id(member),), result)
+    assert len(cache) == 1
+
+    tree.discard(member)  # refcount hits zero -> free listener fires
+    assert len(cache) == 0
+    assert cache.invalidations == 1
+    # The cached result was released along with the entry.
+    assert result.refcount == 0
+
+
+def test_invalidation_cascades_through_dependent_entries():
+    tree = _tree()
+    cache = MergeCache()
+    cache.bind(tree)
+    member = tree.acquire(_fresh_node(tree))
+    middle = _fresh_node(tree)  # kept alive only by the cache
+    final = _fresh_node(tree)
+    cache.store((id(member),), middle)
+    cache.store((id(middle),), final)
+    assert len(cache) == 2
+
+    # Freeing `member` drops the first entry; releasing `middle` frees it,
+    # which in turn invalidates the entry keyed on `middle`'s id.
+    tree.discard(member)
+    assert len(cache) == 0
+    assert cache.invalidations == 2
+    assert middle.refcount == 0 and final.refcount == 0
+
+
+def test_unrelated_frees_do_not_touch_the_cache():
+    tree = _tree()
+    cache = MergeCache()
+    cache.bind(tree)
+    cache.store((id(tree.root),), tree.acquire(_fresh_node(tree)))
+    bystander = tree.acquire(_fresh_node(tree))
+    tree.discard(bystander)
+    assert len(cache) == 1
+    assert cache.invalidations == 0
+
+
+# ----------------------------------------------------------------------
+# pressure shedding and bookkeeping
+
+
+def test_evict_one_drains_entries_then_seen_filter():
+    tree = _tree()
+    cache = MergeCache()
+    cache.bind(tree)
+    cache.probe((9, 9))  # populate the _seen filter
+    cache.store((1,), _fresh_node(tree))
+    cache.store((2,), _fresh_node(tree))
+
+    assert cache.evict_one() is True
+    assert cache.evict_one() is True
+    assert len(cache) == 0
+    # One more shed clears the _seen filter (the last pressure valve) ...
+    assert cache.estimated_bytes() > 0
+    assert cache.evict_one() is True
+    assert cache.estimated_bytes() == 0
+    # ... after which there is nothing left to give back.
+    assert cache.evict_one() is False
+
+
+def test_clear_releases_everything():
+    tree = _tree()
+    cache = MergeCache()
+    cache.bind(tree)
+    nodes = [_fresh_node(tree) for _ in range(4)]
+    for index, node in enumerate(nodes):
+        cache.store((index,), node)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.estimated_bytes() == 0
+    assert all(node.refcount == 0 for node in nodes)
+
+
+def test_counters_mirror_into_search_stats():
+    tree = _tree()
+    stats = SearchStats()
+    cache = MergeCache(max_entries=1, stats=stats)
+    cache.bind(tree)
+    key = (5, 6)
+    cache.probe(key)
+    cache.probe(key)
+    cache.store(key, _fresh_node(tree))
+    cache.probe(key)
+    cache.store((7,), _fresh_node(tree))  # evicts (5, 6)
+    assert stats.merge_cache_hits == cache.hits == 1
+    assert stats.merge_cache_misses == cache.misses == 2
+    assert stats.merge_cache_evictions == cache.evictions == 1
+
+
+def test_bind_is_idempotent_and_single_tree():
+    tree = _tree()
+    cache = MergeCache()
+    cache.bind(tree)
+    cache.bind(tree)  # no-op
+    with pytest.raises(ValueError):
+        cache.bind(_tree())
+
+
+def test_store_before_bind_is_an_error():
+    cache = MergeCache()
+    with pytest.raises(ValueError):
+        cache.store((1,), object())
+
+
+def test_merge_children_populates_and_hits_the_cache():
+    # Two identical groups of children under the root: the second
+    # merge_children call asks to store, the third hits.
+    rows = [(0, i % 2, i) for i in range(6)]
+    tree = build_prefix_tree(rows, 3)
+    stats = SearchStats()
+    cache = MergeCache(stats=stats)
+    cache.bind(tree)
+    inner = next(iter(tree.root.cells.values())).child
+
+    first = merge_children(tree, inner, stats=stats, cache=cache)
+    assert len(cache) == 0  # first sighting: noted, not stored
+    second = merge_children(tree, inner, stats=stats, cache=cache)
+    assert len(cache) == 1  # second sighting: stored
+    third = merge_children(tree, inner, stats=stats, cache=cache)
+    assert third is second  # third sighting: served from the cache
+    assert first is not second
+    assert stats.merge_cache_hits == 1
