@@ -94,3 +94,35 @@ def test_keyplant_end_to_end(benchmark, keyplant_rows):
 
 def test_zipfian_end_to_end(benchmark, zipfian_rows):
     _end_to_end(benchmark, zipfian_rows)
+
+
+def test_keyplant_end_to_end_parallel(benchmark, keyplant_rows):
+    """Parallel pipeline timing, anchored to serial-identity like the rest.
+
+    ``clamp_workers=False`` so the true multi-process path runs even on a
+    single-core runner (where the timing can only break even — the
+    identity assertion is the point here, the wall clock is advisory).
+    """
+    num_attributes = len(keyplant_rows[0])
+    serial = find_keys(
+        keyplant_rows, num_attributes=num_attributes, config=OPTIMIZED
+    )
+    parallel_config = GordianConfig(
+        encode=True,
+        merge_cache=True,
+        workers=2,
+        clamp_workers=False,
+        parallel_min_rows=0,
+        parallel_build_min_rows=0,
+    )
+    result = benchmark.pedantic(
+        lambda: find_keys(
+            keyplant_rows, num_attributes=num_attributes, config=parallel_config
+        ),
+        rounds=2,
+        iterations=1,
+    )
+    assert sorted(result.keys) == sorted(serial.keys)
+    assert sorted(result.nonkeys) == sorted(serial.nonkeys)
+    benchmark.extra_info["num_keys"] = len(result.keys)
+    benchmark.extra_info["workers"] = 2

@@ -7,10 +7,13 @@ Usage::
     python examples/paper_experiments.py fig13 table2   # run a subset
     python examples/paper_experiments.py --list
     python examples/paper_experiments.py --save-dir out/  # JSON per result
+    python examples/paper_experiments.py --workers 4    # drivers in parallel
 
 Each experiment runs at a CI-friendly default scale; see the module
 docstrings in ``repro.experiments`` for the paper-vs-reproduction mapping
-and EXPERIMENTS.md for recorded results.
+and EXPERIMENTS.md for recorded results.  With ``--workers N`` the drivers
+fan out over the shared process pool (one driver per task); results print
+in the requested order either way.
 """
 
 import argparse
@@ -19,6 +22,7 @@ import time
 from pathlib import Path
 
 from repro.experiments import ALL_EXPERIMENTS, get_experiment
+from repro.experiments.harness import run_experiments
 
 
 def main() -> int:
@@ -35,6 +39,13 @@ def main() -> int:
         default=None,
         help="write one JSON file per experiment into this directory",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run experiment drivers on N worker processes (default: 1)",
+    )
     args = parser.parse_args()
 
     if args.list:
@@ -43,19 +54,23 @@ def main() -> int:
         return 0
 
     chosen = args.experiments or sorted(ALL_EXPERIMENTS)
+    for experiment_id in chosen:
+        get_experiment(experiment_id)  # fail fast on unknown ids
     if args.save_dir:
         args.save_dir.mkdir(parents=True, exist_ok=True)
 
-    for experiment_id in chosen:
-        driver = get_experiment(experiment_id)
-        start = time.perf_counter()
-        result = driver()
-        elapsed = time.perf_counter() - start
+    start = time.perf_counter()
+    results = run_experiments(chosen, workers=args.workers)
+    elapsed = time.perf_counter() - start
+    for result in results:
         print(f"\n{'=' * 72}")
         print(result.render())
-        print(f"({experiment_id} regenerated in {elapsed:.1f}s)")
         if args.save_dir:
-            result.save_json(args.save_dir / f"{experiment_id}.json")
+            result.save_json(args.save_dir / f"{result.experiment_id}.json")
+    print(
+        f"\n({len(results)} experiment(s) regenerated in {elapsed:.1f}s "
+        f"with {args.workers} worker(s))"
+    )
     return 0
 
 

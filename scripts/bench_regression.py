@@ -153,6 +153,57 @@ def _bench_find_nonkeys(rows, reps: int) -> dict:
     }
 
 
+def _bench_parallel_e2e(rows, reps: int, workers: int) -> dict:
+    """Serial vs parallel ``find_keys`` on the same rows.
+
+    The gate is *identity* (keys and non-keys must match the serial run
+    exactly); ``metrics`` stays empty on purpose — parallel work counters
+    depend on task scheduling and snapshot timing, so gating them would
+    flake.  Timings and the recorded ``cpu_count`` tell the real story:
+    on a single-core runner the parallel run can only break even at best,
+    and the committed numbers say so honestly.
+    """
+    import os
+
+    num_attributes = len(rows[0])
+    serial_config = GordianConfig(encode=True, merge_cache=True)
+    parallel_config = GordianConfig(
+        encode=True,
+        merge_cache=True,
+        workers=workers,
+        clamp_workers=False,      # exercise the true parallel path even on
+        parallel_min_rows=0,      # CPU-starved CI runners
+        parallel_build_min_rows=0,
+    )
+    best_serial = best_parallel = float("inf")
+    serial = parallel = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        serial = find_keys(rows, num_attributes=num_attributes,
+                           config=serial_config)
+        mid = time.perf_counter()
+        parallel = find_keys(rows, num_attributes=num_attributes,
+                             config=parallel_config)
+        best_serial = min(best_serial, mid - start)
+        best_parallel = min(best_parallel, time.perf_counter() - mid)
+    identical = (
+        sorted(parallel.keys) == sorted(serial.keys)
+        and sorted(parallel.nonkeys) == sorted(serial.nonkeys)
+    )
+    return {
+        "metrics": {},
+        "timings": {
+            "serial_s": round(best_serial, 4),
+            "parallel_s": round(best_parallel, 4),
+            "speedup_vs_serial": round(best_serial / best_parallel, 3),
+        },
+        "identical": identical,
+        "num_keys": len(parallel.keys),
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def _bench_end_to_end(rows, reps: int) -> dict:
     num_attributes = len(rows[0])
     config = GordianConfig(encode=True, merge_cache=True)
@@ -181,13 +232,14 @@ def _bench_end_to_end(rows, reps: int) -> dict:
     }
 
 
-def run_suites(reps: int) -> dict:
+def run_suites(reps: int, workers: int = 4) -> dict:
     keyplant = _keyplant_rows()
     zipfian = _zipfian_rows()
     suites = {
         "build_keyplant": _bench_build(keyplant, reps),
         "find_nonkeys_keyplant": _bench_find_nonkeys(keyplant, reps),
         "keyplant_e2e": _bench_end_to_end(keyplant, reps),
+        "keyplant_e2e_parallel": _bench_parallel_e2e(keyplant, reps, workers),
         "zipfian_e2e": _bench_end_to_end(zipfian, reps),
     }
     return {
@@ -205,8 +257,9 @@ def render(report: dict) -> str:
         )
         lines.append(f"  {name}: {timings}")
         if "identical" in suite:
+            versus = "serial" if "workers" in suite else "reference"
             lines.append(
-                f"    identical keys/non-keys vs reference: {suite['identical']}"
+                f"    identical keys/non-keys vs {versus}: {suite['identical']}"
                 f"  (keys={suite['num_keys']})"
             )
     return "\n".join(lines)
@@ -266,11 +319,14 @@ def main(argv=None) -> int:
                         help="allowed relative regression (default 0.25)")
     parser.add_argument("--reps", type=int, default=2,
                         help="timing repetitions, best-of (default 2)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="worker processes for the parallel e2e suite "
+                             "(default 4; not clamped to the CPU count)")
     parser.add_argument("--output", type=Path, default=BASELINE_PATH,
                         help="baseline path (default BENCH_core.json)")
     args = parser.parse_args(argv)
 
-    report = run_suites(max(1, args.reps))
+    report = run_suites(max(1, args.reps), workers=max(2, args.workers))
     print(render(report))
 
     for name, suite in report["suites"].items():

@@ -82,6 +82,11 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--profile", action="store_true",
                       help="print per-phase wall time and work/cache counters "
                            "after the run")
+    par = keys.add_argument_group("parallel execution")
+    par.add_argument("--workers", type=int, default=1, metavar="N",
+                     help="worker processes for tree build and slice search "
+                          "(default: 1 = serial; requests beyond the CPU "
+                          "count are clamped with a warning)")
     budget = keys.add_argument_group("resource budget")
     budget.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                         help="wall-clock deadline for the run")
@@ -168,6 +173,7 @@ def _cmd_keys(args) -> int:
         null_policy=args.null_policy,
         encode=args.encode,
         merge_cache=args.merge_cache,
+        workers=args.workers,
     )
     if args.sample_fraction is not None or args.sample_size is not None:
         result = find_approximate_keys(

@@ -25,6 +25,7 @@ Three entry points share the pipeline:
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from enum import Enum
@@ -54,6 +55,39 @@ __all__ = [
     "DEFAULT_FALLBACK_SAMPLE_SIZES",
 ]
 
+_logger = logging.getLogger(__name__)
+
+#: Below this many cache probes the hit rate is statistically meaningless,
+#: so the low-hit-rate warning stays quiet (tiny datasets, unit tests).
+MERGE_CACHE_WARN_MIN_PROBES = 1024
+#: Hit rates under this fraction mean the cache is burning memory and probe
+#: time for nothing; the user should hear about it once per run.
+MERGE_CACHE_WARN_RATE = 0.10
+
+
+def _warn_low_merge_cache_rate(
+    search, min_probes: int = MERGE_CACHE_WARN_MIN_PROBES
+) -> bool:
+    """Log a one-line warning when the merge cache is ineffective.
+
+    Returns whether the warning fired (tests hook this).  BENCH_core.json
+    shows ~3% on the keyplant workload at the default caps — users tuning
+    for speed should know the cache is contributing little there.
+    """
+    probes = search.merge_cache_hits + search.merge_cache_misses
+    if probes < min_probes or search.merge_cache_hit_rate >= MERGE_CACHE_WARN_RATE:
+        return False
+    _logger.warning(
+        "merge cache hit rate %.1f%% (%d/%d) is below %.0f%%: the cache is "
+        "ineffective on this workload at the current caps; consider "
+        "--no-merge-cache or a larger merge_cache_entries",
+        100.0 * search.merge_cache_hit_rate,
+        search.merge_cache_hits,
+        probes,
+        100.0 * MERGE_CACHE_WARN_RATE,
+    )
+    return True
+
 
 class AttributeOrder(str, Enum):
     """Attribute-to-tree-level assignment strategies."""
@@ -81,6 +115,19 @@ class GordianConfig:
     the traversal (bounded by ``merge_cache_entries`` and, under a
     budgeted run, by the memory budget).  Both can be switched off to
     reproduce the unoptimized baseline.
+
+    ``workers`` selects the execution backend: ``1`` (the default) is the
+    serial pipeline, bit for bit as before; ``workers > 1`` shards the
+    tree build and fans the NonKeyFinder traversal out to a process pool
+    (:mod:`repro.parallel`), discovering identical keys and non-keys.
+    Requests beyond the usable CPU count are clamped with a warning unless
+    ``clamp_workers`` is off (benchmarks deliberately oversubscribe), and
+    datasets under ``parallel_min_rows`` rows always run serially — pool
+    startup would dominate.  ``parallel_build_min_rows`` is the same
+    threshold for the sharded build specifically, whose freeze/thaw
+    round-trips have a higher break-even point.  Parallel execution
+    requires ``encode`` (the shared-memory row buffers hold dense codes);
+    with ``encode=False`` the run falls back to serial with a warning.
     """
 
     pruning: PruningConfig = field(default_factory=PruningConfig)
@@ -89,12 +136,22 @@ class GordianConfig:
     encode: bool = True
     merge_cache: bool = True
     merge_cache_entries: int = 4096
+    workers: int = 1
+    clamp_workers: bool = True
+    parallel_min_rows: int = 256
+    parallel_build_min_rows: int = 4096
 
     def __post_init__(self) -> None:
         if self.merge_cache and self.merge_cache_entries < 1:
             raise ConfigError(
                 f"merge_cache_entries must be >= 1, got {self.merge_cache_entries}"
             )
+        if not isinstance(self.workers, int) or isinstance(self.workers, bool):
+            raise ConfigError(f"workers must be an integer, got {self.workers!r}")
+        if self.workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {self.workers}")
+        if self.parallel_min_rows < 0 or self.parallel_build_min_rows < 0:
+            raise ConfigError("parallel row thresholds must be >= 0")
         if not isinstance(self.attribute_order, AttributeOrder):
             try:
                 object.__setattr__(
@@ -274,6 +331,32 @@ def _abort(
     return wrapped
 
 
+def _effective_workers(config: GordianConfig, num_rows: int) -> int:
+    """Worker count a run will actually use (1 means the serial path).
+
+    Applies, in order: the clamp to the usable CPU count (with a warning,
+    unless ``clamp_workers`` is off), the ``encode`` requirement, and the
+    ``parallel_min_rows`` floor under which pool startup costs more than
+    the traversal.
+    """
+    if config.workers <= 1:
+        return 1
+    from repro.parallel.pool import resolve_workers
+
+    workers = resolve_workers(config.workers, clamp=config.clamp_workers)
+    if workers <= 1:
+        return 1
+    if not config.encode:
+        _logger.warning(
+            "parallel execution requires dictionary encoding (encode=True); "
+            "running serially"
+        )
+        return 1
+    if num_rows < config.parallel_min_rows:
+        return 1
+    return workers
+
+
 def _run_pipeline(
     rows: Sequence[Sequence[object]],
     num_attributes: Optional[int],
@@ -318,8 +401,14 @@ def _run_pipeline(
         # before the build so a tiny deadline cannot be overshot unchecked.
         meter.checkpoint(force=True)
 
+    workers = _effective_workers(config, len(rows))
+
     merge_cache = None
-    if config.merge_cache:
+    if config.merge_cache and workers == 1:
+        # Parallel runs skip the parent-side cache: each worker keeps its
+        # own (whose counters aggregate back here), and a parent cache
+        # would acquire merge results — stray refcounts the parallel
+        # frontier expansion's shared-subtree test cannot tolerate.
         from repro.perf.merge_cache import MergeCache
 
         cache_bytes = None
@@ -337,67 +426,93 @@ def _run_pipeline(
             meter.attach_memo_cache(merge_cache)
 
     names = list(attribute_names) if attribute_names else None
-    build_start = time.perf_counter()
-    try:
-        tree = build_prefix_tree(
-            ([row[a] for a in level_to_attr] for row in rows),
+
+    pctx = None
+    if workers > 1:
+        from repro.parallel.backend import ParallelContext
+
+        # The level permutation is applied up front and materialized: the
+        # workers' shared-memory row buffer holds tree-level order, so a
+        # task path means the same thing in every process.
+        pctx = ParallelContext(
+            [tuple(row[a] for a in level_to_attr) for row in rows],
             num_attributes,
-            stats=stats.tree,
-            budget=meter,
+            config=config,
+            workers=workers,
         )
-    except NoKeysExistError:
+    try:
+        build_start = time.perf_counter()
+        try:
+            if pctx is not None:
+                tree = pctx.build_tree(stats=stats.tree, budget=meter)
+            else:
+                tree = build_prefix_tree(
+                    ([row[a] for a in level_to_attr] for row in rows),
+                    num_attributes,
+                    stats=stats.tree,
+                    budget=meter,
+                )
+        except NoKeysExistError:
+            stats.build_seconds = time.perf_counter() - build_start
+            stats.completed_phases.append("build")
+            if meter is not None:
+                stats.budget = meter.snapshot()
+            return GordianResult(
+                keys=[],
+                nonkeys=[tuple(range(num_attributes))],
+                num_attributes=num_attributes,
+                num_entities=len(rows),
+                no_keys_exist=True,
+                attribute_order=level_to_attr,
+                stats=stats,
+                attribute_names=names,
+                dictionaries=dictionaries,
+            )
+        except BudgetExceededError as exc:
+            stats.build_seconds = time.perf_counter() - build_start
+            raise _abort(exc, phase="build", meter=meter, stats=stats)
+        except KeyboardInterrupt as exc:
+            if meter is None:
+                raise
+            stats.build_seconds = time.perf_counter() - build_start
+            raise _abort(exc, phase="build", meter=meter, stats=stats) from exc
         stats.build_seconds = time.perf_counter() - build_start
         stats.completed_phases.append("build")
-        if meter is not None:
-            stats.budget = meter.snapshot()
-        return GordianResult(
-            keys=[],
-            nonkeys=[tuple(range(num_attributes))],
-            num_attributes=num_attributes,
-            num_entities=len(rows),
-            no_keys_exist=True,
-            attribute_order=level_to_attr,
-            stats=stats,
-            attribute_names=names,
-            dictionaries=dictionaries,
-        )
-    except BudgetExceededError as exc:
-        stats.build_seconds = time.perf_counter() - build_start
-        raise _abort(exc, phase="build", meter=meter, stats=stats)
-    except KeyboardInterrupt as exc:
-        if meter is None:
-            raise
-        stats.build_seconds = time.perf_counter() - build_start
-        raise _abort(exc, phase="build", meter=meter, stats=stats) from exc
-    stats.build_seconds = time.perf_counter() - build_start
-    stats.completed_phases.append("build")
 
-    search_start = time.perf_counter()
-    finder = NonKeyFinder(
-        tree,
-        pruning=config.pruning,
-        stats=stats.search,
-        budget=meter,
-        merge_cache=merge_cache,
-    )
-    try:
-        nonkey_set = finder.run()
-    except (BudgetExceededError, KeyboardInterrupt) as exc:
-        if meter is None and isinstance(exc, KeyboardInterrupt):
-            raise
+        search_start = time.perf_counter()
+        if pctx is not None:
+            finder = pctx.make_finder(tree, stats=stats.search, budget=meter)
+        else:
+            finder = NonKeyFinder(
+                tree,
+                pruning=config.pruning,
+                stats=stats.search,
+                budget=meter,
+                merge_cache=merge_cache,
+            )
+        try:
+            nonkey_set = finder.run()
+        except (BudgetExceededError, KeyboardInterrupt) as exc:
+            if meter is None and isinstance(exc, KeyboardInterrupt):
+                raise
+            stats.search_seconds = time.perf_counter() - search_start
+            raise _abort(
+                exc,
+                phase="search",
+                meter=meter,
+                stats=stats,
+                partial_nonkeys=[
+                    _translate_mask(mask, level_to_attr)
+                    for mask in finder.nonkeys.masks()
+                ],
+            ) from (exc if isinstance(exc, KeyboardInterrupt) else None)
         stats.search_seconds = time.perf_counter() - search_start
-        raise _abort(
-            exc,
-            phase="search",
-            meter=meter,
-            stats=stats,
-            partial_nonkeys=[
-                _translate_mask(mask, level_to_attr)
-                for mask in finder.nonkeys.masks()
-            ],
-        ) from (exc if isinstance(exc, KeyboardInterrupt) else None)
-    stats.search_seconds = time.perf_counter() - search_start
-    stats.completed_phases.append("search")
+        stats.completed_phases.append("search")
+        if config.merge_cache:
+            _warn_low_merge_cache_rate(stats.search)
+    finally:
+        if pctx is not None:
+            pctx.close()
 
     convert_start = time.perf_counter()
     key_masks = keys_from_nonkey_masks(nonkey_set.masks(), num_attributes)

@@ -33,7 +33,7 @@ from repro.core.prefix_tree import Cell, Node, PrefixTree
 from repro.core.stats import SearchStats
 from repro.robustness import faults
 
-__all__ = ["merge_nodes", "merge_children"]
+__all__ = ["merge_nodes", "merge_children", "merge_forest"]
 
 
 def merge_nodes(
@@ -214,6 +214,24 @@ def merge_nodes(
             stats.merges_performed += merges
             stats.merge_nodes_input += inputs_total
     return result[0]
+
+
+def merge_forest(
+    tree: PrefixTree,
+    roots: Sequence[Node],
+    stats: Optional[SearchStats] = None,
+) -> Node:
+    """Merge the roots of several disjoint partial trees into one tree.
+
+    This is the combine step of the sharded parallel build: because the
+    merge operator is associative and commutative on the multiset of
+    entities (Algorithm 3 unions cells value-wise and sums counts), partial
+    prefix trees built over disjoint row chunks merge into exactly the tree
+    a single pass over all rows would have produced — and merging them
+    pairwise, left to right in row order, also reproduces the serial
+    build's cell insertion order.
+    """
+    return merge_nodes(tree, roots, stats=stats)
 
 
 def merge_children(

@@ -108,6 +108,11 @@ class NonKeyFinder:
         # which the robust driver salvages for the sampling fallback.
         self._budget = budget
         self._merge_cache = merge_cache
+        # When set (parallel workers), every node whose ``visited`` flag a
+        # traversal raises is appended here so the caller can roll the
+        # flags back between tasks; ``None`` (the serial default) keeps the
+        # hot loop to a single predictable branch.
+        self._visited_log: Optional[List[Node]] = None
         if merge_cache is not None:
             merge_cache.bind(tree)
             if merge_cache.stats is None:
@@ -120,6 +125,35 @@ class NonKeyFinder:
         if self.tree.num_entities == 0:
             return self.nonkeys
         self._visit(self.tree.root, 0)
+        return self.nonkeys
+
+    def visit_subtree(
+        self,
+        node: Node,
+        start_mask: int = bitset.EMPTY,
+        visited_log: Optional[List[Node]] = None,
+    ) -> NonKeySet:
+        """Traverse one subtree as a detached slice task (parallel backend).
+
+        ``start_mask`` is the candidate-attribute context accumulated on
+        the path that led to ``node`` — exactly what ``cur`` would hold in
+        a whole-tree run the moment the traversal entered ``node``.  The
+        body is the unmodified :meth:`_visit` loop, which already
+        generalizes to any ``(node, level)`` root, so the traversal order,
+        pruning decisions, and statistics inside the subtree are identical
+        to the serial run's.
+
+        ``visited_log``, when given, collects every node whose ``visited``
+        flag this call sets.  A worker reusing its tree across tasks MUST
+        roll those flags back: tasks do not arrive in the serial
+        larger-context-first order that makes persistent flags sound.
+        """
+        self._cur_nonkey = start_mask
+        self._visited_log = visited_log
+        try:
+            self._visit(node, node.level)
+        finally:
+            self._visited_log = None
         return self.nonkeys
 
     # ------------------------------------------------------------------
@@ -165,6 +199,7 @@ class NonKeyFinder:
         prune_single_entity = self.pruning.single_entity
         prune_futility = self.pruning.futility
         merge_cache = self._merge_cache
+        visited_log = self._visited_log
         add_nonkey = self._add_nonkey
         is_covered = self.nonkeys.is_covered
         num_attributes = self._num_attributes
@@ -203,6 +238,8 @@ class NonKeyFinder:
                     if injector is not None:
                         injector.hit("nonkey.visit")
                     child.visited = True
+                    if visited_log is not None:
+                        visited_log.append(child)
                     n_visited += 1
                     if child.level == last_level:
                         # Leaf (leaves live only on the deepest level, in

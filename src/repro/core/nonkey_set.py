@@ -10,7 +10,7 @@ and otherwise evicts every stored non-key the newcomer covers.
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Iterator, List, Optional, Sequence
+from typing import Iterable, Iterator, List, Optional, Sequence
 
 from repro.core import bitset
 
@@ -108,6 +108,47 @@ class NonKeySet:
             self._uncovered_memo = set()
         self.insert_accepted += 1
         return True
+
+    @classmethod
+    def from_antichain(
+        cls, num_attributes: int, masks: Sequence[int]
+    ) -> "NonKeySet":
+        """Bulk-load masks the caller *guarantees* are mutually non-redundant.
+
+        Skips the per-insert covering scans, so seeding a worker task's
+        NonKeySet from a parent snapshot is linear instead of quadratic.
+        The parent's :meth:`masks` output qualifies (it is the stored
+        antichain), and so does any prefix of it — the lists are re-sorted
+        by complement popcount here to restore the scan-order invariant.
+        """
+        self = cls(num_attributes)
+        full = self._full_mask
+        entries = sorted(
+            ((full & ~mask).bit_count(), mask) for mask in masks
+        )
+        for size, mask in entries:
+            self._nonkeys.append(mask)
+            self._complements.append(full & ~mask)
+            self._comp_sizes.append(size)
+        return self
+
+    def union(self, masks: Iterable[int]) -> int:
+        """Insert every mask, re-minimizing as usual; returns how many were
+        kept.
+
+        This is how the parallel backend folds worker results back in
+        (Algorithm 5 semantics): each worker returns the non-keys of its
+        slice, the union re-establishes the global antichain, and arrival
+        order cannot change the outcome — subsets are dropped and covered
+        entries evicted no matter which side arrives first.  Empty masks
+        are skipped (see ``NonKeyFinder._add_nonkey`` for why they carry no
+        information).
+        """
+        accepted = 0
+        for mask in masks:
+            if mask and self.insert(mask):
+                accepted += 1
+        return accepted
 
     def is_covered(self, mask: int) -> bool:
         """True iff some stored non-key covers ``mask``.

@@ -10,7 +10,7 @@ benchmark shapes do not depend on allocator noise.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional
 
 
 @dataclass
@@ -93,6 +93,25 @@ class SearchStats:
     merge_cache_misses: int = 0
     merge_cache_evictions: int = 0
 
+    #: Every additive counter field, in declaration order.  Drives
+    #: :meth:`add_counters` (parallel workers report their per-task counters
+    #: as plain dicts, aggregated into the parent's stats here).
+    COUNTER_FIELDS = (
+        "nodes_visited",
+        "leaf_nodes_visited",
+        "merges_performed",
+        "merge_nodes_input",
+        "nonkeys_discovered",
+        "nonkeys_inserted",
+        "singleton_prunings_shared",
+        "singleton_prunings_one_cell",
+        "single_entity_prunings",
+        "futility_prunings",
+        "merge_cache_hits",
+        "merge_cache_misses",
+        "merge_cache_evictions",
+    )
+
     @property
     def total_prunings(self) -> int:
         return (
@@ -100,6 +119,35 @@ class SearchStats:
             + self.singleton_prunings_one_cell
             + self.single_entity_prunings
             + self.futility_prunings
+        )
+
+    @property
+    def merge_cache_hit_rate(self) -> float:
+        """Fraction of cache probes that hit (0.0 with no probes)."""
+        attempts = self.merge_cache_hits + self.merge_cache_misses
+        return 0.0 if attempts == 0 else self.merge_cache_hits / attempts
+
+    def add_counters(self, counters: Mapping[str, int]) -> None:
+        """Accumulate another run's (or worker task's) counters into this.
+
+        Unknown and derived keys (``total_prunings``, the hit rate) are
+        ignored, so a worker's ``as_dict()`` output feeds in directly.
+        """
+        for name in self.COUNTER_FIELDS:
+            value = counters.get(name)
+            if value:
+                setattr(self, name, getattr(self, name) + value)
+
+    def summary(self) -> str:
+        """One-line human-readable digest of the search."""
+        return (
+            f"visited {self.nodes_visited} nodes "
+            f"({self.leaf_nodes_visited} leaves), "
+            f"{self.merges_performed} merges, "
+            f"{self.nonkeys_discovered} non-keys discovered "
+            f"({self.nonkeys_inserted} kept), "
+            f"{self.total_prunings} prunings, "
+            f"merge-cache hit rate {100.0 * self.merge_cache_hit_rate:.1f}%"
         )
 
     def as_dict(self) -> Dict[str, int]:
@@ -119,6 +167,7 @@ class SearchStats:
             "merge_cache_evictions": self.merge_cache_evictions,
         }
         data["total_prunings"] = self.total_prunings
+        data["merge_cache_hit_rate"] = round(self.merge_cache_hit_rate, 4)
         return data
 
 

@@ -15,7 +15,13 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.experiments.reporting import format_table
 
-__all__ = ["ExperimentResult", "register", "ALL_EXPERIMENTS", "get_experiment"]
+__all__ = [
+    "ExperimentResult",
+    "register",
+    "ALL_EXPERIMENTS",
+    "get_experiment",
+    "run_experiments",
+]
 
 
 @dataclass
@@ -67,3 +73,42 @@ def get_experiment(experiment_id: str) -> Callable[[], ExperimentResult]:
     except KeyError:
         known = ", ".join(sorted(ALL_EXPERIMENTS))
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}") from None
+
+
+def _run_experiment_task(experiment_id: str) -> ExperimentResult:
+    """Worker-side driver lookup-and-run.
+
+    Must be importable by name in a freshly spawned process, so it imports
+    :mod:`repro.experiments` (whose ``__init__`` registers every driver)
+    rather than assuming the registry is already populated.
+    """
+    import repro.experiments  # noqa: F401  (populates ALL_EXPERIMENTS)
+
+    return get_experiment(experiment_id)()
+
+
+def run_experiments(
+    experiment_ids: Sequence[str],
+    workers: int = 1,
+    pool=None,
+) -> List[ExperimentResult]:
+    """Run several experiment drivers, optionally on a shared process pool.
+
+    Results come back in the order of ``experiment_ids`` regardless of
+    completion order.  With ``workers == 1`` (and no ``pool``) the drivers
+    run inline.  Ids are validated in the parent *before* any work is
+    dispatched, so an unknown id fails fast with the usual
+    :func:`get_experiment` error instead of a pickled traceback.
+    """
+    import repro.experiments  # noqa: F401  (populates ALL_EXPERIMENTS)
+
+    for experiment_id in experiment_ids:
+        get_experiment(experiment_id)
+    if pool is None and workers <= 1:
+        return [ALL_EXPERIMENTS[eid]() for eid in experiment_ids]
+    if pool is None:
+        from repro.parallel import shared_pool
+
+        pool = shared_pool(workers)
+    futures = [pool.submit(_run_experiment_task, eid) for eid in experiment_ids]
+    return [future.result() for future in futures]

@@ -1,0 +1,41 @@
+"""Multi-core execution backend.
+
+The serial GORDIAN pipeline stays the default (``GordianConfig.workers ==
+1`` takes exactly the code path of previous releases, bit for bit); with
+``workers > 1`` two phases fan out across a process pool:
+
+* **sharded tree build** (:mod:`repro.parallel.shard`) — the encoded rows
+  are split into contiguous chunks, each worker builds a partial prefix
+  tree over a shared-memory columnar buffer, and the partial trees are
+  combined with a parallel pairwise reduction using the associative merge
+  operator of Algorithm 3;
+* **parallel slice search** (:mod:`repro.parallel.search`) — the root-level
+  traversal recursions of NonKeyFinder become independent tasks, each
+  seeded with a snapshot of the current NonKeySet for futility pruning;
+  the returned non-key bitmaps are unioned and re-minimized (Algorithm 5
+  semantics) in the parent.
+
+:mod:`repro.parallel.pool` is the reusable, spawn-safe pool wrapper, also
+wired into the experiments harness so figure sweeps run embarrassingly
+parallel.  See DESIGN.md section 8 for the architecture and the soundness
+argument.
+"""
+
+from repro.parallel.pool import (
+    WorkerPool,
+    close_shared_pool,
+    resolve_workers,
+    shared_pool,
+)
+from repro.parallel.backend import InlineSearchExecutor, ParallelContext
+from repro.parallel.search import ParallelNonKeyFinder
+
+__all__ = [
+    "WorkerPool",
+    "resolve_workers",
+    "shared_pool",
+    "close_shared_pool",
+    "ParallelContext",
+    "ParallelNonKeyFinder",
+    "InlineSearchExecutor",
+]

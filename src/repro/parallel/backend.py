@@ -1,0 +1,187 @@
+"""Parent-side orchestration of one parallel GORDIAN run.
+
+:class:`ParallelContext` owns everything with a lifetime: the shared-memory
+row store, the worker pool (initialized once with the row handle + config),
+and the teardown order.  The pipeline driver creates one per run when
+``GordianConfig.workers > 1`` and closes it in a ``finally`` — including on
+budget trips and interrupts, so no segment or worker leaks.
+
+``build_tree`` runs the sharded build (worker-built partial trees, parallel
+pairwise reduction, final thaw into a stats/budget-accounted tree) above
+``GordianConfig.parallel_build_min_rows`` and falls back to the stock
+serial single-pass build below it, where shard round-trips cost more than
+they save.  ``make_finder`` wires a :class:`ParallelNonKeyFinder` to the
+pool.
+
+:class:`InlineSearchExecutor` runs the identical worker code path
+in-process (no pool), which the equivalence tests use to sweep datasets
+and pruning configurations cheaply.
+"""
+
+from __future__ import annotations
+
+from array import array
+from concurrent.futures import Future
+from typing import List, Optional, Sequence
+
+from repro.core.prefix_tree import PrefixTree, build_prefix_tree
+from repro.core.stats import SearchStats, TreeStats
+from repro.errors import NoKeysExistError
+from repro.parallel import worker
+from repro.parallel.pool import WorkerPool
+from repro.parallel.search import ParallelNonKeyFinder
+from repro.parallel.shard import pack_rows, plan_shards, thaw_into_tree
+from repro.parallel.worker import WorkerState
+
+__all__ = ["ParallelContext", "PoolSearchExecutor", "InlineSearchExecutor"]
+
+
+class PoolSearchExecutor:
+    """Routes search tasks to the pool's initialized workers."""
+
+    def __init__(self, pool: WorkerPool):
+        self._pool = pool
+        self.max_workers = pool.max_workers
+
+    def submit_search(self, path, context_mask, snapshot):
+        return self._pool.submit(
+            worker.search_task, path, context_mask, snapshot
+        )
+
+
+class InlineSearchExecutor:
+    """Pool-free executor: runs the worker code path in this process.
+
+    Builds a real :class:`~repro.parallel.worker.WorkerState` from the same
+    payload a pool initializer would receive, so the path-resolution,
+    snapshot-seeding, and visited-rollback logic under test is exactly what
+    ships to workers — only the process boundary is removed.
+    """
+
+    max_workers = 1
+
+    def __init__(self, payload: dict):
+        self._state = WorkerState(payload)
+
+    def submit_search(self, path, context_mask, snapshot) -> Future:
+        future: Future = Future()
+        try:
+            future.set_result(
+                self._state.run_search(path, context_mask, snapshot)
+            )
+        except BaseException as exc:  # pragma: no cover - mirrors pool error path
+            future.set_exception(exc)
+        return future
+
+
+class ParallelContext:
+    """One parallel run's shared state: row store + initialized pool."""
+
+    def __init__(
+        self,
+        rows: Sequence[Sequence[int]],
+        num_attributes: int,
+        config,
+        workers: int,
+        mp_context: Optional[str] = None,
+    ):
+        self.num_attributes = num_attributes
+        self.num_rows = len(rows)
+        self.workers = workers
+        self.config = config
+        self._store = pack_rows(rows, num_attributes)
+        self._rows = rows
+        payload = {
+            "rows": self._store.describe(),
+            "num_attributes": num_attributes,
+            "pruning": config.pruning,
+            "merge_cache_entries": (
+                config.merge_cache_entries if config.merge_cache else 0
+            ),
+        }
+        self.pool = WorkerPool(
+            workers,
+            initializer=worker.initialize,
+            initargs=(payload,),
+            mp_context=mp_context,
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------
+
+    def build_tree(
+        self,
+        stats: Optional[TreeStats] = None,
+        budget: Optional[object] = None,
+    ) -> PrefixTree:
+        """Build the prefix tree — sharded when the dataset is big enough.
+
+        The sharded build is structurally identical to the serial one:
+        contiguous shards + left-to-right pairwise reduction preserve the
+        first-seen cell order of the single-pass build (see
+        :mod:`repro.parallel.shard`).  Raises
+        :class:`~repro.errors.NoKeysExistError` on a duplicate entity,
+        whether it lies within one shard or across shards.
+        """
+        if self.num_rows < self.config.parallel_build_min_rows:
+            return build_prefix_tree(
+                self._rows, self.num_attributes, stats=stats, budget=budget
+            )
+        bounds = plan_shards(self.num_rows, self.workers)
+        frozen: List[Optional[bytes]] = [
+            future.result()
+            for future in [
+                self.pool.submit(worker.build_shard_task, start, stop)
+                for start, stop in bounds
+            ]
+        ]
+        while len(frozen) > 1:
+            if any(piece is None for piece in frozen):
+                raise NoKeysExistError(
+                    "duplicate entity observed: the dataset has no keys"
+                )
+            futures = [
+                self.pool.submit(
+                    worker.merge_shards_task, frozen[i], frozen[i + 1]
+                )
+                for i in range(0, len(frozen) - 1, 2)
+            ]
+            carry = [frozen[-1]] if len(frozen) % 2 else []
+            frozen = [future.result() for future in futures] + carry
+        if frozen[0] is None:
+            raise NoKeysExistError(
+                "duplicate entity observed: the dataset has no keys"
+            )
+        tree = PrefixTree(self.num_attributes, stats=stats, budget=budget)
+        data = array("q")
+        data.frombytes(frozen[0])
+        return thaw_into_tree(data, tree, self.num_rows)
+
+    def make_finder(
+        self,
+        tree: PrefixTree,
+        stats: Optional[SearchStats] = None,
+        budget: Optional[object] = None,
+    ) -> ParallelNonKeyFinder:
+        return ParallelNonKeyFinder(
+            tree,
+            executor=PoolSearchExecutor(self.pool),
+            pruning=self.config.pruning,
+            stats=stats,
+            budget=budget,
+        )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self.pool.shutdown()
+        finally:
+            self._store.close()
+
+    def __enter__(self) -> "ParallelContext":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,158 @@
+"""Reusable process-pool plumbing for the parallel backend.
+
+Everything here is deliberately small and spawn-safe: task functions are
+importable top-level callables, payloads are plain picklable values, and
+the pool accepts an explicit ``mp_context`` so tests can exercise the
+``spawn`` start method (the macOS/Windows default) on any platform.
+
+:func:`resolve_workers` is the single policy point for the ``--workers``
+flag: it rejects non-positive counts with a :class:`~repro.errors.ConfigError`
+and clamps requests beyond the usable CPU count (with a warning) unless the
+caller opts out — benchmarks on CPU-starved CI runners deliberately
+oversubscribe to exercise the true parallel code path.
+
+:func:`shared_pool` keeps one process-wide pool alive across calls so a
+figure sweep (or repeated ``run_experiments`` invocations) pays worker
+startup once, not per sweep.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Optional
+
+from repro.errors import ConfigError
+
+__all__ = ["resolve_workers", "usable_cpu_count", "WorkerPool", "shared_pool",
+           "close_shared_pool"]
+
+
+def usable_cpu_count() -> int:
+    """CPUs this process may actually run on (affinity-aware when possible)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
+
+
+def resolve_workers(
+    requested: int,
+    available: Optional[int] = None,
+    clamp: bool = True,
+) -> int:
+    """Validate and normalize a worker-count request.
+
+    Raises :class:`~repro.errors.ConfigError` for ``workers < 1`` (so the
+    CLI reports a clean usage error), and clamps ``workers`` above the
+    usable CPU count to it, with a :class:`RuntimeWarning` — oversubscribed
+    pools only add scheduling overhead.  ``clamp=False`` keeps the
+    requested count (used by tests and the benchmark harness, which must
+    exercise the parallel path even on single-core runners).
+    """
+    if not isinstance(requested, int) or isinstance(requested, bool):
+        raise ConfigError(f"workers must be an integer, got {requested!r}")
+    if requested < 1:
+        raise ConfigError(f"workers must be >= 1, got {requested}")
+    if not clamp:
+        return requested
+    if available is None:
+        available = usable_cpu_count()
+    available = max(1, available)
+    if requested > available:
+        warnings.warn(
+            f"workers={requested} exceeds the {available} usable CPU(s); "
+            f"clamping to {available}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return available
+    return requested
+
+
+class WorkerPool:
+    """Thin :class:`~concurrent.futures.ProcessPoolExecutor` wrapper.
+
+    Adds the three things every call site here needs: an explicit start
+    method (``mp_context``), an initializer contract (one picklable payload
+    argument), and an idempotent :meth:`shutdown` that cancels queued work.
+    """
+
+    def __init__(
+        self,
+        max_workers: int,
+        initializer: Optional[Callable] = None,
+        initargs: tuple = (),
+        mp_context: Optional[str] = None,
+    ):
+        if max_workers < 1:
+            raise ConfigError(f"a pool needs >= 1 worker, got {max_workers}")
+        self.max_workers = max_workers
+        context = (
+            multiprocessing.get_context(mp_context)
+            if mp_context is not None
+            else None
+        )
+        self._executor = ProcessPoolExecutor(
+            max_workers=max_workers,
+            mp_context=context,
+            initializer=initializer,
+            initargs=initargs,
+        )
+        self._closed = False
+
+    def submit(self, fn: Callable, *args):
+        """Schedule ``fn(*args)`` on a worker; returns a Future."""
+        return self._executor.submit(fn, *args)
+
+    def map(self, fn: Callable, iterable):
+        return self._executor.map(fn, iterable)
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=wait, cancel_futures=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+# ----------------------------------------------------------------------
+# process-wide shared pool (experiments harness)
+
+_shared_pool: Optional[WorkerPool] = None
+
+
+def shared_pool(workers: int) -> WorkerPool:
+    """Return the process-wide pool, (re)created with >= ``workers`` workers.
+
+    The pool persists across calls — repeated experiment sweeps reuse the
+    same worker processes — and is torn down at interpreter exit.  Asking
+    for more workers than the current pool has replaces it.
+    """
+    global _shared_pool
+    workers = resolve_workers(workers)
+    if _shared_pool is not None and _shared_pool.max_workers >= workers:
+        return _shared_pool
+    if _shared_pool is not None:
+        _shared_pool.shutdown()
+    _shared_pool = WorkerPool(workers)
+    return _shared_pool
+
+
+def close_shared_pool() -> None:
+    """Shut the shared pool down (no-op when none exists)."""
+    global _shared_pool
+    if _shared_pool is not None:
+        _shared_pool.shutdown()
+        _shared_pool = None
+
+
+atexit.register(close_shared_pool)

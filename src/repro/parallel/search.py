@@ -1,0 +1,274 @@
+"""Parallel slice search: fan NonKeyFinder's traversal out to a pool.
+
+The serial traversal (Algorithm 4) is a doubly recursive walk; the outer
+recursion's frontier — the interior children of the root, of every merge
+root in the root's merge chain, and (one expansion level down) of their
+largest children — consists of *independent* subtree traversals that only
+communicate through the NonKeySet.  :class:`ParallelNonKeyFinder` streams
+those subtrees as tasks to worker processes and unions the returned
+non-key bitmaps back into the parent NonKeySet (Algorithm 5 keeps the
+result minimal no matter the arrival order).
+
+Soundness (the full argument is DESIGN.md section 8):
+
+* non-keys are downward-closed and the NonKeySet stores only maximal
+  ones, so unioning per-task results and re-minimizing yields exactly the
+  serial answer — extra discoveries from pruning less are absorbed;
+* each task seeds its futility pruning with a *snapshot* of the parent
+  NonKeySet taken at submit time; every snapshot entry is a genuine
+  non-key, so pruning against it can only skip provably redundant work;
+* the parent's expansion replaces the serial ``visited``-flag singleton
+  rule with a refcount test: a child with ``refcount > 1`` at expansion
+  time is shared with an earlier-merged subtree and is traversed there
+  under a superset context (the expansion's own merges bypass the merge
+  cache precisely so no other refcount source exists);
+* workers roll back every ``visited`` flag after each task, because task
+  scheduling does not preserve the serial traversal's larger-context-first
+  discipline that makes persistent flags sound.
+
+The stream is *lazy*: merge roots are produced (and their futility checked)
+only when the dispatcher has pool capacity, so non-keys returned by early
+tasks still prune later chain segments — the cross-slice pruning the
+serial traversal gets for free.  Subtrees below the fan-out threshold are
+not split further; each runs as one task on the stock iterative serial
+path inside a worker.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, wait
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.core import bitset
+from repro.core.merge import merge_children
+from repro.core.nonkey_finder import PruningConfig
+from repro.core.nonkey_set import NonKeySet
+from repro.core.prefix_tree import Node, PrefixTree
+from repro.core.stats import SearchStats
+
+__all__ = ["SliceTask", "ParallelNonKeyFinder"]
+
+from repro.parallel.worker import STEP_CELL, STEP_MERGE
+
+#: A subtree never split across more levels than this: expansion exists to
+#: widen a narrow frontier, and two levels of fan-out saturate any
+#: realistic pool.
+_EXPAND_DEPTH = 2
+#: Snapshot masks shipped per task — the size-sorted prefix (largest
+#: non-keys first) covers the most futility queries per byte.
+_SNAPSHOT_LIMIT = 512
+#: In-flight tasks per worker: enough to hide result latency, small enough
+#: that snapshots stay fresh.
+_INFLIGHT_PER_WORKER = 2
+#: Smallest subtree worth splitting off its parent's task.  Per-task costs
+#: (dispatch, snapshot seeding, visited rollback, duplicated chain merges)
+#: are real; a few dozen coarse tasks beat thousands of fine ones.
+_MIN_EXPAND_ENTITIES = 512
+
+
+@dataclass(frozen=True)
+class SliceTask:
+    """One detached subtree traversal.
+
+    ``path`` replays from the root in a worker: ``(STEP_CELL, value)``
+    descends into a cell's child, ``(STEP_MERGE,)`` into the merge of all
+    children.  ``context_mask`` is the candidate attribute set accumulated
+    on the way down (bits at levels above the subtree).
+    """
+
+    path: tuple
+    level: int
+    context_mask: int
+    weight: int
+
+
+class ParallelNonKeyFinder:
+    """Drop-in replacement for :class:`NonKeyFinder.run` over a pool.
+
+    Exposes the same ``nonkeys`` attribute and ``run()`` contract, so the
+    pipeline's salvage path (budget trips, Ctrl-C) works unchanged.
+    """
+
+    def __init__(
+        self,
+        tree: PrefixTree,
+        executor,
+        pruning: Optional[PruningConfig] = None,
+        stats: Optional[SearchStats] = None,
+        budget: Optional[object] = None,
+        max_inflight: Optional[int] = None,
+        snapshot_limit: int = _SNAPSHOT_LIMIT,
+        expand_depth: int = _EXPAND_DEPTH,
+    ):
+        self.tree = tree
+        self.pruning = pruning if pruning is not None else PruningConfig()
+        self.stats = stats if stats is not None else SearchStats()
+        self.nonkeys = NonKeySet(tree.num_attributes)
+        self._executor = executor
+        self._budget = budget
+        self._num_attributes = tree.num_attributes
+        self._last_level = tree.num_attributes - 1
+        self._suffix = [
+            bitset.suffix_mask(level, tree.num_attributes)
+            for level in range(tree.num_attributes + 1)
+        ]
+        self._snapshot_limit = snapshot_limit
+        self._expand_depth = expand_depth
+        workers = getattr(executor, "max_workers", 1)
+        self._max_inflight = (
+            max_inflight
+            if max_inflight is not None
+            else max(2, workers * _INFLIGHT_PER_WORKER)
+        )
+        # Subtrees bigger than this get split one level further (up to
+        # expand_depth) so no single task dominates the makespan.
+        self._expand_entities = max(
+            _MIN_EXPAND_ENTITIES, tree.num_entities // max(1, workers * 4)
+        )
+        self._retained: List[Node] = []
+        self.tasks_dispatched = 0
+        self.tasks_completed = 0
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> NonKeySet:
+        if self.tree.num_entities == 0:
+            return self.nonkeys
+        stream = self._stream(
+            self.tree.root, (), bitset.EMPTY, self._expand_depth
+        )
+        inflight: dict = {}
+        submit = self._executor.submit_search
+        try:
+            while True:
+                try:
+                    while len(inflight) < self._max_inflight:
+                        task = next(stream)
+                        snapshot = self.nonkeys.masks()[: self._snapshot_limit]
+                        future = submit(task.path, task.context_mask, snapshot)
+                        inflight[future] = task
+                        self.tasks_dispatched += 1
+                except StopIteration:
+                    pass
+                if not inflight:
+                    break
+                done, _ = wait(set(inflight), return_when=FIRST_COMPLETED)
+                for future in done:
+                    inflight.pop(future)
+                    masks, counters = future.result()
+                    self.tasks_completed += 1
+                    self.nonkeys.union(masks)
+                    self.stats.add_counters(counters)
+                if self._budget is not None:
+                    # Workers run unbudgeted; the parent enforces wall clock
+                    # and memory at every completion boundary instead.
+                    self._budget.checkpoint(force=True)
+        except BaseException:
+            for future in inflight:
+                future.cancel()
+            raise
+        finally:
+            discard = self.tree.discard
+            for node in reversed(self._retained):
+                discard(node)
+            self._retained.clear()
+        return self.nonkeys
+
+    # ------------------------------------------------------------------
+
+    def _add_nonkey(self, mask: int) -> None:
+        if mask == bitset.EMPTY:
+            return
+        self.stats.nonkeys_discovered += 1
+        if self.nonkeys.insert(mask):
+            self.stats.nonkeys_inserted += 1
+
+    def _stream(
+        self, node: Node, path: tuple, context_before: int, depth: int
+    ) -> Iterator[SliceTask]:
+        """Lazily yield the task frontier under ``node``.
+
+        Mirrors one frame of the serial ``_visit`` loop: handle leaf
+        children inline, yield interior children as tasks (or expand the
+        largest ones one level, while ``depth`` allows), then walk the
+        merge chain — checking one-cell and futility pruning *at yield
+        time*, against the live NonKeySet.
+        """
+        stats = self.stats
+        budget = self._budget
+        add_nonkey = self._add_nonkey
+        pruning = self.pruning
+        prune_singleton = pruning.singleton
+        prune_single_entity = pruning.single_entity
+        prune_futility = pruning.futility
+        last_level = self._last_level
+        tree = self.tree
+        while True:
+            level = node.level
+            stats.nodes_visited += 1
+            if budget is not None:
+                budget.on_visit()
+            if level == last_level:
+                # A merge chain reached the leaf level (or the whole tree
+                # is one level deep): same leaf handling as `_visit`.
+                stats.leaf_nodes_visited += 1
+                entities = node.entity_count
+                if entities > len(node.cells):
+                    add_nonkey(context_before | (1 << level))
+                if entities > 1:
+                    add_nonkey(context_before)
+                return
+            context_in = context_before | (1 << level)
+            for value, cell in node.cells.items():
+                child = cell.child
+                if prune_singleton and child.refcount > 1:
+                    # Shared with an already-merged sibling subtree, where
+                    # it is (or will be) traversed under a superset
+                    # context — the refcount analogue of the serial
+                    # visited-flag rule.
+                    stats.singleton_prunings_shared += 1
+                    continue
+                if child.level == last_level:
+                    stats.nodes_visited += 1
+                    stats.leaf_nodes_visited += 1
+                    if budget is not None:
+                        budget.on_visit()
+                    entities = child.entity_count
+                    if entities > len(child.cells):
+                        add_nonkey(context_in | (1 << child.level))
+                    if entities > 1:
+                        add_nonkey(context_in)
+                    continue
+                if prune_single_entity and child.entity_count == 1:
+                    stats.single_entity_prunings += 1
+                    continue
+                child_path = path + ((STEP_CELL, value),)
+                if depth > 0 and child.entity_count >= self._expand_entities:
+                    yield from self._stream(
+                        child, child_path, context_in, depth - 1
+                    )
+                else:
+                    yield SliceTask(
+                        path=child_path,
+                        level=child.level,
+                        context_mask=context_in,
+                        weight=child.entity_count,
+                    )
+            # Merge-chain step (Algorithm 4 lines 22-30).
+            if prune_singleton and len(node.cells) == 1:
+                stats.singleton_prunings_one_cell += 1
+                return
+            if prune_futility and self.nonkeys.is_covered(
+                context_before | self._suffix[level + 1]
+            ):
+                stats.futility_prunings += 1
+                return
+            # cache=None is load-bearing: a memoizing cache would acquire
+            # the merge result, and a stray refcount would break the
+            # refcount > 1 shared-subtree test above.
+            merged = merge_children(tree, node, stats=stats, cache=None)
+            tree.acquire(merged)
+            self._retained.append(merged)
+            node = merged
+            path = path + ((STEP_MERGE,),)

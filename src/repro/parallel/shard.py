@@ -1,0 +1,298 @@
+"""Sharded prefix-tree construction primitives.
+
+Three pieces, all operating on the dense integer codes the dictionary
+encoder (:mod:`repro.perf.encode`) produces:
+
+* **row stores** — the parent packs the encoded rows into one
+  column-major ``multiprocessing.shared_memory`` buffer of 64-bit codes;
+  workers attach by name, copy their view out, and detach.  When shared
+  memory is unavailable (no ``/dev/shm``, exotic platforms) the rows ride
+  along pickled in the pool initializer instead — slower to start, same
+  semantics.
+* **freeze/thaw** — a compact ``array('q')`` preorder serialization of a
+  prefix (sub)tree: per node the cell count followed by ``(value, count)``
+  pairs, children immediately after their parent in cell order.  Both
+  directions are iterative, so trees hundreds of levels deep round-trip
+  without touching the recursion limit, and thawing *preserves cell
+  insertion order* — which makes the sharded build below reproduce the
+  serial tree structurally, node for node, cell for cell.
+* **shard planning** — contiguous row chunks.  Contiguity matters:
+  dictionary codes are assigned in first-seen row order, so merging
+  partial trees left-to-right visits values in exactly the order the
+  serial single-pass build first saw them, and the reduced tree's cell
+  order (dict insertion order) comes out identical to the serial build's.
+
+Cross-shard duplicate entities surface as a leaf cell with ``count > 1``
+after a merge; :func:`thaw_tree` detects them and raises
+:class:`~repro.errors.NoKeysExistError`, matching Algorithm 2's early
+abort.  Within-shard duplicates abort the worker's build directly.
+"""
+
+from __future__ import annotations
+
+from array import array
+from multiprocessing import shared_memory
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.prefix_tree import Cell, Node, PrefixTree
+from repro.errors import NoKeysExistError
+from repro.perf.encode import transpose_rows
+
+__all__ = [
+    "plan_shards",
+    "pack_rows",
+    "load_rows",
+    "ShmRowStore",
+    "InlineRowStore",
+    "freeze_tree",
+    "thaw_tree",
+]
+
+_CODE = "q"  # 64-bit signed: dictionary codes are dense non-negative ints
+_CODE_BYTES = 8
+
+
+def plan_shards(num_rows: int, shards: int) -> List[Tuple[int, int]]:
+    """Split ``num_rows`` into at most ``shards`` contiguous ``(start, stop)``
+    chunks of near-equal size (never an empty chunk)."""
+    shards = max(1, min(shards, num_rows))
+    base, extra = divmod(num_rows, shards)
+    bounds = []
+    start = 0
+    for index in range(shards):
+        stop = start + base + (1 if index < extra else 0)
+        bounds.append((start, stop))
+        start = stop
+    return bounds
+
+
+# ----------------------------------------------------------------------
+# row stores
+
+class ShmRowStore:
+    """Encoded rows packed column-major into one shared-memory segment.
+
+    Column ``a`` occupies codes ``[a * n, (a + 1) * n)`` — workers slice
+    columns straight out of the buffer without parsing.
+    """
+
+    def __init__(self, rows: Sequence[Sequence[int]], num_attributes: int):
+        self.num_rows = len(rows)
+        self.num_attributes = num_attributes
+        flat = array(_CODE)
+        for column in transpose_rows(rows, num_attributes):
+            flat.extend(column)
+        nbytes = max(1, len(flat) * _CODE_BYTES)
+        self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        self._shm.buf[: len(flat) * _CODE_BYTES] = flat.tobytes()
+
+    def describe(self) -> tuple:
+        """Picklable handle a worker passes to :func:`load_rows`."""
+        return ("shm", self._shm.name, self.num_rows, self.num_attributes)
+
+    def close(self) -> None:
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except (FileNotFoundError, OSError):  # already gone / torn down
+            pass
+
+
+class InlineRowStore:
+    """Fallback store: rows travel pickled inside the pool initializer."""
+
+    def __init__(self, rows: Sequence[Sequence[int]], num_attributes: int):
+        self.num_rows = len(rows)
+        self.num_attributes = num_attributes
+        self._rows = [tuple(row) for row in rows]
+
+    def describe(self) -> tuple:
+        return ("inline", self._rows)
+
+    def close(self) -> None:
+        self._rows = []
+
+
+def pack_rows(rows: Sequence[Sequence[int]], num_attributes: int):
+    """Build the best available row store for ``rows``."""
+    try:
+        return ShmRowStore(rows, num_attributes)
+    except (OSError, ValueError):
+        return InlineRowStore(rows, num_attributes)
+
+
+def _attach_readonly(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without tracker registration.
+
+    The parent owns the segment's lifetime.  Attaching normally registers
+    the name with this process's resource tracker (CPython issue
+    bpo-39959), which (a) spuriously unlinks the segment at worker exit
+    and (b) — because forked workers share one tracker whose cache is a
+    *set* — makes compensating ``unregister`` calls from concurrent
+    workers race into double-removes.  Suppressing registration for the
+    duration of the attach avoids both.
+    """
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+
+    def _register(rname, rtype):  # pragma: no cover - trivial shim
+        if rtype != "shared_memory":
+            original(rname, rtype)
+
+    resource_tracker.register = _register
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+def load_rows(handle: tuple) -> List[Tuple[int, ...]]:
+    """Worker-side inverse of :meth:`ShmRowStore.describe`."""
+    kind = handle[0]
+    if kind == "inline":
+        return handle[1]
+    _, name, num_rows, num_attributes = handle
+    shm = _attach_readonly(name)
+    try:
+        flat = array(_CODE)
+        flat.frombytes(bytes(shm.buf[: num_rows * num_attributes * _CODE_BYTES]))
+    finally:
+        shm.close()
+    columns = [
+        flat[a * num_rows: (a + 1) * num_rows] for a in range(num_attributes)
+    ]
+    return list(zip(*columns))
+
+
+# ----------------------------------------------------------------------
+# freeze / thaw
+
+def freeze_tree(root: Node, num_attributes: int) -> array:
+    """Serialize the subtree under ``root`` (itself at level 0) preorder."""
+    out = array(_CODE)
+    append = out.append
+    last_level = num_attributes - 1
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        cells = node.cells
+        append(len(cells))
+        if node.level == last_level:
+            for value, cell in cells.items():
+                append(value)
+                append(cell.count)
+        else:
+            children = []
+            for value, cell in cells.items():
+                append(value)
+                append(cell.count)
+                children.append(cell.child)
+            # Reverse push so children pop (and serialize) in cell order.
+            for child in reversed(children):
+                stack.append(child)
+    return out
+
+
+def thaw_tree(
+    data,
+    num_attributes: int,
+    alloc: Optional[Callable[[int], Node]] = None,
+    check_duplicates: bool = True,
+) -> Node:
+    """Rebuild a tree from :func:`freeze_tree` output; returns the root.
+
+    ``alloc(level)`` supplies nodes — pass :meth:`PrefixTree.new_node` to
+    thaw into a stats/budget-accounted tree, or leave ``None`` for plain
+    allocation (worker scratch trees).  Every thawed node gets
+    ``refcount = 1`` (one referencing parent cell; the caller owns the
+    root's reference).  With ``check_duplicates``, a leaf cell counting
+    more than one entity — a duplicate entity, possibly only visible after
+    shards were merged — raises :class:`~repro.errors.NoKeysExistError`.
+    """
+    if isinstance(data, (bytes, bytearray)):
+        raw = array(_CODE)
+        raw.frombytes(bytes(data))
+        data = raw
+    if alloc is None:
+        alloc = Node
+    last_level = num_attributes - 1
+    position = 0
+    root: Optional[Node] = None
+    # Stack of (cell-to-fill, level); preorder input means a node's children
+    # follow immediately, in cell order — push them reversed so they pop in
+    # that same order.
+    pending: List[Tuple[Optional[Cell], int]] = [(None, 0)]
+    while pending:
+        cell_slot, level = pending.pop()
+        node = alloc(level)
+        node.refcount = 1
+        if cell_slot is None:
+            root = node
+        else:
+            cell_slot.child = node
+        num_cells = data[position]
+        position += 1
+        cells = node.cells
+        entity_total = 0
+        is_leaf = level == last_level
+        children: List[Cell] = []
+        for _ in range(num_cells):
+            value = data[position]
+            count = data[position + 1]
+            position += 2
+            cell = Cell(value, count)
+            cells[value] = cell
+            entity_total += count
+            if is_leaf:
+                if check_duplicates and count > 1:
+                    raise NoKeysExistError(
+                        "duplicate entity observed across shards: "
+                        "the dataset has no keys"
+                    )
+            else:
+                children.append(cell)
+        node.entity_count = entity_total
+        for cell in reversed(children):
+            pending.append((cell, level + 1))
+    return root
+
+
+def thaw_into_tree(
+    data,
+    tree: PrefixTree,
+    num_entities: int,
+    check_duplicates: bool = True,
+) -> PrefixTree:
+    """Thaw ``data`` as the root of ``tree`` (replacing its empty root).
+
+    Allocation goes through :meth:`PrefixTree.new_node`, so tree statistics
+    and an armed budget meter see every node exactly as they would during a
+    serial build.
+    """
+    placeholder = tree.root
+    root = thaw_tree(
+        data,
+        tree.num_attributes,
+        alloc=tree.new_node,
+        check_duplicates=check_duplicates,
+    )
+    # Cell allocations are not routed through new_node; account them in one
+    # sweep so live/peak cell counters match a built tree.
+    tree.stats.on_cells_created(_count_cells(root))
+    tree.root = root
+    tree.num_entities = num_entities
+    tree.discard(placeholder)
+    return tree
+
+
+def _count_cells(root: Node) -> int:
+    total = 0
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        total += len(node.cells)
+        for cell in node.cells.values():
+            if cell.child is not None:
+                stack.append(cell.child)
+    return total

@@ -1,0 +1,218 @@
+"""Worker-process side of the parallel backend.
+
+A pool worker is initialized once (:func:`initialize`) with a picklable
+payload — the row-store handle, schema width, pruning switches, and cache
+cap — and keeps a :class:`WorkerState` alive for its whole life: the
+decoded rows, a lazily built full prefix tree, a path cache of resolved
+merge-chain nodes, and a persistent per-worker merge cache.  Task
+functions are importable top-level callables (spawn-safe) that consult the
+module-global state.
+
+Search tasks ship only ``(path, context-mask, NonKeySet snapshot)``; the
+worker replays the path against its own tree (re-deriving the same merge
+nodes the parent derived, since the merge operator is deterministic) and
+runs the stock serial :meth:`NonKeyFinder.visit_subtree` over the subtree.
+Every ``visited`` flag set during a task is rolled back afterwards: tasks
+arrive in no particular context order, and a flag left behind by a
+small-context task could otherwise prune a later, larger-context traversal
+unsoundly (see DESIGN.md section 8).
+
+Exceptions never cross the process boundary for *expected* conditions:
+a duplicate entity during a shard build returns the ``None`` sentinel
+(raised as :class:`~repro.errors.NoKeysExistError` by the parent), because
+exception classes with keyword-only salvage attributes do not all survive
+pickling round-trips.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.merge import merge_children, merge_forest
+from repro.core.nonkey_finder import NonKeyFinder, PruningConfig
+from repro.core.nonkey_set import NonKeySet
+from repro.core.prefix_tree import Node, PrefixTree, build_prefix_tree
+from repro.core.stats import SearchStats
+from repro.errors import NoKeysExistError
+from repro.parallel.shard import freeze_tree, load_rows, thaw_tree
+
+__all__ = [
+    "WorkerState",
+    "initialize",
+    "search_task",
+    "build_shard_task",
+    "merge_shards_task",
+    "STEP_CELL",
+    "STEP_MERGE",
+]
+
+#: Path-step tags: descend into the child of the cell holding a value, or
+#: into the merge of all children (Algorithm 4's merge recursion).
+STEP_CELL = 0
+STEP_MERGE = 1
+
+_STATE: Optional["WorkerState"] = None
+
+
+class WorkerState:
+    """Per-process state shared by every task a worker runs.
+
+    Also directly instantiable in-process (see
+    :class:`repro.parallel.backend.InlineSearchExecutor`), which is how the
+    equivalence tests exercise the exact worker code path without pool
+    startup cost.
+    """
+
+    def __init__(self, payload: dict):
+        self._rows_handle = payload["rows"]
+        self.num_attributes = payload["num_attributes"]
+        self.pruning: PruningConfig = payload["pruning"]
+        self._cache_entries = payload.get("merge_cache_entries", 0)
+        self._rows: Optional[List[Tuple[int, ...]]] = None
+        self._tree: Optional[PrefixTree] = None
+        self.merge_cache = None
+        # path (tuple of steps) -> resolved node; merge nodes resolved here
+        # are reference-acquired and retained for the worker's lifetime, so
+        # later tasks sharing a chain prefix reuse them.
+        self._path_cache: Dict[tuple, Node] = {}
+
+    # -- lazy materialization -------------------------------------------
+
+    @property
+    def rows(self) -> List[Tuple[int, ...]]:
+        if self._rows is None:
+            self._rows = load_rows(self._rows_handle)
+        return self._rows
+
+    @property
+    def tree(self) -> PrefixTree:
+        if self._tree is None:
+            self._tree = build_prefix_tree(self.rows, self.num_attributes)
+            if self._cache_entries > 0:
+                from repro.perf.merge_cache import MergeCache
+
+                self.merge_cache = MergeCache(max_entries=self._cache_entries)
+                self.merge_cache.bind(self._tree)
+            self._path_cache[()] = self._tree.root
+        return self._tree
+
+    # -- path resolution ------------------------------------------------
+
+    def resolve(self, path: tuple) -> Node:
+        """Node at ``path``, reusing the longest already-resolved prefix."""
+        tree = self.tree
+        cache = self._path_cache
+        node = cache.get(path)
+        if node is not None:
+            return node
+        depth = len(path)
+        base = 0
+        for length in range(depth - 1, 0, -1):
+            cached = cache.get(path[:length])
+            if cached is not None:
+                node = cached
+                base = length
+                break
+        else:
+            node = tree.root
+        for index in range(base, depth):
+            step = path[index]
+            if step[0] == STEP_CELL:
+                node = node.cells[step[1]].child
+            else:
+                node = merge_children(tree, node, cache=self.merge_cache)
+                tree.acquire(node)  # retained for the worker's lifetime
+            cache[path[: index + 1]] = node
+        return node
+
+    # -- tasks -----------------------------------------------------------
+
+    def run_search(
+        self, path: tuple, context_mask: int, snapshot: List[int]
+    ) -> Tuple[List[int], Dict[str, int]]:
+        """Traverse the subtree at ``path`` under ``context_mask``.
+
+        ``snapshot`` seeds the task's NonKeySet so futility pruning starts
+        from what the parent already knew at submit time (every mask in it
+        is a genuine non-key, so seeding is sound — see DESIGN.md §8).
+        Returns the discovered masks and this task's counter dict.
+        """
+        node = self.resolve(path)
+        stats = SearchStats()
+        if self.merge_cache is not None:
+            # Per-task stats: hit/miss counters must land in *this* task's
+            # dict, not whichever task first touched the cache.
+            self.merge_cache.stats = stats
+        finder = NonKeyFinder(
+            self.tree,
+            pruning=self.pruning,
+            stats=stats,
+            merge_cache=self.merge_cache,
+        )
+        # The snapshot is a prefix of the parent's stored antichain, so the
+        # linear bulk load applies — per-insert covering scans would make
+        # seeding quadratic in the snapshot size, once per task.
+        finder.nonkeys = NonKeySet.from_antichain(
+            self.num_attributes, snapshot
+        )
+        visited_log: List[Node] = []
+        try:
+            finder.visit_subtree(
+                node, start_mask=context_mask, visited_log=visited_log
+            )
+        finally:
+            for touched in visited_log:
+                touched.visited = False
+        return finder.nonkeys.masks(), stats.as_dict()
+
+    def build_shard(self, start: int, stop: int) -> Optional[bytes]:
+        """Build a partial tree over rows ``[start, stop)``; frozen bytes.
+
+        Returns ``None`` when the shard itself contains a duplicate entity
+        (no keys exist — the sentinel crosses the process boundary where
+        the exception would not).
+        """
+        try:
+            tree = build_prefix_tree(self.rows[start:stop], self.num_attributes)
+        except NoKeysExistError:
+            return None
+        return freeze_tree(tree.root, self.num_attributes).tobytes()
+
+    def merge_frozen(
+        self, left: Optional[bytes], right: Optional[bytes]
+    ) -> Optional[bytes]:
+        """Merge two frozen partial trees into one (reduction step)."""
+        if left is None or right is None:
+            return None
+        num_attributes = self.num_attributes
+        scratch = PrefixTree(num_attributes)
+        try:
+            roots = [
+                thaw_tree(left, num_attributes),
+                thaw_tree(right, num_attributes),
+            ]
+        except NoKeysExistError:
+            return None
+        merged = merge_forest(scratch, roots)
+        return freeze_tree(merged, num_attributes).tobytes()
+
+
+# ----------------------------------------------------------------------
+# pool entry points (top-level, hence spawn-picklable)
+
+def initialize(payload: dict) -> None:
+    """Pool initializer: build this process's :class:`WorkerState`."""
+    global _STATE
+    _STATE = WorkerState(payload)
+
+
+def search_task(path: tuple, context_mask: int, snapshot: List[int]):
+    return _STATE.run_search(path, context_mask, snapshot)
+
+
+def build_shard_task(start: int, stop: int):
+    return _STATE.build_shard(start, stop)
+
+
+def merge_shards_task(left: Optional[bytes], right: Optional[bytes]):
+    return _STATE.merge_frozen(left, right)

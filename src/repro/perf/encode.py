@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-__all__ = ["ColumnCodec", "encode_columns", "decode_row"]
+__all__ = ["ColumnCodec", "encode_columns", "decode_row", "transpose_rows"]
 
 
 class ColumnCodec:
@@ -83,6 +83,21 @@ def encode_columns(
             push(code)
         append(tuple(code_row))
     return encoded, [ColumnCodec(t, d) for t, d in columns]
+
+
+def transpose_rows(
+    rows: Sequence[Sequence[int]], num_attributes: int
+) -> List[Tuple[int, ...]]:
+    """Row-major encoded rows -> one tuple per column (column-major).
+
+    The parallel backend packs encoded rows column-major into shared
+    memory (:mod:`repro.parallel.shard`); a bare ``zip(*rows)`` does the
+    transposition in C, and the ``num_attributes`` parameter covers the
+    zero-row edge case where ``zip`` alone would lose the column count.
+    """
+    if not rows:
+        return [() for _ in range(num_attributes)]
+    return list(zip(*rows))
 
 
 def decode_row(

@@ -50,11 +50,11 @@ def render_profile(stats, attribute_order: Optional[List[int]] = None) -> str:
     lines.append("-- merge cache")
     hits = search.merge_cache_hits
     misses = search.merge_cache_misses
-    attempts = hits + misses
-    rate = 0.0 if attempts == 0 else 100.0 * hits / attempts
+    rate = 100.0 * search.merge_cache_hit_rate
+    low = "  (low)" if hits + misses and rate < 10.0 else ""
     lines.append(
         f"  hits {hits}  misses {misses}  evictions "
-        f"{search.merge_cache_evictions}  hit rate {rate:.1f}%"
+        f"{search.merge_cache_evictions}  hit rate {rate:.1f}%{low}"
     )
     if stats.budget is not None:
         lines.append("-- budget")

@@ -150,6 +150,36 @@ class BudgetMeter:
         self._memo_cache = None
 
     # ------------------------------------------------------------------
+    # pickling (spawn-safe worker handoff)
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Pickle the meter without its process-local attachments.
+
+        The parallel backend ships configuration to workers by pickle; a
+        meter embedded in that payload must survive the trip.  The live
+        tree stats and memo cache are parent-process objects — they are
+        dropped (a worker re-attaches its own), and a default
+        ``time.monotonic`` clock is reduced to a ``None`` sentinel because
+        the builtin pickles but a caller-supplied closure (tests use fake
+        clocks) may not.
+        """
+        state = {
+            name: getattr(self, name)
+            for name in self.__slots__
+            if name not in ("_clock", "_tree_stats", "_memo_cache")
+        }
+        state["_clock"] = None if self._clock is time.monotonic else self._clock
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        for name, value in state.items():
+            setattr(self, name, value)
+        if self._clock is None:
+            self._clock = time.monotonic
+        self._tree_stats = None
+        self._memo_cache = None
+
+    # ------------------------------------------------------------------
     # wiring
 
     def attach_tree_stats(self, stats: object) -> None:

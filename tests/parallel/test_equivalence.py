@@ -1,0 +1,185 @@
+"""Parallel search ≡ serial search, across datasets and pruning configs.
+
+The matrix sweeps run the exact worker code path in-process
+(:class:`InlineSearchExecutor` builds a real :class:`WorkerState` from the
+same payload a pool initializer receives); one end-to-end test per start
+method pays for a real pool.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.gordian import GordianConfig, find_keys
+from repro.core.nonkey_finder import NonKeyFinder, PruningConfig
+from repro.core.prefix_tree import build_prefix_tree
+from repro.parallel.backend import InlineSearchExecutor, ParallelContext
+from repro.parallel.search import ParallelNonKeyFinder
+from repro.parallel.worker import WorkerState
+
+
+def _random_rows(seed, n, widths):
+    rng = random.Random(seed)
+    rows, seen = [], set()
+    while len(rows) < n:
+        row = tuple(rng.randrange(w) for w in widths)
+        if row not in seen:
+            seen.add(row)
+            rows.append(row)
+    return rows
+
+
+DATASETS = {
+    "paper": [
+        (0, 0, 0, 0),
+        (1, 1, 0, 1),
+        (0, 2, 1, 2),
+        (0, 0, 2, 3),
+    ],
+    "random-narrow": _random_rows(3, 120, (4, 4, 4, 120)),
+    "random-wide": _random_rows(5, 90, (6, 5, 4, 3, 3, 90)),
+    "skewed": [(0, i % 2, i % 3, i) for i in range(80)],
+}
+
+PRUNINGS = {
+    "all": PruningConfig(),
+    "none": PruningConfig.none(),
+    "no-futility": PruningConfig(futility=False),
+    "no-singleton": PruningConfig(singleton=False),
+}
+
+
+def _payload(rows, width, pruning, cache_entries=0):
+    return {
+        "rows": ("inline", rows),
+        "num_attributes": width,
+        "pruning": pruning,
+        "merge_cache_entries": cache_entries,
+    }
+
+
+def _serial_masks(rows, width, pruning):
+    tree = build_prefix_tree(rows, width)
+    finder = NonKeyFinder(tree, pruning=pruning)
+    return finder.run().sorted_masks()
+
+
+def _parallel_masks(rows, width, pruning, cache_entries=0, **finder_kw):
+    tree = build_prefix_tree(rows, width)
+    executor = InlineSearchExecutor(
+        _payload(rows, width, pruning, cache_entries)
+    )
+    finder = ParallelNonKeyFinder(
+        tree, executor=executor, pruning=pruning, **finder_kw
+    )
+    return finder.run().sorted_masks()
+
+
+class TestInlineEquivalence:
+    @pytest.mark.parametrize(
+        "dataset,pruning",
+        list(itertools.product(DATASETS, PRUNINGS)),
+    )
+    def test_masks_match_serial(self, dataset, pruning):
+        rows = DATASETS[dataset]
+        width = len(rows[0])
+        assert _parallel_masks(
+            rows, width, PRUNINGS[pruning]
+        ) == _serial_masks(rows, width, PRUNINGS[pruning])
+
+    def test_with_worker_merge_cache(self):
+        rows = DATASETS["random-wide"]
+        width = len(rows[0])
+        assert _parallel_masks(
+            rows, width, PruningConfig(), cache_entries=256
+        ) == _serial_masks(rows, width, PruningConfig())
+
+    def test_deep_expansion_still_matches(self):
+        rows = DATASETS["random-wide"]
+        width = len(rows[0])
+        assert _parallel_masks(
+            rows,
+            width,
+            PruningConfig(),
+            expand_depth=4,
+            max_inflight=2,
+        ) == _serial_masks(rows, width, PruningConfig())
+
+
+class TestVisitedRollback:
+    def test_flags_rolled_back_after_each_task(self):
+        rows = DATASETS["random-narrow"]
+        state = WorkerState(_payload(rows, 4, PruningConfig()))
+        state.run_search((), 0, [])
+        # Every node reachable from the base tree root must be clean again.
+        stack = [state.tree.root]
+        while stack:
+            node = stack.pop()
+            assert node.visited is False
+            for cell in node.cells.values():
+                if cell.child is not None:
+                    stack.append(cell.child)
+
+    def test_repeat_task_gives_identical_result(self):
+        rows = DATASETS["random-narrow"]
+        state = WorkerState(_payload(rows, 4, PruningConfig()))
+        first, _ = state.run_search((), 0, [])
+        second, _ = state.run_search((), 0, [])
+        assert sorted(first) == sorted(second)
+
+
+class TestSnapshotSeeding:
+    def test_snapshot_prunes_but_cannot_change_answer(self):
+        rows = DATASETS["random-wide"]
+        width = len(rows[0])
+        serial = _serial_masks(rows, width, PruningConfig())
+        state = WorkerState(_payload(rows, width, PruningConfig()))
+        # Seed with the *complete* answer: everything still discovered is
+        # redundant, and the union in the parent would reproduce `serial`.
+        masks, counters = state.run_search((), 0, serial)
+        from repro.core.nonkey_set import NonKeySet
+
+        union = NonKeySet(width, initial=serial)
+        union.union(masks)
+        assert union.sorted_masks() == serial
+        assert counters["futility_prunings"] >= 0
+
+
+class TestEndToEnd:
+    CONFIG = dict(
+        clamp_workers=False, parallel_min_rows=0, parallel_build_min_rows=0
+    )
+
+    def test_fork_pool_matches_serial(self):
+        rows = _random_rows(11, 300, (7, 6, 5, 4, 300))
+        serial = find_keys(rows, config=GordianConfig())
+        par = find_keys(
+            rows, config=GordianConfig(workers=2, **self.CONFIG)
+        )
+        assert sorted(par.keys) == sorted(serial.keys)
+        assert sorted(par.nonkeys) == sorted(serial.nonkeys)
+        # (Tree *structure* is identical — see TestShardedBuildIdentity —
+        # but nodes_created totals differ: search-phase merge allocations
+        # land in worker-side trees, not the parent's TreeStats.)
+
+    def test_no_keys_dataset_matches_serial(self):
+        rows = [(1, 2), (1, 2), (3, 4)]
+        serial = find_keys(rows, config=GordianConfig())
+        par = find_keys(
+            rows, config=GordianConfig(workers=2, **self.CONFIG)
+        )
+        assert serial.no_keys_exist and par.no_keys_exist
+        assert par.keys == serial.keys == []
+
+    def test_spawn_context_smoke(self):
+        rows = [(i % 3, i % 4, i) for i in range(24)]
+        serial_tree = build_prefix_tree(rows, 3)
+        serial = NonKeyFinder(serial_tree).run().sorted_masks()
+        config = GordianConfig(workers=2, **self.CONFIG)
+        with ParallelContext(
+            rows, 3, config=config, workers=2, mp_context="spawn"
+        ) as pctx:
+            tree = pctx.build_tree()
+            finder = pctx.make_finder(tree)
+            assert finder.run().sorted_masks() == serial

@@ -1,0 +1,71 @@
+"""Spawn-safety: everything shipped to workers must survive pickling."""
+
+import pickle
+import time
+
+import pytest
+
+from repro.core.gordian import GordianConfig
+from repro.core.nonkey_finder import PruningConfig
+from repro.robustness import BudgetMeter, RunBudget
+
+
+def _round_trip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+class TestConfigPickling:
+    def test_gordian_config_round_trip(self):
+        config = GordianConfig(
+            workers=3,
+            clamp_workers=False,
+            parallel_min_rows=10,
+            parallel_build_min_rows=20,
+            merge_cache=False,
+        )
+        clone = _round_trip(config)
+        assert clone == config
+
+    def test_pruning_config_round_trip(self):
+        config = PruningConfig(singleton=False, futility=False)
+        assert _round_trip(config) == config
+
+    def test_run_budget_round_trip(self):
+        budget = RunBudget(
+            wall_clock_seconds=12.5, max_tree_nodes=1000, max_node_visits=99
+        )
+        clone = _round_trip(budget)
+        assert clone == budget
+        assert not clone.unlimited
+
+
+class TestBudgetMeterPickling:
+    def test_counters_survive_attachments_dropped(self):
+        meter = RunBudget(max_tree_nodes=100).start()
+        meter.attach_tree_stats(object())  # parent-process attachment
+        meter.on_node()
+        meter.on_visit()
+        meter.on_row()
+        clone = _round_trip(meter)
+        assert clone.nodes_allocated == 1
+        assert clone.node_visits == 1
+        assert clone.rows_inserted == 1
+        assert clone.budget == meter.budget
+        assert clone._tree_stats is None
+        assert clone._memo_cache is None
+
+    def test_default_clock_restored_to_monotonic(self):
+        meter = RunBudget().start()
+        clone = _round_trip(meter)
+        assert clone._clock is time.monotonic
+        assert clone.elapsed_seconds() >= 0.0
+
+    def test_cloned_meter_still_enforces(self):
+        from repro.errors import BudgetExceededError
+
+        meter = RunBudget(max_node_visits=2).start()
+        clone = _round_trip(meter)
+        clone.on_visit()
+        clone.on_visit()
+        with pytest.raises(BudgetExceededError):
+            clone.on_visit()

@@ -1,0 +1,69 @@
+"""Worker-count policy and the shared process pool."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.parallel import close_shared_pool, resolve_workers, shared_pool
+from repro.parallel.pool import WorkerPool, usable_cpu_count
+
+
+class TestResolveWorkers:
+    def test_valid_counts_pass_through(self):
+        assert resolve_workers(1) == 1
+        assert resolve_workers(2, available=8) == 2
+
+    @pytest.mark.parametrize("bad", [0, -1, -100])
+    def test_non_positive_rejected(self, bad):
+        with pytest.raises(ConfigError, match="workers must be >= 1"):
+            resolve_workers(bad)
+
+    @pytest.mark.parametrize("bad", [1.5, "4", None, True])
+    def test_non_int_rejected(self, bad):
+        with pytest.raises(ConfigError, match="workers must be"):
+            resolve_workers(bad)
+
+    def test_clamps_to_available_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="clamping to 4"):
+            assert resolve_workers(16, available=4) == 4
+
+    def test_clamp_opt_out_keeps_request(self):
+        assert resolve_workers(16, available=4, clamp=False) == 16
+
+    def test_default_available_is_usable_cpu_count(self):
+        cpus = usable_cpu_count()
+        assert cpus >= 1
+        with pytest.warns(RuntimeWarning):
+            assert resolve_workers(cpus + 7) == cpus
+
+
+class TestWorkerPool:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ConfigError):
+            WorkerPool(0)
+
+    def test_shutdown_is_idempotent(self):
+        pool = WorkerPool(1)
+        pool.shutdown()
+        pool.shutdown()  # second call must be a no-op
+
+
+class TestSharedPool:
+    def test_reused_across_calls(self):
+        try:
+            first = shared_pool(1)
+            assert shared_pool(1) is first
+        finally:
+            close_shared_pool()
+
+    def test_close_then_reopen(self):
+        try:
+            first = shared_pool(1)
+            close_shared_pool()
+            second = shared_pool(1)
+            assert second is not first
+        finally:
+            close_shared_pool()
+
+    def test_close_without_pool_is_noop(self):
+        close_shared_pool()
+        close_shared_pool()

@@ -1,0 +1,150 @@
+"""Sharded build primitives: planning, freeze/thaw, structural identity."""
+
+import pytest
+
+from repro.core.prefix_tree import build_prefix_tree
+from repro.errors import NoKeysExistError
+from repro.parallel.shard import (
+    InlineRowStore,
+    ShmRowStore,
+    freeze_tree,
+    load_rows,
+    pack_rows,
+    plan_shards,
+    thaw_tree,
+)
+from repro.parallel.worker import WorkerState
+
+
+def _rows(n=60, width=4):
+    # Deterministic, key-bearing (last column unique per row).
+    return [((i * 7) % 5, (i * 3) % 4, (i * 11) % 6, i) for i in range(n)]
+
+
+def _payload(rows, width):
+    return {
+        "rows": ("inline", rows),
+        "num_attributes": width,
+        "pruning": None,
+        "merge_cache_entries": 0,
+    }
+
+
+def _assert_same_tree(a, b):
+    """Structural equality including cell *insertion order*."""
+    stack = [(a, b)]
+    while stack:
+        x, y = stack.pop()
+        assert x.level == y.level
+        assert x.entity_count == y.entity_count
+        x_items = list(x.cells.items())
+        y_items = list(y.cells.items())
+        assert [(v, c.count) for v, c in x_items] == [
+            (v, c.count) for v, c in y_items
+        ]
+        for (_, cx), (_, cy) in zip(x_items, y_items):
+            assert (cx.child is None) == (cy.child is None)
+            if cx.child is not None:
+                stack.append((cx.child, cy.child))
+
+
+class TestPlanShards:
+    def test_near_equal_contiguous_cover(self):
+        bounds = plan_shards(10, 3)
+        assert bounds == [(0, 4), (4, 7), (7, 10)]
+
+    def test_never_more_shards_than_rows(self):
+        assert plan_shards(2, 8) == [(0, 1), (1, 2)]
+
+    def test_single_shard(self):
+        assert plan_shards(5, 1) == [(0, 5)]
+
+
+class TestRowStores:
+    def test_shm_round_trip(self):
+        rows = _rows(12)
+        store = ShmRowStore(rows, 4)
+        try:
+            assert load_rows(store.describe()) == rows
+        finally:
+            store.close()
+
+    def test_shm_close_is_idempotent(self):
+        store = ShmRowStore(_rows(3), 4)
+        store.close()
+        store.close()
+
+    def test_inline_round_trip(self):
+        rows = _rows(5)
+        store = InlineRowStore(rows, 4)
+        assert load_rows(store.describe()) == rows
+
+    def test_pack_rows_prefers_shm(self):
+        store = pack_rows(_rows(4), 4)
+        try:
+            assert isinstance(store, ShmRowStore)
+        finally:
+            store.close()
+
+
+class TestFreezeThaw:
+    def test_round_trip_is_structurally_identical(self):
+        rows = _rows(40)
+        tree = build_prefix_tree(rows, 4)
+        frozen = freeze_tree(tree.root, 4)
+        thawed = thaw_tree(frozen, 4)
+        _assert_same_tree(tree.root, thawed)
+
+    def test_round_trip_from_bytes(self):
+        rows = _rows(15)
+        tree = build_prefix_tree(rows, 4)
+        thawed = thaw_tree(freeze_tree(tree.root, 4).tobytes(), 4)
+        _assert_same_tree(tree.root, thawed)
+
+    def test_cross_shard_duplicate_detected_at_thaw(self):
+        # Each shard is duplicate-free on its own; the duplicate entity
+        # only becomes visible as a leaf cell with count > 1 after the
+        # shards merge, and the next thaw detects it.
+        rows = [(1, 2, 3), (4, 5, 6)]
+        state = WorkerState(_payload(rows + rows, 3))
+        left = state.build_shard(0, 2)
+        right = state.build_shard(2, 4)
+        assert left is not None and right is not None
+        merged = state.merge_frozen(left, right)
+        assert merged is not None
+        with pytest.raises(NoKeysExistError):
+            thaw_tree(merged, 3)
+        # A later reduction round thawing this piece maps the error to the
+        # ``None`` sentinel instead of pickling the exception.
+        assert state.merge_frozen(merged, merged) is None
+
+
+class TestShardedBuildIdentity:
+    @pytest.mark.parametrize("shards", [1, 2, 3, 5])
+    def test_reduction_matches_serial_build(self, shards):
+        rows = _rows(57)
+        serial = build_prefix_tree(rows, 4)
+        state = WorkerState(_payload(rows, 4))
+        frozen = [
+            state.build_shard(start, stop)
+            for start, stop in plan_shards(len(rows), shards)
+        ]
+        while len(frozen) > 1:
+            nxt = [
+                state.merge_frozen(frozen[i], frozen[i + 1])
+                for i in range(0, len(frozen) - 1, 2)
+            ]
+            if len(frozen) % 2:
+                nxt.append(frozen[-1])
+            frozen = nxt
+        thawed = thaw_tree(frozen[0], 4)
+        _assert_same_tree(serial.root, thawed)
+
+    def test_within_shard_duplicate_returns_sentinel(self):
+        rows = [(1, 1, 1), (1, 1, 1), (2, 2, 2)]
+        state = WorkerState(_payload(rows, 3))
+        assert state.build_shard(0, 2) is None
+
+    def test_serial_build_on_duplicates_raises(self):
+        with pytest.raises(NoKeysExistError):
+            build_prefix_tree([(1, 2), (1, 2)], 2)

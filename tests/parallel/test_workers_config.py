@@ -1,0 +1,108 @@
+"""The ``workers`` knob: validation, clamping, serial identity, warnings."""
+
+import logging
+
+import pytest
+
+from repro.cli import main
+from repro.core.gordian import (
+    GordianConfig,
+    _effective_workers,
+    _warn_low_merge_cache_rate,
+    find_keys,
+)
+from repro.core.stats import SearchStats
+from repro.dataset.csv_io import save_csv
+from repro.errors import EXIT_CONFIG, ConfigError
+from repro.parallel.pool import usable_cpu_count
+
+
+@pytest.fixture
+def employees_csv(tmp_path, paper_table):
+    path = tmp_path / "employees.csv"
+    save_csv(paper_table, path)
+    return path
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("bad", [0, -1, -8])
+    def test_non_positive_workers_rejected(self, bad):
+        with pytest.raises(ConfigError, match="workers"):
+            GordianConfig(workers=bad)
+
+    def test_bool_workers_rejected(self):
+        with pytest.raises(ConfigError, match="workers"):
+            GordianConfig(workers=True)
+
+    def test_negative_thresholds_rejected(self):
+        with pytest.raises(ConfigError):
+            GordianConfig(parallel_min_rows=-1)
+        with pytest.raises(ConfigError):
+            GordianConfig(parallel_build_min_rows=-5)
+
+
+class TestEffectiveWorkers:
+    def test_workers_one_is_always_serial(self):
+        assert _effective_workers(GordianConfig(workers=1), 10**6) == 1
+
+    def test_small_datasets_stay_serial(self):
+        config = GordianConfig(workers=4, clamp_workers=False)
+        assert _effective_workers(config, config.parallel_min_rows - 1) == 1
+
+    def test_oversubscription_clamps_with_warning(self):
+        cpus = usable_cpu_count()
+        config = GordianConfig(workers=cpus + 9)
+        with pytest.warns(RuntimeWarning, match="clamping"):
+            assert _effective_workers(config, 10**6) == cpus
+
+    def test_unencoded_run_falls_back_to_serial_with_warning(self, caplog):
+        config = GordianConfig(workers=2, encode=False, clamp_workers=False)
+        with caplog.at_level(logging.WARNING, logger="repro.core.gordian"):
+            assert _effective_workers(config, 10**6) == 1
+        assert "encod" in caplog.text
+
+
+class TestSerialIdentity:
+    def test_workers_one_counters_identical_to_default(self, paper_rows):
+        base = find_keys(paper_rows, config=GordianConfig())
+        one = find_keys(paper_rows, config=GordianConfig(workers=1))
+        assert one.keys == base.keys
+        assert one.nonkeys == base.nonkeys
+        assert one.stats.tree.as_dict() == base.stats.tree.as_dict()
+        assert one.stats.search.as_dict() == base.stats.search.as_dict()
+
+
+class TestCliWorkers:
+    def test_workers_flag_accepted(self, employees_csv, capsys):
+        assert main(["keys", str(employees_csv), "--workers", "1"]) == 0
+        assert "3 minimal key(s)" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("bad", ["0", "-2"])
+    def test_non_positive_workers_exit_config(self, employees_csv, bad):
+        assert main(
+            ["keys", str(employees_csv), "--workers", bad]
+        ) == EXIT_CONFIG
+
+
+class TestLowHitRateWarning:
+    def _stats(self, hits, misses):
+        stats = SearchStats()
+        stats.merge_cache_hits = hits
+        stats.merge_cache_misses = misses
+        return stats
+
+    def test_fires_below_threshold(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.core.gordian"):
+            assert _warn_low_merge_cache_rate(self._stats(50, 5000))
+        assert "merge cache hit rate" in caplog.text
+        assert "below" in caplog.text
+
+    def test_quiet_on_healthy_rate(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.core.gordian"):
+            assert not _warn_low_merge_cache_rate(self._stats(2000, 3000))
+        assert caplog.text == ""
+
+    def test_quiet_below_min_probes(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.core.gordian"):
+            assert not _warn_low_merge_cache_rate(self._stats(1, 99))
+        assert caplog.text == ""
