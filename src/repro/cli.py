@@ -40,14 +40,28 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from concurrent.futures.process import BrokenProcessPool
+
 from repro.core import GordianConfig, find_keys
 from repro.core.approximate import find_approximate_keys
 from repro.core.explain import render_trace, trace_nonkey_finder
 from repro.core.foreign_keys import suggest_foreign_keys
-from repro.core.gordian import RobustKeyResult, find_keys_robust, run_with_budget
+from repro.core.gordian import (
+    RobustKeyResult,
+    degraded_result_from_failure,
+    find_keys_robust,
+    run_with_budget,
+)
 from repro.dataset.csv_io import load_csv_with_retry
 from repro.dataset.profile import profile_table
-from repro.errors import EXIT_INTERRUPT, EXIT_USAGE, ReproError, exit_code_for
+from repro.errors import (
+    EXIT_INTERRUPT,
+    EXIT_USAGE,
+    EXIT_WORKER,
+    ReproError,
+    WorkerFailureError,
+    exit_code_for,
+)
 from repro.robustness import RunBudget
 
 __all__ = ["main", "build_parser"]
@@ -87,6 +101,24 @@ def build_parser() -> argparse.ArgumentParser:
                      help="worker processes for tree build and slice search "
                           "(default: 1 = serial; requests beyond the CPU "
                           "count are clamped with a warning)")
+    par.add_argument("--max-task-retries", type=int, default=2, metavar="N",
+                     help="re-dispatches allowed per failed parallel task "
+                          "before serial fallback (default: 2; 0 disables "
+                          "retries)")
+    par.add_argument("--task-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-task deadline: a parallel task running longer "
+                          "is treated as hung and its pool is restarted "
+                          "(default: none)")
+    par.add_argument("--serial-fallback", dest="serial_fallback",
+                     action=argparse.BooleanOptionalAction, default=True,
+                     help="run tasks whose retries are exhausted serially in "
+                          "the parent so the run still completes exactly "
+                          "(default: on; --no-serial-fallback degrades to "
+                          f"sampling mode with exit code {EXIT_WORKER})")
+    par.add_argument("--reuse-pool", action="store_true",
+                     help="borrow the process-wide warm worker pool instead "
+                          "of creating one per run (closed at CLI exit)")
     budget = keys.add_argument_group("resource budget")
     budget.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                         help="wall-clock deadline for the run")
@@ -138,8 +170,9 @@ def _print_approximate(table, result, max_print: int) -> None:
 
 
 def _print_degraded(table, robust: RobustKeyResult, max_print: int) -> None:
+    what = "worker failure" if robust.worker_failure else "tripped"
     print(
-        f"{table.name}: DEGRADED — {robust.reason} (tripped in "
+        f"{table.name}: DEGRADED — {robust.reason} ({what} in "
         f"{robust.phase}); fell back to sampling mode"
     )
     approx = robust.approximate
@@ -174,6 +207,10 @@ def _cmd_keys(args) -> int:
         encode=args.encode,
         merge_cache=args.merge_cache,
         workers=args.workers,
+        max_task_retries=args.max_task_retries,
+        task_timeout_seconds=args.task_timeout,
+        serial_fallback=args.serial_fallback,
+        reuse_pool=args.reuse_pool,
     )
     if args.sample_fraction is not None or args.sample_size is not None:
         result = find_approximate_keys(
@@ -217,15 +254,35 @@ def _cmd_keys(args) -> int:
                 _print_degraded(table, robust, args.max_print)
                 if args.profile:
                     _print_profile(robust.stats)
-                return 0
+                # Budget-trip degradation is a successful (documented)
+                # outcome; worker-failure degradation is reported but
+                # exits nonzero so scripts can tell the runs apart.
+                return EXIT_WORKER if robust.worker_failure else 0
             result = robust.exact
     else:
-        result = find_keys(
-            table.rows,
-            num_attributes=table.num_attributes,
-            attribute_names=table.schema.names,
-            config=config,
-        )
+        try:
+            result = find_keys(
+                table.rows,
+                num_attributes=table.num_attributes,
+                attribute_names=table.schema.names,
+                config=config,
+            )
+        except WorkerFailureError as exc:
+            # Unbudgeted run, unrecoverable worker failure: salvage the
+            # partial non-keys riding on the exception and degrade to
+            # sampling mode without re-running the exact pipeline.
+            robust = degraded_result_from_failure(
+                exc,
+                table.rows,
+                num_attributes=table.num_attributes,
+                attribute_names=table.schema.names,
+                config=config,
+                seed=args.seed,
+            )
+            _print_degraded(table, robust, args.max_print)
+            if args.profile:
+                _print_profile(robust.stats)
+            return EXIT_WORKER
     print(result.summary())
     for key in result.named_keys()[: args.max_print]:
         print(f"  <{', '.join(key)}>")
@@ -293,9 +350,31 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         with contextlib.suppress(OSError):
             os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return EXIT_INTERRUPT
+    except WorkerFailureError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print(
+            "hint: raise --max-task-retries, set a --task-timeout to recover "
+            "hung workers, keep --serial-fallback on, or run with "
+            "--workers 1",
+            file=sys.stderr,
+        )
+        return exit_code_for(exc)
+    except BrokenProcessPool as exc:
+        # A pool failure that escaped supervision (e.g. during teardown).
+        print(f"error: worker process pool broke unexpectedly: {exc}",
+              file=sys.stderr)
+        print("hint: retry, or run with --workers 1 to avoid the pool",
+              file=sys.stderr)
+        return EXIT_WORKER
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return exit_code_for(exc)
+    finally:
+        # CLI shutdown closes the warm shared pool (a no-op unless
+        # --reuse-pool created one this process).
+        from repro.parallel.pool import close_shared_pool
+
+        close_shared_pool()
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via tests calling main

@@ -41,6 +41,7 @@ from repro.errors import (
     ConfigError,
     DataError,
     NoKeysExistError,
+    WorkerFailureError,
 )
 from repro.robustness import BudgetMeter, RunBudget
 
@@ -52,6 +53,7 @@ __all__ = [
     "find_keys",
     "find_keys_robust",
     "run_with_budget",
+    "degraded_result_from_failure",
     "DEFAULT_FALLBACK_SAMPLE_SIZES",
 ]
 
@@ -128,6 +130,19 @@ class GordianConfig:
     round-trips have a higher break-even point.  Parallel execution
     requires ``encode`` (the shared-memory row buffers hold dense codes);
     with ``encode=False`` the run falls back to serial with a warning.
+
+    The supervision knobs govern fault tolerance in parallel runs (see
+    :mod:`repro.parallel.supervisor`): a failed task is re-dispatched up to
+    ``max_task_retries`` times, a task running longer than
+    ``task_timeout_seconds`` is treated as hung (the pool is killed and
+    restarted, up to ``max_pool_restarts`` times per run), and
+    ``serial_fallback`` lets exhausted tasks run in the parent so the run
+    still completes exactly; switching it off makes exhaustion raise
+    :class:`~repro.errors.WorkerFailureError` instead (degradation path).
+    ``reuse_pool`` borrows the process-wide warm pool
+    (:func:`repro.parallel.shared_pool`) instead of creating and tearing
+    down a pool per call — repeated discovery runs then pay worker startup
+    once.
     """
 
     pruning: PruningConfig = field(default_factory=PruningConfig)
@@ -140,11 +155,29 @@ class GordianConfig:
     clamp_workers: bool = True
     parallel_min_rows: int = 256
     parallel_build_min_rows: int = 4096
+    max_task_retries: int = 2
+    task_timeout_seconds: Optional[float] = None
+    serial_fallback: bool = True
+    max_pool_restarts: int = 2
+    reuse_pool: bool = False
 
     def __post_init__(self) -> None:
         if self.merge_cache and self.merge_cache_entries < 1:
             raise ConfigError(
                 f"merge_cache_entries must be >= 1, got {self.merge_cache_entries}"
+            )
+        if self.max_task_retries < 0:
+            raise ConfigError(
+                f"max_task_retries must be >= 0, got {self.max_task_retries}"
+            )
+        if self.max_pool_restarts < 0:
+            raise ConfigError(
+                f"max_pool_restarts must be >= 0, got {self.max_pool_restarts}"
+            )
+        if self.task_timeout_seconds is not None and self.task_timeout_seconds <= 0:
+            raise ConfigError(
+                f"task_timeout_seconds must be positive, got "
+                f"{self.task_timeout_seconds!r}"
             )
         if not isinstance(self.workers, int) or isinstance(self.workers, bool):
             raise ConfigError(f"workers must be an integer, got {self.workers!r}")
@@ -431,6 +464,11 @@ def _run_pipeline(
     if workers > 1:
         from repro.parallel.backend import ParallelContext
 
+        pool = None
+        if config.reuse_pool:
+            from repro.parallel.pool import shared_pool
+
+            pool = shared_pool(workers, clamp=config.clamp_workers)
         # The level permutation is applied up front and materialized: the
         # workers' shared-memory row buffer holds tree-level order, so a
         # task path means the same thing in every process.
@@ -439,6 +477,7 @@ def _run_pipeline(
             num_attributes,
             config=config,
             workers=workers,
+            pool=pool,
         )
     try:
         build_start = time.perf_counter()
@@ -471,6 +510,13 @@ def _run_pipeline(
         except BudgetExceededError as exc:
             stats.build_seconds = time.perf_counter() - build_start
             raise _abort(exc, phase="build", meter=meter, stats=stats)
+        except WorkerFailureError as exc:
+            stats.build_seconds = time.perf_counter() - build_start
+            if meter is not None:
+                stats.budget = meter.snapshot()
+            exc.phase = "build"
+            exc.stats = stats
+            raise
         except KeyboardInterrupt as exc:
             if meter is None:
                 raise
@@ -492,6 +538,20 @@ def _run_pipeline(
             )
         try:
             nonkey_set = finder.run()
+        except WorkerFailureError as exc:
+            # Workers failed past every recovery lever; salvage what the
+            # completed tasks discovered (each mask is a genuine non-key)
+            # and let the caller degrade.
+            stats.search_seconds = time.perf_counter() - search_start
+            if meter is not None:
+                stats.budget = meter.snapshot()
+            exc.phase = "search"
+            exc.stats = stats
+            exc.partial_nonkeys = [
+                _translate_mask(mask, level_to_attr)
+                for mask in finder.nonkeys.masks()
+            ]
+            raise
         except (BudgetExceededError, KeyboardInterrupt) as exc:
             if meter is None and isinstance(exc, KeyboardInterrupt):
                 raise
@@ -621,6 +681,10 @@ class RobustKeyResult:
     budget: Optional[RunBudget]
     stats: Optional[RunStats]
     attribute_names: Optional[List[str]] = None
+    #: True when the degradation was caused by unrecoverable worker failure
+    #: (:class:`~repro.errors.WorkerFailureError`) rather than a budget
+    #: trip — the CLI maps this to the worker-failure exit code.
+    worker_failure: bool = False
 
     @property
     def keys(self) -> List[Tuple[int, ...]]:
@@ -639,7 +703,8 @@ class RobustKeyResult:
         """Human-readable one-paragraph report."""
         if not self.degraded:
             return self.exact.summary()
-        parts = [f"GORDIAN DEGRADED ({self.reason}; tripped in {self.phase})"]
+        what = "worker failure" if self.worker_failure else "tripped"
+        parts = [f"GORDIAN DEGRADED ({self.reason}; {what} in {self.phase})"]
         if self.approximate is not None:
             parts.append(
                 f"fell back to a {self.approximate.sample_size}-row sample: "
@@ -677,8 +742,14 @@ def find_keys_robust(
     strength lower bound ``T(K)``, and the result carries
     ``degraded=True`` plus the reason, phase, and partial-run stats.
 
-    Schema/validation errors still raise — only *resource* exhaustion
-    degrades.
+    Unrecoverable parallel worker failure
+    (:class:`~repro.errors.WorkerFailureError`, raised when retries, pool
+    restarts, and serial fallback are all spent or disabled) degrades the
+    same way, with ``worker_failure=True`` and the sampling fallback forced
+    serial.
+
+    Schema/validation errors still raise — only resource exhaustion and
+    worker failure degrade.
     """
     from repro.core.approximate import find_approximate_keys
 
@@ -705,15 +776,53 @@ def find_keys_robust(
             stats=exact.stats,
             attribute_names=names,
         )
-    except BudgetExceededError as exc:
-        reason = exc.reason
-        phase = exc.phase
-        interrupted = exc.interrupted
-        partial_nonkeys = list(exc.partial_nonkeys)
-        stats = exc.stats
+    except (BudgetExceededError, WorkerFailureError) as exc:
+        return degraded_result_from_failure(
+            exc,
+            rows,
+            num_attributes=num_attributes,
+            attribute_names=attribute_names,
+            config=config,
+            budget=budget,
+            sample_sizes=sample_sizes,
+            seed=seed,
+            threshold=threshold,
+            fallback_grace_seconds=fallback_grace_seconds,
+            max_eval_rows=max_eval_rows,
+        )
 
+
+def degraded_result_from_failure(
+    exc: Union[BudgetExceededError, WorkerFailureError],
+    rows: Sequence[Sequence[object]],
+    num_attributes: Optional[int] = None,
+    attribute_names: Optional[Sequence[str]] = None,
+    config: Optional[GordianConfig] = None,
+    budget: Optional[RunBudget] = None,
+    sample_sizes: Sequence[int] = DEFAULT_FALLBACK_SAMPLE_SIZES,
+    seed: int = 0,
+    threshold: float = 0.8,
+    fallback_grace_seconds: float = 1.0,
+    max_eval_rows: int = 100_000,
+) -> RobustKeyResult:
+    """Degrade an aborted run into a :class:`RobustKeyResult`.
+
+    The back half of :func:`find_keys_robust`, exposed so the CLI can also
+    degrade a *plain* ``find_keys`` run that died of worker failure without
+    re-running the exact pipeline: the salvage attributes ride on ``exc``,
+    and only the sampling-mode fallback (paper section 3.9) executes here.
+    """
+    from repro.core.approximate import find_approximate_keys
+    from dataclasses import replace
+
+    names = list(attribute_names) if attribute_names else None
     if num_attributes is None and names is not None:
         num_attributes = len(names)
+    worker_failure = isinstance(exc, WorkerFailureError)
+    if config is not None and config.workers != 1:
+        # The fallback must not depend on the machinery that just failed
+        # (dead workers, broken pool) — sampling runs serially.
+        config = replace(config, workers=1)
 
     # Sampling-mode fallback.  Each attempt gets its own small grace budget:
     # the original deadline has typically already passed, and an expired
@@ -747,14 +856,15 @@ def find_keys_robust(
 
     return RobustKeyResult(
         degraded=True,
-        reason=reason,
-        phase=phase,
-        interrupted=interrupted,
+        reason=getattr(exc, "reason", str(exc)),
+        phase=exc.phase,
+        interrupted=exc.interrupted,
         exact=None,
         approximate=approximate,
-        partial_nonkeys=partial_nonkeys,
+        partial_nonkeys=list(exc.partial_nonkeys),
         sample_sizes_tried=tried,
         budget=budget,
-        stats=stats,
+        stats=exc.stats,
         attribute_names=names,
+        worker_failure=worker_failure,
     )

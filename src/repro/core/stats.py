@@ -92,6 +92,13 @@ class SearchStats:
     merge_cache_hits: int = 0
     merge_cache_misses: int = 0
     merge_cache_evictions: int = 0
+    # Supervision counters (zero in serial runs and fault-free parallel
+    # runs): failed-task re-dispatches, tasks the parent had to run itself,
+    # pool kill/restart cycles, and worker budget-share self-interrupts.
+    tasks_retried: int = 0
+    serial_fallbacks: int = 0
+    pool_restarts: int = 0
+    worker_budget_trips: int = 0
 
     #: Every additive counter field, in declaration order.  Drives
     #: :meth:`add_counters` (parallel workers report their per-task counters
@@ -110,6 +117,10 @@ class SearchStats:
         "merge_cache_hits",
         "merge_cache_misses",
         "merge_cache_evictions",
+        "tasks_retried",
+        "serial_fallbacks",
+        "pool_restarts",
+        "worker_budget_trips",
     )
 
     @property
@@ -165,6 +176,10 @@ class SearchStats:
             "merge_cache_hits": self.merge_cache_hits,
             "merge_cache_misses": self.merge_cache_misses,
             "merge_cache_evictions": self.merge_cache_evictions,
+            "tasks_retried": self.tasks_retried,
+            "serial_fallbacks": self.serial_fallbacks,
+            "pool_restarts": self.pool_restarts,
+            "worker_budget_trips": self.worker_budget_trips,
         }
         data["total_prunings"] = self.total_prunings
         data["merge_cache_hit_rate"] = round(self.merge_cache_hit_rate, 4)

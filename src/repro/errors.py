@@ -94,6 +94,42 @@ class RetryExhaustedError(ReproError):
         self.last_error = last_error
 
 
+class WorkerFailureError(ReproError):
+    """Parallel workers crashed or hung and recovery was disabled/exhausted.
+
+    Raised by the supervision layer (:mod:`repro.parallel.supervisor`) only
+    when every recovery lever is spent: per-task retries are exhausted (or
+    disabled), the pool restart quota is used up, and serial fallback is
+    switched off.  Like :class:`BudgetExceededError`, the driver enriches it
+    with the phase and the partial NonKeySet, so ``find_keys_robust`` can
+    salvage the non-keys discovered before the failure and degrade to
+    sampling mode instead of losing the run.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        phase: Optional[str] = None,
+        attempts: int = 0,
+        partial_nonkeys: Optional[List[Tuple[int, ...]]] = None,
+        stats: Optional[object] = None,
+    ):
+        super().__init__(reason)
+        self.reason = reason
+        #: Pipeline phase the failure surfaced in: "build" or "search".
+        self.phase = phase
+        #: How many times the failing task was attempted before giving up.
+        self.attempts = attempts
+        #: Minimal non-keys salvaged from completed tasks (original numbering).
+        self.partial_nonkeys = list(partial_nonkeys or [])
+        #: Partial :class:`~repro.core.stats.RunStats` of the aborted run.
+        self.stats = stats
+        #: Mirrors :class:`BudgetExceededError` so degradation code can treat
+        #: both failure kinds uniformly.
+        self.interrupted = False
+
+
 # ---------------------------------------------------------------------------
 # CLI exit codes
 #
@@ -110,6 +146,7 @@ EXIT_BUDGET = 7
 EXIT_RETRY = 8
 EXIT_NO_KEYS = 9
 EXIT_ERROR = 10
+EXIT_WORKER = 11
 EXIT_INTERRUPT = 130
 
 #: Most-specific-first mapping used by :func:`exit_code_for`.
@@ -121,6 +158,7 @@ EXIT_CODES = {
     BudgetExceededError: EXIT_BUDGET,
     RetryExhaustedError: EXIT_RETRY,
     NoKeysExistError: EXIT_NO_KEYS,
+    WorkerFailureError: EXIT_WORKER,
     ReproError: EXIT_ERROR,
 }
 

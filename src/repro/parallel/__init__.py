@@ -17,25 +17,34 @@ The serial GORDIAN pipeline stays the default (``GordianConfig.workers ==
 
 :mod:`repro.parallel.pool` is the reusable, spawn-safe pool wrapper, also
 wired into the experiments harness so figure sweeps run embarrassingly
-parallel.  See DESIGN.md section 8 for the architecture and the soundness
-argument.
+parallel.  :mod:`repro.parallel.supervisor` layers fault tolerance on
+top — per-task deadlines, bounded retries, pool restarts, and serial
+fallback in the parent — so a crashed or hung worker degrades a run
+instead of killing it.  See DESIGN.md sections 8 and 9 for the
+architecture and the soundness argument.
 """
 
 from repro.parallel.pool import (
     WorkerPool,
     close_shared_pool,
+    invalidate_shared_pool,
     resolve_workers,
     shared_pool,
 )
 from repro.parallel.backend import InlineSearchExecutor, ParallelContext
 from repro.parallel.search import ParallelNonKeyFinder
+from repro.parallel.supervisor import SERIAL_FALLBACK, SupervisedTask, Supervisor
 
 __all__ = [
     "WorkerPool",
     "resolve_workers",
     "shared_pool",
     "close_shared_pool",
+    "invalidate_shared_pool",
     "ParallelContext",
     "ParallelNonKeyFinder",
     "InlineSearchExecutor",
+    "Supervisor",
+    "SupervisedTask",
+    "SERIAL_FALLBACK",
 ]

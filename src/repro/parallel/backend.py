@@ -1,17 +1,27 @@
 """Parent-side orchestration of one parallel GORDIAN run.
 
 :class:`ParallelContext` owns everything with a lifetime: the shared-memory
-row store, the worker pool (initialized once with the row handle + config),
-and the teardown order.  The pipeline driver creates one per run when
-``GordianConfig.workers > 1`` and closes it in a ``finally`` — including on
-budget trips and interrupts, so no segment or worker leaks.
+row store, the :class:`~repro.parallel.supervisor.Supervisor` (which owns
+or borrows the worker pool), and the teardown order.  The pipeline driver
+creates one per run when ``GordianConfig.workers > 1`` and closes it in a
+``finally`` — including on budget trips, worker failures, and interrupts,
+so no segment or worker leaks.
 
-``build_tree`` runs the sharded build (worker-built partial trees, parallel
-pairwise reduction, final thaw into a stats/budget-accounted tree) above
-``GordianConfig.parallel_build_min_rows`` and falls back to the stock
-serial single-pass build below it, where shard round-trips cost more than
-they save.  ``make_finder`` wires a :class:`ParallelNonKeyFinder` to the
-pool.
+Workers receive no pool initializer: every task ships the (tiny,
+handle-based) payload plus an epoch, and worker processes rebuild their
+state when the epoch changes.  That is what lets one warm shared pool
+serve many runs, and a freshly restarted pool resume a run mid-flight
+(see the supervisor module docstring).
+
+``build_tree`` runs the sharded build (worker-built partial trees,
+parallel pairwise reduction, final thaw into a stats/budget-accounted
+tree) above ``GordianConfig.parallel_build_min_rows`` and falls back to
+the stock serial single-pass build below it, where shard round-trips cost
+more than they save.  Worker results arrive as status tuples; ``"nokeys"``
+becomes :class:`~repro.errors.NoKeysExistError` and ``"budget"`` re-raises
+through the parent meter, so the caller sees exactly the serial build's
+exceptions.  ``make_finder`` wires a :class:`ParallelNonKeyFinder` to the
+supervisor.
 
 :class:`InlineSearchExecutor` runs the identical worker code path
 in-process (no pool), which the equivalence tests use to sweep datasets
@@ -26,34 +36,21 @@ from typing import List, Optional, Sequence
 
 from repro.core.prefix_tree import PrefixTree, build_prefix_tree
 from repro.core.stats import SearchStats, TreeStats
-from repro.errors import NoKeysExistError
-from repro.parallel import worker
+from repro.errors import BudgetExceededError, NoKeysExistError
 from repro.parallel.pool import WorkerPool
 from repro.parallel.search import ParallelNonKeyFinder
 from repro.parallel.shard import pack_rows, plan_shards, thaw_into_tree
+from repro.parallel.supervisor import Supervisor
 from repro.parallel.worker import WorkerState
 
-__all__ = ["ParallelContext", "PoolSearchExecutor", "InlineSearchExecutor"]
-
-
-class PoolSearchExecutor:
-    """Routes search tasks to the pool's initialized workers."""
-
-    def __init__(self, pool: WorkerPool):
-        self._pool = pool
-        self.max_workers = pool.max_workers
-
-    def submit_search(self, path, context_mask, snapshot):
-        return self._pool.submit(
-            worker.search_task, path, context_mask, snapshot
-        )
+__all__ = ["ParallelContext", "InlineSearchExecutor"]
 
 
 class InlineSearchExecutor:
     """Pool-free executor: runs the worker code path in this process.
 
     Builds a real :class:`~repro.parallel.worker.WorkerState` from the same
-    payload a pool initializer would receive, so the path-resolution,
+    payload a pool task would carry, so the path-resolution,
     snapshot-seeding, and visited-rollback logic under test is exactly what
     ships to workers — only the process boundary is removed.
     """
@@ -63,19 +60,17 @@ class InlineSearchExecutor:
     def __init__(self, payload: dict):
         self._state = WorkerState(payload)
 
-    def submit_search(self, path, context_mask, snapshot) -> Future:
+    def submit_search(self, *args) -> Future:
         future: Future = Future()
         try:
-            future.set_result(
-                self._state.run_search(path, context_mask, snapshot)
-            )
+            future.set_result(self._state.run_search(*args))
         except BaseException as exc:  # pragma: no cover - mirrors pool error path
             future.set_exception(exc)
         return future
 
 
 class ParallelContext:
-    """One parallel run's shared state: row store + initialized pool."""
+    """One parallel run's shared state: row store + supervised pool."""
 
     def __init__(
         self,
@@ -84,6 +79,7 @@ class ParallelContext:
         config,
         workers: int,
         mp_context: Optional[str] = None,
+        pool: Optional[WorkerPool] = None,
     ):
         self.num_attributes = num_attributes
         self.num_rows = len(rows)
@@ -99,11 +95,15 @@ class ParallelContext:
                 config.merge_cache_entries if config.merge_cache else 0
             ),
         }
-        self.pool = WorkerPool(
+        self.supervisor = Supervisor(
+            payload,
             workers,
-            initializer=worker.initialize,
-            initargs=(payload,),
             mp_context=mp_context,
+            pool=pool,
+            max_task_retries=config.max_task_retries,
+            task_timeout=config.task_timeout_seconds,
+            serial_fallback=config.serial_fallback,
+            max_pool_restarts=config.max_pool_restarts,
         )
         self._closed = False
 
@@ -127,27 +127,54 @@ class ParallelContext:
             return build_prefix_tree(
                 self._rows, self.num_attributes, stats=stats, budget=budget
             )
+        supervisor = self.supervisor
         bounds = plan_shards(self.num_rows, self.workers)
-        frozen: List[Optional[bytes]] = [
-            future.result()
-            for future in [
-                self.pool.submit(worker.build_shard_task, start, stop)
-                for start, stop in bounds
-            ]
+
+        def shard_args(start: int, stop: int):
+            def make_args() -> tuple:
+                share = (
+                    budget.derive_share(1.0 / len(bounds))
+                    if budget is not None
+                    else None
+                )
+                return (start, stop, share)
+
+            return make_args
+
+        handles = [
+            supervisor.submit(
+                "build_shard",
+                shard_args(start, stop),
+                on_exhausted="local",
+                label=f"shard[{start}:{stop}]",
+            )
+            for start, stop in bounds
+        ]
+        frozen = [
+            self._unwrap(status, budget)
+            for status in supervisor.wait_all(handles)
         ]
         while len(frozen) > 1:
             if any(piece is None for piece in frozen):
                 raise NoKeysExistError(
                     "duplicate entity observed: the dataset has no keys"
                 )
-            futures = [
-                self.pool.submit(
-                    worker.merge_shards_task, frozen[i], frozen[i + 1]
+            handles = [
+                supervisor.submit(
+                    "merge_frozen",
+                    (lambda left, right: lambda: (left, right))(
+                        frozen[i], frozen[i + 1]
+                    ),
+                    on_exhausted="local",
+                    label="merge-shards",
                 )
                 for i in range(0, len(frozen) - 1, 2)
             ]
             carry = [frozen[-1]] if len(frozen) % 2 else []
-            frozen = [future.result() for future in futures] + carry
+            frozen = [
+                self._unwrap(status, budget)
+                for status in supervisor.wait_all(handles)
+            ] + carry
         if frozen[0] is None:
             raise NoKeysExistError(
                 "duplicate entity observed: the dataset has no keys"
@@ -157,6 +184,18 @@ class ParallelContext:
         data.frombytes(frozen[0])
         return thaw_into_tree(data, tree, self.num_rows)
 
+    @staticmethod
+    def _unwrap(status, budget):
+        """Decode a worker status tuple back into parent-side semantics."""
+        kind, value = status
+        if kind == "nokeys":
+            return None
+        if kind == "budget":
+            if budget is not None:
+                budget._trip(value)  # records tripped_reason, then raises
+            raise BudgetExceededError(value)
+        return value
+
     def make_finder(
         self,
         tree: PrefixTree,
@@ -165,7 +204,7 @@ class ParallelContext:
     ) -> ParallelNonKeyFinder:
         return ParallelNonKeyFinder(
             tree,
-            executor=PoolSearchExecutor(self.pool),
+            supervisor=self.supervisor,
             pruning=self.config.pruning,
             stats=stats,
             budget=budget,
@@ -176,7 +215,7 @@ class ParallelContext:
             return
         self._closed = True
         try:
-            self.pool.shutdown()
+            self.supervisor.close()
         finally:
             self._store.close()
 

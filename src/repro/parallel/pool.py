@@ -28,7 +28,7 @@ from typing import Callable, Optional
 from repro.errors import ConfigError
 
 __all__ = ["resolve_workers", "usable_cpu_count", "WorkerPool", "shared_pool",
-           "close_shared_pool"]
+           "close_shared_pool", "invalidate_shared_pool"]
 
 
 def usable_cpu_count() -> int:
@@ -117,6 +117,46 @@ class WorkerPool:
         self._closed = True
         self._executor.shutdown(wait=wait, cancel_futures=True)
 
+    def has_dead_worker(self) -> bool:
+        """True when any worker process has exited (liveness probe).
+
+        A dead worker with tasks still inflight means those futures will
+        eventually fail with ``BrokenProcessPool``; the supervisor uses this
+        probe on its heartbeat to react before the executor notices.
+        """
+        processes = getattr(self._executor, "_processes", None)
+        if not processes:
+            return False
+        return any(not p.is_alive() for p in list(processes.values()))
+
+    def kill(self) -> None:
+        """Forcibly terminate every worker and reap the children.
+
+        ``ProcessPoolExecutor`` offers no graceful recovery from a hung
+        worker — tasks cannot be cancelled once running and individual
+        workers cannot be replaced — so supervision-level recovery is
+        always kill-the-pool, restart, re-dispatch.  Termination escalates
+        to SIGKILL for workers that ignore SIGTERM (e.g. stuck in
+        uninterruptible I/O), and joins each child so no zombie survives
+        (leak tests assert ``active_children()`` is empty afterwards).
+        """
+        self._closed = True
+        processes = getattr(self._executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except (OSError, ValueError):
+                pass
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        for process in list(processes.values()):
+            process.join(timeout=0.5)
+            if process.is_alive():
+                try:
+                    process.kill()
+                except (OSError, ValueError):
+                    pass
+                process.join(timeout=5.0)
+
     def __enter__(self) -> "WorkerPool":
         return self
 
@@ -130,7 +170,7 @@ class WorkerPool:
 _shared_pool: Optional[WorkerPool] = None
 
 
-def shared_pool(workers: int) -> WorkerPool:
+def shared_pool(workers: int, clamp: bool = True) -> WorkerPool:
     """Return the process-wide pool, (re)created with >= ``workers`` workers.
 
     The pool persists across calls — repeated experiment sweeps reuse the
@@ -138,7 +178,7 @@ def shared_pool(workers: int) -> WorkerPool:
     for more workers than the current pool has replaces it.
     """
     global _shared_pool
-    workers = resolve_workers(workers)
+    workers = resolve_workers(workers, clamp=clamp)
     if _shared_pool is not None and _shared_pool.max_workers >= workers:
         return _shared_pool
     if _shared_pool is not None:
@@ -152,6 +192,18 @@ def close_shared_pool() -> None:
     global _shared_pool
     if _shared_pool is not None:
         _shared_pool.shutdown()
+        _shared_pool = None
+
+
+def invalidate_shared_pool(pool: WorkerPool) -> None:
+    """Forget ``pool`` if it is the shared one (it broke and was killed).
+
+    The supervisor calls this after killing a broken *external* pool so the
+    next ``shared_pool()`` call builds a fresh one instead of handing out
+    the corpse.
+    """
+    global _shared_pool
+    if _shared_pool is pool:
         _shared_pool = None
 
 

@@ -5,9 +5,9 @@ recursion's frontier — the interior children of the root, of every merge
 root in the root's merge chain, and (one expansion level down) of their
 largest children — consists of *independent* subtree traversals that only
 communicate through the NonKeySet.  :class:`ParallelNonKeyFinder` streams
-those subtrees as tasks to worker processes and unions the returned
-non-key bitmaps back into the parent NonKeySet (Algorithm 5 keeps the
-result minimal no matter the arrival order).
+those subtrees as supervised tasks to worker processes and unions the
+returned non-key bitmaps back into the parent NonKeySet (Algorithm 5 keeps
+the result minimal no matter the arrival order).
 
 Soundness (the full argument is DESIGN.md section 8):
 
@@ -32,24 +32,37 @@ tasks still prune later chain segments — the cross-slice pruning the
 serial traversal gets for free.  Subtrees below the fan-out threshold are
 not split further; each runs as one task on the stock iterative serial
 path inside a worker.
+
+Supervision (DESIGN.md section 9) layers fault tolerance on top without
+disturbing the refcount invariant above: tasks whose retries are exhausted
+come back as :data:`~repro.parallel.supervisor.SERIAL_FALLBACK` and are
+*deferred* — the parent runs them itself, but only after the stream is
+exhausted and the pool has drained, because resolving a slice path on the
+parent tree acquires merge nodes and a mid-stream refcount bump would be
+indistinguishable from sharing.  Budget shares travel inside each task;
+a share trip returns the slice's partial masks (absorbed immediately) and
+the slice is re-dispatched under a share derived from the budget that
+*remains*, so workers can no longer overshoot a deadline the parent only
+notices at completion boundaries.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.core import bitset
 from repro.core.merge import merge_children
-from repro.core.nonkey_finder import PruningConfig
+from repro.core.nonkey_finder import NonKeyFinder, PruningConfig
 from repro.core.nonkey_set import NonKeySet
 from repro.core.prefix_tree import Node, PrefixTree
 from repro.core.stats import SearchStats
+from repro.errors import ConfigError
+from repro.parallel.supervisor import SERIAL_FALLBACK, SupervisedTask
+from repro.parallel.worker import STEP_CELL, STEP_MERGE, resolve_path
 
 __all__ = ["SliceTask", "ParallelNonKeyFinder"]
-
-from repro.parallel.worker import STEP_CELL, STEP_MERGE
 
 #: A subtree never split across more levels than this: expansion exists to
 #: widen a narrow frontier, and two levels of fan-out saturate any
@@ -83,17 +96,73 @@ class SliceTask:
     weight: int
 
 
+class _ExecutorSupervisor:
+    """Minimal supervisor facade over an in-process search executor.
+
+    No retries, no deadlines, no fallback — task errors propagate exactly
+    as they did before supervision existed.  This is the compatibility
+    shim behind ``ParallelNonKeyFinder(executor=...)``, which the
+    equivalence tests use to run the literal worker code path in-process.
+    """
+
+    tasks_retried = 0
+    serial_fallbacks = 0
+    pool_restarts = 0
+
+    def __init__(self, executor):
+        self._executor = executor
+        self.workers = getattr(executor, "max_workers", 1)
+        self._pending: Dict[object, SupervisedTask] = {}
+
+    def submit(self, method, make_args, on_exhausted="defer", label=None):
+        task = SupervisedTask(method, make_args, on_exhausted, label)
+        self._dispatch(task)
+        return task
+
+    def resubmit(self, task: SupervisedTask) -> None:
+        task.finished = False
+        task.result = None
+        self._dispatch(task)
+
+    def _dispatch(self, task: SupervisedTask) -> None:
+        task.args = tuple(task.make_args())
+        task.future = self._executor.submit_search(*task.args)
+        self._pending[task.future] = task
+
+    def wait_any(self) -> Optional[SupervisedTask]:
+        if not self._pending:
+            return None
+        done, _ = wait(set(self._pending), return_when=FIRST_COMPLETED)
+        future = next(iter(done))
+        task = self._pending.pop(future)
+        task.finished = True
+        task.result = future.result()
+        return task
+
+    def cancel_pending(self) -> None:
+        for future in list(self._pending):
+            future.cancel()
+        self._pending.clear()
+
+    def close(self) -> None:
+        pass
+
+
 class ParallelNonKeyFinder:
     """Drop-in replacement for :class:`NonKeyFinder.run` over a pool.
 
     Exposes the same ``nonkeys`` attribute and ``run()`` contract, so the
-    pipeline's salvage path (budget trips, Ctrl-C) works unchanged.
+    pipeline's salvage path (budget trips, Ctrl-C) works unchanged.  Wire
+    it to a :class:`~repro.parallel.supervisor.Supervisor` for a real pool
+    with fault tolerance, or to an in-process executor (compatibility
+    shim, no supervision) for tests.
     """
 
     def __init__(
         self,
         tree: PrefixTree,
-        executor,
+        executor=None,
+        supervisor=None,
         pruning: Optional[PruningConfig] = None,
         stats: Optional[SearchStats] = None,
         budget: Optional[object] = None,
@@ -101,11 +170,19 @@ class ParallelNonKeyFinder:
         snapshot_limit: int = _SNAPSHOT_LIMIT,
         expand_depth: int = _EXPAND_DEPTH,
     ):
+        if supervisor is None and executor is None:
+            raise ConfigError(
+                "ParallelNonKeyFinder needs a supervisor or an executor"
+            )
         self.tree = tree
         self.pruning = pruning if pruning is not None else PruningConfig()
         self.stats = stats if stats is not None else SearchStats()
         self.nonkeys = NonKeySet(tree.num_attributes)
-        self._executor = executor
+        self._supervisor = (
+            supervisor
+            if supervisor is not None
+            else _ExecutorSupervisor(executor)
+        )
         self._budget = budget
         self._num_attributes = tree.num_attributes
         self._last_level = tree.num_attributes - 1
@@ -115,7 +192,7 @@ class ParallelNonKeyFinder:
         ]
         self._snapshot_limit = snapshot_limit
         self._expand_depth = expand_depth
-        workers = getattr(executor, "max_workers", 1)
+        workers = self._supervisor.workers
         self._max_inflight = (
             max_inflight
             if max_inflight is not None
@@ -127,6 +204,9 @@ class ParallelNonKeyFinder:
             _MIN_EXPAND_ENTITIES, tree.num_entities // max(1, workers * 4)
         )
         self._retained: List[Node] = []
+        # Serial-fallback path resolution cache (shared across deferred
+        # slices, same structure as a worker's path cache).
+        self._fallback_cache: Dict[tuple, Node] = {}
         self.tasks_dispatched = 0
         self.tasks_completed = 0
 
@@ -135,47 +215,133 @@ class ParallelNonKeyFinder:
     def run(self) -> NonKeySet:
         if self.tree.num_entities == 0:
             return self.nonkeys
+        sup = self._supervisor
         stream = self._stream(
             self.tree.root, (), bitset.EMPTY, self._expand_depth
         )
-        inflight: dict = {}
-        submit = self._executor.submit_search
+        slices: Dict[SupervisedTask, SliceTask] = {}
+        deferred: List[SliceTask] = []
+        outstanding = 0
+        stream_done = False
         try:
             while True:
-                try:
-                    while len(inflight) < self._max_inflight:
+                while not stream_done and outstanding < self._max_inflight:
+                    try:
                         task = next(stream)
-                        snapshot = self.nonkeys.masks()[: self._snapshot_limit]
-                        future = submit(task.path, task.context_mask, snapshot)
-                        inflight[future] = task
-                        self.tasks_dispatched += 1
-                except StopIteration:
-                    pass
-                if not inflight:
+                    except StopIteration:
+                        stream_done = True
+                        break
+                    handle = sup.submit(
+                        "run_search",
+                        make_args=self._make_search_args(task),
+                        on_exhausted="defer",
+                        label=f"slice@{task.level}",
+                    )
+                    slices[handle] = task
+                    self.tasks_dispatched += 1
+                    outstanding += 1
+                if outstanding == 0:
                     break
-                done, _ = wait(set(inflight), return_when=FIRST_COMPLETED)
-                for future in done:
-                    inflight.pop(future)
-                    masks, counters = future.result()
-                    self.tasks_completed += 1
-                    self.nonkeys.union(masks)
-                    self.stats.add_counters(counters)
+                handle = sup.wait_any()
+                if handle is None:  # pragma: no cover - internal invariant
+                    break
+                outstanding -= 1
+                if handle.result is SERIAL_FALLBACK:
+                    # Run it in the parent — but only after the pool phase:
+                    # resolving its path acquires merge nodes, and a
+                    # mid-stream refcount bump would corrupt the
+                    # shared-subtree test in ``_stream``.
+                    deferred.append(slices[handle])
+                    continue
+                masks, counters, tripped = handle.result
+                self.tasks_completed += 1
+                self.nonkeys.union(masks)
+                self.stats.add_counters(counters)
                 if self._budget is not None:
-                    # Workers run unbudgeted; the parent enforces wall clock
-                    # and memory at every completion boundary instead.
-                    self._budget.checkpoint(force=True)
+                    # Charge the worker's visits against the global budget
+                    # (and re-check the wall clock).  May itself trip —
+                    # partial results are already unioned, so the standard
+                    # salvage path sees them.
+                    self._budget.on_visits(counters.get("nodes_visited", 0))
+                if tripped is not None:
+                    # The worker exhausted its budget share mid-slice; its
+                    # partial masks are absorbed.  Re-dispatch the slice
+                    # under a share derived from what remains — the charge
+                    # above guarantees forward progress, so this loop
+                    # terminates at the parent's own trip at the latest.
+                    self.stats.worker_budget_trips += 1
+                    sup.resubmit(handle)
+                    self.tasks_dispatched += 1
+                    outstanding += 1
+            for task in deferred:
+                self._run_slice_serially(task)
         except BaseException:
-            for future in inflight:
-                future.cancel()
+            sup.cancel_pending()
             raise
         finally:
+            self.stats.tasks_retried += sup.tasks_retried
+            self.stats.serial_fallbacks += sup.serial_fallbacks
+            self.stats.pool_restarts += sup.pool_restarts
             discard = self.tree.discard
             for node in reversed(self._retained):
                 discard(node)
             self._retained.clear()
+            self._fallback_cache.clear()
         return self.nonkeys
 
     # ------------------------------------------------------------------
+
+    def _make_search_args(self, task: SliceTask):
+        """Argument factory: re-derives snapshot and budget share per
+        dispatch, so a retried attempt prunes against the *current*
+        NonKeySet and never exceeds the parent's remaining budget."""
+
+        def make_args() -> tuple:
+            snapshot = self.nonkeys.masks()[: self._snapshot_limit]
+            share = (
+                self._budget.derive_share(1.0 / self._max_inflight)
+                if self._budget is not None
+                else None
+            )
+            return (task.path, task.context_mask, snapshot, share)
+
+        return make_args
+
+    def _run_slice_serially(self, task: SliceTask) -> None:
+        """Parent-side execution of a slice whose retries were exhausted.
+
+        Same traversal a worker would have run — shared path resolution,
+        snapshot seeding, visited-flag rollback — but against the parent's
+        tree and meter directly (visits are charged through ``on_visit``,
+        so no bulk absorption happens here).  On a budget trip the partial
+        discoveries are still unioned before the error propagates.
+        """
+        node = resolve_path(
+            self.tree,
+            task.path,
+            self._fallback_cache,
+            merge_cache=None,
+            on_acquire=self._retained.append,
+        )
+        stats = SearchStats()
+        finder = NonKeyFinder(
+            self.tree, pruning=self.pruning, stats=stats, budget=self._budget
+        )
+        finder.nonkeys = NonKeySet.from_antichain(
+            self._num_attributes, self.nonkeys.masks()
+        )
+        self.stats.serial_fallbacks += 1
+        self.tasks_completed += 1
+        visited_log: List[Node] = []
+        try:
+            finder.visit_subtree(
+                node, start_mask=task.context_mask, visited_log=visited_log
+            )
+        finally:
+            for touched in visited_log:
+                touched.visited = False
+            self.nonkeys.union(finder.nonkeys.masks())
+            self.stats.add_counters(stats.as_dict())
 
     def _add_nonkey(self, mask: int) -> None:
         if mask == bitset.EMPTY:

@@ -30,9 +30,10 @@ abort.  Within-shard duplicates abort the worker's build directly.
 
 from __future__ import annotations
 
+import atexit
 from array import array
 from multiprocessing import shared_memory
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.prefix_tree import Cell, Node, PrefixTree
 from repro.errors import NoKeysExistError
@@ -44,12 +45,38 @@ __all__ = [
     "load_rows",
     "ShmRowStore",
     "InlineRowStore",
+    "live_segment_names",
     "freeze_tree",
     "thaw_tree",
 ]
 
 _CODE = "q"  # 64-bit signed: dictionary codes are dense non-negative ints
 _CODE_BYTES = 8
+
+
+# ----------------------------------------------------------------------
+# segment registry
+#
+# Every ShmRowStore this process creates registers itself here and
+# unregisters on close().  The atexit sweep is the last line of defence:
+# if a run dies between creating a segment and its try/finally cleanup
+# (worker-crash recovery paths, a signal at an unlucky moment), the
+# segment is still unlinked at interpreter exit instead of orphaning in
+# /dev/shm.  Tests assert the registry is empty after every run.
+
+_LIVE_SEGMENTS: Dict[str, "ShmRowStore"] = {}
+
+
+def live_segment_names() -> List[str]:
+    """Names of shared-memory segments this process created and not yet
+    closed — empty after any well-behaved run (leak tests assert this)."""
+    return sorted(_LIVE_SEGMENTS)
+
+
+@atexit.register
+def _cleanup_segments() -> None:
+    for store in list(_LIVE_SEGMENTS.values()):
+        store.close()
 
 
 def plan_shards(num_rows: int, shards: int) -> List[Tuple[int, int]]:
@@ -85,12 +112,14 @@ class ShmRowStore:
         nbytes = max(1, len(flat) * _CODE_BYTES)
         self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
         self._shm.buf[: len(flat) * _CODE_BYTES] = flat.tobytes()
+        _LIVE_SEGMENTS[self._shm.name] = self
 
     def describe(self) -> tuple:
         """Picklable handle a worker passes to :func:`load_rows`."""
         return ("shm", self._shm.name, self.num_rows, self.num_attributes)
 
     def close(self) -> None:
+        _LIVE_SEGMENTS.pop(self._shm.name, None)
         try:
             self._shm.close()
             self._shm.unlink()

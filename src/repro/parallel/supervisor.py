@@ -1,0 +1,420 @@
+"""Worker supervision: deadlines, retries, pool restarts, serial fallback.
+
+``ProcessPoolExecutor`` gives the parallel backend throughput but a brittle
+failure model: one crashed worker fails *every* inflight future with
+``BrokenProcessPool``, a hung worker blocks its task forever (running tasks
+cannot be cancelled), and neither names a culprit.  The
+:class:`Supervisor` wraps a :class:`~repro.parallel.pool.WorkerPool` with
+the recovery policy the backend needs:
+
+* **per-task deadlines** — a task that outlives ``task_timeout`` is treated
+  as hung; since an individual PPE worker can be neither interrupted nor
+  replaced, recovery is always *kill the pool, restart it, re-dispatch*;
+* **heartbeat liveness** — while waiting, the supervisor wakes every
+  ``heartbeat`` seconds to probe for silently dead workers and expired
+  deadlines instead of trusting the executor to notice;
+* **bounded retry** — each failed attempt re-dispatches the task with
+  freshly derived arguments (``make_args`` runs again, so budget shares and
+  NonKeySet snapshots are re-derived from *current* parent state) until
+  ``max_task_retries`` is spent.  A pool failure charges one attempt to
+  every task that was submitted to the broken pool: the executor cannot say
+  which task killed it, and charging all of them is safe because the pool
+  restart quota independently bounds the damage;
+* **serial fallback** — an exhausted task is executed in the parent: build
+  and merge tasks run immediately against a parent-side
+  :class:`~repro.parallel.worker.WorkerState` (``on_exhausted="local"``),
+  while search tasks are *deferred* (``on_exhausted="defer"`` returns the
+  :data:`SERIAL_FALLBACK` sentinel) because running them against the
+  parent's live tree mid-stream would perturb the refcount-based pruning
+  test in :mod:`repro.parallel.search` — the caller drains them after the
+  pool work settles.  With ``serial_fallback=False`` exhaustion raises
+  :class:`~repro.errors.WorkerFailureError` instead, which the driver maps
+  to salvage + degradation (see ``find_keys_robust``).
+
+Results stay bit-identical to serial under recovery because every recovery
+path re-executes pure work: tasks are deterministic functions of the rows
+plus arguments re-derived from parent state, and the only parent-state
+mutations (NonKeySet unions, visit accounting) happen exactly once per
+*completed* task, never per attempt.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.errors import ConfigError, WorkerFailureError
+from repro.parallel import worker
+from repro.parallel.pool import WorkerPool, invalidate_shared_pool
+
+__all__ = ["Supervisor", "SupervisedTask", "SERIAL_FALLBACK"]
+
+
+class _SerialFallback:
+    """Sentinel result: the caller must run this task serially itself."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "SERIAL_FALLBACK"
+
+
+SERIAL_FALLBACK = _SerialFallback()
+
+#: Supervisors draw unique epochs from one process-wide counter, so a warm
+#: (shared) pool serving a second ``find_keys`` call sees a new epoch and
+#: rebuilds worker state instead of reusing the previous run's rows.
+_epoch_counter = itertools.count(1)
+
+
+class SupervisedTask:
+    """One unit of pool work plus its supervision state."""
+
+    __slots__ = (
+        "method",
+        "make_args",
+        "on_exhausted",
+        "label",
+        "args",
+        "attempts",
+        "future",
+        "deadline",
+        "finished",
+        "result",
+    )
+
+    def __init__(
+        self,
+        method: str,
+        make_args: Callable[[], tuple],
+        on_exhausted: str,
+        label: Optional[str],
+    ):
+        self.method = method
+        #: Re-run on every dispatch so retried attempts see *current* parent
+        #: state (remaining budget, grown NonKeySet snapshot).
+        self.make_args = make_args
+        self.on_exhausted = on_exhausted
+        self.label = label or method
+        self.args: Optional[tuple] = None
+        #: Failed attempts so far (a dispatch is free until it fails).
+        self.attempts = 0
+        self.future = None
+        self.deadline: Optional[float] = None
+        self.finished = False
+        self.result = None
+
+
+class Supervisor:
+    """Dispatches worker tasks with deadlines, retries, and fallback.
+
+    ``pool`` may be an externally owned (shared, warm) pool; the supervisor
+    then never shuts it down on a clean :meth:`close`, but *does* kill and
+    invalidate it when it breaks — a broken executor is unusable for every
+    future client, so leaving it registered would poison later runs.
+    """
+
+    def __init__(
+        self,
+        payload: dict,
+        workers: int,
+        mp_context: Optional[str] = None,
+        pool: Optional[WorkerPool] = None,
+        max_task_retries: int = 2,
+        task_timeout: Optional[float] = None,
+        serial_fallback: bool = True,
+        max_pool_restarts: int = 2,
+        heartbeat: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if max_task_retries < 0:
+            raise ConfigError(
+                f"max_task_retries must be >= 0, got {max_task_retries}"
+            )
+        if max_pool_restarts < 0:
+            raise ConfigError(
+                f"max_pool_restarts must be >= 0, got {max_pool_restarts}"
+            )
+        if task_timeout is not None and task_timeout <= 0:
+            raise ConfigError(
+                f"task_timeout must be positive, got {task_timeout!r}"
+            )
+        self.payload = payload
+        self.workers = workers
+        self.max_task_retries = max_task_retries
+        self.task_timeout = task_timeout
+        self.serial_fallback = serial_fallback
+        self.max_pool_restarts = max_pool_restarts
+        self.heartbeat = heartbeat
+        self.epoch = next(_epoch_counter)
+        self._clock = clock
+        self._mp_context = mp_context
+        self._owns_pool = pool is None
+        self._pool: Optional[WorkerPool] = (
+            pool
+            if pool is not None
+            else WorkerPool(workers, mp_context=mp_context)
+        )
+        self._restarts = 0
+        self._dead_ticks = 0
+        self._pending: Dict[object, SupervisedTask] = {}
+        self._ready: Deque[SupervisedTask] = deque()
+        self._local_state: Optional[worker.WorkerState] = None
+        # supervision counters, absorbed into SearchStats by the caller
+        self.tasks_retried = 0
+        self.serial_fallbacks = 0
+        self.pool_restarts = 0
+
+    # ------------------------------------------------------------------
+    # submission
+
+    def submit(
+        self,
+        method: str,
+        make_args: Callable[[], tuple],
+        on_exhausted: str = "local",
+        label: Optional[str] = None,
+    ) -> SupervisedTask:
+        """Schedule ``WorkerState.<method>(*make_args())`` on a worker.
+
+        ``on_exhausted`` picks the degradation mode once retries are spent:
+        ``"local"`` runs the task in the parent, ``"defer"`` hands the
+        caller a :data:`SERIAL_FALLBACK` result to run itself later.
+        """
+        if on_exhausted not in ("local", "defer"):
+            raise ConfigError(f"unknown on_exhausted mode {on_exhausted!r}")
+        task = SupervisedTask(method, make_args, on_exhausted, label)
+        if self._pool is None:  # already degraded past the restart quota
+            self._exhaust(task, "worker pool is no longer available")
+        else:
+            self._dispatch(task)
+        return task
+
+    def resubmit(self, task: SupervisedTask) -> None:
+        """Re-dispatch a *completed* task with freshly derived arguments.
+
+        Used when a worker's budget share tripped: the partial result was
+        absorbed, and the remainder of the slice re-runs under a new share
+        derived from the parent's remaining budget.  Not a retry — the task
+        did not fail — so no attempt is charged.
+        """
+        task.finished = False
+        task.result = None
+        if self._pool is None:
+            self._exhaust(task, "worker pool is no longer available")
+        else:
+            self._dispatch(task)
+
+    def _dispatch(self, task: SupervisedTask) -> None:
+        task.args = tuple(task.make_args())
+        try:
+            task.future = self._pool.submit(
+                worker.run_task,
+                task.method,
+                self.epoch,
+                self.payload,
+                *task.args,
+            )
+        except BrokenProcessPool:
+            # The pool died between the last result and this submission —
+            # the executor refuses new work synchronously.  Same recovery
+            # as an asynchronous break.
+            self._pool_failed("a worker process crashed", [task])
+            return
+        task.deadline = (
+            None
+            if self.task_timeout is None
+            else self._clock() + self.task_timeout
+        )
+        self._pending[task.future] = task
+
+    # ------------------------------------------------------------------
+    # completion
+
+    def wait_any(self) -> Optional[SupervisedTask]:
+        """Block until one task finishes; ``None`` when nothing is pending.
+
+        A *finished* task either carries its worker (or parent-fallback)
+        result or the :data:`SERIAL_FALLBACK` sentinel.  Retries and pool
+        restarts happen invisibly inside this call; it raises
+        :class:`~repro.errors.WorkerFailureError` only when recovery is
+        disabled or exhausted.
+        """
+        while True:
+            if self._ready:
+                return self._ready.popleft()
+            if not self._pending:
+                return None
+            done, _ = wait(
+                list(self._pending),
+                timeout=self._wait_timeout(),
+                return_when=FIRST_COMPLETED,
+            )
+            if done:
+                self._collect(done)
+            else:
+                self._on_tick()
+
+    def wait_all(self, tasks: List[SupervisedTask]) -> List[object]:
+        """Results of ``tasks`` in submission order (blocks until all run)."""
+        while any(not task.finished for task in tasks):
+            if self.wait_any() is None and any(
+                not task.finished for task in tasks
+            ):  # pragma: no cover - internal invariant
+                raise RuntimeError("supervisor drained with unfinished tasks")
+        return [task.result for task in tasks]
+
+    def _wait_timeout(self) -> float:
+        timeout = self.heartbeat
+        if self.task_timeout is not None:
+            now = self._clock()
+            for task in self._pending.values():
+                if task.deadline is not None:
+                    timeout = min(timeout, task.deadline - now)
+        return max(timeout, 0.0)
+
+    def _collect(self, done) -> None:
+        broken: List[SupervisedTask] = []
+        for future in done:
+            task = self._pending.pop(future, None)
+            if task is None:  # stale future from a killed pool
+                continue
+            error = future.exception()
+            if error is None:
+                task.finished = True
+                task.result = future.result()
+                self._ready.append(task)
+            elif isinstance(error, BrokenProcessPool):
+                broken.append(task)
+            else:
+                # Ordinary task exception: the pool is healthy, only this
+                # task failed — retry it alone.
+                self._retry_or_exhaust(task, f"task error: {error}")
+        if broken:
+            self._pool_failed("a worker process crashed", broken)
+
+    def _on_tick(self) -> None:
+        """Heartbeat: check deadlines, probe worker liveness."""
+        now = self._clock()
+        expired = [
+            task
+            for task in self._pending.values()
+            if task.deadline is not None and now > task.deadline
+        ]
+        if expired:
+            # Hung workers cannot be interrupted; the whole pool goes.
+            self._pool_failed(
+                f"task exceeded its {self.task_timeout}s deadline", expired
+            )
+            return
+        if self._pool is not None and self._pool.has_dead_worker():
+            # Give the executor one heartbeat to surface BrokenProcessPool
+            # on its own; if the death goes unreported, force the issue.
+            self._dead_ticks += 1
+            if self._dead_ticks >= 2:
+                self._dead_ticks = 0
+                self._pool_failed(
+                    "a worker process died silently",
+                    list(self._pending.values()),
+                )
+        else:
+            self._dead_ticks = 0
+
+    # ------------------------------------------------------------------
+    # recovery
+
+    def _pool_failed(
+        self, reason: str, failed: List[SupervisedTask]
+    ) -> None:
+        """Kill the broken pool, restart within quota, re-dispatch tasks.
+
+        Every task that was submitted to the broken pool — ``failed`` plus
+        anything still marked pending — is charged one attempt: the
+        executor cannot name the culprit, and charging all of them keeps
+        recovery bounded without risking an innocent-looking culprit being
+        re-dispatched forever.
+        """
+        victims = list(dict.fromkeys(failed))
+        for task in self._pending.values():
+            if task not in victims:
+                victims.append(task)
+        self._pending.clear()
+        self._kill_pool()
+        if self._restarts < self.max_pool_restarts:
+            self._restarts += 1
+            self.pool_restarts += 1
+            self._pool = WorkerPool(self.workers, mp_context=self._mp_context)
+            self._owns_pool = True
+        else:
+            self._pool = None
+        for task in victims:
+            task.attempts += 1
+            self._retry_or_exhaust(task, reason, charged=True)
+
+    def _retry_or_exhaust(
+        self, task: SupervisedTask, reason: str, charged: bool = False
+    ) -> None:
+        if not charged:
+            task.attempts += 1
+        if task.attempts <= self.max_task_retries and self._pool is not None:
+            self.tasks_retried += 1
+            self._dispatch(task)
+        else:
+            self._exhaust(task, reason)
+
+    def _exhaust(self, task: SupervisedTask, reason: str) -> None:
+        if not self.serial_fallback:
+            raise WorkerFailureError(
+                f"parallel task {task.label!r} failed after "
+                f"{task.attempts} attempt(s) with retries/serial fallback "
+                f"exhausted or disabled ({reason})",
+                attempts=task.attempts,
+            )
+        if task.on_exhausted == "defer":
+            task.finished = True
+            task.result = SERIAL_FALLBACK
+            self._ready.append(task)
+            return
+        self._finish_locally(task)
+
+    def _finish_locally(self, task: SupervisedTask) -> None:
+        """Run an exhausted task in the parent process (serial fallback)."""
+        if self._local_state is None:
+            self._local_state = worker.WorkerState(self.payload)
+        args = task.make_args() if task.args is None else task.args
+        self.serial_fallbacks += 1
+        task.finished = True
+        task.result = getattr(self._local_state, task.method)(*args)
+        self._ready.append(task)
+
+    # ------------------------------------------------------------------
+    # teardown
+
+    def _kill_pool(self) -> None:
+        pool = self._pool
+        self._pool = None
+        if pool is None:
+            return
+        pool.kill()
+        if not self._owns_pool:
+            # A broken shared pool must not be handed to later callers.
+            invalidate_shared_pool(pool)
+            self._owns_pool = True  # the corpse is ours now
+
+    def cancel_pending(self) -> None:
+        """Drop all outstanding tasks (error-path cleanup)."""
+        for future in list(self._pending):
+            future.cancel()
+        self._pending.clear()
+        self._ready.clear()
+
+    def close(self) -> None:
+        """Release the pool: shut down owned pools, leave healthy external
+        pools warm for the next run."""
+        self.cancel_pending()
+        pool = self._pool
+        self._pool = None
+        if pool is not None and self._owns_pool:
+            pool.shutdown()

@@ -1,47 +1,54 @@
 """Worker-process side of the parallel backend.
 
-A pool worker is initialized once (:func:`initialize`) with a picklable
-payload — the row-store handle, schema width, pruning switches, and cache
-cap — and keeps a :class:`WorkerState` alive for its whole life: the
-decoded rows, a lazily built full prefix tree, a path cache of resolved
-merge-chain nodes, and a persistent per-worker merge cache.  Task
-functions are importable top-level callables (spawn-safe) that consult the
-module-global state.
+Every pool task enters through a single importable entry point,
+:func:`run_task`, which carries an *epoch* and the full (tiny, handle-based)
+payload on every call.  The worker keeps a module-global
+:class:`WorkerState` — decoded rows, a lazily built full prefix tree, a path
+cache of resolved merge-chain nodes, and a persistent per-worker merge
+cache — and rebuilds it only when the epoch changes.  Shipping the payload
+per task instead of through a pool initializer is what makes supervision
+practical: a freshly restarted pool (after a crash) and a long-lived shared
+pool (warm reuse across ``find_keys`` calls) both pick up the right state on
+the next task with no re-initialization protocol.
 
-Search tasks ship only ``(path, context-mask, NonKeySet snapshot)``; the
-worker replays the path against its own tree (re-deriving the same merge
-nodes the parent derived, since the merge operator is deterministic) and
-runs the stock serial :meth:`NonKeyFinder.visit_subtree` over the subtree.
-Every ``visited`` flag set during a task is rolled back afterwards: tasks
-arrive in no particular context order, and a flag left behind by a
-small-context task could otherwise prune a later, larger-context traversal
-unsoundly (see DESIGN.md section 8).
+Search tasks ship only ``(path, context-mask, NonKeySet snapshot, budget
+share)``; the worker replays the path against its own tree (re-deriving the
+same merge nodes the parent derived, since the merge operator is
+deterministic) and runs the stock serial :meth:`NonKeyFinder.visit_subtree`
+over the subtree.  Every ``visited`` flag set during a task is rolled back
+afterwards: tasks arrive in no particular context order, and a flag left
+behind by a small-context task could otherwise prune a later,
+larger-context traversal unsoundly (see DESIGN.md section 8).
 
-Exceptions never cross the process boundary for *expected* conditions:
-a duplicate entity during a shard build returns the ``None`` sentinel
-(raised as :class:`~repro.errors.NoKeysExistError` by the parent), because
-exception classes with keyword-only salvage attributes do not all survive
-pickling round-trips.
+Results cross the process boundary as status tuples, never as rich
+exceptions: a duplicate entity during a shard build returns ``("nokeys",
+None)``, a budget trip returns its partial result plus a trip reason
+(exception classes with keyword-only salvage attributes do not all survive
+pickling round-trips, and an exception would discard the salvage anyway).
+Named fault points (``worker.shard_build``, ``worker.slice_search``,
+``worker.result_send``) let the fault-injection tests kill, hang, or fail a
+worker at each stage; workers arm the plan from the environment on first
+task, so spawn-context children inherit it deterministically.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.merge import merge_children, merge_forest
 from repro.core.nonkey_finder import NonKeyFinder, PruningConfig
 from repro.core.nonkey_set import NonKeySet
 from repro.core.prefix_tree import Node, PrefixTree, build_prefix_tree
 from repro.core.stats import SearchStats
-from repro.errors import NoKeysExistError
+from repro.errors import BudgetExceededError, NoKeysExistError
 from repro.parallel.shard import freeze_tree, load_rows, thaw_tree
+from repro.robustness import faults
+from repro.robustness.budget import RunBudget
 
 __all__ = [
     "WorkerState",
-    "initialize",
-    "search_task",
-    "build_shard_task",
-    "merge_shards_task",
+    "run_task",
+    "resolve_path",
     "STEP_CELL",
     "STEP_MERGE",
 ]
@@ -52,15 +59,59 @@ STEP_CELL = 0
 STEP_MERGE = 1
 
 _STATE: Optional["WorkerState"] = None
+_EPOCH: Optional[int] = None
+_ENV_ARMED = False
+
+
+def resolve_path(
+    tree: PrefixTree,
+    path: tuple,
+    cache: Dict[tuple, Node],
+    merge_cache: Optional[object] = None,
+    on_acquire: Optional[Callable[[Node], None]] = None,
+) -> Node:
+    """Walk ``path`` from the tree root, reusing the longest cached prefix.
+
+    Merge steps re-derive the parent's merge nodes deterministically;
+    every merge node materialized here is reference-acquired (retained by
+    the cache owner) and reported to ``on_acquire`` so the caller can
+    release it later if the cache is not worker-lifetime.  Shared between
+    worker processes and the parent's serial-fallback path so both resolve
+    slice roots with identical code.
+    """
+    node = cache.get(path)
+    if node is not None:
+        return node
+    depth = len(path)
+    base = 0
+    for length in range(depth - 1, 0, -1):
+        cached = cache.get(path[:length])
+        if cached is not None:
+            node = cached
+            base = length
+            break
+    else:
+        node = cache.get(()) or tree.root
+    for index in range(base, depth):
+        step = path[index]
+        if step[0] == STEP_CELL:
+            node = node.cells[step[1]].child
+        else:
+            node = merge_children(tree, node, cache=merge_cache)
+            tree.acquire(node)
+            if on_acquire is not None:
+                on_acquire(node)
+        cache[path[: index + 1]] = node
+    return node
 
 
 class WorkerState:
     """Per-process state shared by every task a worker runs.
 
     Also directly instantiable in-process (see
-    :class:`repro.parallel.backend.InlineSearchExecutor`), which is how the
-    equivalence tests exercise the exact worker code path without pool
-    startup cost.
+    :class:`repro.parallel.backend.InlineSearchExecutor` and the
+    supervisor's serial-fallback path), which is how the equivalence tests
+    exercise the exact worker code path without pool startup cost.
     """
 
     def __init__(self, payload: dict):
@@ -100,44 +151,37 @@ class WorkerState:
 
     def resolve(self, path: tuple) -> Node:
         """Node at ``path``, reusing the longest already-resolved prefix."""
-        tree = self.tree
-        cache = self._path_cache
-        node = cache.get(path)
-        if node is not None:
-            return node
-        depth = len(path)
-        base = 0
-        for length in range(depth - 1, 0, -1):
-            cached = cache.get(path[:length])
-            if cached is not None:
-                node = cached
-                base = length
-                break
-        else:
-            node = tree.root
-        for index in range(base, depth):
-            step = path[index]
-            if step[0] == STEP_CELL:
-                node = node.cells[step[1]].child
-            else:
-                node = merge_children(tree, node, cache=self.merge_cache)
-                tree.acquire(node)  # retained for the worker's lifetime
-            cache[path[: index + 1]] = node
-        return node
+        return resolve_path(
+            self.tree, path, self._path_cache, merge_cache=self.merge_cache
+        )
 
     # -- tasks -----------------------------------------------------------
 
     def run_search(
-        self, path: tuple, context_mask: int, snapshot: List[int]
-    ) -> Tuple[List[int], Dict[str, int]]:
+        self,
+        path: tuple,
+        context_mask: int,
+        snapshot: List[int],
+        budget_share: Optional[RunBudget] = None,
+    ) -> Tuple[List[int], Dict[str, int], Optional[str]]:
         """Traverse the subtree at ``path`` under ``context_mask``.
 
         ``snapshot`` seeds the task's NonKeySet so futility pruning starts
         from what the parent already knew at submit time (every mask in it
         is a genuine non-key, so seeding is sound — see DESIGN.md §8).
-        Returns the discovered masks and this task's counter dict.
+        ``budget_share`` is this task's proportional slice of the run
+        budget; the finder self-interrupts through the standard cooperative
+        meter checks when the slice is exhausted.
+
+        Returns ``(masks, counters, tripped_reason)`` — masks discovered
+        (partial on a trip), this task's counter dict, and the budget-trip
+        reason or ``None``.  A trip is a *result*, not an exception: the
+        partial masks are genuine non-keys worth salvaging, and the parent
+        decides whether to re-dispatch the slice against its own meter.
         """
+        faults.check("worker.slice_search")
         node = self.resolve(path)
+        meter = budget_share.start() if budget_share is not None else None
         stats = SearchStats()
         if self.merge_cache is not None:
             # Per-task stats: hit/miss counters must land in *this* task's
@@ -147,6 +191,7 @@ class WorkerState:
             self.tree,
             pruning=self.pruning,
             stats=stats,
+            budget=meter,
             merge_cache=self.merge_cache,
         )
         # The snapshot is a prefix of the parent's stored antichain, so the
@@ -155,35 +200,54 @@ class WorkerState:
         finder.nonkeys = NonKeySet.from_antichain(
             self.num_attributes, snapshot
         )
+        tripped: Optional[str] = None
         visited_log: List[Node] = []
         try:
             finder.visit_subtree(
                 node, start_mask=context_mask, visited_log=visited_log
             )
+        except BudgetExceededError as exc:
+            tripped = exc.reason
         finally:
             for touched in visited_log:
                 touched.visited = False
-        return finder.nonkeys.masks(), stats.as_dict()
+        faults.check("worker.result_send")
+        return finder.nonkeys.masks(), stats.as_dict(), tripped
 
-    def build_shard(self, start: int, stop: int) -> Optional[bytes]:
+    def build_shard(
+        self,
+        start: int,
+        stop: int,
+        budget_share: Optional[RunBudget] = None,
+    ) -> Tuple[str, Optional[object]]:
         """Build a partial tree over rows ``[start, stop)``; frozen bytes.
 
-        Returns ``None`` when the shard itself contains a duplicate entity
-        (no keys exist — the sentinel crosses the process boundary where
-        the exception would not).
+        Returns a status tuple: ``("ok", frozen-bytes)``, ``("nokeys",
+        None)`` when the shard contains a duplicate entity (no keys exist),
+        or ``("budget", reason)`` when the task's budget share tripped
+        mid-build — the sentinels cross the process boundary where the
+        exceptions would not.
         """
+        faults.check("worker.shard_build")
+        meter = budget_share.start() if budget_share is not None else None
         try:
-            tree = build_prefix_tree(self.rows[start:stop], self.num_attributes)
+            tree = build_prefix_tree(
+                self.rows[start:stop], self.num_attributes, budget=meter
+            )
         except NoKeysExistError:
-            return None
-        return freeze_tree(tree.root, self.num_attributes).tobytes()
+            return ("nokeys", None)
+        except BudgetExceededError as exc:
+            return ("budget", exc.reason)
+        faults.check("worker.result_send")
+        return ("ok", freeze_tree(tree.root, self.num_attributes).tobytes())
 
     def merge_frozen(
         self, left: Optional[bytes], right: Optional[bytes]
-    ) -> Optional[bytes]:
+    ) -> Tuple[str, Optional[object]]:
         """Merge two frozen partial trees into one (reduction step)."""
+        faults.check("worker.shard_build")
         if left is None or right is None:
-            return None
+            return ("nokeys", None)
         num_attributes = self.num_attributes
         scratch = PrefixTree(num_attributes)
         try:
@@ -192,27 +256,32 @@ class WorkerState:
                 thaw_tree(right, num_attributes),
             ]
         except NoKeysExistError:
-            return None
+            return ("nokeys", None)
         merged = merge_forest(scratch, roots)
-        return freeze_tree(merged, num_attributes).tobytes()
+        faults.check("worker.result_send")
+        return ("ok", freeze_tree(merged, num_attributes).tobytes())
 
 
 # ----------------------------------------------------------------------
-# pool entry points (top-level, hence spawn-picklable)
+# pool entry point (top-level, hence spawn-picklable)
 
-def initialize(payload: dict) -> None:
-    """Pool initializer: build this process's :class:`WorkerState`."""
-    global _STATE
-    _STATE = WorkerState(payload)
+def ensure_state(epoch: int, payload: dict) -> WorkerState:
+    """This process's :class:`WorkerState` for ``epoch``, (re)built on demand.
+
+    The first task in any process also arms the environment fault plan, so
+    spawn-context children — which import this module fresh — inherit
+    injected faults deterministically.
+    """
+    global _STATE, _EPOCH, _ENV_ARMED
+    if not _ENV_ARMED:
+        _ENV_ARMED = True
+        faults.arm_from_env()
+    if _STATE is None or _EPOCH != epoch:
+        _STATE = WorkerState(payload)
+        _EPOCH = epoch
+    return _STATE
 
 
-def search_task(path: tuple, context_mask: int, snapshot: List[int]):
-    return _STATE.run_search(path, context_mask, snapshot)
-
-
-def build_shard_task(start: int, stop: int):
-    return _STATE.build_shard(start, stop)
-
-
-def merge_shards_task(left: Optional[bytes], right: Optional[bytes]):
-    return _STATE.merge_frozen(left, right)
+def run_task(method: str, epoch: int, payload: dict, *args):
+    """Sole pool entry point: dispatch ``method`` on the epoch's state."""
+    return getattr(ensure_state(epoch, payload), method)(*args)

@@ -56,6 +56,21 @@ def render_profile(stats, attribute_order: Optional[List[int]] = None) -> str:
         f"  hits {hits}  misses {misses}  evictions "
         f"{search.merge_cache_evictions}  hit rate {rate:.1f}%{low}"
     )
+    supervision = (
+        search.tasks_retried
+        + search.serial_fallbacks
+        + search.pool_restarts
+        + search.worker_budget_trips
+    )
+    if supervision:
+        # Only rendered when something actually went wrong: a clean run's
+        # profile stays byte-identical to previous releases.
+        lines.append("-- supervision")
+        lines.append(
+            f"  task retries {search.tasks_retried}  serial fallbacks "
+            f"{search.serial_fallbacks}  pool restarts {search.pool_restarts}"
+            f"  worker budget trips {search.worker_budget_trips}"
+        )
     if stats.budget is not None:
         lines.append("-- budget")
         snapshot = stats.budget

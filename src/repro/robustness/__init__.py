@@ -17,7 +17,14 @@ The drivers that *react* to a tripped budget — ``run_with_budget`` and
 
 from repro.errors import BudgetExceededError, RetryExhaustedError
 from repro.robustness.budget import CELL_BYTES, NODE_BYTES, BudgetMeter, RunBudget
-from repro.robustness.faults import FAULT_POINTS, FaultInjector, FaultSpec, inject
+from repro.robustness.faults import (
+    FAULT_POINTS,
+    FaultInjector,
+    FaultSpec,
+    arm_from_env,
+    env_plan,
+    inject,
+)
 from repro.robustness.retry import retry_with_backoff, transient_io_error
 
 __all__ = [
@@ -31,6 +38,8 @@ __all__ = [
     "FaultInjector",
     "FaultSpec",
     "inject",
+    "env_plan",
+    "arm_from_env",
     "retry_with_backoff",
     "transient_io_error",
 ]

@@ -245,6 +245,57 @@ class BudgetMeter:
         }
 
     # ------------------------------------------------------------------
+    # budget sharing (parallel workers)
+
+    def derive_share(self, fraction: float) -> Optional[RunBudget]:
+        """A proportional :class:`RunBudget` slice for one worker task.
+
+        Shares are derived from the *remaining* budget at call time, so a
+        task that is retried after a partial run gets a fresh — and never
+        larger — slice: the consumed visits have already been absorbed into
+        this meter's counters by :meth:`on_visits`, and the wall-clock share
+        shrinks as real time passes.  Returns ``None`` when the budget is
+        unlimited (workers then run unmetered, matching serial behaviour).
+
+        Only the deadline and the visit quota travel: ``max_tree_nodes`` and
+        ``max_bytes`` price the *parent's* long-lived tree, while a worker's
+        thawed shard tree is task-lifetime scratch already bounded by the
+        build-phase accounting.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigError(f"fraction must be in (0, 1], got {fraction!r}")
+        budget = self.budget
+        if budget.unlimited:
+            return None
+        wall = None
+        if self.deadline is not None:
+            # The full remaining window, not a fraction: tasks run
+            # concurrently, so each may use all the time that is left.
+            wall = max(self.deadline - self._clock(), 0.001)
+        visits = None
+        if budget.max_node_visits is not None:
+            remaining = max(budget.max_node_visits - self.node_visits, 1)
+            visits = max(1, min(remaining, int(remaining * fraction) or 1))
+        return RunBudget(wall_clock_seconds=wall, max_node_visits=visits)
+
+    def on_visits(self, count: int) -> None:
+        """Absorb ``count`` completed worker visits into the parent meter.
+
+        The bulk counterpart of :meth:`on_visit`: parallel tasks report how
+        many nodes they visited and the parent charges them here, keeping
+        the global visit limit exact across workers.  Always runs a forced
+        checkpoint so the wall clock is also re-checked at absorption time.
+        """
+        if count <= 0:
+            self.checkpoint(force=True)
+            return
+        self.node_visits += count
+        limit = self.budget.max_node_visits
+        if limit is not None and self.node_visits > limit:
+            self._trip(f"NonKeyFinder visit budget of {limit} visits exceeded")
+        self.checkpoint(force=True)
+
+    # ------------------------------------------------------------------
     # enforcement
 
     def _trip(self, reason: str) -> None:

@@ -2,25 +2,50 @@
 
 Production code is sprinkled with *named fault points* — ``faults.check(...)``
 calls at the spots where real-world failures strike: prefix-tree inserts,
-merges, NonKeyFinder visits, CSV opening and row reads.  With no injector
-armed a check is a single attribute load and ``None`` comparison, so the
-instrumentation is effectively free; tests arm an injector with
-:func:`inject` to make a chosen point raise a chosen error on a chosen hit.
+merges, NonKeyFinder visits, CSV opening and row reads, and — on the worker
+side of the parallel backend — shard builds, slice searches, and result
+sends.  With no injector armed a check is a single attribute load and
+``None`` comparison, so the instrumentation is effectively free; tests arm
+an injector with :func:`inject` to make a chosen point raise a chosen error
+on a chosen hit.
 
 Because specs may raise *any* exception — including ``KeyboardInterrupt`` —
 the same machinery exercises budget trips, I/O flakiness, and Ctrl-C
 semantics without monkeypatching library internals.
+
+Worker processes cannot share the parent's in-process injector (spawn-start
+children import a fresh module), so worker-side faults travel through the
+environment instead: :func:`env_plan` serializes a restricted plan (raise /
+crash / hang actions) into the :data:`ENV_VAR` variable, and every pool
+worker arms it on first task via :func:`arm_from_env`.  A plan entry may
+name a ``token`` file; the entry then fires in *exactly one* process across
+the whole run — whichever worker wins the atomic token-file creation —
+which is how tests kill one worker deterministically no matter how the pool
+schedules or restarts.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import ConfigError
 
-__all__ = ["FAULT_POINTS", "FaultSpec", "FaultInjector", "inject", "check"]
+__all__ = [
+    "FAULT_POINTS",
+    "FaultSpec",
+    "FaultInjector",
+    "inject",
+    "check",
+    "ENV_VAR",
+    "CRASH_EXIT_CODE",
+    "env_plan",
+    "arm_from_env",
+]
 
 #: Every fault point compiled into the library.  Specs naming anything else
 #: are rejected up front, so a typo cannot silently disarm a test.
@@ -31,8 +56,18 @@ FAULT_POINTS = frozenset(
         "nonkey.visit",  # NonKeyFinder._visit, once per node visit
         "csv.open",  # load_csv, before opening the file
         "csv.read",  # CSV row loop, once per data row
+        "worker.shard_build",  # WorkerState.build_shard / merge_frozen entry
+        "worker.slice_search",  # WorkerState.run_search entry
+        "worker.result_send",  # worker task, just before returning a result
     }
 )
+
+#: Process exit status used by the ``crash`` env-plan action — distinctive,
+#: so a test failure log makes the injected death recognizable.
+CRASH_EXIT_CODE = 70
+
+#: Environment variable carrying a JSON fault plan into worker processes.
+ENV_VAR = "REPRO_FAULT_PLAN"
 
 ErrorSpec = Union[BaseException, type, Callable[[], BaseException]]
 
@@ -43,13 +78,17 @@ class FaultSpec:
 
     ``error`` may be an exception instance, an exception class (instantiated
     with a descriptive message), or a zero-argument factory.  ``times`` caps
-    how many hits fire (``None`` = every hit once triggered).
+    how many hits fire (``None`` = every hit once triggered).  ``token``,
+    when set, is a filesystem path claimed atomically before firing — only
+    the process that creates the file fires, making the spec exactly-once
+    across any number of (worker) processes sharing the plan.
     """
 
     point: str
     error: ErrorSpec
     after: int = 0
     times: Optional[int] = 1
+    token: Optional[str] = None
     _fired: int = field(default=0, init=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -69,6 +108,15 @@ class FaultSpec:
         if isinstance(error, type) and issubclass(error, BaseException):
             return error(f"injected fault at {self.point!r}")
         return error()
+
+
+def _claim_token(path: str) -> bool:
+    """Atomically create ``path``; True for the single winning claimant."""
+    try:
+        os.close(os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+    except FileExistsError:
+        return False
+    return True
 
 
 class FaultInjector:
@@ -91,6 +139,8 @@ class FaultInjector:
             if count <= spec.after:
                 continue
             if spec.times is not None and spec._fired >= spec.times:
+                continue
+            if spec.token is not None and not _claim_token(spec.token):
                 continue
             spec._fired += 1
             self.fired.append((point, count))
@@ -122,3 +172,88 @@ def inject(*specs: FaultSpec) -> Iterator[FaultInjector]:
         yield injector
     finally:
         _active = previous
+
+
+# ----------------------------------------------------------------------
+# environment-borne fault plans (worker processes)
+
+#: Actions an env plan may request.  ``raise`` surfaces as a task error the
+#: supervisor retries; ``crash`` is SIGKILL-grade (``os._exit``, so no
+#: cleanup handler runs and the pool breaks); ``hang`` blocks the worker so
+#: only a per-task deadline can recover it.
+_ENV_ACTIONS = ("raise", "crash", "hang")
+
+
+def env_plan(*entries: Dict[str, object]) -> str:
+    """Serialize plan ``entries`` for :data:`ENV_VAR`.
+
+    Each entry is a dict with ``point`` and ``action`` (one of ``raise`` /
+    ``crash`` / ``hang``) plus optional ``after``, ``times``, ``token``,
+    ``seconds`` (hang duration, default 3600) and ``message``.  Entries are
+    validated here, in the parent, so a malformed plan fails the test
+    instead of silently disarming the workers.
+    """
+    validated = []
+    for entry in entries:
+        entry = dict(entry)
+        point = entry.get("point")
+        if point not in FAULT_POINTS:
+            raise ConfigError(
+                f"unknown fault point {point!r}; known: {sorted(FAULT_POINTS)}"
+            )
+        action = entry.get("action", "raise")
+        if action not in _ENV_ACTIONS:
+            raise ConfigError(
+                f"unknown fault action {action!r}; known: {_ENV_ACTIONS}"
+            )
+        entry["action"] = action
+        validated.append(entry)
+    return json.dumps(validated)
+
+
+def _error_for_action(entry: Dict[str, object], point: str):
+    action = entry["action"]
+    message = entry.get("message") or f"injected {action} at {point!r}"
+    if action == "crash":
+        def crash() -> BaseException:  # never returns
+            os._exit(CRASH_EXIT_CODE)
+        return crash
+    if action == "hang":
+        seconds = float(entry.get("seconds", 3600.0))
+
+        def hang() -> BaseException:
+            # If nothing kills the worker first, surface as a task error so
+            # an undersized deadline cannot wedge a test run forever.
+            time.sleep(seconds)
+            return RuntimeError(f"{message} (hang of {seconds}s elapsed)")
+        return hang
+    return lambda: RuntimeError(message)
+
+
+def arm_from_env(environ: Optional[Dict[str, str]] = None) -> Optional[FaultInjector]:
+    """Arm the fault plan in :data:`ENV_VAR`, if any; returns the injector.
+
+    Called by every pool worker before its first task, so spawn- and
+    fork-context children alike inherit the plan deterministically.  With no
+    plan in the environment this is a no-op returning ``None`` (an injector
+    inherited via fork stays armed).
+    """
+    global _active
+    raw = (environ if environ is not None else os.environ).get(ENV_VAR)
+    if not raw:
+        return None
+    specs = []
+    for entry in json.loads(raw):
+        point = entry["point"]
+        specs.append(
+            FaultSpec(
+                point=point,
+                error=_error_for_action(entry, point),
+                after=int(entry.get("after", 0)),
+                times=(None if entry.get("times", 1) is None
+                       else int(entry.get("times", 1))),
+                token=entry.get("token"),
+            )
+        )
+    _active = FaultInjector(*specs)
+    return _active

@@ -124,8 +124,8 @@ class TestVisitedRollback:
     def test_repeat_task_gives_identical_result(self):
         rows = DATASETS["random-narrow"]
         state = WorkerState(_payload(rows, 4, PruningConfig()))
-        first, _ = state.run_search((), 0, [])
-        second, _ = state.run_search((), 0, [])
+        first, _, _ = state.run_search((), 0, [])
+        second, _, _ = state.run_search((), 0, [])
         assert sorted(first) == sorted(second)
 
 
@@ -137,7 +137,8 @@ class TestSnapshotSeeding:
         state = WorkerState(_payload(rows, width, PruningConfig()))
         # Seed with the *complete* answer: everything still discovered is
         # redundant, and the union in the parent would reproduce `serial`.
-        masks, counters = state.run_search((), 0, serial)
+        masks, counters, tripped = state.run_search((), 0, serial)
+        assert tripped is None
         from repro.core.nonkey_set import NonKeySet
 
         union = NonKeySet(width, initial=serial)

@@ -1,0 +1,166 @@
+"""End-to-end fault tolerance: crashed, hung, and failing workers.
+
+Each test plants an environment-borne fault plan (armed by every pool
+worker on its first task), runs ``find_keys`` with a real two-worker pool,
+and asserts the supervised run recovers to a result bit-identical to the
+serial pipeline — or, with recovery disabled, degrades along the
+documented path.  A token file makes each fault fire in exactly one worker
+process no matter how the pool schedules or restarts.
+
+Marked ``faults``: CI runs these in their own job with a timeout guard and
+a post-run leak check (no shared-memory segments, no stray children).
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.core.gordian import GordianConfig, find_keys, find_keys_robust
+from repro.errors import WorkerFailureError
+from repro.parallel.pool import close_shared_pool
+from repro.parallel.shard import live_segment_names
+from repro.robustness.faults import ENV_VAR, env_plan
+
+pytestmark = pytest.mark.faults
+
+#: Force the parallel path regardless of dataset size or CPU count.
+CONFIG = dict(
+    clamp_workers=False, parallel_min_rows=0, parallel_build_min_rows=0
+)
+
+WORKER_POINTS = [
+    "worker.shard_build",
+    "worker.slice_search",
+    "worker.result_send",
+]
+
+
+def _rows(n=240):
+    # Deterministic, key-bearing (last column unique), wide enough that the
+    # search phase dispatches multiple slice tasks.
+    return [((i * 7) % 6, (i * 3) % 5, (i * 11) % 4, i) for i in range(n)]
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    return find_keys(_rows(), config=GordianConfig())
+
+
+def _assert_no_leaks():
+    """No shared-memory segment and no worker process survives a run."""
+    close_shared_pool()
+    assert live_segment_names() == []
+    for child in multiprocessing.active_children():
+        child.join(timeout=10)
+    assert multiprocessing.active_children() == []
+
+
+def _plan(monkeypatch, tmp_path, point, action, **extra):
+    entry = {"point": point, "action": action,
+             "token": str(tmp_path / "fault-token"), **extra}
+    monkeypatch.setenv(ENV_VAR, env_plan(entry))
+
+
+class TestCrashRecovery:
+    @pytest.mark.parametrize("point", WORKER_POINTS)
+    def test_one_crash_is_bit_identical_to_serial(
+        self, point, tmp_path, monkeypatch, serial_result
+    ):
+        _plan(monkeypatch, tmp_path, point, "crash")
+        result = find_keys(_rows(), config=GordianConfig(workers=2, **CONFIG))
+        assert sorted(result.keys) == sorted(serial_result.keys)
+        assert sorted(result.nonkeys) == sorted(serial_result.nonkeys)
+        # The crash broke the pool; recovery restarted it.
+        assert result.stats.search.pool_restarts >= 1
+        _assert_no_leaks()
+
+
+class TestRaiseRecovery:
+    def test_task_error_is_retried_without_killing_the_pool(
+        self, tmp_path, monkeypatch, serial_result
+    ):
+        _plan(monkeypatch, tmp_path, "worker.slice_search", "raise")
+        result = find_keys(_rows(), config=GordianConfig(workers=2, **CONFIG))
+        assert sorted(result.keys) == sorted(serial_result.keys)
+        assert sorted(result.nonkeys) == sorted(serial_result.nonkeys)
+        assert result.stats.search.tasks_retried >= 1
+        assert result.stats.search.pool_restarts == 0
+        _assert_no_leaks()
+
+
+class TestHangRecovery:
+    def test_deadline_recovers_a_hung_worker(
+        self, tmp_path, monkeypatch, serial_result
+    ):
+        _plan(
+            monkeypatch, tmp_path, "worker.slice_search", "hang", seconds=60.0
+        )
+        config = GordianConfig(workers=2, task_timeout_seconds=1.0, **CONFIG)
+        result = find_keys(_rows(), config=config)
+        assert sorted(result.keys) == sorted(serial_result.keys)
+        assert sorted(result.nonkeys) == sorted(serial_result.nonkeys)
+        assert result.stats.search.pool_restarts >= 1
+        _assert_no_leaks()
+
+
+class TestDisabledRecovery:
+    CONFIG_OFF = dict(
+        workers=2,
+        max_task_retries=0,
+        max_pool_restarts=0,
+        serial_fallback=False,
+        **CONFIG,
+    )
+
+    def test_find_keys_raises_with_salvage(self, tmp_path, monkeypatch):
+        _plan(monkeypatch, tmp_path, "worker.slice_search", "crash")
+        with pytest.raises(WorkerFailureError) as info:
+            find_keys(_rows(), config=GordianConfig(**self.CONFIG_OFF))
+        assert info.value.phase == "search"
+        assert info.value.attempts >= 1
+        # Completed tasks' discoveries ride on the exception for salvage.
+        assert isinstance(info.value.partial_nonkeys, list)
+        assert info.value.stats is not None
+        _assert_no_leaks()
+
+    def test_robust_run_degrades_to_sampling(self, tmp_path, monkeypatch):
+        _plan(monkeypatch, tmp_path, "worker.slice_search", "crash")
+        robust = find_keys_robust(
+            _rows(), config=GordianConfig(**self.CONFIG_OFF)
+        )
+        assert robust.degraded and robust.worker_failure
+        assert robust.exact is None
+        assert robust.approximate is not None
+        assert robust.approximate.keys  # T(K)-graded approximate keys
+        assert "worker failure in search" in robust.summary()
+        _assert_no_leaks()
+
+
+class TestBuildPhaseFailure:
+    def test_disabled_recovery_names_the_build_phase(
+        self, tmp_path, monkeypatch
+    ):
+        _plan(monkeypatch, tmp_path, "worker.shard_build", "crash")
+        with pytest.raises(WorkerFailureError) as info:
+            find_keys(
+                _rows(),
+                config=GordianConfig(
+                    workers=2,
+                    max_task_retries=0,
+                    max_pool_restarts=0,
+                    serial_fallback=False,
+                    **CONFIG,
+                ),
+            )
+        assert info.value.phase == "build"
+        _assert_no_leaks()
+
+
+class TestCleanRunLeaksNothing:
+    def test_fault_free_parallel_run_is_clean(self, serial_result):
+        result = find_keys(_rows(), config=GordianConfig(workers=2, **CONFIG))
+        assert sorted(result.keys) == sorted(serial_result.keys)
+        assert result.stats.search.pool_restarts == 0
+        assert result.stats.search.tasks_retried == 0
+        assert result.stats.search.serial_fallbacks == 0
+        _assert_no_leaks()

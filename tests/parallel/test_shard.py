@@ -30,6 +30,13 @@ def _payload(rows, width):
     }
 
 
+def _unwrap(status):
+    """Unpack a worker status tuple: ``("ok", bytes)`` / ``("nokeys", None)``."""
+    kind, value = status
+    assert kind in ("ok", "nokeys")
+    return value
+
+
 def _assert_same_tree(a, b):
     """Structural equality including cell *insertion order*."""
     stack = [(a, b)]
@@ -107,16 +114,16 @@ class TestFreezeThaw:
         # shards merge, and the next thaw detects it.
         rows = [(1, 2, 3), (4, 5, 6)]
         state = WorkerState(_payload(rows + rows, 3))
-        left = state.build_shard(0, 2)
-        right = state.build_shard(2, 4)
+        left = _unwrap(state.build_shard(0, 2))
+        right = _unwrap(state.build_shard(2, 4))
         assert left is not None and right is not None
-        merged = state.merge_frozen(left, right)
+        merged = _unwrap(state.merge_frozen(left, right))
         assert merged is not None
         with pytest.raises(NoKeysExistError):
             thaw_tree(merged, 3)
         # A later reduction round thawing this piece maps the error to the
-        # ``None`` sentinel instead of pickling the exception.
-        assert state.merge_frozen(merged, merged) is None
+        # ``("nokeys", None)`` status instead of pickling the exception.
+        assert state.merge_frozen(merged, merged) == ("nokeys", None)
 
 
 class TestShardedBuildIdentity:
@@ -126,12 +133,12 @@ class TestShardedBuildIdentity:
         serial = build_prefix_tree(rows, 4)
         state = WorkerState(_payload(rows, 4))
         frozen = [
-            state.build_shard(start, stop)
+            _unwrap(state.build_shard(start, stop))
             for start, stop in plan_shards(len(rows), shards)
         ]
         while len(frozen) > 1:
             nxt = [
-                state.merge_frozen(frozen[i], frozen[i + 1])
+                _unwrap(state.merge_frozen(frozen[i], frozen[i + 1]))
                 for i in range(0, len(frozen) - 1, 2)
             ]
             if len(frozen) % 2:
@@ -143,7 +150,7 @@ class TestShardedBuildIdentity:
     def test_within_shard_duplicate_returns_sentinel(self):
         rows = [(1, 1, 1), (1, 1, 1), (2, 2, 2)]
         state = WorkerState(_payload(rows, 3))
-        assert state.build_shard(0, 2) is None
+        assert state.build_shard(0, 2) == ("nokeys", None)
 
     def test_serial_build_on_duplicates_raises(self):
         with pytest.raises(NoKeysExistError):

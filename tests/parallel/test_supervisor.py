@@ -1,0 +1,319 @@
+"""Supervisor unit tests against a scripted fake pool.
+
+Every recovery decision — retry, pool restart, serial fallback, deferral,
+deadline expiry — is driven here without spawning a single process: the
+fake pool completes futures according to a per-submission script, and a
+counting clock makes deadlines expire deterministically.
+"""
+
+import itertools
+from collections import deque
+from concurrent.futures import Future
+from concurrent.futures.process import BrokenProcessPool
+
+import pytest
+
+from repro.errors import ConfigError, WorkerFailureError
+from repro.parallel import supervisor as supervisor_mod
+from repro.parallel.supervisor import SERIAL_FALLBACK, Supervisor
+
+ROWS = [(1, 2, 3), (4, 5, 6), (7, 8, 9), (1, 5, 9)]
+
+PAYLOAD = {
+    "rows": ("inline", ROWS),
+    "num_attributes": 3,
+    "pruning": None,
+    "merge_cache_entries": 0,
+}
+
+
+class FakePool:
+    """Completes each submitted future per a scripted behavior queue.
+
+    Behaviors: ``("ok", value)``, ``("error", exc)``, ``("broken",)`` (the
+    executor died), ``("hang",)`` (future never completes).  An exhausted
+    script defaults to ``("ok", None)``.
+    """
+
+    def __init__(self, script=None):
+        self.script = script if script is not None else deque()
+        self.submitted = []
+        self.killed = False
+        self.shutdowns = 0
+        self.max_workers = 2
+
+    def submit(self, fn, *args):
+        self.submitted.append((fn, args))
+        future = Future()
+        behavior = self.script.popleft() if self.script else ("ok", None)
+        if behavior[0] == "ok":
+            future.set_result(behavior[1])
+        elif behavior[0] == "error":
+            future.set_exception(behavior[1])
+        elif behavior[0] == "broken":
+            future.set_exception(BrokenProcessPool("fake worker died"))
+        # "hang": leave the future pending forever
+        return future
+
+    def has_dead_worker(self):
+        return False
+
+    def kill(self):
+        self.killed = True
+
+    def shutdown(self, wait=True):
+        self.shutdowns += 1
+
+
+def _supervisor(pool, **kw):
+    kw.setdefault("heartbeat", 0.01)
+    return Supervisor(PAYLOAD, workers=2, pool=pool, **kw)
+
+
+def _counting_clock():
+    counter = itertools.count()
+    return lambda: float(next(counter))
+
+
+class TestConfigValidation:
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ConfigError):
+            _supervisor(FakePool(), max_task_retries=-1)
+
+    def test_negative_restarts_rejected(self):
+        with pytest.raises(ConfigError):
+            _supervisor(FakePool(), max_pool_restarts=-1)
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ConfigError):
+            _supervisor(FakePool(), task_timeout=0)
+
+    def test_unknown_exhaustion_mode_rejected(self):
+        sup = _supervisor(FakePool())
+        with pytest.raises(ConfigError):
+            sup.submit("build_shard", lambda: (0, 2, None), on_exhausted="nope")
+
+
+class TestHappyPath:
+    def test_result_passthrough(self):
+        pool = FakePool(deque([("ok", "payload")]))
+        sup = _supervisor(pool)
+        task = sup.submit("run_search", lambda: ((), 0, [], None))
+        assert sup.wait_any() is task
+        assert task.result == "payload"
+        assert task.attempts == 0
+        assert sup.tasks_retried == 0
+
+    def test_wait_all_preserves_submission_order(self):
+        pool = FakePool(deque([("ok", "first"), ("ok", "second")]))
+        sup = _supervisor(pool)
+        a = sup.submit("run_search", lambda: ((), 0, [], None))
+        b = sup.submit("run_search", lambda: ((), 0, [], None))
+        assert sup.wait_all([a, b]) == ["first", "second"]
+
+    def test_wait_any_returns_none_when_idle(self):
+        assert _supervisor(FakePool()).wait_any() is None
+
+    def test_epochs_are_unique_per_supervisor(self):
+        first = _supervisor(FakePool())
+        second = _supervisor(FakePool())
+        assert first.epoch != second.epoch
+
+
+class TestRetry:
+    def test_task_error_is_retried_alone(self):
+        pool = FakePool(deque([("error", RuntimeError("boom")), ("ok", 42)]))
+        sup = _supervisor(pool, max_task_retries=2)
+        task = sup.submit("run_search", lambda: ((), 0, [], None))
+        assert sup.wait_any() is task
+        assert task.result == 42
+        assert task.attempts == 1
+        assert sup.tasks_retried == 1
+        assert not pool.killed  # the pool stayed healthy throughout
+
+    def test_make_args_rederived_on_every_dispatch(self):
+        calls = []
+
+        def make_args():
+            calls.append(1)
+            return ((), 0, [], None)
+
+        pool = FakePool(deque([("error", RuntimeError("x")), ("ok", 1)]))
+        sup = _supervisor(pool, max_task_retries=1)
+        sup.submit("run_search", make_args)
+        sup.wait_any()
+        assert len(calls) == 2
+
+    def test_resubmit_charges_no_attempt(self):
+        pool = FakePool(deque([("ok", 1), ("ok", 2)]))
+        sup = _supervisor(pool)
+        task = sup.submit("run_search", lambda: ((), 0, [], None))
+        sup.wait_any()
+        sup.resubmit(task)
+        assert sup.wait_any() is task
+        assert task.result == 2
+        assert task.attempts == 0
+        assert sup.tasks_retried == 0
+
+
+class TestExhaustion:
+    def test_local_fallback_runs_task_in_parent(self):
+        pool = FakePool(deque([("error", RuntimeError("boom"))]))
+        sup = _supervisor(pool, max_task_retries=0)
+        task = sup.submit("build_shard", lambda: (0, 2, None))
+        assert sup.wait_any() is task
+        kind, frozen = task.result
+        assert kind == "ok" and isinstance(frozen, bytes)
+        assert sup.serial_fallbacks == 1
+        assert sup.tasks_retried == 0
+
+    def test_defer_hands_back_the_sentinel(self):
+        pool = FakePool(deque([("error", RuntimeError("boom"))]))
+        sup = _supervisor(pool, max_task_retries=0)
+        task = sup.submit(
+            "run_search", lambda: ((), 0, [], None), on_exhausted="defer"
+        )
+        assert sup.wait_any() is task
+        assert task.result is SERIAL_FALLBACK
+        # Deferred tasks are the *caller's* fallback, not the supervisor's.
+        assert sup.serial_fallbacks == 0
+
+    def test_disabled_fallback_raises_worker_failure(self):
+        pool = FakePool(deque([("error", RuntimeError("boom"))]))
+        sup = _supervisor(pool, max_task_retries=0, serial_fallback=False)
+        sup.submit("run_search", lambda: ((), 0, [], None))
+        with pytest.raises(WorkerFailureError) as info:
+            sup.wait_any()
+        assert info.value.attempts == 1
+
+
+class TestPoolFailure:
+    def test_broken_pool_restarts_and_redispatches(self, monkeypatch):
+        script = deque([("broken",), ("ok", "recovered")])
+        replacements = []
+
+        def fake_pool_factory(workers, mp_context=None):
+            replacement = FakePool(script)
+            replacements.append(replacement)
+            return replacement
+
+        monkeypatch.setattr(supervisor_mod, "WorkerPool", fake_pool_factory)
+        pool = FakePool(script)
+        sup = _supervisor(pool, max_task_retries=2, max_pool_restarts=1)
+        task = sup.submit("run_search", lambda: ((), 0, [], None))
+        assert sup.wait_any() is task
+        assert task.result == "recovered"
+        assert pool.killed
+        assert len(replacements) == 1
+        assert sup.pool_restarts == 1
+        assert task.attempts == 1
+
+    def test_pool_failure_charges_every_inflight_task(self, monkeypatch):
+        script = deque(
+            [("broken",), ("hang",), ("ok", "a"), ("ok", "b")]
+        )
+        monkeypatch.setattr(
+            supervisor_mod,
+            "WorkerPool",
+            lambda workers, mp_context=None: FakePool(script),
+        )
+        pool = FakePool(script)
+        sup = _supervisor(pool, max_task_retries=2, max_pool_restarts=1)
+        first = sup.submit("run_search", lambda: ((), 0, [], None))
+        second = sup.submit("run_search", lambda: ((), 0, [], None))
+        results = set(sup.wait_all([first, second]))
+        assert results == {"a", "b"}
+        # The executor cannot name the culprit: both tasks pay one attempt.
+        assert first.attempts == 1 and second.attempts == 1
+
+    def test_restart_quota_exhausted_degrades_to_local(self):
+        # No monkeypatched factory needed: with the quota at zero the
+        # supervisor never builds a replacement pool.
+        pool = FakePool(deque([("broken",)]))
+        sup = _supervisor(pool, max_task_retries=2, max_pool_restarts=0)
+        task = sup.submit("build_shard", lambda: (0, 2, None))
+        assert sup.wait_any() is task
+        assert task.result[0] == "ok"
+        assert pool.killed
+        assert sup.pool_restarts == 0
+        assert sup.serial_fallbacks == 1
+
+    def test_submissions_after_pool_death_go_straight_to_fallback(self):
+        pool = FakePool(deque([("broken",)]))
+        sup = _supervisor(pool, max_pool_restarts=0)
+        first = sup.submit("build_shard", lambda: (0, 2, None))
+        sup.wait_any()
+        second = sup.submit("build_shard", lambda: (2, 4, None))
+        assert second.finished and second.result[0] == "ok"
+        assert pool.submitted and len(pool.submitted) == 1
+        assert sup.serial_fallbacks == 2
+        assert first.result[0] == "ok"
+
+
+class TestDeadlines:
+    def test_expired_deadline_kills_the_pool(self):
+        pool = FakePool(deque([("hang",)]))
+        sup = _supervisor(
+            pool,
+            max_task_retries=0,
+            max_pool_restarts=0,
+            task_timeout=0.5,
+            clock=_counting_clock(),
+        )
+        task = sup.submit("build_shard", lambda: (0, 2, None))
+        assert sup.wait_any() is task
+        assert pool.killed
+        assert task.result[0] == "ok"  # recovered via local fallback
+        assert sup.serial_fallbacks == 1
+
+    def test_deadline_with_fallback_disabled_raises(self):
+        pool = FakePool(deque([("hang",)]))
+        sup = _supervisor(
+            pool,
+            max_task_retries=0,
+            max_pool_restarts=0,
+            task_timeout=0.5,
+            serial_fallback=False,
+            clock=_counting_clock(),
+        )
+        sup.submit("run_search", lambda: ((), 0, [], None))
+        with pytest.raises(WorkerFailureError, match="deadline"):
+            sup.wait_any()
+        assert pool.killed
+
+
+class TestTeardown:
+    def test_close_leaves_external_pool_warm(self):
+        pool = FakePool(deque([("ok", 1)]))
+        sup = _supervisor(pool)
+        sup.submit("run_search", lambda: ((), 0, [], None))
+        sup.wait_any()
+        sup.close()
+        assert pool.shutdowns == 0 and not pool.killed
+
+    def test_close_shuts_down_owned_replacement_pool(self, monkeypatch):
+        script = deque([("broken",), ("ok", 1)])
+        replacements = []
+
+        def factory(workers, mp_context=None):
+            replacement = FakePool(script)
+            replacements.append(replacement)
+            return replacement
+
+        monkeypatch.setattr(supervisor_mod, "WorkerPool", factory)
+        external = FakePool(script)
+        sup = _supervisor(external, max_pool_restarts=1)
+        sup.submit("run_search", lambda: ((), 0, [], None))
+        sup.wait_any()
+        sup.close()
+        # The broken external pool was killed (not merely shut down), and
+        # the supervisor-owned replacement was properly shut down.
+        assert external.killed
+        assert replacements[0].shutdowns == 1
+
+    def test_cancel_pending_clears_queues(self):
+        pool = FakePool(deque([("hang",)]))
+        sup = _supervisor(pool)
+        sup.submit("run_search", lambda: ((), 0, [], None))
+        sup.cancel_pending()
+        assert sup.wait_any() is None

@@ -1,0 +1,80 @@
+"""Warm-pool reuse: one shared pool serves many ``find_keys`` runs."""
+
+import pytest
+
+from repro.core.gordian import GordianConfig, find_keys
+from repro.parallel import pool as pool_mod
+from repro.parallel.pool import close_shared_pool, shared_pool
+from repro.parallel.shard import live_segment_names
+
+CONFIG = dict(
+    clamp_workers=False, parallel_min_rows=0, parallel_build_min_rows=0
+)
+
+
+def _rows(n=150):
+    return [((i * 7) % 5, (i * 3) % 4, (i * 11) % 6, i) for i in range(n)]
+
+
+@pytest.fixture(autouse=True)
+def fresh_shared_pool():
+    close_shared_pool()
+    yield
+    close_shared_pool()
+
+
+class TestSharedPoolPolicy:
+    def test_same_pool_returned_while_big_enough(self):
+        first = shared_pool(2, clamp=False)
+        try:
+            assert shared_pool(2, clamp=False) is first
+            assert shared_pool(1, clamp=False) is first
+        finally:
+            close_shared_pool()
+
+    def test_growth_replaces_the_pool(self):
+        small = shared_pool(1, clamp=False)
+        try:
+            grown = shared_pool(2, clamp=False)
+            assert grown is not small
+            assert grown.max_workers == 2
+        finally:
+            close_shared_pool()
+
+    def test_close_is_idempotent(self):
+        shared_pool(1, clamp=False)
+        close_shared_pool()
+        close_shared_pool()
+        assert pool_mod._shared_pool is None
+
+    def test_invalidate_forgets_only_the_shared_pool(self):
+        current = shared_pool(1, clamp=False)
+        try:
+            other = pool_mod.WorkerPool(1)
+            pool_mod.invalidate_shared_pool(other)
+            assert pool_mod._shared_pool is current
+            pool_mod.invalidate_shared_pool(current)
+            assert pool_mod._shared_pool is None
+        finally:
+            other.shutdown()
+            current.shutdown()
+
+
+class TestReuseAcrossRuns:
+    def test_two_runs_share_one_pool_and_agree_with_serial(self):
+        rows = _rows()
+        serial = find_keys(rows, config=GordianConfig())
+        config = GordianConfig(workers=2, reuse_pool=True, **CONFIG)
+        first = find_keys(rows, config=config)
+        warm = pool_mod._shared_pool
+        assert warm is not None  # the run left the pool alive for reuse
+        second = find_keys(rows, config=config)
+        assert pool_mod._shared_pool is warm  # same processes, new epoch
+        for result in (first, second):
+            assert sorted(result.keys) == sorted(serial.keys)
+            assert sorted(result.nonkeys) == sorted(serial.nonkeys)
+        assert live_segment_names() == []  # row segments still cleaned up
+
+    def test_default_config_does_not_populate_shared_pool(self):
+        find_keys(_rows(), config=GordianConfig(workers=2, **CONFIG))
+        assert pool_mod._shared_pool is None

@@ -1,0 +1,147 @@
+"""Properties of worker budget shares (`BudgetMeter.derive_share`).
+
+The supervision contract is that a share re-derived for a retried task can
+never exceed what the parent has left: visits already absorbed shrink the
+visit quota, and elapsed wall-clock time shrinks the deadline window.
+"""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import BudgetExceededError, ConfigError
+from repro.robustness.budget import BudgetMeter, RunBudget
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def _meter(budget, clock=None):
+    return BudgetMeter(budget, clock=clock or FakeClock())
+
+
+class TestDeriveShareBasics:
+    def test_unlimited_budget_yields_no_share(self):
+        assert _meter(RunBudget()).derive_share(0.5) is None
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.1, 1.5])
+    def test_out_of_range_fraction_rejected(self, fraction):
+        meter = _meter(RunBudget(max_node_visits=100))
+        with pytest.raises(ConfigError):
+            meter.derive_share(fraction)
+
+    def test_only_wall_and_visits_travel(self):
+        meter = _meter(
+            RunBudget(
+                wall_clock_seconds=10.0,
+                max_tree_nodes=500,
+                max_bytes=1 << 20,
+                max_node_visits=1000,
+            )
+        )
+        share = meter.derive_share(0.25)
+        # Node/byte limits price the parent's long-lived tree; a worker's
+        # scratch tree must not inherit them.
+        assert share.max_tree_nodes is None
+        assert share.max_bytes is None
+        assert share.wall_clock_seconds is not None
+        assert share.max_node_visits is not None
+
+    def test_share_pickles_round_trip(self):
+        meter = _meter(
+            RunBudget(wall_clock_seconds=5.0, max_node_visits=640)
+        )
+        share = meter.derive_share(0.125)
+        clone = pickle.loads(pickle.dumps(share))
+        assert clone == share
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    limit=st.integers(min_value=1, max_value=10**7),
+    consumed=st.integers(min_value=0, max_value=10**7),
+    fraction=st.floats(
+        min_value=0.001, max_value=1.0, allow_nan=False, allow_infinity=False
+    ),
+)
+def test_visit_share_never_exceeds_parent_remainder(limit, consumed, fraction):
+    meter = _meter(RunBudget(max_node_visits=limit))
+    consumed = min(consumed, limit - 1)  # a tripped meter derives nothing
+    meter.node_visits = consumed
+    share = meter.derive_share(fraction)
+    remaining = limit - consumed
+    assert 1 <= share.max_node_visits <= remaining
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    limit=st.integers(min_value=2, max_value=10**6),
+    first=st.integers(min_value=1, max_value=10**6),
+    second=st.integers(min_value=0, max_value=10**6),
+    fraction=st.floats(
+        min_value=0.001, max_value=1.0, allow_nan=False, allow_infinity=False
+    ),
+)
+def test_rederived_share_is_monotonically_nonincreasing(
+    limit, first, second, fraction
+):
+    """Absorbing worker visits can only shrink the next derived share."""
+    meter = _meter(RunBudget(max_node_visits=limit))
+    before = meter.derive_share(fraction)
+    total = min(first + second, limit - 1)
+    if total == 0:
+        return
+    try:
+        meter.on_visits(total)
+    except BudgetExceededError:  # pragma: no cover - excluded by the cap
+        return
+    after = meter.derive_share(fraction)
+    assert after.max_node_visits <= before.max_node_visits
+    assert after.max_node_visits <= limit - total
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    window=st.floats(
+        min_value=0.01, max_value=10**4, allow_nan=False, allow_infinity=False
+    ),
+    elapsed=st.floats(
+        min_value=0.0, max_value=10**5, allow_nan=False, allow_infinity=False
+    ),
+    fraction=st.floats(
+        min_value=0.001, max_value=1.0, allow_nan=False, allow_infinity=False
+    ),
+)
+def test_wall_share_never_exceeds_remaining_window(window, elapsed, fraction):
+    clock = FakeClock()
+    meter = _meter(RunBudget(wall_clock_seconds=window), clock=clock)
+    clock.now = elapsed
+    share = meter.derive_share(fraction)
+    remaining = max(window - elapsed, 0.001)
+    # Wall shares are the *full* remaining window (tasks run concurrently),
+    # never more, and stay positive so a share is always startable.
+    assert 0.0 < share.wall_clock_seconds <= remaining + 1e-9
+
+
+class TestOnVisits:
+    def test_absorbs_and_trips_past_limit(self):
+        meter = _meter(RunBudget(max_node_visits=10))
+        meter.on_visits(7)
+        assert meter.node_visits == 7
+        with pytest.raises(BudgetExceededError):
+            meter.on_visits(4)
+        assert meter.tripped_reason is not None
+
+    def test_zero_count_still_rechecks_the_clock(self):
+        clock = FakeClock()
+        meter = _meter(RunBudget(wall_clock_seconds=1.0), clock=clock)
+        clock.now = 2.0
+        with pytest.raises(BudgetExceededError, match="wall-clock"):
+            meter.on_visits(0)

@@ -1,10 +1,19 @@
 """Unit tests for the fault-injection machinery itself."""
 
+import json
+
 import pytest
 
 from repro.core.prefix_tree import build_prefix_tree
 from repro.errors import ConfigError
 from repro.robustness import FaultSpec, faults, inject
+from repro.robustness.faults import (
+    CRASH_EXIT_CODE,
+    ENV_VAR,
+    FAULT_POINTS,
+    arm_from_env,
+    env_plan,
+)
 
 
 class TestFaultSpec:
@@ -63,3 +72,77 @@ class TestInjection:
         with inject(FaultSpec("tree.insert", RuntimeError, after=1)):
             with pytest.raises(RuntimeError):
                 build_prefix_tree(paper_rows, 4)
+
+
+class TestWorkerFaultPoints:
+    def test_worker_stages_are_registered(self):
+        assert {
+            "worker.shard_build",
+            "worker.slice_search",
+            "worker.result_send",
+        } <= FAULT_POINTS
+
+
+class TestTokenClaim:
+    def test_token_fires_exactly_once_across_injectors(self, tmp_path):
+        # Two injectors sharing a token file model two worker processes
+        # sharing a fault plan: only the claimant fires, ever.
+        token = str(tmp_path / "claim")
+        spec = lambda: FaultSpec(
+            "worker.slice_search", RuntimeError, token=token, times=None
+        )
+        with inject(spec()) as first:
+            with pytest.raises(RuntimeError):
+                faults.check("worker.slice_search")
+            faults.check("worker.slice_search")  # token spent: silent
+        with inject(spec()) as second:
+            faults.check("worker.slice_search")  # other "process": silent
+        assert first.fired == [("worker.slice_search", 1)]
+        assert second.fired == []
+
+
+class TestEnvPlan:
+    def test_plan_validates_points_and_actions(self):
+        with pytest.raises(ConfigError, match="unknown fault point"):
+            env_plan({"point": "no.such.point", "action": "crash"})
+        with pytest.raises(ConfigError, match="unknown fault action"):
+            env_plan({"point": "worker.shard_build", "action": "explode"})
+
+    def test_plan_is_plain_json(self):
+        raw = env_plan(
+            {"point": "worker.result_send", "action": "raise", "after": 2}
+        )
+        [entry] = json.loads(raw)
+        assert entry["point"] == "worker.result_send"
+        assert entry["action"] == "raise"
+
+    def test_arm_from_env_round_trip(self, monkeypatch):
+        monkeypatch.setattr(faults, "_active", None)
+        raw = env_plan(
+            {"point": "worker.slice_search", "action": "raise",
+             "message": "planned failure"}
+        )
+        injector = arm_from_env({ENV_VAR: raw})
+        assert injector is faults._active
+        with pytest.raises(RuntimeError, match="planned failure"):
+            faults.check("worker.slice_search")
+        faults.check("worker.slice_search")  # times=1 default: spent
+
+    def test_arm_from_env_without_plan_is_noop(self, monkeypatch):
+        monkeypatch.setattr(faults, "_active", None)
+        assert arm_from_env({}) is None
+        assert faults._active is None
+
+    def test_hang_action_caps_at_configured_seconds(self, monkeypatch):
+        monkeypatch.setattr(faults, "_active", None)
+        raw = env_plan(
+            {"point": "worker.shard_build", "action": "hang", "seconds": 0.01}
+        )
+        arm_from_env({ENV_VAR: raw})
+        # An undersized deadline must not wedge the run: the hang elapses
+        # and surfaces as an ordinary (retryable) task error.
+        with pytest.raises(RuntimeError, match="hang of 0.01s elapsed"):
+            faults.check("worker.shard_build")
+
+    def test_crash_exit_code_is_distinctive(self):
+        assert CRASH_EXIT_CODE == 70

@@ -210,3 +210,68 @@ class TestBudgetFlags:
         out = capsys.readouterr().out
         assert "DEGRADED" in out
         assert "node budget" in out
+
+
+class TestWorkerFailureFlags:
+    def test_parallel_flags_parse_and_run_serial(self, employees_csv, capsys):
+        code = main([
+            "keys", str(employees_csv),
+            "--workers", "1",
+            "--max-task-retries", "1",
+            "--task-timeout", "5",
+            "--no-serial-fallback",
+            "--reuse-pool",
+        ])
+        assert code == 0
+        assert "3 minimal key(s)" in capsys.readouterr().out
+
+    def test_worker_failure_degrades_with_exit_11(
+        self, employees_csv, capsys, monkeypatch
+    ):
+        import repro.cli as cli
+        from repro.errors import EXIT_WORKER, WorkerFailureError
+
+        def boom(*args, **kwargs):
+            raise WorkerFailureError(
+                "parallel task 'slice@1' failed after 3 attempt(s)",
+                phase="search",
+                attempts=3,
+                partial_nonkeys=[(0, 1)],
+            )
+
+        monkeypatch.setattr(cli, "find_keys", boom)
+        code = main(["keys", str(employees_csv), "--workers", "2"])
+        assert code == EXIT_WORKER == 11
+        out = capsys.readouterr().out
+        assert "DEGRADED" in out
+        assert "worker failure in search" in out
+        assert "salvaged 1 partial non-key(s)" in out
+        assert "T(K)>=" in out  # sampling fallback still produced keys
+
+    def test_escaped_worker_failure_prints_hint(self, capsys, monkeypatch):
+        import repro.cli as cli
+        from repro.errors import EXIT_WORKER, WorkerFailureError
+
+        def boom(args):
+            raise WorkerFailureError("workers gone")
+
+        monkeypatch.setitem(cli._COMMANDS, "profile", boom)
+        code = main(["profile", "whatever.csv"])
+        assert code == EXIT_WORKER
+        err = capsys.readouterr().err
+        assert "error: workers gone" in err
+        assert "--max-task-retries" in err
+
+    def test_exit_code_for_worker_failure(self):
+        from repro.errors import EXIT_WORKER, WorkerFailureError
+
+        assert exit_code_for(WorkerFailureError("x")) == EXIT_WORKER == 11
+
+    def test_main_closes_the_shared_pool_on_exit(self, employees_csv):
+        from repro.parallel import pool as pool_mod
+        from repro.parallel.pool import shared_pool
+
+        shared_pool(1, clamp=False)
+        assert pool_mod._shared_pool is not None
+        assert main(["keys", str(employees_csv)]) == 0
+        assert pool_mod._shared_pool is None
