@@ -1,0 +1,43 @@
+"""Durable checkpoint/resume for long-running key discovery.
+
+See :mod:`repro.checkpoint.runner` for the pipeline entry point,
+:mod:`repro.checkpoint.manager` for generation/fingerprint/signal policy,
+and :mod:`repro.checkpoint.format` for the crash-safe on-disk format.
+"""
+
+from repro.checkpoint.format import (
+    decode_checkpoint,
+    encode_checkpoint,
+    write_atomic,
+)
+from repro.checkpoint.manager import (
+    CheckpointManager,
+    DatasetFingerprint,
+    config_fingerprint,
+    fingerprint_file,
+    fingerprint_rows,
+)
+from repro.checkpoint.runner import find_keys_checkpointed, manager_for_config
+from repro.errors import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointMismatchError,
+    CheckpointStopRequested,
+)
+
+__all__ = [
+    "encode_checkpoint",
+    "decode_checkpoint",
+    "write_atomic",
+    "CheckpointManager",
+    "DatasetFingerprint",
+    "config_fingerprint",
+    "fingerprint_file",
+    "fingerprint_rows",
+    "find_keys_checkpointed",
+    "manager_for_config",
+    "CheckpointError",
+    "CheckpointCorruptError",
+    "CheckpointMismatchError",
+    "CheckpointStopRequested",
+]

@@ -1,0 +1,149 @@
+"""On-disk checkpoint encoding and crash-safe file replacement.
+
+A checkpoint generation is a single self-validating file::
+
+    MAGIC (8 bytes)  | b"GORDCKP1"
+    version (u32 LE) | format version, currently 1
+    length (u64 LE)  | payload byte count
+    payload          | pickled run-state dict
+    crc32 (u32 LE)   | CRC-32 of payload
+
+Every field is checked on decode, so a torn write — power loss mid-write,
+ENOSPC truncation, a stray editor — surfaces as
+:class:`~repro.errors.CheckpointCorruptError` instead of a pickle crash or,
+worse, a silently wrong resume.
+
+:func:`write_atomic` is the single write path: payload goes to a temp file
+in the target directory, is flushed and fsynced, then renamed over the
+destination (``os.replace``, atomic on POSIX), followed by a best-effort
+directory fsync so the rename itself is durable.  Readers therefore only
+ever observe either the previous complete generation or the new complete
+generation.  The temp file is registered with the shared cleanup registry
+(:mod:`repro.robustness.cleanup`) for the duration of the write, so a crash
+between creation and rename cannot orphan it past interpreter exit.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from pathlib import Path
+from typing import Any, Union
+
+from repro.errors import CheckpointCorruptError
+from repro.robustness import cleanup, faults
+
+__all__ = [
+    "MAGIC",
+    "FORMAT_VERSION",
+    "encode_checkpoint",
+    "decode_checkpoint",
+    "write_atomic",
+]
+
+MAGIC = b"GORDCKP1"
+FORMAT_VERSION = 1
+
+_HEADER = struct.Struct("<8sIQ")  # magic, version, payload length
+_FOOTER = struct.Struct("<I")  # crc32 of payload
+
+#: Cleanup-registry namespace for in-flight checkpoint temp files.
+_TMP_NAMESPACE = "ckpt-tmp:"
+
+
+def encode_checkpoint(payload: Any) -> bytes:
+    """Serialize ``payload`` into the framed, checksummed wire format."""
+    body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return (
+        _HEADER.pack(MAGIC, FORMAT_VERSION, len(body))
+        + body
+        + _FOOTER.pack(zlib.crc32(body) & 0xFFFFFFFF)
+    )
+
+
+def decode_checkpoint(data: bytes) -> Any:
+    """Inverse of :func:`encode_checkpoint`; raises on any inconsistency."""
+    if len(data) < _HEADER.size + _FOOTER.size:
+        raise CheckpointCorruptError(
+            f"checkpoint truncated: {len(data)} bytes is shorter than the "
+            f"fixed framing ({_HEADER.size + _FOOTER.size} bytes)"
+        )
+    magic, version, length = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise CheckpointCorruptError(
+            f"bad checkpoint magic {magic!r} (expected {MAGIC!r})"
+        )
+    if version != FORMAT_VERSION:
+        raise CheckpointCorruptError(
+            f"unsupported checkpoint format version {version} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    expected_size = _HEADER.size + length + _FOOTER.size
+    if len(data) != expected_size:
+        raise CheckpointCorruptError(
+            f"checkpoint size mismatch: header promises {expected_size} "
+            f"bytes, file has {len(data)}"
+        )
+    body = data[_HEADER.size:_HEADER.size + length]
+    (crc,) = _FOOTER.unpack_from(data, _HEADER.size + length)
+    if zlib.crc32(body) & 0xFFFFFFFF != crc:
+        raise CheckpointCorruptError("checkpoint payload fails its CRC check")
+    try:
+        return pickle.loads(body)
+    except Exception as exc:  # valid CRC but unpicklable: version skew
+        raise CheckpointCorruptError(
+            f"checkpoint payload does not unpickle: {exc}"
+        ) from exc
+
+
+def write_atomic(path: Union[str, Path], data: bytes) -> None:
+    """Write ``data`` to ``path`` so readers never see a partial file.
+
+    Fault points ``checkpoint.write`` (before any byte lands) and
+    ``checkpoint.rename`` (after fsync, before the atomic replace) let
+    tests exercise every torn-write window deterministically.  Any
+    ``OSError`` propagates to the caller — the checkpoint manager wraps
+    this in a retry-with-backoff for transient failures.
+    """
+    path = Path(path)
+    tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+    key = _TMP_NAMESPACE + str(tmp)
+    cleanup.register(key, lambda: _unlink_quiet(tmp))
+    try:
+        faults.check("checkpoint.write")
+        fd = os.open(str(tmp), os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)
+        try:
+            os.write(fd, data)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        faults.check("checkpoint.rename")
+        os.replace(str(tmp), str(path))
+        _fsync_dir_quiet(path.parent)
+    finally:
+        cleanup.unregister(key)
+        _unlink_quiet(tmp)
+
+
+def _unlink_quiet(path: Path) -> None:
+    try:
+        os.unlink(str(path))
+    except OSError:
+        pass
+
+
+def _fsync_dir_quiet(directory: Path) -> None:
+    """Fsync a directory so a rename survives power loss; best-effort
+    because some filesystems (and all of Windows) refuse directory fds."""
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)

@@ -1,0 +1,395 @@
+"""Checkpoint generation management: fingerprints, rotation, signals.
+
+The :class:`CheckpointManager` owns one checkpoint directory and the policy
+around it:
+
+* **generations** — each write lands in a fresh ``ckpt-%08d.bin`` file via
+  the atomic protocol in :mod:`repro.checkpoint.format`; the newest ``keep``
+  generations survive, older ones are pruned.  Loading scans newest-first
+  and silently falls back past a torn or corrupt newest generation (the
+  exact artifact a crash mid-rotation leaves behind); only when *no*
+  generation decodes does it raise
+  :class:`~repro.errors.CheckpointCorruptError`.
+* **fingerprints** — a checkpoint binds to its input: dataset identity
+  (path/size/content hash or a hash over the in-memory rows) plus a hash of
+  the *result-affecting* configuration.  Resuming against different input or
+  a result-changing config raises
+  :class:`~repro.errors.CheckpointMismatchError` instead of silently
+  producing keys for the wrong dataset.  Execution-only knobs (worker
+  count, cache sizes, supervision limits) are deliberately excluded, so a
+  serial run's checkpoint resumes fine under ``--workers N`` and vice
+  versa — slice decomposition makes the result identical either way.
+* **signals** — :meth:`signal_guard` installs SIGTERM/SIGINT handlers that
+  *request* a stop; the run's cooperative checkpoint hooks notice, write a
+  final generation, and raise
+  :class:`~repro.errors.CheckpointStopRequested`.  A second signal falls
+  through to ``KeyboardInterrupt`` so an impatient operator still wins.
+
+Writes go through :func:`~repro.robustness.retry.retry_with_backoff`:
+transient ``OSError`` (EAGAIN, ENOSPC that clears, NFS hiccups) get three
+attempts with short backoff.  A periodic checkpoint that still fails is
+*dropped* — losing one generation costs re-doing a slice of work on
+resume, whereas failing the run would cost all of it; the failure is
+counted and warned about.  Final (stop-requested) checkpoints are
+``required``: their failure propagates, because exiting with
+"checkpointed" status while nothing landed on disk would be a lie.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+import signal
+import sys
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.checkpoint.format import decode_checkpoint, encode_checkpoint, write_atomic
+from repro.errors import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointMismatchError,
+    RetryExhaustedError,
+)
+from repro.robustness.retry import retry_with_backoff
+
+__all__ = [
+    "DatasetFingerprint",
+    "config_fingerprint",
+    "fingerprint_file",
+    "fingerprint_rows",
+    "CheckpointManager",
+]
+
+_GENERATION_RE = re.compile(r"^ckpt-(\d{8})\.bin$")
+
+
+# ----------------------------------------------------------------------
+# fingerprints
+
+@dataclass(frozen=True)
+class DatasetFingerprint:
+    """Identity of the input a checkpoint belongs to."""
+
+    path: str  # source path, or "<memory>" for in-process row lists
+    size_bytes: int
+    sha256: str  # content hash (file bytes, or canonical row repr)
+    config_hash: str  # hash of result-affecting configuration fields
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "size_bytes": self.size_bytes,
+            "sha256": self.sha256,
+            "config_hash": self.config_hash,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "DatasetFingerprint":
+        return cls(
+            path=str(data["path"]),
+            size_bytes=int(data["size_bytes"]),
+            sha256=str(data["sha256"]),
+            config_hash=str(data["config_hash"]),
+        )
+
+    def mismatch_reason(self, other: "DatasetFingerprint") -> Optional[str]:
+        """Human-readable description of the first difference, or ``None``."""
+        if self.sha256 != other.sha256 or self.size_bytes != other.size_bytes:
+            return (
+                f"dataset content changed (checkpoint hash {self.sha256[:12]}, "
+                f"current {other.sha256[:12]})"
+            )
+        if self.config_hash != other.config_hash:
+            return (
+                "result-affecting configuration changed "
+                f"(checkpoint {self.config_hash[:12]}, current "
+                f"{other.config_hash[:12]})"
+            )
+        if self.path != other.path:
+            # Same bytes under a new name: allowed, content is what matters.
+            return None
+        return None
+
+
+def config_fingerprint(config) -> str:
+    """Hash of the configuration fields that change the *result*.
+
+    Only fields that alter which keys come out are included: pruning rules
+    (they are exact, but they change traversal order and the checkpoint
+    embeds traversal state), attribute ordering, null policy, and encoding.
+    Execution knobs — workers, cache sizes, retries, timeouts, checkpoint
+    cadence itself — are excluded by design so checkpoints move freely
+    between serial and parallel resumes.
+    """
+    pruning = config.pruning
+    parts = (
+        f"singleton={pruning.singleton}",
+        f"single_entity={pruning.single_entity}",
+        f"futility={pruning.futility}",
+        f"attribute_order={config.attribute_order.value}",
+        f"null_policy={config.null_policy.value}",
+        f"encode={config.encode}",
+    )
+    return hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+
+
+def fingerprint_file(path: Union[str, Path], config) -> DatasetFingerprint:
+    """Fingerprint a dataset file by path, size, and content hash."""
+    path = Path(path)
+    digest = hashlib.sha256()
+    size = 0
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(1 << 20)
+            if not chunk:
+                break
+            size += len(chunk)
+            digest.update(chunk)
+    return DatasetFingerprint(
+        path=str(path),
+        size_bytes=size,
+        sha256=digest.hexdigest(),
+        config_hash=config_fingerprint(config),
+    )
+
+
+def fingerprint_rows(rows: Sequence[Sequence[object]], config) -> DatasetFingerprint:
+    """Fingerprint in-memory rows by a canonical repr hash.
+
+    ``repr`` of each cell is unambiguous for the value types GORDIAN
+    accepts (str/int/float/None) and cheap; a field separator that cannot
+    appear inside ``repr`` output keeps the encoding injective.
+    """
+    digest = hashlib.sha256()
+    size = 0
+    for row in rows:
+        line = "\x1f".join(repr(value) for value in row).encode("utf-8")
+        line += b"\x1e"
+        size += len(line)
+        digest.update(line)
+    return DatasetFingerprint(
+        path="<memory>",
+        size_bytes=size,
+        sha256=digest.hexdigest(),
+        config_hash=config_fingerprint(config),
+    )
+
+
+# ----------------------------------------------------------------------
+# manager
+
+class CheckpointManager:
+    """Owns one checkpoint directory: write cadence, rotation, recovery."""
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        *,
+        interval_seconds: float = 30.0,
+        keep: int = 3,
+        fingerprint: Optional[DatasetFingerprint] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if interval_seconds < 0:
+            raise CheckpointError(
+                f"checkpoint interval must be >= 0, got {interval_seconds}"
+            )
+        if keep < 1:
+            raise CheckpointError(f"checkpoint keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.interval_seconds = interval_seconds
+        self.keep = keep
+        self.fingerprint = fingerprint
+        self._clock = clock
+        self._sleep = sleep
+        self._last_write: Optional[float] = None
+        #: Path of the most recent successfully written generation.
+        self.latest_path: Optional[Path] = None
+        #: Set to the signal name when a guarded SIGTERM/SIGINT arrived;
+        #: cooperative checkpoint hooks poll this to stop gracefully.
+        self.stop_requested: Optional[str] = None
+        self.writes = 0
+        self.write_retries = 0
+        self.write_failures = 0
+
+    # -- cadence -------------------------------------------------------
+
+    def due(self) -> bool:
+        """True when the periodic-write interval has elapsed (or never
+        written; or the interval is 0, meaning checkpoint at every hook)."""
+        if self._last_write is None or self.interval_seconds == 0:
+            return True
+        return self._clock() - self._last_write >= self.interval_seconds
+
+    # -- generations ---------------------------------------------------
+
+    def _generations(self) -> List[Path]:
+        """Existing generation files, oldest first."""
+        found = []
+        try:
+            entries = list(self.directory.iterdir())
+        except FileNotFoundError:
+            return []
+        for entry in entries:
+            match = _GENERATION_RE.match(entry.name)
+            if match:
+                found.append((int(match.group(1)), entry))
+        found.sort()
+        return [path for _, path in found]
+
+    def generation_paths(self) -> List[Path]:
+        """Existing checkpoint generation files, oldest first."""
+        return self._generations()
+
+    def write(self, payload: Dict[str, Any], *, required: bool = True) -> Optional[Path]:
+        """Durably write ``payload`` as the next generation.
+
+        Transient ``OSError`` is retried with backoff.  When retries are
+        exhausted: a ``required`` write re-raises (final checkpoints must
+        not silently vanish), a periodic write is dropped — counted in
+        ``write_failures`` and warned to stderr — and ``None`` returned.
+        """
+        if self.fingerprint is not None:
+            payload = dict(payload)
+            payload["fingerprint"] = self.fingerprint.as_dict()
+        data = encode_checkpoint(payload)
+        generations = self._generations()
+        if generations:
+            last = _GENERATION_RE.match(generations[-1].name)
+            index = int(last.group(1)) + 1
+        else:
+            index = 0
+        path = self.directory / f"ckpt-{index:08d}.bin"
+
+        def count_retry(_attempt: int, _error: BaseException) -> None:
+            self.write_retries += 1
+
+        def attempt() -> None:
+            write_atomic(path, data)
+
+        try:
+            retry_with_backoff(
+                attempt,
+                attempts=3,
+                base_delay=0.01,
+                retry_on=(OSError,),
+                sleep=self._sleep,
+                on_retry=count_retry,
+            )
+        except (RetryExhaustedError, OSError) as exc:
+            self.write_failures += 1
+            if required:
+                raise
+            print(
+                f"warning: periodic checkpoint write failed, continuing: {exc}",
+                file=sys.stderr,
+            )
+            return None
+        self.writes += 1
+        self._last_write = self._clock()
+        self.latest_path = path
+        self._prune()
+        return path
+
+    def _prune(self) -> None:
+        for stale in self._generations()[:-self.keep]:
+            try:
+                stale.unlink()
+            except OSError:
+                pass
+
+    def load_latest(self) -> Optional[Dict[str, Any]]:
+        """Decode the newest usable generation; ``None`` for an empty dir.
+
+        Falls back past torn/corrupt generations newest-first; raises
+        :class:`CheckpointCorruptError` only when generations exist but
+        none decodes, and :class:`CheckpointMismatchError` when the
+        decoded state belongs to different input.
+        """
+        generations = self._generations()
+        if not generations:
+            return None
+        last_error: Optional[Exception] = None
+        for path in reversed(generations):
+            try:
+                raw = path.read_bytes()
+                payload = decode_checkpoint(raw)
+            except (OSError, CheckpointCorruptError) as exc:
+                last_error = exc
+                continue
+            if self.fingerprint is not None:
+                recorded = payload.get("fingerprint")
+                if recorded is None:
+                    raise CheckpointMismatchError(
+                        f"checkpoint {path.name} carries no dataset "
+                        "fingerprint; refusing to resume against it"
+                    )
+                reason = DatasetFingerprint.from_dict(recorded).mismatch_reason(
+                    self.fingerprint
+                )
+                if reason is not None:
+                    raise CheckpointMismatchError(
+                        f"checkpoint {path.name} does not match this run: "
+                        f"{reason}.  Delete the checkpoint directory to "
+                        "start fresh."
+                    )
+            return payload
+        raise CheckpointCorruptError(
+            f"no usable checkpoint in {self.directory}: all "
+            f"{len(generations)} generation(s) are torn or corrupt "
+            f"(last error: {last_error})"
+        )
+
+    def clear(self) -> None:
+        """Remove every generation — called after a run completes, so a
+        later run in the same directory starts fresh instead of resuming
+        past the finish line."""
+        for path in self._generations():
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        self.latest_path = None
+        self._last_write = None
+
+    # -- signals -------------------------------------------------------
+
+    @contextmanager
+    def signal_guard(self) -> Iterator["CheckpointManager"]:
+        """Convert the first SIGTERM/SIGINT into a cooperative stop request.
+
+        The handler only sets :attr:`stop_requested`; the run's checkpoint
+        hooks write a final generation and raise
+        :class:`~repro.errors.CheckpointStopRequested` at the next safe
+        point.  A *second* signal raises ``KeyboardInterrupt`` immediately.
+        Outside the main thread signal handlers cannot be installed; the
+        guard degrades to a no-op there.
+        """
+        installed = []
+
+        def handler(signum, frame):
+            name = signal.Signals(signum).name
+            if self.stop_requested is not None:
+                raise KeyboardInterrupt
+            self.stop_requested = name
+
+        try:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    previous = signal.signal(sig, handler)
+                except (ValueError, OSError):  # non-main thread / platform
+                    continue
+                installed.append((sig, previous))
+            yield self
+        finally:
+            for sig, previous in installed:
+                try:
+                    signal.signal(sig, previous)
+                except (ValueError, OSError):
+                    pass

@@ -1,0 +1,584 @@
+"""Checkpointed GORDIAN pipeline: crash-safe discovery with exact resume.
+
+:func:`find_keys_checkpointed` is the durable sibling of
+:func:`repro.core.gordian.find_keys`: same result, same salvage semantics,
+but the run periodically snapshots everything needed to continue after a
+crash, a SIGKILL, or a deliberate stop:
+
+* the frozen prefix tree (build phase: plus how many rows are inserted;
+  search phase: the complete tree, frozen once — the root tree is immutable
+  during the traversal);
+* the NonKeySet antichain and the list of completed slice paths — written
+  together, *after* a slice's masks are unioned, so the two are always
+  mutually consistent in any one generation;
+* the budget meter snapshot, so a resumed run's consumed time and visit
+  counts carry over instead of resetting (a 60s budget cannot become 120s
+  by crashing at 59s);
+* the dataset fingerprint, so resuming against changed input or a
+  result-changing configuration fails loudly.
+
+Resume soundness rests on two properties of the underlying algorithm:
+every mask in a restored NonKeySet is a genuine non-key (so seeding and
+pruning against it only skips provably redundant work), and Algorithm 5's
+union + re-minimization is order-independent (so re-running a slice that
+was killed mid-flight, or skipping one that finished, converges to exactly
+the uninterrupted answer).  The serial search runs through
+:class:`~repro.parallel.search.SerialSliceSearch` — the serial traversal
+decomposed into the parallel path's independent slices — precisely to get
+a checkpointable unit of completed work with those properties.
+
+Checkpoints written under one worker count resume under any other: slice
+paths are finer-grained in bigger pools, so a cross-mode resume may re-run
+a few slices (idempotent under union), but the result is identical.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+from repro.checkpoint.manager import CheckpointManager, fingerprint_rows
+from repro.core import bitset
+from repro.core.gordian import (
+    GordianConfig,
+    GordianResult,
+    _abort,
+    _effective_workers,
+    _order_attributes,
+    _resolve_num_attributes,
+    _translate_mask,
+    _warn_low_merge_cache_rate,
+)
+from repro.core.key_conversion import keys_from_nonkey_masks
+from repro.core.nonkey_set import NonKeySet
+from repro.core.prefix_tree import PrefixTree
+from repro.core.stats import RunStats
+from repro.errors import (
+    BudgetExceededError,
+    CheckpointMismatchError,
+    CheckpointStopRequested,
+    ConfigError,
+    NoKeysExistError,
+    WorkerFailureError,
+)
+from repro.robustness import BudgetMeter, RunBudget
+
+__all__ = ["find_keys_checkpointed", "manager_for_config"]
+
+#: Serial build checkpoints are considered every this many row inserts —
+#: frequent enough that ``--checkpoint-interval 0`` lands a generation
+#: quickly, rare enough that ``due()`` polling stays invisible.
+_BUILD_BATCH = 512
+
+
+def manager_for_config(
+    config: GordianConfig,
+    fingerprint,
+) -> CheckpointManager:
+    """Build the :class:`CheckpointManager` a config's checkpoint fields ask
+    for; raises :class:`~repro.errors.ConfigError` without a directory."""
+    if not config.checkpoint_dir:
+        raise ConfigError(
+            "checkpointed runs need GordianConfig.checkpoint_dir "
+            "(CLI: --checkpoint-dir)"
+        )
+    return CheckpointManager(
+        config.checkpoint_dir,
+        interval_seconds=config.checkpoint_interval_seconds,
+        keep=config.checkpoint_keep,
+        fingerprint=fingerprint,
+    )
+
+
+def _freeze_root(tree: PrefixTree) -> bytes:
+    from repro.parallel.shard import freeze_tree
+
+    return freeze_tree(tree.root, tree.num_attributes).tobytes()
+
+
+class _CheckpointedRun:
+    """Mutable state shared by the build/search hooks of one run."""
+
+    def __init__(
+        self,
+        manager: CheckpointManager,
+        stats: RunStats,
+        meter: Optional[BudgetMeter],
+        num_attributes: int,
+        num_rows: int,
+        level_to_attr: List[int],
+    ):
+        self.manager = manager
+        self.stats = stats
+        self.meter = meter
+        self.num_attributes = num_attributes
+        self.num_rows = num_rows
+        self.level_to_attr = level_to_attr
+        #: Frozen tree bytes, set once the build completes.
+        self.frozen_tree: Optional[bytes] = None
+        #: NonKeySet under construction (search phase).
+        self.nonkeys: Optional[NonKeySet] = None
+        #: Paths of slices whose results are in ``nonkeys``.
+        self.completed: List[tuple] = []
+        #: Wall seconds from *previous* sessions, restored from the
+        #: checkpoint; the current session's phase timers add onto these.
+        self.prior_build_seconds = 0.0
+        self.prior_search_seconds = 0.0
+
+    # -- payload assembly ----------------------------------------------
+
+    def _base_payload(self, phase: str) -> dict:
+        return {
+            "phase": phase,
+            "num_attributes": self.num_attributes,
+            "num_rows": self.num_rows,
+            "level_to_attr": list(self.level_to_attr),
+            "budget": self.meter.snapshot() if self.meter is not None else None,
+            "counters": self.stats.search.as_dict(),
+        }
+
+    def build_payload(self, rows_done: int, tree: PrefixTree) -> dict:
+        payload = self._base_payload("build")
+        payload["rows_done"] = rows_done
+        payload["tree"] = _freeze_root(tree)
+        payload["build_seconds"] = self.stats.build_seconds
+        return payload
+
+    def search_payload(self) -> dict:
+        payload = self._base_payload("search")
+        payload["tree"] = self.frozen_tree
+        payload["nonkeys"] = list(self.nonkeys.masks()) if self.nonkeys else []
+        payload["completed"] = list(self.completed)
+        payload["build_seconds"] = self.stats.build_seconds
+        payload["search_seconds"] = self.stats.search_seconds
+        return payload
+
+    # -- writes --------------------------------------------------------
+
+    def write(self, payload: dict, *, required: bool) -> Optional[object]:
+        path = self.manager.write(payload, required=required)
+        if path is not None:
+            self.stats.search.checkpoints_written += 1
+        else:
+            self.stats.search.checkpoint_write_failures += 1
+        return path
+
+    def write_best_effort(self, payload_fn: Callable[[], dict]) -> None:
+        """Final checkpoint on an abnormal exit (budget trip, worker
+        failure, interrupt) — never masks the original exception."""
+        try:
+            self.write(payload_fn(), required=False)
+        except Exception:
+            self.stats.search.checkpoint_write_failures += 1
+
+    def stop_if_requested(self, payload_fn: Callable[[], dict]) -> None:
+        """Honor a signal-guard stop: write a *required* final generation,
+        then raise :class:`CheckpointStopRequested`."""
+        signal_name = self.manager.stop_requested
+        if signal_name is None:
+            return
+        path = self.write(payload_fn(), required=True)
+        raise CheckpointStopRequested(
+            f"{signal_name} received: checkpoint written, stopping",
+            checkpoint_path=path,
+            signal_name=signal_name,
+        )
+
+
+def _validate_state(state: dict, run: _CheckpointedRun) -> None:
+    """Cross-check structural facts a fingerprint match already implies —
+    belt and braces against a hand-edited or mixed-up checkpoint."""
+    for key, expected in (
+        ("num_attributes", run.num_attributes),
+        ("num_rows", run.num_rows),
+        ("level_to_attr", list(run.level_to_attr)),
+    ):
+        if state.get(key) != expected:
+            raise CheckpointMismatchError(
+                f"checkpoint {key} is {state.get(key)!r} but this run "
+                f"derives {expected!r}; the checkpoint belongs to a "
+                "different dataset or configuration"
+            )
+
+
+def find_keys_checkpointed(
+    rows: Sequence[Sequence[object]],
+    num_attributes: Optional[int] = None,
+    attribute_names: Optional[Sequence[str]] = None,
+    config: Optional[GordianConfig] = None,
+    budget=None,
+    manager: Optional[CheckpointManager] = None,
+    resume: bool = False,
+) -> GordianResult:
+    """:func:`~repro.core.gordian.find_keys` with durable checkpoints.
+
+    With ``resume=True`` the newest usable generation in the checkpoint
+    directory (if any) seeds the run: tree thawed, NonKeySet restored,
+    completed slices skipped, consumed budget carried via
+    :meth:`~repro.robustness.BudgetMeter.preload`.  On success the
+    checkpoint directory is cleared; on a budget trip, worker failure, or
+    interrupt a final generation is written best-effort before the usual
+    salvage-carrying exception propagates; on a signal-guard stop the final
+    write is mandatory and :class:`~repro.errors.CheckpointStopRequested`
+    carries its path.
+
+    ``budget`` accepts a :class:`~repro.robustness.RunBudget` or an armed
+    :class:`~repro.robustness.BudgetMeter`, as :func:`run_with_budget`
+    does; ``None`` means unbudgeted (signals and crashes are still the
+    reason to checkpoint).
+    """
+    config = config or GordianConfig()
+    num_attributes = _resolve_num_attributes(rows, num_attributes, attribute_names)
+
+    from repro.dataset.nulls import NullPolicy, apply_null_policy
+
+    if config.null_policy is not NullPolicy.EQUAL:
+        rows = apply_null_policy(rows, config.null_policy)
+
+    if manager is None:
+        manager = manager_for_config(config, fingerprint_rows(rows, config))
+
+    meter: Optional[BudgetMeter] = None
+    if budget is not None:
+        meter = budget.start() if isinstance(budget, RunBudget) else budget
+
+    stats = RunStats()
+
+    dictionaries = None
+    cardinalities = None
+    if config.encode:
+        from repro.perf.encode import encode_columns
+
+        rows, dictionaries = encode_columns(rows, num_attributes)
+        cardinalities = [len(codec) for codec in dictionaries]
+
+    level_to_attr = _order_attributes(
+        rows, num_attributes, config.attribute_order, cardinalities=cardinalities
+    )
+    if meter is not None:
+        meter.checkpoint(force=True)
+
+    workers = _effective_workers(config, len(rows))
+    names = list(attribute_names) if attribute_names else None
+
+    run = _CheckpointedRun(
+        manager, stats, meter, num_attributes, len(rows), level_to_attr
+    )
+
+    state: Optional[dict] = None
+    if resume:
+        state = manager.load_latest()
+        if state is not None:
+            _validate_state(state, run)
+            if meter is not None and state.get("budget"):
+                meter.preload(state["budget"])
+            stats.search.add_counters(state.get("counters") or {})
+            run.prior_build_seconds = float(state.get("build_seconds", 0.0))
+            if state["phase"] == "search":
+                run.prior_search_seconds = float(
+                    state.get("search_seconds", 0.0)
+                )
+
+    # The search phase (and any sharded build) needs the rows permuted into
+    # tree-level order and materialized; the serial build streams the same
+    # permutation row by row.
+    permuted = [tuple(row[a] for a in level_to_attr) for row in rows]
+
+    pctx = None
+    if workers > 1:
+        from repro.parallel.backend import ParallelContext
+
+        pool = None
+        if config.reuse_pool:
+            from repro.parallel.pool import shared_pool
+
+            pool = shared_pool(workers, clamp=config.clamp_workers)
+        pctx = ParallelContext(
+            permuted, num_attributes, config=config, workers=workers, pool=pool
+        )
+
+    try:
+        # -- build ------------------------------------------------------
+        build_start = time.perf_counter()
+        stats.build_seconds = run.prior_build_seconds
+
+        def settle_build() -> None:
+            stats.build_seconds = run.prior_build_seconds + (
+                time.perf_counter() - build_start
+            )
+
+        try:
+            if state is not None and state["phase"] == "search":
+                # The checkpoint holds the finished tree: thaw instead of
+                # rebuilding.  new_node-routed allocation re-charges tree
+                # stats and the budget meter exactly as a build would
+                # (which is why ``preload`` does not carry node counts).
+                from repro.parallel.shard import thaw_into_tree
+
+                tree = PrefixTree(
+                    num_attributes, stats=stats.tree, budget=meter
+                )
+                thaw_into_tree(state["tree"], tree, len(rows))
+            elif pctx is not None:
+                # The sharded build runs as one opaque supervised step; it
+                # is fast (and internally fault-tolerant), so checkpoints
+                # bracket it rather than divide it — a mid-build generation
+                # written by a serial session is ignored here and the
+                # shards rebuild from the rows.
+                run.stop_if_requested(
+                    lambda: run.build_payload(0, _empty_tree(run))
+                )
+                tree = pctx.build_tree(stats=stats.tree, budget=meter)
+            else:
+                tree = _build_serial_checkpointed(
+                    run, permuted, state, config, meter
+                )
+        except NoKeysExistError:
+            settle_build()
+            stats.completed_phases.append("build")
+            if meter is not None:
+                stats.budget = meter.snapshot()
+            manager.clear()
+            return GordianResult(
+                keys=[],
+                nonkeys=[tuple(range(num_attributes))],
+                num_attributes=num_attributes,
+                num_entities=len(rows),
+                no_keys_exist=True,
+                attribute_order=level_to_attr,
+                stats=stats,
+                attribute_names=names,
+                dictionaries=dictionaries,
+            )
+        except CheckpointStopRequested:
+            settle_build()
+            raise
+        except BudgetExceededError as exc:
+            settle_build()
+            raise _abort(exc, phase="build", meter=meter, stats=stats)
+        except WorkerFailureError as exc:
+            settle_build()
+            if meter is not None:
+                stats.budget = meter.snapshot()
+            exc.phase = "build"
+            exc.stats = stats
+            raise
+        except KeyboardInterrupt as exc:
+            settle_build()
+            if meter is None:
+                raise
+            raise _abort(exc, phase="build", meter=meter, stats=stats) from exc
+        settle_build()
+        stats.completed_phases.append("build")
+
+        # -- search -----------------------------------------------------
+        search_start = time.perf_counter()
+        stats.search_seconds = run.prior_search_seconds
+
+        def settle_search() -> None:
+            stats.search_seconds = run.prior_search_seconds + (
+                time.perf_counter() - search_start
+            )
+
+        # Freeze once: the root tree is immutable during the traversal
+        # (slice merges hang off retained side nodes), so every search
+        # checkpoint reuses these bytes.
+        run.frozen_tree = _freeze_root(tree)
+
+        restored_masks: List[int] = []
+        skip_paths: Set[tuple] = set()
+        if state is not None and state["phase"] == "search":
+            restored_masks = [int(mask) for mask in state.get("nonkeys", [])]
+            run.completed = [
+                tuple(tuple(step) for step in path)
+                for path in state.get("completed", [])
+            ]
+            skip_paths = set(run.completed)
+
+        def on_slice_done(task) -> None:
+            run.completed.append(task.path)
+            settle_search()
+            run.stop_if_requested(run.search_payload)
+            if manager.due():
+                run.write(run.search_payload(), required=False)
+
+        if pctx is not None:
+            finder = pctx.make_finder(
+                tree,
+                stats=stats.search,
+                budget=meter,
+                skip_paths=skip_paths,
+                on_slice_done=on_slice_done,
+            )
+        else:
+            from repro.parallel.search import SerialSliceSearch
+
+            finder = SerialSliceSearch(
+                tree,
+                pruning=config.pruning,
+                stats=stats.search,
+                budget=meter,
+                skip_paths=skip_paths,
+                on_slice_done=on_slice_done,
+            )
+        if restored_masks:
+            finder.nonkeys = NonKeySet.from_antichain(
+                num_attributes, restored_masks
+            )
+        run.nonkeys = finder.nonkeys
+
+        # Phase boundary: land one generation holding the finished tree,
+        # so a crash during the search never has to rebuild.
+        run.stop_if_requested(run.search_payload)
+        run.write(run.search_payload(), required=False)
+
+        try:
+            nonkey_set = finder.run()
+        except CheckpointStopRequested:
+            settle_search()
+            raise
+        except WorkerFailureError as exc:
+            settle_search()
+            if meter is not None:
+                stats.budget = meter.snapshot()
+            exc.phase = "search"
+            exc.stats = stats
+            exc.partial_nonkeys = [
+                _translate_mask(mask, level_to_attr)
+                for mask in finder.nonkeys.masks()
+            ]
+            run.write_best_effort(run.search_payload)
+            raise
+        except (BudgetExceededError, KeyboardInterrupt) as exc:
+            settle_search()
+            run.write_best_effort(run.search_payload)
+            if meter is None and isinstance(exc, KeyboardInterrupt):
+                raise
+            raise _abort(
+                exc,
+                phase="search",
+                meter=meter,
+                stats=stats,
+                partial_nonkeys=[
+                    _translate_mask(mask, level_to_attr)
+                    for mask in finder.nonkeys.masks()
+                ],
+            ) from (exc if isinstance(exc, KeyboardInterrupt) else None)
+        settle_search()
+        stats.completed_phases.append("search")
+        if config.merge_cache:
+            _warn_low_merge_cache_rate(stats.search)
+    finally:
+        if pctx is not None:
+            pctx.close()
+
+    # -- convert --------------------------------------------------------
+    convert_start = time.perf_counter()
+    key_masks = keys_from_nonkey_masks(nonkey_set.masks(), num_attributes)
+    stats.convert_seconds = time.perf_counter() - convert_start
+    stats.completed_phases.append("convert")
+    if meter is not None:
+        stats.budget = meter.snapshot()
+
+    keys = sorted(
+        (_translate_mask(mask, level_to_attr) for mask in key_masks),
+        key=lambda k: (len(k), k),
+    )
+    nonkeys = sorted(
+        (_translate_mask(mask, level_to_attr) for mask in nonkey_set.masks()),
+        key=lambda k: (len(k), k),
+    )
+    # Durable success: a later run in this directory must start fresh.
+    manager.clear()
+    return GordianResult(
+        keys=keys,
+        nonkeys=nonkeys,
+        num_attributes=num_attributes,
+        num_entities=len(rows),
+        no_keys_exist=False,
+        attribute_order=level_to_attr,
+        stats=stats,
+        attribute_names=names,
+        dictionaries=dictionaries,
+    )
+
+
+def _empty_tree(run: _CheckpointedRun) -> PrefixTree:
+    """Zero-row stand-in for a build-phase stop before any row landed."""
+    return PrefixTree(run.num_attributes)
+
+
+def _build_serial_checkpointed(
+    run: _CheckpointedRun,
+    permuted: List[tuple],
+    state: Optional[dict],
+    config: GordianConfig,
+    meter: Optional[BudgetMeter],
+) -> PrefixTree:
+    """Serial single-pass build with periodic durable snapshots.
+
+    Insertion is deterministic row order, so ``rows_done`` plus the frozen
+    partial tree reconstructs the exact mid-build state: thaw, then keep
+    inserting from where the checkpoint left off.
+    """
+    from repro.parallel.shard import thaw_into_tree
+
+    # The meter is NOT wired into the tree here: an intra-insert trip would
+    # leave a half-inserted row (a cell without its child) that cannot be
+    # frozen into the trip-time checkpoint.  Allocations are instead charged
+    # from the stats delta at each row boundary, where the tree is always a
+    # consistent prefix of the build.
+    tree = PrefixTree(run.num_attributes, stats=run.stats.tree)
+    if meter is not None:
+        meter.attach_tree_stats(run.stats.tree)
+    charged_nodes = 0
+
+    def charge_nodes() -> None:
+        nonlocal charged_nodes
+        if meter is None:
+            return
+        created = run.stats.tree.nodes_created
+        while charged_nodes < created:
+            charged_nodes += 1
+            meter.on_node()
+
+    rows_done = 0
+    if state is not None and state["phase"] == "build" and state.get("rows_done"):
+        rows_done = int(state["rows_done"])
+        # check_duplicates off: a partial tree legitimately repeats leaf
+        # counts only when the full dataset has duplicates, and those are
+        # re-detected by the remaining inserts.
+        thaw_into_tree(
+            state["tree"], tree, rows_done, check_duplicates=False
+        )
+
+    phase_start = time.perf_counter()
+
+    def payload() -> dict:
+        run.stats.build_seconds = run.prior_build_seconds + (
+            time.perf_counter() - phase_start
+        )
+        return run.build_payload(rows_done, tree)
+
+    insert = tree.insert
+    try:
+        # The thawed nodes re-charge before the first new insert — this is
+        # why BudgetMeter.preload deliberately skips ``nodes_allocated``.
+        charge_nodes()
+        for index in range(rows_done, len(permuted)):
+            insert(permuted[index])
+            rows_done = index + 1
+            charge_nodes()
+            if meter is not None:
+                meter.on_row()
+            if rows_done % _BUILD_BATCH == 0:
+                run.stop_if_requested(payload)
+                if run.manager.due():
+                    run.write(payload(), required=False)
+    except (BudgetExceededError, KeyboardInterrupt):
+        # Land the partial tree so a resume re-inserts only the tail; the
+        # pipeline's exception handling enriches and re-raises as usual.
+        run.write_best_effort(payload)
+        raise
+    run.stop_if_requested(payload)
+    return tree

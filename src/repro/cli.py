@@ -55,14 +55,17 @@ from repro.core.gordian import (
 from repro.dataset.csv_io import load_csv_with_retry
 from repro.dataset.profile import profile_table
 from repro.errors import (
+    EXIT_CHECKPOINT,
     EXIT_INTERRUPT,
     EXIT_USAGE,
     EXIT_WORKER,
+    BudgetExceededError,
+    CheckpointStopRequested,
     ReproError,
     WorkerFailureError,
     exit_code_for,
 )
-from repro.robustness import RunBudget
+from repro.robustness import RunBudget, faults
 
 __all__ = ["main", "build_parser"]
 
@@ -128,10 +131,31 @@ def build_parser() -> argparse.ArgumentParser:
                         help="cap on prefix-tree nodes ever allocated")
     budget.add_argument("--max-visits", type=int, default=None,
                         help="cap on NonKeyFinder node visits")
-    budget.add_argument("--on-budget", choices=["fail", "degrade"],
+    budget.add_argument("--on-budget",
+                        choices=["fail", "degrade", "checkpoint"],
                         default="degrade",
-                        help="on a tripped budget: fail with exit code 7, or "
-                             "degrade to sampling mode (default)")
+                        help="on a tripped budget: fail with exit code 7, "
+                             "degrade to sampling mode (default), or write a "
+                             "final checkpoint and exit with code "
+                             f"{EXIT_CHECKPOINT} so the run can be resumed "
+                             "(requires --checkpoint-dir)")
+    ckpt = keys.add_argument_group("checkpoint/resume")
+    ckpt.add_argument("--checkpoint-dir", type=Path, default=None,
+                      metavar="DIR",
+                      help="periodically write crash-safe run state to DIR; "
+                           "SIGTERM/SIGINT write a final checkpoint and exit "
+                           f"with code {EXIT_CHECKPOINT}")
+    ckpt.add_argument("--checkpoint-interval", type=float, default=30.0,
+                      metavar="SECONDS",
+                      help="seconds between periodic checkpoints (default: "
+                           "30; 0 checkpoints at every opportunity)")
+    ckpt.add_argument("--checkpoint-keep", type=int, default=3, metavar="N",
+                      help="checkpoint generations to keep (default: 3)")
+    ckpt.add_argument("--resume", action="store_true",
+                      help="resume from the newest checkpoint in "
+                           "--checkpoint-dir (fresh start when none exists); "
+                           "fails loudly if the CSV or result-affecting "
+                           "configuration changed")
 
     profile = sub.add_parser("profile", help="per-column statistics")
     profile.add_argument("csv", type=Path)
@@ -200,7 +224,82 @@ def _print_profile(stats) -> None:
     print(render_profile(stats))
 
 
+def _print_keys_result(result, args) -> None:
+    print(result.summary())
+    for key in result.named_keys()[: args.max_print]:
+        print(f"  <{', '.join(key)}>")
+    remaining = len(result.keys) - args.max_print
+    if remaining > 0:
+        print(f"  ... and {remaining} more")
+    if args.profile:
+        _print_profile(result.stats)
+
+
+def _cmd_keys_checkpointed(args, table, config, budget) -> int:
+    """``keys`` with a durable checkpoint directory: write, resume, stop."""
+    from repro.checkpoint import (
+        find_keys_checkpointed,
+        fingerprint_file,
+        manager_for_config,
+    )
+
+    manager = manager_for_config(config, fingerprint_file(args.csv, config))
+    if args.resume and not manager.generation_paths():
+        print(
+            f"warning: no checkpoint found in {args.checkpoint_dir}; "
+            "starting fresh",
+            file=sys.stderr,
+        )
+    with manager.signal_guard():
+        try:
+            result = find_keys_checkpointed(
+                table.rows,
+                num_attributes=table.num_attributes,
+                attribute_names=table.schema.names,
+                config=config,
+                budget=budget,
+                manager=manager,
+                resume=args.resume,
+            )
+        except BudgetExceededError as exc:
+            if args.on_budget != "checkpoint":
+                raise
+            # The runner already wrote a best-effort final checkpoint
+            # before re-raising; report where it landed and exit resumable.
+            if manager.latest_path is not None:
+                print(
+                    f"budget exceeded ({exc.reason}); checkpoint written to "
+                    f"{manager.latest_path} — resume with --resume",
+                    file=sys.stderr,
+                )
+                return EXIT_CHECKPOINT
+            print(
+                f"budget exceeded ({exc.reason}); no checkpoint could be "
+                "written",
+                file=sys.stderr,
+            )
+            return exit_code_for(exc)
+    _print_keys_result(result, args)
+    return 0
+
+
 def _cmd_keys(args) -> int:
+    if args.checkpoint_dir is None:
+        for flag, value in (("--resume", args.resume),
+                            ("--on-budget checkpoint",
+                             args.on_budget == "checkpoint")):
+            if value:
+                print(f"error: {flag} requires --checkpoint-dir",
+                      file=sys.stderr)
+                return EXIT_USAGE
+    elif args.sample_fraction is not None or args.sample_size is not None:
+        print(
+            "error: --checkpoint-dir cannot be combined with sampling flags "
+            "(--sample-fraction/--sample-size): approximate runs are cheap "
+            "to restart",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
     table = load_csv_with_retry(args.csv)
     config = GordianConfig(
         null_policy=args.null_policy,
@@ -211,7 +310,16 @@ def _cmd_keys(args) -> int:
         task_timeout_seconds=args.task_timeout,
         serial_fallback=args.serial_fallback,
         reuse_pool=args.reuse_pool,
+        checkpoint_dir=str(args.checkpoint_dir)
+        if args.checkpoint_dir is not None
+        else None,
+        checkpoint_interval_seconds=args.checkpoint_interval,
+        checkpoint_keep=args.checkpoint_keep,
     )
+    if args.checkpoint_dir is not None:
+        return _cmd_keys_checkpointed(
+            args, table, config, _budget_from_args(args)
+        )
     if args.sample_fraction is not None or args.sample_size is not None:
         result = find_approximate_keys(
             table.rows,
@@ -283,14 +391,7 @@ def _cmd_keys(args) -> int:
             if args.profile:
                 _print_profile(robust.stats)
             return EXIT_WORKER
-    print(result.summary())
-    for key in result.named_keys()[: args.max_print]:
-        print(f"  <{', '.join(key)}>")
-    remaining = len(result.keys) - args.max_print
-    if remaining > 0:
-        print(f"  ... and {remaining} more")
-    if args.profile:
-        _print_profile(result.stats)
+    _print_keys_result(result, args)
     return 0
 
 
@@ -339,8 +440,19 @@ _COMMANDS = {
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    # Arm any REPRO_FAULT_PLAN in the parent too, so injected faults reach
+    # the serial code paths (workers arm themselves on first task).
+    faults.arm_from_env()
     try:
         return _COMMANDS[args.command](args)
+    except CheckpointStopRequested as exc:
+        where = f" to {exc.checkpoint_path}" if exc.checkpoint_path else ""
+        print(
+            f"{exc.signal_name or 'stop'}: checkpoint written{where}; "
+            "resume with --resume",
+            file=sys.stderr,
+        )
+        return exit_code_for(exc)
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)
         return EXIT_INTERRUPT

@@ -160,6 +160,13 @@ class GordianConfig:
     serial_fallback: bool = True
     max_pool_restarts: int = 2
     reuse_pool: bool = False
+    #: Durable checkpoint/resume (:mod:`repro.checkpoint`): a directory
+    #: enables it, ``checkpoint_interval_seconds`` sets the periodic write
+    #: cadence (0 = checkpoint at every opportunity), ``checkpoint_keep``
+    #: how many generations survive rotation.
+    checkpoint_dir: Optional[str] = None
+    checkpoint_interval_seconds: float = 30.0
+    checkpoint_keep: int = 3
 
     def __post_init__(self) -> None:
         if self.merge_cache and self.merge_cache_entries < 1:
@@ -185,6 +192,15 @@ class GordianConfig:
             raise ConfigError(f"workers must be >= 1, got {self.workers}")
         if self.parallel_min_rows < 0 or self.parallel_build_min_rows < 0:
             raise ConfigError("parallel row thresholds must be >= 0")
+        if self.checkpoint_interval_seconds < 0:
+            raise ConfigError(
+                f"checkpoint_interval_seconds must be >= 0, got "
+                f"{self.checkpoint_interval_seconds}"
+            )
+        if self.checkpoint_keep < 1:
+            raise ConfigError(
+                f"checkpoint_keep must be >= 1, got {self.checkpoint_keep}"
+            )
         if not isinstance(self.attribute_order, AttributeOrder):
             try:
                 object.__setattr__(

@@ -99,6 +99,14 @@ class SearchStats:
     serial_fallbacks: int = 0
     pool_restarts: int = 0
     worker_budget_trips: int = 0
+    # Checkpoint counters (zero outside checkpointed runs): successful
+    # checkpoint generations written, periodic writes that failed past the
+    # retry budget (the run continues), and slices a resumed run skipped
+    # because a checkpoint recorded them as complete.  Cumulative across
+    # resumes — each checkpoint carries the counters forward.
+    checkpoints_written: int = 0
+    checkpoint_write_failures: int = 0
+    slices_resumed_skipped: int = 0
 
     #: Every additive counter field, in declaration order.  Drives
     #: :meth:`add_counters` (parallel workers report their per-task counters
@@ -121,6 +129,9 @@ class SearchStats:
         "serial_fallbacks",
         "pool_restarts",
         "worker_budget_trips",
+        "checkpoints_written",
+        "checkpoint_write_failures",
+        "slices_resumed_skipped",
     )
 
     @property
@@ -180,6 +191,9 @@ class SearchStats:
             "serial_fallbacks": self.serial_fallbacks,
             "pool_restarts": self.pool_restarts,
             "worker_budget_trips": self.worker_budget_trips,
+            "checkpoints_written": self.checkpoints_written,
+            "checkpoint_write_failures": self.checkpoint_write_failures,
+            "slices_resumed_skipped": self.slices_resumed_skipped,
         }
         data["total_prunings"] = self.total_prunings
         data["merge_cache_hit_rate"] = round(self.merge_cache_hit_rate, 4)

@@ -80,6 +80,53 @@ class BudgetExceededError(ReproError):
         self.interrupted = interrupted
 
 
+class CheckpointError(DataError):
+    """A durable checkpoint could not be used (base for checkpoint faults).
+
+    Subclasses :class:`DataError` because a bad checkpoint is a run-state
+    integrity problem, not a configuration one; the CLI maps it to the
+    data-error exit code.
+    """
+
+
+class CheckpointCorruptError(CheckpointError):
+    """Every available checkpoint generation is torn or corrupt.
+
+    A single torn newest generation is *not* an error — the manager falls
+    back to the previous generation silently.  This is raised only when no
+    generation in the directory decodes and validates.
+    """
+
+
+class CheckpointMismatchError(CheckpointError):
+    """A checkpoint does not belong to this run.
+
+    The dataset fingerprint (path, size, content hash) or the result-
+    affecting configuration hash differs from what the checkpoint was
+    written under; resuming would silently produce keys for different
+    input, so the mismatch fails loudly instead.
+    """
+
+
+class CheckpointStopRequested(ReproError):
+    """A final checkpoint was written and the run should stop.
+
+    Raised after a SIGTERM/SIGINT with checkpointing armed: the in-flight
+    state is durably on disk and the caller is expected to exit with
+    :data:`EXIT_CHECKPOINT` so schedulers can distinguish
+    "checkpointed, resume me" from a failure.
+    """
+
+    def __init__(self, reason: str, *, checkpoint_path: Optional[object] = None,
+                 signal_name: Optional[str] = None):
+        super().__init__(reason)
+        self.reason = reason
+        #: Path of the final checkpoint generation, when the write succeeded.
+        self.checkpoint_path = checkpoint_path
+        #: Name of the signal that requested the stop (e.g. ``"SIGTERM"``).
+        self.signal_name = signal_name
+
+
 class RetryExhaustedError(ReproError):
     """All attempts of a retry-with-backoff wrapped operation failed.
 
@@ -147,10 +194,12 @@ EXIT_RETRY = 8
 EXIT_NO_KEYS = 9
 EXIT_ERROR = 10
 EXIT_WORKER = 11
+EXIT_CHECKPOINT = 12
 EXIT_INTERRUPT = 130
 
 #: Most-specific-first mapping used by :func:`exit_code_for`.
 EXIT_CODES = {
+    CheckpointStopRequested: EXIT_CHECKPOINT,
     SchemaError: EXIT_SCHEMA,
     DataError: EXIT_DATA,
     ConfigError: EXIT_CONFIG,

@@ -201,6 +201,8 @@ class ParallelContext:
         tree: PrefixTree,
         stats: Optional[SearchStats] = None,
         budget: Optional[object] = None,
+        skip_paths=None,
+        on_slice_done=None,
     ) -> ParallelNonKeyFinder:
         return ParallelNonKeyFinder(
             tree,
@@ -208,6 +210,8 @@ class ParallelContext:
             pruning=self.config.pruning,
             stats=stats,
             budget=budget,
+            skip_paths=skip_paths,
+            on_slice_done=on_slice_done,
         )
 
     def close(self) -> None:

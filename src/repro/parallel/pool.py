@@ -129,6 +129,22 @@ class WorkerPool:
             return False
         return any(not p.is_alive() for p in list(processes.values()))
 
+    def worker_pids(self) -> list:
+        """PIDs of this pool's worker processes (live and dead)."""
+        processes = getattr(self._executor, "_processes", None) or {}
+        return list(processes)
+
+    def dead_worker_pids(self) -> list:
+        """PIDs of workers that have exited.
+
+        Read *before* killing the pool — afterwards every worker is dead
+        and the list stops identifying anything.  The supervisor matches
+        these against worker-written task-claim files to charge a pool
+        failure's retry attempt to the likely-culprit task only.
+        """
+        processes = getattr(self._executor, "_processes", None) or {}
+        return [pid for pid, p in list(processes.items()) if not p.is_alive()]
+
     def kill(self) -> None:
         """Forcibly terminate every worker and reap the children.
 

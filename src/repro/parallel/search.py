@@ -62,7 +62,7 @@ from repro.errors import ConfigError
 from repro.parallel.supervisor import SERIAL_FALLBACK, SupervisedTask
 from repro.parallel.worker import STEP_CELL, STEP_MERGE, resolve_path
 
-__all__ = ["SliceTask", "ParallelNonKeyFinder"]
+__all__ = ["SliceTask", "ParallelNonKeyFinder", "SerialSliceSearch"]
 
 #: A subtree never split across more levels than this: expansion exists to
 #: widen a narrow frontier, and two levels of fan-out saturate any
@@ -169,6 +169,8 @@ class ParallelNonKeyFinder:
         max_inflight: Optional[int] = None,
         snapshot_limit: int = _SNAPSHOT_LIMIT,
         expand_depth: int = _EXPAND_DEPTH,
+        skip_paths=None,
+        on_slice_done=None,
     ):
         if supervisor is None and executor is None:
             raise ConfigError(
@@ -207,6 +209,13 @@ class ParallelNonKeyFinder:
         # Serial-fallback path resolution cache (shared across deferred
         # slices, same structure as a worker's path cache).
         self._fallback_cache: Dict[tuple, Node] = {}
+        # Checkpoint/resume hooks: slices whose paths a checkpoint recorded
+        # as complete are never dispatched (their non-keys are already in
+        # the restored NonKeySet), and ``on_slice_done(task)`` fires after
+        # each slice's masks are unioned — the one point where the NonKeySet
+        # and the completed-slice list are mutually consistent.
+        self._skip_paths = frozenset(skip_paths) if skip_paths else frozenset()
+        self._on_slice_done = on_slice_done
         self.tasks_dispatched = 0
         self.tasks_completed = 0
 
@@ -231,6 +240,9 @@ class ParallelNonKeyFinder:
                     except StopIteration:
                         stream_done = True
                         break
+                    if task.path in self._skip_paths:
+                        self.stats.slices_resumed_skipped += 1
+                        continue
                     handle = sup.submit(
                         "run_search",
                         make_args=self._make_search_args(task),
@@ -273,8 +285,15 @@ class ParallelNonKeyFinder:
                     sup.resubmit(handle)
                     self.tasks_dispatched += 1
                     outstanding += 1
+                    continue
+                finished = slices.pop(handle)
+                if self._on_slice_done is not None:
+                    self._on_slice_done(finished)
             for task in deferred:
+                self.stats.serial_fallbacks += 1
                 self._run_slice_serially(task)
+                if self._on_slice_done is not None:
+                    self._on_slice_done(task)
         except BaseException:
             sup.cancel_pending()
             raise
@@ -308,7 +327,8 @@ class ParallelNonKeyFinder:
         return make_args
 
     def _run_slice_serially(self, task: SliceTask) -> None:
-        """Parent-side execution of a slice whose retries were exhausted.
+        """Parent-side execution of one slice (exhausted-retry fallback,
+        and every slice of a :class:`SerialSliceSearch`).
 
         Same traversal a worker would have run — shared path resolution,
         snapshot seeding, visited-flag rollback — but against the parent's
@@ -330,7 +350,6 @@ class ParallelNonKeyFinder:
         finder.nonkeys = NonKeySet.from_antichain(
             self._num_attributes, self.nonkeys.masks()
         )
-        self.stats.serial_fallbacks += 1
         self.tasks_completed += 1
         visited_log: List[Node] = []
         try:
@@ -438,3 +457,81 @@ class ParallelNonKeyFinder:
             self._retained.append(merged)
             node = merged
             path = path + ((STEP_MERGE,),)
+
+
+class _NullSupervisor:
+    """Supervisor stand-in for :class:`SerialSliceSearch`: there is no
+    pool, so every supervision counter is zero and teardown is a no-op."""
+
+    workers = 1
+    tasks_retried = 0
+    serial_fallbacks = 0
+    pool_restarts = 0
+
+    def cancel_pending(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class SerialSliceSearch(ParallelNonKeyFinder):
+    """The serial traversal, decomposed into the parallel path's slices.
+
+    Built for the checkpointed runner (:mod:`repro.checkpoint.runner`): a
+    finished slice is the natural unit of durable progress — its non-keys
+    are in the NonKeySet, its path goes on the completed list, and a resumed
+    run skips it.  Because Algorithm 5's union + re-minimization is
+    order-independent, resuming from *any* prefix of completed slices
+    converges to exactly the plain serial answer; the equivalence tests in
+    ``tests/parallel/test_equivalence.py`` cover the same decomposition.
+
+    Every slice executes in-process via ``_run_slice_serially``, charging
+    the parent budget meter per visit.  The full task list is materialized
+    *before* any slice runs: executing a slice resolves its path, which
+    acquires merge nodes, and a refcount bumped mid-stream would be
+    indistinguishable from subtree sharing in ``_stream``'s
+    ``refcount > 1`` test.
+    """
+
+    def __init__(
+        self,
+        tree: PrefixTree,
+        pruning: Optional[PruningConfig] = None,
+        stats: Optional[SearchStats] = None,
+        budget: Optional[object] = None,
+        skip_paths=None,
+        on_slice_done=None,
+    ):
+        super().__init__(
+            tree,
+            supervisor=_NullSupervisor(),
+            pruning=pruning,
+            stats=stats,
+            budget=budget,
+            skip_paths=skip_paths,
+            on_slice_done=on_slice_done,
+        )
+
+    def run(self) -> NonKeySet:
+        if self.tree.num_entities == 0:
+            return self.nonkeys
+        try:
+            tasks = list(
+                self._stream(self.tree.root, (), bitset.EMPTY, self._expand_depth)
+            )
+            for task in tasks:
+                if task.path in self._skip_paths:
+                    self.stats.slices_resumed_skipped += 1
+                    continue
+                self.tasks_dispatched += 1
+                self._run_slice_serially(task)
+                if self._on_slice_done is not None:
+                    self._on_slice_done(task)
+        finally:
+            discard = self.tree.discard
+            for node in reversed(self._retained):
+                discard(node)
+            self._retained.clear()
+            self._fallback_cache.clear()
+        return self.nonkeys

@@ -30,14 +30,14 @@ abort.  Within-shard duplicates abort the worker's build directly.
 
 from __future__ import annotations
 
-import atexit
 from array import array
 from multiprocessing import shared_memory
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.prefix_tree import Cell, Node, PrefixTree
 from repro.errors import NoKeysExistError
 from repro.perf.encode import transpose_rows
+from repro.robustness import cleanup
 
 __all__ = [
     "plan_shards",
@@ -57,26 +57,25 @@ _CODE_BYTES = 8
 # ----------------------------------------------------------------------
 # segment registry
 #
-# Every ShmRowStore this process creates registers itself here and
-# unregisters on close().  The atexit sweep is the last line of defence:
-# if a run dies between creating a segment and its try/finally cleanup
-# (worker-crash recovery paths, a signal at an unlucky moment), the
-# segment is still unlinked at interpreter exit instead of orphaning in
-# /dev/shm.  Tests assert the registry is empty after every run.
+# Every ShmRowStore this process creates registers itself in the shared
+# cleanup registry (:mod:`repro.robustness.cleanup`, namespace ``shm:``)
+# and unregisters on close().  The registry's atexit sweep is the last
+# line of defence: if a run dies between creating a segment and its
+# try/finally cleanup (worker-crash recovery paths, a signal at an
+# unlucky moment), the segment is still unlinked at interpreter exit
+# instead of orphaning in /dev/shm.  Tests assert the registry is empty
+# after every run.
 
-_LIVE_SEGMENTS: Dict[str, "ShmRowStore"] = {}
+_SHM_NAMESPACE = "shm:"
 
 
 def live_segment_names() -> List[str]:
     """Names of shared-memory segments this process created and not yet
     closed — empty after any well-behaved run (leak tests assert this)."""
-    return sorted(_LIVE_SEGMENTS)
-
-
-@atexit.register
-def _cleanup_segments() -> None:
-    for store in list(_LIVE_SEGMENTS.values()):
-        store.close()
+    return [
+        key[len(_SHM_NAMESPACE):]
+        for key in cleanup.live_resources(_SHM_NAMESPACE)
+    ]
 
 
 def plan_shards(num_rows: int, shards: int) -> List[Tuple[int, int]]:
@@ -112,14 +111,14 @@ class ShmRowStore:
         nbytes = max(1, len(flat) * _CODE_BYTES)
         self._shm = shared_memory.SharedMemory(create=True, size=nbytes)
         self._shm.buf[: len(flat) * _CODE_BYTES] = flat.tobytes()
-        _LIVE_SEGMENTS[self._shm.name] = self
+        cleanup.register(_SHM_NAMESPACE + self._shm.name, self.close)
 
     def describe(self) -> tuple:
         """Picklable handle a worker passes to :func:`load_rows`."""
         return ("shm", self._shm.name, self.num_rows, self.num_attributes)
 
     def close(self) -> None:
-        _LIVE_SEGMENTS.pop(self._shm.name, None)
+        cleanup.unregister(_SHM_NAMESPACE + self._shm.name)
         try:
             self._shm.close()
             self._shm.unlink()

@@ -16,10 +16,14 @@ the recovery policy the backend needs:
 * **bounded retry** — each failed attempt re-dispatches the task with
   freshly derived arguments (``make_args`` runs again, so budget shares and
   NonKeySet snapshots are re-derived from *current* parent state) until
-  ``max_task_retries`` is spent.  A pool failure charges one attempt to
-  every task that was submitted to the broken pool: the executor cannot say
-  which task killed it, and charging all of them is safe because the pool
-  restart quota independently bounds the damage;
+  ``max_task_retries`` is spent.  The executor cannot say which task
+  killed a pool, so each dispatch writes a per-pid *claim file* naming the
+  task the worker is starting; on a pool failure the supervisor reads the
+  dead workers' claims and charges the retry attempt to the likely-culprit
+  task(s) only, re-dispatching innocent bystanders uncharged.  When
+  attribution fails (no dead pid identified, claim lost), every inflight
+  task is charged — still safe, because the pool restart quota
+  independently bounds the damage;
 * **serial fallback** — an exhausted task is executed in the parent: build
   and merge tasks run immediately against a parent-side
   :class:`~repro.parallel.worker.WorkerState` (``on_exhausted="local"``),
@@ -41,6 +45,9 @@ mutations (NonKeySet unions, visit accounting) happen exactly once per
 from __future__ import annotations
 
 import itertools
+import os
+import shutil
+import tempfile
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, wait
@@ -50,6 +57,7 @@ from typing import Callable, Deque, Dict, List, Optional
 from repro.errors import ConfigError, WorkerFailureError
 from repro.parallel import worker
 from repro.parallel.pool import WorkerPool, invalidate_shared_pool
+from repro.robustness import cleanup
 
 __all__ = ["Supervisor", "SupervisedTask", "SERIAL_FALLBACK"]
 
@@ -83,6 +91,7 @@ class SupervisedTask:
         "deadline",
         "finished",
         "result",
+        "token",
     )
 
     def __init__(
@@ -105,6 +114,9 @@ class SupervisedTask:
         self.deadline: Optional[float] = None
         self.finished = False
         self.result = None
+        #: Claim token of the current dispatch — matched against dead
+        #: workers' claim files to attribute pool failures.
+        self.token: Optional[int] = None
 
 
 class Supervisor:
@@ -159,6 +171,23 @@ class Supervisor:
         )
         self._restarts = 0
         self._dead_ticks = 0
+        # Claims directory: every dispatch hands workers a unique token to
+        # record under their pid, enabling culprit attribution after a pool
+        # failure.  Registered with the shared cleanup registry so a crash
+        # cannot orphan it past interpreter exit.
+        self._tokens = itertools.count(1)
+        self._claims_dir: Optional[str] = None
+        self._claims_key: Optional[str] = None
+        try:
+            self._claims_dir = tempfile.mkdtemp(prefix="repro-claims-")
+            self._claims_key = "claims:" + self._claims_dir
+            claims_dir = self._claims_dir
+            cleanup.register(
+                self._claims_key,
+                lambda: shutil.rmtree(claims_dir, ignore_errors=True),
+            )
+        except OSError:  # no tmpdir: attribution degrades to charge-all
+            self._claims_dir = None
         self._pending: Dict[object, SupervisedTask] = {}
         self._ready: Deque[SupervisedTask] = deque()
         self._local_state: Optional[worker.WorkerState] = None
@@ -209,12 +238,19 @@ class Supervisor:
 
     def _dispatch(self, task: SupervisedTask) -> None:
         task.args = tuple(task.make_args())
+        task.token = next(self._tokens)
+        claim = (
+            (self._claims_dir, task.token)
+            if self._claims_dir is not None
+            else None
+        )
         try:
             task.future = self._pool.submit(
                 worker.run_task,
                 task.method,
                 self.epoch,
                 self.payload,
+                claim,
                 *task.args,
             )
         except BrokenProcessPool:
@@ -304,9 +340,13 @@ class Supervisor:
             if task.deadline is not None and now > task.deadline
         ]
         if expired:
-            # Hung workers cannot be interrupted; the whole pool goes.
+            # Hung workers cannot be interrupted; the whole pool goes.  The
+            # expired tasks *are* the known culprits — everything else
+            # inflight is an innocent bystander and re-dispatches uncharged.
             self._pool_failed(
-                f"task exceeded its {self.task_timeout}s deadline", expired
+                f"task exceeded its {self.task_timeout}s deadline",
+                expired,
+                culprits=expired,
             )
             return
         if self._pool is not None and self._pool.has_dead_worker():
@@ -326,20 +366,29 @@ class Supervisor:
     # recovery
 
     def _pool_failed(
-        self, reason: str, failed: List[SupervisedTask]
+        self,
+        reason: str,
+        failed: List[SupervisedTask],
+        culprits: Optional[List[SupervisedTask]] = None,
     ) -> None:
         """Kill the broken pool, restart within quota, re-dispatch tasks.
 
-        Every task that was submitted to the broken pool — ``failed`` plus
-        anything still marked pending — is charged one attempt: the
-        executor cannot name the culprit, and charging all of them keeps
-        recovery bounded without risking an innocent-looking culprit being
-        re-dispatched forever.
+        ``culprits`` (known from a deadline expiry, or recovered from the
+        dead workers' claim files) are charged one retry attempt each;
+        every other task that was inflight on the broken pool is an
+        innocent bystander and re-dispatches uncharged.  When attribution
+        is impossible — no dead pid identified, claim file lost, pool
+        implementation without pid introspection — every inflight task is
+        charged, which stays bounded through the pool restart quota.
         """
         victims = list(dict.fromkeys(failed))
         for task in self._pending.values():
             if task not in victims:
                 victims.append(task)
+        if culprits is None:
+            # Must run before _kill_pool(): afterwards every worker is
+            # dead and the pid probe identifies nothing.
+            culprits = self._culprits_from_claims(victims)
         self._pending.clear()
         self._kill_pool()
         if self._restarts < self.max_pool_restarts:
@@ -349,9 +398,50 @@ class Supervisor:
             self._owns_pool = True
         else:
             self._pool = None
-        for task in victims:
+        if culprits is None:
+            charged, innocent = victims, []
+        else:
+            charged = [task for task in victims if task in culprits]
+            innocent = [task for task in victims if task not in culprits]
+        for task in charged:
             task.attempts += 1
             self._retry_or_exhaust(task, reason, charged=True)
+        for task in innocent:
+            if self._pool is not None:
+                self._dispatch(task)
+            else:
+                self._exhaust(task, reason)
+
+    def _culprits_from_claims(
+        self, victims: List[SupervisedTask]
+    ) -> Optional[List[SupervisedTask]]:
+        """Victims whose claim tokens were held by now-dead workers.
+
+        Returns ``None`` whenever attribution cannot be established —
+        the caller then falls back to charging every victim.  Duck-typed
+        against the pool so test fakes without pid introspection simply
+        take the fallback path.
+        """
+        pool = self._pool
+        dead_pids_probe = getattr(pool, "dead_worker_pids", None)
+        if pool is None or dead_pids_probe is None or self._claims_dir is None:
+            return None
+        try:
+            dead_pids = dead_pids_probe()
+        except Exception:  # pragma: no cover - defensive
+            return None
+        if not dead_pids:
+            return None
+        tokens = set()
+        for pid in dead_pids:
+            try:
+                path = os.path.join(self._claims_dir, str(pid))
+                with open(path) as handle:
+                    tokens.add(int(handle.read().strip()))
+            except (OSError, ValueError):
+                continue
+        culprits = [task for task in victims if task.token in tokens]
+        return culprits or None
 
     def _retry_or_exhaust(
         self, task: SupervisedTask, reason: str, charged: bool = False
@@ -418,3 +508,8 @@ class Supervisor:
         self._pool = None
         if pool is not None and self._owns_pool:
             pool.shutdown()
+        if self._claims_dir is not None:
+            if self._claims_key is not None:
+                cleanup.unregister(self._claims_key)
+            shutil.rmtree(self._claims_dir, ignore_errors=True)
+            self._claims_dir = None

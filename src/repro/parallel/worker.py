@@ -33,6 +33,7 @@ task, so spawn-context children inherit it deterministically.
 
 from __future__ import annotations
 
+import os
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.merge import merge_children, merge_forest
@@ -282,6 +283,28 @@ def ensure_state(epoch: int, payload: dict) -> WorkerState:
     return _STATE
 
 
-def run_task(method: str, epoch: int, payload: dict, *args):
-    """Sole pool entry point: dispatch ``method`` on the epoch's state."""
+def _write_claim(claim: tuple) -> None:
+    """Record which task this worker is starting, keyed by pid.
+
+    Best-effort: attribution losing a claim only means the supervisor
+    falls back to charging every inflight task, never a wrong charge.
+    """
+    claims_dir, token = claim
+    try:
+        with open(os.path.join(claims_dir, str(os.getpid())), "w") as handle:
+            handle.write(str(token))
+    except OSError:
+        pass
+
+
+def run_task(method: str, epoch: int, payload: dict, claim, *args):
+    """Sole pool entry point: dispatch ``method`` on the epoch's state.
+
+    ``claim`` is an optional ``(claims_dir, token)`` pair written to a
+    per-pid file before the task body runs: if this worker dies, the
+    supervisor reads the dead pid's claim to learn which task it was
+    running — the executor's ``BrokenProcessPool`` never names a culprit.
+    """
+    if claim is not None:
+        _write_claim(claim)
     return getattr(ensure_state(epoch, payload), method)(*args)

@@ -71,6 +71,20 @@ def render_profile(stats, attribute_order: Optional[List[int]] = None) -> str:
             f"{search.serial_fallbacks}  pool restarts {search.pool_restarts}"
             f"  worker budget trips {search.worker_budget_trips}"
         )
+    checkpointing = (
+        search.checkpoints_written
+        + search.checkpoint_write_failures
+        + search.slices_resumed_skipped
+    )
+    if checkpointing:
+        # Like supervision: only rendered for checkpointed runs, so a plain
+        # run's profile stays byte-identical to previous releases.
+        lines.append("-- checkpoint")
+        lines.append(
+            f"  checkpoints written {search.checkpoints_written}  write "
+            f"failures {search.checkpoint_write_failures}  slices skipped "
+            f"on resume {search.slices_resumed_skipped}"
+        )
     if stats.budget is not None:
         lines.append("-- budget")
         snapshot = stats.budget

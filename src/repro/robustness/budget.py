@@ -245,6 +245,31 @@ class BudgetMeter:
         }
 
     # ------------------------------------------------------------------
+    # checkpoint/resume carry
+
+    def preload(self, consumed: Dict[str, object]) -> None:
+        """Carry a checkpointed run's consumption into this fresh meter.
+
+        ``consumed`` is a prior meter's :meth:`snapshot`.  The start time
+        (and with it any wall-clock deadline) shifts *back* by the consumed
+        elapsed seconds, and the visit/row counters are pre-charged, so the
+        limits bound the whole logical run across process restarts instead
+        of resetting on every resume.
+
+        ``nodes_allocated`` is deliberately not preloaded: resuming thaws
+        the checkpointed tree through budget-accounted allocation, which
+        re-charges those nodes naturally — preloading too would double-count
+        every surviving node.
+        """
+        elapsed = float(consumed.get("elapsed_seconds", 0.0) or 0.0)
+        if elapsed > 0.0:
+            self.started_at -= elapsed
+            if self.deadline is not None:
+                self.deadline -= elapsed
+        self.node_visits += int(consumed.get("node_visits", 0) or 0)
+        self.rows_inserted += int(consumed.get("rows_inserted", 0) or 0)
+
+    # ------------------------------------------------------------------
     # budget sharing (parallel workers)
 
     def derive_share(self, fraction: float) -> Optional[RunBudget]:

@@ -1,0 +1,55 @@
+"""Process-wide registry of disk/IPC resources needing atexit cleanup.
+
+Long-running discovery creates resources whose lifetime outlives any one
+``try/finally`` — shared-memory row segments and checkpoint temp files.
+Both register here at creation and unregister on their own cleanup; the
+atexit sweep is the last line of defence when a run dies between creating
+a resource and reaching its ``finally`` (worker-crash recovery paths, a
+signal at an unlucky moment).  Leak tests assert the registry is empty
+after every run.
+
+Keys are namespaced (``"shm:<segment>"``, ``"ckpt-tmp:<path>"``) so each
+subsystem can enumerate its own live entries without seeing the others'.
+"""
+
+from __future__ import annotations
+
+import atexit
+from typing import Callable, Dict, List
+
+__all__ = ["register", "unregister", "live_resources", "sweep"]
+
+_RESOURCES: Dict[str, Callable[[], None]] = {}
+
+
+def register(key: str, release: Callable[[], None]) -> None:
+    """Track ``release`` to be called for ``key`` at interpreter exit.
+
+    ``release`` must be idempotent: the owner's normal cleanup path also
+    calls it (typically via :func:`unregister` first, making the sweep a
+    no-op for well-behaved runs).
+    """
+    _RESOURCES[key] = release
+
+
+def unregister(key: str) -> None:
+    """Forget ``key`` (no-op when unknown) — the owner cleaned up itself."""
+    _RESOURCES.pop(key, None)
+
+
+def live_resources(prefix: str = "") -> List[str]:
+    """Sorted keys still registered, optionally filtered by namespace."""
+    return sorted(key for key in _RESOURCES if key.startswith(prefix))
+
+
+@atexit.register
+def sweep() -> None:
+    """Release everything still registered (interpreter-exit safety net)."""
+    for key in list(_RESOURCES):
+        release = _RESOURCES.pop(key, None)
+        if release is None:
+            continue
+        try:
+            release()
+        except Exception:  # pragma: no cover - last-resort cleanup
+            pass

@@ -59,6 +59,8 @@ FAULT_POINTS = frozenset(
         "worker.shard_build",  # WorkerState.build_shard / merge_frozen entry
         "worker.slice_search",  # WorkerState.run_search entry
         "worker.result_send",  # worker task, just before returning a result
+        "checkpoint.write",  # checkpoint temp-file write, before any byte lands
+        "checkpoint.rename",  # checkpoint atomic rename, after fsync
     }
 )
 
@@ -101,13 +103,13 @@ class FaultSpec:
         if self.times is not None and self.times < 1:
             raise ConfigError(f"times must be >= 1 or None, got {self.times}")
 
-    def _materialize(self) -> BaseException:
+    def _materialize(self) -> Optional[BaseException]:
         error = self.error
         if isinstance(error, BaseException):
             return error
         if isinstance(error, type) and issubclass(error, BaseException):
             return error(f"injected fault at {self.point!r}")
-        return error()
+        return error()  # a factory may return None: fire without raising
 
 
 def _claim_token(path: str) -> bool:
@@ -144,7 +146,11 @@ class FaultInjector:
                 continue
             spec._fired += 1
             self.fired.append((point, count))
-            raise spec._materialize()
+            error = spec._materialize()
+            if error is not None:
+                raise error
+            # A factory returning None fired for its side effect only (the
+            # env plan's "sleep" throttle action) — execution continues.
 
 
 _active: Optional[FaultInjector] = None
@@ -180,8 +186,11 @@ def inject(*specs: FaultSpec) -> Iterator[FaultInjector]:
 #: Actions an env plan may request.  ``raise`` surfaces as a task error the
 #: supervisor retries; ``crash`` is SIGKILL-grade (``os._exit``, so no
 #: cleanup handler runs and the pool breaks); ``hang`` blocks the worker so
-#: only a per-task deadline can recover it.
-_ENV_ACTIONS = ("raise", "crash", "hang")
+#: only a per-task deadline can recover it; ``sleep`` delays each hit by
+#: ``seconds`` without raising — a deterministic throttle that makes an
+#: otherwise-fast run last long enough for kill/resume tests to signal it
+#: mid-flight.
+_ENV_ACTIONS = ("raise", "crash", "hang", "sleep")
 
 
 def env_plan(*entries: Dict[str, object]) -> str:
@@ -218,6 +227,13 @@ def _error_for_action(entry: Dict[str, object], point: str):
         def crash() -> BaseException:  # never returns
             os._exit(CRASH_EXIT_CODE)
         return crash
+    if action == "sleep":
+        seconds = float(entry.get("seconds", 0.001))
+
+        def throttle() -> Optional[BaseException]:
+            time.sleep(seconds)
+            return None
+        return throttle
     if action == "hang":
         seconds = float(entry.get("seconds", 3600.0))
 

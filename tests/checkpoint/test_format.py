@@ -1,0 +1,136 @@
+"""Checkpoint wire format: round-trips, corruption detection, atomic writes.
+
+The format must reject *every* single-byte corruption and truncation — the
+CRC32 footer guarantees single-bit/byte flips are caught, the header length
+field catches truncation — because the manager's generation fallback relies
+on ``decode_checkpoint`` never returning garbage from a torn file.
+"""
+
+import os
+
+import pytest
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.checkpoint import (
+    decode_checkpoint,
+    encode_checkpoint,
+    write_atomic,
+)
+from repro.errors import CheckpointCorruptError
+from repro.robustness import faults
+from repro.robustness.faults import FaultSpec
+
+SETTINGS = settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+payloads = st.dictionaries(
+    st.text(min_size=1, max_size=8),
+    st.one_of(
+        st.integers(),
+        st.text(max_size=16),
+        st.binary(max_size=32),
+        st.lists(st.integers(), max_size=8),
+        st.none(),
+    ),
+    max_size=6,
+)
+
+
+class TestRoundTrip:
+    def test_simple_payload(self):
+        payload = {"phase": "search", "masks": [1, 2, 3], "tree": b"\x00\x01"}
+        assert decode_checkpoint(encode_checkpoint(payload)) == payload
+
+    @SETTINGS
+    @given(payload=payloads)
+    def test_arbitrary_payload(self, payload):
+        assert decode_checkpoint(encode_checkpoint(payload)) == payload
+
+
+class TestCorruptionDetection:
+    @SETTINGS
+    @given(payload=payloads, data=st.data())
+    def test_any_single_byte_flip_is_detected(self, payload, data):
+        blob = bytearray(encode_checkpoint(payload))
+        index = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        flip = data.draw(st.integers(min_value=1, max_value=255))
+        blob[index] ^= flip
+        with pytest.raises(CheckpointCorruptError):
+            decode_checkpoint(bytes(blob))
+
+    @SETTINGS
+    @given(payload=payloads, data=st.data())
+    def test_any_truncation_is_detected(self, payload, data):
+        blob = encode_checkpoint(payload)
+        cut = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        with pytest.raises(CheckpointCorruptError):
+            decode_checkpoint(blob[:cut])
+
+    def test_trailing_garbage_is_detected(self):
+        blob = encode_checkpoint({"a": 1})
+        with pytest.raises(CheckpointCorruptError):
+            decode_checkpoint(blob + b"\x00")
+
+    def test_wrong_magic_is_detected(self):
+        blob = bytearray(encode_checkpoint({"a": 1}))
+        blob[:8] = b"NOTACKPT"
+        with pytest.raises(CheckpointCorruptError):
+            decode_checkpoint(bytes(blob))
+
+    def test_unpicklable_body_is_detected(self):
+        # Valid header and CRC over a body that is not a pickle at all.
+        import struct
+        import zlib
+
+        body = b"this is not a pickle"
+        blob = (
+            struct.pack("<8sIQ", b"GORDCKP1", 1, len(body))
+            + body
+            + struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+        )
+        with pytest.raises(CheckpointCorruptError):
+            decode_checkpoint(blob)
+
+
+class TestAtomicWrite:
+    def test_write_then_read_back(self, tmp_path):
+        target = tmp_path / "ckpt-00000000.bin"
+        blob = encode_checkpoint({"k": 1})
+        write_atomic(target, blob)
+        assert target.read_bytes() == blob
+        assert self._stray_temps(tmp_path) == []
+
+    def test_overwrite_is_atomic_replacement(self, tmp_path):
+        target = tmp_path / "gen.bin"
+        write_atomic(target, encode_checkpoint({"gen": 0}))
+        write_atomic(target, encode_checkpoint({"gen": 1}))
+        assert decode_checkpoint(target.read_bytes()) == {"gen": 1}
+        assert self._stray_temps(tmp_path) == []
+
+    def test_failed_write_leaves_no_temp_and_no_target(self, tmp_path):
+        target = tmp_path / "gen.bin"
+        with faults.inject(
+            FaultSpec("checkpoint.write", OSError("disk full"))
+        ):
+            with pytest.raises(OSError):
+                write_atomic(target, b"data")
+        assert not target.exists()
+        assert self._stray_temps(tmp_path) == []
+
+    def test_failed_rename_leaves_no_temp_and_no_target(self, tmp_path):
+        target = tmp_path / "gen.bin"
+        with faults.inject(
+            FaultSpec("checkpoint.rename", OSError("rename failed"))
+        ):
+            with pytest.raises(OSError):
+                write_atomic(target, b"data")
+        assert not target.exists()
+        assert self._stray_temps(tmp_path) == []
+
+    @staticmethod
+    def _stray_temps(directory):
+        return [name for name in os.listdir(directory) if ".tmp." in name]

@@ -1,0 +1,225 @@
+"""Kill-and-resume end to end: SIGKILL/SIGTERM a real CLI run, resume it.
+
+Each test launches ``python -m repro keys`` as a subprocess with a
+``REPRO_FAULT_PLAN`` *sleep* throttle (a deterministic slowdown, not a
+failure) and ``--checkpoint-interval 0``, waits for durable generations to
+land, kills the process group, and asserts the resumed run prints exactly
+the key lines of an uninterrupted serial run.  SIGKILL leaves whatever a
+crash leaves — possibly a torn newest generation, stray temp files, and
+(in parallel mode) an orphaned shared-memory segment the process never got
+to unlink; the tests assert resume copes and cleans up, and sweep the
+unavoidable shm orphans themselves.
+
+Marked ``faults``: CI runs these in their own job with a timeout guard.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.robustness.faults import ENV_VAR, env_plan
+
+pytestmark = pytest.mark.faults
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+#: Per-hit sleep plans: slow the run down enough to signal it mid-flight.
+SEARCH_THROTTLE = {"point": "nonkey.visit", "action": "sleep",
+                   "seconds": 0.02, "times": None}
+BUILD_THROTTLE = {"point": "tree.insert", "action": "sleep",
+                  "seconds": 0.004, "times": None}
+WORKER_THROTTLE = {"point": "worker.slice_search", "action": "sleep",
+                   "seconds": 0.5, "times": None}
+
+
+def _write_csv(path: Path, n: int) -> None:
+    lines = ["a,b,c,d"]
+    for i in range(n):
+        lines.append(f"{(i * 7) % 6},{(i * 3) % 5},{(i * 11) % 4},{i}")
+    path.write_text("\n".join(lines) + "\n")
+
+
+def _env(plan=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC
+    env.pop(ENV_VAR, None)
+    if plan is not None:
+        env[ENV_VAR] = env_plan(plan)
+    return env
+
+
+def _run_cli(args, plan=None):
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "keys", *args],
+        capture_output=True, text=True, env=_env(plan), timeout=300,
+    )
+
+
+def _spawn_cli(args, plan):
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro", "keys", *args],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=_env(plan), start_new_session=True,
+    )
+
+
+def _generations(ck_dir: Path):
+    return sorted(ck_dir.glob("ckpt-*.bin")) if ck_dir.is_dir() else []
+
+
+def _wait_for_generations(ck_dir: Path, count: int, proc, timeout=120.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            out, err = proc.communicate()
+            raise AssertionError(
+                f"run finished before it could be killed "
+                f"(rc={proc.returncode}):\n{out}\n{err}"
+            )
+        if len(_generations(ck_dir)) >= count:
+            return
+        time.sleep(0.01)
+    raise AssertionError(
+        f"timed out waiting for {count} checkpoint generation(s)"
+    )
+
+
+def _kill_group(proc) -> int:
+    try:
+        os.killpg(os.getpgid(proc.pid), signal.SIGKILL)
+    except ProcessLookupError:
+        pass
+    proc.wait(timeout=60)
+    proc.stdout.close()
+    proc.stderr.close()
+    return proc.returncode
+
+
+def _key_lines(stdout: str):
+    return [line for line in stdout.splitlines() if line.startswith("  <")]
+
+
+@pytest.fixture
+def shm_sweeper():
+    """Remove shm segments orphaned by a SIGKILLed child (atexit never ran)."""
+    shm = Path("/dev/shm")
+    before = set(os.listdir(shm)) if shm.is_dir() else set()
+    yield
+    if shm.is_dir():
+        for name in set(os.listdir(shm)) - before:
+            try:
+                (shm / name).unlink()
+            except OSError:
+                pass
+
+
+def _reference(csv_path: Path):
+    result = _run_cli([str(csv_path)])
+    assert result.returncode == 0, result.stderr
+    lines = _key_lines(result.stdout)
+    assert lines, "reference run printed no keys"
+    return lines
+
+
+def _assert_resume_matches(csv_path, ck_dir, reference, extra=()):
+    resumed = _run_cli(
+        [str(csv_path), "--checkpoint-dir", str(ck_dir), "--resume", *extra]
+    )
+    assert resumed.returncode == 0, resumed.stderr
+    assert _key_lines(resumed.stdout) == reference
+    # Success clears the directory: no generations, no stray temp files.
+    assert _generations(ck_dir) == []
+    assert [n for n in os.listdir(ck_dir) if ".tmp." in n] == []
+
+
+class TestSigkill:
+    def test_killed_mid_search_resumes_bit_identical(self, tmp_path):
+        csv_path = tmp_path / "t.csv"
+        _write_csv(csv_path, 240)
+        reference = _reference(csv_path)
+        ck = tmp_path / "ck"
+        proc = _spawn_cli(
+            [str(csv_path), "--checkpoint-dir", str(ck),
+             "--checkpoint-interval", "0"],
+            SEARCH_THROTTLE,
+        )
+        # >= 2 generations: the search phase-boundary write plus at least
+        # one completed slice, so the kill lands mid-search.
+        _wait_for_generations(ck, 2, proc)
+        assert _kill_group(proc) == -signal.SIGKILL
+        _assert_resume_matches(csv_path, ck, reference)
+
+    def test_killed_mid_build_resumes_bit_identical(self, tmp_path):
+        csv_path = tmp_path / "t.csv"
+        _write_csv(csv_path, 1500)  # > _BUILD_BATCH rows => mid-build writes
+        reference = _reference(csv_path)
+        ck = tmp_path / "ck"
+        proc = _spawn_cli(
+            [str(csv_path), "--checkpoint-dir", str(ck),
+             "--checkpoint-interval", "0"],
+            BUILD_THROTTLE,
+        )
+        _wait_for_generations(ck, 1, proc)
+        assert _kill_group(proc) == -signal.SIGKILL
+        _assert_resume_matches(csv_path, ck, reference)
+
+    def test_killed_parallel_run_resumes_in_parallel(
+        self, tmp_path, shm_sweeper
+    ):
+        csv_path = tmp_path / "t.csv"
+        _write_csv(csv_path, 1500)  # above the parallel_min_rows floor
+        reference = _reference(csv_path)
+        ck = tmp_path / "ck"
+        proc = _spawn_cli(
+            [str(csv_path), "--checkpoint-dir", str(ck),
+             "--checkpoint-interval", "0", "--workers", "2"],
+            WORKER_THROTTLE,
+        )
+        _wait_for_generations(ck, 2, proc)
+        assert _kill_group(proc) == -signal.SIGKILL
+        _assert_resume_matches(
+            csv_path, ck, reference, extra=("--workers", "2")
+        )
+
+    def test_torn_newest_generation_is_survived(self, tmp_path):
+        csv_path = tmp_path / "t.csv"
+        _write_csv(csv_path, 240)
+        reference = _reference(csv_path)
+        ck = tmp_path / "ck"
+        proc = _spawn_cli(
+            [str(csv_path), "--checkpoint-dir", str(ck),
+             "--checkpoint-interval", "0"],
+            SEARCH_THROTTLE,
+        )
+        _wait_for_generations(ck, 3, proc)
+        _kill_group(proc)
+        # Tear the newest generation by hand — the worst crash artifact.
+        newest = _generations(ck)[-1]
+        newest.write_bytes(newest.read_bytes()[:100])
+        _assert_resume_matches(csv_path, ck, reference)
+
+
+class TestSigterm:
+    def test_sigterm_checkpoints_and_exits_12(self, tmp_path):
+        csv_path = tmp_path / "t.csv"
+        _write_csv(csv_path, 240)
+        reference = _reference(csv_path)
+        ck = tmp_path / "ck"
+        proc = _spawn_cli(
+            [str(csv_path), "--checkpoint-dir", str(ck),
+             "--checkpoint-interval", "0"],
+            SEARCH_THROTTLE,
+        )
+        _wait_for_generations(ck, 1, proc)
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=120)
+        assert proc.returncode == 12, (out, err)
+        assert "SIGTERM" in err
+        assert "resume with --resume" in err
+        assert _generations(ck), "final checkpoint missing after SIGTERM"
+        _assert_resume_matches(csv_path, ck, reference)

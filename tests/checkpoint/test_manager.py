@@ -1,0 +1,239 @@
+"""Checkpoint manager: generations, fallback, fingerprints, retries, signals."""
+
+import os
+import signal
+
+import pytest
+
+from repro.checkpoint import (
+    CheckpointManager,
+    DatasetFingerprint,
+    config_fingerprint,
+    fingerprint_file,
+    fingerprint_rows,
+)
+from repro.core.gordian import GordianConfig
+from repro.errors import (
+    CheckpointCorruptError,
+    CheckpointError,
+    CheckpointMismatchError,
+    RetryExhaustedError,
+)
+from repro.robustness import faults
+from repro.robustness.faults import FaultSpec
+
+
+def _manager(tmp_path, **kw):
+    kw.setdefault("interval_seconds", 0)
+    return CheckpointManager(tmp_path / "ck", **kw)
+
+
+class TestValidation:
+    def test_negative_interval_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CheckpointManager(tmp_path, interval_seconds=-1)
+
+    def test_zero_keep_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CheckpointManager(tmp_path, keep=0)
+
+    def test_directory_is_created(self, tmp_path):
+        manager = CheckpointManager(tmp_path / "a" / "b")
+        assert manager.directory.is_dir()
+
+
+class TestGenerations:
+    def test_writes_are_numbered_generations(self, tmp_path):
+        manager = _manager(tmp_path, keep=10)
+        manager.write({"n": 0})
+        manager.write({"n": 1})
+        names = [p.name for p in manager.generation_paths()]
+        assert names == ["ckpt-00000000.bin", "ckpt-00000001.bin"]
+        assert manager.writes == 2
+
+    def test_keep_prunes_to_newest(self, tmp_path):
+        manager = _manager(tmp_path, keep=2)
+        for n in range(5):
+            manager.write({"n": n})
+        names = [p.name for p in manager.generation_paths()]
+        assert names == ["ckpt-00000003.bin", "ckpt-00000004.bin"]
+        assert manager.load_latest()["n"] == 4
+
+    def test_load_latest_empty_dir_is_none(self, tmp_path):
+        assert _manager(tmp_path).load_latest() is None
+
+    def test_torn_newest_falls_back_to_previous(self, tmp_path):
+        manager = _manager(tmp_path, keep=5)
+        manager.write({"n": 0})
+        newest = manager.write({"n": 1})
+        # Tear the newest generation the way a crash mid-write would.
+        blob = newest.read_bytes()
+        newest.write_bytes(blob[: len(blob) // 2])
+        assert manager.load_latest()["n"] == 0
+
+    def test_all_generations_corrupt_raises(self, tmp_path):
+        manager = _manager(tmp_path, keep=5)
+        for n in range(3):
+            path = manager.write({"n": n})
+            path.write_bytes(b"garbage")
+        with pytest.raises(CheckpointCorruptError):
+            manager.load_latest()
+
+    def test_clear_removes_everything(self, tmp_path):
+        manager = _manager(tmp_path, keep=5)
+        manager.write({"n": 0})
+        manager.clear()
+        assert manager.generation_paths() == []
+        assert manager.latest_path is None
+        assert manager.load_latest() is None
+
+
+class TestCadence:
+    def test_due_respects_interval(self, tmp_path):
+        now = [0.0]
+        manager = _manager(tmp_path, interval_seconds=10, clock=lambda: now[0])
+        assert manager.due()  # never written
+        manager.write({"n": 0})
+        assert not manager.due()
+        now[0] = 10.0
+        assert manager.due()
+
+    def test_zero_interval_is_always_due(self, tmp_path):
+        manager = _manager(tmp_path, interval_seconds=0)
+        manager.write({"n": 0})
+        assert manager.due()
+
+
+class TestFingerprints:
+    CONFIG = GordianConfig()
+
+    def _fp(self, **kw):
+        base = dict(
+            path="x.csv", size_bytes=10, sha256="a" * 64,
+            config_hash=config_fingerprint(self.CONFIG),
+        )
+        base.update(kw)
+        return DatasetFingerprint(**base)
+
+    def test_matching_fingerprint_resumes(self, tmp_path):
+        writer = _manager(tmp_path, fingerprint=self._fp())
+        writer.write({"n": 0})
+        reader = CheckpointManager(writer.directory, fingerprint=self._fp())
+        assert reader.load_latest()["n"] == 0
+
+    def test_changed_content_refuses(self, tmp_path):
+        writer = _manager(tmp_path, fingerprint=self._fp())
+        writer.write({"n": 0})
+        reader = CheckpointManager(
+            writer.directory, fingerprint=self._fp(sha256="b" * 64)
+        )
+        with pytest.raises(CheckpointMismatchError, match="content changed"):
+            reader.load_latest()
+
+    def test_changed_config_refuses(self, tmp_path):
+        writer = _manager(tmp_path, fingerprint=self._fp())
+        writer.write({"n": 0})
+        other = config_fingerprint(GordianConfig(encode=False))
+        reader = CheckpointManager(
+            writer.directory, fingerprint=self._fp(config_hash=other)
+        )
+        with pytest.raises(CheckpointMismatchError, match="configuration"):
+            reader.load_latest()
+
+    def test_renamed_file_with_same_content_resumes(self, tmp_path):
+        writer = _manager(tmp_path, fingerprint=self._fp())
+        writer.write({"n": 0})
+        reader = CheckpointManager(
+            writer.directory, fingerprint=self._fp(path="renamed.csv")
+        )
+        assert reader.load_latest()["n"] == 0
+
+    def test_unfingerprinted_checkpoint_refuses_fingerprinted_resume(
+        self, tmp_path
+    ):
+        writer = _manager(tmp_path)  # no fingerprint recorded
+        writer.write({"n": 0})
+        reader = CheckpointManager(writer.directory, fingerprint=self._fp())
+        with pytest.raises(CheckpointMismatchError, match="no dataset"):
+            reader.load_latest()
+
+    def test_execution_knobs_do_not_change_the_config_hash(self):
+        serial = config_fingerprint(GordianConfig())
+        parallel = config_fingerprint(
+            GordianConfig(workers=4, merge_cache=False, max_task_retries=0)
+        )
+        assert serial == parallel
+
+    def test_file_fingerprint_tracks_content(self, tmp_path):
+        path = tmp_path / "d.csv"
+        path.write_text("a,b\n1,2\n")
+        first = fingerprint_file(path, self.CONFIG)
+        assert first.size_bytes == path.stat().st_size
+        path.write_text("a,b\n1,3\n")
+        assert fingerprint_file(path, self.CONFIG).sha256 != first.sha256
+
+    def test_rows_fingerprint_distinguishes_value_types(self):
+        # "1" (str) vs 1 (int) must hash differently: repr is injective here.
+        first = fingerprint_rows([("1",)], self.CONFIG)
+        second = fingerprint_rows([(1,)], self.CONFIG)
+        assert first.sha256 != second.sha256
+
+    def test_fingerprint_dict_round_trip(self):
+        fp = self._fp()
+        assert DatasetFingerprint.from_dict(fp.as_dict()) == fp
+
+
+class TestWriteRetries:
+    def test_transient_oserror_is_retried(self, tmp_path):
+        manager = _manager(tmp_path, sleep=lambda _s: None)
+        with faults.inject(
+            FaultSpec("checkpoint.write", OSError("EAGAIN"), times=1)
+        ):
+            path = manager.write({"n": 0})
+        assert path is not None and path.exists()
+        assert manager.write_retries == 1
+        assert manager.write_failures == 0
+
+    def test_required_write_exhaustion_raises(self, tmp_path):
+        manager = _manager(tmp_path, sleep=lambda _s: None)
+        with faults.inject(
+            FaultSpec("checkpoint.write", OSError("ENOSPC"), times=None)
+        ):
+            with pytest.raises((RetryExhaustedError, OSError)):
+                manager.write({"n": 0}, required=True)
+        assert manager.write_failures == 1
+
+    def test_periodic_write_exhaustion_is_dropped_with_warning(
+        self, tmp_path, capsys
+    ):
+        manager = _manager(tmp_path, sleep=lambda _s: None)
+        with faults.inject(
+            FaultSpec("checkpoint.write", OSError("ENOSPC"), times=None)
+        ):
+            assert manager.write({"n": 0}, required=False) is None
+        assert manager.write_failures == 1
+        assert "periodic checkpoint write failed" in capsys.readouterr().err
+        # The directory holds no half-written generation.
+        assert manager.generation_paths() == []
+
+
+class TestSignalGuard:
+    def test_first_signal_requests_stop(self, tmp_path):
+        manager = _manager(tmp_path)
+        with manager.signal_guard():
+            os.kill(os.getpid(), signal.SIGTERM)
+            assert manager.stop_requested == "SIGTERM"
+
+    def test_second_signal_interrupts(self, tmp_path):
+        manager = _manager(tmp_path)
+        with manager.signal_guard():
+            os.kill(os.getpid(), signal.SIGTERM)
+            with pytest.raises(KeyboardInterrupt):
+                os.kill(os.getpid(), signal.SIGINT)
+
+    def test_handlers_are_restored(self, tmp_path):
+        manager = _manager(tmp_path)
+        before = signal.getsignal(signal.SIGTERM)
+        with manager.signal_guard():
+            assert signal.getsignal(signal.SIGTERM) is not before
+        assert signal.getsignal(signal.SIGTERM) is before

@@ -1,0 +1,186 @@
+"""Resume correctness: interrupted runs complete bit-identical to serial.
+
+The core soundness argument for resume is exercised end-to-end here,
+in-process (no subprocesses — the SIGKILL variants live in
+``test_kill_resume.py``): a run tripped by a budget at *any* point leaves a
+checkpoint from which a resumed run produces exactly the keys and non-keys
+an uninterrupted run would have, whether the resume happens in serial or
+parallel mode, and the consumed budget is carried rather than reset.
+"""
+
+import pytest
+
+from repro.checkpoint import (
+    CheckpointManager,
+    find_keys_checkpointed,
+    fingerprint_rows,
+)
+from repro.core import PruningConfig
+from repro.core.gordian import GordianConfig, find_keys
+from repro.errors import BudgetExceededError, CheckpointMismatchError
+from repro.robustness import RunBudget
+
+#: Force the parallel path regardless of dataset size or CPU count.
+PARALLEL = dict(
+    workers=2, clamp_workers=False, parallel_min_rows=0,
+    parallel_build_min_rows=0,
+)
+
+
+def _rows(n=240):
+    # Deterministic, key-bearing (last column unique), wide enough that the
+    # search phase has many slices to checkpoint between.
+    return [((i * 7) % 6, (i * 3) % 5, (i * 11) % 4, i) for i in range(n)]
+
+
+@pytest.fixture(scope="module")
+def reference():
+    result = find_keys(_rows(), config=GordianConfig())
+    return sorted(result.keys), sorted(result.nonkeys)
+
+
+def _manager(tmp_path, config, rows=None):
+    return CheckpointManager(
+        tmp_path / "ck",
+        interval_seconds=0,  # checkpoint at every opportunity
+        keep=3,
+        fingerprint=fingerprint_rows(rows or _rows(), config),
+    )
+
+
+def _trip_then_resume(tmp_path, reference, trip_budget, resume_config=None,
+                      trip_config=None):
+    """Run until the budget trips, then resume unbudgeted; assert identity."""
+    trip_config = trip_config or GordianConfig()
+    resume_config = resume_config or trip_config
+    manager = _manager(tmp_path, trip_config)
+    with pytest.raises(BudgetExceededError):
+        find_keys_checkpointed(
+            _rows(), config=trip_config, budget=trip_budget, manager=manager
+        )
+    assert manager.generation_paths(), "trip left no checkpoint to resume"
+    resumed = find_keys_checkpointed(
+        _rows(), config=resume_config, manager=manager, resume=True
+    )
+    assert (sorted(resumed.keys), sorted(resumed.nonkeys)) == reference
+    # Success clears the directory so a later run starts fresh.
+    assert manager.generation_paths() == []
+    return resumed
+
+
+class TestSerialResume:
+    @pytest.mark.parametrize("visits", [5, 10, 20, 40])
+    def test_search_trip_resumes_identically(
+        self, tmp_path, reference, visits
+    ):
+        resumed = _trip_then_resume(
+            tmp_path, reference, RunBudget(max_node_visits=visits)
+        )
+        assert resumed.stats.search.checkpoints_written >= 1
+
+    def test_build_trip_resumes_identically(self, tmp_path, reference):
+        # Tripping on allocated nodes interrupts tree construction.
+        _trip_then_resume(tmp_path, reference, RunBudget(max_tree_nodes=60))
+
+    def test_resume_skips_completed_slices(self, tmp_path):
+        # With futility pruning the non-keys restored from the checkpoint
+        # usually prune completed slices before they are even yielded;
+        # disabling it forces them through the explicit path-skip so the
+        # counter is observable.
+        config = GordianConfig(pruning=PruningConfig(futility=False))
+        ref = find_keys(_rows(), config=config)
+        resumed = _trip_then_resume(
+            tmp_path,
+            (sorted(ref.keys), sorted(ref.nonkeys)),
+            RunBudget(max_node_visits=40),
+            trip_config=config,
+        )
+        assert resumed.stats.search.slices_resumed_skipped >= 1
+
+    def test_fresh_run_without_checkpoint_resumes_from_nothing(
+        self, tmp_path, reference
+    ):
+        config = GordianConfig()
+        manager = _manager(tmp_path, config)
+        result = find_keys_checkpointed(
+            _rows(), config=config, manager=manager, resume=True
+        )
+        assert (sorted(result.keys), sorted(result.nonkeys)) == reference
+
+
+class TestBudgetCarry:
+    def test_consumed_budget_is_carried_not_reset(self, tmp_path):
+        config = GordianConfig()
+        manager = _manager(tmp_path, config)
+        budget = RunBudget(max_node_visits=20)
+        with pytest.raises(BudgetExceededError):
+            find_keys_checkpointed(
+                _rows(), config=config, budget=budget, manager=manager
+            )
+        # Resuming under the same cap trips again almost immediately: the
+        # 20 visits already consumed ride in via BudgetMeter.preload.
+        with pytest.raises(BudgetExceededError):
+            find_keys_checkpointed(
+                _rows(), config=config, budget=budget, manager=manager,
+                resume=True,
+            )
+
+    def test_raised_budget_finishes_the_run(self, tmp_path, reference):
+        config = GordianConfig()
+        manager = _manager(tmp_path, config)
+        with pytest.raises(BudgetExceededError):
+            find_keys_checkpointed(
+                _rows(), config=config,
+                budget=RunBudget(max_node_visits=20), manager=manager,
+            )
+        resumed = find_keys_checkpointed(
+            _rows(), config=config,
+            budget=RunBudget(max_node_visits=100_000), manager=manager,
+            resume=True,
+        )
+        assert (sorted(resumed.keys), sorted(resumed.nonkeys)) == reference
+
+
+class TestParallelResume:
+    def test_parallel_trip_resumes_identically(self, tmp_path, reference):
+        config = GordianConfig(**PARALLEL)
+        _trip_then_resume(
+            tmp_path, reference, RunBudget(max_node_visits=20),
+            trip_config=config, resume_config=config,
+        )
+
+    def test_serial_checkpoint_resumes_under_workers(
+        self, tmp_path, reference
+    ):
+        _trip_then_resume(
+            tmp_path, reference, RunBudget(max_node_visits=20),
+            trip_config=GordianConfig(),
+            resume_config=GordianConfig(**PARALLEL),
+        )
+
+    def test_parallel_checkpoint_resumes_serially(self, tmp_path, reference):
+        _trip_then_resume(
+            tmp_path, reference, RunBudget(max_node_visits=20),
+            trip_config=GordianConfig(**PARALLEL),
+            resume_config=GordianConfig(),
+        )
+
+
+class TestMismatchRefusal:
+    def test_resume_against_changed_rows_refuses(self, tmp_path):
+        config = GordianConfig()
+        manager = _manager(tmp_path, config)
+        with pytest.raises(BudgetExceededError):
+            find_keys_checkpointed(
+                _rows(), config=config,
+                budget=RunBudget(max_node_visits=20), manager=manager,
+            )
+        changed = _rows()[:-1] + [(0, 0, 0, 0)]
+        other = CheckpointManager(
+            manager.directory,
+            fingerprint=fingerprint_rows(changed, config),
+        )
+        with pytest.raises(CheckpointMismatchError):
+            find_keys_checkpointed(
+                changed, config=config, manager=other, resume=True
+            )

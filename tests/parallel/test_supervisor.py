@@ -7,6 +7,7 @@ counting clock makes deadlines expire deterministically.
 """
 
 import itertools
+import os
 from collections import deque
 from concurrent.futures import Future
 from concurrent.futures.process import BrokenProcessPool
@@ -317,3 +318,49 @@ class TestTeardown:
         sup.submit("run_search", lambda: ((), 0, [], None))
         sup.cancel_pending()
         assert sup.wait_any() is None
+
+
+class ClaimPool(FakePool):
+    """FakePool with pid introspection: reports one dead worker, pid 4242."""
+
+    def dead_worker_pids(self):
+        return [4242]
+
+
+class TestClaimAttribution:
+    def test_only_the_claimed_culprit_is_charged(self, monkeypatch):
+        script = deque([("hang",), ("broken",), ("ok", "a"), ("ok", "b")])
+        pool = ClaimPool(script)
+        # The replacement pool shares the script so re-dispatches succeed.
+        monkeypatch.setattr(
+            supervisor_mod,
+            "WorkerPool",
+            lambda workers, mp_context=None: FakePool(script),
+        )
+        sup = _supervisor(pool, max_task_retries=1, max_pool_restarts=1)
+        first = sup.submit("run_search", lambda: ((), 0, [], None))
+        second = sup.submit("run_search", lambda: ((), 0, [], None))
+        # The dead worker had claimed `second` when it crashed: only that
+        # task is charged; `first` is an innocent bystander on the same
+        # broken pool and re-dispatches uncharged.
+        with open(os.path.join(sup._claims_dir, "4242"), "w") as handle:
+            handle.write(str(second.token))
+        assert sorted(sup.wait_all([first, second])) == ["a", "b"]
+        assert second.attempts == 1
+        assert first.attempts == 0
+        assert sup.tasks_retried == 1
+        sup.close()
+
+    def test_missing_claim_files_fall_back_to_charging_all(self):
+        # Pid introspection works but no claim file exists (worker died
+        # before writing it): attribution is impossible, every victim is
+        # charged — the pre-claims behavior, bounded by the restart quota.
+        pool = ClaimPool(deque([("hang",), ("broken",)]))
+        sup = _supervisor(pool, max_task_retries=0, max_pool_restarts=0)
+        first = sup.submit("run_search", lambda: ((), 0, [], None))
+        second = sup.submit("build_shard", lambda: (0, 2, None))
+        sup.wait_all([first, second])
+        assert first.attempts == 1
+        assert second.attempts == 1
+        assert sup.serial_fallbacks == 2
+        sup.close()

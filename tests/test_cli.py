@@ -275,3 +275,116 @@ class TestWorkerFailureFlags:
         assert pool_mod._shared_pool is not None
         assert main(["keys", str(employees_csv)]) == 0
         assert pool_mod._shared_pool is None
+
+
+class TestCheckpointFlags:
+    @pytest.fixture
+    def medium_csv(self, tmp_path):
+        """Large enough that --max-visits 20 trips mid-search."""
+        rows = [
+            ((i * 7) % 6, (i * 3) % 5, (i * 11) % 4, i) for i in range(240)
+        ]
+        path = tmp_path / "medium.csv"
+        save_csv(Table(["a", "b", "c", "d"], rows), path)
+        return path
+
+    def test_resume_requires_checkpoint_dir(self, employees_csv, capsys):
+        from repro.errors import EXIT_USAGE
+
+        assert main(["keys", str(employees_csv), "--resume"]) == EXIT_USAGE
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_on_budget_checkpoint_requires_checkpoint_dir(
+        self, employees_csv, capsys
+    ):
+        from repro.errors import EXIT_USAGE
+
+        code = main(
+            ["keys", str(employees_csv), "--max-visits", "5",
+             "--on-budget", "checkpoint"]
+        )
+        assert code == EXIT_USAGE
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_checkpoint_dir_rejects_sampling(
+        self, employees_csv, tmp_path, capsys
+    ):
+        from repro.errors import EXIT_USAGE
+
+        code = main(
+            ["keys", str(employees_csv), "--sample-fraction", "0.5",
+             "--checkpoint-dir", str(tmp_path / "ck")]
+        )
+        assert code == EXIT_USAGE
+        assert "sampling" in capsys.readouterr().err
+
+    def test_checkpointed_run_completes_and_clears(
+        self, employees_csv, tmp_path, capsys
+    ):
+        ck = tmp_path / "ck"
+        assert main(
+            ["keys", str(employees_csv), "--checkpoint-dir", str(ck),
+             "--checkpoint-interval", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "3 minimal key(s)" in out
+        assert "<Emp No>" in out
+        assert list(ck.glob("ckpt-*.bin")) == []
+
+    def test_on_budget_checkpoint_exits_12_then_resumes(
+        self, medium_csv, tmp_path, capsys
+    ):
+        from repro.errors import EXIT_CHECKPOINT
+
+        ck = tmp_path / "ck"
+        code = main(
+            ["keys", str(medium_csv), "--checkpoint-dir", str(ck),
+             "--checkpoint-interval", "0", "--max-visits", "20",
+             "--on-budget", "checkpoint"]
+        )
+        captured = capsys.readouterr()
+        assert code == EXIT_CHECKPOINT == 12
+        assert "resume with --resume" in captured.err
+        assert list(ck.glob("ckpt-*.bin"))  # something durable to resume
+
+        # Reference: the same file, uninterrupted.
+        assert main(["keys", str(medium_csv)]) == 0
+        reference = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("  <")
+        ]
+
+        code = main(
+            ["keys", str(medium_csv), "--checkpoint-dir", str(ck), "--resume"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        resumed = [ln for ln in out.splitlines() if ln.startswith("  <")]
+        assert resumed == reference
+        assert list(ck.glob("ckpt-*.bin")) == []  # success cleared it
+
+    def test_resume_with_empty_dir_warns_and_runs_fresh(
+        self, employees_csv, tmp_path, capsys
+    ):
+        ck = tmp_path / "ck"
+        code = main(
+            ["keys", str(employees_csv), "--checkpoint-dir", str(ck),
+             "--resume"]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "no checkpoint found" in captured.err
+        assert "3 minimal key(s)" in captured.out
+
+    def test_profile_reports_checkpoint_counters(
+        self, employees_csv, tmp_path, capsys
+    ):
+        code = main(
+            ["keys", str(employees_csv), "--checkpoint-dir",
+             str(tmp_path / "ck"), "--checkpoint-interval", "0",
+             "--profile"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- checkpoint" in out
+        assert "checkpoints written" in out
