@@ -322,6 +322,11 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=4,
                         help="worker processes for the parallel e2e suite "
                              "(default 4; not clamped to the CPU count)")
+    parser.add_argument("--assert-parallel-speedup", type=float, default=None,
+                        metavar="MIN",
+                        help="fail unless the parallel e2e suite reports "
+                             "speedup_vs_serial >= MIN (for multi-core CI "
+                             "runners; keep off on single-core boxes)")
     parser.add_argument("--output", type=Path, default=BASELINE_PATH,
                         help="baseline path (default BENCH_core.json)")
     args = parser.parse_args(argv)
@@ -334,6 +339,17 @@ def main(argv=None) -> int:
             print(f"FATAL: {name} results differ from the reference "
                   "implementation", file=sys.stderr)
             return 2
+
+    if args.assert_parallel_speedup is not None:
+        suite = report["suites"]["keyplant_e2e_parallel"]
+        speedup = suite["timings"]["speedup_vs_serial"]
+        if speedup < args.assert_parallel_speedup:
+            print(f"FATAL: parallel speedup {speedup} below required "
+                  f"{args.assert_parallel_speedup} "
+                  f"(cpu_count={suite['cpu_count']})", file=sys.stderr)
+            return 2
+        print(f"parallel speedup gate passed: {speedup} >= "
+              f"{args.assert_parallel_speedup}")
 
     if args.check:
         if not args.output.exists():

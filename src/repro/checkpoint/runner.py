@@ -420,10 +420,13 @@ def find_keys_checkpointed(
                 budget=meter,
                 skip_paths=skip_paths,
                 on_slice_done=on_slice_done,
+                vectorize=None if config.vectorize else False,
             )
         if restored_masks:
             finder.nonkeys = NonKeySet.from_antichain(
-                num_attributes, restored_masks
+                num_attributes,
+                restored_masks,
+                vectorize=None if config.vectorize else False,
             )
         run.nonkeys = finder.nonkeys
 

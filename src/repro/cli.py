@@ -96,6 +96,11 @@ def build_parser() -> argparse.ArgumentParser:
                       action=argparse.BooleanOptionalAction, default=True,
                       help="memoize repeated prefix-tree merges during the "
                            "traversal (default: on)")
+    perf.add_argument("--vectorize", dest="vectorize",
+                      action=argparse.BooleanOptionalAction, default=True,
+                      help="run the NonKeySet antichain scans on packed "
+                           "64-bit bitmap kernels (numpy when available; "
+                           "exact either way; default: on)")
     perf.add_argument("--profile", action="store_true",
                       help="print per-phase wall time and work/cache counters "
                            "after the run")
@@ -305,6 +310,7 @@ def _cmd_keys(args) -> int:
         null_policy=args.null_policy,
         encode=args.encode,
         merge_cache=args.merge_cache,
+        vectorize=args.vectorize,
         workers=args.workers,
         max_task_retries=args.max_task_retries,
         task_timeout_seconds=args.task_timeout,

@@ -75,9 +75,24 @@ def _warn_low_merge_cache_rate(
     Returns whether the warning fired (tests hook this).  BENCH_core.json
     shows ~3% on the keyplant workload at the default caps — users tuning
     for speed should know the cache is contributing little there.
+
+    When the cache already *acted* on the low rate (its autotune pass
+    disabled it mid-run, see :class:`~repro.perf.merge_cache.MergeCache`),
+    there is nothing left for the user to tune, so the note is demoted to
+    info level.
     """
     probes = search.merge_cache_hits + search.merge_cache_misses
     if probes < min_probes or search.merge_cache_hit_rate >= MERGE_CACHE_WARN_RATE:
+        return False
+    if search.merge_cache_autodisables:
+        _logger.info(
+            "merge cache hit rate %.1f%% (%d/%d) was below %.0f%%; the cache "
+            "disabled itself for the remainder of the run (no action needed)",
+            100.0 * search.merge_cache_hit_rate,
+            search.merge_cache_hits,
+            probes,
+            100.0 * MERGE_CACHE_WARN_RATE,
+        )
         return False
     _logger.warning(
         "merge cache hit rate %.1f%% (%d/%d) is below %.0f%%: the cache is "
@@ -115,7 +130,11 @@ class GordianConfig:
     codes before tree construction (decode tables ride along on the
     result), and ``merge_cache`` memoizes repeated segment merges during
     the traversal (bounded by ``merge_cache_entries`` and, under a
-    budgeted run, by the memory budget).  Both can be switched off to
+    budgeted run, by the memory budget).  ``vectorize`` routes the
+    NonKeySet antichain scans through the packed-bitmap kernel
+    (:mod:`repro.perf.bitset` — numpy when available, a pure-Python packed
+    fallback otherwise); the kernel is exact, so every verdict and stored
+    mask is identical either way.  All three can be switched off to
     reproduce the unoptimized baseline.
 
     ``workers`` selects the execution backend: ``1`` (the default) is the
@@ -151,6 +170,13 @@ class GordianConfig:
     encode: bool = True
     merge_cache: bool = True
     merge_cache_entries: int = 4096
+    vectorize: bool = True
+    #: Mid-flight futility exchange between workers (parallel runs only):
+    #: a small shared-memory digest of discovered non-keys, drained before
+    #: each slice and appended to after it (:mod:`repro.parallel.futility`).
+    #: Advisory — every message is a genuine non-key, so losing or
+    #: disabling the exchange changes pruning opportunities, never answers.
+    futility_exchange: bool = True
     workers: int = 1
     clamp_workers: bool = True
     parallel_min_rows: int = 256
@@ -551,6 +577,9 @@ def _run_pipeline(
                 stats=stats.search,
                 budget=meter,
                 merge_cache=merge_cache,
+                # True maps to kernel auto-detect (numpy when importable,
+                # inline loops otherwise); False pins the inline loops.
+                vectorize=None if config.vectorize else False,
             )
         try:
             nonkey_set = finder.run()

@@ -9,7 +9,11 @@ properties matter for efficiency and both come straight from the paper:
   are degenerate.
 * **Subtrees are shared, never copied.**  A non-degenerate merge allocates
   one new node whose cells either point at freshly merged children or at
-  already-existing (shared) subtrees.
+  already-existing (shared) subtrees.  Sharing extends to the cell objects
+  themselves: a value present in only one input contributes its existing
+  cell to the merged node, and a fresh cell is allocated only on a value
+  collision — shared cells are therefore never mutated, which keeps every
+  pre-existing node's counts exact.
 
 Two performance-layer additions on top of the paper:
 
@@ -85,7 +89,9 @@ def merge_nodes(
     # nodes are allocated directly and accounted in one batched stats call
     # at the end; a budgeted run keeps the per-node ``new_node`` path.
     direct_alloc = tree.budget is None
-    probe = cache.probe if cache is not None else None
+    # Re-read per call: a self-disabled cache (see MergeCache autotune) must
+    # not keep paying id-tuple construction on every remaining merge.
+    probe = cache.probe if cache is not None and not cache.disabled else None
     last_level = tree.num_attributes - 1
     merges = 0
     inputs_total = 0
@@ -131,22 +137,24 @@ def merge_nodes(
             entity_total = first.entity_count
             first_cells = first.cells
             if first.level == last_level:
-                # Leaf merge.  The first input seeds the result wholesale (a
-                # dict comprehension runs well ahead of a get-or-create
-                # loop); later inputs accumulate into it.
-                merged_cells = {
-                    value: Cell(value, cell.count)
-                    for value, cell in first_cells.items()
-                }
+                # Leaf merge.  Cells are *shared*, not copied: the first
+                # input seeds the result with a C-speed dict copy of its
+                # cell objects, and later inputs share theirs value-wise.
+                # Only a value collision allocates — a fresh cell holding
+                # the summed count — so a shared cell is never mutated and
+                # every pre-existing node keeps its exact counts.
+                merged_cells = dict(first_cells)
                 mget = merged_cells.get
                 for node in inputs[1:]:
                     entity_total += node.entity_count
                     for value, cell in node.cells.items():
                         existing = mget(value)
                         if existing is None:
-                            merged_cells[value] = Cell(value, cell.count)
+                            merged_cells[value] = cell
                         else:
-                            existing.count += cell.count
+                            merged_cells[value] = Cell(
+                                value, existing.count + cell.count
+                            )
                 merged.cells = merged_cells
                 merged.entity_count = entity_total
                 cells_created = len(merged_cells)
@@ -155,45 +163,58 @@ def merge_nodes(
                 # Group the children of cells sharing a value, then merge
                 # each group one level deeper.  Iterating nodes in order
                 # keeps the result deterministic (dict preserves insertion
-                # order).  Single-cell groups are the degenerate sub-merges
-                # — resolve them here, sharing the subtree, instead of
-                # paying a work-item round trip each.
-                groups = {
-                    value: [cell] for value, cell in first_cells.items()
-                }
+                # order).  Groups are built lazily — a lone cell stays
+                # itself and only a collision allocates a list — because
+                # most merges on sparse data degenerate almost everywhere
+                # and the ``[cell]`` boxes dominated this loop's cost.
+                groups = dict(first_cells)
                 gget = groups.get
                 for node in inputs[1:]:
                     entity_total += node.entity_count
                     for value, cell in node.cells.items():
                         group = gget(value)
                         if group is None:
-                            groups[value] = [cell]
-                        else:
+                            groups[value] = cell
+                        elif type(group) is list:
                             group.append(cell)
-                merged_cells = merged.cells
+                        else:
+                            groups[value] = [group, cell]
                 merged.entity_count = entity_total
                 subtasks = None
-                for value, cells in groups.items():
-                    if len(cells) == 1:
-                        cell = cells[0]
-                        if injector is not None:
-                            injector.hit("merge.node")
-                        merges += 1
-                        inputs_total += 1
-                        new_cell = Cell(value, cell.count)
-                        new_cell.child = acquire(cell.child)
+                # Resolution pass: a single-cell group is a degenerate
+                # sub-merge — share the cell itself (no mutation can reach
+                # it: collisions above and in recursion always allocate)
+                # and take a reference on its subtree; a collision group
+                # becomes a fresh cell plus a deeper work item.  ``groups``
+                # doubles as the merged node's cell dict (replacing values
+                # in-place is safe: the key set is already final).
+                singles = 0
+                for value, group in groups.items():
+                    if type(group) is not list:
+                        group.child.refcount += 1
+                        singles += 1
                     else:
                         count = 0
-                        for cell in cells:
+                        for cell in group:
                             count += cell.count
                         new_cell = Cell(value, count)
                         if subtasks is None:
                             subtasks = []
                         subtasks.append(
-                            (tuple(cell.child for cell in cells), new_cell)
+                            (tuple(cell.child for cell in group), new_cell)
                         )
-                    merged_cells[value] = new_cell
-                cells_created = len(merged_cells)
+                        groups[value] = new_cell
+                if singles:
+                    # Degenerate sub-merges count exactly as before; the
+                    # injector replays one hit per degenerate so fault plans
+                    # keyed by hit count fire at the same points.
+                    merges += singles
+                    inputs_total += singles
+                    if injector is not None:
+                        for _ in range(singles):
+                            injector.hit("merge.node")
+                merged.cells = groups
+                cells_created = len(groups)
             tree_stats.on_cells_created(cells_created)
 
             if target is None:

@@ -96,11 +96,12 @@ class NonKeyFinder:
         stats: Optional[SearchStats] = None,
         budget: Optional[object] = None,
         merge_cache: Optional[object] = None,
+        vectorize: Optional[bool] = None,
     ):
         self.tree = tree
         self.pruning = pruning if pruning is not None else PruningConfig()
         self.stats = stats if stats is not None else SearchStats()
-        self.nonkeys = NonKeySet(tree.num_attributes)
+        self.nonkeys = NonKeySet(tree.num_attributes, vectorize=vectorize)
         self._cur_nonkey = bitset.EMPTY
         self._num_attributes = tree.num_attributes
         # An armed BudgetMeter, or None.  The finder stays usable after a
@@ -364,9 +365,15 @@ def find_nonkeys(
     stats: Optional[SearchStats] = None,
     budget: Optional[object] = None,
     merge_cache: Optional[object] = None,
+    vectorize: Optional[bool] = None,
 ) -> NonKeySet:
     """Convenience wrapper: run NonKeyFinder over ``tree``."""
     finder = NonKeyFinder(
-        tree, pruning=pruning, stats=stats, budget=budget, merge_cache=merge_cache
+        tree,
+        pruning=pruning,
+        stats=stats,
+        budget=budget,
+        merge_cache=merge_cache,
+        vectorize=vectorize,
     )
     return finder.run()

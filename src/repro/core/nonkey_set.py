@@ -5,6 +5,14 @@ subset of another.  Non-keys are attribute-set bitmaps (see
 :mod:`repro.core.bitset`).  Insertion first checks whether an existing
 non-key covers the newcomer (then the newcomer is redundant and dropped),
 and otherwise evicts every stored non-key the newcomer covers.
+
+The covering scans are the hottest loops in the whole pipeline, so they
+can route through the packed-bitmap kernels in
+:mod:`repro.perf.bitset` (numpy ``uint64`` planes, one batched AND per
+scan) — controlled by the ``vectorize`` argument, defaulting to "use the
+kernel when numpy is available".  The kernel is exact, so every verdict,
+eviction, and stored mask is identical in all modes; the equivalence and
+property suites assert exactly that.
 """
 
 from __future__ import annotations
@@ -23,9 +31,19 @@ class NonKeySet:
     The container also answers the futility-pruning query: *is every subset
     of a given attribute set already covered?* — which reduces to "is the
     attribute set itself covered by some stored non-key".
+
+    ``vectorize`` selects the scan implementation: ``None`` (default) uses
+    the packed numpy kernel when numpy is importable, ``True`` forces a
+    kernel (pure-Python packed fallback without numpy), ``False`` keeps the
+    original inline loops.  Results are identical in every mode.
     """
 
-    def __init__(self, num_attributes: int, initial: Optional[Sequence[int]] = None):
+    def __init__(
+        self,
+        num_attributes: int,
+        initial: Optional[Sequence[int]] = None,
+        vectorize: Optional[bool] = None,
+    ):
         if num_attributes < 1:
             raise ValueError("num_attributes must be >= 1")
         self.num_attributes = num_attributes
@@ -42,6 +60,13 @@ class NonKeySet:
         self._nonkeys: List[int] = []
         self._complements: List[int] = []
         self._comp_sizes: List[int] = []
+        # Packed mirror of the two scan columns (or None for inline loops).
+        # The lists above stay the source of truth — snapshots, iteration,
+        # and checkpoints read them — and every mutation below updates the
+        # mirror in the same step, so the two can never disagree.
+        from repro.perf.bitset import make_kernel
+
+        self._kernel = make_kernel(num_attributes, vectorize)
         # Verdict memo for :meth:`is_covered`.  The futility query stream
         # is massively repetitive (the same ``candidate | suffix`` masks
         # recur across sibling subtrees), and coverage only ever *grows* —
@@ -86,17 +111,23 @@ class NonKeySet:
         inverse = self._full_mask & ~nonkey
         size = inverse.bit_count()
         cut = bisect_right(self._comp_sizes, size)
-        for complement in self._complements[:cut]:
-            if nonkey & complement == 0:
+        kernel = self._kernel
+        if kernel is not None:
+            if kernel.any_covering(nonkey, cut):
                 return False
-        # Second pass: evict stored non-keys the newcomer covers (all of
-        # them strictly smaller, hence past ``cut``), then insert at the
-        # sorted position.
-        evict = [
-            index
-            for index in range(cut, len(self._nonkeys))
-            if not self._nonkeys[index] & inverse
-        ]
+            # Second pass: evict stored non-keys the newcomer covers (all of
+            # them strictly smaller, hence past ``cut``), then insert at the
+            # sorted position.
+            evict = kernel.covered_indices(inverse, cut)
+        else:
+            for complement in self._complements[:cut]:
+                if nonkey & complement == 0:
+                    return False
+            evict = [
+                index
+                for index in range(cut, len(self._nonkeys))
+                if not self._nonkeys[index] & inverse
+            ]
         for index in reversed(evict):
             del self._nonkeys[index]
             del self._complements[index]
@@ -104,6 +135,9 @@ class NonKeySet:
         self._nonkeys.insert(cut, nonkey)
         self._complements.insert(cut, inverse)
         self._comp_sizes.insert(cut, size)
+        if kernel is not None:
+            kernel.delete(evict)
+            kernel.insert(cut, nonkey, inverse)
         if self._uncovered_memo:
             self._uncovered_memo = set()
         self.insert_accepted += 1
@@ -111,7 +145,10 @@ class NonKeySet:
 
     @classmethod
     def from_antichain(
-        cls, num_attributes: int, masks: Sequence[int]
+        cls,
+        num_attributes: int,
+        masks: Sequence[int],
+        vectorize: Optional[bool] = None,
     ) -> "NonKeySet":
         """Bulk-load masks the caller *guarantees* are mutually non-redundant.
 
@@ -121,7 +158,7 @@ class NonKeySet:
         antichain), and so does any prefix of it — the lists are re-sorted
         by complement popcount here to restore the scan-order invariant.
         """
-        self = cls(num_attributes)
+        self = cls(num_attributes, vectorize=vectorize)
         full = self._full_mask
         entries = sorted(
             ((full & ~mask).bit_count(), mask) for mask in masks
@@ -130,6 +167,8 @@ class NonKeySet:
             self._nonkeys.append(mask)
             self._complements.append(full & ~mask)
             self._comp_sizes.append(size)
+        if self._kernel is not None:
+            self._kernel.rebuild(self._nonkeys, self._complements)
         return self
 
     def union(self, masks: Iterable[int]) -> int:
@@ -169,10 +208,16 @@ class NonKeySet:
             return False
         size = (self._full_mask & ~mask).bit_count()
         cut = bisect_right(self._comp_sizes, size)
-        for complement in self._complements[:cut]:
-            if mask & complement == 0:
+        kernel = self._kernel
+        if kernel is not None:
+            if kernel.any_covering(mask, cut):
                 self._covered_memo.add(mask)
                 return True
+        else:
+            for complement in self._complements[:cut]:
+                if mask & complement == 0:
+                    self._covered_memo.add(mask)
+                    return True
         self._uncovered_memo.add(mask)
         return False
 

@@ -224,6 +224,7 @@ class PrefixTree:
         that any shared nodes are retained" (section 3.3).
         """
         listeners = self._free_listeners
+        last_level = self.num_attributes - 1
         stack = [node]
         while stack:
             current = stack.pop()
@@ -232,9 +233,12 @@ class PrefixTree:
                 continue
             if current.refcount < 0:
                 raise AssertionError("prefix-tree node over-released")
-            for cell in current.cells.values():
-                if cell.child is not None:
-                    stack.append(cell.child)
+            if current.level != last_level:
+                # Leaf cells carry no children; skipping the scan matters
+                # because freed merged leaves hold the widest cell dicts.
+                for cell in current.cells.values():
+                    if cell.child is not None:
+                        stack.append(cell.child)
             self.stats.on_node_discarded(len(current.cells))
             current.cells = {}
             if listeners:

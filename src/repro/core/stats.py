@@ -89,9 +89,13 @@ class SearchStats:
     single_entity_prunings: int = 0
     futility_prunings: int = 0
     # Merge-memoization counters (zero when no MergeCache is attached).
+    # ``merge_cache_autodisables`` counts caches that self-disabled after
+    # their probe window showed a hopeless hit rate — at most one per cache,
+    # so in a parallel run it can reach the worker count.
     merge_cache_hits: int = 0
     merge_cache_misses: int = 0
     merge_cache_evictions: int = 0
+    merge_cache_autodisables: int = 0
     # Supervision counters (zero in serial runs and fault-free parallel
     # runs): failed-task re-dispatches, tasks the parent had to run itself,
     # pool kill/restart cycles, and worker budget-share self-interrupts.
@@ -125,6 +129,7 @@ class SearchStats:
         "merge_cache_hits",
         "merge_cache_misses",
         "merge_cache_evictions",
+        "merge_cache_autodisables",
         "tasks_retried",
         "serial_fallbacks",
         "pool_restarts",
@@ -187,6 +192,7 @@ class SearchStats:
             "merge_cache_hits": self.merge_cache_hits,
             "merge_cache_misses": self.merge_cache_misses,
             "merge_cache_evictions": self.merge_cache_evictions,
+            "merge_cache_autodisables": self.merge_cache_autodisables,
             "tasks_retried": self.tasks_retried,
             "serial_fallbacks": self.serial_fallbacks,
             "pool_restarts": self.pool_restarts,

@@ -60,13 +60,17 @@ class InlineSearchExecutor:
     def __init__(self, payload: dict):
         self._state = WorkerState(payload)
 
-    def submit_search(self, *args) -> Future:
+    def submit_method(self, method: str, *args) -> Future:
+        """Dispatch by method name, mirroring the pool's ``run_task``."""
         future: Future = Future()
         try:
-            future.set_result(self._state.run_search(*args))
+            future.set_result(getattr(self._state, method)(*args))
         except BaseException as exc:  # pragma: no cover - mirrors pool error path
             future.set_exception(exc)
         return future
+
+    def submit_search(self, *args) -> Future:
+        return self.submit_method("run_search", *args)
 
 
 class ParallelContext:
@@ -87,6 +91,15 @@ class ParallelContext:
         self.config = config
         self._store = pack_rows(rows, num_attributes)
         self._rows = rows
+        # Mid-flight futility exchange: best-effort (None when shared
+        # memory is unavailable or the feature is off — the run then
+        # behaves exactly as before the exchange existed).
+        self._digest = None
+        if getattr(config, "futility_exchange", True):
+            from repro.parallel.futility import FutilityDigest
+
+            self._digest = FutilityDigest.create(num_attributes)
+        vectorize = None if getattr(config, "vectorize", True) else False
         payload = {
             "rows": self._store.describe(),
             "num_attributes": num_attributes,
@@ -94,7 +107,12 @@ class ParallelContext:
             "merge_cache_entries": (
                 config.merge_cache_entries if config.merge_cache else 0
             ),
+            "vectorize": vectorize,
+            "futility": (
+                self._digest.describe() if self._digest is not None else None
+            ),
         }
+        self._vectorize = vectorize
         self.supervisor = Supervisor(
             payload,
             workers,
@@ -212,6 +230,8 @@ class ParallelContext:
             budget=budget,
             skip_paths=skip_paths,
             on_slice_done=on_slice_done,
+            vectorize=self._vectorize,
+            digest=self._digest,
         )
 
     def close(self) -> None:
@@ -221,7 +241,11 @@ class ParallelContext:
         try:
             self.supervisor.close()
         finally:
-            self._store.close()
+            try:
+                if self._digest is not None:
+                    self._digest.close()
+            finally:
+                self._store.close()
 
     def __enter__(self) -> "ParallelContext":
         return self

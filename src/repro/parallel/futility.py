@@ -1,0 +1,202 @@
+"""Mid-flight futility exchange: a shared-memory non-key digest.
+
+Without it, a worker only learns what the *parent* knew at dispatch time
+(the snapshot shipped with its task); non-keys discovered concurrently by
+sibling workers reach it one dispatch round later, so overlapping slices
+re-derive each other's discoveries.  The digest closes that window: every
+worker appends its newly discovered non-key bitmaps to a small
+``multiprocessing.shared_memory`` segment and drains the others' entries
+before traversing each slice, seeding its futility pruning with the
+freshest antichain available anywhere in the run.
+
+The exchange is **advisory and lossy by design** — correctness never
+depends on a message arriving:
+
+* every published mask is a *genuine* non-key (workers publish only what
+  :class:`~repro.core.nonkey_finder.NonKeyFinder` proved), so consuming
+  one can only skip provably redundant work, exactly like the snapshot
+  seeding argument in DESIGN.md section 8;
+* a dropped, overwritten, or unread entry merely costs the pruning
+  opportunity — the discovering worker still returns the mask through the
+  normal result channel, so the parent's answer is unaffected;
+* a *torn* entry (a reader racing a writer mid-slot) is rejected by a
+  per-slot checksum and skipped.
+
+Concretely the segment is split into ``regions`` independent ring
+buffers.  A writer appends only to the region indexed by ``pid %
+regions`` — collisions are sound (two writers may overwrite each other's
+slots, losing entries, never corrupting semantics) — writing the slot's
+mask words plus checksum first and publishing by bumping the region's
+entry counter afterwards.  Readers keep a per-region cursor and drain
+``[cursor, counter)`` (clamped to the ring size), validating each slot's
+checksum.  No locks anywhere: the protocol tolerates every interleaving
+because invalid reads are detected and valid reads are genuine non-keys.
+
+Everything degrades to ``None`` when shared memory is unavailable; the
+run then behaves exactly as before the exchange existed.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import List, Optional
+
+from repro.perf.bitset import mask_to_words, words_for, words_to_mask
+from repro.robustness import cleanup
+
+__all__ = ["FutilityDigest", "DEFAULT_REGIONS", "DEFAULT_SLOTS"]
+
+#: Independent writer regions; more regions mean fewer pid collisions.
+DEFAULT_REGIONS = 8
+#: Ring slots per region; the antichain rarely exceeds a few hundred
+#: *fresh* masks between drains, and lost entries only cost pruning.
+DEFAULT_SLOTS = 128
+
+#: Checksum whitening constant (golden-ratio word): an all-zero slot must
+#: not validate, and a torn slot must not validate by luck of summing to
+#: its own checksum word.
+_GOLD = 0x9E3779B97F4A7C15
+_WORD64 = (1 << 64) - 1
+
+# Shares the shard module's cleanup namespace so the leak tests' "no live
+# segments after a run" sweep covers digests too.
+_SHM_NAMESPACE = "shm:"
+
+
+def _checksum(words: List[int]) -> int:
+    total = _GOLD
+    for word in words:
+        total = (total + word) & _WORD64
+    return total
+
+
+class FutilityDigest:
+    """One shared-memory non-key exchange segment (see module docstring).
+
+    Create one parent-side with :meth:`create`, ship :meth:`describe`
+    through the task payload, and :meth:`attach` worker-side.  The parent
+    owns the segment's lifetime (workers must not unlink it).
+    """
+
+    def __init__(self, shm, num_attributes: int, regions: int, slots: int, owner: bool):
+        self._shm = shm
+        self._owner = owner
+        self._regions = regions
+        self._slots = slots
+        self._words = words_for(num_attributes)
+        # Region layout: [entry counter: 1 word][slots x (mask words + checksum)].
+        self._slot_words = self._words + 1
+        self._region_words = 1 + slots * self._slot_words
+        self._region = os.getpid() % regions
+        self._cursors = [0] * regions
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        num_attributes: int,
+        regions: int = DEFAULT_REGIONS,
+        slots: int = DEFAULT_SLOTS,
+    ) -> Optional["FutilityDigest"]:
+        """Parent-side constructor; ``None`` when shared memory is absent."""
+        try:
+            from multiprocessing import shared_memory
+
+            words = words_for(num_attributes)
+            nbytes = regions * (1 + slots * (words + 1)) * 8
+            shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        except (ImportError, OSError, ValueError):
+            return None
+        shm.buf[:nbytes] = bytes(nbytes)
+        digest = cls(shm, num_attributes, regions, slots, owner=True)
+        cleanup.register(_SHM_NAMESPACE + shm.name, digest.close)
+        return digest
+
+    def describe(self) -> tuple:
+        """Picklable handle a worker passes to :meth:`attach`."""
+        return (
+            self._shm.name,
+            self._words * 64,  # enough attributes to reproduce word count
+            self._regions,
+            self._slots,
+        )
+
+    @classmethod
+    def attach(cls, handle: tuple) -> Optional["FutilityDigest"]:
+        """Worker-side constructor; ``None`` when the segment is gone."""
+        name, num_attributes, regions, slots = handle
+        try:
+            from repro.parallel.shard import _attach_readonly
+
+            shm = _attach_readonly(name)
+        except (ImportError, OSError, ValueError, FileNotFoundError):
+            return None
+        return cls(shm, num_attributes, regions, slots, owner=False)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._owner:
+            cleanup.unregister(_SHM_NAMESPACE + self._shm.name)
+        try:
+            self._shm.close()
+            if self._owner:
+                self._shm.unlink()
+        except (FileNotFoundError, OSError):  # already gone / torn down
+            pass
+
+    # -- the exchange ----------------------------------------------------
+
+    def _region_base(self, region: int) -> int:
+        return region * self._region_words * 8
+
+    def append(self, mask: int) -> None:
+        """Publish one genuine non-key (empty masks carry no information)."""
+        if self._closed or not mask:
+            return
+        buf = self._shm.buf
+        base = self._region_base(self._region)
+        (count,) = struct.unpack_from("<Q", buf, base)
+        slot = base + 8 + (count % self._slots) * self._slot_words * 8
+        words = mask_to_words(mask, self._words)
+        struct.pack_into(
+            "<%dQ" % self._slot_words, buf, slot, *words, _checksum(words)
+        )
+        # Publish *after* the slot content is in place; a reader that sees
+        # the new count but stale slot bytes fails the checksum and skips.
+        struct.pack_into("<Q", buf, base, (count + 1) & _WORD64)
+
+    def drain(self) -> List[int]:
+        """Masks published since the last drain (this reader's cursors).
+
+        Only checksum-valid slots are returned; entries overwritten since
+        the cursor (a writer lapped the ring) are silently lost, which is
+        sound — see the module docstring.
+        """
+        if self._closed:
+            return []
+        buf = self._shm.buf
+        masks: List[int] = []
+        slot_fmt = "<%dQ" % self._slot_words
+        for region in range(self._regions):
+            base = self._region_base(region)
+            (count,) = struct.unpack_from("<Q", buf, base)
+            cursor = self._cursors[region]
+            if count == cursor:
+                continue
+            start = max(cursor, count - self._slots)
+            for index in range(start, count):
+                slot = base + 8 + (index % self._slots) * self._slot_words * 8
+                unpacked = struct.unpack_from(slot_fmt, buf, slot)
+                words, check = list(unpacked[:-1]), unpacked[-1]
+                if _checksum(words) != check:
+                    continue
+                mask = words_to_mask(words)
+                if mask:
+                    masks.append(mask)
+            self._cursors[region] = count
+        return masks

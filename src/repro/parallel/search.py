@@ -78,6 +78,12 @@ _INFLIGHT_PER_WORKER = 2
 #: (dispatch, snapshot seeding, visited rollback, duplicated chain merges)
 #: are real; a few dozen coarse tasks beat thousands of fine ones.
 _MIN_EXPAND_ENTITIES = 512
+#: Work-packet sizing: slices are batched into packets of roughly
+#: ``num_entities / (workers * _PACKETS_PER_WORKER)`` estimated entities,
+#: so one dispatch carries many small slices (amortizing dispatch,
+#: snapshot seeding, and result pickling) while still cutting the run
+#: into enough packets for load balancing and checkpoint granularity.
+_PACKETS_PER_WORKER = 8
 
 
 @dataclass(frozen=True)
@@ -126,7 +132,15 @@ class _ExecutorSupervisor:
 
     def _dispatch(self, task: SupervisedTask) -> None:
         task.args = tuple(task.make_args())
-        task.future = self._executor.submit_search(*task.args)
+        # Method-aware executors (InlineSearchExecutor) dispatch by the
+        # task's method name, same as the real pool's ``run_task``; legacy
+        # executors exposing only ``submit_search`` keep working for
+        # single-slice tasks.
+        submit = getattr(self._executor, "submit_method", None)
+        if submit is not None:
+            task.future = submit(task.method, *task.args)
+        else:
+            task.future = self._executor.submit_search(*task.args)
         self._pending[task.future] = task
 
     def wait_any(self) -> Optional[SupervisedTask]:
@@ -171,6 +185,8 @@ class ParallelNonKeyFinder:
         expand_depth: int = _EXPAND_DEPTH,
         skip_paths=None,
         on_slice_done=None,
+        vectorize: Optional[bool] = None,
+        digest=None,
     ):
         if supervisor is None and executor is None:
             raise ConfigError(
@@ -179,7 +195,13 @@ class ParallelNonKeyFinder:
         self.tree = tree
         self.pruning = pruning if pruning is not None else PruningConfig()
         self.stats = stats if stats is not None else SearchStats()
-        self.nonkeys = NonKeySet(tree.num_attributes)
+        self.nonkeys = NonKeySet(tree.num_attributes, vectorize=vectorize)
+        self._vectorize = vectorize
+        # Mid-flight futility exchange (:mod:`repro.parallel.futility`), or
+        # ``None``.  The parent only *drains* it — worker discoveries feed
+        # the yield-time futility checks in ``_stream`` one drain earlier
+        # than their result tuples would.
+        self._digest = digest
         self._supervisor = (
             supervisor
             if supervisor is not None
@@ -205,6 +227,11 @@ class ParallelNonKeyFinder:
         self._expand_entities = max(
             _MIN_EXPAND_ENTITIES, tree.num_entities // max(1, workers * 4)
         )
+        # Slices are buffered into work packets of roughly this much
+        # estimated weight before dispatch (see _PACKETS_PER_WORKER).
+        self._packet_weight = max(
+            1, tree.num_entities // max(1, workers * _PACKETS_PER_WORKER)
+        )
         self._retained: List[Node] = []
         # Serial-fallback path resolution cache (shared across deferred
         # slices, same structure as a worker's path cache).
@@ -225,32 +252,43 @@ class ParallelNonKeyFinder:
         if self.tree.num_entities == 0:
             return self.nonkeys
         sup = self._supervisor
+        digest = self._digest
         stream = self._stream(
             self.tree.root, (), bitset.EMPTY, self._expand_depth
         )
-        slices: Dict[SupervisedTask, SliceTask] = {}
+        # handle -> the *mutable* remaining-item list its make_args closure
+        # reads; a budget trip deletes the completed prefix and resubmits,
+        # so the re-dispatched packet carries only unfinished slices.
+        packets: Dict[SupervisedTask, List[SliceTask]] = {}
         deferred: List[SliceTask] = []
         outstanding = 0
         stream_done = False
         try:
             while True:
                 while not stream_done and outstanding < self._max_inflight:
-                    try:
-                        task = next(stream)
-                    except StopIteration:
-                        stream_done = True
+                    packet: List[SliceTask] = []
+                    weight = 0
+                    while weight < self._packet_weight:
+                        try:
+                            task = next(stream)
+                        except StopIteration:
+                            stream_done = True
+                            break
+                        if task.path in self._skip_paths:
+                            self.stats.slices_resumed_skipped += 1
+                            continue
+                        packet.append(task)
+                        weight += max(1, task.weight)
+                    if not packet:
                         break
-                    if task.path in self._skip_paths:
-                        self.stats.slices_resumed_skipped += 1
-                        continue
                     handle = sup.submit(
-                        "run_search",
-                        make_args=self._make_search_args(task),
+                        "run_search_batch",
+                        make_args=self._make_packet_args(packet),
                         on_exhausted="defer",
-                        label=f"slice@{task.level}",
+                        label=f"packet[{len(packet)}]@{packet[0].level}",
                     )
-                    slices[handle] = task
-                    self.tasks_dispatched += 1
+                    packets[handle] = packet
+                    self.tasks_dispatched += len(packet)
                     outstanding += 1
                 if outstanding == 0:
                     break
@@ -258,17 +296,23 @@ class ParallelNonKeyFinder:
                 if handle is None:  # pragma: no cover - internal invariant
                     break
                 outstanding -= 1
+                packet = packets[handle]
                 if handle.result is SERIAL_FALLBACK:
-                    # Run it in the parent — but only after the pool phase:
-                    # resolving its path acquires merge nodes, and a
+                    # Run its slices in the parent — but only after the pool
+                    # phase: resolving a path acquires merge nodes, and a
                     # mid-stream refcount bump would corrupt the
                     # shared-subtree test in ``_stream``.
-                    deferred.append(slices[handle])
+                    deferred.extend(packet)
+                    packets.pop(handle)
                     continue
-                masks, counters, tripped = handle.result
-                self.tasks_completed += 1
+                masks, counters, tripped, done = handle.result
                 self.nonkeys.union(masks)
                 self.stats.add_counters(counters)
+                if digest is not None:
+                    # Fold in whatever sibling workers published since the
+                    # last drain — same genuine-non-key argument as the
+                    # result masks, just fresher.
+                    self.nonkeys.union(digest.drain())
                 if self._budget is not None:
                     # Charge the worker's visits against the global budget
                     # (and re-check the wall clock).  May itself trip —
@@ -276,19 +320,27 @@ class ParallelNonKeyFinder:
                     # salvage path sees them.
                     self._budget.on_visits(counters.get("nodes_visited", 0))
                 if tripped is not None:
-                    # The worker exhausted its budget share mid-slice; its
-                    # partial masks are absorbed.  Re-dispatch the slice
-                    # under a share derived from what remains — the charge
-                    # above guarantees forward progress, so this loop
-                    # terminates at the parent's own trip at the latest.
+                    # The worker exhausted its budget share mid-packet; the
+                    # first ``done`` slices finished (their masks absorbed
+                    # above) and the rest re-dispatch under a share derived
+                    # from what remains — the charge above guarantees
+                    # forward progress, so this loop terminates at the
+                    # parent's own trip at the latest.
                     self.stats.worker_budget_trips += 1
+                    completed = packet[:done]
+                    del packet[:done]
+                    self.tasks_completed += len(completed)
+                    if self._on_slice_done is not None:
+                        for finished in completed:
+                            self._on_slice_done(finished)
                     sup.resubmit(handle)
-                    self.tasks_dispatched += 1
                     outstanding += 1
                     continue
-                finished = slices.pop(handle)
+                packets.pop(handle)
+                self.tasks_completed += len(packet)
                 if self._on_slice_done is not None:
-                    self._on_slice_done(finished)
+                    for finished in packet:
+                        self._on_slice_done(finished)
             for task in deferred:
                 self.stats.serial_fallbacks += 1
                 self._run_slice_serially(task)
@@ -310,10 +362,12 @@ class ParallelNonKeyFinder:
 
     # ------------------------------------------------------------------
 
-    def _make_search_args(self, task: SliceTask):
-        """Argument factory: re-derives snapshot and budget share per
-        dispatch, so a retried attempt prunes against the *current*
-        NonKeySet and never exceeds the parent's remaining budget."""
+    def _make_packet_args(self, packet: List[SliceTask]):
+        """Argument factory: re-derives the item list, snapshot, and budget
+        share per dispatch, so a retried or trip-resumed attempt carries
+        only the *remaining* slices, prunes against the *current* NonKeySet,
+        and never exceeds the parent's remaining budget.  ``packet`` is the
+        same mutable list the run loop trims on partial completion."""
 
         def make_args() -> tuple:
             snapshot = self.nonkeys.masks()[: self._snapshot_limit]
@@ -322,7 +376,10 @@ class ParallelNonKeyFinder:
                 if self._budget is not None
                 else None
             )
-            return (task.path, task.context_mask, snapshot, share)
+            items = tuple(
+                (task.path, task.context_mask) for task in packet
+            )
+            return (items, snapshot, share)
 
         return make_args
 
@@ -345,10 +402,14 @@ class ParallelNonKeyFinder:
         )
         stats = SearchStats()
         finder = NonKeyFinder(
-            self.tree, pruning=self.pruning, stats=stats, budget=self._budget
+            self.tree,
+            pruning=self.pruning,
+            stats=stats,
+            budget=self._budget,
+            vectorize=self._vectorize,
         )
         finder.nonkeys = NonKeySet.from_antichain(
-            self._num_attributes, self.nonkeys.masks()
+            self._num_attributes, self.nonkeys.masks(), vectorize=self._vectorize
         )
         self.tasks_completed += 1
         visited_log: List[Node] = []
@@ -502,6 +563,7 @@ class SerialSliceSearch(ParallelNonKeyFinder):
         budget: Optional[object] = None,
         skip_paths=None,
         on_slice_done=None,
+        vectorize: Optional[bool] = None,
     ):
         super().__init__(
             tree,
@@ -511,6 +573,7 @@ class SerialSliceSearch(ParallelNonKeyFinder):
             budget=budget,
             skip_paths=skip_paths,
             on_slice_done=on_slice_done,
+            vectorize=vectorize,
         )
 
     def run(self) -> NonKeySet:

@@ -120,6 +120,7 @@ class WorkerState:
         self.num_attributes = payload["num_attributes"]
         self.pruning: PruningConfig = payload["pruning"]
         self._cache_entries = payload.get("merge_cache_entries", 0)
+        self.vectorize = payload.get("vectorize")
         self._rows: Optional[List[Tuple[int, ...]]] = None
         self._tree: Optional[PrefixTree] = None
         self.merge_cache = None
@@ -127,6 +128,14 @@ class WorkerState:
         # are reference-acquired and retained for the worker's lifetime, so
         # later tasks sharing a chain prefix reuse them.
         self._path_cache: Dict[tuple, Node] = {}
+        # Mid-flight futility exchange (:mod:`repro.parallel.futility`):
+        # attached lazily from the payload handle; ``_digest_known`` holds
+        # every mask this worker already published or drained, so nothing
+        # is ever republished.
+        self._digest_handle = payload.get("futility")
+        self._digest = None
+        self._digest_tried = False
+        self._digest_known: set = set()
 
     # -- lazy materialization -------------------------------------------
 
@@ -147,6 +156,18 @@ class WorkerState:
                 self.merge_cache.bind(self._tree)
             self._path_cache[()] = self._tree.root
         return self._tree
+
+    @property
+    def digest(self):
+        """The attached futility digest, or ``None`` (attach failure is a
+        degradation, never an error — the exchange is advisory)."""
+        if not self._digest_tried:
+            self._digest_tried = True
+            if self._digest_handle is not None:
+                from repro.parallel.futility import FutilityDigest
+
+                self._digest = FutilityDigest.attach(self._digest_handle)
+        return self._digest
 
     # -- path resolution ------------------------------------------------
 
@@ -180,40 +201,89 @@ class WorkerState:
         partial masks are genuine non-keys worth salvaging, and the parent
         decides whether to re-dispatch the slice against its own meter.
         """
+        masks, counters, tripped, _done = self.run_search_batch(
+            ((path, context_mask),), snapshot, budget_share
+        )
+        return masks, counters, tripped
+
+    def run_search_batch(
+        self,
+        items,
+        snapshot: List[int],
+        budget_share: Optional[RunBudget] = None,
+    ) -> Tuple[List[int], Dict[str, int], Optional[str], int]:
+        """Traverse a packet of slices — ``items`` is a sequence of
+        ``(path, context_mask)`` pairs — under one dispatch.
+
+        Packets amortize per-task costs (dispatch, snapshot seeding,
+        result pickling) over several small subtrees, and one NonKeySet
+        accumulates across the packet, so later items prune against
+        everything earlier items discovered.  When the futility exchange
+        is on, the digest is drained before *each* item (mid-flight
+        knowledge from sibling workers) and newly discovered maximal masks
+        are published after it.
+
+        Returns ``(masks, counters, tripped_reason, done_count)``:
+        ``done_count`` items completed fully; on a budget trip the current
+        item is *not* counted, so the parent re-dispatches the remainder
+        of the packet (partial masks are already in ``masks``).
+        """
         faults.check("worker.slice_search")
-        node = self.resolve(path)
         meter = budget_share.start() if budget_share is not None else None
         stats = SearchStats()
         if self.merge_cache is not None:
             # Per-task stats: hit/miss counters must land in *this* task's
             # dict, not whichever task first touched the cache.
             self.merge_cache.stats = stats
-        finder = NonKeyFinder(
-            self.tree,
-            pruning=self.pruning,
-            stats=stats,
-            budget=meter,
-            merge_cache=self.merge_cache,
-        )
         # The snapshot is a prefix of the parent's stored antichain, so the
         # linear bulk load applies — per-insert covering scans would make
         # seeding quadratic in the snapshot size, once per task.
-        finder.nonkeys = NonKeySet.from_antichain(
-            self.num_attributes, snapshot
+        nonkeys = NonKeySet.from_antichain(
+            self.num_attributes, snapshot, vectorize=self.vectorize
         )
+        digest = self.digest
+        known = self._digest_known
+        known.update(snapshot)
         tripped: Optional[str] = None
-        visited_log: List[Node] = []
-        try:
-            finder.visit_subtree(
-                node, start_mask=context_mask, visited_log=visited_log
+        done = 0
+        for path, context_mask in items:
+            if digest is not None:
+                fresh = digest.drain()
+                if fresh:
+                    # Every drained mask is a genuine non-key some sibling
+                    # proved, so seeding with it is exactly as sound as the
+                    # snapshot itself (DESIGN.md section 8).
+                    known.update(fresh)
+                    nonkeys.union(fresh)
+            node = self.resolve(path)
+            finder = NonKeyFinder(
+                self.tree,
+                pruning=self.pruning,
+                stats=stats,
+                budget=meter,
+                merge_cache=self.merge_cache,
             )
-        except BudgetExceededError as exc:
-            tripped = exc.reason
-        finally:
-            for touched in visited_log:
-                touched.visited = False
+            finder.nonkeys = nonkeys
+            visited_log: List[Node] = []
+            try:
+                finder.visit_subtree(
+                    node, start_mask=context_mask, visited_log=visited_log
+                )
+            except BudgetExceededError as exc:
+                tripped = exc.reason
+            finally:
+                for touched in visited_log:
+                    touched.visited = False
+            if digest is not None:
+                for mask in nonkeys.masks():
+                    if mask not in known:
+                        digest.append(mask)
+                        known.add(mask)
+            if tripped is not None:
+                break
+            done += 1
         faults.check("worker.result_send")
-        return finder.nonkeys.masks(), stats.as_dict(), tripped
+        return nonkeys.masks(), stats.as_dict(), tripped, done
 
     def build_shard(
         self,

@@ -1,0 +1,236 @@
+"""Packed-bitmap kernels for the NonKeySet antichain scans.
+
+The futility query (``NonKeySet.is_covered``) and the insert/evict scans
+walk the stored antichain one Python int at a time; on real workloads the
+memo-missed queries alone AND millions of masks per run.  This module packs
+the antichain into a contiguous array of 64-bit words — row ``i`` holds the
+``ceil(d / 64)``-word bitmap of entry ``i`` — so one batched
+``np.bitwise_and`` plus a reduction replaces the whole inner loop.
+
+Two implementations share one API:
+
+* :class:`PackedAntichain` — the numpy kernel.  Masks are stored as
+  ``uint64`` words (``uint64`` and not ``int64`` so attribute 63 of a
+  64-wide schema does not overflow the signed conversion); schemas wider
+  than 64 attributes use multiple words per row and reduce across the word
+  axis.
+* :class:`PyAntichain` — the pure-Python fallback, used when numpy is
+  absent and as the reference the property tests compare the kernel
+  against.  Its loops are the specification: the kernel must answer every
+  query identically.
+
+:class:`~repro.core.nonkey_set.NonKeySet` keeps its Python lists as the
+source of truth (iteration, snapshots, checkpoints all read them) and
+mirrors them into one of these kernels for the scans; :func:`make_kernel`
+picks the implementation.  Every operation is exact — the kernel is a
+faster representation, never an approximation — so routing through it can
+never change a coverage verdict.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+try:  # pragma: no cover - exercised by the fallback tests via make_kernel
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is present in CI
+    _np = None
+
+__all__ = [
+    "HAVE_NUMPY",
+    "WORD_BITS",
+    "words_for",
+    "mask_to_words",
+    "words_to_mask",
+    "PackedAntichain",
+    "PyAntichain",
+    "make_kernel",
+]
+
+HAVE_NUMPY = _np is not None
+WORD_BITS = 64
+_WORD_MASK = (1 << WORD_BITS) - 1
+
+
+def words_for(num_attributes: int) -> int:
+    """Words needed to hold a ``num_attributes``-bit mask."""
+    return (num_attributes + WORD_BITS - 1) // WORD_BITS
+
+
+def mask_to_words(mask: int, words: int) -> List[int]:
+    """Split a Python int bitmask into ``words`` little-endian 64-bit words."""
+    return [(mask >> (WORD_BITS * i)) & _WORD_MASK for i in range(words)]
+
+
+def words_to_mask(chunk: Sequence[int]) -> int:
+    """Inverse of :func:`mask_to_words`."""
+    mask = 0
+    for i, word in enumerate(chunk):
+        mask |= int(word) << (WORD_BITS * i)
+    return mask
+
+
+class PackedAntichain:
+    """Size-sorted packed mirror of a NonKeySet antichain (numpy kernel).
+
+    Row ``i`` mirrors entry ``i`` of the owner's size-sorted lists: the
+    ``comp`` plane holds the entry's *complement* (the cover scan tests
+    ``mask & complement == 0``) and the ``nk`` plane the non-key itself
+    (the evict scan tests ``nonkey & inverse == 0``).  The owner performs
+    every structural mutation through :meth:`insert` / :meth:`delete`, so
+    the planes stay in lockstep with its lists by construction.
+    """
+
+    def __init__(self, num_attributes: int, capacity: int = 64):
+        self._words = words_for(num_attributes)
+        self._n = 0
+        capacity = max(capacity, 1)
+        self._comp = _np.zeros((capacity, self._words), dtype=_np.uint64)
+        self._nk = _np.zeros((capacity, self._words), dtype=_np.uint64)
+
+    def __len__(self) -> int:
+        return self._n
+
+    # -- mutation --------------------------------------------------------
+
+    def _row(self, mask: int):
+        if self._words == 1:
+            return _np.uint64(mask)
+        return _np.array(mask_to_words(mask, self._words), dtype=_np.uint64)
+
+    def _grow(self) -> None:
+        capacity = self._comp.shape[0] * 2
+        for name in ("_comp", "_nk"):
+            plane = getattr(self, name)
+            bigger = _np.zeros((capacity, self._words), dtype=_np.uint64)
+            bigger[: self._n] = plane[: self._n]
+            setattr(self, name, bigger)
+
+    def insert(self, index: int, nonkey: int, complement: int) -> None:
+        """Insert an entry at ``index``, shifting later rows down."""
+        if self._n == self._comp.shape[0]:
+            self._grow()
+        n = self._n
+        if index < n:
+            self._comp[index + 1 : n + 1] = self._comp[index:n]
+            self._nk[index + 1 : n + 1] = self._nk[index:n]
+        self._comp[index] = self._row(complement)
+        self._nk[index] = self._row(nonkey)
+        self._n = n + 1
+
+    def delete(self, indices: Sequence[int]) -> None:
+        """Remove the entries at ``indices`` (ascending), compacting rows."""
+        if not indices:
+            return
+        n = self._n
+        keep = _np.ones(n, dtype=bool)
+        keep[list(indices)] = False
+        kept = int(keep.sum())
+        self._comp[:kept] = self._comp[:n][keep]
+        self._nk[:kept] = self._nk[:n][keep]
+        self._n = kept
+
+    def rebuild(self, nonkeys: Sequence[int], complements: Sequence[int]) -> None:
+        """Bulk-load from parallel (already size-sorted) mask lists."""
+        n = len(nonkeys)
+        capacity = self._comp.shape[0]
+        while capacity < n:
+            capacity *= 2
+        if capacity != self._comp.shape[0]:
+            self._comp = _np.zeros((capacity, self._words), dtype=_np.uint64)
+            self._nk = _np.zeros((capacity, self._words), dtype=_np.uint64)
+        if n:
+            words = self._words
+            if words == 1:
+                self._comp[:n, 0] = _np.fromiter(
+                    complements, dtype=_np.uint64, count=n
+                )
+                self._nk[:n, 0] = _np.fromiter(nonkeys, dtype=_np.uint64, count=n)
+            else:
+                for i in range(n):
+                    self._comp[i] = self._row(complements[i])
+                    self._nk[i] = self._row(nonkeys[i])
+        self._n = n
+
+    # -- scans -----------------------------------------------------------
+
+    def any_covering(self, mask: int, cut: int) -> bool:
+        """True iff some complement row in ``[0, cut)`` ANDs to zero with
+        ``mask`` — i.e. some stored non-key at least as large covers it."""
+        if cut <= 0:
+            return False
+        if self._words == 1:
+            column = self._comp[:cut, 0]
+            return bool((column & _np.uint64(mask) == 0).any())
+        planes = self._comp[:cut] & self._row(mask)
+        # A row covers iff every word ANDed to zero: any(axis=1) is "has a
+        # surviving word", so coverage is any row without one.
+        return bool((~planes.any(axis=1)).any())
+
+    def covered_indices(self, inverse: int, start: int) -> List[int]:
+        """Ascending indices ``i`` in ``[start, n)`` whose stored non-key is
+        covered by the newcomer — ``nonkey & inverse == 0`` (evict scan)."""
+        n = self._n
+        if start >= n:
+            return []
+        if self._words == 1:
+            hits = (self._nk[start:n, 0] & _np.uint64(inverse)) == 0
+        else:
+            hits = ~(self._nk[start:n] & self._row(inverse)).any(axis=1)
+        return [start + int(i) for i in _np.nonzero(hits)[0]]
+
+
+class PyAntichain:
+    """Pure-Python kernel with the identical contract (and the reference
+    semantics the property tests hold :class:`PackedAntichain` to)."""
+
+    def __init__(self, num_attributes: int, capacity: int = 64):
+        self._comp: List[int] = []
+        self._nk: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._nk)
+
+    def insert(self, index: int, nonkey: int, complement: int) -> None:
+        self._comp.insert(index, complement)
+        self._nk.insert(index, nonkey)
+
+    def delete(self, indices: Sequence[int]) -> None:
+        for index in reversed(list(indices)):
+            del self._comp[index]
+            del self._nk[index]
+
+    def rebuild(self, nonkeys: Sequence[int], complements: Sequence[int]) -> None:
+        self._comp = list(complements)
+        self._nk = list(nonkeys)
+
+    def any_covering(self, mask: int, cut: int) -> bool:
+        for complement in self._comp[:cut]:
+            if mask & complement == 0:
+                return True
+        return False
+
+    def covered_indices(self, inverse: int, start: int) -> List[int]:
+        return [
+            index
+            for index in range(start, len(self._nk))
+            if not self._nk[index] & inverse
+        ]
+
+
+def make_kernel(num_attributes: int, vectorize: Optional[bool] = None):
+    """Kernel for ``num_attributes``-bit antichains, or ``None`` when off.
+
+    ``vectorize=None`` (auto, the default) uses the numpy kernel when numpy
+    is importable and nothing otherwise — the owner then runs its original
+    inline loops.  ``True`` forces a kernel (falling back to
+    :class:`PyAntichain` without numpy, so the routed code path stays
+    exercised); ``False`` disables routing entirely.
+    """
+    if vectorize is None:
+        vectorize = HAVE_NUMPY
+    if not vectorize:
+        return None
+    if HAVE_NUMPY:
+        return PackedAntichain(num_attributes)
+    return PyAntichain(num_attributes)

@@ -26,6 +26,18 @@ real reuse still converge to hits from the third request on.  (A stale
 ``_seen`` key whose ids were recycled merely causes an early store, which
 is always sound.)
 
+The cache also **self-tunes**: most workloads either reuse merges heavily
+or not at all, and the split is visible early.  After
+:data:`AUTOTUNE_PROBES` probes the cache inspects its own hit rate once;
+below :data:`AUTOTUNE_MIN_RATE` it *disables itself* — entries and the
+``_seen`` filter are dropped, ``disabled`` flips, and
+:func:`~repro.core.merge.merge_nodes` (which re-reads the flag on every
+call) stops building identity keys and probing altogether.  On workloads
+with no reuse this recovers nearly the whole probe/store overhead while
+leaving reuse-heavy workloads untouched; disabling can never change
+results, only how often a merge is rebuilt.  The decision is mirrored into
+``SearchStats.merge_cache_autodisables`` so profiles show it happened.
+
 Memory is bounded twice over:
 
 * a hard ``max_entries`` / ``max_bytes`` cap with LRU eviction on insert
@@ -54,6 +66,10 @@ MEMBER_BYTES = 96
 SEEN_BYTES = 120
 #: Keys remembered by the ``_seen`` filter before it clears wholesale.
 SEEN_CAP = 1 << 16
+#: Probes observed before the one-shot self-tuning decision is made.
+AUTOTUNE_PROBES = 8192
+#: Hit rate below which the cache disables itself at the decision point.
+AUTOTUNE_MIN_RATE = 0.05
 
 _Key = Tuple[int, ...]
 
@@ -74,6 +90,11 @@ class MergeCache:
         Optional ``SearchStats``; hit/miss/eviction counters are mirrored
         into ``merge_cache_hits`` / ``merge_cache_misses`` /
         ``merge_cache_evictions`` when given.
+    autotune:
+        When true (the default), the cache evaluates its hit rate once
+        after :data:`AUTOTUNE_PROBES` probes and disables itself below
+        :data:`AUTOTUNE_MIN_RATE` — see the module docstring.  Tests that
+        assert steady-state cache behavior can switch it off.
     """
 
     def __init__(
@@ -81,6 +102,7 @@ class MergeCache:
         max_entries: Optional[int] = 4096,
         max_bytes: Optional[int] = None,
         stats: Optional[object] = None,
+        autotune: bool = True,
     ):
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
@@ -93,6 +115,9 @@ class MergeCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        #: True once the self-tuning decision switched the cache off.
+        self.disabled = False
+        self._autotune_left = AUTOTUNE_PROBES if autotune else None
         self._tree = None
         self._entries: Dict[_Key, object] = {}  # insertion order == LRU order
         self._costs: Dict[_Key, int] = {}
@@ -151,6 +176,18 @@ class MergeCache:
         a miss — one method call per merge instead of two on the (dominant)
         miss path.
         """
+        if self.disabled:
+            # ``merge_nodes`` re-checks the flag per call, but sub-merges of
+            # the call that tripped the decision still land here.
+            return None, False
+        left = self._autotune_left
+        if left is not None:
+            if left <= 1:
+                self._autotune()
+                if self.disabled:
+                    return None, False
+            else:
+                self._autotune_left = left - 1
         entries = self._entries
         node = entries.get(key)
         if node is not None:
@@ -171,6 +208,24 @@ class MergeCache:
             seen.clear()
         seen.add(key)
         return None, False
+
+    def _autotune(self) -> None:
+        """One-shot self-tuning decision after the probe window closes.
+
+        A hopeless hit rate disables the cache for the rest of the run
+        (dropping every entry and the ``_seen`` filter); a healthy one
+        graduates the cache — no further checks.  One decision point keeps
+        the behavior deterministic for the equivalence suites.
+        """
+        self._autotune_left = None
+        attempts = self.hits + self.misses
+        if attempts and self.hits / attempts >= AUTOTUNE_MIN_RATE:
+            return
+        self.disabled = True
+        self.clear()
+        self._seen.clear()
+        if self.stats is not None:
+            self.stats.merge_cache_autodisables += 1
 
     def lookup(self, key: _Key):
         """Cached merged node for ``key``, or ``None``; refreshes LRU order."""
@@ -214,6 +269,10 @@ class MergeCache:
         """
         if self._tree is None:
             raise ValueError("MergeCache.store before bind(tree)")
+        if self.disabled:
+            # A store queued behind sub-merges can land after the autotune
+            # decision disabled the cache mid-merge; drop it.
+            return
         if key in self._entries:  # pragma: no cover - defensive; store once
             return
         cost = ENTRY_BYTES + MEMBER_BYTES * (len(key) + 1)

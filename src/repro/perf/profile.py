@@ -51,7 +51,12 @@ def render_profile(stats, attribute_order: Optional[List[int]] = None) -> str:
     hits = search.merge_cache_hits
     misses = search.merge_cache_misses
     rate = 100.0 * search.merge_cache_hit_rate
-    low = "  (low)" if hits + misses and rate < 10.0 else ""
+    if search.merge_cache_autodisables:
+        low = f"  (self-disabled x{search.merge_cache_autodisables})"
+    elif hits + misses and rate < 10.0:
+        low = "  (low)"
+    else:
+        low = ""
     lines.append(
         f"  hits {hits}  misses {misses}  evictions "
         f"{search.merge_cache_evictions}  hit rate {rate:.1f}%{low}"

@@ -1,0 +1,163 @@
+"""The mid-flight futility exchange: protocol unit tests plus end-to-end
+equivalence with the exchange on, off, and under an injected worker crash.
+
+The digest is advisory — every entry is a genuine non-key and losing
+entries is always sound — so the bar for these tests is: (a) the wire
+protocol round-trips valid entries and rejects torn ones, and (b) no run
+configuration, including a crashing worker mid-exchange, ever changes the
+discovered keys ("the digest must never cause a missed key").
+"""
+
+import multiprocessing
+
+import pytest
+
+from repro.core.gordian import GordianConfig, find_keys
+from repro.parallel.futility import FutilityDigest
+from repro.parallel.pool import close_shared_pool
+from repro.parallel.shard import live_segment_names
+from repro.robustness.faults import ENV_VAR, env_plan
+
+
+def _digest_or_skip(num_attributes, **kwargs):
+    digest = FutilityDigest.create(num_attributes, **kwargs)
+    if digest is None:
+        pytest.skip("shared memory unavailable on this platform")
+    return digest
+
+
+class TestProtocol:
+    def test_round_trip_across_attach(self):
+        writer = _digest_or_skip(14)
+        try:
+            reader = FutilityDigest.attach(writer.describe())
+            assert reader is not None
+            masks = [0b1, 0b1010, (1 << 14) - 1]
+            for mask in masks:
+                writer.append(mask)
+            assert reader.drain() == masks
+            # Cursors advance: an idle second drain yields nothing.
+            assert reader.drain() == []
+            writer.append(0b111)
+            assert reader.drain() == [0b111]
+            reader.close()
+        finally:
+            writer.close()
+        assert live_segment_names() == []
+
+    def test_empty_masks_are_never_published(self):
+        digest = _digest_or_skip(8)
+        try:
+            digest.append(0)
+            reader = FutilityDigest.attach(digest.describe())
+            assert reader.drain() == []
+            reader.close()
+        finally:
+            digest.close()
+
+    def test_wide_schema_masks_round_trip(self):
+        """Multi-word masks (> 64 attributes) survive the exchange."""
+        width = 130
+        digest = _digest_or_skip(width)
+        try:
+            mask = (1 << width) - 1
+            probe = (1 << 64) | (1 << 129) | 1
+            digest.append(mask)
+            digest.append(probe)
+            reader = FutilityDigest.attach(digest.describe())
+            assert reader.drain() == [mask, probe]
+            reader.close()
+        finally:
+            digest.close()
+
+    def test_torn_slot_is_rejected_not_misread(self):
+        """A slot whose checksum does not match its words is skipped."""
+        digest = _digest_or_skip(14)
+        try:
+            digest.append(0b1011)
+            # Corrupt the published slot's mask bytes in place, leaving the
+            # counter intact — exactly what a reader racing a writer sees.
+            base = digest._region_base(digest._region)
+            digest._shm.buf[base + 8] ^= 0xFF
+            reader = FutilityDigest.attach(digest.describe())
+            assert reader.drain() == []
+            reader.close()
+        finally:
+            digest.close()
+
+    def test_ring_overflow_loses_oldest_entries_only(self):
+        digest = _digest_or_skip(14, regions=1, slots=4)
+        try:
+            for mask in range(1, 11):
+                digest.append(mask)
+            reader = FutilityDigest.attach(digest.describe())
+            # Lapped ring: only the newest `slots` entries are recoverable,
+            # and every recovered entry is one that was genuinely appended.
+            assert reader.drain() == [7, 8, 9, 10]
+            reader.close()
+        finally:
+            digest.close()
+
+    def test_create_cleans_up_on_close(self):
+        digest = _digest_or_skip(8)
+        name = digest.describe()[0]
+        assert name in live_segment_names()
+        digest.close()
+        assert name not in live_segment_names()
+
+
+#: Force the parallel path regardless of dataset size or CPU count.
+CONFIG = dict(
+    clamp_workers=False, parallel_min_rows=0, parallel_build_min_rows=0
+)
+
+
+def _rows(n=240):
+    return [((i * 7) % 6, (i * 3) % 5, (i * 11) % 4, i) for i in range(n)]
+
+
+@pytest.fixture(scope="module")
+def serial_result():
+    return find_keys(_rows(), config=GordianConfig())
+
+
+def _assert_no_leaks():
+    close_shared_pool()
+    assert live_segment_names() == []
+    for child in multiprocessing.active_children():
+        child.join(timeout=10)
+    assert multiprocessing.active_children() == []
+
+
+class TestEndToEndEquivalence:
+    @pytest.mark.parametrize("exchange", [True, False])
+    def test_two_workers_match_serial(self, exchange, serial_result):
+        config = GordianConfig(
+            workers=2, futility_exchange=exchange, **CONFIG
+        )
+        result = find_keys(_rows(), config=config)
+        assert sorted(result.keys) == sorted(serial_result.keys)
+        assert sorted(result.nonkeys) == sorted(serial_result.nonkeys)
+        _assert_no_leaks()
+
+
+@pytest.mark.faults
+class TestCrashNeverLosesAKey:
+    def test_crash_mid_exchange_is_bit_identical_to_serial(
+        self, tmp_path, monkeypatch, serial_result
+    ):
+        """A worker that crashes after publishing to the digest must not
+        cause a missed key: its digest entries are genuine non-keys, its
+        unfinished packet is retried, and the union re-minimizes."""
+        entry = {
+            "point": "worker.slice_search",
+            "action": "crash",
+            "token": str(tmp_path / "fault-token"),
+        }
+        monkeypatch.setenv(ENV_VAR, env_plan(entry))
+        config = GordianConfig(workers=2, futility_exchange=True, **CONFIG)
+        result = find_keys(_rows(), config=config)
+        assert sorted(result.keys) == sorted(serial_result.keys)
+        assert sorted(result.nonkeys) == sorted(serial_result.nonkeys)
+        assert result.stats.search.pool_restarts >= 1
+        _assert_no_leaks()

@@ -1,0 +1,156 @@
+"""Property tests: the packed bitset kernels against their specification.
+
+:class:`~repro.perf.bitset.PyAntichain` *is* the specification (its loops
+are the original inline scans verbatim), so the properties here hold
+:class:`~repro.perf.bitset.PackedAntichain` to answering every query
+identically under arbitrary interleaved insert/delete/scan sequences —
+including schemas past 64 attributes, where the numpy kernel switches to
+multi-word rows.  A second group asserts the user-visible invariant: a
+:class:`~repro.core.nonkey_set.NonKeySet` stores and answers exactly the
+same masks whichever scan implementation it routes through.
+"""
+
+import pytest
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.core.nonkey_set import NonKeySet
+from repro.perf import bitset as kernels
+from repro.perf.bitset import (
+    HAVE_NUMPY,
+    PyAntichain,
+    mask_to_words,
+    words_for,
+    words_to_mask,
+)
+
+SETTINGS = settings(
+    max_examples=150,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: Schema widths straddling the one-word/multi-word kernel split.
+WIDTHS = st.sampled_from([1, 3, 7, 14, 63, 64, 65, 100, 130])
+
+
+@st.composite
+def antichain_scenarios(draw):
+    """A schema width, a pile of masks to insert, and query masks."""
+    width = draw(WIDTHS)
+    full = (1 << width) - 1
+    mask = st.integers(min_value=0, max_value=full)
+    inserts = draw(st.lists(mask, min_size=0, max_size=40))
+    queries = draw(st.lists(mask, min_size=1, max_size=20))
+    return width, inserts, queries
+
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy not installed")
+
+
+@needs_numpy
+@given(antichain_scenarios())
+@SETTINGS
+def test_packed_kernel_matches_python_reference(scenario):
+    """Drive both kernels through the exact call sequence NonKeySet makes
+    and compare every verdict, eviction list, and query answer."""
+    from repro.perf.bitset import PackedAntichain
+
+    width, inserts, queries = scenario
+    full = (1 << width) - 1
+    packed = PackedAntichain(width, capacity=1)  # force growth paths
+    reference = PyAntichain(width)
+    # Mirror NonKeySet.insert: size-sorted position, cover scan, evict scan.
+    from bisect import bisect_right
+
+    comp_sizes = []
+    for nonkey in inserts:
+        inverse = full & ~nonkey
+        size = bin(inverse).count("1")
+        cut = bisect_right(comp_sizes, size)
+        covered_packed = packed.any_covering(nonkey, cut)
+        covered_ref = reference.any_covering(nonkey, cut)
+        assert covered_packed == covered_ref
+        if covered_ref:
+            continue
+        evict_packed = packed.covered_indices(inverse, cut)
+        evict_ref = reference.covered_indices(inverse, cut)
+        assert evict_packed == evict_ref
+        for index in reversed(evict_ref):
+            del comp_sizes[index]
+        packed.delete(evict_packed)
+        reference.delete(evict_ref)
+        packed.insert(cut, nonkey, inverse)
+        reference.insert(cut, nonkey, inverse)
+        comp_sizes.insert(cut, size)
+        assert len(packed) == len(reference)
+    for query in queries:
+        cut = bisect_right(
+            comp_sizes, bin(full & ~query).count("1")
+        )
+        assert packed.any_covering(query, cut) == reference.any_covering(
+            query, cut
+        )
+        assert packed.covered_indices(full & ~query, 0) == (
+            reference.covered_indices(full & ~query, 0)
+        )
+
+
+@given(antichain_scenarios())
+@SETTINGS
+def test_nonkey_set_identical_across_scan_modes(scenario):
+    """The user-visible invariant: every verdict and the stored antichain
+    are identical with the kernel on, forced, and off."""
+    width, inserts, queries = scenario
+    modes = [None, True, False]
+    sets = [NonKeySet(width, vectorize=mode) for mode in modes]
+    for nonkey in inserts:
+        verdicts = {s.insert(nonkey) for s in sets}
+        assert len(verdicts) == 1
+    assert len({tuple(s.masks()) for s in sets}) == 1
+    for s in sets:
+        assert s.is_non_redundant()
+    for query in queries:
+        assert len({s.is_covered(query) for s in sets}) == 1
+
+
+@given(antichain_scenarios())
+@SETTINGS
+def test_from_antichain_matches_incremental_inserts(scenario):
+    """Bulk-loading a NonKeySet's own antichain reproduces it exactly, in
+    every scan mode (the worker snapshot-seeding path)."""
+    width, inserts, queries = scenario
+    grown = NonKeySet(width)
+    for nonkey in inserts:
+        grown.insert(nonkey)
+    for mode in (None, True, False):
+        loaded = NonKeySet.from_antichain(width, grown.masks(), vectorize=mode)
+        assert sorted(loaded.masks()) == sorted(grown.masks())
+        for query in queries:
+            assert loaded.is_covered(query) == grown.is_covered(query)
+
+
+@given(st.integers(min_value=1, max_value=200), st.data())
+@SETTINGS
+def test_word_round_trip(width, data):
+    mask = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+    words = mask_to_words(mask, words_for(width))
+    assert all(0 <= word < (1 << 64) for word in words)
+    assert words_to_mask(words) == mask
+
+
+def test_make_kernel_modes():
+    """Mode contract: None auto-detects, True forces a kernel, False is off."""
+    auto = kernels.make_kernel(8, None)
+    forced = kernels.make_kernel(8, True)
+    assert kernels.make_kernel(8, False) is None
+    assert forced is not None
+    if HAVE_NUMPY:
+        from repro.perf.bitset import PackedAntichain
+
+        assert isinstance(auto, PackedAntichain)
+        assert isinstance(forced, PackedAntichain)
+    else:  # pragma: no cover - numpy present in CI
+        assert auto is None
+        assert isinstance(forced, PyAntichain)
