@@ -48,10 +48,15 @@ from repro.core.gordian import (  # noqa: E402
     find_keys,
 )
 from repro.core.nonkey_finder import NonKeyFinder  # noqa: E402
+from repro.core.nonkey_set import NonKeySet  # noqa: E402
 from repro.core.prefix_tree import build_prefix_tree  # noqa: E402
 from repro.core.stats import RunStats  # noqa: E402
 from repro.datagen.keyplant import KeyPlantSpec, generate_planted  # noqa: E402
 from repro.datagen.zipfian import ZipfianSpec, generate_zipfian_table  # noqa: E402
+from repro.experiments.datasets import (  # noqa: E402
+    WideSchemaSpec,
+    generate_wide_schema,
+)
 from repro.perf.encode import encode_columns  # noqa: E402
 from repro.perf.merge_cache import MergeCache  # noqa: E402
 from repro.perf.reference import find_keys_reference  # noqa: E402
@@ -91,6 +96,13 @@ def _zipfian_rows():
         num_entities=1500, num_attributes=13, cardinality=9, theta=0.8, seed=3
     )
     return [list(row) for row in generate_zipfian_table(spec).rows]
+
+
+def _wide_rows():
+    """The wide-schema (d = 66 > 64) dataset: every antichain mask spans
+    two packed words, exercising the multi-word bitset kernels."""
+    table = generate_wide_schema(WideSchemaSpec())
+    return [[str(value) for value in row] for row in table.rows]
 
 
 def _search_metrics(stats: RunStats) -> dict:
@@ -150,6 +162,84 @@ def _bench_find_nonkeys(rows, reps: int) -> dict:
     return {
         "metrics": _search_metrics(stats),
         "timings": {"search_s": round(best, 4)},
+    }
+
+
+def _bench_wide_schema(rows, reps: int) -> dict:
+    """Wide-schema traversal plus antichain-path vectorize on/off timings.
+
+    The traversal runs once per rep with the default (auto) kernel and
+    gates CI through its deterministic structural counters.  The
+    vectorize comparison times the *antichain path* in isolation on the
+    parallel parent's merge workload: seeded-shuffled copies of the final
+    antichain are unioned back into it in packet-sized batches — exactly
+    the re-minimization performed when overlapping worker results (and
+    digest/delta masks a worker already holds) arrive.  Once through the
+    packed kernel (batched multi-word subsume scan) and once through the
+    pure-Python loops; both must leave the antichain unchanged, so the
+    speedup is anchored to an identity check.  The full-traversal wall
+    time is merge-dominated at this depth, which is why the kernel
+    comparison targets the antichain path rather than end-to-end search.
+    """
+    import random
+
+    num_attributes = len(rows[0])
+    encoded, _ = encode_columns(rows, num_attributes)
+    order = _order_attributes(rows, num_attributes, GordianConfig().attribute_order)
+    encoded = [tuple(row[a] for a in order) for row in encoded]
+    best_search = float("inf")
+    stats = None
+    final_masks: list = []
+    for _ in range(reps):
+        run_stats = RunStats()
+        tree = build_prefix_tree(encoded, num_attributes, stats=run_stats.tree)
+        cache = MergeCache(stats=run_stats.search)
+        finder = NonKeyFinder(tree, stats=run_stats.search, merge_cache=cache)
+        start = time.perf_counter()
+        finder.run()
+        best_search = min(best_search, time.perf_counter() - start)
+        stats = run_stats
+        final_masks = sorted(finder.nonkeys.masks())
+
+    batch, copies = 256, 4
+    rng = random.Random(1)
+    shuffled = []
+    for _ in range(copies):
+        copy = list(final_masks)
+        rng.shuffle(copy)
+        shuffled.append(copy)
+
+    def union_overlap(vectorize):
+        merged = NonKeySet.from_antichain(
+            num_attributes, final_masks, vectorize=vectorize
+        )
+        for copy in shuffled:
+            for start in range(0, len(copy), batch):
+                merged.union(copy[start : start + batch])
+        return merged
+
+    best_vec = best_py = float("inf")
+    vec_masks = py_masks = None
+    for _ in range(max(3, reps)):
+        start = time.perf_counter()
+        vec_masks = sorted(union_overlap(True).masks())
+        mid = time.perf_counter()
+        py_masks = sorted(union_overlap(False).masks())
+        best_vec = min(best_vec, mid - start)
+        best_py = min(best_py, time.perf_counter() - mid)
+    identical = vec_masks == py_masks == final_masks
+    return {
+        "metrics": _search_metrics(stats),
+        "timings": {
+            "search_s": round(best_search, 4),
+            "union_vectorized_s": round(best_vec, 4),
+            "union_python_s": round(best_py, 4),
+            "speedup_vectorize": round(best_py / best_vec, 3),
+        },
+        "identical": identical,
+        "num_attributes": num_attributes,
+        "union_masks": copies * len(final_masks),
+        "versus": "python antichain path",
     }
 
 
@@ -241,6 +331,7 @@ def run_suites(reps: int, workers: int = 4) -> dict:
         "keyplant_e2e": _bench_end_to_end(keyplant, reps),
         "keyplant_e2e_parallel": _bench_parallel_e2e(keyplant, reps, workers),
         "zipfian_e2e": _bench_end_to_end(zipfian, reps),
+        "wide_schema": _bench_wide_schema(_wide_rows(), reps),
     }
     return {
         "schema": SCHEMA,
@@ -257,10 +348,17 @@ def render(report: dict) -> str:
         )
         lines.append(f"  {name}: {timings}")
         if "identical" in suite:
-            versus = "serial" if "workers" in suite else "reference"
-            lines.append(
-                f"    identical keys/non-keys vs {versus}: {suite['identical']}"
+            versus = suite.get(
+                "versus", "serial" if "workers" in suite else "reference"
+            )
+            detail = (
                 f"  (keys={suite['num_keys']})"
+                if "num_keys" in suite
+                else f"  (unioned {suite.get('union_masks', 0)} masks)"
+            )
+            lines.append(
+                f"    identical keys/non-keys vs {versus}: "
+                f"{suite['identical']}{detail}"
             )
     return "\n".join(lines)
 
@@ -308,6 +406,33 @@ def check(report: dict, baseline: dict, tolerance: float, timings: bool) -> int:
     return 0
 
 
+def write_packet_profile(path: Path, workers: int) -> None:
+    """Run the wide-schema dataset through a parallel ``find_keys`` and
+    write its profile report — including the ``-- scheduler`` section with
+    packet timings and snapshot full/delta byte counts — to ``path``.
+
+    This is the CI artifact for the adaptive scheduler: a real multi-worker
+    run over the multi-word dataset with the feedback controller, delta
+    snapshots, and the batched kernel all enabled.
+    """
+    from repro.perf.profile import render_profile
+
+    rows = _wide_rows()
+    config = GordianConfig(
+        encode=True,
+        merge_cache=True,
+        workers=workers,
+        clamp_workers=False,
+        parallel_min_rows=0,
+        parallel_build_min_rows=0,
+    )
+    result = find_keys(rows, num_attributes=len(rows[0]), config=config)
+    report = render_profile(result.stats)
+    path.write_text(report + "\n")
+    print(f"packet profile (workers={workers}) written to {path}")
+    print(report)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--check", action="store_true",
@@ -327,12 +452,21 @@ def main(argv=None) -> int:
                         help="fail unless the parallel e2e suite reports "
                              "speedup_vs_serial >= MIN (for multi-core CI "
                              "runners; keep off on single-core boxes)")
+    parser.add_argument("--packet-profile", type=Path, default=None,
+                        metavar="PATH",
+                        help="additionally run the wide-schema dataset "
+                             "through a parallel find_keys (--workers, "
+                             "vectorized) and write its scheduler/packet "
+                             "profile report to PATH (CI artifact)")
     parser.add_argument("--output", type=Path, default=BASELINE_PATH,
                         help="baseline path (default BENCH_core.json)")
     args = parser.parse_args(argv)
 
     report = run_suites(max(1, args.reps), workers=max(2, args.workers))
     print(render(report))
+
+    if args.packet_profile is not None:
+        write_packet_profile(args.packet_profile, max(2, args.workers))
 
     for name, suite in report["suites"].items():
         if suite.get("identical") is False:

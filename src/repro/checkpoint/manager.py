@@ -190,6 +190,7 @@ class CheckpointManager:
         directory: Union[str, Path],
         *,
         interval_seconds: float = 30.0,
+        interval_visits: Optional[int] = None,
         keep: int = 3,
         fingerprint: Optional[DatasetFingerprint] = None,
         clock: Callable[[], float] = time.monotonic,
@@ -199,16 +200,27 @@ class CheckpointManager:
             raise CheckpointError(
                 f"checkpoint interval must be >= 0, got {interval_seconds}"
             )
+        if interval_visits is not None and interval_visits < 1:
+            raise CheckpointError(
+                f"checkpoint interval_visits must be >= 1, got {interval_visits}"
+            )
         if keep < 1:
             raise CheckpointError(f"checkpoint keep must be >= 1, got {keep}")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.interval_seconds = interval_seconds
+        self.interval_visits = interval_visits
         self.keep = keep
         self.fingerprint = fingerprint
         self._clock = clock
         self._sleep = sleep
         self._last_write: Optional[float] = None
+        # Progress anchor for the visits cadence: the ``progress`` value at
+        # the last due() that fired (or the first ever observed).  Each
+        # pipeline phase reports its own monotone counter (build rows,
+        # search visits); the anchor resets naturally because the first
+        # due() of a phase only anchors, it never fires on visits.
+        self._last_progress: Optional[int] = None
         #: Path of the most recent successfully written generation.
         self.latest_path: Optional[Path] = None
         #: Set to the signal name when a guarded SIGTERM/SIGINT arrived;
@@ -220,12 +232,36 @@ class CheckpointManager:
 
     # -- cadence -------------------------------------------------------
 
-    def due(self) -> bool:
-        """True when the periodic-write interval has elapsed (or never
-        written; or the interval is 0, meaning checkpoint at every hook)."""
+    def due(self, progress: Optional[int] = None) -> bool:
+        """True when a periodic write is due at this hook.
+
+        The wall-clock cadence fires when ``interval_seconds`` elapsed
+        since the last write (or nothing was written yet; or the interval
+        is 0, meaning checkpoint at every hook).  When ``interval_visits``
+        is set and the caller reports ``progress`` — any per-phase monotone
+        work counter (build rows done, search nodes visited) — a write
+        also becomes due every ``interval_visits`` units of progress,
+        bounding the *work* a crash can replay, not just the time.  A
+        ``progress`` value below the anchor means the caller moved to a new
+        phase with its own counter; the anchor resets without firing.
+        """
+        visits_due = False
+        if self.interval_visits is not None and progress is not None:
+            anchor = self._last_progress
+            if anchor is None or progress < anchor:
+                self._last_progress = progress
+            elif progress - anchor >= self.interval_visits:
+                visits_due = True
         if self._last_write is None or self.interval_seconds == 0:
-            return True
-        return self._clock() - self._last_write >= self.interval_seconds
+            time_due = True
+        else:
+            time_due = self._clock() - self._last_write >= self.interval_seconds
+        fired = time_due or visits_due
+        if fired and progress is not None:
+            # Whichever cadence fired, the caller writes now — re-anchor so
+            # replay work is bounded from *this* point.
+            self._last_progress = progress
+        return fired
 
     # -- generations ---------------------------------------------------
 

@@ -85,6 +85,7 @@ def manager_for_config(
     return CheckpointManager(
         config.checkpoint_dir,
         interval_seconds=config.checkpoint_interval_seconds,
+        interval_visits=getattr(config, "checkpoint_interval_visits", None),
         keep=config.checkpoint_keep,
         fingerprint=fingerprint,
     )
@@ -399,7 +400,10 @@ def find_keys_checkpointed(
             run.completed.append(task.path)
             settle_search()
             run.stop_if_requested(run.search_payload)
-            if manager.due():
+            # Search-phase progress for the visits cadence: the aggregated
+            # visit counter (workers' counters land in it at slice
+            # completion, which is exactly when this hook runs).
+            if manager.due(stats.search.nodes_visited):
                 run.write(run.search_payload(), required=False)
 
         if pctx is not None:
@@ -576,7 +580,10 @@ def _build_serial_checkpointed(
                 meter.on_row()
             if rows_done % _BUILD_BATCH == 0:
                 run.stop_if_requested(payload)
-                if run.manager.due():
+                # Build-phase progress: rows inserted.  The search phase
+                # restarts the cadence with its own counter (due() treats a
+                # smaller progress value as a phase change).
+                if run.manager.due(rows_done):
                     run.write(payload(), required=False)
     except (BudgetExceededError, KeyboardInterrupt):
         # Land the partial tree so a resume re-inserts only the tail; the

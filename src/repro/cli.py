@@ -127,6 +127,12 @@ def build_parser() -> argparse.ArgumentParser:
     par.add_argument("--reuse-pool", action="store_true",
                      help="borrow the process-wide warm worker pool instead "
                           "of creating one per run (closed at CLI exit)")
+    par.add_argument("--target-packet-ms", type=float, default=250.0,
+                     metavar="MS",
+                     help="adaptive work-packet sizing target: retarget the "
+                          "per-dispatch packet weight so observed packet "
+                          "latency tracks MS (default: 250; 0 keeps the "
+                          "static heuristic; results identical either way)")
     budget = keys.add_argument_group("resource budget")
     budget.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
                         help="wall-clock deadline for the run")
@@ -154,6 +160,11 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="SECONDS",
                       help="seconds between periodic checkpoints (default: "
                            "30; 0 checkpoints at every opportunity)")
+    ckpt.add_argument("--checkpoint-interval-visits", type=int, default=None,
+                      metavar="N",
+                      help="also checkpoint every N search visits (build "
+                           "rows), bounding replay work as well as time "
+                           "(default: off)")
     ckpt.add_argument("--checkpoint-keep", type=int, default=3, metavar="N",
                       help="checkpoint generations to keep (default: 3)")
     ckpt.add_argument("--resume", action="store_true",
@@ -316,10 +327,12 @@ def _cmd_keys(args) -> int:
         task_timeout_seconds=args.task_timeout,
         serial_fallback=args.serial_fallback,
         reuse_pool=args.reuse_pool,
+        target_packet_ms=args.target_packet_ms,
         checkpoint_dir=str(args.checkpoint_dir)
         if args.checkpoint_dir is not None
         else None,
         checkpoint_interval_seconds=args.checkpoint_interval,
+        checkpoint_interval_visits=args.checkpoint_interval_visits,
         checkpoint_keep=args.checkpoint_keep,
     )
     if args.checkpoint_dir is not None:

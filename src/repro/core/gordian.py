@@ -186,12 +186,23 @@ class GordianConfig:
     serial_fallback: bool = True
     max_pool_restarts: int = 2
     reuse_pool: bool = False
+    #: Adaptive work-packet sizing (parallel runs only): the scheduler
+    #: retargets the per-dispatch packet weight so observed in-worker
+    #: packet latency tracks this target.  Pure scheduling — results are
+    #: bit-identical at any value.  ``None``/``0`` keeps the static
+    #: ``entities/(workers*8)`` heuristic.
+    target_packet_ms: Optional[float] = 250.0
     #: Durable checkpoint/resume (:mod:`repro.checkpoint`): a directory
     #: enables it, ``checkpoint_interval_seconds`` sets the periodic write
     #: cadence (0 = checkpoint at every opportunity), ``checkpoint_keep``
     #: how many generations survive rotation.
+    #: ``checkpoint_interval_visits`` adds a progress-based cadence on top
+    #: of the wall clock: a checkpoint also becomes due every N search
+    #: visits (or build rows), bounding the *work* a crash can replay, not
+    #: just the time since the last write.  ``None`` disables it.
     checkpoint_dir: Optional[str] = None
     checkpoint_interval_seconds: float = 30.0
+    checkpoint_interval_visits: Optional[int] = None
     checkpoint_keep: int = 3
 
     def __post_init__(self) -> None:
@@ -218,10 +229,23 @@ class GordianConfig:
             raise ConfigError(f"workers must be >= 1, got {self.workers}")
         if self.parallel_min_rows < 0 or self.parallel_build_min_rows < 0:
             raise ConfigError("parallel row thresholds must be >= 0")
+        if self.target_packet_ms is not None and self.target_packet_ms < 0:
+            raise ConfigError(
+                f"target_packet_ms must be >= 0, got {self.target_packet_ms}"
+            )
         if self.checkpoint_interval_seconds < 0:
             raise ConfigError(
                 f"checkpoint_interval_seconds must be >= 0, got "
                 f"{self.checkpoint_interval_seconds}"
+            )
+        if self.checkpoint_interval_visits is not None and (
+            not isinstance(self.checkpoint_interval_visits, int)
+            or isinstance(self.checkpoint_interval_visits, bool)
+            or self.checkpoint_interval_visits < 1
+        ):
+            raise ConfigError(
+                f"checkpoint_interval_visits must be a positive integer, got "
+                f"{self.checkpoint_interval_visits!r}"
             )
         if self.checkpoint_keep < 1:
             raise ConfigError(

@@ -24,6 +24,11 @@ from repro.core import bitset
 
 __all__ = ["NonKeySet"]
 
+# Below this many masks (or stored entries) the batched union prefilter
+# costs more in packing than it saves in scans; small unions keep the plain
+# per-mask insert loop.
+_UNION_BATCH_MIN = 16
+
 
 class NonKeySet:
     """Container of mutually non-redundant non-keys.
@@ -182,10 +187,35 @@ class NonKeySet:
         entries evicted no matter which side arrives first.  Empty masks
         are skipped (see ``NonKeyFinder._add_nonkey`` for why they carry no
         information).
+
+        Large batches against a large antichain first run one batched cover
+        scan (:meth:`~repro.perf.bitset.PackedAntichain.covered_flags`) and
+        drop the already-covered masks before the sequential inserts.  The
+        prefilter is exact: coverage is monotone under insertion (an insert
+        only adds a mask, and anything it evicts is a subset of it), so a
+        mask covered *now* would also be rejected by its later ``insert``.
+        Counters stay identical — a prefiltered mask is charged the same
+        ``insert_attempts`` tick its rejected insert would have charged.
         """
         accepted = 0
+        masks = [mask for mask in masks if mask]
+        kernel = self._kernel
+        if (
+            kernel is not None
+            and len(masks) >= _UNION_BATCH_MIN
+            and len(self._nonkeys) >= _UNION_BATCH_MIN
+            and all(0 <= mask <= self._full_mask for mask in masks)
+        ):
+            flags = kernel.covered_flags(masks)
+            survivors = []
+            for mask, covered in zip(masks, flags):
+                if covered:
+                    self.insert_attempts += 1
+                else:
+                    survivors.append(mask)
+            masks = survivors
         for mask in masks:
-            if mask and self.insert(mask):
+            if self.insert(mask):
                 accepted += 1
         return accepted
 

@@ -111,6 +111,28 @@ class SearchStats:
     checkpoints_written: int = 0
     checkpoint_write_failures: int = 0
     slices_resumed_skipped: int = 0
+    # Adaptive-scheduler counters (zero in serial runs): work packets
+    # dispatched (resubmits after a budget trip count — each is a real
+    # dispatch), snapshots that exceeded the shipping limit, snapshot
+    # shipments of each kind (a delta shipment with zero masks is the
+    # protocol working, not the feature being off), and the mask/byte
+    # volume shipped as full prefixes vs digest-aware deltas.
+    packets_dispatched: int = 0
+    snapshots_truncated: int = 0
+    snapshots_full: int = 0
+    snapshots_delta: int = 0
+    snapshot_masks_full: int = 0
+    snapshot_masks_delta: int = 0
+    snapshot_bytes_full: int = 0
+    snapshot_bytes_delta: int = 0
+    # Scheduler gauges — observations, not additive counters, so they stay
+    # out of COUNTER_FIELDS (summing a min over resumes would be wrong).
+    # ``packet_weight_final`` is the adaptive controller's last packet
+    # weight; the wall gauges summarize in-worker per-packet elapsed time.
+    packet_weight_final: int = 0
+    packet_wall_min_s: float = 0.0
+    packet_wall_mean_s: float = 0.0
+    packet_wall_max_s: float = 0.0
 
     #: Every additive counter field, in declaration order.  Drives
     #: :meth:`add_counters` (parallel workers report their per-task counters
@@ -137,6 +159,14 @@ class SearchStats:
         "checkpoints_written",
         "checkpoint_write_failures",
         "slices_resumed_skipped",
+        "packets_dispatched",
+        "snapshots_truncated",
+        "snapshots_full",
+        "snapshots_delta",
+        "snapshot_masks_full",
+        "snapshot_masks_delta",
+        "snapshot_bytes_full",
+        "snapshot_bytes_delta",
     )
 
     @property
@@ -200,6 +230,18 @@ class SearchStats:
             "checkpoints_written": self.checkpoints_written,
             "checkpoint_write_failures": self.checkpoint_write_failures,
             "slices_resumed_skipped": self.slices_resumed_skipped,
+            "packets_dispatched": self.packets_dispatched,
+            "snapshots_truncated": self.snapshots_truncated,
+            "snapshots_full": self.snapshots_full,
+            "snapshots_delta": self.snapshots_delta,
+            "snapshot_masks_full": self.snapshot_masks_full,
+            "snapshot_masks_delta": self.snapshot_masks_delta,
+            "snapshot_bytes_full": self.snapshot_bytes_full,
+            "snapshot_bytes_delta": self.snapshot_bytes_delta,
+            "packet_weight_final": self.packet_weight_final,
+            "packet_wall_min_s": self.packet_wall_min_s,
+            "packet_wall_mean_s": self.packet_wall_mean_s,
+            "packet_wall_max_s": self.packet_wall_max_s,
         }
         data["total_prunings"] = self.total_prunings
         data["merge_cache_hit_rate"] = round(self.merge_cache_hit_rate, 4)

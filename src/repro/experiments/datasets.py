@@ -4,11 +4,23 @@ Every driver works over the same three databases the paper evaluates —
 TPC-H-like, OPIC-like, BASEBALL-like — generated at a CI-friendly default
 scale with fixed seeds.  A ``scale`` knob lets the CLI example rerun the
 experiments at larger sizes; the *shapes* of the results are scale-stable.
+
+:func:`generate_wide_schema` adds a fourth, non-paper dataset: a wide
+(d > 64 attributes) relation that pushes every antichain mask past one
+64-bit word, exercising the multi-word packed-bitset kernels.  Its shape
+mirrors real wide tables (telemetry, denormalized feature stores): a small
+informative core — a planted key plus low-cardinality noise — followed by
+a long tail of rarely-set flags and constant columns.  The tail keeps the
+prefix-tree traversal tractable (near-constant columns add chain nodes,
+not branching) while forcing every discovered non-key to span the full
+schema width.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
 
 from repro.datagen import (
     BaseballSpec,
@@ -18,9 +30,16 @@ from repro.datagen import (
     generate_opic,
     generate_tpch,
 )
+from repro.datagen.keyplant import KeyPlantSpec, generate_planted
+from repro.dataset.schema import Schema
 from repro.dataset.table import Table
 
-__all__ = ["experiment_databases", "main_relation"]
+__all__ = [
+    "experiment_databases",
+    "main_relation",
+    "WideSchemaSpec",
+    "generate_wide_schema",
+]
 
 
 def experiment_databases(scale: float = 1.0) -> Dict[str, Dict[str, Table]]:
@@ -44,3 +63,76 @@ def experiment_databases(scale: float = 1.0) -> Dict[str, Dict[str, Table]]:
 def main_relation(database: Dict[str, Table]) -> Table:
     """The relation the per-table experiments run on: the largest table."""
     return max(database.values(), key=lambda table: table.num_rows)
+
+
+@dataclass(frozen=True)
+class WideSchemaSpec:
+    """Specification of a wide-schema (d > 64) dataset.
+
+    The informative core is a planted-key table (see
+    :class:`~repro.datagen.keyplant.KeyPlantSpec`); ``num_flag_attributes``
+    rare binary flags and ``num_constant_attributes`` constant columns pad
+    the schema past one 64-bit mask word.  The default shape yields
+    ``3 + 11 + 16 + 36 = 66`` attributes with a ~1.6k-mask maximal
+    non-key antichain at a CI-friendly traversal cost.
+    """
+
+    num_rows: int = 800
+    key_radices: Tuple[int, ...] = (8, 10, 25)
+    num_noise_attributes: int = 11
+    noise_cardinality: int = 5
+    num_flag_attributes: int = 16
+    flag_density: float = 0.05
+    num_constant_attributes: int = 36
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.flag_density <= 1.0:
+            raise ValueError("flag_density must be within [0, 1]")
+        if self.num_flag_attributes < 0 or self.num_constant_attributes < 0:
+            raise ValueError("attribute counts must be non-negative")
+
+    @property
+    def num_attributes(self) -> int:
+        return (
+            len(self.key_radices)
+            + self.num_noise_attributes
+            + self.num_flag_attributes
+            + self.num_constant_attributes
+        )
+
+
+def generate_wide_schema(spec: WideSchemaSpec = WideSchemaSpec()) -> Table:
+    """Generate a deterministic wide-schema table from ``spec``.
+
+    The planted key of the informative core remains a key of the wide
+    table (extra columns never break uniqueness), so ground truth stays
+    known.  Flags are drawn i.i.d. with ``flag_density`` probability of
+    being set from a seeded generator; constants are all zero.  Every
+    maximal non-key contains the whole near-constant tail, which is what
+    pushes the antichain masks past 64 bits.
+    """
+    core = generate_planted(
+        KeyPlantSpec(
+            num_rows=spec.num_rows,
+            key_radices=spec.key_radices,
+            num_noise_attributes=spec.num_noise_attributes,
+            noise_cardinality=spec.noise_cardinality,
+            seed=spec.seed,
+            shuffle_columns=False,
+        )
+    )
+    rng = random.Random(spec.seed + 1)
+    rows: List[Tuple[object, ...]] = []
+    for row in core.table.rows:
+        flags = [
+            1 if rng.random() < spec.flag_density else 0
+            for _ in range(spec.num_flag_attributes)
+        ]
+        rows.append(tuple(list(row) + flags + [0] * spec.num_constant_attributes))
+    names = (
+        list(core.table.schema.names)
+        + [f"f{i}" for i in range(spec.num_flag_attributes)]
+        + [f"c{i}" for i in range(spec.num_constant_attributes)]
+    )
+    return Table(Schema(names), rows, name="wide_schema")

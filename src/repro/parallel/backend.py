@@ -232,6 +232,7 @@ class ParallelContext:
             on_slice_done=on_slice_done,
             vectorize=self._vectorize,
             digest=self._digest,
+            target_packet_ms=getattr(self.config, "target_packet_ms", None),
         )
 
     def close(self) -> None:

@@ -49,9 +49,13 @@ __all__ = ["FutilityDigest", "DEFAULT_REGIONS", "DEFAULT_SLOTS"]
 
 #: Independent writer regions; more regions mean fewer pid collisions.
 DEFAULT_REGIONS = 8
-#: Ring slots per region; the antichain rarely exceeds a few hundred
-#: *fresh* masks between drains, and lost entries only cost pruning.
-DEFAULT_SLOTS = 128
+#: Ring slots per region.  Lost entries only cost pruning, but a reader
+#: that falls a full ring behind (``lapped``) permanently disqualifies
+#: snapshot deltas for the run, so the ring is sized for the *burstiest*
+#: gap between one worker's drains — discovery-heavy runs append a few
+#: thousand masks while a sibling chews on one long slice.  1024 slots
+#: across 8 regions is ~200 KiB at two mask words: cheap insurance.
+DEFAULT_SLOTS = 1024
 
 #: Checksum whitening constant (golden-ratio word): an all-zero slot must
 #: not validate, and a torn slot must not validate by luck of summing to
@@ -91,6 +95,13 @@ class FutilityDigest:
         self._region = os.getpid() % regions
         self._cursors = [0] * regions
         self._closed = False
+        #: Sticky flag: a writer lapped this reader's cursor at least once,
+        #: so entries were overwritten before being drained.  Consumers that
+        #: rely on the digest for *delivery* (the parent's delta-snapshot
+        #: protocol) must treat a lapped reader as incomplete and fall back
+        #: to full snapshots; pruning consumers can ignore it (lossy is
+        #: sound for them).
+        self.lapped = False
 
     # -- lifecycle -------------------------------------------------------
 
@@ -188,6 +199,8 @@ class FutilityDigest:
             cursor = self._cursors[region]
             if count == cursor:
                 continue
+            if count - cursor > self._slots:
+                self.lapped = True
             start = max(cursor, count - self._slots)
             for index in range(start, count):
                 slot = base + 8 + (index % self._slots) * self._slot_words * 8

@@ -48,6 +48,8 @@ notices at completion boundaries.
 
 from __future__ import annotations
 
+import logging
+import time
 from concurrent.futures import FIRST_COMPLETED, wait
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
@@ -61,6 +63,9 @@ from repro.core.stats import SearchStats
 from repro.errors import ConfigError
 from repro.parallel.supervisor import SERIAL_FALLBACK, SupervisedTask
 from repro.parallel.worker import STEP_CELL, STEP_MERGE, resolve_path
+from repro.perf.bitset import words_for
+
+_LOGGER = logging.getLogger(__name__)
 
 __all__ = ["SliceTask", "ParallelNonKeyFinder", "SerialSliceSearch"]
 
@@ -83,7 +88,14 @@ _MIN_EXPAND_ENTITIES = 512
 #: so one dispatch carries many small slices (amortizing dispatch,
 #: snapshot seeding, and result pickling) while still cutting the run
 #: into enough packets for load balancing and checkpoint granularity.
+#: This static guess is only the *initial* packet weight: with a target
+#: packet latency configured, the adaptive controller below retargets it
+#: from observed per-packet cost.
 _PACKETS_PER_WORKER = 8
+#: EWMA smoothing for the observed cost-per-unit-weight feedback.  High
+#: enough to follow real cost drift across tree regions, low enough that
+#: one outlier packet cannot whipsaw the packet size.
+_EWMA_ALPHA = 0.3
 
 
 @dataclass(frozen=True)
@@ -132,6 +144,7 @@ class _ExecutorSupervisor:
 
     def _dispatch(self, task: SupervisedTask) -> None:
         task.args = tuple(task.make_args())
+        task.dispatched_at = time.monotonic()
         # Method-aware executors (InlineSearchExecutor) dispatch by the
         # task's method name, same as the real pool's ``run_task``; legacy
         # executors exposing only ``submit_search`` keep working for
@@ -150,6 +163,8 @@ class _ExecutorSupervisor:
         future = next(iter(done))
         task = self._pending.pop(future)
         task.finished = True
+        if task.dispatched_at is not None:
+            task.wall_seconds = time.monotonic() - task.dispatched_at
         task.result = future.result()
         return task
 
@@ -187,6 +202,7 @@ class ParallelNonKeyFinder:
         on_slice_done=None,
         vectorize: Optional[bool] = None,
         digest=None,
+        target_packet_ms: Optional[float] = None,
     ):
         if supervisor is None and executor is None:
             raise ConfigError(
@@ -228,10 +244,42 @@ class ParallelNonKeyFinder:
             _MIN_EXPAND_ENTITIES, tree.num_entities // max(1, workers * 4)
         )
         # Slices are buffered into work packets of roughly this much
-        # estimated weight before dispatch (see _PACKETS_PER_WORKER).
+        # estimated weight before dispatch (see _PACKETS_PER_WORKER).  With
+        # a target packet latency configured, this is only the opening bid:
+        # each completed packet reports its in-worker wall time, an EWMA of
+        # cost-per-unit-weight tracks it, and the weight is retargeted so
+        # the *next* packet lands near the target.  Packet composition
+        # never affects results (Algorithm 5's union is order-independent
+        # and a packet is just a grouping of independent slices), so the
+        # controller is free to resize at will; the clamp below merely
+        # keeps at least ``workers`` packets in play for load balancing.
         self._packet_weight = max(
             1, tree.num_entities // max(1, workers * _PACKETS_PER_WORKER)
         )
+        self._target_packet_s = (
+            target_packet_ms / 1000.0 if target_packet_ms else None
+        )
+        self._weight_cap = max(1, tree.num_entities // max(1, workers))
+        self._unit_cost_ewma: Optional[float] = None
+        # Per-packet wall-time gauges (worker-side elapsed, queue wait
+        # excluded) surfaced through SearchStats at the end of the run.
+        self._wall_min: Optional[float] = None
+        self._wall_max = 0.0
+        self._wall_sum = 0.0
+        self._wall_count = 0
+        # Delta-snapshot protocol state (see _make_packet_args): masks known
+        # to have traversed the futility digest — the parent's own drains
+        # plus everything it appended itself — may be omitted from delta
+        # snapshots, because every lap-free reader gets them from its own
+        # drains.  Delta mode arms only after a worker confirms lap-free
+        # consumption (``digest_ok``) and is poisoned permanently by the
+        # first report of a lap (or a failed attach): from then on every
+        # dispatch ships the full prefix again.
+        self._digest_seen: set = set()
+        self._delta_confirmed = False
+        self._delta_poisoned = False
+        self._mask_bytes = words_for(tree.num_attributes) * 8
+        self._truncation_logged = False
         self._retained: List[Node] = []
         # Serial-fallback path resolution cache (shared across deferred
         # slices, same structure as a worker's path cache).
@@ -289,6 +337,7 @@ class ParallelNonKeyFinder:
                     )
                     packets[handle] = packet
                     self.tasks_dispatched += len(packet)
+                    self.stats.packets_dispatched += 1
                     outstanding += 1
                 if outstanding == 0:
                     break
@@ -305,14 +354,32 @@ class ParallelNonKeyFinder:
                     deferred.extend(packet)
                     packets.pop(handle)
                     continue
-                masks, counters, tripped, done = handle.result
+                masks, counters, tripped, done, elapsed, digest_ok = handle.result
+                if digest_ok:
+                    self._delta_confirmed = True
+                else:
+                    self._delta_poisoned = True
+                # Feedback for the adaptive controller: how much estimated
+                # weight actually completed in how much in-worker wall time.
+                # A tripped packet's unfinished item still burned part of
+                # ``elapsed``, which biases the observed cost upward — i.e.
+                # toward smaller packets — a safe direction under budget
+                # pressure.
+                self._observe_packet(
+                    elapsed,
+                    sum(max(1, item.weight) for item in packet[:done]),
+                )
                 self.nonkeys.union(masks)
                 self.stats.add_counters(counters)
                 if digest is not None:
                     # Fold in whatever sibling workers published since the
                     # last drain — same genuine-non-key argument as the
-                    # result masks, just fresher.
-                    self.nonkeys.union(digest.drain())
+                    # result masks, just fresher.  Everything drained here
+                    # is delivery-confirmed for delta snapshots.
+                    fresh = digest.drain()
+                    if fresh:
+                        self._digest_seen.update(fresh)
+                        self.nonkeys.union(fresh)
                 if self._budget is not None:
                     # Charge the worker's visits against the global budget
                     # (and re-check the wall clock).  May itself trip —
@@ -334,6 +401,7 @@ class ParallelNonKeyFinder:
                         for finished in completed:
                             self._on_slice_done(finished)
                     sup.resubmit(handle)
+                    self.stats.packets_dispatched += 1
                     outstanding += 1
                     continue
                 packets.pop(handle)
@@ -353,6 +421,12 @@ class ParallelNonKeyFinder:
             self.stats.tasks_retried += sup.tasks_retried
             self.stats.serial_fallbacks += sup.serial_fallbacks
             self.stats.pool_restarts += sup.pool_restarts
+            if self.stats.packets_dispatched:
+                self.stats.packet_weight_final = self._packet_weight
+            if self._wall_count:
+                self.stats.packet_wall_min_s = self._wall_min or 0.0
+                self.stats.packet_wall_mean_s = self._wall_sum / self._wall_count
+                self.stats.packet_wall_max_s = self._wall_max
             discard = self.tree.discard
             for node in reversed(self._retained):
                 discard(node)
@@ -362,15 +436,89 @@ class ParallelNonKeyFinder:
 
     # ------------------------------------------------------------------
 
+    def _observe_packet(self, elapsed: float, completed_weight: int) -> None:
+        """Fold one packet's observed cost into the adaptive controller.
+
+        The controller only ever changes *how the remaining slices are
+        grouped into packets*; which slices exist, what each worker
+        discovers in them, and how the union re-minimizes are all
+        grouping-independent, so any retargeting (or none) yields the
+        bit-identical serial answer.  The weight is clamped to
+        ``[1, num_entities // workers]``: the floor keeps mid-packet
+        budget-trip resume meaningful (a packet always carries at least
+        one whole slice, and trimming ``packet[:done]`` needs nothing
+        more), the ceiling keeps at least one packet per worker in play.
+        """
+        if elapsed > 0:
+            self._wall_count += 1
+            self._wall_sum += elapsed
+            self._wall_max = max(self._wall_max, elapsed)
+            if self._wall_min is None or elapsed < self._wall_min:
+                self._wall_min = elapsed
+        if self._target_packet_s is None or elapsed <= 0 or completed_weight <= 0:
+            return
+        unit_cost = elapsed / completed_weight
+        if self._unit_cost_ewma is None:
+            self._unit_cost_ewma = unit_cost
+        else:
+            self._unit_cost_ewma += _EWMA_ALPHA * (unit_cost - self._unit_cost_ewma)
+        desired = int(self._target_packet_s / self._unit_cost_ewma)
+        self._packet_weight = max(1, min(desired, self._weight_cap))
+
+    def _delta_live(self) -> bool:
+        """True while snapshot deltas are safe to ship: the digest exists,
+        some worker confirmed lap-free consumption, and no worker has ever
+        reported a lap or a failed attach."""
+        return (
+            self._digest is not None
+            and self._delta_confirmed
+            and not self._delta_poisoned
+        )
+
     def _make_packet_args(self, packet: List[SliceTask]):
         """Argument factory: re-derives the item list, snapshot, and budget
         share per dispatch, so a retried or trip-resumed attempt carries
         only the *remaining* slices, prunes against the *current* NonKeySet,
         and never exceeds the parent's remaining budget.  ``packet`` is the
-        same mutable list the run loop trims on partial completion."""
+        same mutable list the run loop trims on partial completion.
+
+        Snapshots ship as ``("full", prefix)`` or, once a lap-free digest
+        reader is confirmed, ``("delta", fresh)`` — only the prefix masks
+        that did *not* travel through the digest, since lap-free readers
+        already drained the rest.  Correctness never depends on the split:
+        any subset of genuine non-keys is a sound seed, so a worker that
+        missed a delta (fresh process after a pool restart, say) merely
+        prunes less until the next drain — and such a worker's first drain
+        observes the lap and poisons delta mode back to full snapshots.
+        """
 
         def make_args() -> tuple:
-            snapshot = self.nonkeys.masks()[: self._snapshot_limit]
+            all_masks = self.nonkeys.masks()
+            if len(all_masks) > self._snapshot_limit:
+                self.stats.snapshots_truncated += 1
+                if not self._truncation_logged:
+                    self._truncation_logged = True
+                    _LOGGER.info(
+                        "non-key antichain (%d masks) exceeds the snapshot "
+                        "limit (%d); workers seed from the %d largest masks "
+                        "only — sound, but pruning may weaken (counted in "
+                        "snapshots_truncated)",
+                        len(all_masks),
+                        self._snapshot_limit,
+                        self._snapshot_limit,
+                    )
+            prefix = all_masks[: self._snapshot_limit]
+            if self._delta_live():
+                fresh = [m for m in prefix if m not in self._digest_seen]
+                snapshot = ("delta", fresh)
+                self.stats.snapshots_delta += 1
+                self.stats.snapshot_masks_delta += len(fresh)
+                self.stats.snapshot_bytes_delta += len(fresh) * self._mask_bytes
+            else:
+                snapshot = ("full", prefix)
+                self.stats.snapshots_full += 1
+                self.stats.snapshot_masks_full += len(prefix)
+                self.stats.snapshot_bytes_full += len(prefix) * self._mask_bytes
             share = (
                 self._budget.derive_share(1.0 / self._max_inflight)
                 if self._budget is not None
@@ -429,6 +577,13 @@ class ParallelNonKeyFinder:
         self.stats.nonkeys_discovered += 1
         if self.nonkeys.insert(mask):
             self.stats.nonkeys_inserted += 1
+            if self._digest is not None:
+                # Publish inline (parent-side) discoveries too: workers
+                # drain them one round earlier than any snapshot would
+                # deliver them, and a digest-published mask can be omitted
+                # from delta snapshots (see _make_packet_args).
+                self._digest.append(mask)
+                self._digest_seen.add(mask)
 
     def _stream(
         self, node: Node, path: tuple, context_before: int, depth: int

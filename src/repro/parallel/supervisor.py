@@ -92,6 +92,8 @@ class SupervisedTask:
         "finished",
         "result",
         "token",
+        "dispatched_at",
+        "wall_seconds",
     )
 
     def __init__(
@@ -117,6 +119,13 @@ class SupervisedTask:
         #: Claim token of the current dispatch — matched against dead
         #: workers' claim files to attribute pool failures.
         self.token: Optional[int] = None
+        #: Dispatch-to-completion wall time of the *last* dispatch (set when
+        #: the task finishes; retries and resubmits restart the clock).
+        #: Observability only — the scheduler's cost feedback uses the
+        #: in-worker elapsed time from the result tuple instead, which queue
+        #: wait cannot skew.
+        self.dispatched_at: Optional[float] = None
+        self.wall_seconds: Optional[float] = None
 
 
 class Supervisor:
@@ -259,6 +268,7 @@ class Supervisor:
             # as an asynchronous break.
             self._pool_failed("a worker process crashed", [task])
             return
+        task.dispatched_at = self._clock()
         task.deadline = (
             None
             if self.task_timeout is None
@@ -320,6 +330,8 @@ class Supervisor:
             error = future.exception()
             if error is None:
                 task.finished = True
+                if task.dispatched_at is not None:
+                    task.wall_seconds = self._clock() - task.dispatched_at
                 task.result = future.result()
                 self._ready.append(task)
             elif isinstance(error, BrokenProcessPool):

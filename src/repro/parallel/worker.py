@@ -34,6 +34,7 @@ task, so spawn-context children inherit it deterministically.
 from __future__ import annotations
 
 import os
+import time
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.merge import merge_children, merge_forest
@@ -136,6 +137,14 @@ class WorkerState:
         self._digest = None
         self._digest_tried = False
         self._digest_known: set = set()
+        # Persistent snapshot seed (delta protocol): the accumulated
+        # antichain of every mask the parent has shipped this worker —
+        # rebuilt on a ``("full", masks)`` snapshot, extended in place by a
+        # ``("delta", masks)`` one.  A delta arriving before any full
+        # baseline (fresh worker after a pool restart) simply starts the
+        # seed from the delta alone: seeding with any subset of genuine
+        # non-keys is sound, it merely prunes less.
+        self._seed: Optional[NonKeySet] = None
 
     # -- lazy materialization -------------------------------------------
 
@@ -201,17 +210,45 @@ class WorkerState:
         partial masks are genuine non-keys worth salvaging, and the parent
         decides whether to re-dispatch the slice against its own meter.
         """
-        masks, counters, tripped, _done = self.run_search_batch(
+        masks, counters, tripped, _done, _elapsed, _digest_ok = self.run_search_batch(
             ((path, context_mask),), snapshot, budget_share
         )
         return masks, counters, tripped
 
+    def _seed_masks(self, snapshot) -> List[int]:
+        """Fold a shipped snapshot into the persistent seed; seed masks.
+
+        ``snapshot`` is either a bare mask sequence (legacy form, treated
+        as full) or a ``("full" | "delta", masks)`` pair.  A full snapshot
+        replaces the seed; a delta extends it.  Either way the returned
+        list is the seed's stored antichain, so the per-batch bulk load
+        below stays linear.
+        """
+        kind = "full"
+        masks = snapshot
+        if (
+            isinstance(snapshot, tuple)
+            and len(snapshot) == 2
+            and snapshot[0] in ("full", "delta")
+        ):
+            kind, masks = snapshot
+        if kind == "full" or self._seed is None:
+            # Any subset of the parent's antichain is itself an antichain,
+            # so the linear bulk load applies to fulls and orphan deltas
+            # alike.
+            self._seed = NonKeySet.from_antichain(
+                self.num_attributes, masks, vectorize=self.vectorize
+            )
+        else:
+            self._seed.union(masks)
+        return self._seed.masks()
+
     def run_search_batch(
         self,
         items,
-        snapshot: List[int],
+        snapshot,
         budget_share: Optional[RunBudget] = None,
-    ) -> Tuple[List[int], Dict[str, int], Optional[str], int]:
+    ) -> Tuple[List[int], Dict[str, int], Optional[str], int, float, bool]:
         """Traverse a packet of slices — ``items`` is a sequence of
         ``(path, context_mask)`` pairs — under one dispatch.
 
@@ -223,27 +260,38 @@ class WorkerState:
         knowledge from sibling workers) and newly discovered maximal masks
         are published after it.
 
-        Returns ``(masks, counters, tripped_reason, done_count)``:
-        ``done_count`` items completed fully; on a budget trip the current
-        item is *not* counted, so the parent re-dispatches the remainder
-        of the packet (partial masks are already in ``masks``).
+        ``snapshot`` may be a bare mask list (a full snapshot) or a
+        ``("full" | "delta", masks)`` pair — see :meth:`_seed_masks`.
+
+        Returns ``(masks, counters, tripped_reason, done_count,
+        elapsed_seconds, digest_ok)``: ``done_count`` items completed
+        fully; on a budget trip the current item is *not* counted, so the
+        parent re-dispatches the remainder of the packet (partial masks
+        are already in ``masks``).  ``elapsed_seconds`` is this batch's
+        in-worker wall time — the feedback signal for the parent's
+        adaptive packet sizing, measured here so queue wait cannot skew
+        it.  ``digest_ok`` is True iff the futility digest is attached and
+        has never lapped this reader — the parent's license to keep
+        shipping snapshot deltas instead of full prefixes.
         """
         faults.check("worker.slice_search")
+        started = time.perf_counter()
         meter = budget_share.start() if budget_share is not None else None
         stats = SearchStats()
         if self.merge_cache is not None:
             # Per-task stats: hit/miss counters must land in *this* task's
             # dict, not whichever task first touched the cache.
             self.merge_cache.stats = stats
-        # The snapshot is a prefix of the parent's stored antichain, so the
-        # linear bulk load applies — per-insert covering scans would make
-        # seeding quadratic in the snapshot size, once per task.
+        seed_masks = self._seed_masks(snapshot)
+        # The seed is an antichain, so the linear bulk load applies —
+        # per-insert covering scans would make seeding quadratic in the
+        # snapshot size, once per task.
         nonkeys = NonKeySet.from_antichain(
-            self.num_attributes, snapshot, vectorize=self.vectorize
+            self.num_attributes, seed_masks, vectorize=self.vectorize
         )
         digest = self.digest
         known = self._digest_known
-        known.update(snapshot)
+        known.update(seed_masks)
         tripped: Optional[str] = None
         done = 0
         for path, context_mask in items:
@@ -255,6 +303,11 @@ class WorkerState:
                     # snapshot itself (DESIGN.md section 8).
                     known.update(fresh)
                     nonkeys.union(fresh)
+                    if self._seed is not None:
+                        # Drains are cursor-consumed: fold them into the
+                        # persistent seed or delta-mode batches would lose
+                        # them once this working set is discarded.
+                        self._seed.union(fresh)
             node = self.resolve(path)
             finder = NonKeyFinder(
                 self.tree,
@@ -283,7 +336,9 @@ class WorkerState:
                 break
             done += 1
         faults.check("worker.result_send")
-        return nonkeys.masks(), stats.as_dict(), tripped, done
+        digest_ok = digest is not None and not digest.lapped
+        elapsed = time.perf_counter() - started
+        return nonkeys.masks(), stats.as_dict(), tripped, done, elapsed, digest_ok
 
     def build_shard(
         self,

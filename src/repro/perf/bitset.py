@@ -51,6 +51,20 @@ HAVE_NUMPY = _np is not None
 WORD_BITS = 64
 _WORD_MASK = (1 << WORD_BITS) - 1
 
+# Cap on the (queries x block x words) intermediate of the batched cover
+# scan, in words.  8 MiB of uint64s — big enough that wide antichains scan
+# in a handful of numpy calls, small enough to stay cache-friendly.
+_BATCH_BLOCK_WORDS = 1 << 20
+
+
+def _pack_rows(masks: Sequence[int], words: int):
+    """Pack masks into an ``(len(masks), words)`` uint64 matrix."""
+    n = len(masks)
+    if words == 1:
+        return _np.fromiter(masks, dtype=_np.uint64, count=n).reshape(n, 1)
+    buf = b"".join(mask.to_bytes(words * 8, "little") for mask in masks)
+    return _np.frombuffer(buf, dtype="<u8").reshape(n, words)
+
 
 def words_for(num_attributes: int) -> int:
     """Words needed to hold a ``num_attributes``-bit mask."""
@@ -96,7 +110,10 @@ class PackedAntichain:
     def _row(self, mask: int):
         if self._words == 1:
             return _np.uint64(mask)
-        return _np.array(mask_to_words(mask, self._words), dtype=_np.uint64)
+        # to_bytes + frombuffer skips the per-word Python shift/mask loop;
+        # little-endian bytes reinterpreted as <u8 give the same word order
+        # as mask_to_words.
+        return _np.frombuffer(mask.to_bytes(self._words * 8, "little"), dtype="<u8")
 
     def _grow(self) -> None:
         capacity = self._comp.shape[0] * 2
@@ -147,9 +164,8 @@ class PackedAntichain:
                 )
                 self._nk[:n, 0] = _np.fromiter(nonkeys, dtype=_np.uint64, count=n)
             else:
-                for i in range(n):
-                    self._comp[i] = self._row(complements[i])
-                    self._nk[i] = self._row(nonkeys[i])
+                self._comp[:n] = _pack_rows(complements, words)
+                self._nk[:n] = _pack_rows(nonkeys, words)
         self._n = n
 
     # -- scans -----------------------------------------------------------
@@ -162,10 +178,15 @@ class PackedAntichain:
         if self._words == 1:
             column = self._comp[:cut, 0]
             return bool((column & _np.uint64(mask) == 0).any())
-        planes = self._comp[:cut] & self._row(mask)
-        # A row covers iff every word ANDed to zero: any(axis=1) is "has a
-        # surviving word", so coverage is any row without one.
-        return bool((~planes.any(axis=1)).any())
+        # Column-wise accumulation: one (cut,) temp per word instead of a
+        # (cut, words) plane plus an axis reduction — a row covers iff the
+        # OR of its per-word ANDs is zero.
+        row = self._row(mask)
+        chunk = self._comp[:cut]
+        acc = chunk[:, 0] & row[0]
+        for w in range(1, self._words):
+            acc |= chunk[:, w] & row[w]
+        return bool((acc == 0).any())
 
     def covered_indices(self, inverse: int, start: int) -> List[int]:
         """Ascending indices ``i`` in ``[start, n)`` whose stored non-key is
@@ -176,8 +197,44 @@ class PackedAntichain:
         if self._words == 1:
             hits = (self._nk[start:n, 0] & _np.uint64(inverse)) == 0
         else:
-            hits = ~(self._nk[start:n] & self._row(inverse)).any(axis=1)
+            row = self._row(inverse)
+            chunk = self._nk[start:n]
+            acc = chunk[:, 0] & row[0]
+            for w in range(1, self._words):
+                acc |= chunk[:, w] & row[w]
+            hits = acc == 0
         return [start + int(i) for i in _np.nonzero(hits)[0]]
+
+    def covered_flags(self, masks: Sequence[int]) -> List[bool]:
+        """``[any stored complement ANDs to zero with m]`` for each mask.
+
+        The batched form of :meth:`any_covering` over the *whole* antichain:
+        one packed query matrix is scanned against the complement plane in
+        blocks, amortizing per-call numpy dispatch over the entire batch.
+        Scanning past the size cut is exact — a strictly smaller stored
+        non-key can never cover a larger query, so the extra rows simply
+        never report coverage.
+        """
+        m = len(masks)
+        n = self._n
+        if m == 0:
+            return []
+        if n == 0:
+            return [False] * m
+        queries = _pack_rows(masks, self._words)
+        hits = _np.zeros(m, dtype=bool)
+        block = max(1, _BATCH_BLOCK_WORDS // max(1, m * self._words))
+        for start in range(0, n, block):
+            stop = min(n, start + block)
+            chunk = self._comp[start:stop]
+            # Column-wise accumulation: one (m, block) temp per word (a row
+            # covers iff the OR of its per-word ANDs is zero) — an order of
+            # magnitude cheaper than the 3-D plane + axis-2 reduction.
+            acc = queries[:, 0][:, _np.newaxis] & chunk[:, 0][_np.newaxis, :]
+            for w in range(1, self._words):
+                acc |= queries[:, w][:, _np.newaxis] & chunk[:, w][_np.newaxis, :]
+            hits |= (acc == 0).any(axis=1)
+        return [bool(flag) for flag in hits]
 
 
 class PyAntichain:
@@ -216,6 +273,9 @@ class PyAntichain:
             for index in range(start, len(self._nk))
             if not self._nk[index] & inverse
         ]
+
+    def covered_flags(self, masks: Sequence[int]) -> List[bool]:
+        return [self.any_covering(mask, len(self._comp)) for mask in masks]
 
 
 def make_kernel(num_attributes: int, vectorize: Optional[bool] = None):

@@ -90,6 +90,24 @@ def render_profile(stats, attribute_order: Optional[List[int]] = None) -> str:
             f"failures {search.checkpoint_write_failures}  slices skipped "
             f"on resume {search.slices_resumed_skipped}"
         )
+    if search.packets_dispatched:
+        # Parallel scheduler telemetry: only rendered when work packets were
+        # dispatched, so serial profiles stay byte-identical.
+        lines.append("-- scheduler")
+        lines.append(
+            f"  packets {search.packets_dispatched}  final packet weight "
+            f"{search.packet_weight_final}  wall min/mean/max "
+            f"{search.packet_wall_min_s:.4f}/{search.packet_wall_mean_s:.4f}/"
+            f"{search.packet_wall_max_s:.4f}s"
+        )
+        lines.append(
+            f"  snapshots: {search.snapshots_full} full "
+            f"({search.snapshot_masks_full} masks, "
+            f"{search.snapshot_bytes_full} B)  {search.snapshots_delta} delta "
+            f"({search.snapshot_masks_delta} masks, "
+            f"{search.snapshot_bytes_delta} B)  truncated "
+            f"{search.snapshots_truncated}"
+        )
     if stats.budget is not None:
         lines.append("-- budget")
         snapshot = stats.budget

@@ -41,6 +41,12 @@ class TestValidation:
         manager = CheckpointManager(tmp_path / "a" / "b")
         assert manager.directory.is_dir()
 
+    def test_invalid_interval_visits_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CheckpointManager(tmp_path, interval_visits=0)
+        with pytest.raises(CheckpointError):
+            CheckpointManager(tmp_path, interval_visits=-5)
+
 
 class TestGenerations:
     def test_writes_are_numbered_generations(self, tmp_path):
@@ -102,6 +108,66 @@ class TestCadence:
         manager = _manager(tmp_path, interval_seconds=0)
         manager.write({"n": 0})
         assert manager.due()
+
+    def test_visits_cadence_fires_every_interval(self, tmp_path):
+        manager = _manager(
+            tmp_path,
+            interval_seconds=1000,
+            interval_visits=100,
+            clock=lambda: 0.0,
+        )
+        manager.write({"n": 0})  # arm the time cadence so only visits fire
+        assert not manager.due(progress=0)  # first call only anchors
+        assert not manager.due(progress=99)
+        assert manager.due(progress=100)  # fired — and re-anchored at 100
+        assert not manager.due(progress=150)
+        assert manager.due(progress=200)
+
+    def test_visits_cadence_without_progress_is_time_only(self, tmp_path):
+        manager = _manager(
+            tmp_path,
+            interval_seconds=1000,
+            interval_visits=1,
+            clock=lambda: 0.0,
+        )
+        manager.write({"n": 0})
+        # Hooks that report no progress never trip the visits cadence.
+        assert not manager.due()
+
+    def test_progress_below_anchor_resets_without_firing(self, tmp_path):
+        # A smaller progress value means a new pipeline phase started with
+        # its own monotone counter (build rows -> search visits): the
+        # anchor must reset silently, not fire or go due immediately.
+        manager = _manager(
+            tmp_path,
+            interval_seconds=1000,
+            interval_visits=50,
+            clock=lambda: 0.0,
+        )
+        manager.write({"n": 0})
+        assert not manager.due(progress=400)
+        assert manager.due(progress=450)
+        assert not manager.due(progress=10)  # phase change: re-anchor only
+        assert not manager.due(progress=59)
+        assert manager.due(progress=60)
+
+    def test_time_fire_reanchors_visits(self, tmp_path):
+        # OR-semantics: when the wall clock fires, the caller writes, so
+        # the visits anchor must move too — replay is bounded from *now*.
+        now = [0.0]
+        manager = _manager(
+            tmp_path,
+            interval_seconds=10,
+            interval_visits=100,
+            clock=lambda: now[0],
+        )
+        manager.write({"n": 0})
+        assert not manager.due(progress=0)
+        now[0] = 10.0
+        assert manager.due(progress=90)  # time cadence fired at progress 90
+        manager.write({"n": 1})
+        assert not manager.due(progress=179)  # 89 visits since new anchor
+        assert manager.due(progress=190)
 
 
 class TestFingerprints:

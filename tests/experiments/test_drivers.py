@@ -38,6 +38,72 @@ class TestDatasets:
             experiment_databases(0)
 
 
+class TestWideSchema:
+    def test_shape_and_names(self):
+        from repro.experiments.datasets import (
+            WideSchemaSpec,
+            generate_wide_schema,
+        )
+
+        spec = WideSchemaSpec()
+        table = generate_wide_schema(spec)
+        assert spec.num_attributes == 66  # past one 64-bit mask word
+        assert len(table.schema.names) == 66
+        assert len(table.rows) == spec.num_rows
+        names = table.schema.names
+        assert names[0].startswith("k") and names[3].startswith("n")
+        assert names[14] == "f0" and names[30] == "c0"
+
+    def test_deterministic(self):
+        from repro.experiments.datasets import generate_wide_schema
+
+        assert generate_wide_schema().rows == generate_wide_schema().rows
+
+    def test_planted_key_survives_the_padding(self):
+        from repro.baselines import is_key
+        from repro.experiments.datasets import (
+            WideSchemaSpec,
+            generate_wide_schema,
+        )
+
+        spec = WideSchemaSpec()
+        table = generate_wide_schema(spec)
+        core = list(range(len(spec.key_radices)))
+        assert is_key(table.rows, core)
+        assert not is_key(table.rows, core[:-1])
+
+    def test_tail_is_near_constant(self):
+        from repro.experiments.datasets import (
+            WideSchemaSpec,
+            generate_wide_schema,
+        )
+
+        spec = WideSchemaSpec()
+        table = generate_wide_schema(spec)
+        flags_start = len(spec.key_radices) + spec.num_noise_attributes
+        consts_start = flags_start + spec.num_flag_attributes
+        total = spec.num_rows * spec.num_flag_attributes
+        set_bits = sum(
+            row[col]
+            for row in table.rows
+            for col in range(flags_start, consts_start)
+        )
+        assert 0 < set_bits / total < 3 * spec.flag_density
+        assert all(
+            row[col] == 0
+            for row in table.rows
+            for col in range(consts_start, spec.num_attributes)
+        )
+
+    def test_invalid_specs_rejected(self):
+        from repro.experiments.datasets import WideSchemaSpec
+
+        with pytest.raises(ValueError):
+            WideSchemaSpec(flag_density=1.5)
+        with pytest.raises(ValueError):
+            WideSchemaSpec(num_constant_attributes=-1)
+
+
 class TestTable1:
     def test_characteristics(self):
         databases = experiment_databases(0.2)

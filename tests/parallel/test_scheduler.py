@@ -1,0 +1,323 @@
+"""Adaptive packet scheduling and digest-aware snapshot slimming.
+
+Two invariants rule everything here.  First, the feedback controller only
+regroups independent slices into differently sized packets, and Algorithm
+5's union is order-independent — so *any* retargeting sequence must yield
+the bit-identical serial answer.  Second, a snapshot is an efficiency
+seed, never a correctness input: delta snapshots may omit any mask that
+travelled through the futility digest, and the protocol must fall back to
+full snapshots the moment a reader laps.
+"""
+
+import random
+
+import pytest
+
+from repro.core.gordian import GordianConfig, find_keys
+from repro.core.nonkey_finder import NonKeyFinder, PruningConfig
+from repro.core.prefix_tree import build_prefix_tree
+from repro.parallel.backend import InlineSearchExecutor
+from repro.parallel.futility import FutilityDigest
+from repro.parallel.search import _EWMA_ALPHA, ParallelNonKeyFinder, SliceTask
+from repro.robustness.budget import RunBudget
+
+
+def _random_rows(seed, n, widths):
+    rng = random.Random(seed)
+    rows, seen = [], set()
+    while len(rows) < n:
+        row = tuple(rng.randrange(w) for w in widths)
+        if row not in seen:
+            seen.add(row)
+            rows.append(row)
+    return rows
+
+
+ROWS = _random_rows(3, 120, (4, 4, 4, 120))
+WIDE_ROWS = _random_rows(5, 90, (6, 5, 4, 3, 3, 90))
+
+
+def _payload(rows, width, futility=None):
+    return {
+        "rows": ("inline", rows),
+        "num_attributes": width,
+        "pruning": PruningConfig(),
+        "merge_cache_entries": 0,
+        "futility": futility,
+    }
+
+
+def _finder(rows=ROWS, width=4, futility=None, **kw):
+    tree = build_prefix_tree(rows, width)
+    executor = InlineSearchExecutor(_payload(rows, width, futility))
+    return ParallelNonKeyFinder(tree, executor=executor, **kw)
+
+
+def _serial_masks(rows, width):
+    return NonKeyFinder(build_prefix_tree(rows, width)).run().sorted_masks()
+
+
+def _digest_or_skip(num_attributes, **kwargs):
+    digest = FutilityDigest.create(num_attributes, **kwargs)
+    if digest is None:
+        pytest.skip("shared memory unavailable on this platform")
+    return digest
+
+
+class TestAdaptiveController:
+    """Unit math of `_observe_packet`: EWMA tracking plus both clamps."""
+
+    def test_no_target_never_retargets(self):
+        finder = _finder()  # target_packet_ms omitted: controller off
+        opening = finder._packet_weight
+        finder._observe_packet(5.0, 10)
+        assert finder._packet_weight == opening
+        # The wall-time gauges still record — observability is independent
+        # of whether the controller is steering.
+        assert finder._wall_count == 1
+
+    def test_first_observation_seeds_ewma_and_retargets(self):
+        finder = _finder(target_packet_ms=100.0)
+        finder._observe_packet(0.01, 10)  # 1 ms per unit weight
+        assert finder._unit_cost_ewma == pytest.approx(0.001)
+        assert finder._packet_weight == min(100, finder._weight_cap)
+
+    def test_second_observation_blends_with_alpha(self):
+        finder = _finder(target_packet_ms=100.0)
+        finder._observe_packet(0.01, 10)
+        finder._observe_packet(0.2, 10)  # cost jumped to 20 ms per unit
+        expected = 0.001 + _EWMA_ALPHA * (0.02 - 0.001)
+        assert finder._unit_cost_ewma == pytest.approx(expected)
+        desired = int(0.1 / expected)
+        assert finder._packet_weight == max(1, min(desired, finder._weight_cap))
+
+    def test_floor_clamp_keeps_whole_slice_packets(self):
+        finder = _finder(target_packet_ms=1.0)
+        finder._observe_packet(50.0, 1)  # pathologically slow unit
+        assert finder._packet_weight == 1
+
+    def test_ceiling_clamp_keeps_one_packet_per_worker(self):
+        finder = _finder(target_packet_ms=60_000.0)
+        finder._observe_packet(1e-9, 1000)  # pathologically fast unit
+        assert finder._packet_weight == finder._weight_cap
+
+    def test_degenerate_observations_are_ignored(self):
+        finder = _finder(target_packet_ms=100.0)
+        opening = finder._packet_weight
+        finder._observe_packet(0.0, 10)  # no elapsed time recorded
+        finder._observe_packet(1.0, 0)  # budget trip before any slice done
+        assert finder._unit_cost_ewma is None
+        assert finder._packet_weight == opening
+        # Zero elapsed must not pollute the min gauge either.
+        assert finder._wall_min == pytest.approx(1.0)
+
+    def test_wall_gauges_track_min_mean_max(self):
+        finder = _finder()
+        for elapsed in (0.4, 0.1, 0.3):
+            finder._observe_packet(elapsed, 5)
+        assert finder._wall_min == pytest.approx(0.1)
+        assert finder._wall_max == pytest.approx(0.4)
+        assert finder._wall_sum / finder._wall_count == pytest.approx(0.8 / 3)
+
+
+class _TripOnceBudget:
+    """Budget stub: one throttled worker share, unlimited afterwards.
+
+    Deterministically forces exactly one mid-packet budget trip without
+    ever tripping the parent, so the resume path (trim ``packet[:done]``,
+    resubmit, keep observing the controller) is exercised on every run.
+    """
+
+    def __init__(self):
+        self.shares_served = 0
+        self.visits_charged = 0
+
+    def derive_share(self, fraction):
+        self.shares_served += 1
+        if self.shares_served == 1:
+            return RunBudget(max_node_visits=1)
+        return None
+
+    def on_visits(self, count):
+        self.visits_charged += count
+
+    def on_visit(self):
+        self.visits_charged += 1
+
+
+class TestAdaptiveEndToEnd:
+    def test_retargeting_matches_serial(self):
+        # A 1 µs target drives the weight to the floor almost immediately:
+        # maximum packet churn, maximum retargeting — identical answer.
+        finder = _finder(target_packet_ms=0.001)
+        masks = finder.run().sorted_masks()
+        assert masks == _serial_masks(ROWS, 4)
+        stats = finder.stats
+        assert stats.packets_dispatched >= 1
+        assert stats.packet_weight_final == finder._packet_weight
+        assert stats.packet_wall_min_s <= stats.packet_wall_mean_s
+        assert stats.packet_wall_mean_s <= stats.packet_wall_max_s
+
+    def test_retargeting_under_budget_trips_matches_serial(self):
+        budget = _TripOnceBudget()
+        finder = _finder(
+            rows=WIDE_ROWS,
+            width=6,
+            target_packet_ms=0.001,
+            budget=budget,
+            max_inflight=1,
+        )
+        masks = finder.run().sorted_masks()
+        assert masks == _serial_masks(WIDE_ROWS, 6)
+        stats = finder.stats
+        # The one-visit share must have tripped the first packet, and the
+        # resubmission counts as a real dispatch.
+        assert stats.worker_budget_trips >= 1
+        assert stats.packets_dispatched >= 2
+        assert budget.visits_charged > 0
+        assert stats.packet_weight_final >= 1
+
+
+def _slice_packet():
+    return [SliceTask(path=(), level=0, context_mask=0, weight=1)]
+
+
+class TestSnapshotProtocol:
+    """Unit semantics of `_make_packet_args`: kind, counters, truncation."""
+
+    def test_full_snapshot_without_digest(self):
+        finder = _finder()
+        finder.nonkeys.union([0b0011, 0b0101])
+        make_args = finder._make_packet_args(_slice_packet())
+        items, (kind, masks), share = make_args()
+        assert kind == "full"
+        assert sorted(masks) == [0b0011, 0b0101]
+        assert share is None
+        assert finder.stats.snapshots_full == 1
+        assert finder.stats.snapshot_masks_full == 2
+        assert finder.stats.snapshots_delta == 0
+
+    def test_truncation_counts_and_ships_prefix(self):
+        finder = _finder(snapshot_limit=2)
+        finder.nonkeys.union([0b0011, 0b0101, 0b1001])  # 3 incomparable
+        make_args = finder._make_packet_args(_slice_packet())
+        _, (kind, masks), _ = make_args()
+        assert kind == "full"
+        assert len(masks) == 2
+        assert finder.stats.snapshots_truncated == 1
+        make_args()  # every over-limit shipment counts, log fires once
+        assert finder.stats.snapshots_truncated == 2
+
+    def test_delta_ships_only_unseen_masks(self):
+        finder = _finder()
+        finder._digest = object()  # make_args only checks existence
+        finder._delta_confirmed = True
+        finder.nonkeys.union([0b0011, 0b0101, 0b1001])
+        finder._digest_seen = {0b0011, 0b1001}
+        make_args = finder._make_packet_args(_slice_packet())
+        _, (kind, masks), _ = make_args()
+        assert kind == "delta"
+        assert masks == [0b0101]
+        assert finder.stats.snapshots_delta == 1
+        assert finder.stats.snapshot_masks_delta == 1
+        assert finder.stats.snapshots_full == 0
+
+    def test_delta_requires_confirmation_and_no_poison(self):
+        finder = _finder()
+        assert not finder._delta_live()  # no digest at all
+        finder._digest = object()
+        assert not finder._delta_live()  # no lap-free reader confirmed yet
+        finder._delta_confirmed = True
+        assert finder._delta_live()
+        finder._delta_poisoned = True
+        assert not finder._delta_live()  # poison is permanent
+        finder._delta_confirmed = True
+        assert not finder._delta_live()
+
+
+class TestSnapshotProtocolEndToEnd:
+    def test_delta_mode_activates_and_matches_serial(self):
+        digest = _digest_or_skip(6)
+        try:
+            finder = _finder(
+                rows=WIDE_ROWS,
+                width=6,
+                futility=digest.describe(),
+                digest=digest,
+                max_inflight=1,
+            )
+            finder._packet_weight = 1  # many small packets => many shipments
+            masks = finder.run().sorted_masks()
+        finally:
+            digest.close()
+        assert masks == _serial_masks(WIDE_ROWS, 6)
+        stats = finder.stats
+        # The first dispatch precedes any lap-free confirmation, so it is
+        # full; once a worker reports digest_ok the rest ship as deltas.
+        assert stats.snapshots_full >= 1
+        assert stats.snapshots_delta >= 1
+        assert stats.snapshots_full + stats.snapshots_delta == (
+            stats.packets_dispatched
+        )
+
+    def test_lapped_digest_poisons_delta_mode(self):
+        # Four slots with regions=1, pre-loaded with more genuine non-keys
+        # than the ring holds: the worker's first drain laps, digest_ok
+        # comes back False, and every snapshot must ship full — while the
+        # advisory-digest guarantee (published masks are real non-keys and
+        # losing them is sound) keeps the answer bit-identical.
+        serial = _serial_masks(WIDE_ROWS, 6)
+        digest = _digest_or_skip(6, regions=1, slots=4)
+        try:
+            assert len(serial) > 4  # enough traffic to overflow the ring
+            for mask in serial:
+                digest.append(mask)
+            finder = _finder(
+                rows=WIDE_ROWS,
+                width=6,
+                futility=digest.describe(),
+                digest=digest,
+                max_inflight=1,
+            )
+            finder._packet_weight = 1
+            masks = finder.run().sorted_masks()
+        finally:
+            digest.close()
+        assert masks == _serial_masks(WIDE_ROWS, 6)
+        stats = finder.stats
+        assert finder._delta_poisoned
+        assert stats.snapshots_delta == 0
+        assert stats.snapshots_full == stats.packets_dispatched
+
+    def test_truncated_snapshots_still_match_serial(self):
+        finder = _finder(rows=WIDE_ROWS, width=6, snapshot_limit=1)
+        masks = finder.run().sorted_masks()
+        assert masks == _serial_masks(WIDE_ROWS, 6)
+        assert finder.stats.snapshots_truncated > 0
+
+
+class TestAllFeaturesIdentity:
+    def test_pool_run_with_every_feature_enabled_matches_serial(self):
+        rows = _random_rows(11, 300, (7, 6, 5, 4, 300))
+        serial = find_keys(rows, config=GordianConfig())
+        par = find_keys(
+            rows,
+            config=GordianConfig(
+                workers=2,
+                clamp_workers=False,
+                parallel_min_rows=0,
+                parallel_build_min_rows=0,
+                target_packet_ms=5.0,
+                vectorize=True,
+                futility_exchange=True,
+            ),
+        )
+        assert sorted(par.keys) == sorted(serial.keys)
+        assert sorted(par.nonkeys) == sorted(serial.nonkeys)
+        stats = par.stats.search
+        assert stats.packets_dispatched >= 1
+        # Every dispatch ships exactly one snapshot; supervision retries
+        # may re-derive arguments, so shipments can only exceed dispatches.
+        assert stats.snapshots_full + stats.snapshots_delta >= (
+            stats.packets_dispatched
+        )

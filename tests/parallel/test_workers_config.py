@@ -40,6 +40,20 @@ class TestConfigValidation:
         with pytest.raises(ConfigError):
             GordianConfig(parallel_build_min_rows=-5)
 
+    def test_negative_target_packet_ms_rejected(self):
+        with pytest.raises(ConfigError, match="target_packet_ms"):
+            GordianConfig(target_packet_ms=-1.0)
+
+    def test_target_packet_ms_off_values_accepted(self):
+        # None and 0 both mean "keep the static packet-size heuristic".
+        assert GordianConfig(target_packet_ms=None).target_packet_ms is None
+        assert GordianConfig(target_packet_ms=0).target_packet_ms == 0
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, True])
+    def test_invalid_checkpoint_interval_visits_rejected(self, bad):
+        with pytest.raises(ConfigError, match="checkpoint_interval_visits"):
+            GordianConfig(checkpoint_interval_visits=bad)
+
 
 class TestEffectiveWorkers:
     def test_workers_one_is_always_serial(self):
@@ -81,6 +95,47 @@ class TestCliWorkers:
     def test_non_positive_workers_exit_config(self, employees_csv, bad):
         assert main(
             ["keys", str(employees_csv), "--workers", bad]
+        ) == EXIT_CONFIG
+
+    def test_target_packet_ms_flag_accepted(self, employees_csv, capsys):
+        assert main(
+            ["keys", str(employees_csv), "--target-packet-ms", "50"]
+        ) == 0
+        assert "3 minimal key(s)" in capsys.readouterr().out
+
+    def test_negative_target_packet_ms_exit_config(self, employees_csv):
+        assert main(
+            ["keys", str(employees_csv), "--target-packet-ms", "-5"]
+        ) == EXIT_CONFIG
+
+    def test_checkpoint_interval_visits_flag(self, employees_csv, tmp_path):
+        assert main(
+            [
+                "keys",
+                str(employees_csv),
+                "--checkpoint-dir",
+                str(tmp_path / "ck"),
+                "--checkpoint-interval-visits",
+                "1",
+                # A huge time interval isolates the visits cadence: any
+                # checkpoint past the first owes its existence to it.
+                "--checkpoint-interval",
+                "100000",
+            ]
+        ) == 0
+
+    def test_invalid_checkpoint_interval_visits_exit_config(
+        self, employees_csv, tmp_path
+    ):
+        assert main(
+            [
+                "keys",
+                str(employees_csv),
+                "--checkpoint-dir",
+                str(tmp_path / "ck"),
+                "--checkpoint-interval-visits",
+                "0",
+            ]
         ) == EXIT_CONFIG
 
 

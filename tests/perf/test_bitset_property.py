@@ -131,6 +131,82 @@ def test_from_antichain_matches_incremental_inserts(scenario):
             assert loaded.is_covered(query) == grown.is_covered(query)
 
 
+@needs_numpy
+@given(antichain_scenarios())
+@SETTINGS
+def test_covered_flags_matches_python_reference(scenario):
+    """The batched cover scan answers exactly like per-mask scans over the
+    full store, for one-word and multi-word schemas alike."""
+    from repro.perf.bitset import PackedAntichain
+
+    width, inserts, queries = scenario
+    full = (1 << width) - 1
+    packed = PackedAntichain(width, capacity=1)
+    reference = PyAntichain(width)
+    from bisect import bisect_right
+
+    comp_sizes = []
+    for nonkey in inserts:
+        inverse = full & ~nonkey
+        size = bin(inverse).count("1")
+        cut = bisect_right(comp_sizes, size)
+        if reference.any_covering(nonkey, cut):
+            continue
+        evict = reference.covered_indices(inverse, cut)
+        for index in reversed(evict):
+            del comp_sizes[index]
+        packed.delete(evict)
+        reference.delete(evict)
+        packed.insert(cut, nonkey, inverse)
+        reference.insert(cut, nonkey, inverse)
+        comp_sizes.insert(cut, size)
+    assert packed.covered_flags([]) == []
+    assert packed.covered_flags(queries) == reference.covered_flags(queries)
+
+
+@given(antichain_scenarios())
+@SETTINGS
+def test_union_identical_across_scan_modes(scenario):
+    """``NonKeySet.union`` — including the batched kernel prefilter, which
+    arms once both the batch and the store reach 16 masks — must produce
+    the same accepted count, stored antichain, and ``insert_attempts``
+    bookkeeping as the pure per-insert path."""
+    width, inserts, queries = scenario
+    seeds, batch = inserts[: len(inserts) // 2], inserts
+    outcomes = set()
+    for mode in (None, True, False):
+        merged = NonKeySet(width, vectorize=mode)
+        for nonkey in seeds:
+            merged.insert(nonkey)
+        accepted = merged.union(batch)
+        outcomes.add((accepted, tuple(merged.masks()), merged.insert_attempts))
+    assert len(outcomes) == 1
+
+
+@needs_numpy
+def test_union_prefilter_batch_is_exact():
+    """Deterministic wide-schema case sized to force the batched prefilter
+    (both sides >= 16): covered masks are dropped with their attempts
+    charged, survivors insert normally, and all scan modes agree."""
+    width = 80
+    full = (1 << width) - 1
+    # 20 pairwise-incomparable stored masks: full minus one distinct bit.
+    stored = [full & ~(1 << i) for i in range(20)]
+    # 20 covered masks (drop two bits) + 4 incomparable newcomers.
+    batch = [full & ~((1 << i) | (1 << 40)) for i in range(20)]
+    batch += [full & ~(1 << i) for i in range(60, 64)]
+    results = set()
+    for mode in (None, True, False):
+        merged = NonKeySet.from_antichain(width, stored, vectorize=mode)
+        accepted = merged.union(batch)
+        results.add((accepted, tuple(merged.masks()), merged.insert_attempts))
+    assert len(results) == 1
+    accepted, masks, attempts = results.pop()
+    assert accepted == 4
+    assert len(masks) == 24
+    assert attempts == len(batch)
+
+
 @given(st.integers(min_value=1, max_value=200), st.data())
 @SETTINGS
 def test_word_round_trip(width, data):
