@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Out-of-core scale benchmark entry point.
+
+Generates a dbgen-style lineitem CSV, runs the in-memory pipeline
+(uncapped and under an ``RLIMIT_AS`` cap) and the out-of-core pipeline
+(under the same cap) in isolated subprocesses, and writes
+``BENCH_scale.json`` at the repo root.  See
+:mod:`repro.experiments.scale` for the roles and the document layout.
+
+Usage:
+
+    python scripts/bench_scale.py                 # defaults, write JSON
+    python scripts/bench_scale.py --scale 8 --cap-mb 410
+    python scripts/bench_scale.py --check         # gate: identical must hold
+
+``--check`` exits nonzero unless the committed (or freshly produced)
+document has ``identical: true`` — the only field CI gates on; timings
+and RSS are recorded for humans.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.scale import run_scale_bench  # noqa: E402
+
+DEFAULT_OUT = REPO_ROOT / "BENCH_scale.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=8.0)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--cap-mb", type=int, default=410)
+    parser.add_argument("--chunk-rows", type=int, default=8192)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument("--timeout", type=float, default=900.0)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="verify an existing document instead of overwriting it",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check and args.out.exists():
+        document = json.loads(args.out.read_text())
+    else:
+        document = run_scale_bench(
+            scale=args.scale,
+            seed=args.seed,
+            cap_mb=args.cap_mb,
+            chunk_rows=args.chunk_rows,
+            out_path=None if args.check else args.out,
+            timeout=args.timeout,
+        )
+
+    runs = document["runs"]
+    print(f"dataset: {document['dataset']['rows']} rows x "
+          f"{document['dataset']['columns']} cols, "
+          f"{document['dataset']['csv_bytes']} CSV bytes")
+    print(f"cap: {document['cap_mb']} MiB (RLIMIT_AS)")
+    for name, run in runs.items():
+        if run.get("oom"):
+            print(f"  {name}: OOM (expected for the capped in-memory role)")
+        else:
+            print(f"  {name}: build {run.get('build_seconds'):.3f}s, "
+                  f"peak rss {run.get('peak_rss_kb')} KiB")
+    print(f"identical: {document['identical']}")
+    print(f"inmem_capped_oom: {document['inmem_capped_oom']}")
+    print("capped/uncapped build throughput: "
+          f"{document['capped_build_throughput_vs_uncapped']}")
+
+    if not document["identical"]:
+        print("FAIL: out-of-core answer differs from in-memory reference",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

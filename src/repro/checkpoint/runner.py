@@ -52,7 +52,7 @@ from repro.core.gordian import (
 from repro.core.key_conversion import keys_from_nonkey_masks
 from repro.core.nonkey_set import NonKeySet
 from repro.core.prefix_tree import PrefixTree
-from repro.core.stats import RunStats
+from repro.core.stats import RunStats, measure_peak_rss_kb
 from repro.errors import (
     BudgetExceededError,
     CheckpointMismatchError,
@@ -321,15 +321,10 @@ def find_keys_checkpointed(
                 )
                 thaw_into_tree(state["tree"], tree, len(rows))
             elif pctx is not None:
-                # The sharded build runs as one opaque supervised step; it
-                # is fast (and internally fault-tolerant), so checkpoints
-                # bracket it rather than divide it — a mid-build generation
-                # written by a serial session is ignored here and the
-                # shards rebuild from the rows.
                 run.stop_if_requested(
                     lambda: run.build_payload(0, _empty_tree(run))
                 )
-                tree = pctx.build_tree(stats=stats.tree, budget=meter)
+                tree = _build_sharded_checkpointed(run, pctx, state, meter)
             else:
                 tree = _build_serial_checkpointed(
                     run, permuted, state, config, meter
@@ -337,6 +332,7 @@ def find_keys_checkpointed(
         except NoKeysExistError:
             settle_build()
             stats.completed_phases.append("build")
+            stats.peak_rss_kb = measure_peak_rss_kb()
             if meter is not None:
                 stats.budget = meter.snapshot()
             manager.clear()
@@ -484,6 +480,7 @@ def find_keys_checkpointed(
     key_masks = keys_from_nonkey_masks(nonkey_set.masks(), num_attributes)
     stats.convert_seconds = time.perf_counter() - convert_start
     stats.completed_phases.append("convert")
+    stats.peak_rss_kb = measure_peak_rss_kb()
     if meter is not None:
         stats.budget = meter.snapshot()
 
@@ -513,6 +510,72 @@ def find_keys_checkpointed(
 def _empty_tree(run: _CheckpointedRun) -> PrefixTree:
     """Zero-row stand-in for a build-phase stop before any row landed."""
     return PrefixTree(run.num_attributes)
+
+
+def _build_sharded_checkpointed(
+    run: _CheckpointedRun,
+    pctx,
+    state: Optional[dict],
+    meter: Optional[BudgetMeter],
+) -> PrefixTree:
+    """Sharded build with per-shard frozen-tree checkpoints.
+
+    Each completed shard's frozen bytes land in a ``"build-shards"``
+    generation as they arrive, so a mid-build crash resumes from the last
+    frozen shard instead of rebuilding the whole phase.  Resume only
+    trusts a checkpoint whose shard plan matches this run's exactly — a
+    different worker count re-plans the shards, and partial trees over
+    different row ranges cannot be mixed (the merge reduction's
+    correctness rests on contiguous, ordered shards).  The merge
+    reduction itself is not checkpointed: it is cheap relative to the
+    shard builds, and a crash there replays only merges.
+    """
+    from repro.parallel.shard import plan_shards
+
+    bounds = plan_shards(run.num_rows, pctx.workers)
+    plan = [list(bound) for bound in bounds]
+    completed: dict = {}
+    if (
+        state is not None
+        and state.get("phase") == "build-shards"
+        and state.get("shard_bounds") == plan
+    ):
+        completed = {
+            int(index): value
+            for index, value in (state.get("shards") or {}).items()
+            if isinstance(value, (bytes, bytearray))
+        }
+    shards = dict(completed)
+    phase_start = time.perf_counter()
+
+    def payload() -> dict:
+        run.stats.build_seconds = run.prior_build_seconds + (
+            time.perf_counter() - phase_start
+        )
+        data = run._base_payload("build-shards")
+        data["shard_bounds"] = plan
+        data["shards"] = dict(shards)
+        data["build_seconds"] = run.stats.build_seconds
+        return data
+
+    def on_shard_done(index: int, frozen) -> None:
+        if not isinstance(frozen, (bytes, bytearray)):
+            # Spill-mode builds pass file paths; their durability is the
+            # spill file itself, not checkpoint payload bytes.
+            return
+        shards[index] = frozen
+        run.stop_if_requested(payload)
+        # Build-shards progress for the cadence: shards completed (due()
+        # treats the smaller search-phase restart as a phase change).
+        if run.manager.due(len(shards)):
+            run.write(payload(), required=False)
+
+    return pctx.build_tree(
+        stats=run.stats.tree,
+        budget=meter,
+        completed_shards=completed,
+        on_shard_done=on_shard_done,
+    )
 
 
 def _build_serial_checkpointed(

@@ -172,6 +172,24 @@ def build_parser() -> argparse.ArgumentParser:
                            "--checkpoint-dir (fresh start when none exists); "
                            "fails loudly if the CSV or result-affecting "
                            "configuration changed")
+    ooc = keys.add_argument_group("out-of-core execution")
+    ooc.add_argument("--out-of-core", action="store_true",
+                     help="stream the CSV to an on-disk columnar chunk store "
+                          "and build from chunks instead of materializing "
+                          "the table in memory; results are identical to "
+                          "the in-memory path")
+    ooc.add_argument("--chunk-dir", type=Path, default=None, metavar="DIR",
+                     help="directory for the chunk store (default: a "
+                          "temporary directory removed after the run; an "
+                          "explicit DIR is kept)")
+    ooc.add_argument("--chunk-rows", type=int, default=8192, metavar="N",
+                     help="rows per columnar chunk file (default: 8192)")
+    ooc.add_argument("--spill-dir", type=Path, default=None, metavar="DIR",
+                     help="with --workers > 1: spill frozen shard trees "
+                          "here during the merge reduction instead of "
+                          "holding them in memory (default: a 'spill' "
+                          "subdirectory of the chunk store, removed after "
+                          "the run)")
 
     profile = sub.add_parser("profile", help="per-column statistics")
     profile.add_argument("csv", type=Path)
@@ -299,25 +317,8 @@ def _cmd_keys_checkpointed(args, table, config, budget) -> int:
     return 0
 
 
-def _cmd_keys(args) -> int:
-    if args.checkpoint_dir is None:
-        for flag, value in (("--resume", args.resume),
-                            ("--on-budget checkpoint",
-                             args.on_budget == "checkpoint")):
-            if value:
-                print(f"error: {flag} requires --checkpoint-dir",
-                      file=sys.stderr)
-                return EXIT_USAGE
-    elif args.sample_fraction is not None or args.sample_size is not None:
-        print(
-            "error: --checkpoint-dir cannot be combined with sampling flags "
-            "(--sample-fraction/--sample-size): approximate runs are cheap "
-            "to restart",
-            file=sys.stderr,
-        )
-        return EXIT_USAGE
-    table = load_csv_with_retry(args.csv)
-    config = GordianConfig(
+def _config_from_args(args) -> GordianConfig:
+    return GordianConfig(
         null_policy=args.null_policy,
         encode=args.encode,
         merge_cache=args.merge_cache,
@@ -335,6 +336,93 @@ def _cmd_keys(args) -> int:
         checkpoint_interval_visits=args.checkpoint_interval_visits,
         checkpoint_keep=args.checkpoint_keep,
     )
+
+
+def _cmd_keys_out_of_core(args) -> int:
+    """``keys --out-of-core``: chunk-store ingest, memory-bounded build.
+
+    The table is never materialized: the CSV streams into an on-disk
+    columnar chunk store and the build consumes chunks.  Routed before
+    ``load_csv`` on purpose — loading would defeat the point.
+    """
+    import shutil
+    import tempfile
+
+    for flag, value in (
+        ("--sample-fraction", args.sample_fraction is not None),
+        ("--sample-size", args.sample_size is not None),
+        ("--checkpoint-dir", args.checkpoint_dir is not None),
+        ("--resume", args.resume),
+    ):
+        if value:
+            print(f"error: --out-of-core cannot be combined with {flag}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+    budget = _budget_from_args(args)
+    if budget is not None and args.on_budget != "fail":
+        print(
+            "error: --out-of-core budget runs fail fast; pass "
+            "--on-budget fail to acknowledge (sampling degradation needs "
+            "the in-memory table)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    if args.null_policy != "equal":
+        print(
+            "error: --out-of-core supports only --null-policy equal "
+            "(the chunk encoding folds nulls into the dictionary)",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+
+    from repro.oocore import find_keys_out_of_core, ingest_csv
+
+    config = _config_from_args(args)
+    chunk_dir = args.chunk_dir
+    cleanup_chunks = chunk_dir is None
+    if chunk_dir is None:
+        chunk_dir = Path(tempfile.mkdtemp(prefix="gordian-chunks-"))
+    try:
+        store = ingest_csv(args.csv, chunk_dir, chunk_rows=args.chunk_rows)
+        result = find_keys_out_of_core(
+            store, config=config, budget=budget, spill_dir=args.spill_dir
+        )
+    finally:
+        if cleanup_chunks:
+            shutil.rmtree(chunk_dir, ignore_errors=True)
+    _print_keys_result(result, args)
+    return 0
+
+
+def _cmd_keys(args) -> int:
+    if args.out_of_core:
+        return _cmd_keys_out_of_core(args)
+    for flag, value in (
+        ("--chunk-dir", args.chunk_dir is not None),
+        ("--chunk-rows", args.chunk_rows != 8192),
+        ("--spill-dir", args.spill_dir is not None),
+    ):
+        if value:
+            print(f"error: {flag} requires --out-of-core", file=sys.stderr)
+            return EXIT_USAGE
+    if args.checkpoint_dir is None:
+        for flag, value in (("--resume", args.resume),
+                            ("--on-budget checkpoint",
+                             args.on_budget == "checkpoint")):
+            if value:
+                print(f"error: {flag} requires --checkpoint-dir",
+                      file=sys.stderr)
+                return EXIT_USAGE
+    elif args.sample_fraction is not None or args.sample_size is not None:
+        print(
+            "error: --checkpoint-dir cannot be combined with sampling flags "
+            "(--sample-fraction/--sample-size): approximate runs are cheap "
+            "to restart",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    table = load_csv_with_retry(args.csv)
+    config = _config_from_args(args)
     if args.checkpoint_dir is not None:
         return _cmd_keys_checkpointed(
             args, table, config, _budget_from_args(args)

@@ -35,7 +35,7 @@ from repro.core import bitset
 from repro.core.key_conversion import keys_from_nonkey_masks
 from repro.core.nonkey_finder import NonKeyFinder, PruningConfig
 from repro.core.prefix_tree import build_prefix_tree
-from repro.core.stats import RunStats
+from repro.core.stats import RunStats, measure_peak_rss_kb
 from repro.errors import (
     BudgetExceededError,
     ConfigError,
@@ -352,7 +352,9 @@ def _order_attributes(
     caller already knows the distinct counts (the dictionary encoder's
     decode tables are exactly that).
     """
-    if order is AttributeOrder.SCHEMA or not rows:
+    # The out-of-core path passes rows=() with manifest cardinalities, so an
+    # empty row sequence only short-circuits when there is nothing to sort by.
+    if order is AttributeOrder.SCHEMA or (not rows and cardinalities is None):
         return list(range(num_attributes))
     if cardinalities is None:
         cardinalities = [len({row[a] for row in rows}) for a in range(num_attributes)]
@@ -411,6 +413,7 @@ def _abort(
     place; a ``KeyboardInterrupt`` is wrapped into one (budgeted runs only —
     plain :func:`find_keys` lets Ctrl-C propagate untouched).
     """
+    stats.peak_rss_kb = measure_peak_rss_kb()
     if meter is not None:
         stats.budget = meter.snapshot()
     if isinstance(exc, BudgetExceededError):
@@ -560,6 +563,7 @@ def _run_pipeline(
         except NoKeysExistError:
             stats.build_seconds = time.perf_counter() - build_start
             stats.completed_phases.append("build")
+            stats.peak_rss_kb = measure_peak_rss_kb()
             if meter is not None:
                 stats.budget = meter.snapshot()
             return GordianResult(
@@ -578,6 +582,7 @@ def _run_pipeline(
             raise _abort(exc, phase="build", meter=meter, stats=stats)
         except WorkerFailureError as exc:
             stats.build_seconds = time.perf_counter() - build_start
+            stats.peak_rss_kb = measure_peak_rss_kb()
             if meter is not None:
                 stats.budget = meter.snapshot()
             exc.phase = "build"
@@ -612,6 +617,7 @@ def _run_pipeline(
             # completed tasks discovered (each mask is a genuine non-key)
             # and let the caller degrade.
             stats.search_seconds = time.perf_counter() - search_start
+            stats.peak_rss_kb = measure_peak_rss_kb()
             if meter is not None:
                 stats.budget = meter.snapshot()
             exc.phase = "search"
@@ -647,6 +653,7 @@ def _run_pipeline(
     key_masks = keys_from_nonkey_masks(nonkey_set.masks(), num_attributes)
     stats.convert_seconds = time.perf_counter() - convert_start
     stats.completed_phases.append("convert")
+    stats.peak_rss_kb = measure_peak_rss_kb()
     if meter is not None:
         stats.budget = meter.snapshot()
 

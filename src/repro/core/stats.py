@@ -266,6 +266,12 @@ class RunStats:
     convert_seconds: float = 0.0
     budget: Optional[Dict[str, object]] = None
     completed_phases: list = field(default_factory=list)
+    #: Process-wide peak resident set size in KiB at the end of the run,
+    #: from ``resource.getrusage`` (``None`` where the module is missing).
+    #: A gauge, not a counter: it measures the whole process since start,
+    #: so it backs the BENCH memory-bound claims rather than per-phase
+    #: attribution.
+    peak_rss_kb: Optional[int] = None
 
     @property
     def total_seconds(self) -> float:
@@ -281,4 +287,22 @@ class RunStats:
             "total_seconds": self.total_seconds,
             "budget": self.budget,
             "completed_phases": list(self.completed_phases),
+            "peak_rss_kb": self.peak_rss_kb,
         }
+
+
+def measure_peak_rss_kb() -> Optional[int]:
+    """Current process's peak RSS in KiB, or ``None`` if unmeasurable.
+
+    ``ru_maxrss`` is kibibytes on Linux but bytes on macOS; both are
+    normalized to KiB here so BENCH files compare across platforms.
+    """
+    try:
+        import resource
+        import sys
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return None
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - measured on Linux CI
+        peak //= 1024
+    return int(peak)

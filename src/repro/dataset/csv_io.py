@@ -13,11 +13,12 @@ OS-level I/O failures with exponential backoff.
 
 from __future__ import annotations
 
+import contextlib
 import csv
 import io
 import time
 from pathlib import Path
-from typing import Callable, List, Optional, Sequence, Union
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.dataset.schema import Schema
 from repro.dataset.table import Table
@@ -29,6 +30,7 @@ __all__ = [
     "load_csv",
     "load_csv_with_retry",
     "loads_csv",
+    "stream_csv",
     "save_csv",
     "dumps_csv",
     "infer_value",
@@ -64,9 +66,17 @@ def _encoded(table: Table) -> Table:
     return encoded
 
 
-def _read(
+def _parse_stream(
     reader, name: str, header: bool, schema: Optional[Sequence[str]], infer: bool
-) -> Table:
+) -> Tuple[List[str], Iterator[tuple]]:
+    """Column names plus a lazy row iterator over ``reader``.
+
+    The shared parsing core behind :func:`load_csv` (which materializes a
+    :class:`Table`) and :func:`stream_csv` (which does not): header
+    handling, type inference, ragged-row detection, and the translation of
+    low-level csv/unicode errors into :class:`~repro.errors.DataError`
+    happen once, here, so the two paths cannot drift.
+    """
     rows_iter = iter(reader)
 
     def next_row(where: str):
@@ -90,26 +100,61 @@ def _read(
         names = list(schema)
     else:
         raise DataError("either a header row or an explicit schema is required")
-    parsed = []
-    rowno = 1 if header else 0
-    while True:
-        try:
-            raw = next_row(f"row {rowno + 1}")
-        except StopIteration:
-            break
-        rowno += 1
-        faults.check("csv.read")
-        if not raw:
-            continue
-        if len(raw) != len(names):
-            raise DataError(
-                f"CSV {name!r}: row {rowno} has {len(raw)} fields, "
-                f"expected {len(names)}"
-            )
-        parsed.append(
-            tuple(infer_value(field) if infer else field for field in raw)
-        )
-    return Table(Schema(names), parsed, name=name)
+
+    def generate() -> Iterator[tuple]:
+        rowno = 1 if header else 0
+        while True:
+            try:
+                raw = next_row(f"row {rowno + 1}")
+            except StopIteration:
+                break
+            rowno += 1
+            faults.check("csv.read")
+            if not raw:
+                continue
+            if len(raw) != len(names):
+                raise DataError(
+                    f"CSV {name!r}: row {rowno} has {len(raw)} fields, "
+                    f"expected {len(names)}"
+                )
+            yield tuple(infer_value(field) if infer else field for field in raw)
+
+    return names, generate()
+
+
+def _read(
+    reader, name: str, header: bool, schema: Optional[Sequence[str]], infer: bool
+) -> Table:
+    names, rows = _parse_stream(reader, name, header, schema, infer)
+    return Table(Schema(names), list(rows), name=name)
+
+
+@contextlib.contextmanager
+def stream_csv(
+    path: Union[str, Path],
+    header: bool = True,
+    schema: Optional[Sequence[str]] = None,
+    infer: bool = True,
+    delimiter: str = ",",
+    encoding: str = "utf-8-sig",
+):
+    """Context manager yielding ``(names, row_iterator)`` without
+    materializing the file.
+
+    The out-of-core ingest path: rows are parsed (and type-inferred)
+    exactly as :func:`load_csv` parses them — same helper, same error
+    messages — but one at a time, so peak memory is one row regardless of
+    file size.  The iterator is only valid inside the ``with`` block.
+    """
+    path = Path(path)
+    faults.check("csv.open")
+    try:
+        handle = path.open(newline="", encoding=encoding)
+    except OSError as exc:
+        raise DataError(f"cannot read CSV {str(path)!r}: {exc}") from exc
+    with handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        yield _parse_stream(reader, path.stem, header, schema, infer)
 
 
 def load_csv(

@@ -98,6 +98,17 @@ class CheckpointCorruptError(CheckpointError):
     """
 
 
+class ChunkCorruptError(DataError):
+    """An out-of-core chunk or spill file fails its framing or CRC check.
+
+    Subclasses :class:`DataError` for the same reason
+    :class:`CheckpointError` does: a torn or bit-flipped chunk is a data
+    integrity problem, and silently building a tree from it would produce
+    wrong keys.  Raised by :mod:`repro.oocore.chunks` and
+    :mod:`repro.oocore.spill` on any framing inconsistency.
+    """
+
+
 class CheckpointMismatchError(CheckpointError):
     """A checkpoint does not belong to this run.
 

@@ -1,0 +1,341 @@
+"""Out-of-core scale experiment: capped-memory runs on dbgen lineitem.
+
+Measures the claim the out-of-core pipeline exists to make: **under a
+hard address-space cap the in-memory path dies, the out-of-core path
+completes — with bit-identical keys and non-keys, at comparable build
+throughput**.  Three roles run in fresh subprocesses (a cap must bound a
+whole process, and one process's peak RSS must not pollute another's):
+
+* ``inmem-uncapped`` — ``load_csv`` + ``find_keys``; the reference
+  answer and the throughput baseline.
+* ``inmem-capped`` — same pipeline under ``RLIMIT_AS``; expected to die
+  of ``MemoryError`` (reported as ``oom: true``, never a traceback).
+* ``oocore-capped`` — streaming ingest to a chunk store plus
+  :func:`~repro.oocore.build.find_keys_out_of_core` under the *same*
+  cap; expected to complete.
+
+The parent (:func:`run_scale_bench`, CLI: ``scripts/bench_scale.py``)
+writes the dataset once, fans out the roles, and composes
+``BENCH_scale.json``.  CI gates only the deterministic ``identical``
+flag; the RSS and throughput figures are honest measurements from the
+benchmark machine, recorded for humans (wall clocks and RSS vary across
+runners and would flake a gate).
+
+Each role prints exactly one JSON object on stdout — the subprocess
+protocol is parse-stdout, treat any failure to parse (or a nonzero exit)
+as that role dying, which under a cap is the expected outcome, not an
+error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+__all__ = ["run_role", "run_scale_bench", "main"]
+
+#: Bytes per MiB, for the RLIMIT_AS arithmetic.
+_MIB = 1024 * 1024
+
+
+def _set_address_space_cap(cap_mb: int) -> None:
+    """Cap this process's virtual address space at ``cap_mb`` MiB.
+
+    Called *after* imports: interpreter + library startup costs the same
+    virtual space in every role, so capping only the data phases is what
+    makes the in-memory vs out-of-core comparison fair.
+    """
+    import resource
+
+    cap = cap_mb * _MIB
+    soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+    if hard != resource.RLIM_INFINITY:
+        cap = min(cap, hard)
+    resource.setrlimit(resource.RLIMIT_AS, (cap, hard))
+
+
+def _warm_libraries() -> None:
+    """Import the pipeline and touch numpy's BLAS before capping.
+
+    OpenBLAS lazily mmaps a large buffer pool on first use; under an
+    already-applied ``RLIMIT_AS`` that reservation fails and OpenBLAS
+    *aborts the process* instead of raising ``MemoryError``.  Warming it
+    (and the pipeline imports) first keeps the capped phase to pure data
+    allocations, which fail as catchable ``MemoryError``.  Both roles
+    warm identically, so the comparison stays fair.
+    """
+    import repro.core.gordian  # noqa: F401
+    import repro.dataset.csv_io  # noqa: F401
+    import repro.oocore  # noqa: F401
+
+    try:
+        import numpy
+
+        numpy.dot(numpy.ones(4), numpy.ones(4))
+    except ImportError:  # pragma: no cover - numpy is an optional speedup
+        pass
+
+
+def _masks(sets: List[Tuple[int, ...]]) -> List[List[int]]:
+    return [list(attrs) for attrs in sets]
+
+
+def run_role(
+    role: str,
+    csv_path: Path,
+    cap_mb: Optional[int],
+    chunk_dir: Optional[Path],
+    chunk_rows: int,
+) -> dict:
+    """Execute one benchmark role in *this* process; returns its report.
+
+    Exposed for the ``--child`` entry point; the parent always runs roles
+    through subprocesses so caps and RSS measurements stay isolated.
+    """
+    from repro.core.stats import measure_peak_rss_kb
+
+    if cap_mb is not None:
+        _warm_libraries()
+        _set_address_space_cap(cap_mb)
+    report = {"role": role, "oom": False, "cap_mb": cap_mb}
+    started = time.perf_counter()
+    try:
+        if role == "inmem":
+            from repro.core.gordian import find_keys
+            from repro.dataset.csv_io import load_csv
+
+            table = load_csv(csv_path)
+            load_seconds = time.perf_counter() - started
+            result = find_keys(
+                table.rows, attribute_names=list(table.schema.names)
+            )
+            report["ingest_seconds"] = load_seconds
+        elif role == "oocore":
+            from repro.oocore import find_keys_out_of_core, ingest_csv
+
+            store = ingest_csv(csv_path, chunk_dir, chunk_rows=chunk_rows)
+            report["ingest_seconds"] = time.perf_counter() - started
+            result = find_keys_out_of_core(store)
+        else:
+            raise ValueError(f"unknown role {role!r}")
+    except MemoryError:
+        report["oom"] = True
+        report["peak_rss_kb"] = measure_peak_rss_kb()
+        return report
+    report["total_seconds"] = time.perf_counter() - started
+    report["rows"] = result.num_entities
+    report["keys"] = _masks(result.keys)
+    report["nonkeys"] = _masks(result.nonkeys)
+    report["build_seconds"] = result.stats.build_seconds
+    report["search_seconds"] = result.stats.search_seconds
+    report["peak_rss_kb"] = result.stats.peak_rss_kb
+    return report
+
+
+def _spawn_role(
+    role: str,
+    csv_path: Path,
+    cap_mb: Optional[int],
+    chunk_dir: Optional[Path],
+    chunk_rows: int,
+    timeout: float,
+) -> dict:
+    """Run a role in a subprocess; a dead or unparseable child is an OOM.
+
+    Under ``RLIMIT_AS`` a Python process may raise a clean
+    ``MemoryError`` (reported by the child itself) or die uglier —
+    aborted allocator, failed fork, interpreter teardown error.  All of
+    those count as "did not survive the cap".
+    """
+    command = [
+        sys.executable, "-m", "repro.experiments.scale",
+        "--child", "--role", role, "--csv", str(csv_path),
+        "--chunk-rows", str(chunk_rows),
+    ]
+    if cap_mb is not None:
+        command += ["--cap-mb", str(cap_mb)]
+    if chunk_dir is not None:
+        command += ["--chunk-dir", str(chunk_dir)]
+    # The parent may run from a source checkout whose ``src`` is on
+    # sys.path but not in the environment; children must see it too.
+    env = dict(os.environ)
+    package_root = str(Path(__file__).resolve().parents[2])
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (package_root, env.get("PYTHONPATH")) if p
+    )
+    try:
+        proc = subprocess.run(
+            command, capture_output=True, text=True, timeout=timeout,
+            env=env,
+        )
+    except subprocess.TimeoutExpired:
+        return {"role": role, "oom": True, "cap_mb": cap_mb,
+                "error": "timeout"}
+    for line in reversed(proc.stdout.splitlines()):
+        line = line.strip()
+        if line.startswith("{"):
+            try:
+                return json.loads(line)
+            except ValueError:
+                break
+    return {
+        "role": role,
+        "oom": True,
+        "cap_mb": cap_mb,
+        "error": f"exit {proc.returncode}: {proc.stderr.strip()[-300:]}",
+    }
+
+
+def run_scale_bench(
+    scale: float = 1.0,
+    seed: int = 7,
+    cap_mb: int = 256,
+    chunk_rows: int = 8192,
+    out_path: Optional[Path] = None,
+    work_dir: Optional[Path] = None,
+    timeout: float = 600.0,
+) -> dict:
+    """Generate a dbgen lineitem CSV and run all three roles over it.
+
+    Returns (and optionally writes) the ``BENCH_scale.json`` document.
+    ``identical`` is the headline gate: the capped out-of-core answer
+    must match the uncapped in-memory answer set for set.
+    """
+    from repro.datagen.dbgen import (
+        DbgenSpec,
+        LINEITEM_COLUMNS,
+        LINEITEM_KEY,
+        write_lineitem_csv,
+    )
+
+    spec = DbgenSpec(scale=scale, seed=seed)
+    cleanup = None
+    if work_dir is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="repro-scale-")
+        work_dir = Path(cleanup.name)
+    work_dir = Path(work_dir)
+    work_dir.mkdir(parents=True, exist_ok=True)
+    try:
+        csv_path = work_dir / "lineitem.csv"
+        rows_written = write_lineitem_csv(csv_path, spec)
+        csv_bytes = csv_path.stat().st_size
+
+        uncapped = _spawn_role(
+            "inmem", csv_path, None, None, chunk_rows, timeout
+        )
+        capped = _spawn_role(
+            "inmem", csv_path, cap_mb, None, chunk_rows, timeout
+        )
+        oocore = _spawn_role(
+            "oocore", csv_path, cap_mb, work_dir / "chunks", chunk_rows,
+            timeout,
+        )
+
+        identical = (
+            not oocore.get("oom")
+            and not uncapped.get("oom")
+            and oocore.get("keys") == uncapped.get("keys")
+            and oocore.get("nonkeys") == uncapped.get("nonkeys")
+        )
+        ratio = None
+        if uncapped.get("build_seconds") and oocore.get("build_seconds"):
+            # Throughput ratio: capped out-of-core build vs uncapped
+            # in-memory build over the same rows (>1 = oocore faster).
+            ratio = round(
+                uncapped["build_seconds"] / oocore["build_seconds"], 4
+            )
+
+        document = {
+            "benchmark": "out-of-core dbgen scale",
+            "dataset": {
+                "generator": "repro.datagen.dbgen",
+                "scale": scale,
+                "seed": seed,
+                "rows": rows_written,
+                "columns": len(LINEITEM_COLUMNS),
+                "csv_bytes": csv_bytes,
+                "expected_key_columns": list(LINEITEM_KEY),
+            },
+            "cap_mb": cap_mb,
+            "chunk_rows": chunk_rows,
+            "identical": identical,
+            "inmem_capped_oom": bool(capped.get("oom")),
+            "capped_build_throughput_vs_uncapped": ratio,
+            "runs": {
+                "inmem_uncapped": uncapped,
+                "inmem_capped": capped,
+                "oocore_capped": oocore,
+            },
+        }
+        # The full key/nonkey lists already proved identity; the
+        # committed document keeps only counts and a digest so it stays
+        # compact and diff-stable.
+        import hashlib
+
+        for run in document["runs"].values():
+            for field in ("keys", "nonkeys"):
+                sets = run.pop(field, None)
+                if sets is not None:
+                    blob = json.dumps(sets, separators=(",", ":"))
+                    run[f"num_{field}"] = len(sets)
+                    run[f"{field}_sha256"] = hashlib.sha256(
+                        blob.encode()
+                    ).hexdigest()
+        if out_path is not None:
+            out_path = Path(out_path)
+            out_path.write_text(json.dumps(document, indent=2) + "\n")
+        return document
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="out-of-core scale benchmark (dbgen lineitem)"
+    )
+    parser.add_argument("--child", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument("--role", choices=["inmem", "oocore"])
+    parser.add_argument("--csv", type=Path)
+    parser.add_argument("--cap-mb", type=int, default=None)
+    parser.add_argument("--chunk-dir", type=Path, default=None)
+    parser.add_argument("--chunk-rows", type=int, default=8192)
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", type=Path, default=None)
+    parser.add_argument("--timeout", type=float, default=600.0)
+    args = parser.parse_args(argv)
+
+    if args.child:
+        if args.role is None or args.csv is None:
+            parser.error("--child needs --role and --csv")
+        chunk_dir = args.chunk_dir
+        if args.role == "oocore" and chunk_dir is None:
+            chunk_dir = Path(tempfile.mkdtemp(prefix="repro-chunks-"))
+        report = run_role(
+            args.role, args.csv, args.cap_mb, chunk_dir, args.chunk_rows
+        )
+        print(json.dumps(report))
+        return 0
+
+    document = run_scale_bench(
+        scale=args.scale,
+        seed=args.seed,
+        cap_mb=args.cap_mb if args.cap_mb is not None else 256,
+        chunk_rows=args.chunk_rows,
+        out_path=args.out,
+        timeout=args.timeout,
+    )
+    print(json.dumps(document, indent=2))
+    return 0 if document["identical"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

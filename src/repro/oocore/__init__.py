@@ -1,0 +1,46 @@
+"""Out-of-core ingest and memory-bounded key discovery.
+
+The table never lives in memory: CSV streams through the growable
+dictionary encoder into CRC-framed columnar chunk files
+(:mod:`repro.oocore.chunks`), and discovery consumes chunks — serially
+chunk-by-chunk, or in parallel with frozen shard trees spilled to disk
+(:mod:`repro.oocore.spill`) and thawed pairwise during the merge
+reduction.  Answers are bit-identical to the in-memory pipeline; only
+the peak RSS changes.  See DESIGN.md §12 for the architecture.
+"""
+
+from repro.oocore.build import find_keys_out_of_core
+from repro.oocore.chunks import (
+    Chunk,
+    ChunkRowReader,
+    ChunkStore,
+    decode_chunk,
+    encode_chunk,
+    read_chunk,
+    write_chunk,
+)
+from repro.oocore.ingest import DEFAULT_CHUNK_ROWS, ingest_csv, ingest_rows
+from repro.oocore.spill import (
+    decode_spill,
+    encode_spill,
+    read_spill,
+    write_spill,
+)
+
+__all__ = [
+    "Chunk",
+    "ChunkRowReader",
+    "ChunkStore",
+    "DEFAULT_CHUNK_ROWS",
+    "decode_chunk",
+    "decode_spill",
+    "encode_chunk",
+    "encode_spill",
+    "find_keys_out_of_core",
+    "ingest_csv",
+    "ingest_rows",
+    "read_chunk",
+    "read_spill",
+    "write_chunk",
+    "write_spill",
+]

@@ -1,0 +1,289 @@
+"""Memory-bounded key discovery over a chunk store.
+
+:func:`find_keys_out_of_core` is the out-of-core sibling of
+:func:`repro.core.gordian.find_keys`: same build -> search -> convert
+pipeline, same answers bit for bit, but the table never exists in memory.
+
+* The serial build streams rows chunk-by-chunk straight into
+  :func:`~repro.core.prefix_tree.build_prefix_tree` — peak RSS holds one
+  chunk of codes plus the tree.
+* The parallel build hands workers a :class:`~repro.oocore.chunks.
+  ChunkRowReader` handle instead of a shared-memory copy of the table;
+  each worker reads only the chunks its shard overlaps.  Completed shard
+  trees spill to disk (:mod:`repro.oocore.spill`) and the merge reduction
+  thaws them pairwise, so the parent holds at most two frozen shards.
+
+Why the answers match the in-memory path exactly: the streaming encoder
+assigns the same first-seen codes as the batch encoder, the manifest
+cardinalities equal the batch codec cardinalities, so the stable
+attribute sort picks the same level order, the same code rows reach the
+same tree-building code, and the search runs on a structurally identical
+tree.  Every link in that chain is property-tested in ``tests/oocore``.
+"""
+
+from __future__ import annotations
+
+import shutil
+import time
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.core.gordian import (
+    GordianConfig,
+    GordianResult,
+    _abort,
+    _effective_workers,
+    _order_attributes,
+    _translate_mask,
+    _warn_low_merge_cache_rate,
+)
+from repro.core.key_conversion import keys_from_nonkey_masks
+from repro.core.nonkey_finder import NonKeyFinder
+from repro.core.prefix_tree import build_prefix_tree
+from repro.core.stats import RunStats, measure_peak_rss_kb
+from repro.errors import (
+    BudgetExceededError,
+    ConfigError,
+    NoKeysExistError,
+    WorkerFailureError,
+)
+from repro.oocore.chunks import ChunkRowReader, ChunkStore
+from repro.robustness import BudgetMeter, RunBudget
+
+__all__ = ["find_keys_out_of_core"]
+
+
+def find_keys_out_of_core(
+    store: Union[ChunkStore, str, Path],
+    config: Optional[GordianConfig] = None,
+    budget: Union[RunBudget, BudgetMeter, None] = None,
+    spill_dir: Union[str, Path, None] = None,
+    load_dictionaries: bool = False,
+) -> GordianResult:
+    """Discover all minimal keys of a chunk store under bounded memory.
+
+    Parameters
+    ----------
+    store:
+        A :class:`~repro.oocore.chunks.ChunkStore` or the path of one
+        (built by :func:`~repro.oocore.ingest.ingest_csv`).
+    config:
+        The usual :class:`~repro.core.gordian.GordianConfig`; ``encode``
+        is moot (chunks already hold dense codes) and ``null_policy``
+        must be ``"equal"`` — the other policies rewrite rows, which an
+        already-encoded store cannot do lazily.
+    budget:
+        Optional :class:`~repro.robustness.RunBudget` (armed here) or an
+        armed :class:`~repro.robustness.BudgetMeter`.  Trips raise the
+        same salvage-carrying :class:`~repro.errors.BudgetExceededError`
+        as :func:`~repro.core.gordian.run_with_budget`.
+    spill_dir:
+        Where parallel builds spill frozen shard trees.  Defaults to a
+        ``spill/`` directory inside the store, removed after the build.
+    load_dictionaries:
+        Attach the store's decode tables to the result (costs one read
+        of ``dictionaries.bin``; off by default to preserve the bounded
+        footprint).
+    """
+    if not isinstance(store, ChunkStore):
+        store = ChunkStore.open(store)
+    config = config or GordianConfig()
+
+    from repro.dataset.nulls import NullPolicy
+
+    if config.null_policy is not NullPolicy.EQUAL:
+        raise ConfigError(
+            "out-of-core runs require null_policy='equal': other policies "
+            "rewrite rows, and a chunk store is already encoded"
+        )
+
+    meter: Optional[BudgetMeter] = None
+    if budget is not None:
+        meter = budget.start() if isinstance(budget, RunBudget) else budget
+
+    num_attributes = store.num_attributes
+    stats = RunStats()
+
+    level_to_attr = _order_attributes(
+        (), num_attributes, config.attribute_order,
+        cardinalities=store.cardinalities,
+    )
+    if meter is not None:
+        meter.checkpoint(force=True)
+
+    workers = _effective_workers(config, store.num_rows)
+
+    merge_cache = None
+    if config.merge_cache and workers == 1:
+        from repro.perf.merge_cache import MergeCache
+
+        cache_bytes = None
+        if meter is not None and meter.budget.max_bytes is not None:
+            cache_bytes = max(1, meter.budget.max_bytes // 4)
+        merge_cache = MergeCache(
+            max_entries=config.merge_cache_entries,
+            max_bytes=cache_bytes,
+            stats=stats.search,
+        )
+        if meter is not None:
+            meter.attach_memo_cache(merge_cache)
+
+    names = store.attribute_names
+    dictionaries = store.dictionaries if load_dictionaries else None
+
+    def finish_stats() -> None:
+        stats.peak_rss_kb = measure_peak_rss_kb()
+        if meter is not None:
+            stats.budget = meter.snapshot()
+
+    def no_keys_result() -> GordianResult:
+        finish_stats()
+        return GordianResult(
+            keys=[],
+            nonkeys=[tuple(range(num_attributes))],
+            num_attributes=num_attributes,
+            num_entities=store.num_rows,
+            no_keys_exist=True,
+            attribute_order=level_to_attr,
+            stats=stats,
+            attribute_names=names,
+            dictionaries=dictionaries,
+        )
+
+    pctx = None
+    cleanup_spill = False
+    spill_path: Optional[Path] = None
+    if workers > 1:
+        from repro.parallel.backend import ParallelContext
+
+        pool = None
+        if config.reuse_pool:
+            from repro.parallel.pool import shared_pool
+
+            pool = shared_pool(workers, clamp=config.clamp_workers)
+        # Workers receive the ("chunks", directory, level_to_attr) handle
+        # and stream their shard's rows from disk — the permutation rides
+        # in the handle instead of being materialized parent-side.
+        reader = ChunkRowReader(store.directory, level_to_attr, store=store)
+        pctx = ParallelContext(
+            reader,
+            num_attributes,
+            config=config,
+            workers=workers,
+            pool=pool,
+        )
+        if spill_dir is None:
+            spill_path = store.directory / "spill"
+            cleanup_spill = True
+        else:
+            spill_path = Path(spill_dir)
+        spill_path.mkdir(parents=True, exist_ok=True)
+
+    try:
+        build_start = time.perf_counter()
+        try:
+            if pctx is not None:
+                tree = pctx.build_tree(
+                    stats=stats.tree, budget=meter, spill_dir=spill_path
+                )
+            else:
+                tree = build_prefix_tree(
+                    store.iter_rows(level_to_attr),
+                    num_attributes,
+                    stats=stats.tree,
+                    budget=meter,
+                )
+        except NoKeysExistError:
+            stats.build_seconds = time.perf_counter() - build_start
+            stats.completed_phases.append("build")
+            return no_keys_result()
+        except BudgetExceededError as exc:
+            stats.build_seconds = time.perf_counter() - build_start
+            raise _abort(exc, phase="build", meter=meter, stats=stats)
+        except WorkerFailureError as exc:
+            stats.build_seconds = time.perf_counter() - build_start
+            finish_stats()
+            exc.phase = "build"
+            exc.stats = stats
+            raise
+        except KeyboardInterrupt as exc:
+            if meter is None:
+                raise
+            stats.build_seconds = time.perf_counter() - build_start
+            raise _abort(exc, phase="build", meter=meter, stats=stats) from exc
+        stats.build_seconds = time.perf_counter() - build_start
+        stats.completed_phases.append("build")
+
+        search_start = time.perf_counter()
+        if pctx is not None:
+            finder = pctx.make_finder(tree, stats=stats.search, budget=meter)
+        else:
+            finder = NonKeyFinder(
+                tree,
+                pruning=config.pruning,
+                stats=stats.search,
+                budget=meter,
+                merge_cache=merge_cache,
+                vectorize=None if config.vectorize else False,
+            )
+        try:
+            nonkey_set = finder.run()
+        except WorkerFailureError as exc:
+            stats.search_seconds = time.perf_counter() - search_start
+            finish_stats()
+            exc.phase = "search"
+            exc.stats = stats
+            exc.partial_nonkeys = [
+                _translate_mask(mask, level_to_attr)
+                for mask in finder.nonkeys.masks()
+            ]
+            raise
+        except (BudgetExceededError, KeyboardInterrupt) as exc:
+            if meter is None and isinstance(exc, KeyboardInterrupt):
+                raise
+            stats.search_seconds = time.perf_counter() - search_start
+            raise _abort(
+                exc,
+                phase="search",
+                meter=meter,
+                stats=stats,
+                partial_nonkeys=[
+                    _translate_mask(mask, level_to_attr)
+                    for mask in finder.nonkeys.masks()
+                ],
+            ) from (exc if isinstance(exc, KeyboardInterrupt) else None)
+        stats.search_seconds = time.perf_counter() - search_start
+        stats.completed_phases.append("search")
+        if config.merge_cache:
+            _warn_low_merge_cache_rate(stats.search)
+    finally:
+        if pctx is not None:
+            pctx.close()
+        if cleanup_spill and spill_path is not None:
+            shutil.rmtree(spill_path, ignore_errors=True)
+
+    convert_start = time.perf_counter()
+    key_masks = keys_from_nonkey_masks(nonkey_set.masks(), num_attributes)
+    stats.convert_seconds = time.perf_counter() - convert_start
+    stats.completed_phases.append("convert")
+    finish_stats()
+
+    keys = sorted(
+        (_translate_mask(mask, level_to_attr) for mask in key_masks),
+        key=lambda k: (len(k), k),
+    )
+    nonkeys = sorted(
+        (_translate_mask(mask, level_to_attr) for mask in nonkey_set.masks()),
+        key=lambda k: (len(k), k),
+    )
+    return GordianResult(
+        keys=keys,
+        nonkeys=nonkeys,
+        num_attributes=num_attributes,
+        num_entities=store.num_rows,
+        no_keys_exist=False,
+        attribute_order=level_to_attr,
+        stats=stats,
+        attribute_names=names,
+        dictionaries=dictionaries,
+    )

@@ -1,0 +1,450 @@
+"""Columnar chunk files: the out-of-core pipeline's on-disk row format.
+
+One chunk file holds a bounded batch of dictionary-encoded rows packed
+column-major as 64-bit signed codes — the same layout (and the same
+``array('q')`` element type) as the shared-memory row store in
+:mod:`repro.parallel.shard`, so a chunk is to disk what a segment is to
+``/dev/shm``.  The framing mirrors the checkpoint wire format
+(:mod:`repro.checkpoint.format`)::
+
+    MAGIC (8 bytes)       | b"GORDCHU1"
+    version (u32 LE)      | format version, currently 1
+    num_attributes (u32)  | columns in the chunk
+    num_rows (u64 LE)     | rows in the chunk
+    payload               | num_attributes * num_rows int64 codes,
+                          | column-major (column a at [a*n, (a+1)*n))
+    crc32 (u32 LE)        | CRC-32 of payload
+
+Every field is validated on read, so a torn write or a flipped bit
+surfaces as :class:`~repro.errors.ChunkCorruptError` instead of a silently
+wrong key set (property-tested with the same rigor as the checkpoint
+format).  Reads go through ``mmap``, and columns are exposed as zero-copy
+``memoryview`` casts over the mapping — decoding a chunk never copies the
+payload.
+
+A :class:`ChunkStore` is a directory of chunk files plus a JSON manifest
+(attribute names, per-chunk row counts, per-column cardinalities) and the
+streaming dictionary's decode tables, persisted in the checkpoint wire
+format.  The manifest is written last, atomically: a directory with a
+manifest is a complete store.
+
+:class:`ChunkRowReader` is the lazy, picklable-by-handle row sequence the
+parallel workers use — it reads one chunk at a time, applying the tree
+level permutation on the fly, so a worker's peak RSS holds one chunk
+instead of the whole table.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+import zlib
+from array import array
+from bisect import bisect_right
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.checkpoint.format import (
+    decode_checkpoint,
+    encode_checkpoint,
+    write_atomic,
+)
+from repro.errors import ChunkCorruptError, DataError
+from repro.perf.encode import ColumnCodec
+
+__all__ = [
+    "CHUNK_MAGIC",
+    "CHUNK_FORMAT_VERSION",
+    "Chunk",
+    "ChunkStore",
+    "ChunkRowReader",
+    "encode_chunk",
+    "decode_chunk",
+    "write_chunk",
+    "read_chunk",
+]
+
+CHUNK_MAGIC = b"GORDCHU1"
+CHUNK_FORMAT_VERSION = 1
+
+_HEADER = struct.Struct("<8sIIQ")  # magic, version, num_attributes, num_rows
+_FOOTER = struct.Struct("<I")  # crc32 of payload
+
+_CODE = "q"
+_CODE_BYTES = 8
+
+MANIFEST_NAME = "manifest.json"
+DICTIONARIES_NAME = "dictionaries.bin"
+CHUNK_PATTERN = "chunk-%06d.bin"
+
+
+# ----------------------------------------------------------------------
+# wire format
+
+def encode_chunk(columns: Sequence[array]) -> bytes:
+    """Frame column-major code arrays into one self-validating chunk."""
+    if not columns:
+        raise DataError("a chunk needs at least one column")
+    num_rows = len(columns[0])
+    for index, column in enumerate(columns):
+        if len(column) != num_rows:
+            raise DataError(
+                f"chunk column {index} has {len(column)} rows, "
+                f"column 0 has {num_rows}"
+            )
+    payload = b"".join(
+        (c if isinstance(c, array) else array(_CODE, c)).tobytes()
+        for c in columns
+    )
+    return (
+        _HEADER.pack(CHUNK_MAGIC, CHUNK_FORMAT_VERSION, len(columns), num_rows)
+        + payload
+        + _FOOTER.pack(zlib.crc32(payload) & 0xFFFFFFFF)
+    )
+
+
+def _validate_frame(data, name: str) -> Tuple[int, int]:
+    """Check framing + CRC; returns ``(num_rows, num_attributes)``."""
+    if len(data) < _HEADER.size + _FOOTER.size:
+        raise ChunkCorruptError(
+            f"chunk {name}: truncated: {len(data)} bytes is shorter than "
+            f"the fixed framing ({_HEADER.size + _FOOTER.size} bytes)"
+        )
+    magic, version, num_attributes, num_rows = _HEADER.unpack_from(data)
+    if magic != CHUNK_MAGIC:
+        raise ChunkCorruptError(
+            f"chunk {name}: bad magic {magic!r} (expected {CHUNK_MAGIC!r})"
+        )
+    if version != CHUNK_FORMAT_VERSION:
+        raise ChunkCorruptError(
+            f"chunk {name}: unsupported format version {version} "
+            f"(this build reads version {CHUNK_FORMAT_VERSION})"
+        )
+    length = num_attributes * num_rows * _CODE_BYTES
+    expected_size = _HEADER.size + length + _FOOTER.size
+    if len(data) != expected_size:
+        raise ChunkCorruptError(
+            f"chunk {name}: size mismatch: header promises {expected_size} "
+            f"bytes, file has {len(data)}"
+        )
+    payload = bytes(data[_HEADER.size:_HEADER.size + length])
+    (crc,) = _FOOTER.unpack_from(data, _HEADER.size + length)
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise ChunkCorruptError(f"chunk {name}: payload fails its CRC check")
+    return num_rows, num_attributes
+
+
+class Chunk:
+    """One decoded chunk: zero-copy column views over its buffer.
+
+    ``close()`` releases the views (and the mmap, for file-backed chunks);
+    iteration helpers materialize nothing beyond the tuples they yield.
+    """
+
+    __slots__ = ("num_rows", "num_attributes", "_codes", "_mmap", "_closed")
+
+    def __init__(self, buffer, num_rows: int, num_attributes: int, mapped=None):
+        self.num_rows = num_rows
+        self.num_attributes = num_attributes
+        payload = memoryview(buffer)[
+            _HEADER.size: _HEADER.size + num_rows * num_attributes * _CODE_BYTES
+        ]
+        self._codes = payload.cast(_CODE)
+        self._mmap = mapped
+        self._closed = False
+
+    def column(self, attribute: int) -> memoryview:
+        """Zero-copy view of one column's codes."""
+        n = self.num_rows
+        return self._codes[attribute * n: (attribute + 1) * n]
+
+    def iter_rows(
+        self, level_to_attr: Optional[Sequence[int]] = None
+    ) -> Iterator[Tuple[int, ...]]:
+        """Yield rows as tuples, optionally permuted into tree-level order."""
+        order = (
+            range(self.num_attributes) if level_to_attr is None else level_to_attr
+        )
+        yield from zip(*(self.column(a) for a in order))
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._codes.release()
+        if self._mmap is not None:
+            self._mmap.close()
+
+    def __enter__(self) -> "Chunk":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC backstop
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def decode_chunk(data: bytes, name: str = "<bytes>") -> Chunk:
+    """Inverse of :func:`encode_chunk`; raises on any inconsistency."""
+    num_rows, num_attributes = _validate_frame(data, name)
+    return Chunk(data, num_rows, num_attributes)
+
+
+def write_chunk(path: Union[str, Path], columns: Sequence[array]) -> int:
+    """Atomically write one chunk file; returns its row count."""
+    data = encode_chunk(columns)
+    write_atomic(path, data)
+    return len(columns[0])
+
+
+def read_chunk(path: Union[str, Path]) -> Chunk:
+    """mmap a chunk file, validate it, and expose zero-copy columns.
+
+    The CRC pass touches every payload page once (sequential read); after
+    that, column access is pointer arithmetic over the mapping.
+    """
+    path = Path(path)
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError as exc:
+        raise ChunkCorruptError(f"chunk {path}: cannot open: {exc}") from exc
+    try:
+        size = os.fstat(fd).st_size
+        if size == 0:
+            raise ChunkCorruptError(f"chunk {path}: truncated: empty file")
+        mapped = mmap.mmap(fd, size, access=mmap.ACCESS_READ)
+    finally:
+        os.close(fd)
+    try:
+        # The view must be released before the mapping can close on the
+        # error path: the traceback keeps the validator's frame (and with
+        # it the view) alive, and closing an exported mmap raises
+        # BufferError — which would mask the real corruption error.
+        view = memoryview(mapped)
+        try:
+            num_rows, num_attributes = _validate_frame(view, path.name)
+        finally:
+            view.release()
+    except Exception:
+        mapped.close()
+        raise
+    return Chunk(mapped, num_rows, num_attributes, mapped=mapped)
+
+
+# ----------------------------------------------------------------------
+# chunk store
+
+class ChunkStore:
+    """A directory of chunk files with a manifest and decode tables.
+
+    Create one through :func:`repro.oocore.ingest.ingest_csv` /
+    ``ingest_rows``; reopen an existing directory with :meth:`open`.
+    """
+
+    def __init__(self, directory: Union[str, Path], manifest: dict):
+        self.directory = Path(directory)
+        self.attribute_names: Optional[List[str]] = manifest.get("attribute_names")
+        self.num_attributes: int = int(manifest["num_attributes"])
+        self.num_rows: int = int(manifest["num_rows"])
+        self.chunk_rows: List[int] = [int(n) for n in manifest["chunk_rows"]]
+        self.cardinalities: List[int] = [
+            int(c) for c in manifest["cardinalities"]
+        ]
+        self.name: str = manifest.get("name", self.directory.name)
+        self._dictionaries: Optional[List[ColumnCodec]] = None
+
+    @classmethod
+    def open(cls, directory: Union[str, Path]) -> "ChunkStore":
+        directory = Path(directory)
+        manifest_path = directory / MANIFEST_NAME
+        try:
+            manifest = json.loads(manifest_path.read_text())
+        except OSError as exc:
+            raise DataError(
+                f"chunk store {str(directory)!r} has no readable manifest: {exc}"
+            ) from exc
+        except ValueError as exc:
+            raise ChunkCorruptError(
+                f"chunk store {str(directory)!r}: manifest is not valid JSON: "
+                f"{exc}"
+            ) from exc
+        for field in ("num_attributes", "num_rows", "chunk_rows", "cardinalities"):
+            if field not in manifest:
+                raise ChunkCorruptError(
+                    f"chunk store {str(directory)!r}: manifest lacks {field!r}"
+                )
+        store = cls(directory, manifest)
+        if sum(store.chunk_rows) != store.num_rows:
+            raise ChunkCorruptError(
+                f"chunk store {str(directory)!r}: manifest chunk rows sum to "
+                f"{sum(store.chunk_rows)}, not the declared {store.num_rows}"
+            )
+        return store
+
+    # -- layout ---------------------------------------------------------
+
+    def chunk_path(self, index: int) -> Path:
+        return self.directory / (CHUNK_PATTERN % index)
+
+    def chunk_paths(self) -> List[Path]:
+        return [self.chunk_path(i) for i in range(len(self.chunk_rows))]
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.chunk_rows)
+
+    def row_offsets(self) -> List[int]:
+        """Cumulative start row of each chunk plus the final total."""
+        offsets = [0]
+        for count in self.chunk_rows:
+            offsets.append(offsets[-1] + count)
+        return offsets
+
+    # -- reading --------------------------------------------------------
+
+    def iter_chunks(self) -> Iterator[Chunk]:
+        """Open chunks one at a time (caller closes, or use iter_rows)."""
+        for path in self.chunk_paths():
+            yield read_chunk(path)
+
+    def iter_rows(
+        self, level_to_attr: Optional[Sequence[int]] = None
+    ) -> Iterator[Tuple[int, ...]]:
+        """Stream every row, holding at most one chunk open at a time."""
+        for chunk in self.iter_chunks():
+            with chunk:
+                yield from chunk.iter_rows(level_to_attr)
+
+    @property
+    def dictionaries(self) -> List[ColumnCodec]:
+        """Per-column decode tables (loaded lazily, cached)."""
+        if self._dictionaries is None:
+            path = self.directory / DICTIONARIES_NAME
+            try:
+                data = path.read_bytes()
+            except OSError as exc:
+                raise DataError(
+                    f"chunk store {str(self.directory)!r} has no readable "
+                    f"dictionaries file: {exc}"
+                ) from exc
+            decode_tables = decode_checkpoint(data)
+            self._dictionaries = [
+                ColumnCodec({value: code for code, value in enumerate(table)}, list(table))
+                for table in decode_tables
+            ]
+        return self._dictionaries
+
+    # -- writing (used by the ingest module) ----------------------------
+
+    @staticmethod
+    def write_dictionaries(
+        directory: Union[str, Path], codecs: Sequence[ColumnCodec]
+    ) -> None:
+        """Persist decode tables in the checkpoint wire format."""
+        payload = [list(codec.code_to_value) for codec in codecs]
+        write_atomic(
+            Path(directory) / DICTIONARIES_NAME, encode_checkpoint(payload)
+        )
+
+    @staticmethod
+    def write_manifest(directory: Union[str, Path], manifest: dict) -> None:
+        """Atomically land the manifest — the store's commit point."""
+        data = json.dumps(manifest, indent=2, sort_keys=True).encode("utf-8")
+        write_atomic(Path(directory) / MANIFEST_NAME, data)
+
+
+# ----------------------------------------------------------------------
+# lazy row reader (worker side)
+
+class ChunkRowReader:
+    """Lazy random-access row sequence over a chunk store.
+
+    Implements just enough of the sequence protocol for the worker code
+    path (``len``, iteration, slicing) while never holding more than one
+    chunk's codes in memory.  ``describe()`` yields the picklable handle
+    (``("chunks", directory, level_to_attr)``) that
+    :func:`repro.parallel.shard.load_rows` reopens worker-side, so the
+    parallel backend treats a chunk directory exactly like a shared-memory
+    segment — only the medium differs.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        level_to_attr: Optional[Sequence[int]] = None,
+        store: Optional[ChunkStore] = None,
+    ):
+        self._store = store if store is not None else ChunkStore.open(directory)
+        self._directory = Path(directory)
+        self._level_to_attr = (
+            tuple(level_to_attr) if level_to_attr is not None else None
+        )
+        self._offsets = self._store.row_offsets()
+
+    # -- parallel row-store protocol ------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return self._store.num_rows
+
+    @property
+    def num_attributes(self) -> int:
+        return self._store.num_attributes
+
+    def describe(self) -> tuple:
+        return ("chunks", str(self._directory), self._level_to_attr)
+
+    def close(self) -> None:
+        """Nothing to release: chunks are opened and closed per read."""
+
+    # -- sequence protocol ----------------------------------------------
+
+    def __len__(self) -> int:
+        return self._store.num_rows
+
+    def __iter__(self) -> Iterator[Tuple[int, ...]]:
+        return self._store.iter_rows(self._level_to_attr)
+
+    def iter_range(self, start: int, stop: int) -> Iterator[Tuple[int, ...]]:
+        """Rows ``[start, stop)``, touching only the chunks that overlap."""
+        offsets = self._offsets
+        start = max(0, start)
+        stop = min(stop, self._store.num_rows)
+        if start >= stop:
+            return
+        first = bisect_right(offsets, start) - 1
+        for index in range(first, self._store.num_chunks):
+            base = offsets[index]
+            if base >= stop:
+                break
+            with read_chunk(self._store.chunk_path(index)) as chunk:
+                lo = max(0, start - base)
+                hi = min(chunk.num_rows, stop - base)
+                if lo == 0 and hi == chunk.num_rows:
+                    yield from chunk.iter_rows(self._level_to_attr)
+                else:
+                    order = (
+                        range(chunk.num_attributes)
+                        if self._level_to_attr is None
+                        else self._level_to_attr
+                    )
+                    yield from zip(*(chunk.column(a)[lo:hi] for a in order))
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(len(self))
+            if step != 1:
+                raise DataError("chunk row readers only support step-1 slices")
+            return self.iter_range(start, stop)
+        if index < 0:
+            index += len(self)
+        rows = self.iter_range(index, index + 1)
+        for row in rows:
+            return row
+        raise IndexError(index)

@@ -1,0 +1,101 @@
+"""Spill files: CRC-framed byte blobs for frozen shard trees.
+
+During a memory-bounded parallel build, each completed shard tree is
+frozen (:func:`repro.parallel.shard.freeze_tree`) and written to disk
+instead of being shipped back through the result pipe and held in the
+parent.  The merge reduction then thaws spill files pairwise, so the
+parent's peak RSS holds two frozen shards at a time rather than all of
+them.
+
+The framing is the minimal sibling of the chunk format::
+
+    MAGIC (8 bytes)    | b"GORDSPL1"
+    version (u32 LE)   | format version, currently 1
+    length (u64 LE)    | payload byte count
+    payload            | opaque bytes (a freeze_tree array dump)
+    crc32 (u32 LE)     | CRC-32 of payload
+
+Any inconsistency raises :class:`~repro.errors.ChunkCorruptError` —
+thawing a torn shard would silently merge a truncated tree and produce
+wrong keys.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from pathlib import Path
+from typing import Union
+
+from repro.checkpoint.format import write_atomic
+from repro.errors import ChunkCorruptError
+
+__all__ = [
+    "SPILL_MAGIC",
+    "SPILL_FORMAT_VERSION",
+    "encode_spill",
+    "decode_spill",
+    "write_spill",
+    "read_spill",
+]
+
+SPILL_MAGIC = b"GORDSPL1"
+SPILL_FORMAT_VERSION = 1
+
+_HEADER = struct.Struct("<8sIQ")  # magic, version, payload length
+_FOOTER = struct.Struct("<I")  # crc32 of payload
+
+
+def encode_spill(payload: bytes) -> bytes:
+    """Frame opaque bytes into one self-validating spill blob."""
+    return (
+        _HEADER.pack(SPILL_MAGIC, SPILL_FORMAT_VERSION, len(payload))
+        + payload
+        + _FOOTER.pack(zlib.crc32(payload) & 0xFFFFFFFF)
+    )
+
+
+def decode_spill(data: bytes, name: str = "<bytes>") -> bytes:
+    """Inverse of :func:`encode_spill`; raises on any inconsistency."""
+    if len(data) < _HEADER.size + _FOOTER.size:
+        raise ChunkCorruptError(
+            f"spill {name}: truncated: {len(data)} bytes is shorter than "
+            f"the fixed framing ({_HEADER.size + _FOOTER.size} bytes)"
+        )
+    magic, version, length = _HEADER.unpack_from(data)
+    if magic != SPILL_MAGIC:
+        raise ChunkCorruptError(
+            f"spill {name}: bad magic {magic!r} (expected {SPILL_MAGIC!r})"
+        )
+    if version != SPILL_FORMAT_VERSION:
+        raise ChunkCorruptError(
+            f"spill {name}: unsupported format version {version} "
+            f"(this build reads version {SPILL_FORMAT_VERSION})"
+        )
+    if len(data) != _HEADER.size + length + _FOOTER.size:
+        raise ChunkCorruptError(
+            f"spill {name}: size mismatch: header promises "
+            f"{_HEADER.size + length + _FOOTER.size} bytes, file has {len(data)}"
+        )
+    payload = data[_HEADER.size:_HEADER.size + length]
+    (crc,) = _FOOTER.unpack_from(data, _HEADER.size + length)
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise ChunkCorruptError(f"spill {name}: payload fails its CRC check")
+    return payload
+
+
+def write_spill(path: Union[str, Path], payload: bytes) -> Path:
+    """Atomically write framed ``payload`` to ``path``; returns the path."""
+    path = Path(path)
+    write_atomic(path, encode_spill(payload))
+    return path
+
+
+def read_spill(path: Union[str, Path]) -> bytes:
+    """Read and validate one spill file, returning its payload."""
+    path = Path(path)
+    try:
+        data = path.read_bytes()
+    except OSError as exc:
+        raise ChunkCorruptError(f"spill {path}: cannot read: {exc}") from exc
+    return decode_spill(data, path.name)

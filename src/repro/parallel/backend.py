@@ -32,7 +32,8 @@ from __future__ import annotations
 
 from array import array
 from concurrent.futures import Future
-from typing import List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.prefix_tree import PrefixTree, build_prefix_tree
 from repro.core.stats import SearchStats, TreeStats
@@ -89,7 +90,14 @@ class ParallelContext:
         self.num_rows = len(rows)
         self.workers = workers
         self.config = config
-        self._store = pack_rows(rows, num_attributes)
+        # A caller may hand us a ready-made row source (anything with a
+        # picklable ``describe()`` handle and ``close()`` — e.g. the
+        # out-of-core :class:`~repro.oocore.chunks.ChunkRowReader`) instead
+        # of materialized rows to pack into shared memory.
+        if hasattr(rows, "describe"):
+            self._store = rows
+        else:
+            self._store = pack_rows(rows, num_attributes)
         self._rows = rows
         # Mid-flight futility exchange: best-effort (None when shared
         # memory is unavailable or the feature is off — the run then
@@ -131,6 +139,9 @@ class ParallelContext:
         self,
         stats: Optional[TreeStats] = None,
         budget: Optional[object] = None,
+        spill_dir: Union[str, Path, None] = None,
+        completed_shards: Optional[Dict[int, object]] = None,
+        on_shard_done=None,
     ) -> PrefixTree:
         """Build the prefix tree — sharded when the dataset is big enough.
 
@@ -140,6 +151,19 @@ class ParallelContext:
         :mod:`repro.parallel.shard`).  Raises
         :class:`~repro.errors.NoKeysExistError` on a duplicate entity,
         whether it lies within one shard or across shards.
+
+        ``spill_dir`` switches the build to the memory-bounded protocol:
+        workers write frozen shards and merge outputs to spill files there
+        (:mod:`repro.oocore.spill`) and only paths travel through the
+        result pipe, so the parent holds at most one frozen tree (the
+        final one, read back for the thaw).
+
+        ``completed_shards`` maps shard index -> frozen result (bytes or
+        spill path) for shards a previous run already finished — those are
+        not resubmitted (per-shard checkpoint resume).  ``on_shard_done
+        (index, frozen)`` fires as each shard build lands, *before* the
+        merge reduction starts, which is where the checkpoint runner
+        persists per-shard progress.
         """
         if self.num_rows < self.config.parallel_build_min_rows:
             return build_prefix_tree(
@@ -147,47 +171,83 @@ class ParallelContext:
             )
         supervisor = self.supervisor
         bounds = plan_shards(self.num_rows, self.workers)
+        spill = Path(spill_dir) if spill_dir is not None else None
+        done: Dict[int, object] = {
+            index: value
+            for index, value in (completed_shards or {}).items()
+            if 0 <= index < len(bounds)
+        }
 
-        def shard_args(start: int, stop: int):
+        def shard_args(index: int, start: int, stop: int):
             def make_args() -> tuple:
                 share = (
                     budget.derive_share(1.0 / len(bounds))
                     if budget is not None
                     else None
                 )
-                return (start, stop, share)
+                path = (
+                    str(spill / f"shard-{index:04d}.bin")
+                    if spill is not None
+                    else None
+                )
+                return (start, stop, share, path)
 
             return make_args
 
-        handles = [
-            supervisor.submit(
+        pending = {}
+        for index, (start, stop) in enumerate(bounds):
+            if index in done:
+                continue
+            task = supervisor.submit(
                 "build_shard",
-                shard_args(start, stop),
+                shard_args(index, start, stop),
                 on_exhausted="local",
                 label=f"shard[{start}:{stop}]",
             )
-            for start, stop in bounds
-        ]
-        frozen = [
-            self._unwrap(status, budget)
-            for status in supervisor.wait_all(handles)
-        ]
+            pending[task] = index
+        # Collect shards as they land (not in submission order) so the
+        # per-shard checkpoint hook sees each one at the earliest moment a
+        # crash could lose it.
+        while pending:
+            task = supervisor.wait_any()
+            if task is None:
+                # Supervisor drained: every outstanding task has a result.
+                for finished, index in list(pending.items()):
+                    done[index] = self._unwrap(finished.result, budget)
+                pending.clear()
+                break
+            index = pending.pop(task, None)
+            if index is None:
+                continue
+            value = self._unwrap(task.result, budget)
+            done[index] = value
+            if on_shard_done is not None and value is not None:
+                on_shard_done(index, value)
+        frozen = [done[index] for index in range(len(bounds))]
+        merge_round = 0
         while len(frozen) > 1:
             if any(piece is None for piece in frozen):
                 raise NoKeysExistError(
                     "duplicate entity observed: the dataset has no keys"
                 )
-            handles = [
-                supervisor.submit(
-                    "merge_frozen",
-                    (lambda left, right: lambda: (left, right))(
-                        frozen[i], frozen[i + 1]
-                    ),
-                    on_exhausted="local",
-                    label="merge-shards",
+            merge_round += 1
+            handles = []
+            for slot, i in enumerate(range(0, len(frozen) - 1, 2)):
+                out = (
+                    str(spill / f"merge-{merge_round:02d}-{slot:04d}.bin")
+                    if spill is not None
+                    else None
                 )
-                for i in range(0, len(frozen) - 1, 2)
-            ]
+                handles.append(
+                    supervisor.submit(
+                        "merge_frozen",
+                        (lambda left, right, out_path: lambda: (
+                            left, right, out_path
+                        ))(frozen[i], frozen[i + 1], out),
+                        on_exhausted="local",
+                        label="merge-shards",
+                    )
+                )
             carry = [frozen[-1]] if len(frozen) % 2 else []
             frozen = [
                 self._unwrap(status, budget)
@@ -197,9 +257,14 @@ class ParallelContext:
             raise NoKeysExistError(
                 "duplicate entity observed: the dataset has no keys"
             )
+        final = frozen[0]
+        if isinstance(final, str):
+            from repro.oocore.spill import read_spill
+
+            final = read_spill(final)
         tree = PrefixTree(self.num_attributes, stats=stats, budget=budget)
         data = array("q")
-        data.frombytes(frozen[0])
+        data.frombytes(final)
         return thaw_into_tree(data, tree, self.num_rows)
 
     @staticmethod

@@ -44,6 +44,7 @@ __all__ = [
     "pack_rows",
     "load_rows",
     "ShmRowStore",
+    "ShmRowReader",
     "InlineRowStore",
     "live_segment_names",
     "freeze_tree",
@@ -175,22 +176,102 @@ def _attach_readonly(name: str) -> shared_memory.SharedMemory:
         resource_tracker.register = original
 
 
-def load_rows(handle: tuple) -> List[Tuple[int, ...]]:
-    """Worker-side inverse of :meth:`ShmRowStore.describe`."""
+class ShmRowReader:
+    """Lazy worker-side view of a :class:`ShmRowStore` segment.
+
+    Earlier versions copied the whole buffer out and materialized
+    ``list(zip(*columns))`` — doubling every worker's peak RSS by the
+    table size.  This reader instead keeps the segment mapped (shared
+    pages, not copies) and yields row tuples in bounded blocks, so a
+    worker's own footprint holds one block of tuples at a time.
+
+    Supports just enough of the sequence protocol for the worker code
+    paths: ``len``, iteration, and step-1 slicing (``rows[start:stop]``
+    returns a generator, which :func:`~repro.core.prefix_tree.
+    build_prefix_tree` consumes directly).
+    """
+
+    #: Rows materialized per iteration block — small enough to stay cache
+    #: friendly, large enough that the zip dispatch amortizes.
+    BLOCK_ROWS = 4096
+
+    def __init__(self, name: str, num_rows: int, num_attributes: int):
+        self._shm = _attach_readonly(name)
+        self.num_rows = num_rows
+        self.num_attributes = num_attributes
+        nbytes = num_rows * num_attributes * _CODE_BYTES
+        self._codes = self._shm.buf[:nbytes].cast(_CODE)
+        self._closed = False
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def iter_range(self, start: int, stop: int):
+        """Row tuples in ``[start, stop)``, one block at a time."""
+        start = max(0, start)
+        stop = min(stop, self.num_rows)
+        n = self.num_rows
+        codes = self._codes
+        attrs = range(self.num_attributes)
+        for base in range(start, stop, self.BLOCK_ROWS):
+            high = min(base + self.BLOCK_ROWS, stop)
+            yield from zip(*(codes[a * n + base: a * n + high] for a in attrs))
+
+    def __iter__(self):
+        return self.iter_range(0, self.num_rows)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self.num_rows)
+            if step != 1:
+                raise ValueError("ShmRowReader only supports step-1 slices")
+            return self.iter_range(start, stop)
+        if index < 0:
+            index += self.num_rows
+        if not 0 <= index < self.num_rows:
+            raise IndexError(index)
+        n = self.num_rows
+        return tuple(
+            self._codes[a * n + index] for a in range(self.num_attributes)
+        )
+
+    def close(self) -> None:
+        """Release the memoryview before the mapping (else BufferError)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._codes.release()
+        try:
+            self._shm.close()
+        except (OSError, BufferError):  # pragma: no cover - teardown race
+            pass
+
+    def __del__(self):  # pragma: no cover - GC backstop
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def load_rows(handle: tuple):
+    """Worker-side inverse of a row store's ``describe()`` handle.
+
+    Returns a lazily-iterable row sequence: a plain list for inline
+    stores, a :class:`ShmRowReader` over the mapped segment for shared
+    memory, and a :class:`~repro.oocore.chunks.ChunkRowReader` streaming
+    from disk for out-of-core chunk stores — workers never materialize a
+    full copy of the table again.
+    """
     kind = handle[0]
     if kind == "inline":
         return handle[1]
+    if kind == "chunks":
+        from repro.oocore.chunks import ChunkRowReader
+
+        _, directory, level_to_attr = handle
+        return ChunkRowReader(directory, level_to_attr)
     _, name, num_rows, num_attributes = handle
-    shm = _attach_readonly(name)
-    try:
-        flat = array(_CODE)
-        flat.frombytes(bytes(shm.buf[: num_rows * num_attributes * _CODE_BYTES]))
-    finally:
-        shm.close()
-    columns = [
-        flat[a * num_rows: (a + 1) * num_rows] for a in range(num_attributes)
-    ]
-    return list(zip(*columns))
+    return ShmRowReader(name, num_rows, num_attributes)
 
 
 # ----------------------------------------------------------------------

@@ -149,7 +149,13 @@ class WorkerState:
     # -- lazy materialization -------------------------------------------
 
     @property
-    def rows(self) -> List[Tuple[int, ...]]:
+    def rows(self):
+        """Lazy row sequence (list, shm reader, or chunk reader).
+
+        Never a materialized copy for shm/chunk handles — slicing yields
+        generators, so shard builds stream their rows (satellite of the
+        out-of-core work: worker RSS no longer doubles the table).
+        """
         if self._rows is None:
             self._rows = load_rows(self._rows_handle)
         return self._rows
@@ -345,6 +351,7 @@ class WorkerState:
         start: int,
         stop: int,
         budget_share: Optional[RunBudget] = None,
+        spill_path: Optional[str] = None,
     ) -> Tuple[str, Optional[object]]:
         """Build a partial tree over rows ``[start, stop)``; frozen bytes.
 
@@ -352,7 +359,10 @@ class WorkerState:
         None)`` when the shard contains a duplicate entity (no keys exist),
         or ``("budget", reason)`` when the task's budget share tripped
         mid-build — the sentinels cross the process boundary where the
-        exceptions would not.
+        exceptions would not.  With ``spill_path`` the frozen tree is
+        written there (:mod:`repro.oocore.spill`) and the *path* is
+        returned instead of the bytes, so memory-bounded builds never ship
+        whole shards through the result pipe.
         """
         faults.check("worker.shard_build")
         meter = budget_share.start() if budget_share is not None else None
@@ -365,15 +375,36 @@ class WorkerState:
         except BudgetExceededError as exc:
             return ("budget", exc.reason)
         faults.check("worker.result_send")
-        return ("ok", freeze_tree(tree.root, self.num_attributes).tobytes())
+        frozen = freeze_tree(tree.root, self.num_attributes).tobytes()
+        if spill_path is not None:
+            from repro.oocore.spill import write_spill
+
+            write_spill(spill_path, frozen)
+            return ("ok", str(spill_path))
+        return ("ok", frozen)
 
     def merge_frozen(
-        self, left: Optional[bytes], right: Optional[bytes]
+        self,
+        left: Optional[object],
+        right: Optional[object],
+        out_path: Optional[str] = None,
     ) -> Tuple[str, Optional[object]]:
-        """Merge two frozen partial trees into one (reduction step)."""
+        """Merge two frozen partial trees into one (reduction step).
+
+        ``left``/``right`` are frozen bytes, or spill-file paths (str) in
+        memory-bounded builds — then the merged tree lands at ``out_path``
+        and the path is returned, keeping at most two thawed shards in
+        this process at a time.
+        """
         faults.check("worker.shard_build")
         if left is None or right is None:
             return ("nokeys", None)
+        if isinstance(left, str) or isinstance(right, str) or out_path is not None:
+            from repro.oocore.spill import read_spill, write_spill
+        if isinstance(left, str):
+            left = read_spill(left)
+        if isinstance(right, str):
+            right = read_spill(right)
         num_attributes = self.num_attributes
         scratch = PrefixTree(num_attributes)
         try:
@@ -385,7 +416,11 @@ class WorkerState:
             return ("nokeys", None)
         merged = merge_forest(scratch, roots)
         faults.check("worker.result_send")
-        return ("ok", freeze_tree(merged, num_attributes).tobytes())
+        frozen = freeze_tree(merged, num_attributes).tobytes()
+        if out_path is not None:
+            write_spill(out_path, frozen)
+            return ("ok", str(out_path))
+        return ("ok", frozen)
 
 
 # ----------------------------------------------------------------------

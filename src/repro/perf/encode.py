@@ -17,7 +17,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence, Tuple
 
-__all__ = ["ColumnCodec", "encode_columns", "decode_row", "transpose_rows"]
+__all__ = [
+    "ColumnCodec",
+    "StreamingEncoder",
+    "encode_columns",
+    "decode_row",
+    "transpose_rows",
+]
 
 
 class ColumnCodec:
@@ -55,6 +61,47 @@ class ColumnCodec:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"ColumnCodec({len(self)} values)"
+
+
+class StreamingEncoder:
+    """Growable streaming dictionary over a fixed-width row stream.
+
+    The out-of-core ingest cannot afford :func:`encode_columns`'s
+    "materialize every row first" contract, so this encoder consumes rows
+    one at a time and grows its per-column code tables as new values
+    arrive.  Codes are assigned in first-seen row order — exactly the
+    order :func:`encode_columns` assigns them — so feeding the same rows
+    in any batch split produces byte-identical codes, which is what lets
+    the out-of-core pipeline gate its answers bit-identical against the
+    in-memory path (property-tested in ``tests/oocore``).
+    """
+
+    __slots__ = ("num_attributes", "codecs", "_columns")
+
+    def __init__(self, num_attributes: int):
+        self.num_attributes = num_attributes
+        tables: List[Dict[object, int]] = [{} for _ in range(num_attributes)]
+        decodes: List[List[object]] = [[] for _ in range(num_attributes)]
+        self.codecs = [ColumnCodec(t, d) for t, d in zip(tables, decodes)]
+        self._columns = list(zip(tables, decodes))
+
+    def encode_row(self, row: Sequence[object]) -> Tuple[int, ...]:
+        """Codes for one row, assigning fresh codes to unseen values."""
+        code_row: List[int] = []
+        push = code_row.append
+        for value, (table, decode) in zip(row, self._columns):
+            code = table.get(value)
+            if code is None:
+                code = len(decode)
+                table[value] = code
+                decode.append(value)
+            push(code)
+        return tuple(code_row)
+
+    @property
+    def cardinalities(self) -> List[int]:
+        """Distinct values seen so far in each column."""
+        return [len(codec) for codec in self.codecs]
 
 
 def encode_columns(

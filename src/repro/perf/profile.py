@@ -61,6 +61,11 @@ def render_profile(stats, attribute_order: Optional[List[int]] = None) -> str:
         f"  hits {hits}  misses {misses}  evictions "
         f"{search.merge_cache_evictions}  hit rate {rate:.1f}%{low}"
     )
+    if stats.peak_rss_kb is not None:
+        # getrusage is POSIX-only; the line vanishes where unmeasurable so
+        # the rest of the report renders identically everywhere.
+        lines.append("-- memory")
+        lines.append(f"  peak rss {stats.peak_rss_kb} KiB (process-wide)")
     supervision = (
         search.tasks_retried
         + search.serial_fallbacks

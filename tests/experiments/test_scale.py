@@ -1,0 +1,35 @@
+"""Scale-harness roles: in-process identity and the subprocess protocol."""
+
+import json
+
+from repro.datagen.dbgen import DbgenSpec, write_lineitem_csv
+from repro.experiments.scale import _spawn_role, run_role
+
+
+def _csv(tmp_path):
+    path = tmp_path / "lineitem.csv"
+    write_lineitem_csv(path, DbgenSpec(scale=0.05, seed=3))
+    return path
+
+
+class TestRoles:
+    def test_roles_agree_uncapped(self, tmp_path):
+        csv_path = _csv(tmp_path)
+        inmem = run_role("inmem", csv_path, None, None, 64)
+        oocore = run_role(
+            "oocore", csv_path, None, tmp_path / "chunks", 64
+        )
+        assert not inmem["oom"] and not oocore["oom"]
+        assert inmem["rows"] == oocore["rows"]
+        assert inmem["keys"] == oocore["keys"]
+        assert inmem["nonkeys"] == oocore["nonkeys"]
+        assert oocore["peak_rss_kb"] > 0
+
+    def test_subprocess_protocol_round_trips(self, tmp_path):
+        csv_path = _csv(tmp_path)
+        report = _spawn_role("oocore", csv_path, None,
+                             tmp_path / "chunks", 64, timeout=300.0)
+        assert report["role"] == "oocore"
+        assert not report["oom"]
+        assert report["keys"], "subprocess child returned no keys"
+        json.dumps(report)  # the report must stay JSON-serializable

@@ -1,0 +1,131 @@
+"""Out-of-core build: bit-identical to the in-memory pipeline, bounded."""
+
+import warnings
+
+import pytest
+
+from repro.core import GordianConfig, find_keys
+from repro.errors import BudgetExceededError, ConfigError
+from repro.oocore import find_keys_out_of_core, ingest_rows
+from repro.robustness import RunBudget
+
+
+def _rows(n=600, width=5):
+    """Deterministic key-bearing dataset with mixed cardinalities."""
+    return [
+        (i, (i * 7) % 51, (i * 3) % 6, i % 6, (i * 11) % 201)
+        for i in range(n)
+    ]
+
+
+def _ingest(tmp_path, rows, width, chunk_rows=64):
+    return ingest_rows(
+        iter(rows), width, tmp_path / "store", chunk_rows=chunk_rows
+    )
+
+
+class TestSerialIdentity:
+    def test_matches_in_memory_answers(self, tmp_path):
+        rows = _rows()
+        store = _ingest(tmp_path, rows, 5)
+        reference = find_keys(rows)
+        result = find_keys_out_of_core(store)
+        assert result.keys == reference.keys
+        assert result.nonkeys == reference.nonkeys
+        assert result.num_entities == reference.num_entities
+
+    def test_accepts_store_path(self, tmp_path):
+        rows = _rows(80)
+        store = _ingest(tmp_path, rows, 5, chunk_rows=16)
+        by_path = find_keys_out_of_core(str(store.directory))
+        assert by_path.keys == find_keys(rows).keys
+
+    def test_records_peak_rss(self, tmp_path):
+        store = _ingest(tmp_path, _rows(50), 5, chunk_rows=16)
+        result = find_keys_out_of_core(store)
+        assert result.stats.peak_rss_kb is not None
+        assert result.stats.peak_rss_kb > 0
+
+    def test_load_dictionaries_round_trip(self, tmp_path):
+        rows = [("x", 1), ("y", 2), ("x", 3)]
+        store = ingest_rows(iter(rows), 2, tmp_path / "s", chunk_rows=2)
+        result = find_keys_out_of_core(store, load_dictionaries=True)
+        assert result.dictionaries is not None
+        assert result.dictionaries[0].decode(0) == "x"
+        assert result.dictionaries[0].decode(1) == "y"
+
+    def test_duplicate_rows_report_no_keys(self, tmp_path):
+        # Mirrors the in-memory pipeline: duplicate entities are a
+        # documented "no keys exist" outcome, not an exception.
+        rows = [(1, 2), (3, 4), (1, 2)]
+        store = ingest_rows(iter(rows), 2, tmp_path / "s", chunk_rows=2)
+        reference = find_keys(rows)
+        result = find_keys_out_of_core(store)
+        assert result.keys == reference.keys == []
+        assert result.nonkeys == reference.nonkeys
+
+    def test_non_equal_null_policy_rejected(self, tmp_path):
+        store = _ingest(tmp_path, _rows(20), 5, chunk_rows=8)
+        with pytest.raises(ConfigError):
+            find_keys_out_of_core(
+                store, config=GordianConfig(null_policy="distinct")
+            )
+
+
+class TestParallelSpillIdentity:
+    def _config(self):
+        # This box may have a single CPU; the whole point here is the
+        # sharded spill protocol, so deliberately oversubscribe.
+        return GordianConfig(
+            workers=2,
+            clamp_workers=False,
+            parallel_min_rows=1,
+            parallel_build_min_rows=1,
+        )
+
+    def test_sharded_spill_build_matches_serial(self, tmp_path):
+        rows = _rows(400)
+        store = _ingest(tmp_path, rows, 5, chunk_rows=64)
+        reference = find_keys(rows)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            result = find_keys_out_of_core(store, config=self._config())
+        assert result.keys == reference.keys
+        assert result.nonkeys == reference.nonkeys
+
+    def test_default_spill_dir_is_cleaned_up(self, tmp_path):
+        store = _ingest(tmp_path, _rows(300), 5, chunk_rows=64)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            find_keys_out_of_core(store, config=self._config())
+        assert not (store.directory / "spill").exists()
+
+    def test_explicit_spill_dir_retains_frames(self, tmp_path):
+        store = _ingest(tmp_path, _rows(300), 5, chunk_rows=64)
+        spill = tmp_path / "spill"
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            find_keys_out_of_core(
+                store, config=self._config(), spill_dir=spill
+            )
+        names = sorted(p.name for p in spill.iterdir())
+        assert any(name.startswith("shard-") for name in names)
+        assert any(name.startswith("merge-") for name in names)
+
+
+class TestBudget:
+    def test_node_budget_trips(self, tmp_path):
+        store = _ingest(tmp_path, _rows(200), 5, chunk_rows=32)
+        with pytest.raises(BudgetExceededError):
+            find_keys_out_of_core(
+                store, budget=RunBudget(max_tree_nodes=10)
+            )
+
+    def test_generous_budget_passes_and_snapshots(self, tmp_path):
+        rows = _rows(120)
+        store = _ingest(tmp_path, rows, 5, chunk_rows=32)
+        result = find_keys_out_of_core(
+            store, budget=RunBudget(max_tree_nodes=10_000_000)
+        )
+        assert result.keys == find_keys(rows).keys
+        assert result.stats.budget is not None

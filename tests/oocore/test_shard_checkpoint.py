@@ -1,0 +1,172 @@
+"""Per-shard build checkpoints: completed shards survive a mid-build crash.
+
+Two layers: the backend contract (``build_tree`` fires ``on_shard_done``
+per landed shard and never resubmits ``completed_shards``), and the
+checkpoint runner end-to-end (a parallel run interrupted during the build
+resumes from its ``build-shards`` checkpoint instead of rebuilding every
+shard).
+"""
+
+import warnings
+
+import pytest
+
+from repro.checkpoint import (
+    CheckpointManager,
+    find_keys_checkpointed,
+    fingerprint_rows,
+)
+from repro.core.gordian import GordianConfig, find_keys
+from repro.parallel.backend import ParallelContext
+from repro.parallel.shard import freeze_tree, plan_shards
+
+#: Force the sharded parallel path regardless of CPU count or dataset size.
+PARALLEL = dict(
+    workers=2, clamp_workers=False, parallel_min_rows=0,
+    parallel_build_min_rows=0,
+)
+
+
+def _rows(n=300):
+    return [((i * 7) % 6, (i * 3) % 5, (i * 11) % 4, i) for i in range(n)]
+
+
+@pytest.fixture
+def pctx():
+    config = GordianConfig(**PARALLEL)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        context = ParallelContext(_rows(), 4, config, workers=2)
+    with context:
+        yield context
+
+
+def _frozen_bytes(tree):
+    return freeze_tree(tree.root, tree.num_attributes).tobytes()
+
+
+class TestBackendShardHooks:
+    def test_on_shard_done_fires_per_shard(self, pctx):
+        seen = {}
+        tree = pctx.build_tree(
+            on_shard_done=lambda index, frozen: seen.__setitem__(
+                index, frozen
+            )
+        )
+        bounds = plan_shards(len(_rows()), pctx.workers)
+        assert sorted(seen) == list(range(len(bounds)))
+        assert all(isinstance(v, (bytes, bytearray)) for v in seen.values())
+        # The hook's payloads are exactly the frozen shards: replaying the
+        # build from them must reproduce the tree byte for byte.
+        replayed = pctx.build_tree(completed_shards=seen)
+        assert _frozen_bytes(replayed) == _frozen_bytes(tree)
+
+    def test_completed_shards_are_not_resubmitted(self, pctx):
+        done = {}
+        pctx.build_tree(on_shard_done=lambda i, v: done.__setitem__(i, v))
+        resubmitted = []
+        pctx.build_tree(
+            completed_shards=done,
+            on_shard_done=lambda i, v: resubmitted.append(i),
+        )
+        assert resubmitted == []
+
+    def test_partial_completion_builds_only_missing_shards(self, pctx):
+        done = {}
+        tree = pctx.build_tree(
+            on_shard_done=lambda i, v: done.__setitem__(i, v)
+        )
+        partial = dict(list(done.items())[:1])
+        landed = []
+        replayed = pctx.build_tree(
+            completed_shards=partial,
+            on_shard_done=lambda i, v: landed.append(i),
+        )
+        assert landed == [i for i in sorted(done) if i not in partial]
+        assert _frozen_bytes(replayed) == _frozen_bytes(tree)
+
+    def test_stale_indices_are_ignored(self, pctx):
+        done = {}
+        tree = pctx.build_tree(
+            on_shard_done=lambda i, v: done.__setitem__(i, v)
+        )
+        # A checkpoint from a different plan may carry out-of-range
+        # indices; they must not poison the build.
+        done[99] = b"stale"
+        replayed = pctx.build_tree(completed_shards=done)
+        assert _frozen_bytes(replayed) == _frozen_bytes(tree)
+
+
+class TestRunnerShardCheckpoints:
+    def _manager(self, tmp_path, config):
+        return CheckpointManager(
+            tmp_path / "ck",
+            interval_seconds=0,  # checkpoint at every opportunity
+            keep=5,
+            fingerprint=fingerprint_rows(_rows(), config),
+        )
+
+    def test_parallel_build_writes_shard_phase(self, tmp_path):
+        config = GordianConfig(**PARALLEL)
+        manager = self._manager(tmp_path, config)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            result = find_keys_checkpointed(
+                _rows(), config=config, manager=manager
+            )
+        reference = find_keys(_rows())
+        assert sorted(result.keys) == sorted(reference.keys)
+
+    def test_resume_from_shard_checkpoint_is_identical(self, tmp_path):
+        config = GordianConfig(**PARALLEL)
+        manager = self._manager(tmp_path, config)
+
+        # Crash the run after the first shard lands by raising out of the
+        # on-write observer the manager exposes via interval-0 cadence:
+        # simplest faithful stand-in is to run once, then rewrite the
+        # newest checkpoint back to its build-shards generation.
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            find_keys_checkpointed(_rows(), config=config, manager=manager)
+        # Success clears the directory; recreate a mid-build checkpoint by
+        # running again with a hook that stops after the build phase is
+        # first persisted.
+        bounds = plan_shards(len(_rows()), 2)
+        state = None
+        manager2 = self._manager(tmp_path, config)
+
+        class _StopAfterShard(Exception):
+            pass
+
+        original_write = manager2.write
+
+        def write_and_stop(payload, *args, **kwargs):
+            nonlocal state
+            result = original_write(payload, *args, **kwargs)
+            if payload.get("phase") == "build-shards" and payload.get(
+                "shards"
+            ):
+                state = payload
+                raise _StopAfterShard()
+            return result
+
+        manager2.write = write_and_stop
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with pytest.raises(_StopAfterShard):
+                find_keys_checkpointed(
+                    _rows(), config=config, manager=manager2
+                )
+        assert state is not None
+        assert state["shard_bounds"] == [list(b) for b in bounds]
+        assert manager2.generation_paths(), "no checkpoint on disk"
+
+        manager3 = self._manager(tmp_path, config)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            resumed = find_keys_checkpointed(
+                _rows(), config=config, manager=manager3, resume=True
+            )
+        reference = find_keys(_rows())
+        assert sorted(resumed.keys) == sorted(reference.keys)
+        assert sorted(resumed.nonkeys) == sorted(reference.nonkeys)

@@ -1,0 +1,59 @@
+"""Spill frame format: round-trips and corruption rejection."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.errors import ChunkCorruptError
+from repro.oocore.spill import (
+    decode_spill,
+    encode_spill,
+    read_spill,
+    write_spill,
+)
+
+SETTINGS = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestSpillRoundTrip:
+    @SETTINGS
+    @given(payload=st.binary(max_size=4096))
+    def test_encode_decode_round_trip(self, payload):
+        assert decode_spill(encode_spill(payload)) == payload
+
+    def test_file_round_trip(self, tmp_path):
+        path = tmp_path / "s.bin"
+        assert write_spill(path, b"frozen tree bytes") == path
+        assert read_spill(path) == b"frozen tree bytes"
+
+    def test_missing_file_is_corrupt(self, tmp_path):
+        with pytest.raises(ChunkCorruptError):
+            read_spill(tmp_path / "nope.bin")
+
+
+class TestSpillCorruption:
+    @SETTINGS
+    @given(payload=st.binary(min_size=1, max_size=512), flip=st.data())
+    def test_any_byte_flip_is_rejected(self, payload, flip):
+        blob = bytearray(encode_spill(payload))
+        position = flip.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        bit = flip.draw(st.integers(min_value=0, max_value=7))
+        blob[position] ^= 1 << bit
+        with pytest.raises(ChunkCorruptError):
+            decode_spill(bytes(blob))
+
+    @SETTINGS
+    @given(payload=st.binary(max_size=512), cut=st.data())
+    def test_any_truncation_is_rejected(self, payload, cut):
+        blob = encode_spill(payload)
+        keep = cut.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        with pytest.raises(ChunkCorruptError):
+            decode_spill(blob[:keep])
+
+    def test_trailing_garbage_is_rejected(self):
+        with pytest.raises(ChunkCorruptError):
+            decode_spill(encode_spill(b"x") + b"\x00")

@@ -72,7 +72,23 @@ class TestRowStores:
         rows = _rows(12)
         store = ShmRowStore(rows, 4)
         try:
-            assert load_rows(store.describe()) == rows
+            assert list(load_rows(store.describe())) == rows
+        finally:
+            store.close()
+
+    def test_shm_reader_is_lazy_and_sliceable(self):
+        # ``load_rows`` hands back a reader, not a materialized list: a
+        # worker touching rows [start:stop) must not copy the whole table.
+        rows = _rows(20)
+        store = ShmRowStore(rows, 4)
+        try:
+            reader = load_rows(store.describe())
+            assert not isinstance(reader, list)
+            assert len(reader) == len(rows)
+            assert list(reader.iter_range(5, 11)) == rows[5:11]
+            assert list(reader[5:11]) == rows[5:11]
+            assert reader[7] == rows[7]
+            reader.close()
         finally:
             store.close()
 
@@ -84,7 +100,7 @@ class TestRowStores:
     def test_inline_round_trip(self):
         rows = _rows(5)
         store = InlineRowStore(rows, 4)
-        assert load_rows(store.describe()) == rows
+        assert list(load_rows(store.describe())) == rows
 
     def test_pack_rows_prefers_shm(self):
         store = pack_rows(_rows(4), 4)

@@ -12,6 +12,7 @@ from repro.errors import (
     EXIT_CONFIG,
     EXIT_DATA,
     EXIT_RETRY,
+    EXIT_USAGE,
     exit_code_for,
 )
 from repro.robustness import FaultSpec, inject
@@ -78,6 +79,75 @@ class TestKeysCommand:
         assert main(["keys", str(path), "--max-print", "1"]) == 0
         out = capsys.readouterr().out
         assert "... and" in out
+
+
+class TestOutOfCoreFlag:
+    def test_out_of_core_matches_in_memory(self, employees_csv, capsys):
+        import re
+
+        def normalized(text):
+            # The summary line carries wall time; everything else must
+            # match byte for byte.
+            return re.sub(r"in \d+\.\d+s", "in <t>", text)
+
+        assert main(["keys", str(employees_csv)]) == 0
+        in_memory = capsys.readouterr().out
+        assert main(["keys", str(employees_csv), "--out-of-core"]) == 0
+        out_of_core = capsys.readouterr().out
+        assert normalized(out_of_core) == normalized(in_memory)
+        assert "3 minimal key(s)" in out_of_core
+
+    def test_explicit_chunk_dir_is_kept(self, employees_csv, tmp_path,
+                                        capsys):
+        chunk_dir = tmp_path / "chunks"
+        assert main([
+            "keys", str(employees_csv), "--out-of-core",
+            "--chunk-dir", str(chunk_dir), "--chunk-rows", "2",
+        ]) == 0
+        assert (chunk_dir / "manifest.json").exists()
+        assert len(list(chunk_dir.glob("chunk-*.bin"))) == 2
+
+    def test_profile_reports_peak_rss(self, employees_csv, capsys):
+        assert main([
+            "keys", str(employees_csv), "--out-of-core", "--profile",
+        ]) == 0
+        assert "peak rss" in capsys.readouterr().out
+
+    def test_chunk_flags_require_out_of_core(self, employees_csv, tmp_path,
+                                             capsys):
+        code = main([
+            "keys", str(employees_csv), "--chunk-dir", str(tmp_path / "c"),
+        ])
+        assert code == EXIT_USAGE
+        assert "--out-of-core" in capsys.readouterr().err
+
+    def test_rejects_sampling_combo(self, employees_csv, capsys):
+        code = main([
+            "keys", str(employees_csv), "--out-of-core",
+            "--sample-fraction", "0.5",
+        ])
+        assert code == EXIT_USAGE
+        assert "--sample-fraction" in capsys.readouterr().err
+
+    def test_rejects_checkpoint_combo(self, employees_csv, tmp_path,
+                                      capsys):
+        code = main([
+            "keys", str(employees_csv), "--out-of-core",
+            "--checkpoint-dir", str(tmp_path / "ck"),
+        ])
+        assert code == EXIT_USAGE
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_budget_requires_fail_mode(self, employees_csv, capsys):
+        code = main([
+            "keys", str(employees_csv), "--out-of-core", "--timeout", "5",
+        ])
+        assert code == EXIT_USAGE
+        assert "--on-budget fail" in capsys.readouterr().err
+        assert main([
+            "keys", str(employees_csv), "--out-of-core", "--timeout", "5",
+            "--on-budget", "fail",
+        ]) == 0
 
 
 class TestProfileCommand:
