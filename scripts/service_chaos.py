@@ -1,0 +1,276 @@
+#!/usr/bin/env python
+"""Chaos gate for the key-discovery service.
+
+Drives a real ``repro serve`` process through the failure sequence the
+service exists to survive, then verifies the core promise — **every
+accepted job lands in a correct terminal or resumable state, and nothing
+leaks** — from the outside:
+
+1. Submit a keyplant dataset and SIGKILL a pool worker mid-job; the job
+   must still reach a terminal state with the planted key discovered.
+2. Cancel a second job mid-search; it must land ``cancelled`` and free
+   its slot.
+3. SIGKILL the server itself with a job in flight; the on-disk journal
+   (read directly, not through the server) must show every job terminal
+   or resumable, and a restarted server must finish the interrupted job.
+4. Re-submit an already-profiled dataset; it must be served from the
+   result cache without touching the worker pool.
+5. SIGTERM-drain and check for leaked shared-memory segments, stray
+   worker processes, and orphaned temp/upload files.
+
+Exit status 0 means the gate passed.  Usage::
+
+    PYTHONPATH=src python scripts/service_chaos.py
+
+The search is slowed via the repo's own fault-injection plan (a per-visit
+sleep) so "mid-job" windows are wide enough to be deterministic; the
+worker kill itself is a real ``SIGKILL`` to a real forked process.
+"""
+
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+SRC = ROOT / "src"
+sys.path.insert(0, str(SRC))
+
+from repro.datagen import KeyPlantSpec, generate_planted  # noqa: E402
+from repro.robustness.faults import ENV_VAR, env_plan  # noqa: E402
+from repro.service.journal import JobJournal  # noqa: E402
+
+TERMINAL = {"succeeded", "degraded", "failed", "cancelled"}
+
+
+def fail(message: str) -> None:
+    print(f"CHAOS GATE FAILED: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        fail(message)
+
+
+class Server:
+    """One ``repro serve`` subprocess plus a blocking HTTP client."""
+
+    def __init__(self, state_dir: Path, plan: str = ""):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC)
+        env.pop(ENV_VAR, None)
+        if plan:
+            env[ENV_VAR] = plan
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--state-dir", str(state_dir), "--port", "0"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True,
+        )
+        self.port = None
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if line.startswith("serving on http://"):
+                self.port = int(line.rsplit(":", 1)[1])
+                break
+            if self.proc.poll() is not None:
+                break
+        if self.port is None:
+            fail(f"server did not start; stderr: {self.proc.stderr.read()}")
+
+    def request(self, method, path, body=None, timeout=15):
+        url = f"http://127.0.0.1:{self.port}{path}"
+        data = None if body is None else json.dumps(body).encode()
+        req = urllib.request.Request(url, data=data, method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=timeout) as response:
+                return response.status, json.loads(response.read() or b"null")
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read() or b"null")
+
+    def wait_state(self, job_id, states, timeout=180.0):
+        deadline = time.monotonic() + timeout
+        payload = None
+        while time.monotonic() < deadline:
+            _, payload = self.request("GET", f"/jobs/{job_id}")
+            if payload["state"] in states:
+                return payload
+            time.sleep(0.05)
+        fail(f"job {job_id} never reached {states}; last: {payload}")
+
+    def workers(self):
+        """Forked pool workers: children that aren't the resource tracker."""
+        try:
+            children = Path(
+                f"/proc/{self.proc.pid}/task/{self.proc.pid}/children"
+            ).read_text().split()
+        except OSError:
+            return []
+        workers = []
+        for pid in children:
+            try:
+                cmdline = Path(f"/proc/{pid}/cmdline").read_bytes()
+            except OSError:
+                continue
+            if b"resource_tracker" not in cmdline:
+                workers.append(int(pid))
+        return workers
+
+    def sigkill(self):
+        self.proc.kill()
+        self.proc.wait(timeout=30)
+
+    def sigterm(self, timeout=120):
+        self.proc.send_signal(signal.SIGTERM)
+        return self.proc.wait(timeout=timeout)
+
+
+def write_keyplant_csv(path: Path, num_rows: int = 400, seed: int = 11) -> list:
+    """A planted-key dataset; returns the planted key as attribute names."""
+    planted = generate_planted(KeyPlantSpec(
+        num_rows=num_rows, seed=seed, key_radices=(12, 12, 8),
+    ))
+    names = list(planted.table.schema.names)
+    with open(path, "w") as handle:
+        handle.write(",".join(names) + "\n")
+        for row in planted.table.rows:
+            handle.write(",".join(str(v) for v in row) + "\n")
+    return list(planted.key_names)
+
+
+def assert_no_leaks(state_dir: Path) -> None:
+    leaked = [n for n in os.listdir("/dev/shm") if n.startswith("psm_")] \
+        if os.path.isdir("/dev/shm") else []
+    check(not leaked, f"leaked shared-memory segments: {leaked}")
+    strays = subprocess.run(
+        ["pgrep", "-f", "repro serve"], capture_output=True, text=True
+    ).stdout.split()
+    check(not strays, f"stray server/worker processes: {strays}")
+    temps = [p for p in state_dir.rglob("*")
+             if p.name.endswith(".tmp") or ".tmp." in p.name]
+    check(not temps, f"orphaned temp files: {temps}")
+    uploads = state_dir / "uploads"
+    if uploads.exists():
+        check(not list(uploads.iterdir()), "orphaned upload spools")
+
+
+def main() -> int:
+    workdir = Path(tempfile.mkdtemp(prefix="svc-chaos-"))
+    state = workdir / "state"
+    try:
+        dataset = workdir / "keyplant.csv"
+        key_names = write_keyplant_csv(dataset)
+        # A second dataset for the cancel/SIGKILL jobs: same content would
+        # be served from the result cache once job 1 succeeds (that is
+        # step 5's assertion), leaving nothing running to interrupt.
+        other = workdir / "keyplant-other.csv"
+        write_keyplant_csv(other, num_rows=800, seed=13)
+        # Slow every NonKeyFinder visit slightly: wide, deterministic
+        # mid-job windows for the worker kill and the client cancel.
+        plan = env_plan(
+            {"point": "nonkey.visit", "action": "sleep", "seconds": 0.002},
+        )
+        server = Server(state, plan=plan)
+
+        # -- 1. SIGKILL a pool worker mid-job ---------------------------
+        _, job1 = server.request("POST", "/jobs", {
+            "dataset_path": str(dataset),
+            "engine": {"workers": 2, "clamp_workers": False,
+                       "parallel_min_rows": 0},
+        })
+        server.wait_state(job1["id"], ("running",))
+        deadline = time.monotonic() + 60
+        while not server.workers() and time.monotonic() < deadline:
+            time.sleep(0.05)
+        victims = server.workers()
+        check(bool(victims), "no pool worker appeared to kill")
+        os.kill(victims[0], signal.SIGKILL)
+        print(f"killed pool worker {victims[0]} mid-job")
+        final = server.wait_state(job1["id"], TERMINAL)
+        check(final["state"] in ("succeeded", "degraded"),
+              f"job after worker kill ended {final['state']}")
+        _, result = server.request("GET", f"/jobs/{job1['id']}/result")
+        found = result["result"]["keys"] if final["state"] == "succeeded" \
+            else [k["attrs"] for k in result["result"]["approximate"]["keys"]]
+        check(sorted(key_names) in [sorted(k) for k in found],
+              f"planted key {key_names} not in discovered keys {found}")
+        print(f"job survived worker kill: {final['state']}, keys correct")
+
+        # -- 2. cancel a second job mid-search --------------------------
+        _, job2 = server.request(
+            "POST", "/jobs", {"dataset_path": str(other)}
+        )
+        server.wait_state(job2["id"], ("running",))
+        status, ack = server.request("POST", f"/jobs/{job2['id']}/cancel")
+        check(status in (200, 202), f"cancel returned {status}")
+        final = server.wait_state(job2["id"], TERMINAL)
+        check(final["state"] == "cancelled",
+              f"cancelled job ended {final['state']}")
+        print("mid-search cancel landed: cancelled")
+
+        # -- 3. SIGKILL the server itself with a job in flight ----------
+        _, job3 = server.request(
+            "POST", "/jobs", {"dataset_path": str(other)}
+        )
+        server.wait_state(job3["id"], ("running",))
+        server.sigkill()
+        print("server SIGKILLed with a job in flight")
+
+        # The journal — read directly, no server — must tell a coherent
+        # story: every job terminal or resumable (queued).
+        replayed = JobJournal(state / "journal.bin").replay()
+        check(set(replayed.jobs) == {job1["id"], job2["id"], job3["id"]},
+              f"journal lost jobs: {sorted(replayed.jobs)}")
+        for job_id, record in replayed.jobs.items():
+            check(record["state"] in TERMINAL | {"queued"},
+                  f"{job_id} in bad journal state {record['state']}")
+        check(replayed.jobs[job3["id"]]["state"] == "queued",
+              "interrupted job not resumable in the journal")
+        print("journal coherent after SIGKILL: all jobs terminal/resumable")
+
+        # -- 4. restart: replay finishes the interrupted job ------------
+        server = Server(state, plan=plan)
+        final = server.wait_state(job3["id"], TERMINAL, timeout=240)
+        check(final["state"] == "succeeded",
+              f"replayed job ended {final['state']}")
+        check(final.get("recovered") is True, "replayed job not marked recovered")
+        print("restart replayed the interrupted job to success")
+
+        # -- 5. repeat submit is served from cache, pool untouched ------
+        _, stats_before = server.request("GET", "/stats")
+        _, job4 = server.request(
+            "POST", "/jobs", {"dataset_path": str(dataset)}
+        )
+        final = server.wait_state(job4["id"], TERMINAL)
+        check(final["state"] == "succeeded" and final["cache_hit"] is True,
+              f"repeat submit not a cache hit: {final}")
+        _, stats_after = server.request("GET", "/stats")
+        check(stats_after["cache"]["hits"] > stats_before["cache"]["hits"],
+              "cache hit counter did not advance")
+        check(server.workers() == [],
+              "cache-served job touched the worker pool")
+        print("repeat submit served from cache without touching the pool")
+
+        # -- 6. drain and leak check ------------------------------------
+        code = server.sigterm()
+        check(code == 0, f"SIGTERM drain exited {code}")
+        assert_no_leaks(state)
+        print("drained cleanly; no leaked segments, processes, or temp files")
+        print("CHAOS GATE PASSED")
+        return 0
+    finally:
+        subprocess.run(["pkill", "-f", "repro serve"], capture_output=True)
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

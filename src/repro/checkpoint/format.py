@@ -30,7 +30,7 @@ import pickle
 import struct
 import zlib
 from pathlib import Path
-from typing import Any, Union
+from typing import Any, List, Tuple, Union
 
 from repro.errors import CheckpointCorruptError
 from repro.robustness import cleanup, faults
@@ -40,6 +40,7 @@ __all__ = [
     "FORMAT_VERSION",
     "encode_checkpoint",
     "decode_checkpoint",
+    "decode_frames",
     "write_atomic",
 ]
 
@@ -96,6 +97,44 @@ def decode_checkpoint(data: bytes) -> Any:
         raise CheckpointCorruptError(
             f"checkpoint payload does not unpickle: {exc}"
         ) from exc
+
+
+def decode_frames(data: bytes) -> Tuple[List[Any], int]:
+    """Decode consecutive :func:`encode_checkpoint` frames from ``data``.
+
+    The append-only flavour of :func:`decode_checkpoint`: callers (the
+    service job journal) concatenate frames into one file, and a crash can
+    tear only the *last* append.  Returns ``(payloads, clean_offset)`` where
+    ``clean_offset`` is the end of the last frame that decoded fully —
+    everything before it is intact, everything after it is a torn tail the
+    caller should truncate away.  A corrupt frame *followed by* further
+    parseable bytes still stops the scan: frames carry no resync marker, so
+    trusting anything past the first damage would risk replaying records
+    out of order.
+    """
+    payloads: List[Any] = []
+    offset = 0
+    total = len(data)
+    while offset < total:
+        remaining = total - offset
+        if remaining < _HEADER.size + _FOOTER.size:
+            break
+        magic, version, length = _HEADER.unpack_from(data, offset)
+        if magic != MAGIC or version != FORMAT_VERSION:
+            break
+        frame_end = offset + _HEADER.size + length + _FOOTER.size
+        if frame_end > total:
+            break
+        body = data[offset + _HEADER.size:offset + _HEADER.size + length]
+        (crc,) = _FOOTER.unpack_from(data, offset + _HEADER.size + length)
+        if zlib.crc32(body) & 0xFFFFFFFF != crc:
+            break
+        try:
+            payloads.append(pickle.loads(body))
+        except Exception:
+            break
+        offset = frame_end
+    return payloads, offset
 
 
 def write_atomic(path: Union[str, Path], data: bytes) -> None:

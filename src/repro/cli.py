@@ -15,6 +15,10 @@ Subcommands
 ``trace``
     Narrate the NonKeyFinder traversal on a (small) CSV — the paper's
     section 3.5 walkthrough on your data.
+``serve``
+    Run the fault-tolerant key-discovery job service: an HTTP/JSON server
+    with admission control, cancellation, a crash-safe job journal, and
+    graceful degradation under overload (see :mod:`repro.service`).
 
 Errors never leak tracebacks: every :class:`~repro.errors.ReproError`
 subclass maps to a stable nonzero exit code (see ``repro.errors``) and
@@ -204,6 +208,49 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("csv", type=Path)
     trace.add_argument("--max-rows", type=int, default=50,
                        help="refuse to trace more rows than this")
+
+    serve = sub.add_parser(
+        "serve", help="run the fault-tolerant key-discovery job service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (default: 0 = pick a free one; the "
+                            "bound address is printed on startup)")
+    serve.add_argument("--state-dir", type=Path, required=True, metavar="DIR",
+                       help="directory for the crash-safe job journal, the "
+                            "keyed result cache, and spooled uploads")
+    serve.add_argument("--queue-depth", type=int, default=8, metavar="N",
+                       help="max queued jobs before submissions get 429 + "
+                            "Retry-After (default: 8)")
+    serve.add_argument("--job-slots", type=int, default=1, metavar="N",
+                       help="jobs run concurrently (default: 1; each job may "
+                            "itself use --workers processes)")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="default engine worker processes per job "
+                            "(jobs may override via their engine config)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="default per-job wall-clock deadline; on expiry "
+                            "the job degrades to sampling mode instead of "
+                            "hanging (default: none)")
+    serve.add_argument("--tenant-visits", type=int, default=None, metavar="N",
+                       help="per-tenant NonKeyFinder visit budget for this "
+                            "server's lifetime; exhausted tenants get 429 "
+                            "(default: unlimited)")
+    serve.add_argument("--retry-attempts", type=int, default=3, metavar="N",
+                       help="attempts per job on worker failure before "
+                            "degrading to sampling mode (default: 3)")
+    serve.add_argument("--grace", type=float, default=10.0, metavar="SECONDS",
+                       help="SIGTERM drain grace: running jobs get this long "
+                            "to finish, then this long again to honour a "
+                            "cooperative cancel (default: 10)")
+    serve.add_argument("--max-body-mb", type=float, default=64.0,
+                       metavar="MB",
+                       help="largest accepted request body / inline dataset "
+                            "upload (default: 64)")
+    serve.add_argument("--cache-entries", type=int, default=128, metavar="N",
+                       help="in-memory result-cache entries (disk entries "
+                            "are unbounded; default: 128)")
     return parser
 
 
@@ -537,11 +584,48 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    # Deferred import: the service pulls in asyncio machinery the batch
+    # subcommands never need.
+    import asyncio
+
+    from repro.service.app import ServiceApp
+
+    app = ServiceApp(
+        state_dir=args.state_dir,
+        host=args.host,
+        port=args.port,
+        queue_depth=args.queue_depth,
+        job_slots=args.job_slots,
+        default_workers=args.workers,
+        default_deadline_seconds=args.deadline,
+        tenant_visits=args.tenant_visits,
+        retry_attempts=args.retry_attempts,
+        drain_grace_seconds=args.grace,
+        max_body=int(args.max_body_mb * 2**20),
+        cache_entries=args.cache_entries,
+    )
+
+    async def run() -> None:
+        started = asyncio.ensure_future(app.serve_forever())
+        # Wait until the socket is bound so the port announcement is
+        # accurate even with --port 0.
+        while app.bound_port is None and not started.done():
+            await asyncio.sleep(0.01)
+        if app.bound_port is not None:
+            print(f"serving on http://{app.host}:{app.bound_port}", flush=True)
+        await started
+
+    asyncio.run(run())
+    return 0
+
+
 _COMMANDS = {
     "keys": _cmd_keys,
     "profile": _cmd_profile,
     "fks": _cmd_fks,
     "trace": _cmd_trace,
+    "serve": _cmd_serve,
 }
 
 

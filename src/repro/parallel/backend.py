@@ -170,6 +170,7 @@ class ParallelContext:
                 self._rows, self.num_attributes, stats=stats, budget=budget
             )
         supervisor = self.supervisor
+        self._arm_abort_check(budget)
         bounds = plan_shards(self.num_rows, self.workers)
         spill = Path(spill_dir) if spill_dir is not None else None
         done: Dict[int, object] = {
@@ -279,6 +280,22 @@ class ParallelContext:
             raise BudgetExceededError(value)
         return value
 
+    def _arm_abort_check(self, budget) -> None:
+        """Poll the parent meter while blocked on workers.
+
+        With a :class:`~repro.robustness.BudgetMeter` in play, the
+        supervisor's wait loop force-checkpoints it once per heartbeat and
+        per result batch, so an external :meth:`request_cancel` (or an
+        expired deadline) trips within ~one heartbeat even while every
+        worker is mid-packet — instead of waiting for the next parent-side
+        absorption hook.  The trip follows the existing budget-abort path:
+        pending futures are cancelled and a borrowed warm pool stays
+        healthy for the next run.
+        """
+        checkpoint = getattr(budget, "checkpoint", None)
+        if checkpoint is not None:
+            self.supervisor.abort_check = lambda: checkpoint(force=True)
+
     def make_finder(
         self,
         tree: PrefixTree,
@@ -287,6 +304,7 @@ class ParallelContext:
         skip_paths=None,
         on_slice_done=None,
     ) -> ParallelNonKeyFinder:
+        self._arm_abort_check(budget)
         return ParallelNonKeyFinder(
             tree,
             supervisor=self.supervisor,

@@ -19,9 +19,10 @@ startup once, not per sweep.
 from __future__ import annotations
 
 import atexit
+import logging
 import multiprocessing
 import os
-import warnings
+import signal
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Optional
 
@@ -29,6 +30,18 @@ from repro.errors import ConfigError
 
 __all__ = ["resolve_workers", "usable_cpu_count", "WorkerPool", "shared_pool",
            "close_shared_pool", "invalidate_shared_pool"]
+
+_logger = logging.getLogger(__name__)
+
+#: One clamp warning per process: a long-running service resolving workers
+#: on every job would otherwise emit the identical line thousands of times.
+_clamp_warned = False
+
+
+def _reset_clamp_warning() -> None:
+    """Re-arm the once-per-process clamp warning (test hook)."""
+    global _clamp_warned
+    _clamp_warned = False
 
 
 def usable_cpu_count() -> int:
@@ -48,11 +61,14 @@ def resolve_workers(
 
     Raises :class:`~repro.errors.ConfigError` for ``workers < 1`` (so the
     CLI reports a clean usage error), and clamps ``workers`` above the
-    usable CPU count to it, with a :class:`RuntimeWarning` — oversubscribed
-    pools only add scheduling overhead.  ``clamp=False`` keeps the
-    requested count (used by tests and the benchmark harness, which must
-    exercise the parallel path even on single-core runners).
+    usable CPU count to it, with one ``logging`` warning per process —
+    oversubscribed pools only add scheduling overhead, and a busy service
+    resolving workers per job must not repeat the line per call.
+    ``clamp=False`` keeps the requested count (used by tests and the
+    benchmark harness, which must exercise the parallel path even on
+    single-core runners).
     """
+    global _clamp_warned
     if not isinstance(requested, int) or isinstance(requested, bool):
         raise ConfigError(f"workers must be an integer, got {requested!r}")
     if requested < 1:
@@ -63,14 +79,45 @@ def resolve_workers(
         available = usable_cpu_count()
     available = max(1, available)
     if requested > available:
-        warnings.warn(
-            f"workers={requested} exceeds the {available} usable CPU(s); "
-            f"clamping to {available}",
-            RuntimeWarning,
-            stacklevel=2,
-        )
+        if not _clamp_warned:
+            _clamp_warned = True
+            _logger.warning(
+                "workers=%d exceeds the %d usable CPU(s); clamping to %d "
+                "(further clamp warnings suppressed for this process)",
+                requested,
+                available,
+                available,
+            )
         return available
     return requested
+
+
+def _detach_parent_signals() -> None:
+    """Sever signal plumbing a forked worker inherits from its parent.
+
+    A parent running an asyncio loop registers Python-level handlers and a
+    ``signal.set_wakeup_fd`` socket.  A forked worker inherits both, so a
+    SIGTERM aimed at the worker would be swallowed by the inherited no-op
+    handler *and* echoed down the shared wakeup pipe — where the parent's
+    event loop misreads it as its own shutdown signal and drains a
+    perfectly healthy server.  Reset both before any task runs.
+    """
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):
+        pass
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, signal.SIG_DFL)
+        except (ValueError, OSError):
+            pass
+
+
+def _worker_bootstrap(initializer: Optional[Callable], initargs: tuple) -> None:
+    """Pool initializer shim: detach signals, then run the caller's init."""
+    _detach_parent_signals()
+    if initializer is not None:
+        initializer(*initargs)
 
 
 class WorkerPool:
@@ -99,8 +146,8 @@ class WorkerPool:
         self._executor = ProcessPoolExecutor(
             max_workers=max_workers,
             mp_context=context,
-            initializer=initializer,
-            initargs=initargs,
+            initializer=_worker_bootstrap,
+            initargs=(initializer, initargs),
         )
         self._closed = False
 

@@ -149,6 +149,7 @@ class Supervisor:
         max_pool_restarts: int = 2,
         heartbeat: float = 1.0,
         clock: Callable[[], float] = time.monotonic,
+        abort_check: Optional[Callable[[], None]] = None,
     ):
         if max_task_retries < 0:
             raise ConfigError(
@@ -169,6 +170,15 @@ class Supervisor:
         self.serial_fallback = serial_fallback
         self.max_pool_restarts = max_pool_restarts
         self.heartbeat = heartbeat
+        #: Optional hook polled while waiting on workers (once per result
+        #: batch and once per heartbeat tick).  Raising from it aborts the
+        #: wait — the caller's normal error path then cancels pending work
+        #: and closes this supervisor, leaving a borrowed warm pool healthy.
+        #: The backend wires it to a forced ``BudgetMeter.checkpoint``, which
+        #: is how an externally requested cancel (``request_cancel``) lands
+        #: mid-build or mid-search within a heartbeat even when every worker
+        #: is busy on a long packet.
+        self.abort_check = abort_check
         self.epoch = next(_epoch_counter)
         self._clock = clock
         self._mp_context = mp_context
@@ -289,6 +299,8 @@ class Supervisor:
         disabled or exhausted.
         """
         while True:
+            if self.abort_check is not None:
+                self.abort_check()
             if self._ready:
                 return self._ready.popleft()
             if not self._pending:

@@ -117,6 +117,7 @@ class BudgetMeter:
         "rows_inserted",
         "checkpoints",
         "tripped_reason",
+        "cancel_requested",
         "_clock",
         "_ticks",
         "_tree_stats",
@@ -145,6 +146,7 @@ class BudgetMeter:
         self.rows_inserted = 0
         self.checkpoints = 0
         self.tripped_reason: Optional[str] = None
+        self.cancel_requested: Optional[str] = None
         self._ticks = 0
         self._tree_stats = None
         self._memo_cache = None
@@ -172,12 +174,29 @@ class BudgetMeter:
         return state
 
     def __setstate__(self, state: Dict[str, object]) -> None:
+        # Meters pickled by older builds predate the cancellation slot.
+        self.cancel_requested = None
         for name, value in state.items():
             setattr(self, name, value)
         if self._clock is None:
             self._clock = time.monotonic
         self._tree_stats = None
         self._memo_cache = None
+
+    # ------------------------------------------------------------------
+    # external cancellation
+
+    def request_cancel(self, reason: str = "cancelled") -> None:
+        """Ask the metered run to stop at its next cooperative checkpoint.
+
+        Safe to call from another thread (a single attribute store): the
+        run raises :class:`~repro.errors.BudgetExceededError` from its next
+        :meth:`checkpoint`, tripping mid-build or mid-search exactly like a
+        budget limit, so every salvage and cleanup path is shared.  Callers
+        that must distinguish a cancel from a genuine budget trip check
+        :attr:`cancel_requested` on the meter they armed.
+        """
+        self.cancel_requested = reason
 
     # ------------------------------------------------------------------
     # wiring
@@ -333,6 +352,8 @@ class BudgetMeter:
         if not force and self._ticks % self.check_interval:
             return
         self.checkpoints += 1
+        if self.cancel_requested is not None:
+            self._trip(f"run cancelled: {self.cancel_requested}")
         if self.deadline is not None and self._clock() > self.deadline:
             self._trip(
                 f"wall-clock deadline of {self.budget.wall_clock_seconds}s exceeded"

@@ -6,10 +6,18 @@ sleep function is injectable to keep tests instant and deterministic, and a
 ``should_retry`` predicate lets callers distinguish transient errors (an
 ``OSError``, or a ``DataError`` wrapping one) from permanent ones (a
 genuinely malformed file), which are re-raised immediately.
+
+Callers whose failures are *correlated* — several service jobs retrying
+against the same restarting worker pool — pass a ``jitter`` RNG: each delay
+is then drawn uniformly from ``[0, exponential_delay]`` ("full jitter"),
+which decorrelates the retry storms that lockstep exponential backoff
+produces.  The RNG is caller-supplied (never a module global) so tests seed
+it and the schedule stays deterministic.
 """
 
 from __future__ import annotations
 
+import random
 import time
 from typing import Callable, Optional, Tuple, Type, TypeVar
 
@@ -53,14 +61,19 @@ def retry_with_backoff(
     should_retry: Optional[Callable[[BaseException], bool]] = transient_io_error,
     sleep: Callable[[float], None] = time.sleep,
     on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    jitter: Optional[random.Random] = None,
 ) -> T:
     """Call ``fn`` up to ``attempts`` times with exponential backoff.
 
-    Delays run ``base_delay * multiplier**i`` capped at ``max_delay``.  An
-    exception outside ``retry_on``, or rejected by ``should_retry``, is
-    re-raised untouched; exhaustion raises
-    :class:`~repro.errors.RetryExhaustedError` chaining the last error.
-    ``on_retry(attempt_index, error)`` is invoked before each sleep.
+    Delays run ``base_delay * multiplier**i`` capped at ``max_delay``.  With
+    a ``jitter`` RNG, each delay is instead drawn uniformly from ``[0, that
+    cap]`` (full jitter) so concurrent retriers sharing a failed dependency
+    spread out instead of thundering back in lockstep; pass a seeded
+    ``random.Random`` for a deterministic schedule.  An exception outside
+    ``retry_on``, or rejected by ``should_retry``, is re-raised untouched;
+    exhaustion raises :class:`~repro.errors.RetryExhaustedError` chaining
+    the last error.  ``on_retry(attempt_index, error)`` is invoked before
+    each sleep.
     """
     if attempts < 1:
         raise ValueError(f"attempts must be >= 1, got {attempts}")
@@ -75,7 +88,10 @@ def retry_with_backoff(
             if attempt + 1 < attempts:
                 if on_retry is not None:
                     on_retry(attempt, exc)
-                sleep(min(max_delay, base_delay * multiplier**attempt))
+                delay = min(max_delay, base_delay * multiplier**attempt)
+                if jitter is not None:
+                    delay = jitter.uniform(0.0, delay)
+                sleep(delay)
     raise RetryExhaustedError(
         f"all {attempts} attempts failed; last error: {last}",
         attempts=attempts,

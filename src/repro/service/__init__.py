@@ -1,0 +1,53 @@
+"""Fault-tolerant key-discovery service.
+
+A long-running, zero-dependency asyncio HTTP/JSON server that accepts
+dataset-profiling jobs and runs them on the existing GORDIAN engine with
+the full robustness stack engaged: admission control with queue-depth
+backpressure, per-job deadlines and fair multi-tenant visit budgets,
+cooperative cancellation, retry-then-degrade on worker failure, a
+crash-safe append-only job journal, and a keyed result cache.
+
+Layering (each module depends only on those above it)::
+
+    wire      HTTP/1.1 + JSON parsing and rendering (pure, no state)
+    jobs      job spec + state machine + result payloads
+    journal   crash-safe append-only event log (checkpoint wire format)
+    cache     keyed result cache (dataset fingerprint x config fingerprint)
+    queue     bounded admission queue + per-tenant budget meters
+    executor  one job end to end: probe, run, retry, degrade, classify
+    app       the asyncio server owning all of the above
+
+Start one with ``repro serve`` or programmatically::
+
+    from repro.service import ServiceApp
+    app = ServiceApp(state_dir="/var/lib/gordian", port=8080)
+    asyncio.run(app.serve_forever())
+"""
+
+from repro.service.cache import ResultCache, cache_key
+from repro.service.executor import JobExecutor, Outcome
+from repro.service.jobs import Job, JobSpec, JobState
+from repro.service.journal import JobJournal
+from repro.service.queue import (
+    BoundedJobQueue,
+    QueueFullError,
+    TenantBudgets,
+    TenantExhaustedError,
+)
+from repro.service.app import ServiceApp
+
+__all__ = [
+    "ServiceApp",
+    "ResultCache",
+    "cache_key",
+    "JobExecutor",
+    "Outcome",
+    "Job",
+    "JobSpec",
+    "JobState",
+    "JobJournal",
+    "BoundedJobQueue",
+    "QueueFullError",
+    "TenantBudgets",
+    "TenantExhaustedError",
+]

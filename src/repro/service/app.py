@@ -1,0 +1,600 @@
+"""The key-discovery service: asyncio HTTP server + job lifecycle owner.
+
+One event loop owns all mutable job state; engine work runs in daemon
+threads (one per job slot) that report back through
+``loop.call_soon_threadsafe``.  Daemon threads — not an executor pool — so
+a wedged engine thread can never block interpreter exit: the drain path
+asks jobs to cancel cooperatively, and whatever refuses dies with the
+process while the journal still tells the truth about it.
+
+Endpoints (all JSON, ``Connection: close``)::
+
+    GET  /healthz            liveness: 200 while the process serves at all
+    GET  /readyz             readiness: 200 accepting / 503 draining-or-full
+    GET  /stats              queue, cache, tenant, and job-state counters
+    POST /jobs               submit {dataset_path|dataset_csv, tenant,
+                             deadline_seconds, engine{...}} -> 202 {id}
+    GET  /jobs               all jobs, newest last
+    GET  /jobs/<id>          status (state machine + timing + attempts)
+    GET  /jobs/<id>/result   terminal payload; 409 while running
+    POST /jobs/<id>/cancel   queued -> cancelled now; running -> lands at
+                             the next cooperative budget checkpoint
+
+Overload semantics: admission control happens *before* a job exists —
+a full queue answers 429 with a load-calibrated ``Retry-After``, an
+exhausted tenant answers 429, a draining server answers 503.  Once a job
+is accepted it always reaches a terminal state: worker crashes retry with
+full-jitter backoff and then degrade to sampling mode with T(K) strength
+bounds; budget/deadline trips degrade the same way; only a genuinely bad
+dataset or config fails.
+
+Crash safety: every transition is journalled (fsynced frame) *before* it
+is answered, so a SIGKILLed server replays the journal on restart —
+terminal jobs come back terminal (results re-served from the keyed
+cache), in-flight and queued jobs come back ``queued``/``recovered`` and
+re-run.  SIGTERM drains: stop admitting, let running jobs finish within a
+grace window, then cancel the rest cooperatively and compact the journal.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import os
+import signal
+import threading
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.errors import ConfigError
+from repro.robustness import BudgetMeter, RunBudget, cleanup
+from repro.service.cache import ResultCache
+from repro.service.executor import JobExecutor, Outcome
+from repro.service.jobs import Job, JobSpec, JobState
+from repro.service.journal import JobJournal
+from repro.service.queue import (
+    BoundedJobQueue,
+    QueueFullError,
+    TenantBudgets,
+    TenantExhaustedError,
+)
+from repro.service import wire
+
+__all__ = ["ServiceApp"]
+
+_logger = logging.getLogger(__name__)
+
+#: Cleanup-registry namespace for spooled upload files.
+_UPLOAD_NAMESPACE = "svc-upload:"
+#: Cleanup-registry namespace for in-flight upload temp files.
+_SPOOL_TMP_NAMESPACE = "svc-tmp:"
+
+
+class ServiceApp:
+    """One service instance: state dir, queue, pool-facing executor."""
+
+    def __init__(
+        self,
+        state_dir: Union[str, Path],
+        host: str = "127.0.0.1",
+        port: int = 0,
+        queue_depth: int = 8,
+        job_slots: int = 1,
+        default_workers: int = 1,
+        default_deadline_seconds: Optional[float] = None,
+        tenant_visits: Optional[int] = None,
+        retry_attempts: int = 3,
+        retry_base_delay: float = 0.2,
+        jitter_seed: Optional[int] = 0,
+        fallback_grace_seconds: float = 1.0,
+        drain_grace_seconds: float = 10.0,
+        max_body: int = wire.DEFAULT_MAX_BODY,
+        cache_entries: int = 128,
+    ):
+        if job_slots < 1:
+            raise ConfigError(f"job_slots must be >= 1, got {job_slots}")
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.uploads_dir = self.state_dir / "uploads"
+        self.uploads_dir.mkdir(exist_ok=True)
+        self.host = host
+        self.port = port
+        self.job_slots = job_slots
+        self.default_deadline_seconds = default_deadline_seconds
+        self.drain_grace_seconds = drain_grace_seconds
+        self.max_body = max_body
+
+        self.journal = JobJournal(self.state_dir / "journal.bin")
+        self.cache = ResultCache(self.state_dir / "cache", max_entries=cache_entries)
+        self.queue = BoundedJobQueue(queue_depth, job_slots=job_slots)
+        self.tenants = TenantBudgets(
+            None if tenant_visits is None else RunBudget(max_node_visits=tenant_visits)
+        )
+        self.executor = JobExecutor(
+            cache=self.cache,
+            default_workers=default_workers,
+            retry_attempts=retry_attempts,
+            retry_base_delay=retry_base_delay,
+            jitter_seed=jitter_seed,
+            fallback_grace_seconds=fallback_grace_seconds,
+        )
+
+        self.jobs: Dict[str, Job] = {}
+        self.running: Dict[str, Job] = {}
+        self.draining = False
+        self.recovered_jobs = 0
+        self._seq = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._idle: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    @property
+    def bound_port(self) -> Optional[int]:
+        if self._server is None or not self._server.sockets:
+            return None
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        """Replay the journal, then bind and start serving."""
+        self._loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self.journal.open()
+        self._recover()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.host, port=self.port
+        )
+        _logger.info(
+            "service listening on %s:%s (state dir %s)",
+            self.host, self.bound_port, self.state_dir,
+        )
+        self._dispatch()
+
+    async def serve_forever(self, install_signal_handlers: bool = True) -> None:
+        """Start, serve until SIGTERM/SIGINT (or :meth:`shutdown`), drain."""
+        await self.start()
+        if install_signal_handlers:
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    self._loop.add_signal_handler(
+                        signum, lambda: asyncio.ensure_future(self.shutdown())
+                    )
+                except (NotImplementedError, RuntimeError):
+                    pass
+        await self._stopped.wait()
+
+    async def shutdown(self) -> None:
+        """SIGTERM drain: refuse new work, finish or cancel the old."""
+        if self.draining:
+            return
+        self.draining = True
+        _logger.info(
+            "drain: %d running, %d queued, grace %.1fs",
+            len(self.running), len(self.queue), self.drain_grace_seconds,
+        )
+        # Queued jobs will not get a slot anymore: cancel them now so their
+        # journal story is terminal, not a lie that they might still run.
+        while True:
+            job = self.queue.pop()
+            if job is None:
+                break
+            self._finish(job, Outcome(
+                state=JobState.CANCELLED, error="server draining",
+            ))
+        try:
+            await asyncio.wait_for(
+                self._idle.wait(), timeout=self.drain_grace_seconds
+            )
+        except asyncio.TimeoutError:
+            for job in list(self.running.values()):
+                job.request_cancel("server draining")
+            try:  # cancels land at the next cooperative checkpoint
+                await asyncio.wait_for(
+                    self._idle.wait(), timeout=self.drain_grace_seconds
+                )
+            except asyncio.TimeoutError:
+                _logger.warning(
+                    "drain: %d job(s) ignored cancellation within grace; "
+                    "their journal records stay non-terminal (resumable)",
+                    len(self.running),
+                )
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        try:
+            self.journal.compact(self.journal.replay())
+        except Exception as exc:  # compaction is an optimization
+            _logger.warning("journal compaction failed: %s", exc)
+        self.journal.close()
+        self._stopped.set()
+
+    # ------------------------------------------------------------------
+    # crash recovery
+
+    def _recover(self) -> None:
+        """Rebuild job state from the journal (post-SIGKILL restart)."""
+        state = self.journal.replay()
+        if state.torn_tail_bytes:
+            _logger.warning(
+                "journal: truncated %d torn tail byte(s) from a crashed append",
+                state.torn_tail_bytes,
+            )
+        for job_id in state.order:
+            entry = state.jobs[job_id]
+            try:
+                spec = JobSpec.from_wire(entry["spec"])
+            except Exception:
+                _logger.warning("journal: job %s has an unreadable spec; dropped", job_id)
+                continue
+            job = Job(job_id, spec, submitted_at=entry["submitted_at"])
+            job.attempts = entry["attempts"]
+            self.jobs[job_id] = job
+            try:
+                self._seq = max(self._seq, int(job_id.split("-")[-1]))
+            except ValueError:
+                pass
+            recorded = entry["state"]
+            if recorded == "queued":
+                if entry["cancel_requested"]:
+                    # The cancel was acknowledged but never committed:
+                    # honour it now rather than re-running cancelled work.
+                    job.transition(JobState.CANCELLED)
+                    job.error = "cancelled before the previous server died"
+                    self.journal.finished(job_id, JobState.CANCELLED.value,
+                                         error=job.error)
+                    self._release_upload(job)
+                    continue
+                job.recovered = True
+                self.recovered_jobs += 1
+                if self.queue.full:
+                    job.transition(JobState.FAILED)
+                    job.error = "recovered job no longer fits the queue"
+                    self.journal.finished(job_id, JobState.FAILED.value,
+                                         error=job.error)
+                    self._release_upload(job)
+                else:
+                    self.queue.push(job)
+                continue
+            # Terminal record: restore it faithfully.
+            try:
+                terminal = JobState(recorded)
+            except ValueError:
+                terminal = JobState.FAILED
+            job.state = terminal
+            job.finished_at = entry["submitted_at"]
+            job.error = entry["error"]
+            ref = entry["result_ref"]
+            if ref and terminal is JobState.SUCCEEDED:
+                job.result = self.cache.load(ref)
+            self._release_upload(job)
+        if self.recovered_jobs:
+            _logger.info(
+                "journal: requeued %d interrupted job(s)", self.recovered_jobs
+            )
+
+    # ------------------------------------------------------------------
+    # scheduling
+
+    def _next_job_id(self) -> str:
+        self._seq += 1
+        return f"j-{self._seq:06d}"
+
+    def _dispatch(self) -> None:
+        """Fill free slots from the queue (loop thread only)."""
+        if self.draining:
+            return
+        while len(self.running) < self.job_slots:
+            job = self.queue.pop()
+            if job is None:
+                break
+            if job.cancel_requested:
+                self._finish(job, Outcome(
+                    state=JobState.CANCELLED, error="cancelled while queued",
+                ))
+                continue
+            self._start_job(job)
+
+    def _start_job(self, job: Job) -> None:
+        job.transition(JobState.RUNNING)
+        job.attempts += 1
+        self.journal.started(job.id, job.attempts)
+        deadline = job.spec.deadline_seconds
+        if deadline is None:
+            deadline = self.default_deadline_seconds
+        share = self.tenants.share_for(job.spec.tenant)
+        budget = RunBudget(
+            wall_clock_seconds=deadline,
+            max_node_visits=None if share is None else share.max_node_visits,
+        )
+        meter: BudgetMeter = budget.start()
+        job.meter = meter
+        if job.cancel_requested:  # cancel raced the dispatch
+            meter.request_cancel("cancelled before start")
+        self.tenants.job_started(job.spec.tenant)
+        self.running[job.id] = job
+        self._idle.clear()
+        loop = self._loop
+
+        def run() -> None:
+            outcome = self.executor.execute(job, meter)
+            loop.call_soon_threadsafe(self._on_job_done, job, outcome)
+
+        thread = threading.Thread(
+            target=run, name=f"svc-job-{job.id}", daemon=True
+        )
+        thread.start()
+
+    def _on_job_done(self, job: Job, outcome: Outcome) -> None:
+        self.running.pop(job.id, None)
+        self.tenants.job_finished(job.spec.tenant, outcome.visits)
+        self.queue.note_service_time(outcome.elapsed_seconds)
+        self._finish(job, outcome)
+        if not self.running:
+            self._idle.set()
+        self._dispatch()
+
+    def _finish(self, job: Job, outcome: Outcome) -> None:
+        """Commit a terminal outcome: state machine, journal, spool."""
+        job.transition(outcome.state)
+        job.result = outcome.result
+        job.error = outcome.error
+        job.cache_hit = outcome.cache_hit
+        self.journal.finished(
+            job.id,
+            outcome.state.value,
+            error=outcome.error,
+            result_ref=outcome.cache_ref,
+        )
+        self._release_upload(job)
+
+    def _release_upload(self, job: Job) -> None:
+        if not job.spec.uploaded:
+            return
+        path = Path(job.spec.dataset_path)
+        try:
+            path.unlink()
+        except OSError:
+            pass
+        cleanup.unregister(_UPLOAD_NAMESPACE + str(path))
+
+    # ------------------------------------------------------------------
+    # HTTP
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await wire.read_request(reader, max_body=self.max_body)
+                if request is None:
+                    return
+                response = self._route(request)
+            except wire.WireError as exc:
+                response = wire.error_response(exc.status, exc.message)
+            except Exception as exc:
+                _logger.exception("unhandled error serving a request")
+                response = wire.error_response(
+                    500, f"internal error: {type(exc).__name__}"
+                )
+            writer.write(wire.render_response(response))
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    def _route(self, request: wire.Request) -> wire.Response:
+        method, path = request.method, request.path.rstrip("/") or "/"
+        if path == "/healthz" and method == "GET":
+            return wire.json_response(200, {"ok": True, "draining": self.draining})
+        if path == "/readyz" and method == "GET":
+            return self._readyz()
+        if path == "/stats" and method == "GET":
+            return wire.json_response(200, self._stats())
+        if path == "/jobs":
+            if method == "POST":
+                return self._submit(request)
+            if method == "GET":
+                return wire.json_response(200, {
+                    "jobs": [
+                        self.jobs[job_id].status_payload()
+                        for job_id in sorted(self.jobs)
+                    ]
+                })
+            return wire.error_response(405, f"{method} not allowed on {path}")
+        if path.startswith("/jobs/"):
+            return self._job_route(method, path)
+        return wire.error_response(404, f"no route for {path}")
+
+    def _readyz(self) -> wire.Response:
+        if self.draining:
+            return wire.error_response(503, "draining")
+        if self.queue.full:
+            return wire.error_response(
+                503, "queue full",
+                headers={"Retry-After": str(self.queue.retry_after_hint())},
+            )
+        return wire.json_response(200, {"ready": True, "queued": len(self.queue)})
+
+    def _stats(self) -> Dict[str, Any]:
+        by_state: Dict[str, int] = {}
+        for job in self.jobs.values():
+            by_state[job.state.value] = by_state.get(job.state.value, 0) + 1
+        return {
+            "draining": self.draining,
+            "job_slots": self.job_slots,
+            "running": len(self.running),
+            "recovered_jobs": self.recovered_jobs,
+            "jobs_by_state": by_state,
+            "queue": self.queue.stats(),
+            "cache": self.cache.stats(),
+            "tenants": self.tenants.stats(),
+        }
+
+    # ------------------------------------------------------------------
+
+    def _submit(self, request: wire.Request) -> wire.Response:
+        if self.draining:
+            return wire.error_response(503, "server is draining")
+        body = request.json()
+        if not isinstance(body, dict):
+            raise wire.WireError(400, "request body must be a JSON object")
+        tenant = str(body.get("tenant", "default"))
+        try:
+            self.tenants.admit(tenant)
+        except TenantExhaustedError as exc:
+            return wire.error_response(429, str(exc))
+        if self.queue.full:
+            # Check before spooling an upload we would immediately discard.
+            self.queue.rejected += 1
+            return wire.error_response(
+                429, f"job queue is full ({len(self.queue)} queued)",
+                headers={"Retry-After": str(self.queue.retry_after_hint())},
+            )
+
+        spec = self._spec_from_body(body, tenant)
+        job = Job(self._next_job_id(), spec)
+        self.jobs[job.id] = job
+        self.journal.submitted(job.id, spec.to_wire())
+        try:
+            self.queue.push(job)
+        except QueueFullError as exc:  # raced another submit
+            self._finish(job, Outcome(state=JobState.FAILED, error=str(exc)))
+            return wire.error_response(
+                429, str(exc), headers={"Retry-After": str(exc.retry_after)}
+            )
+        self._dispatch()
+        return wire.json_response(202, {
+            "id": job.id,
+            "state": job.state.value,
+            "queued_behind": max(0, len(self.queue) - 1),
+        })
+
+    def _spec_from_body(self, body: Dict[str, Any], tenant: str) -> JobSpec:
+        engine = body.get("engine") or {}
+        if not isinstance(engine, dict):
+            raise wire.WireError(400, "engine must be a JSON object")
+        deadline = body.get("deadline_seconds")
+        if deadline is not None:
+            try:
+                deadline = float(deadline)
+            except (TypeError, ValueError):
+                raise wire.WireError(400, "deadline_seconds must be a number")
+            if deadline <= 0:
+                raise wire.WireError(400, "deadline_seconds must be positive")
+        csv_text = body.get("dataset_csv")
+        dataset_path = body.get("dataset_path")
+        if (csv_text is None) == (dataset_path is None):
+            raise wire.WireError(
+                400, "exactly one of dataset_path or dataset_csv is required"
+            )
+        uploaded = False
+        if csv_text is not None:
+            if not isinstance(csv_text, str) or not csv_text.strip():
+                raise wire.WireError(400, "dataset_csv must be non-empty CSV text")
+            dataset_path = self._spool_upload(csv_text)
+            name = str(body.get("dataset_name", "upload"))
+            uploaded = True
+        else:
+            dataset_path = str(dataset_path)
+            name = str(body.get("dataset_name", Path(dataset_path).name))
+        return JobSpec(
+            dataset_path=str(dataset_path),
+            dataset_name=name,
+            tenant=tenant,
+            deadline_seconds=deadline,
+            engine=dict(engine),
+            uploaded=uploaded,
+        )
+
+    def _spool_upload(self, csv_text: str) -> str:
+        """Spool an inline dataset to the state dir, crash-registered.
+
+        Temp + rename, with both names in the shared cleanup registry: the
+        temp for the write window, the spool file until its job goes
+        terminal — so the leak checks can assert nothing survives a crash.
+        """
+        self._seq += 1
+        final = self.uploads_dir / f"upload-{os.getpid()}-{self._seq:06d}.csv"
+        tmp = final.with_suffix(".csv.tmp")
+        tmp_key = _SPOOL_TMP_NAMESPACE + str(tmp)
+        cleanup.register(tmp_key, lambda: _unlink_quiet(tmp))
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(csv_text)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, final)
+        finally:
+            cleanup.unregister(tmp_key)
+            _unlink_quiet(tmp)
+        cleanup.register(
+            _UPLOAD_NAMESPACE + str(final), lambda: _unlink_quiet(final)
+        )
+        return str(final)
+
+    # ------------------------------------------------------------------
+
+    def _job_route(self, method: str, path: str) -> wire.Response:
+        parts = path.split("/")  # ['', 'jobs', '<id>'] or ['', 'jobs', '<id>', verb]
+        job = self.jobs.get(parts[2])
+        if job is None:
+            return wire.error_response(404, f"unknown job {parts[2]!r}")
+        verb = parts[3] if len(parts) > 3 else None
+        if verb is None and method == "GET":
+            return wire.json_response(200, job.status_payload())
+        if verb == "result" and method == "GET":
+            if not job.terminal:
+                return wire.error_response(
+                    409, f"job {job.id} is {job.state.value}; result not ready"
+                )
+            return wire.json_response(200, {
+                "id": job.id,
+                "state": job.state.value,
+                "error": job.error,
+                "cache_hit": job.cache_hit,
+                "result": job.result,
+            })
+        if verb == "cancel" and method == "POST":
+            return self._cancel(job)
+        return wire.error_response(
+            405 if verb in (None, "result", "cancel") else 404,
+            f"{method} {path} is not supported",
+        )
+
+    def _cancel(self, job: Job) -> wire.Response:
+        if job.terminal:
+            return wire.error_response(
+                409, f"job {job.id} already {job.state.value}"
+            )
+        if job.state is JobState.QUEUED:
+            self.queue.remove(job.id)
+            self._finish(job, Outcome(
+                state=JobState.CANCELLED, error="cancelled while queued",
+            ))
+            return wire.json_response(200, {"id": job.id, "state": job.state.value})
+        # Running: ask the meter; the engine trips at its next checkpoint
+        # and the slot frees through the normal completion path.
+        job.request_cancel("cancelled by client")
+        self.journal.cancel_requested(job.id)
+        return wire.json_response(202, {
+            "id": job.id,
+            "state": job.state.value,
+            "cancel_requested": True,
+        })
+
+
+def _unlink_quiet(path: Path) -> None:
+    try:
+        os.unlink(str(path))
+    except OSError:
+        pass

@@ -1,0 +1,134 @@
+"""Keyed result cache: repeat profiling of an unchanged dataset is free.
+
+The cache key is the same identity the checkpoint subsystem uses to decide
+whether a resume is safe: :class:`~repro.checkpoint.manager.DatasetFingerprint`
+(path, size, content sha256) crossed with
+:func:`~repro.checkpoint.manager.config_fingerprint` (only the
+result-affecting engine fields).  Two submissions with the same bytes and
+the same result-affecting config therefore share an entry even if their
+budgets, deadlines, or tenants differ — those change *whether* a run
+finishes, never *what* the keys are.
+
+Only exact (non-degraded) successes are cached: a degraded result encodes
+how much budget a particular run had, which is not a property of the
+dataset.
+
+Entries live in a small in-memory LRU backed by per-entry disk files in
+the service state directory, written with the checkpoint wire format
+(:func:`~repro.checkpoint.format.encode_checkpoint` via
+:func:`~repro.checkpoint.format.write_atomic`) so a torn write surfaces as
+a miss, never as a wrong answer, and the temp files are already registered
+with the shared cleanup registry.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.checkpoint.format import decode_checkpoint, encode_checkpoint, write_atomic
+from repro.checkpoint.manager import DatasetFingerprint
+
+__all__ = ["ResultCache", "cache_key"]
+
+
+def cache_key(fingerprint: DatasetFingerprint) -> str:
+    """Stable hex key from dataset content hash x config hash.
+
+    The path is deliberately excluded: the same bytes uploaded twice under
+    different spool names should hit.
+    """
+    digest = hashlib.sha256()
+    digest.update(fingerprint.sha256.encode("ascii"))
+    digest.update(b"\x00")
+    digest.update(fingerprint.config_hash.encode("ascii"))
+    return digest.hexdigest()[:32]
+
+
+class ResultCache:
+    """LRU of job result payloads, persisted one file per entry.
+
+    Thread-safe: executor threads (one per job slot) probe and fill it
+    concurrently while the event loop reads stats, so the memory LRU is
+    guarded by a lock.  Disk writes are already safe — ``write_atomic``
+    renames a per-pid temp into place.
+    """
+
+    def __init__(self, directory: Union[str, Path], max_entries: int = 128):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max(1, int(max_entries))
+        self._memory: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+
+    def _entry_path(self, key: str) -> Path:
+        return self.directory / f"{key}.res"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Memory-first probe; falls back to disk and re-warms memory."""
+        with self._lock:
+            entry = self._memory.get(key)
+            if entry is not None:
+                self._memory.move_to_end(key)
+                self.hits += 1
+                return dict(entry)
+        entry = self.load(key)
+        with self._lock:
+            if entry is None:
+                self.misses += 1
+                return None
+            self._remember(key, entry)
+            self.hits += 1
+            return dict(entry)
+
+    def load(self, key: str) -> Optional[Dict[str, Any]]:
+        """Disk-only probe: safe from any thread, mutates nothing."""
+        path = self._entry_path(key)
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            payload = decode_checkpoint(raw)
+        except Exception:
+            # Torn or stale entry: drop it rather than serve bad data.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if not isinstance(payload, dict):
+            return None
+        return payload
+
+    def put(self, key: str, result: Dict[str, Any]) -> None:
+        """Persist then remember; eviction only drops the memory copy."""
+        write_atomic(self._entry_path(key), encode_checkpoint(dict(result)))
+        with self._lock:
+            self._remember(key, result)
+
+    def _remember(self, key: str, result: Dict[str, Any]) -> None:
+        self._memory[key] = dict(result)
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "entries_in_memory": len(self._memory),
+                "entries_on_disk": sum(
+                    1 for _ in self.directory.glob("*.res")
+                ),
+                "hits": self.hits,
+                "misses": self.misses,
+            }

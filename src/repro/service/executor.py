@@ -1,0 +1,263 @@
+"""Run one job end to end: cache probe, exact run, retry, degrade.
+
+This is the synchronous engine-facing half of the service — it runs in a
+worker thread (one per job slot) and never touches the event loop.  The
+loop arms a :class:`~repro.robustness.BudgetMeter` per job (deadline +
+tenant share) before dispatch; this module runs the whole attempt sequence
+*under that single meter*, so retries never extend a job's deadline and a
+client cancel lands at the next cooperative checkpoint regardless of which
+attempt is in flight.
+
+Outcome classification — the heart of "accepted jobs always terminate":
+
+=====================  ==========  =========================================
+engine outcome         job state   how
+=====================  ==========  =========================================
+result                 succeeded   cached (exact results only)
+cancel tripped meter   cancelled   ``meter.cancel_requested`` distinguishes
+                                   a cancel from a budget trip
+budget tripped         degraded    sampling-mode fallback with T(K) bounds
+                                   (:func:`degraded_result_from_failure`)
+worker crashes         degraded    retried with full-jitter backoff first;
+                                   exhaustion degrades to sampling mode
+bad dataset / config   failed      the only bucket that yields no keys
+=====================  ==========  =========================================
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.checkpoint.manager import fingerprint_file
+from repro.core.gordian import degraded_result_from_failure, run_with_budget
+from repro.dataset.csv_io import load_csv_with_retry
+from repro.errors import (
+    BudgetExceededError,
+    ReproError,
+    RetryExhaustedError,
+    WorkerFailureError,
+)
+from repro.robustness import BudgetMeter
+from repro.robustness.retry import retry_with_backoff
+from repro.service.cache import ResultCache, cache_key
+from repro.service.jobs import (
+    Job,
+    JobState,
+    degraded_payload,
+    make_engine_config,
+    success_payload,
+)
+
+__all__ = ["Outcome", "JobExecutor"]
+
+
+@dataclass
+class Outcome:
+    """What one job's execution produced, ready for the loop to commit."""
+
+    state: JobState
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    cache_hit: bool = False
+    cache_ref: Optional[str] = None
+    #: NonKeyFinder visits this job consumed (absorbed into its tenant).
+    visits: int = 0
+    elapsed_seconds: float = 0.0
+    attempts: int = 1
+    retry_errors: List[str] = field(default_factory=list)
+
+
+class JobExecutor:
+    """Stateless-per-job runner shared by all job slots."""
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        default_workers: int = 1,
+        retry_attempts: int = 3,
+        retry_base_delay: float = 0.2,
+        jitter_seed: Optional[int] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        fallback_grace_seconds: float = 1.0,
+    ):
+        self.cache = cache
+        self.default_workers = default_workers
+        self.retry_attempts = max(1, retry_attempts)
+        self.retry_base_delay = retry_base_delay
+        # One RNG for the process: full jitter needs no per-job isolation,
+        # and a fixed seed makes fault tests schedule-deterministic.
+        self._jitter = random.Random(jitter_seed)
+        self._sleep = sleep
+        self.fallback_grace_seconds = fallback_grace_seconds
+
+    # ------------------------------------------------------------------
+
+    def execute(self, job: Job, meter: BudgetMeter) -> Outcome:
+        """Run ``job`` under ``meter``; never raises, always classifies."""
+        started = time.monotonic()
+        try:
+            outcome = self._execute(job, meter)
+        except Exception as exc:  # classification safety net
+            outcome = Outcome(
+                state=JobState.FAILED,
+                error=f"internal error: {type(exc).__name__}: {exc}",
+            )
+        outcome.visits = meter.node_visits
+        outcome.elapsed_seconds = time.monotonic() - started
+        return outcome
+
+    # ------------------------------------------------------------------
+
+    def _execute(self, job: Job, meter: BudgetMeter) -> Outcome:
+        spec = job.spec
+        try:
+            config = make_engine_config(spec.engine, self.default_workers)
+        except ReproError as exc:
+            return Outcome(state=JobState.FAILED, error=str(exc))
+
+        # Cache probe first: a hit never touches the engine or the pool.
+        key: Optional[str] = None
+        if self.cache is not None:
+            try:
+                fingerprint = fingerprint_file(spec.dataset_path, config)
+            except (OSError, ReproError) as exc:
+                return Outcome(
+                    state=JobState.FAILED,
+                    error=f"cannot fingerprint dataset: {exc}",
+                )
+            key = cache_key(fingerprint)
+            cached = self.cache.get(key)
+            if cached is not None:
+                return Outcome(
+                    state=JobState.SUCCEEDED,
+                    result=cached,
+                    cache_hit=True,
+                    cache_ref=key,
+                )
+
+        try:
+            table = load_csv_with_retry(spec.dataset_path)
+        except (ReproError, OSError) as exc:
+            return Outcome(state=JobState.FAILED, error=str(exc))
+
+        rows = table.rows
+        names = list(table.schema.names)
+        num_attributes = len(names)
+        retry_errors: List[str] = []
+        attempts_made = {"count": 0}
+
+        def attempt():
+            attempts_made["count"] += 1
+            return run_with_budget(
+                rows,
+                meter,
+                num_attributes=num_attributes,
+                attribute_names=names,
+                config=config,
+            )
+
+        def note_retry(index: int, exc: BaseException) -> None:
+            retry_errors.append(f"attempt {index + 1}: {exc}")
+
+        try:
+            result = retry_with_backoff(
+                attempt,
+                attempts=self.retry_attempts,
+                base_delay=self.retry_base_delay,
+                retry_on=(WorkerFailureError,),
+                should_retry=None,  # every WorkerFailureError is worth a retry
+                sleep=self._sleep,
+                on_retry=note_retry,
+                jitter=self._jitter,
+            )
+        except BudgetExceededError as exc:
+            if meter.cancel_requested is not None:
+                return Outcome(
+                    state=JobState.CANCELLED,
+                    error=str(exc),
+                    attempts=attempts_made["count"],
+                    retry_errors=retry_errors,
+                )
+            return self._degrade(
+                exc, rows, num_attributes, names, config,
+                attempts_made["count"], retry_errors,
+            )
+        except RetryExhaustedError as exc:
+            cause = exc.last_error if isinstance(
+                exc.last_error, WorkerFailureError
+            ) else WorkerFailureError(str(exc))
+            return self._degrade(
+                cause, rows, num_attributes, names, config,
+                attempts_made["count"], retry_errors,
+            )
+        except ReproError as exc:
+            return Outcome(
+                state=JobState.FAILED,
+                error=str(exc),
+                attempts=attempts_made["count"],
+                retry_errors=retry_errors,
+            )
+
+        payload = success_payload(result)
+        if self.cache is not None and key is not None:
+            try:
+                self.cache.put(key, payload)
+            except OSError:
+                pass  # cache is an optimization; the result still ships
+        return Outcome(
+            state=JobState.SUCCEEDED,
+            result=payload,
+            cache_ref=key,
+            attempts=attempts_made["count"],
+            retry_errors=retry_errors,
+        )
+
+    # ------------------------------------------------------------------
+
+    def _degrade(
+        self,
+        exc,
+        rows,
+        num_attributes: int,
+        names: List[str],
+        config,
+        attempts: int,
+        retry_errors: List[str],
+    ) -> Outcome:
+        """Graceful degradation: the job completes with sampled keys.
+
+        ``degraded_result_from_failure`` reruns on shrinking reservoir
+        samples (each under a short grace budget, serially — the pool may
+        be the thing that failed) and grades the keys with the Bayesian
+        strength bound T(K), so even an overloaded or crash-looping server
+        answers with *something sound* rather than an error.
+        """
+        try:
+            robust = degraded_result_from_failure(
+                exc,
+                rows,
+                num_attributes=num_attributes,
+                attribute_names=names,
+                config=config,
+                fallback_grace_seconds=self.fallback_grace_seconds,
+            )
+        except Exception as fallback_exc:
+            return Outcome(
+                state=JobState.FAILED,
+                error=(
+                    f"degradation failed after {exc}: "
+                    f"{type(fallback_exc).__name__}: {fallback_exc}"
+                ),
+                attempts=attempts,
+                retry_errors=retry_errors,
+            )
+        return Outcome(
+            state=JobState.DEGRADED,
+            result=degraded_payload(robust),
+            error=robust.reason,
+            attempts=attempts,
+            retry_errors=retry_errors,
+        )

@@ -1,0 +1,293 @@
+"""Job model for the key-discovery service: spec, state machine, payloads.
+
+A job is one dataset-profiling request moving through a strict state
+machine::
+
+    queued ──> running ──> succeeded
+       │          ├──────> degraded    (budget trip / worker failure,
+       │          │                     completed via sampling mode)
+       │          ├──────> failed      (dataset/config genuinely bad)
+       │          └──────> cancelled   (client cancel landed mid-run)
+       └────────────────> cancelled    (cancelled while still queued)
+
+``succeeded``/``degraded``/``failed``/``cancelled`` are *terminal*: nothing
+leaves them, and the journal records exactly one ``finished`` event per
+job.  Every transition is validated by :meth:`Job.transition`, so a logic
+bug that would corrupt the journal's story fails loudly in-process first.
+
+The spec whitelists which :class:`~repro.core.GordianConfig` fields a
+client may override (:data:`ENGINE_FIELDS`); everything else — pool reuse,
+checkpoint wiring, clamping — is service policy, not client input.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional
+
+from repro.core import GordianConfig
+from repro.errors import ConfigError
+
+__all__ = [
+    "JobState",
+    "TERMINAL_STATES",
+    "JobSpec",
+    "Job",
+    "ENGINE_FIELDS",
+    "make_engine_config",
+    "success_payload",
+    "degraded_payload",
+]
+
+
+class JobState(str, Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    DEGRADED = "degraded"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: States nothing ever leaves.
+TERMINAL_STATES = frozenset(
+    {JobState.SUCCEEDED, JobState.DEGRADED, JobState.FAILED, JobState.CANCELLED}
+)
+
+_VALID_TRANSITIONS = {
+    JobState.QUEUED: {JobState.RUNNING, JobState.CANCELLED, JobState.FAILED},
+    JobState.RUNNING: {
+        JobState.SUCCEEDED,
+        JobState.DEGRADED,
+        JobState.FAILED,
+        JobState.CANCELLED,
+    },
+}
+
+#: GordianConfig fields a client may set per job, with their caster.  A
+#: submission naming anything else is rejected up front (400), so a typo
+#: cannot silently run under default semantics.
+ENGINE_FIELDS: Dict[str, Any] = {
+    "workers": int,
+    "encode": bool,
+    "merge_cache": bool,
+    "vectorize": bool,
+    "futility_exchange": bool,
+    "null_policy": str,
+    "serial_fallback": bool,
+    "max_task_retries": int,
+    "max_pool_restarts": int,
+    "task_timeout_seconds": float,
+    "target_packet_ms": float,
+    "clamp_workers": bool,
+    "parallel_min_rows": int,
+    "parallel_build_min_rows": int,
+}
+
+
+def make_engine_config(
+    engine: Dict[str, Any],
+    default_workers: int = 1,
+) -> GordianConfig:
+    """Build the per-job :class:`~repro.core.GordianConfig`.
+
+    Client-supplied ``engine`` overrides are whitelisted and cast;
+    validation itself is delegated to ``GordianConfig.__post_init__`` so a
+    bad value fails with the same :class:`~repro.errors.ConfigError` the
+    CLI reports.  ``reuse_pool`` is always on for parallel jobs: service
+    jobs dispatch onto the process-wide warm pool instead of paying worker
+    startup per request.
+    """
+    kwargs: Dict[str, Any] = {}
+    for name, value in dict(engine or {}).items():
+        caster = ENGINE_FIELDS.get(name)
+        if caster is None:
+            allowed = ", ".join(sorted(ENGINE_FIELDS))
+            raise ConfigError(
+                f"unknown engine option {name!r} (allowed: {allowed})"
+            )
+        if value is not None:
+            try:
+                value = caster(value)
+            except (TypeError, ValueError) as exc:
+                raise ConfigError(
+                    f"engine option {name!r} has invalid value {value!r}"
+                ) from exc
+        kwargs[name] = value
+    kwargs.setdefault("workers", default_workers)
+    workers = kwargs["workers"]
+    if not isinstance(workers, int) or isinstance(workers, bool):
+        raise ConfigError(f"workers must be an integer, got {workers!r}")
+    return GordianConfig(reuse_pool=workers > 1, **kwargs)
+
+
+@dataclass
+class JobSpec:
+    """Everything a job needs to run, durable across process death."""
+
+    dataset_path: str
+    dataset_name: str
+    tenant: str = "default"
+    deadline_seconds: Optional[float] = None
+    engine: Dict[str, Any] = field(default_factory=dict)
+    #: True when ``dataset_path`` is a service-owned spool file (an upload)
+    #: to be deleted once the job is terminal.
+    uploaded: bool = False
+
+    def to_wire(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, Any]) -> "JobSpec":
+        return cls(
+            dataset_path=str(data["dataset_path"]),
+            dataset_name=str(data["dataset_name"]),
+            tenant=str(data.get("tenant", "default")),
+            deadline_seconds=(
+                None
+                if data.get("deadline_seconds") is None
+                else float(data["deadline_seconds"])
+            ),
+            engine=dict(data.get("engine") or {}),
+            uploaded=bool(data.get("uploaded", False)),
+        )
+
+
+class Job:
+    """One job's full lifecycle, owned by the event-loop thread.
+
+    The executor thread only ever *reads* the spec and calls hooks on the
+    meter the loop armed for it; every state mutation happens on the loop,
+    so no lock is needed.
+    """
+
+    def __init__(self, job_id: str, spec: JobSpec, submitted_at: Optional[float] = None):
+        self.id = job_id
+        self.spec = spec
+        self.state = JobState.QUEUED
+        self.submitted_at = time.time() if submitted_at is None else submitted_at
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.attempts = 0
+        self.error: Optional[str] = None
+        self.result: Optional[Dict[str, Any]] = None
+        self.cache_hit = False
+        self.cancel_requested = False
+        #: Armed by the scheduler at dispatch; cancellation lands through it.
+        self.meter = None
+        #: True when this job was re-queued by a journal replay after a crash.
+        self.recovered = False
+
+    # ------------------------------------------------------------------
+
+    def transition(self, new_state: JobState) -> None:
+        allowed = _VALID_TRANSITIONS.get(self.state, frozenset())
+        if new_state not in allowed:
+            raise ConfigError(
+                f"job {self.id}: illegal transition "
+                f"{self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+        if new_state is JobState.RUNNING:
+            self.started_at = time.time()
+        elif new_state in TERMINAL_STATES:
+            self.finished_at = time.time()
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def request_cancel(self, reason: str = "cancelled by client") -> None:
+        """Flag the job and poke its meter (if it is already running)."""
+        self.cancel_requested = True
+        if self.meter is not None:
+            self.meter.request_cancel(reason)
+
+    # ------------------------------------------------------------------
+
+    def status_payload(self) -> Dict[str, Any]:
+        """The ``GET /jobs/<id>`` body."""
+        payload: Dict[str, Any] = {
+            "id": self.id,
+            "state": self.state.value,
+            "dataset": self.spec.dataset_name,
+            "tenant": self.spec.tenant,
+            "submitted_at": self.submitted_at,
+            "attempts": self.attempts,
+            "cache_hit": self.cache_hit,
+            "recovered": self.recovered,
+            "cancel_requested": self.cancel_requested,
+        }
+        if self.started_at is not None:
+            payload["started_at"] = self.started_at
+        if self.finished_at is not None:
+            payload["finished_at"] = self.finished_at
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.terminal:
+            payload["result_available"] = self.result is not None
+        return payload
+
+
+# ----------------------------------------------------------------------
+# result payloads
+
+
+def _named(attrs, names: Optional[List[str]]) -> List[str]:
+    if names is None:
+        return [f"a{i}" for i in attrs]
+    return [names[i] for i in attrs]
+
+
+def success_payload(result) -> Dict[str, Any]:
+    """JSON-able result body for an exact run (``GordianResult``)."""
+    names = result.attribute_names
+    return {
+        "degraded": False,
+        "no_keys_exist": result.no_keys_exist,
+        "num_entities": result.num_entities,
+        "num_attributes": result.num_attributes,
+        "keys": [_named(key, names) for key in result.keys],
+        "key_indexes": [list(key) for key in result.keys],
+        "num_nonkeys": len(result.nonkeys),
+        "elapsed_seconds": (
+            result.stats.total_seconds if result.stats is not None else None
+        ),
+    }
+
+
+def degraded_payload(robust) -> Dict[str, Any]:
+    """JSON-able result body for a degraded run (``RobustKeyResult``).
+
+    The job still *completes*: sampling-mode keys with their Bayesian
+    strength lower bound ``T(K)`` ride along, plus the partial non-keys
+    the aborted exact run salvaged.
+    """
+    payload: Dict[str, Any] = {
+        "degraded": True,
+        "reason": robust.reason,
+        "phase": robust.phase,
+        "worker_failure": robust.worker_failure,
+        "sample_sizes_tried": list(robust.sample_sizes_tried),
+        "partial_nonkeys": [list(nk) for nk in robust.partial_nonkeys],
+    }
+    approx = robust.approximate
+    if approx is None:
+        payload["approximate"] = None
+    else:
+        names = robust.attribute_names
+        payload["approximate"] = {
+            "sample_size": approx.sample_size,
+            "keys": [
+                {
+                    "attrs": _named(key.attrs, names),
+                    "attr_indexes": list(key.attrs),
+                    "strength": key.strength,
+                    "bound": key.bound,
+                }
+                for key in approx.keys
+            ],
+        }
+    return payload

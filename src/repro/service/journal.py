@@ -1,0 +1,266 @@
+"""Crash-safe append-only job journal.
+
+Every job-state transition the service commits is first appended here as
+one :func:`repro.checkpoint.format.encode_checkpoint` frame (magic +
+version + length + pickled record + CRC32) and fsynced.  The file is the
+service's source of truth across process death: a SIGKILLed server replays
+it on restart and reconstructs every job in a correct terminal or
+resumable state.
+
+Why frames instead of JSON lines: the checkpoint wire format already
+solves the hard parts — self-delimiting records, torn-tail detection via
+CRC, and version gating — and reusing it means the journal inherits the
+same fault-injection points and test corpus as the checkpoint subsystem.
+
+Record shapes (all plain dicts, pickled)::
+
+    {"event": "submitted", "job_id", "ts", "spec": {...}}
+    {"event": "started",   "job_id", "ts", "attempt"}
+    {"event": "cancel_requested", "job_id", "ts"}
+    {"event": "finished",  "job_id", "ts", "state", "error",
+     "result_ref"}   # state in {succeeded, degraded, failed, cancelled}
+
+Appends use ``O_APPEND`` + ``fsync`` — a crash can tear at most the last
+frame, which :func:`~repro.checkpoint.format.decode_frames` detects and
+:meth:`JobJournal.replay` truncates away.  Compaction rewrites the file to
+just the live story (one ``submitted`` per non-terminal job, one
+``submitted``+``finished`` pair per terminal job still worth remembering)
+via :func:`~repro.checkpoint.format.write_atomic`, whose temp files are
+already registered with the shared cleanup registry.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.checkpoint.format import decode_frames, encode_checkpoint, write_atomic
+from repro.robustness import cleanup
+
+__all__ = ["JobJournal", "JournalState", "replay_state"]
+
+#: Cleanup-registry namespace for the journal's open file descriptor
+#: bookkeeping (mirrors "ckpt-tmp:" for checkpoint temps).
+_JOURNAL_NAMESPACE = "svc-journal:"
+
+
+class JournalState:
+    """The story :meth:`JobJournal.replay` reconstructs.
+
+    ``jobs`` maps job id -> a dict with keys ``spec`` (wire dict),
+    ``state`` (str), ``submitted_at``, ``attempts``, ``error``,
+    ``result_ref``, ``cancel_requested``.  Non-terminal states after a
+    crash are ``queued`` (never started, or started-but-unfinished —
+    the job must be re-run) — the *server* decides whether to requeue or
+    fail them; the journal only reports facts.
+    """
+
+    def __init__(self) -> None:
+        self.jobs: Dict[str, Dict[str, Any]] = {}
+        self.torn_tail_bytes = 0
+        self.frames_read = 0
+
+    @property
+    def order(self) -> List[str]:
+        """Job ids in submission order."""
+        return sorted(
+            self.jobs, key=lambda job_id: self.jobs[job_id]["submitted_at"]
+        )
+
+
+def replay_state(frames: List[Dict[str, Any]]) -> JournalState:
+    """Fold journal records into a :class:`JournalState`.
+
+    Unknown events and records for unknown job ids are skipped, not
+    fatal: a newer server writing an extra event type must not brick an
+    older server reading the same directory.
+    """
+    state = JournalState()
+    state.frames_read = len(frames)
+    for record in frames:
+        if not isinstance(record, dict):
+            continue
+        event = record.get("event")
+        job_id = record.get("job_id")
+        if event == "submitted" and job_id:
+            state.jobs[job_id] = {
+                "spec": dict(record.get("spec") or {}),
+                "state": "queued",
+                "submitted_at": float(record.get("ts", 0.0)),
+                "attempts": 0,
+                "error": None,
+                "result_ref": None,
+                "cancel_requested": False,
+            }
+            continue
+        entry = state.jobs.get(job_id) if job_id else None
+        if entry is None:
+            continue
+        if event == "started":
+            entry["attempts"] = int(record.get("attempt", entry["attempts"] + 1))
+            # Still "queued" from the replayer's point of view: a started
+            # but unfinished job died with the server and must re-run.
+        elif event == "cancel_requested":
+            entry["cancel_requested"] = True
+        elif event == "finished":
+            entry["state"] = str(record.get("state", "failed"))
+            entry["error"] = record.get("error")
+            entry["result_ref"] = record.get("result_ref")
+    return state
+
+
+class JobJournal:
+    """Append-only, fsynced, replayable event log for service jobs."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fd: Optional[int] = None
+        self._key = _JOURNAL_NAMESPACE + str(self.path)
+
+    # ------------------------------------------------------------------
+
+    def open(self) -> None:
+        if self._fd is not None:
+            return
+        self._fd = os.open(
+            str(self.path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        cleanup.register(self._key, self.close)
+
+    def close(self) -> None:
+        fd, self._fd = self._fd, None
+        if fd is not None:
+            try:
+                os.close(fd)
+            except OSError:
+                pass
+        cleanup.unregister(self._key)
+
+    # ------------------------------------------------------------------
+
+    def append(self, record: Dict[str, Any]) -> None:
+        """Durably append one record (one frame, one fsync)."""
+        if self._fd is None:
+            self.open()
+        record = dict(record)
+        record.setdefault("ts", time.time())
+        frame = encode_checkpoint(record)
+        os.write(self._fd, frame)
+        os.fsync(self._fd)
+
+    # convenience writers ------------------------------------------------
+
+    def submitted(self, job_id: str, spec_wire: Dict[str, Any]) -> None:
+        self.append({"event": "submitted", "job_id": job_id, "spec": spec_wire})
+
+    def started(self, job_id: str, attempt: int) -> None:
+        self.append({"event": "started", "job_id": job_id, "attempt": attempt})
+
+    def cancel_requested(self, job_id: str) -> None:
+        self.append({"event": "cancel_requested", "job_id": job_id})
+
+    def finished(
+        self,
+        job_id: str,
+        state: str,
+        error: Optional[str] = None,
+        result_ref: Optional[str] = None,
+    ) -> None:
+        self.append(
+            {
+                "event": "finished",
+                "job_id": job_id,
+                "state": state,
+                "error": error,
+                "result_ref": result_ref,
+            }
+        )
+
+    # ------------------------------------------------------------------
+
+    def replay(self, truncate_torn_tail: bool = True) -> JournalState:
+        """Read the journal back into a :class:`JournalState`.
+
+        A torn tail (crash mid-append) is detected by the frame CRC and —
+        by default — truncated away so the next append starts on a clean
+        frame boundary instead of permanently wedging the file.
+        """
+        try:
+            data = self.path.read_bytes()
+        except FileNotFoundError:
+            return JournalState()
+        frames, clean_offset = decode_frames(data)
+        state = replay_state(frames)
+        state.torn_tail_bytes = len(data) - clean_offset
+        if state.torn_tail_bytes and truncate_torn_tail:
+            was_open = self._fd is not None
+            if was_open:
+                self.close()
+            with open(self.path, "r+b") as handle:
+                handle.truncate(clean_offset)
+                handle.flush()
+                os.fsync(handle.fileno())
+            if was_open:
+                self.open()
+        return state
+
+    def compact(self, state: JournalState) -> None:
+        """Rewrite the journal to the minimal equivalent story.
+
+        One ``submitted`` frame per job, plus its latest ``finished`` frame
+        when terminal and a ``cancel_requested`` frame when one is pending
+        — started/retry noise is dropped.  Uses the checkpoint subsystem's
+        atomic replace, so a crash mid-compaction leaves the old journal
+        intact.
+        """
+        chunks: List[bytes] = []
+        now = time.time()
+        for job_id in state.order:
+            entry = state.jobs[job_id]
+            chunks.append(
+                encode_checkpoint(
+                    {
+                        "event": "submitted",
+                        "job_id": job_id,
+                        "ts": entry["submitted_at"],
+                        "spec": entry["spec"],
+                    }
+                )
+            )
+            if entry["cancel_requested"] and entry["state"] == "queued":
+                chunks.append(
+                    encode_checkpoint(
+                        {"event": "cancel_requested", "job_id": job_id, "ts": now}
+                    )
+                )
+            if entry["state"] not in ("queued", "running"):
+                chunks.append(
+                    encode_checkpoint(
+                        {
+                            "event": "finished",
+                            "job_id": job_id,
+                            "ts": now,
+                            "state": entry["state"],
+                            "error": entry["error"],
+                            "result_ref": entry["result_ref"],
+                        }
+                    )
+                )
+        was_open = self._fd is not None
+        if was_open:
+            self.close()
+        write_atomic(self.path, b"".join(chunks))
+        if was_open:
+            self.open()
+
+    # ------------------------------------------------------------------
+
+    def __enter__(self) -> "JobJournal":
+        self.open()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,199 @@
+"""Admission control: bounded job queue and fair multi-tenant budgets.
+
+Overload policy in one sentence: the service sheds load at the *front
+door* (a full queue answers 429 with a calibrated ``Retry-After``) instead
+of accepting work it will miss deadlines on — accepted jobs always reach a
+terminal state.
+
+:class:`BoundedJobQueue` is a FIFO with a hard depth cap.  The
+``Retry-After`` hint is an EWMA of recent job service times scaled by the
+backlog each new job would sit behind, so clients back off proportionally
+to actual load rather than hammering a fixed interval.
+
+:class:`TenantBudgets` keeps one armed
+:class:`~repro.robustness.BudgetMeter` per tenant, derived from a shared
+:class:`~repro.robustness.RunBudget` template (visit quota only — wall
+clocks are per-job, not per-tenant).  Each dispatched job runs under a
+:meth:`~repro.robustness.BudgetMeter.derive_share` slice sized by how many
+of that tenant's jobs are in flight, and completed work is absorbed back
+with :meth:`~repro.robustness.BudgetMeter.on_visits` — so the per-tenant
+quota is exact across concurrent jobs, and one tenant flooding the service
+exhausts *its own* meter (new submissions → 429) while other tenants'
+budgets are untouched.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, Optional
+
+from repro.errors import BudgetExceededError
+from repro.robustness import BudgetMeter, RunBudget
+
+__all__ = ["QueueFullError", "TenantExhaustedError", "BoundedJobQueue", "TenantBudgets"]
+
+
+class QueueFullError(Exception):
+    """Admission refused; carries the backoff hint for ``Retry-After``."""
+
+    def __init__(self, depth: int, retry_after: int):
+        super().__init__(
+            f"job queue is full ({depth} queued); retry in ~{retry_after}s"
+        )
+        self.depth = depth
+        self.retry_after = retry_after
+
+
+class TenantExhaustedError(Exception):
+    """The tenant's visit budget is spent for this server's lifetime."""
+
+    def __init__(self, tenant: str, reason: str):
+        super().__init__(f"tenant {tenant!r} budget exhausted: {reason}")
+        self.tenant = tenant
+        self.reason = reason
+
+
+class BoundedJobQueue:
+    """FIFO of queued jobs with backpressure instead of unbounded growth."""
+
+    #: EWMA smoothing for observed service times.
+    ALPHA = 0.3
+    #: Retry-After is clamped to this range (seconds).
+    MIN_RETRY_AFTER = 1
+    MAX_RETRY_AFTER = 120
+    #: Prior before any job has completed.
+    DEFAULT_SERVICE_SECONDS = 5.0
+
+    def __init__(self, max_depth: int, job_slots: int = 1):
+        if max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {max_depth}")
+        self.max_depth = max_depth
+        self.job_slots = max(1, job_slots)
+        self._items: Deque[Any] = deque()
+        self._service_ewma = self.DEFAULT_SERVICE_SECONDS
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return len(self._items) >= self.max_depth
+
+    def retry_after_hint(self) -> int:
+        """Expected wait for the backlog a new job would join."""
+        backlog_rounds = (len(self._items) + 1) / self.job_slots
+        estimate = self._service_ewma * backlog_rounds
+        return int(
+            min(self.MAX_RETRY_AFTER, max(self.MIN_RETRY_AFTER, round(estimate)))
+        )
+
+    def push(self, job: Any) -> None:
+        if self.full:
+            self.rejected += 1
+            raise QueueFullError(len(self._items), self.retry_after_hint())
+        self._items.append(job)
+
+    def pop(self) -> Optional[Any]:
+        if not self._items:
+            return None
+        return self._items.popleft()
+
+    def remove(self, job_id: str) -> bool:
+        """Drop a still-queued job (client cancel before dispatch)."""
+        for item in self._items:
+            if getattr(item, "id", None) == job_id:
+                self._items.remove(item)
+                return True
+        return False
+
+    def note_service_time(self, seconds: float) -> None:
+        if seconds >= 0:
+            self._service_ewma = (
+                self.ALPHA * seconds + (1.0 - self.ALPHA) * self._service_ewma
+            )
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "depth": len(self._items),
+            "max_depth": self.max_depth,
+            "rejected": self.rejected,
+            "service_ewma_seconds": round(self._service_ewma, 3),
+        }
+
+
+class TenantBudgets:
+    """Per-tenant fair-share visit accounting over shared BudgetMeters."""
+
+    def __init__(self, template: Optional[RunBudget] = None):
+        # Only the visit quota is tenant-scoped; a tenant meter must not
+        # carry a wall clock (it would start ticking at first submission
+        # and expire the tenant by mere passage of time).
+        self.template = (
+            None
+            if template is None or template.max_node_visits is None
+            else RunBudget(max_node_visits=template.max_node_visits)
+        )
+        self._meters: Dict[str, BudgetMeter] = {}
+        self._inflight: Dict[str, int] = {}
+
+    def _meter(self, tenant: str) -> Optional[BudgetMeter]:
+        if self.template is None:
+            return None
+        meter = self._meters.get(tenant)
+        if meter is None:
+            meter = self.template.start()
+            self._meters[tenant] = meter
+        return meter
+
+    # ------------------------------------------------------------------
+
+    def admit(self, tenant: str) -> None:
+        """Gate a submission; raises :class:`TenantExhaustedError`."""
+        meter = self._meter(tenant)
+        if meter is not None and meter.tripped_reason is not None:
+            raise TenantExhaustedError(tenant, meter.tripped_reason)
+
+    def job_started(self, tenant: str) -> None:
+        self._inflight[tenant] = self._inflight.get(tenant, 0) + 1
+
+    def job_finished(self, tenant: str, visits: int = 0) -> None:
+        """Absorb a finished job's visits; a trip marks the tenant spent."""
+        count = self._inflight.get(tenant, 0)
+        if count <= 1:
+            self._inflight.pop(tenant, None)
+        else:
+            self._inflight[tenant] = count - 1
+        meter = self._meter(tenant)
+        if meter is not None:
+            try:
+                meter.on_visits(visits)
+            except BudgetExceededError:
+                # tripped_reason is now set; future admits answer 429.
+                pass
+
+    def share_for(self, tenant: str) -> Optional[RunBudget]:
+        """A fair slice of the tenant's remaining quota for one job.
+
+        With ``n`` jobs already in flight the new job gets ``1/(n+1)`` of
+        what is left, so a burst of submissions divides the quota instead
+        of each job claiming all of it.
+        """
+        meter = self._meter(tenant)
+        if meter is None:
+            return None
+        inflight = self._inflight.get(tenant, 0)
+        return meter.derive_share(1.0 / (inflight + 1))
+
+    # ------------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            tenant: {
+                "visits_used": meter.node_visits,
+                "visit_quota": self.template.max_node_visits,
+                "exhausted": meter.tripped_reason is not None,
+                "inflight": self._inflight.get(tenant, 0),
+            }
+            for tenant, meter in self._meters.items()
+        } if self.template is not None else {}

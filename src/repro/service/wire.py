@@ -1,0 +1,234 @@
+"""Minimal HTTP/1.1 + JSON wire layer for the key-discovery service.
+
+The service speaks plain HTTP/1.1 over asyncio streams with a stdlib-only
+parser — no framework, matching the repository's zero-dependency stance.
+The subset implemented is exactly what a job API needs: request line,
+headers, an optional ``Content-Length`` body, JSON in both directions, and
+``Connection: close`` semantics (one request per connection keeps the
+server loop trivial and is plenty for a job-submission API whose requests
+are seconds apart, not microseconds).
+
+Robustness lives at the edges: every limit (request-line length, header
+count, body size) is enforced *before* the bytes are accumulated, and any
+protocol violation raises :class:`WireError` carrying the HTTP status the
+handler should answer with — a malformed request can cost at most one
+bounded read, never memory or a hung connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "MAX_REQUEST_LINE",
+    "MAX_HEADERS",
+    "DEFAULT_MAX_BODY",
+    "WireError",
+    "Request",
+    "Response",
+    "read_request",
+    "render_response",
+    "json_response",
+    "error_response",
+]
+
+#: Longest accepted request line (method + target + version), bytes.
+MAX_REQUEST_LINE = 8192
+#: Most header lines accepted per request.
+MAX_HEADERS = 64
+#: Default cap on request bodies (uploads); the app can raise it.
+DEFAULT_MAX_BODY = 64 * 2**20
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class WireError(Exception):
+    """A protocol violation, carrying the HTTP status to answer with.
+
+    Deliberately *not* part of the :class:`~repro.errors.ReproError`
+    hierarchy: wire errors map to HTTP responses, never to CLI exit codes,
+    and letting them into the library hierarchy would invite catching them
+    where only engine failures are expected.
+    """
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]  # keys lower-cased
+    body: bytes
+
+    def json(self) -> Any:
+        """Parse the body as JSON; :class:`WireError` 400 on failure."""
+        if not self.body:
+            raise WireError(400, "request body must be JSON")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise WireError(400, f"request body is not valid JSON: {exc}")
+
+
+@dataclass
+class Response:
+    """One response about to be rendered."""
+
+    status: int
+    payload: Optional[Any] = None  # JSON-encoded when set
+    headers: Dict[str, str] = field(default_factory=dict)
+
+
+def _parse_target(target: str) -> Tuple[str, Dict[str, str]]:
+    """Split a request target into path + query dict (no %-decoding needed
+    for this API's token-shaped values)."""
+    path, _, query_string = target.partition("?")
+    query: Dict[str, str] = {}
+    if query_string:
+        for pair in query_string.split("&"):
+            key, _, value = pair.partition("=")
+            if key:
+                query[key] = value
+    return path, query
+
+
+async def _read_line(reader: asyncio.StreamReader, limit: int) -> bytes:
+    """One CRLF-terminated line, bounded by ``limit`` bytes."""
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return b""  # clean EOF between requests
+        raise WireError(400, "connection closed mid-request")
+    except asyncio.LimitOverrunError:
+        raise WireError(400, "header line exceeds the stream limit")
+    if len(line) > limit:
+        raise WireError(400, f"line exceeds {limit} bytes")
+    return line.rstrip(b"\r\n")
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_body: int = DEFAULT_MAX_BODY,
+) -> Optional[Request]:
+    """Parse one request from ``reader``.
+
+    Returns ``None`` on a clean EOF before any byte (client closed an idle
+    connection).  Raises :class:`WireError` for anything malformed or over
+    a limit; the caller answers with ``error.status`` and closes.
+    """
+    request_line = await _read_line(reader, MAX_REQUEST_LINE)
+    if not request_line:
+        return None
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise WireError(400, f"malformed request line: {request_line[:80]!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise WireError(400, f"unsupported protocol version {version!r}")
+
+    headers: Dict[str, str] = {}
+    while True:
+        line = await _read_line(reader, MAX_REQUEST_LINE)
+        if not line:
+            break
+        if len(headers) >= MAX_HEADERS:
+            raise WireError(400, f"more than {MAX_HEADERS} header lines")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise WireError(400, f"malformed header line: {line[:80]!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "transfer-encoding" in headers:
+        # Chunked uploads are out of scope for a JSON job API; refusing is
+        # safer than a parser that almost works.
+        raise WireError(501, "transfer-encoding is not supported")
+
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise WireError(400, "content-length is not an integer")
+        if length < 0:
+            raise WireError(400, "content-length is negative")
+        if length > max_body:
+            raise WireError(
+                413, f"request body of {length} bytes exceeds the "
+                f"{max_body}-byte limit"
+            )
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError:
+                raise WireError(400, "connection closed mid-body")
+
+    path, query = _parse_target(target)
+    return Request(
+        method=method.upper(),
+        path=path,
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(response: Response) -> bytes:
+    """Serialize a :class:`Response` (JSON payload, explicit length)."""
+    if response.payload is None:
+        body = b""
+        content_type = None
+    else:
+        body = (json.dumps(response.payload, sort_keys=True) + "\n").encode(
+            "utf-8"
+        )
+        content_type = "application/json"
+    reason = _STATUS_TEXT.get(response.status, "Unknown")
+    lines = [f"HTTP/1.1 {response.status} {reason}"]
+    headers = dict(response.headers)
+    if content_type is not None:
+        headers.setdefault("Content-Type", content_type)
+    headers["Content-Length"] = str(len(body))
+    headers["Connection"] = "close"
+    for name, value in headers.items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_response(
+    status: int,
+    payload: Any,
+    headers: Optional[Dict[str, str]] = None,
+) -> Response:
+    return Response(status=status, payload=payload, headers=dict(headers or {}))
+
+
+def error_response(
+    status: int,
+    message: str,
+    headers: Optional[Dict[str, str]] = None,
+) -> Response:
+    return json_response(status, {"error": message}, headers)

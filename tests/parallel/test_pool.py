@@ -1,10 +1,16 @@
 """Worker-count policy and the shared process pool."""
 
+import logging
+
 import pytest
 
 from repro.errors import ConfigError
 from repro.parallel import close_shared_pool, resolve_workers, shared_pool
-from repro.parallel.pool import WorkerPool, usable_cpu_count
+from repro.parallel.pool import (
+    WorkerPool,
+    _reset_clamp_warning,
+    usable_cpu_count,
+)
 
 
 class TestResolveWorkers:
@@ -22,18 +28,32 @@ class TestResolveWorkers:
         with pytest.raises(ConfigError, match="workers must be"):
             resolve_workers(bad)
 
-    def test_clamps_to_available_with_warning(self):
-        with pytest.warns(RuntimeWarning, match="clamping to 4"):
+    def test_clamps_to_available_with_log_warning(self, caplog):
+        _reset_clamp_warning()
+        with caplog.at_level(logging.WARNING, logger="repro.parallel.pool"):
             assert resolve_workers(16, available=4) == 4
+        assert any("clamping to 4" in rec.message for rec in caplog.records)
+
+    def test_clamp_warning_fires_once_per_process(self, caplog):
+        _reset_clamp_warning()
+        with caplog.at_level(logging.WARNING, logger="repro.parallel.pool"):
+            assert resolve_workers(16, available=4) == 4
+            caplog.clear()
+            # A busy service clamps on every job; the line must not repeat.
+            assert resolve_workers(16, available=4) == 4
+            assert resolve_workers(9, available=2) == 2
+        assert caplog.records == []
 
     def test_clamp_opt_out_keeps_request(self):
         assert resolve_workers(16, available=4, clamp=False) == 16
 
-    def test_default_available_is_usable_cpu_count(self):
+    def test_default_available_is_usable_cpu_count(self, caplog):
         cpus = usable_cpu_count()
         assert cpus >= 1
-        with pytest.warns(RuntimeWarning):
+        _reset_clamp_warning()
+        with caplog.at_level(logging.WARNING, logger="repro.parallel.pool"):
             assert resolve_workers(cpus + 7) == cpus
+        assert any("clamping" in rec.message for rec in caplog.records)
 
 
 class TestWorkerPool:

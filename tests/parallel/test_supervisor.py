@@ -14,7 +14,7 @@ from concurrent.futures.process import BrokenProcessPool
 
 import pytest
 
-from repro.errors import ConfigError, WorkerFailureError
+from repro.errors import BudgetExceededError, ConfigError, WorkerFailureError
 from repro.parallel import supervisor as supervisor_mod
 from repro.parallel.supervisor import SERIAL_FALLBACK, Supervisor
 
@@ -363,4 +363,66 @@ class TestClaimAttribution:
         assert first.attempts == 1
         assert second.attempts == 1
         assert sup.serial_fallbacks == 2
+        sup.close()
+
+
+class TestAbortCheck:
+    """The abort hook interrupts waits — how external cancels land."""
+
+    def test_abort_check_raise_aborts_a_blocked_wait(self):
+        # One pending task that never completes: without the hook the wait
+        # would spin on heartbeats forever.
+        pool = FakePool(deque([("hang",)]))
+        polls = {"n": 0}
+
+        def hook():
+            polls["n"] += 1
+            if polls["n"] >= 3:
+                raise BudgetExceededError("run cancelled: client asked")
+
+        sup = _supervisor(pool, abort_check=hook)
+        sup.submit("run_search", lambda: ((), 0, [], None))
+        with pytest.raises(BudgetExceededError, match="client asked"):
+            sup.wait_any()
+        # Polled once per wait iteration — at least every heartbeat.
+        assert polls["n"] == 3
+        sup.cancel_pending()
+        sup.close()
+
+    def test_abort_check_runs_before_ready_results_are_handed_out(self):
+        # A cancel beats an already-completed result: the caller asked the
+        # run to stop, so it must not receive partial output instead.
+        pool = FakePool(deque([("ok", "done")]))
+
+        def hook():
+            raise BudgetExceededError("run cancelled: too late")
+
+        sup = _supervisor(pool, abort_check=hook)
+        sup.submit("run_search", lambda: ((), 0, [], None))
+        with pytest.raises(BudgetExceededError):
+            sup.wait_any()
+        sup.close()
+
+    def test_meter_cancel_lands_through_the_wired_hook(self):
+        # End-to-end shape of the service path: the backend arms
+        # abort_check with a forced meter checkpoint, so request_cancel on
+        # the meter interrupts the supervisor within one heartbeat.
+        from repro.robustness import RunBudget
+
+        meter = RunBudget(max_node_visits=10**9).start()
+        pool = FakePool(deque([("hang",)]))
+        sup = _supervisor(
+            pool, abort_check=lambda: meter.checkpoint(force=True)
+        )
+        sup.submit("run_search", lambda: ((), 0, [], None))
+        meter.request_cancel("client hung up")
+        with pytest.raises(BudgetExceededError, match="client hung up"):
+            sup.wait_any()
+        sup.close()
+
+    def test_no_hook_means_no_polling_overhead(self):
+        sup = _supervisor(FakePool(deque([("ok", 1)])))
+        assert sup.abort_check is None
+        task = sup.submit("run_search", lambda: ((), 0, [], None))
+        assert sup.wait_any() is task
         sup.close()

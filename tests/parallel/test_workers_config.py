@@ -63,11 +63,15 @@ class TestEffectiveWorkers:
         config = GordianConfig(workers=4, clamp_workers=False)
         assert _effective_workers(config, config.parallel_min_rows - 1) == 1
 
-    def test_oversubscription_clamps_with_warning(self):
+    def test_oversubscription_clamps_with_warning(self, caplog):
+        from repro.parallel.pool import _reset_clamp_warning
+
         cpus = usable_cpu_count()
         config = GordianConfig(workers=cpus + 9)
-        with pytest.warns(RuntimeWarning, match="clamping"):
+        _reset_clamp_warning()
+        with caplog.at_level(logging.WARNING, logger="repro.parallel.pool"):
             assert _effective_workers(config, 10**6) == cpus
+        assert "clamping" in caplog.text
 
     def test_unencoded_run_falls_back_to_serial_with_warning(self, caplog):
         config = GordianConfig(workers=2, encode=False, clamp_workers=False)

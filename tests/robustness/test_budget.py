@@ -129,3 +129,37 @@ class TestThreadedThroughPipeline:
         nonkeys = find_nonkeys(tree, budget=meter)
         reference = find_nonkeys(build_prefix_tree(paper_rows, 4))
         assert sorted(nonkeys.masks()) == sorted(reference.masks())
+
+
+class TestCancellation:
+    """request_cancel: cooperative interruption through the checkpoint path."""
+
+    def test_cancel_is_deferred_until_a_checkpoint(self):
+        meter = RunBudget(max_node_visits=1000).start()
+        meter.request_cancel("client asked")
+        # The flag is set but nothing has tripped yet — cancellation is
+        # cooperative, landing at the next checkpoint like any budget.
+        assert meter.cancel_requested == "client asked"
+        assert meter.tripped_reason is None
+        with pytest.raises(BudgetExceededError, match="client asked"):
+            meter.checkpoint(force=True)
+        assert "run cancelled" in meter.tripped_reason
+
+    def test_cancel_trips_an_unlimited_budget(self):
+        # A job running with no limits must still be cancellable.
+        meter = RunBudget().start()
+        meter.request_cancel()
+        with pytest.raises(BudgetExceededError, match="cancelled"):
+            meter.checkpoint(force=True)
+
+    def test_cancel_lands_within_one_check_interval(self):
+        meter = RunBudget(max_node_visits=10**9).start(check_interval=8)
+        meter.request_cancel("stop")
+        with pytest.raises(BudgetExceededError):
+            for _ in range(8):
+                meter.checkpoint()
+
+    def test_cancel_reason_defaults(self):
+        meter = RunBudget().start()
+        meter.request_cancel()
+        assert meter.cancel_requested == "cancelled"

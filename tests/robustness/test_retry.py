@@ -80,3 +80,44 @@ class TestRetry:
     def test_attempts_must_be_positive(self):
         with pytest.raises(ValueError):
             retry_with_backoff(lambda: 1, attempts=0)
+
+
+class TestFullJitter:
+    """With a jitter RNG each delay is uniform over [0, exponential cap]."""
+
+    def _schedule(self, seed, attempts=5):
+        import random
+
+        sleeps = []
+        with pytest.raises(RetryExhaustedError):
+            retry_with_backoff(
+                flaky(attempts),
+                attempts=attempts,
+                base_delay=0.1,
+                multiplier=2.0,
+                max_delay=1.0,
+                sleep=sleeps.append,
+                jitter=random.Random(seed),
+            )
+        return sleeps
+
+    def test_delays_stay_within_the_exponential_envelope(self):
+        for i, delay in enumerate(self._schedule(seed=7)):
+            assert 0.0 <= delay <= min(1.0, 0.1 * 2.0**i)
+
+    def test_seeded_schedule_is_deterministic(self):
+        assert self._schedule(seed=42) == self._schedule(seed=42)
+
+    def test_different_seeds_decorrelate(self):
+        # The whole point of full jitter: two retriers sharing a failed
+        # dependency must not sleep in lockstep.
+        assert self._schedule(seed=1) != self._schedule(seed=2)
+
+    def test_no_jitter_keeps_the_exact_exponential_schedule(self):
+        sleeps = []
+        with pytest.raises(RetryExhaustedError):
+            retry_with_backoff(
+                flaky(4), attempts=4, base_delay=0.1, multiplier=2.0,
+                max_delay=1.0, sleep=sleeps.append,
+            )
+        assert sleeps == [0.1, 0.2, 0.4]

@@ -1,0 +1,169 @@
+"""Service test harness: a real ServiceApp on a real socket, in-process.
+
+The app runs on its own event loop in a daemon thread and the tests speak
+actual HTTP over localhost with urllib — the same bytes a production
+client would send, which keeps the wire layer honest.  A ``BlockingStub``
+can replace the engine-facing executor so route-level tests control
+exactly when a "job" finishes (or observe a cancel landing) without
+depending on engine timing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import csv
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import BudgetExceededError
+from repro.service.app import ServiceApp
+from repro.service.executor import Outcome
+from repro.service.jobs import JobState
+
+
+class ServiceHarness:
+    """One running ServiceApp plus a tiny HTTP client."""
+
+    def __init__(self, app: ServiceApp):
+        self.app = app
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._run, name="svc-test-loop", daemon=True
+        )
+
+    def _run(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_until_complete(
+            self.app.serve_forever(install_signal_handlers=False)
+        )
+
+    def start(self) -> "ServiceHarness":
+        self._thread.start()
+        deadline = time.monotonic() + 10
+        while self.app.bound_port is None:
+            if time.monotonic() > deadline:
+                raise RuntimeError("service did not bind within 10s")
+            time.sleep(0.01)
+        return self
+
+    def begin_drain(self):
+        """Fire shutdown() without waiting for it (drain-window tests)."""
+        return asyncio.run_coroutine_threadsafe(
+            self.app.shutdown(), self._loop
+        )
+
+    def stop(self) -> None:
+        if self.app.bound_port is not None and not self.app.draining:
+            future = asyncio.run_coroutine_threadsafe(
+                self.app.shutdown(), self._loop
+            )
+            future.result(timeout=30)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=10)
+
+    # ------------------------------------------------------------------
+
+    def request(self, method: str, path: str, body=None, timeout=10):
+        """Returns (status, parsed-JSON, headers)."""
+        url = f"http://127.0.0.1:{self.app.bound_port}{path}"
+        data = None if body is None else json.dumps(body).encode()
+        request = urllib.request.Request(url, data=data, method=method)
+        if data is not None:
+            request.add_header("Content-Type", "application/json")
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                return (
+                    response.status,
+                    json.loads(response.read() or b"null"),
+                    dict(response.headers),
+                )
+        except urllib.error.HTTPError as error:
+            return (
+                error.code,
+                json.loads(error.read() or b"null"),
+                dict(error.headers),
+            )
+
+    def wait_terminal(self, job_id: str, timeout: float = 30.0) -> dict:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status, payload, _ = self.request("GET", f"/jobs/{job_id}")
+            assert status == 200, payload
+            if payload["state"] not in ("queued", "running"):
+                return payload
+            time.sleep(0.02)
+        raise AssertionError(f"job {job_id} not terminal within {timeout}s")
+
+
+class BlockingStub:
+    """Executor stand-in: jobs 'run' until released, polling their meter.
+
+    Polling ``meter.checkpoint(force=True)`` means a client cancel trips
+    exactly the way the real engine's cooperative checkpoints do.
+    """
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.started = threading.Event()
+
+    def execute(self, job, meter) -> Outcome:
+        self.started.set()
+        while not self.release.wait(timeout=0.01):
+            try:
+                meter.checkpoint(force=True)
+            except BudgetExceededError as exc:
+                state = (
+                    JobState.CANCELLED
+                    if meter.cancel_requested is not None
+                    else JobState.DEGRADED
+                )
+                return Outcome(state=state, error=str(exc))
+        return Outcome(
+            state=JobState.SUCCEEDED,
+            result={"degraded": False, "keys": [], "stub": True},
+        )
+
+
+@pytest.fixture
+def write_csv(tmp_path):
+    def _write(name="data.csv", rows=None, names=None):
+        rows = rows if rows is not None else [
+            ("a", 1, 10), ("b", 2, 10), ("c", 3, 20), ("a", 4, 20),
+        ]
+        names = names if names is not None else ["name", "seq", "grp"]
+        path = tmp_path / name
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(names)
+            writer.writerows(rows)
+        return path
+
+    return _write
+
+
+@pytest.fixture
+def harness(tmp_path):
+    """A started service with engine defaults; stopped (drained) on exit."""
+    instance = ServiceHarness(
+        ServiceApp(state_dir=tmp_path / "state", port=0, queue_depth=4)
+    ).start()
+    yield instance
+    instance.stop()
+
+
+@pytest.fixture
+def stub_harness(tmp_path):
+    """A started service whose executor is a BlockingStub."""
+    app = ServiceApp(state_dir=tmp_path / "state", port=0, queue_depth=2,
+                     drain_grace_seconds=2.0)
+    stub = BlockingStub()
+    app.executor = stub
+    instance = ServiceHarness(app).start()
+    yield instance, stub
+    stub.release.set()
+    instance.stop()

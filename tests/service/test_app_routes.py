@@ -1,0 +1,219 @@
+"""Route-level behaviour of the service over real HTTP."""
+
+import time
+
+import pytest
+
+
+class TestHealth:
+    def test_healthz_and_readyz(self, harness):
+        status, payload, _ = harness.request("GET", "/healthz")
+        assert status == 200 and payload["ok"] is True
+        status, payload, _ = harness.request("GET", "/readyz")
+        assert status == 200 and payload["ready"] is True
+
+    def test_stats_shape(self, harness):
+        status, payload, _ = harness.request("GET", "/stats")
+        assert status == 200
+        assert set(payload) >= {"queue", "cache", "tenants", "jobs_by_state"}
+
+    def test_unknown_route_404(self, harness):
+        assert harness.request("GET", "/nope")[0] == 404
+
+    def test_wrong_method_405(self, harness):
+        assert harness.request("DELETE", "/jobs")[0] == 405
+
+
+class TestSubmitAndResult:
+    def test_path_submission_end_to_end(self, harness, write_csv, tmp_path):
+        path = write_csv()
+        status, payload, _ = harness.request(
+            "POST", "/jobs", {"dataset_path": str(path)}
+        )
+        assert status == 202
+        job_id = payload["id"]
+        final = harness.wait_terminal(job_id)
+        assert final["state"] == "succeeded"
+        status, result, _ = harness.request("GET", f"/jobs/{job_id}/result")
+        assert status == 200
+        # (name, seq) pairs are unique; seq alone is unique in the fixture.
+        assert ["seq"] in result["result"]["keys"]
+
+    def test_inline_upload_is_spooled_and_cleaned(self, harness):
+        csv_text = "a,b\n1,x\n2,x\n3,y\n"
+        status, payload, _ = harness.request(
+            "POST", "/jobs", {"dataset_csv": csv_text, "dataset_name": "inline"}
+        )
+        assert status == 202
+        final = harness.wait_terminal(payload["id"])
+        assert final["state"] == "succeeded"
+        assert final["dataset"] == "inline"
+        # The spool file is deleted once the job is terminal.
+        uploads = list(harness.app.uploads_dir.iterdir())
+        assert uploads == []
+
+    def test_result_before_terminal_is_409_conflict(self, stub_harness, write_csv):
+        harness, stub = stub_harness
+        status, payload, _ = harness.request(
+            "POST", "/jobs", {"dataset_path": str(write_csv())}
+        )
+        assert stub.started.wait(timeout=5)
+        job_id = payload["id"]
+        assert harness.request("GET", f"/jobs/{job_id}/result")[0] == 409
+        stub.release.set()
+        harness.wait_terminal(job_id)
+        assert harness.request("GET", f"/jobs/{job_id}/result")[0] == 200
+
+    def test_unknown_job_404(self, harness):
+        assert harness.request("GET", "/jobs/j-999999")[0] == 404
+        assert harness.request("POST", "/jobs/j-999999/cancel")[0] == 404
+
+    @pytest.mark.parametrize("body", [
+        {},                                            # neither source
+        {"dataset_path": "/x", "dataset_csv": "a\n1"},  # both sources
+        {"dataset_csv": "   "},                        # blank upload
+        {"dataset_path": "/x", "deadline_seconds": -1},
+        {"dataset_path": "/x", "engine": "workers=2"},
+    ])
+    def test_bad_submissions_are_400(self, harness, body):
+        assert harness.request("POST", "/jobs", body)[0] == 400
+
+    def test_bad_engine_option_fails_the_job_not_the_server(
+        self, harness, write_csv
+    ):
+        status, payload, _ = harness.request(
+            "POST", "/jobs",
+            {"dataset_path": str(write_csv()), "engine": {"bogus": 1}},
+        )
+        assert status == 202
+        final = harness.wait_terminal(payload["id"])
+        assert final["state"] == "failed"
+        assert "unknown engine option" in final["error"]
+
+    def test_jobs_listing(self, harness, write_csv):
+        path = write_csv()
+        ids = set()
+        for _ in range(2):
+            ids.add(harness.request(
+                "POST", "/jobs", {"dataset_path": str(path)}
+            )[1]["id"])
+        status, payload, _ = harness.request("GET", "/jobs")
+        assert status == 200
+        assert ids <= {job["id"] for job in payload["jobs"]}
+
+
+class TestBackpressure:
+    def test_queue_full_is_429_with_retry_after(self, stub_harness, write_csv):
+        harness, stub = stub_harness
+        path = str(write_csv())
+        accepted = []
+        # slot(1) + queue(2): the 4th submission must be refused.
+        responses = [
+            harness.request("POST", "/jobs", {"dataset_path": path})
+            for _ in range(4)
+        ]
+        accepted = [r for r in responses if r[0] == 202]
+        rejected = [r for r in responses if r[0] == 429]
+        assert len(accepted) == 3 and len(rejected) == 1
+        status, payload, headers = rejected[0]
+        assert int(headers["Retry-After"]) >= 1
+        assert "full" in payload["error"]
+        # readyz reflects the saturation, then recovers after release.
+        assert harness.request("GET", "/readyz")[0] == 503
+        stub.release.set()
+        for _, body, _ in accepted:
+            harness.wait_terminal(body["id"])
+        assert harness.request("GET", "/readyz")[0] == 200
+
+    def test_draining_server_refuses_submissions(self, stub_harness, write_csv):
+        harness, stub = stub_harness
+        path = str(write_csv())
+        running = harness.request("POST", "/jobs", {"dataset_path": path})[1]
+        assert stub.started.wait(timeout=5)
+        drain = harness.begin_drain()
+        # While the running job holds the drain open, the socket still
+        # answers — but admission is closed.
+        deadline = time.monotonic() + 5
+        while not harness.app.draining and time.monotonic() < deadline:
+            time.sleep(0.01)
+        status, payload, _ = harness.request(
+            "POST", "/jobs", {"dataset_path": path}
+        )
+        assert status == 503 and "draining" in payload["error"]
+        assert harness.request("GET", "/readyz")[0] == 503
+        stub.release.set()
+        drain.result(timeout=10)
+        assert harness.app.jobs[running["id"]].terminal
+
+
+class TestCancellation:
+    def test_cancel_queued_job_is_immediate(self, stub_harness, write_csv):
+        harness, stub = stub_harness
+        path = str(write_csv())
+        first = harness.request("POST", "/jobs", {"dataset_path": path})[1]
+        assert stub.started.wait(timeout=5)
+        queued = harness.request("POST", "/jobs", {"dataset_path": path})[1]
+        status, payload, _ = harness.request(
+            "POST", f"/jobs/{queued['id']}/cancel"
+        )
+        assert status == 200 and payload["state"] == "cancelled"
+        stub.release.set()
+        assert harness.wait_terminal(first["id"])["state"] == "succeeded"
+
+    def test_cancel_running_job_lands_cooperatively(
+        self, stub_harness, write_csv
+    ):
+        harness, stub = stub_harness
+        payload = harness.request(
+            "POST", "/jobs", {"dataset_path": str(write_csv())}
+        )[1]
+        assert stub.started.wait(timeout=5)
+        status, ack, _ = harness.request(
+            "POST", f"/jobs/{payload['id']}/cancel"
+        )
+        assert status == 202 and ack["cancel_requested"] is True
+        # No release: the stub only exits via the meter trip.
+        final = harness.wait_terminal(payload["id"])
+        assert final["state"] == "cancelled"
+        # The slot is free again: a new job runs.
+        stub.started.clear()
+        follow_up = harness.request(
+            "POST", "/jobs", {"dataset_path": str(write_csv("other.csv"))}
+        )[1]
+        assert stub.started.wait(timeout=5)
+        stub.release.set()
+        assert harness.wait_terminal(follow_up["id"])["state"] == "succeeded"
+
+    def test_cancel_terminal_job_is_409(self, harness, write_csv):
+        payload = harness.request(
+            "POST", "/jobs", {"dataset_path": str(write_csv())}
+        )[1]
+        harness.wait_terminal(payload["id"])
+        assert harness.request("POST", f"/jobs/{payload['id']}/cancel")[0] == 409
+
+
+class TestCaching:
+    def test_repeat_submission_served_from_cache(self, harness, write_csv):
+        path = str(write_csv())
+        first = harness.request("POST", "/jobs", {"dataset_path": path})[1]
+        assert harness.wait_terminal(first["id"])["cache_hit"] is False
+        second = harness.request("POST", "/jobs", {"dataset_path": path})[1]
+        assert harness.wait_terminal(second["id"])["cache_hit"] is True
+        stats = harness.request("GET", "/stats")[1]
+        assert stats["cache"]["hits"] >= 1
+
+    def test_deadline_degrades_instead_of_hanging(self, harness, write_csv):
+        # A dataset large enough that a microscopic deadline trips mid-run.
+        rows = [((i * 7) % 23, (i * 3) % 19, (i * 11) % 17, (i * 5) % 13, i)
+                for i in range(500)]
+        names = ["a", "b", "c", "d", "e"]
+        path = write_csv("big.csv", rows=rows, names=names)
+        payload = harness.request(
+            "POST", "/jobs",
+            {"dataset_path": str(path), "deadline_seconds": 0.001},
+        )[1]
+        final = harness.wait_terminal(payload["id"])
+        assert final["state"] == "degraded"
+        status, result, _ = harness.request("GET", f"/jobs/{payload['id']}/result")
+        assert status == 200
+        assert result["result"]["degraded"] is True

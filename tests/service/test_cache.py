@@ -1,0 +1,87 @@
+"""Keyed result cache: fingerprint keys, persistence, corruption safety."""
+
+from repro.core import GordianConfig
+from repro.checkpoint.manager import fingerprint_file
+from repro.service.cache import ResultCache, cache_key
+
+RESULT = {"degraded": False, "keys": [["a"]], "num_entities": 3}
+
+
+def _write_csv(path, text="a,b\n1,2\n3,4\n"):
+    path.write_text(text)
+    return path
+
+
+class TestCacheKey:
+    def test_same_bytes_same_key_despite_different_paths(self, tmp_path):
+        config = GordianConfig()
+        one = _write_csv(tmp_path / "one.csv")
+        two = _write_csv(tmp_path / "two.csv")
+        assert cache_key(fingerprint_file(one, config)) == cache_key(
+            fingerprint_file(two, config)
+        )
+
+    def test_content_change_changes_key(self, tmp_path):
+        config = GordianConfig()
+        path = _write_csv(tmp_path / "d.csv")
+        before = cache_key(fingerprint_file(path, config))
+        _write_csv(path, "a,b\n9,9\n")
+        assert cache_key(fingerprint_file(path, config)) != before
+
+    def test_result_affecting_config_changes_key(self, tmp_path):
+        path = _write_csv(tmp_path / "d.csv")
+        equal = cache_key(fingerprint_file(path, GordianConfig(null_policy="equal")))
+        distinct = cache_key(
+            fingerprint_file(path, GordianConfig(null_policy="distinct"))
+        )
+        assert equal != distinct
+
+    def test_performance_config_does_not_change_key(self, tmp_path):
+        path = _write_csv(tmp_path / "d.csv")
+        serial = cache_key(fingerprint_file(path, GordianConfig(workers=1)))
+        parallel = cache_key(
+            fingerprint_file(path, GordianConfig(workers=4, reuse_pool=True))
+        )
+        assert serial == parallel
+
+
+class TestResultCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get("k1") is None
+        cache.put("k1", RESULT)
+        assert cache.get("k1") == RESULT
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_survives_process_restart(self, tmp_path):
+        ResultCache(tmp_path).put("k1", RESULT)
+        reborn = ResultCache(tmp_path)
+        assert reborn.get("k1") == RESULT  # served from disk
+        assert reborn.stats()["entries_on_disk"] == 1
+
+    def test_returns_copies_not_aliases(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k1", RESULT)
+        first = cache.get("k1")
+        first["keys"].clear()
+        first["mutated"] = True
+        assert cache.get("k1") == RESULT
+
+    def test_corrupt_entry_is_a_miss_and_is_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k1", RESULT)
+        path = cache._entry_path("k1")
+        path.write_bytes(path.read_bytes()[:-3] + b"zzz")
+        fresh = ResultCache(tmp_path)  # cold memory: must read disk
+        assert fresh.get("k1") is None
+        assert not path.exists()
+
+    def test_memory_lru_evicts_but_disk_retains(self, tmp_path):
+        cache = ResultCache(tmp_path, max_entries=2)
+        for i in range(4):
+            cache.put(f"k{i}", {"i": i})
+        stats = cache.stats()
+        assert stats["entries_in_memory"] == 2
+        assert stats["entries_on_disk"] == 4
+        assert cache.get("k0") == {"i": 0}  # evicted from memory, not disk

@@ -1,0 +1,145 @@
+"""Job state machine, engine-override whitelist, and result payloads."""
+
+import pytest
+
+from repro.core import find_keys
+from repro.core.gordian import find_keys_robust
+from repro.errors import ConfigError
+from repro.robustness import RunBudget
+from repro.service.jobs import (
+    ENGINE_FIELDS,
+    Job,
+    JobSpec,
+    JobState,
+    TERMINAL_STATES,
+    degraded_payload,
+    make_engine_config,
+    success_payload,
+)
+
+
+def _job(**overrides) -> Job:
+    spec = JobSpec(dataset_path="/tmp/x.csv", dataset_name="x", **overrides)
+    return Job("j-000001", spec)
+
+
+class TestStateMachine:
+    def test_happy_path(self):
+        job = _job()
+        assert job.state is JobState.QUEUED and not job.terminal
+        job.transition(JobState.RUNNING)
+        assert job.started_at is not None
+        job.transition(JobState.SUCCEEDED)
+        assert job.terminal and job.finished_at is not None
+
+    @pytest.mark.parametrize("terminal", sorted(TERMINAL_STATES, key=lambda s: s.value))
+    def test_terminal_states_are_sticky(self, terminal):
+        job = _job()
+        job.transition(JobState.RUNNING)
+        job.transition(terminal)
+        for target in JobState:
+            with pytest.raises(ConfigError, match="illegal transition"):
+                job.transition(target)
+
+    def test_queued_cannot_jump_to_succeeded(self):
+        with pytest.raises(ConfigError, match="illegal transition"):
+            _job().transition(JobState.SUCCEEDED)
+
+    def test_cancel_before_meter_is_armed(self):
+        job = _job()
+        job.request_cancel()
+        assert job.cancel_requested
+        # Arming later still picks the cancel up through the app's race
+        # check; the job object itself just records the flag.
+        meter = RunBudget().start()
+        job.meter = meter
+        job.request_cancel("again")
+        assert meter.cancel_requested == "again"
+
+    def test_status_payload_shape(self):
+        job = _job(tenant="acme")
+        payload = job.status_payload()
+        assert payload["state"] == "queued"
+        assert payload["tenant"] == "acme"
+        assert "started_at" not in payload and "result_available" not in payload
+        job.transition(JobState.RUNNING)
+        job.transition(JobState.FAILED)
+        job.error = "boom"
+        payload = job.status_payload()
+        assert payload["error"] == "boom"
+        assert payload["result_available"] is False
+
+
+class TestSpecWire:
+    def test_round_trip(self):
+        spec = JobSpec(
+            dataset_path="/d.csv", dataset_name="d", tenant="t",
+            deadline_seconds=2.5, engine={"workers": 2}, uploaded=True,
+        )
+        assert JobSpec.from_wire(spec.to_wire()) == spec
+
+    def test_defaults_fill_in(self):
+        spec = JobSpec.from_wire({"dataset_path": "/d.csv", "dataset_name": "d"})
+        assert spec.tenant == "default"
+        assert spec.deadline_seconds is None
+        assert spec.engine == {} and spec.uploaded is False
+
+
+class TestEngineConfig:
+    def test_defaults(self):
+        config = make_engine_config({}, default_workers=1)
+        assert config.workers == 1 and config.reuse_pool is False
+
+    def test_parallel_jobs_reuse_the_warm_pool(self):
+        config = make_engine_config({"workers": 2})
+        assert config.workers == 2 and config.reuse_pool is True
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigError, match="unknown engine option"):
+            make_engine_config({"pruning": "off"})
+
+    def test_values_are_cast(self):
+        config = make_engine_config(
+            {"workers": "2", "encode": 0, "task_timeout_seconds": "1.5"}
+        )
+        assert config.workers == 2
+        assert config.encode is False
+        assert config.task_timeout_seconds == 1.5
+
+    def test_uncastable_value_rejected(self):
+        with pytest.raises(ConfigError, match="invalid value"):
+            make_engine_config({"workers": "two"})
+
+    def test_engine_validation_still_applies(self):
+        with pytest.raises(ConfigError):
+            make_engine_config({"null_policy": "bogus"})
+
+    def test_whitelist_covers_only_real_config_fields(self):
+        from repro.core import GordianConfig
+
+        fields = set(GordianConfig.__dataclass_fields__)
+        assert set(ENGINE_FIELDS) <= fields
+
+
+class TestPayloads:
+    def test_success_payload(self, paper_rows, paper_names, paper_keys):
+        result = find_keys(paper_rows, attribute_names=paper_names)
+        payload = success_payload(result)
+        assert payload["degraded"] is False
+        assert payload["num_entities"] == 4 and payload["num_attributes"] == 4
+        assert sorted(map(tuple, payload["key_indexes"])) == sorted(paper_keys)
+        assert ["Emp No"] in payload["keys"]
+
+    def test_degraded_payload(self, paper_rows, paper_names):
+        robust = find_keys_robust(
+            paper_rows,
+            attribute_names=paper_names,
+            budget=RunBudget(max_node_visits=1),
+        )
+        assert robust.degraded
+        payload = degraded_payload(robust)
+        assert payload["degraded"] is True
+        assert payload["reason"]
+        assert payload["approximate"] is not None
+        for key in payload["approximate"]["keys"]:
+            assert set(key) >= {"attrs", "attr_indexes", "strength", "bound"}

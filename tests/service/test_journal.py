@@ -1,0 +1,126 @@
+"""Crash-safe job journal: append, replay, torn tails, compaction."""
+
+import os
+
+import pytest
+
+from repro.checkpoint.format import decode_frames, encode_checkpoint
+from repro.service.journal import JobJournal, replay_state
+
+SPEC = {"dataset_path": "/d.csv", "dataset_name": "d", "tenant": "default",
+        "deadline_seconds": None, "engine": {}, "uploaded": False}
+
+
+@pytest.fixture
+def journal(tmp_path):
+    with JobJournal(tmp_path / "journal.bin") as journal:
+        yield journal
+
+
+class TestAppendReplay:
+    def test_round_trip_full_lifecycle(self, journal):
+        journal.submitted("j-000001", SPEC)
+        journal.started("j-000001", 1)
+        journal.finished("j-000001", "succeeded", result_ref="abc123")
+        state = journal.replay()
+        assert state.torn_tail_bytes == 0
+        entry = state.jobs["j-000001"]
+        assert entry["state"] == "succeeded"
+        assert entry["attempts"] == 1
+        assert entry["result_ref"] == "abc123"
+        assert entry["spec"] == SPEC
+
+    def test_started_but_unfinished_replays_as_queued(self, journal):
+        journal.submitted("j-000001", SPEC)
+        journal.started("j-000001", 1)
+        state = journal.replay()
+        assert state.jobs["j-000001"]["state"] == "queued"
+        assert state.jobs["j-000001"]["attempts"] == 1
+
+    def test_cancel_requested_survives_replay(self, journal):
+        journal.submitted("j-000001", SPEC)
+        journal.cancel_requested("j-000001")
+        assert journal.replay().jobs["j-000001"]["cancel_requested"] is True
+
+    def test_submission_order_preserved(self, journal):
+        for i in (3, 1, 2):
+            journal.submitted(f"j-{i:06d}", SPEC)
+        assert journal.replay().order == ["j-000003", "j-000001", "j-000002"]
+
+    def test_missing_file_is_empty_state(self, tmp_path):
+        state = JobJournal(tmp_path / "nope.bin").replay()
+        assert state.jobs == {} and state.frames_read == 0
+
+
+class TestTornTail:
+    def test_torn_tail_is_detected_and_truncated(self, journal):
+        journal.submitted("j-000001", SPEC)
+        journal.finished("j-000001", "succeeded")
+        journal.submitted("j-000002", SPEC)
+        # Simulate a crash mid-append: chop bytes off the last frame.
+        journal.close()
+        path = journal.path
+        data = path.read_bytes()
+        path.write_bytes(data[:-7])
+        state = journal.replay()
+        assert state.torn_tail_bytes > 0
+        assert "j-000002" not in state.jobs  # torn record is gone
+        assert state.jobs["j-000001"]["state"] == "succeeded"
+        # Truncation restored a clean frame boundary: appends work again.
+        journal.submitted("j-000003", SPEC)
+        fresh = journal.replay()
+        assert fresh.torn_tail_bytes == 0
+        assert set(fresh.jobs) == {"j-000001", "j-000003"}
+
+    def test_corrupt_middle_frame_stops_the_scan(self, journal):
+        journal.submitted("j-000001", SPEC)
+        offset_after_first = journal.path.stat().st_size
+        journal.submitted("j-000002", SPEC)
+        journal.close()
+        data = bytearray(journal.path.read_bytes())
+        data[offset_after_first + 20] ^= 0xFF  # flip a byte in frame 2
+        journal.path.write_bytes(bytes(data))
+        frames, clean = decode_frames(bytes(data))
+        assert len(frames) == 1 and clean == offset_after_first
+
+
+class TestReplayStateFolding:
+    def test_unknown_events_and_ids_are_skipped(self):
+        state = replay_state([
+            {"event": "submitted", "job_id": "j-1", "ts": 1.0, "spec": SPEC},
+            {"event": "telemetry", "job_id": "j-1"},  # future event type
+            {"event": "finished", "job_id": "ghost", "state": "failed"},
+            "not-even-a-dict",
+        ])
+        assert set(state.jobs) == {"j-1"}
+        assert state.jobs["j-1"]["state"] == "queued"
+
+
+class TestCompaction:
+    def test_compact_drops_noise_keeps_story(self, journal):
+        journal.submitted("j-000001", SPEC)
+        for attempt in range(1, 4):
+            journal.started("j-000001", attempt)
+        journal.finished("j-000001", "degraded", error="budget")
+        journal.submitted("j-000002", SPEC)
+        journal.started("j-000002", 1)  # died mid-run
+        before = journal.path.stat().st_size
+        state = journal.replay()
+        journal.compact(state)
+        after = journal.path.stat().st_size
+        assert after < before
+        replayed = journal.replay()
+        assert replayed.jobs["j-000001"]["state"] == "degraded"
+        assert replayed.jobs["j-000001"]["error"] == "budget"
+        assert replayed.jobs["j-000002"]["state"] == "queued"
+        # The journal still accepts appends after compaction.
+        journal.finished("j-000002", "succeeded")
+        assert journal.replay().jobs["j-000002"]["state"] == "succeeded"
+
+    def test_every_append_is_a_valid_frame(self, journal):
+        journal.submitted("j-000001", SPEC)
+        journal.cancel_requested("j-000001")
+        frames, clean = decode_frames(journal.path.read_bytes())
+        assert len(frames) == 2
+        assert clean == journal.path.stat().st_size
+        assert all("ts" in frame for frame in frames)

@@ -1,0 +1,119 @@
+"""Admission control: bounded queue backpressure and tenant budgets."""
+
+import pytest
+
+from repro.robustness import RunBudget
+from repro.service.jobs import Job, JobSpec
+from repro.service.queue import (
+    BoundedJobQueue,
+    QueueFullError,
+    TenantBudgets,
+    TenantExhaustedError,
+)
+
+
+def _job(job_id="j-000001", tenant="default"):
+    return Job(job_id, JobSpec(dataset_path="/d.csv", dataset_name="d",
+                               tenant=tenant))
+
+
+class TestBoundedJobQueue:
+    def test_fifo_order(self):
+        queue = BoundedJobQueue(max_depth=3)
+        for i in range(3):
+            queue.push(_job(f"j-{i}"))
+        assert [queue.pop().id for _ in range(3)] == ["j-0", "j-1", "j-2"]
+        assert queue.pop() is None
+
+    def test_full_queue_raises_with_retry_after(self):
+        queue = BoundedJobQueue(max_depth=2)
+        queue.push(_job("j-1"))
+        queue.push(_job("j-2"))
+        assert queue.full
+        with pytest.raises(QueueFullError) as info:
+            queue.push(_job("j-3"))
+        assert info.value.depth == 2
+        assert info.value.retry_after >= 1
+        assert queue.rejected == 1
+        assert len(queue) == 2  # the rejected job was not admitted
+
+    def test_retry_after_tracks_observed_service_times(self):
+        queue = BoundedJobQueue(max_depth=10, job_slots=1)
+        for _ in range(20):
+            queue.note_service_time(30.0)
+        slow = queue.retry_after_hint()
+        for _ in range(50):
+            queue.note_service_time(0.01)
+        fast = queue.retry_after_hint()
+        assert slow > fast
+        assert fast >= queue.MIN_RETRY_AFTER
+        assert slow <= queue.MAX_RETRY_AFTER
+
+    def test_retry_after_scales_with_backlog(self):
+        queue = BoundedJobQueue(max_depth=100, job_slots=1)
+        queue.note_service_time(2.0)
+        empty = queue.retry_after_hint()
+        for i in range(20):
+            queue.push(_job(f"j-{i}"))
+        assert queue.retry_after_hint() > empty
+
+    def test_remove_cancels_a_queued_job(self):
+        queue = BoundedJobQueue(max_depth=3)
+        queue.push(_job("j-1"))
+        queue.push(_job("j-2"))
+        assert queue.remove("j-1") is True
+        assert queue.remove("j-1") is False  # already gone
+        assert queue.pop().id == "j-2"
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ValueError):
+            BoundedJobQueue(max_depth=0)
+
+
+class TestTenantBudgets:
+    def test_unlimited_when_no_template(self):
+        tenants = TenantBudgets(None)
+        tenants.admit("anyone")
+        assert tenants.share_for("anyone") is None
+        tenants.job_started("anyone")
+        tenants.job_finished("anyone", visits=10**9)
+        tenants.admit("anyone")  # still fine
+        assert tenants.stats() == {}
+
+    def test_exhaustion_blocks_only_the_noisy_tenant(self):
+        tenants = TenantBudgets(RunBudget(max_node_visits=100))
+        tenants.job_started("noisy")
+        tenants.job_finished("noisy", visits=500)  # blows the quota
+        with pytest.raises(TenantExhaustedError):
+            tenants.admit("noisy")
+        tenants.admit("quiet")  # unaffected
+        assert tenants.stats()["noisy"]["exhausted"] is True
+
+    def test_share_splits_across_inflight_jobs(self):
+        tenants = TenantBudgets(RunBudget(max_node_visits=100))
+        solo = tenants.share_for("t")
+        assert solo.max_node_visits == 100
+        tenants.job_started("t")
+        tenants.job_started("t")
+        crowded = tenants.share_for("t")
+        assert crowded.max_node_visits == pytest.approx(100 / 3, abs=1)
+
+    def test_shares_shrink_as_quota_is_consumed(self):
+        tenants = TenantBudgets(RunBudget(max_node_visits=100))
+        tenants.job_started("t")
+        tenants.job_finished("t", visits=80)
+        assert tenants.share_for("t").max_node_visits <= 20
+
+    def test_wall_clock_is_stripped_from_the_template(self):
+        # A tenant meter must not expire by mere passage of time.
+        tenants = TenantBudgets(
+            RunBudget(wall_clock_seconds=0.001, max_node_visits=50)
+        )
+        assert tenants.template.wall_clock_seconds is None
+        share = tenants.share_for("t")
+        assert share.max_node_visits == 50
+
+    def test_visit_free_template_means_no_metering(self):
+        tenants = TenantBudgets(RunBudget(wall_clock_seconds=5.0))
+        assert tenants.template is None
+        assert tenants.share_for("t") is None

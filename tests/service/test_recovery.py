@@ -1,0 +1,102 @@
+"""Journal replay on restart: every job lands terminal or resumable."""
+
+from repro.service.app import ServiceApp
+from repro.service.cache import ResultCache
+from repro.service.jobs import JobSpec, JobState
+from repro.service.journal import JobJournal
+
+
+def _spec(tmp_path, **overrides):
+    return JobSpec(
+        dataset_path=str(tmp_path / "d.csv"), dataset_name="d", **overrides
+    ).to_wire()
+
+
+def _recovered_app(tmp_path) -> ServiceApp:
+    """Build an app and run just its journal-replay phase (no socket)."""
+    app = ServiceApp(state_dir=tmp_path / "state", port=0, queue_depth=4)
+    app.journal.open()
+    app._recover()
+    return app
+
+
+class TestRecovery:
+    def test_interrupted_jobs_requeue_as_recovered(self, tmp_path):
+        state = tmp_path / "state"
+        with JobJournal(state / "journal.bin") as journal:
+            journal.submitted("j-000001", _spec(tmp_path))       # never started
+            journal.submitted("j-000002", _spec(tmp_path))
+            journal.started("j-000002", 1)                       # died mid-run
+        app = _recovered_app(tmp_path)
+        assert app.recovered_jobs == 2
+        assert len(app.queue) == 2
+        for job_id in ("j-000001", "j-000002"):
+            job = app.jobs[job_id]
+            assert job.state is JobState.QUEUED and job.recovered
+        # Mid-run death already burned an attempt; the count survives.
+        assert app.jobs["j-000002"].attempts == 1
+        # Job ids continue after the replayed sequence — no collisions.
+        assert app._next_job_id() == "j-000003"
+
+    def test_terminal_jobs_stay_terminal(self, tmp_path):
+        state = tmp_path / "state"
+        with JobJournal(state / "journal.bin") as journal:
+            journal.submitted("j-000001", _spec(tmp_path))
+            journal.finished("j-000001", "degraded", error="budget")
+            journal.submitted("j-000002", _spec(tmp_path))
+            journal.finished("j-000002", "failed", error="bad csv")
+        app = _recovered_app(tmp_path)
+        assert len(app.queue) == 0 and app.recovered_jobs == 0
+        assert app.jobs["j-000001"].state is JobState.DEGRADED
+        assert app.jobs["j-000001"].error == "budget"
+        assert app.jobs["j-000002"].state is JobState.FAILED
+
+    def test_succeeded_job_reloads_result_from_cache(self, tmp_path):
+        state = tmp_path / "state"
+        payload = {"degraded": False, "keys": [["a"]]}
+        ResultCache(state / "cache").put("cachekey1", payload)
+        with JobJournal(state / "journal.bin") as journal:
+            journal.submitted("j-000001", _spec(tmp_path))
+            journal.finished("j-000001", "succeeded", result_ref="cachekey1")
+        app = _recovered_app(tmp_path)
+        job = app.jobs["j-000001"]
+        assert job.state is JobState.SUCCEEDED
+        assert job.result == payload
+
+    def test_acknowledged_cancel_is_honoured_not_rerun(self, tmp_path):
+        state = tmp_path / "state"
+        with JobJournal(state / "journal.bin") as journal:
+            journal.submitted("j-000001", _spec(tmp_path))
+            journal.started("j-000001", 1)
+            journal.cancel_requested("j-000001")  # acked, never committed
+        app = _recovered_app(tmp_path)
+        job = app.jobs["j-000001"]
+        assert job.state is JobState.CANCELLED
+        assert len(app.queue) == 0
+        # The honoured cancel was journalled, so a *second* restart agrees.
+        again = _recovered_app(tmp_path)
+        assert again.jobs["j-000001"].state is JobState.CANCELLED
+
+    def test_torn_tail_from_crash_mid_append_is_survivable(self, tmp_path):
+        state = tmp_path / "state"
+        with JobJournal(state / "journal.bin") as journal:
+            journal.submitted("j-000001", _spec(tmp_path))
+            journal.finished("j-000001", "succeeded")
+        data = (state / "journal.bin").read_bytes()
+        (state / "journal.bin").write_bytes(data + b"\x13torn-append")
+        app = _recovered_app(tmp_path)
+        assert app.jobs["j-000001"].state is JobState.SUCCEEDED
+
+    def test_recovered_upload_spool_is_released(self, tmp_path):
+        state = tmp_path / "state"
+        spool = state / "uploads" / "upload-1-000001.csv"
+        spool.parent.mkdir(parents=True)
+        spool.write_text("a\n1\n")
+        with JobJournal(state / "journal.bin") as journal:
+            journal.submitted(
+                "j-000001",
+                {**_spec(tmp_path), "dataset_path": str(spool), "uploaded": True},
+            )
+            journal.finished("j-000001", "cancelled")
+        _recovered_app(tmp_path)
+        assert not spool.exists()

@@ -1,0 +1,278 @@
+"""End-to-end service fault drills against a real server subprocess.
+
+Each test launches ``python -m repro serve`` with an environment-borne
+fault plan and drives it over real HTTP: worker crashes mid-job, client
+cancels mid-search, SIGKILL + restart, queue saturation, SIGTERM drain.
+The invariant under test is the service's core promise — **every accepted
+job reaches a correct terminal state, and nothing leaks** — no matter
+which process dies or when.
+
+Marked ``faults``: CI runs these in their own job with a timeout guard and
+a post-run leak check (no shared-memory segments, no stray children, no
+orphaned temp files).
+"""
+
+import json
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.parallel.shard import live_segment_names
+from repro.robustness.faults import ENV_VAR, env_plan
+
+pytestmark = pytest.mark.faults
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+def _write_csv(path: Path, n: int = 300) -> Path:
+    """Deterministic key-bearing dataset (last column unique)."""
+    with open(path, "w") as handle:
+        handle.write("a,b,c,d\n")
+        for i in range(n):
+            handle.write(f"{(i * 7) % 6},{(i * 3) % 5},{(i * 11) % 4},{i}\n")
+    return path
+
+
+class ServerProc:
+    """A ``repro serve`` subprocess plus an HTTP client against it."""
+
+    def __init__(self, state_dir: Path, *extra_args: str, plan: str = ""):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = SRC
+        env.pop(ENV_VAR, None)
+        if plan:
+            env[ENV_VAR] = plan
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--state-dir", str(state_dir), "--port", "0", *extra_args],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True,
+        )
+        self.port = None
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            line = self.proc.stdout.readline()
+            if line.startswith("serving on http://"):
+                self.port = int(line.rsplit(":", 1)[1])
+                break
+            if self.proc.poll() is not None:
+                break
+        if self.port is None:
+            raise RuntimeError(
+                f"server did not announce a port; stderr: "
+                f"{self.proc.stderr.read()}"
+            )
+
+    def request(self, method, path, body=None, timeout=10):
+        url = f"http://127.0.0.1:{self.port}{path}"
+        data = None if body is None else json.dumps(body).encode()
+        request = urllib.request.Request(url, data=data, method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=timeout) as response:
+                return response.status, json.loads(response.read() or b"null")
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read() or b"null")
+
+    def wait_state(self, job_id, states, timeout=60.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            _, payload = self.request("GET", f"/jobs/{job_id}")
+            if payload["state"] in states:
+                return payload
+            time.sleep(0.05)
+        raise AssertionError(
+            f"job {job_id} never reached {states}; last: {payload}"
+        )
+
+    def wait_terminal(self, job_id, timeout=60.0):
+        return self.wait_state(
+            job_id, ("succeeded", "degraded", "failed", "cancelled"), timeout
+        )
+
+    def sigkill(self) -> None:
+        self.proc.kill()
+        self.proc.wait(timeout=30)
+
+    def sigterm(self, timeout=60) -> int:
+        self.proc.send_signal(signal.SIGTERM)
+        return self.proc.wait(timeout=timeout)
+
+    def stop(self) -> None:
+        if self.proc.poll() is None:
+            try:
+                self.sigterm()
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait(timeout=30)
+
+
+def _assert_no_leaks(state_dir: Path) -> None:
+    """No shm segments, no stray children, no in-flight temp files."""
+    assert live_segment_names() == []
+    for child in multiprocessing.active_children():
+        child.join(timeout=10)
+    assert multiprocessing.active_children() == []
+    strays = [
+        path for path in state_dir.rglob("*")
+        if path.name.endswith(".tmp") or ".tmp." in path.name
+    ]
+    assert strays == []
+    uploads = state_dir / "uploads"
+    if uploads.exists():
+        assert list(uploads.iterdir()) == []
+
+
+class TestWorkerCrashDegrades:
+    def test_worker_crash_mid_job_completes_degraded(self, tmp_path):
+        """A crashing pool worker with recovery disabled still yields a
+        terminal job: retry exhaustion degrades to sampling mode."""
+        csv = _write_csv(tmp_path / "data.csv")
+        plan = env_plan({
+            "point": "worker.slice_search", "action": "crash",
+            "token": str(tmp_path / "crash-token"),
+        })
+        server = ServerProc(
+            tmp_path / "state", "--retry-attempts", "1", plan=plan
+        )
+        try:
+            _, payload = server.request("POST", "/jobs", {
+                "dataset_path": str(csv),
+                "engine": {
+                    "workers": 2, "serial_fallback": False,
+                    "max_task_retries": 0, "max_pool_restarts": 0,
+                    "clamp_workers": False, "parallel_min_rows": 0,
+                },
+            })
+            final = server.wait_terminal(payload["id"])
+            assert final["state"] == "degraded"
+            _, result = server.request(
+                "GET", f"/jobs/{payload['id']}/result"
+            )
+            body = result["result"]
+            assert body["degraded"] is True
+            assert body["worker_failure"] is True
+            # Sampling mode still found the planted unique column.
+            sampled = [k["attrs"] for k in body["approximate"]["keys"]]
+            assert ["d"] in sampled
+            # The server survived its pool dying: next job is exact.
+            _, again = server.request("POST", "/jobs", {
+                "dataset_path": str(csv),
+            })
+            final = server.wait_terminal(again["id"])
+            assert final["state"] == "succeeded"
+            assert server.sigterm() == 0
+        finally:
+            server.stop()
+        _assert_no_leaks(tmp_path / "state")
+
+
+class TestCancelMidSearch:
+    def test_cancel_lands_and_frees_the_slot(self, tmp_path):
+        big = _write_csv(tmp_path / "big.csv", n=400)
+        small = _write_csv(tmp_path / "small.csv", n=8)
+        # Throttle every NonKeyFinder visit so the big job is reliably
+        # mid-search when the cancel arrives.
+        plan = env_plan({
+            "point": "nonkey.visit", "action": "sleep", "seconds": 0.01,
+        })
+        server = ServerProc(tmp_path / "state", plan=plan)
+        try:
+            _, slow = server.request(
+                "POST", "/jobs", {"dataset_path": str(big)}
+            )
+            server.wait_state(slow["id"], ("running",))
+            status, ack = server.request(
+                "POST", f"/jobs/{slow['id']}/cancel"
+            )
+            assert status == 202 and ack["cancel_requested"] is True
+            final = server.wait_terminal(slow["id"])
+            assert final["state"] == "cancelled"
+            # The slot is free: a small job completes exactly.
+            _, follow = server.request(
+                "POST", "/jobs", {"dataset_path": str(small)}
+            )
+            assert server.wait_terminal(follow["id"])["state"] == "succeeded"
+            assert server.sigterm() == 0
+        finally:
+            server.stop()
+        _assert_no_leaks(tmp_path / "state")
+
+
+class TestSigkillRestartReplay:
+    def test_journal_replay_reruns_the_interrupted_job(self, tmp_path):
+        csv = _write_csv(tmp_path / "data.csv")
+        # Token-gated hang: fires exactly once across server generations,
+        # so the first run wedges mid-search and the rerun is clean.
+        plan = env_plan({
+            "point": "nonkey.visit", "action": "hang", "seconds": 300,
+            "after": 10, "token": str(tmp_path / "hang-token"),
+        })
+        state = tmp_path / "state"
+        server = ServerProc(state, plan=plan)
+        job_id = None
+        try:
+            _, payload = server.request(
+                "POST", "/jobs", {"dataset_path": str(csv)}
+            )
+            job_id = payload["id"]
+            server.wait_state(job_id, ("running",))
+            time.sleep(0.3)  # let the run reach the hang point
+            server.sigkill()
+        finally:
+            server.stop()
+
+        # Same state dir, fault already spent: the journal replays the
+        # interrupted job and it completes with the right keys.
+        reborn = ServerProc(state, plan=plan)
+        try:
+            status, payload = reborn.request("GET", f"/jobs/{job_id}")
+            assert status == 200
+            assert payload["recovered"] is True
+            final = reborn.wait_terminal(job_id)
+            assert final["state"] == "succeeded"
+            _, result = reborn.request("GET", f"/jobs/{job_id}/result")
+            assert ["d"] in result["result"]["keys"]
+            # Restart accounting: the pre-kill attempt is remembered.
+            assert final["attempts"] >= 2
+            assert reborn.sigterm() == 0
+        finally:
+            reborn.stop()
+        _assert_no_leaks(state)
+
+
+class TestQueueSaturation:
+    def test_queue_full_returns_429_with_retry_after(self, tmp_path):
+        csv = _write_csv(tmp_path / "data.csv", n=400)
+        plan = env_plan({
+            "point": "nonkey.visit", "action": "sleep", "seconds": 0.01,
+        })
+        server = ServerProc(
+            tmp_path / "state", "--queue-depth", "1", plan=plan
+        )
+        try:
+            statuses = [
+                server.request("POST", "/jobs", {"dataset_path": str(csv)})
+                for _ in range(3)
+            ]
+            codes = sorted(code for code, _ in statuses)
+            assert codes == [202, 202, 429]
+            rejected = next(body for code, body in statuses if code == 429)
+            assert "full" in rejected["error"]
+            # Cancel everything so the drain is quick.
+            for code, body in statuses:
+                if code == 202:
+                    server.request("POST", f"/jobs/{body['id']}/cancel")
+                    server.wait_terminal(body["id"])
+            assert server.sigterm() == 0
+        finally:
+            server.stop()
+        _assert_no_leaks(tmp_path / "state")

@@ -1,0 +1,137 @@
+"""Unit tests for the stdlib HTTP/1.1 + JSON wire layer."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import wire
+
+
+def _parse(raw: bytes, **kwargs):
+    async def run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await wire.read_request(reader, **kwargs)
+
+    return asyncio.run(run())
+
+
+class TestParsing:
+    def test_get_with_query(self):
+        request = _parse(b"GET /jobs/j-1?verbose=1&x=y HTTP/1.1\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/jobs/j-1"
+        assert request.query == {"verbose": "1", "x": "y"}
+        assert request.body == b""
+
+    def test_headers_are_lower_cased(self):
+        request = _parse(
+            b"GET / HTTP/1.1\r\nX-Custom-Header: Value\r\nHOST: h\r\n\r\n"
+        )
+        assert request.headers["x-custom-header"] == "Value"
+        assert request.headers["host"] == "h"
+
+    def test_post_body_and_json(self):
+        body = json.dumps({"a": 1}).encode()
+        raw = (
+            b"POST /jobs HTTP/1.1\r\ncontent-length: "
+            + str(len(body)).encode()
+            + b"\r\n\r\n"
+            + body
+        )
+        request = _parse(raw)
+        assert request.json() == {"a": 1}
+
+    def test_clean_eof_returns_none(self):
+        assert _parse(b"") is None
+
+    def test_lf_only_line_endings_accepted(self):
+        request = _parse(b"GET / HTTP/1.1\nhost: h\n\n")
+        assert request.path == "/"
+        assert request.headers == {"host": "h"}
+
+
+class TestProtocolViolations:
+    def test_malformed_request_line(self):
+        with pytest.raises(wire.WireError) as info:
+            _parse(b"NONSENSE\r\n\r\n")
+        assert info.value.status == 400
+
+    def test_wrong_protocol_version(self):
+        with pytest.raises(wire.WireError) as info:
+            _parse(b"GET / SPDY/99\r\n\r\n")
+        assert info.value.status == 400
+
+    def test_connection_closed_mid_request(self):
+        with pytest.raises(wire.WireError) as info:
+            _parse(b"GET / HTTP/1.1\r\ncontent-len")  # EOF mid-header
+        assert info.value.status == 400
+
+    def test_body_shorter_than_content_length(self):
+        with pytest.raises(wire.WireError) as info:
+            _parse(b"POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc")
+        assert info.value.status == 400
+
+    def test_oversized_body_is_413(self):
+        with pytest.raises(wire.WireError) as info:
+            _parse(
+                b"POST / HTTP/1.1\r\ncontent-length: 1000\r\n\r\n" + b"x" * 1000,
+                max_body=100,
+            )
+        assert info.value.status == 413
+
+    def test_negative_and_garbage_content_length(self):
+        for value in (b"-5", b"abc"):
+            with pytest.raises(wire.WireError) as info:
+                _parse(b"POST / HTTP/1.1\r\ncontent-length: " + value + b"\r\n\r\n")
+            assert info.value.status == 400
+
+    def test_transfer_encoding_refused(self):
+        with pytest.raises(wire.WireError) as info:
+            _parse(b"POST / HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n")
+        assert info.value.status == 501
+
+    def test_too_many_headers(self):
+        lines = b"".join(
+            b"h%d: v\r\n" % i for i in range(wire.MAX_HEADERS + 1)
+        )
+        with pytest.raises(wire.WireError) as info:
+            _parse(b"GET / HTTP/1.1\r\n" + lines + b"\r\n")
+        assert info.value.status == 400
+
+    def test_non_json_body_rejected_by_json(self):
+        raw = b"POST / HTTP/1.1\r\ncontent-length: 3\r\n\r\nxyz"
+        request = _parse(raw)
+        with pytest.raises(wire.WireError) as info:
+            request.json()
+        assert info.value.status == 400
+
+
+class TestRendering:
+    def test_json_payload_round_trips(self):
+        raw = wire.render_response(wire.json_response(200, {"ok": True}))
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Connection: close" in head
+        assert b"Content-Type: application/json" in head
+        assert json.loads(body) == {"ok": True}
+        # Content-Length matches the actual body.
+        for line in head.split(b"\r\n"):
+            if line.lower().startswith(b"content-length"):
+                assert int(line.split(b":")[1]) == len(body)
+
+    def test_empty_payload_has_zero_length(self):
+        raw = wire.render_response(wire.Response(status=204))
+        assert b"Content-Length: 0" in raw
+        assert raw.endswith(b"\r\n\r\n")
+
+    def test_extra_headers_and_error_helper(self):
+        response = wire.error_response(
+            429, "queue full", headers={"Retry-After": "7"}
+        )
+        raw = wire.render_response(response)
+        assert b"HTTP/1.1 429 Too Many Requests" in raw
+        assert b"Retry-After: 7" in raw
+        assert b"queue full" in raw
